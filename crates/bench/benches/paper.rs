@@ -1,0 +1,298 @@
+//! Criterion benches: the paper's microbenchmarks plus ablations of the
+//! design choices DESIGN.md calls out (eager vs lazy trampoline creation,
+//! TLS-register switching on/off, ucontext-style signal-mask saving,
+//! global-FIFO vs work-stealing scheduling, over-subscription factor).
+//!
+//! Run: `cargo bench -p ulp-bench` (use `--bench paper -- <filter>` to
+//! select a group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, SchedPolicy};
+use ulp_fcontext::Fiber;
+use ulp_kernel::{ArchProfile, IoModel};
+
+/// Table III: raw user-level context switch.
+fn bench_ctx_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.throughput(Throughput::Elements(2)); // two swaps per resume
+    group.bench_function("ctx_switch_roundtrip", |b| {
+        let mut fiber = Fiber::new(|sus, _| {
+            loop {
+                sus.suspend(0);
+            }
+            #[allow(unreachable_code)]
+            0
+        })
+        .unwrap();
+        b.iter(|| fiber.resume(0));
+    });
+    for profile in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+        group.bench_with_input(
+            BenchmarkId::new("tls_load", profile.name()),
+            &profile,
+            |b, p| {
+                b.iter(|| ulp_kernel::spin_for(p.tls_load()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A reusable yield-ping-pong harness returning a closure-driving runtime.
+struct YieldPair {
+    rt: Runtime,
+    stop: Arc<AtomicBool>,
+    driver: Option<ulp_core::BltHandle>,
+    peer: Option<ulp_core::BltHandle>,
+    tick: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+}
+
+impl YieldPair {
+    fn new(policy: IdlePolicy, sched: SchedPolicy, tls: bool, sigmask: bool) -> YieldPair {
+        let rt = Runtime::builder()
+            .schedulers(1)
+            .idle_policy(policy)
+            .sched_policy(sched)
+            .tls_switch(tls)
+            .save_sigmask(sigmask)
+            .build();
+        let stop = Arc::new(AtomicBool::new(false));
+        let tick = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let s2 = stop.clone();
+        let peer = rt.spawn("bench-peer", move || {
+            decouple().unwrap();
+            while !s2.load(Ordering::Acquire) {
+                yield_now();
+            }
+            0
+        });
+        // The driver ULP performs yields whenever `tick` flips.
+        let s3 = stop.clone();
+        let t2 = tick.clone();
+        let d2 = done.clone();
+        let driver = rt.spawn("bench-driver", move || {
+            decouple().unwrap();
+            while !s3.load(Ordering::Acquire) {
+                if t2.swap(false, Ordering::AcqRel) {
+                    for _ in 0..1024 {
+                        yield_now();
+                    }
+                    d2.store(true, Ordering::Release);
+                } else {
+                    yield_now();
+                }
+            }
+            0
+        });
+        YieldPair {
+            rt,
+            stop,
+            driver: Some(driver),
+            peer: Some(peer),
+            tick,
+            done,
+        }
+    }
+
+    /// Run 1024 yields on the driver ULP (approximately; measured as a
+    /// batch from outside).
+    fn batch(&self) {
+        self.done.store(false, Ordering::Release);
+        self.tick.store(true, Ordering::Release);
+        while !self.done.load(Ordering::Acquire) {
+            // Yield the observer's timeslice: on few-core hosts a spinning
+            // observer would starve the very ULPs it is timing.
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for YieldPair {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(d) = self.driver.take() {
+            d.wait();
+        }
+        if let Some(p) = self.peer.take() {
+            p.wait();
+        }
+        let _ = &self.rt;
+    }
+}
+
+/// Table IV + ablations: yield cost under different configurations.
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_yield");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1024));
+    let configs: &[(&str, IdlePolicy, SchedPolicy, bool, bool)] = &[
+        ("busywait/fifo", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, true, false),
+        ("busywait/worksteal", IdlePolicy::BusyWait, SchedPolicy::WorkStealing, true, false),
+        ("ablate-no-tls", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, false, false),
+        ("ablate-save-sigmask", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, true, true),
+    ];
+    for (name, policy, sched, tls, sigmask) in configs {
+        group.bench_function(*name, |b| {
+            let pair = YieldPair::new(*policy, *sched, *tls, *sigmask);
+            b.iter(|| pair.batch());
+        });
+    }
+    group.finish();
+}
+
+/// Table V: getpid plain vs enclosed by couple()/decouple().
+fn bench_getpid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_getpid");
+    group.sample_size(20);
+
+    group.bench_function("plain_klt", |b| {
+        let rt = Runtime::builder().schedulers(1).build();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (dtx, drx) = std::sync::mpsc::channel::<()>();
+        let h = rt.spawn("getpid-loop", move || {
+            while rx.recv().is_ok() {
+                for _ in 0..256 {
+                    sys::getpid().unwrap();
+                }
+                dtx.send(()).unwrap();
+            }
+            0
+        });
+        b.iter(|| {
+            tx.send(()).unwrap();
+            drx.recv().unwrap();
+        });
+        drop(tx);
+        h.wait();
+    });
+
+    for (name, policy) in [
+        ("coupled_scope/busywait", IdlePolicy::BusyWait),
+        ("coupled_scope/blocking", IdlePolicy::Blocking),
+    ] {
+        group.bench_function(name, |b| {
+            let rt = Runtime::builder().schedulers(1).idle_policy(policy).build();
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let (dtx, drx) = std::sync::mpsc::channel::<()>();
+            let h = rt.spawn("getpid-ulp", move || {
+                decouple().unwrap();
+                while rx.recv().is_ok() {
+                    for _ in 0..64 {
+                        coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                    }
+                    dtx.send(()).unwrap();
+                }
+                0
+            });
+            b.iter(|| {
+                tx.send(()).unwrap();
+                drx.recv().unwrap();
+            });
+            drop(tx);
+            h.wait();
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7: open-write-close for one representative size per variant.
+fn bench_owc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_owc_64k");
+    group.sample_size(10);
+    use ulp_bench::workloads::{owc_ns, OwcVariant};
+    for variant in [
+        OwcVariant::Plain,
+        OwcVariant::AioReturn,
+        OwcVariant::AioSuspend,
+        OwcVariant::Ulp(IdlePolicy::BusyWait),
+        OwcVariant::Ulp(IdlePolicy::Blocking),
+    ] {
+        group.bench_function(variant.label(), |b| {
+            b.iter_custom(|iters| {
+                let ns = owc_ns(
+                    variant,
+                    64 * 1024,
+                    ArchProfile::Native,
+                    IoModel::RAW,
+                    iters.max(4) as usize,
+                );
+                std::time::Duration::from_nanos((ns * iters as f64) as u64)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: eager vs lazy trampoline-context creation (spawn+decouple
+/// latency).
+fn bench_tc_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_tc");
+    group.sample_size(10);
+    for (name, eager) in [("lazy_tc", false), ("eager_tc", true)] {
+        group.bench_function(name, |b| {
+            let rt = Runtime::builder()
+                .schedulers(1)
+                .idle_policy(IdlePolicy::Blocking)
+                .eager_tc(eager)
+                .build();
+            b.iter(|| {
+                let h = rt.spawn("tc-bench", || {
+                    decouple().unwrap();
+                    0
+                });
+                h.wait()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: over-subscription factor O (eq. 2) — total time for a fixed
+/// amount of yield-heavy work split across NB = NCprog x (O+1) BLTs.
+fn bench_oversubscription(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_oversubscription");
+    group.sample_size(10);
+    const TOTAL_WORK: usize = 4096;
+    for o in [0usize, 1, 3, 7] {
+        let n_blts = o + 1; // NCprog = 1 scheduler
+        group.bench_with_input(BenchmarkId::new("factor", o), &n_blts, |b, &n| {
+            let rt = Runtime::builder()
+                .schedulers(1)
+                .idle_policy(IdlePolicy::Blocking)
+                .build();
+            b.iter(|| {
+                let per = TOTAL_WORK / n;
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        rt.spawn(&format!("o{i}"), move || {
+                            decouple().unwrap();
+                            for _ in 0..per {
+                                yield_now();
+                            }
+                            0
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.wait();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ctx_switch,
+    bench_yield,
+    bench_getpid,
+    bench_owc,
+    bench_tc_creation,
+    bench_oversubscription
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Extension experiment (beyond the paper's tables): over-subscribed MPI
+//! ranks — ULP (decoupled, cooperative) vs KLT (one OS thread per rank) —
+//! across rank counts, on a fixed scheduler budget. This quantifies the
+//! §III motivation the paper leaves qualitative: "context switching
+//! overhead can be problematic when using oversubscribed KLTs or
+//! processes".
+//!
+//! Run: `cargo run --release -p ulp-bench --bin ext_oversub`
+
+use std::time::Instant;
+use ulp_bench::report::Table;
+use ulp_mpi::{NetModel, ReduceOp, UlpWorld};
+
+const STEPS: usize = 40;
+
+fn run_world(ranks: usize, decoupled: bool) -> f64 {
+    let builder = UlpWorld::builder()
+        .ranks(ranks)
+        .schedulers(1)
+        .net(NetModel::CLUSTER);
+    let world = if decoupled {
+        builder.build()
+    } else {
+        builder.coupled_ranks().build()
+    };
+    let t = Instant::now();
+    let codes = world.run("ring", |ctx| {
+        let n = ctx.size();
+        let me = ctx.rank();
+        for step in 0..STEPS {
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            ctx.send(next, step as i32, &[me as u8]);
+            // A small compute slice per step, as a real stencil would have.
+            let mut x = 1.0f64;
+            for _ in 0..5_000 {
+                x = std::hint::black_box(x * 1.000_1 + 1e-9);
+            }
+            let got = ctx.recv(prev as i32, step as i32);
+            debug_assert_eq!(got.data[0] as usize, prev);
+        }
+        let s = ctx.allreduce(ReduceOp::Sum, &[1.0]);
+        (s[0] as usize == n) as i32 - 1
+    });
+    assert!(codes.iter().all(|&c| c == 0), "ring failed");
+    t.elapsed().as_micros() as f64
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Extension: over-subscribed ring exchange, 1 scheduler core, 2us network",
+        &["ranks", "ULP[us]", "KLT[us]", "KLT/ULP"],
+    );
+    for &ranks in &[2usize, 4, 8, 16, 32, 48] {
+        // Min of three trials each, interleaved to share thermal noise.
+        let mut ulp = f64::INFINITY;
+        let mut klt = f64::INFINITY;
+        for _ in 0..3 {
+            ulp = ulp.min(run_world(ranks, true));
+            klt = klt.min(run_world(ranks, false));
+        }
+        table.row(vec![
+            ranks.to_string(),
+            format!("{ulp:.0}"),
+            format!("{klt:.0}"),
+            format!("{:.2}", klt / ulp),
+        ]);
+    }
+    ulp_bench::repro::run_and_save("ext_oversub", table);
+}

@@ -1,0 +1,104 @@
+//! The paper's Fig. 6 usage scenario, executed end to end.
+//!
+//! CPU cores are split into a program group and a system-call group
+//! (eq. 1: NC = NCprog + NCsyscall); NB = NCprog × (O + 1) worker BLTs
+//! (eq. 2) are created, decoupled, and scheduled by NCprog scheduler KCs
+//! while their original KCs — parked on the syscall cores — execute the
+//! enclosed system-call bursts. The run prints the topology, the work
+//! completed, and the runtime counters that characterize it.
+//!
+//! Run: `cargo run --release -p ulp-bench --bin fig6_scenario [O]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, Topology};
+use ulp_kernel::OpenFlags;
+
+fn main() {
+    let oversub: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Split the host: at least one program core, the rest for syscalls.
+    let nc_prog = (host_cpus / 2).max(1);
+    let topo = Topology {
+        nc_prog,
+        nc_syscall: (host_cpus - nc_prog).max(1),
+        oversubscription: oversub,
+    };
+    println!(
+        "Fig. 6 topology: NC={} (NCprog={}, NCsyscall={}), O={} -> NB={} worker BLTs",
+        topo.total_cores(),
+        topo.nc_prog,
+        topo.nc_syscall,
+        topo.oversubscription,
+        topo.n_blts()
+    );
+
+    let syscall_cores: Vec<usize> = (topo.nc_prog..topo.total_cores()).collect();
+    let rt = Runtime::builder()
+        .schedulers(topo.nc_prog)
+        .idle_policy(IdlePolicy::Adaptive)
+        .pin_schedulers(true)
+        .syscall_cores(syscall_cores)
+        .build();
+
+    const OPS_PER_BLT: usize = 200;
+    let completed = Arc::new(AtomicU64::new(0));
+    let t = Instant::now();
+    let handles: Vec<_> = (0..topo.n_blts())
+        .map(|i| {
+            let completed = completed.clone();
+            rt.spawn(&format!("worker-{i}"), move || {
+                decouple().unwrap();
+                for k in 0..OPS_PER_BLT {
+                    // Compute phase on the program cores...
+                    let mut x = 1.0f64;
+                    for _ in 0..2_000 {
+                        x = std::hint::black_box(x * 1.000_1 + 1e-9);
+                    }
+                    // ...system-call burst on our own (syscall-core) KC.
+                    coupled_scope(|| {
+                        let fd = sys::open(
+                            &format!("/w{i}.dat"),
+                            OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+                        )
+                        .unwrap();
+                        sys::write(fd, &(k as u64).to_le_bytes()).unwrap();
+                        sys::close(fd).unwrap();
+                    })
+                    .unwrap();
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if k % 8 == 0 {
+                        yield_now();
+                    }
+                }
+                0
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+    let elapsed = t.elapsed();
+    let total_ops = completed.load(Ordering::Relaxed);
+    let stats = rt.stats().snapshot();
+    println!(
+        "\ncompleted {total_ops} compute+syscall cycles in {:.1} ms ({:.1} us/cycle)",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / total_ops as f64
+    );
+    println!("runtime counters:");
+    println!("  context switches    : {}", stats.context_switches);
+    println!("  couples / decouples : {} / {}", stats.couples, stats.decouples);
+    println!("  scheduler dispatches: {}", stats.scheduler_dispatches);
+    println!("  TLS loads           : {}", stats.tls_loads);
+    println!("  KC blocks (adaptive): {}", stats.kc_blocks);
+    println!("  consistency issues  : {}", rt.violations().len());
+    assert_eq!(total_ops as usize, topo.n_blts() * OPS_PER_BLT);
+    assert!(rt.violations().is_empty(), "all syscalls were enclosed");
+}

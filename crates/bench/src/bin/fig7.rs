@@ -1,0 +1,15 @@
+//! Reproduce the paper's Figure 7 (open-write-close slowdown) for the
+//! native profile and both modeled machines.
+use ulp_kernel::ArchProfile;
+fn main() {
+    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+        ulp_bench::repro::run_and_save(&format!("fig7-{}", short(p)), ulp_bench::repro::fig7(p));
+    }
+}
+fn short(p: ArchProfile) -> &'static str {
+    match p {
+        ArchProfile::Native => "native",
+        ArchProfile::Wallaby => "wallaby",
+        ArchProfile::Albireo => "albireo",
+    }
+}

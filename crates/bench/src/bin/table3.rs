@@ -1,0 +1,4 @@
+//! Reproduce the paper's Table3 (see crate docs for the protocol).
+fn main() {
+    ulp_bench::repro::run_and_save("table3", ulp_bench::repro::table3());
+}

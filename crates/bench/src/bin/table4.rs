@@ -1,0 +1,4 @@
+//! Reproduce the paper's Table4 (see crate docs for the protocol).
+fn main() {
+    ulp_bench::repro::run_and_save("table4", ulp_bench::repro::table4());
+}

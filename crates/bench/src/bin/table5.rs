@@ -1,0 +1,4 @@
+//! Reproduce the paper's Table5 (see crate docs for the protocol).
+fn main() {
+    ulp_bench::repro::run_and_save("table5", ulp_bench::repro::table5());
+}

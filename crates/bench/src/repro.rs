@@ -1,0 +1,202 @@
+//! One function per paper artifact; the `table3`/`table4`/`table5`/`fig7`/
+//! `fig8` binaries (and `repro_all`) are thin wrappers around these.
+
+use crate::baselines;
+use crate::report::Table;
+use crate::workloads::{self, OwcVariant};
+use crate::{human_size, ns_to_cycles, sci, BUFFER_SIZES};
+use ulp_kernel::{ArchProfile, IoModel};
+use ulp_core::IdlePolicy;
+
+/// Iteration scale knob: 1 = quick, 10 = paper-grade.
+pub fn scale() -> usize {
+    std::env::var("ULP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+const PROFILES: [ArchProfile; 3] = [
+    ArchProfile::Native,
+    ArchProfile::Wallaby,
+    ArchProfile::Albireo,
+];
+
+/// Table III — context switch and TLS-register load.
+pub fn table3() -> Table {
+    let iters = 20_000 * scale();
+    let mut t = Table::new(
+        "Table III: Context Switch and Load TLS (paper: Wallaby 3.34E-8/86cyc & 1.09E-7/284cyc; Albireo 2.45E-8 & 2.50E-9)",
+        &["metric", "profile", "time[s]", "ns", "cycles"],
+    );
+    let ctx = workloads::ctx_switch_ns(iters);
+    t.row(vec![
+        "Context Sw.".into(),
+        "native(measured)".into(),
+        sci(ctx),
+        format!("{ctx:.1}"),
+        ns_to_cycles(ctx).to_string(),
+    ]);
+    for p in PROFILES {
+        let tls = workloads::tls_load_ns(p, iters);
+        t.row(vec![
+            "Load TLS".into(),
+            p.name().into(),
+            sci(tls),
+            format!("{tls:.1}"),
+            ns_to_cycles(tls).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table IV — yielding two ULPs vs `sched_yield`.
+pub fn table4() -> Table {
+    let iters = 5_000 * scale();
+    let mut t = Table::new(
+        "Table IV: Yielding Time, 2 ULPs or PThreads (paper Wallaby: ULP 1.50E-7, 1core 2.66E-7, 2cores 7.79E-8)",
+        &["variant", "profile", "time[s]", "ns/yield", "cycles", "note"],
+    );
+    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+        let ns = workloads::ulp_yield_ns(IdlePolicy::BusyWait, p, iters);
+        t.row(vec![
+            "ULP yield".into(),
+            p.name().into(),
+            sci(ns),
+            format!("{ns:.1}"),
+            ns_to_cycles(ns).to_string(),
+            String::new(),
+        ]);
+    }
+    let one = baselines::sched_yield_ns(false, iters);
+    t.row(vec![
+        "sched_yield() 1 core".into(),
+        "host".into(),
+        sci(one.ns_per_yield),
+        format!("{:.1}", one.ns_per_yield),
+        ns_to_cycles(one.ns_per_yield).to_string(),
+        if one.pinned { String::new() } else { "unpinned".into() },
+    ]);
+    let two = baselines::sched_yield_ns(true, iters);
+    t.row(vec![
+        "sched_yield() 2 cores".into(),
+        "host".into(),
+        sci(two.ns_per_yield),
+        format!("{:.1}", two.ns_per_yield),
+        ns_to_cycles(two.ns_per_yield).to_string(),
+        if two.pinned {
+            String::new()
+        } else {
+            format!("only {} cpu(s): degraded to shared core", baselines::n_cpus())
+        },
+    ]);
+    t
+}
+
+/// Table V — `getpid()` plain vs enclosed in couple()/decouple().
+pub fn table5() -> Table {
+    let iters = 2_000 * scale();
+    let mut t = Table::new(
+        "Table V: Time of getpid() (paper Wallaby: Linux 6.71E-8, BUSYWAIT 1.33E-6, BLOCKING 2.91E-6)",
+        &["variant", "profile", "time[s]", "ns", "cycles"],
+    );
+    let real = baselines::real_getpid_ns(iters);
+    t.row(vec![
+        "Linux getpid(2) (host)".into(),
+        "host".into(),
+        sci(real),
+        format!("{real:.1}"),
+        ns_to_cycles(real).to_string(),
+    ]);
+    for p in PROFILES {
+        let plain = workloads::getpid_plain_ns(p, iters);
+        t.row(vec![
+            "simkernel getpid".into(),
+            p.name().into(),
+            sci(plain),
+            format!("{plain:.1}"),
+            ns_to_cycles(plain).to_string(),
+        ]);
+    }
+    for (label, policy) in [
+        ("ULP-PiP: BUSYWAIT", IdlePolicy::BusyWait),
+        ("ULP-PiP: BLOCKING", IdlePolicy::Blocking),
+    ] {
+        for p in PROFILES {
+            let ns = workloads::getpid_coupled_ns(policy, p, iters / 2);
+            t.row(vec![
+                label.into(),
+                p.name().into(),
+                sci(ns),
+                format!("{ns:.1}"),
+                ns_to_cycles(ns).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+const FIG_VARIANTS: [OwcVariant; 5] = [
+    OwcVariant::Plain,
+    OwcVariant::AioReturn,
+    OwcVariant::AioSuspend,
+    OwcVariant::Ulp(IdlePolicy::BusyWait),
+    OwcVariant::Ulp(IdlePolicy::Blocking),
+];
+
+/// Figure 7 — slowdown of open-write-close relative to plain system calls,
+/// over the write-buffer size sweep.
+pub fn fig7(profile: ArchProfile) -> Table {
+    let io = IoModel::MEMORY_BANDWIDTH;
+    let mut t = Table::new(
+        &format!(
+            "Figure 7 [{}]: open-write-close slowdown vs plain (paper: ULP < AIO on Wallaby at all sizes; slowdown decreases with size)",
+            profile.name()
+        ),
+        &["size", "plain[us]", "AIO-return", "AIO-suspend", "ULP-BUSYWAIT", "ULP-BLOCKING"],
+    );
+    for &size in &BUFFER_SIZES {
+        let iters = (64 * scale()).max(8).min(20_000_000 / size.max(1)).max(4);
+        let plain = workloads::owc_ns(OwcVariant::Plain, size, profile, io, iters);
+        let mut row = vec![human_size(size), format!("{:.2}", plain / 1_000.0)];
+        for v in &FIG_VARIANTS[1..] {
+            let ns = workloads::owc_ns(*v, size, profile, io, iters);
+            row.push(format!("{:.3}", ns / plain));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 8 — overlap ratios by the Intel MPI Benchmarks method.
+pub fn fig8(profile: ArchProfile) -> Table {
+    let io = IoModel::MEMORY_BANDWIDTH;
+    let mut t = Table::new(
+        &format!(
+            "Figure 8 [{}]: overlap ratio %% (paper: ULP > 70%% on Wallaby / > 80%% on Albireo; all AIO < 70%%)",
+            profile.name()
+        ),
+        &["size", "plain", "AIO-return", "AIO-suspend", "ULP-BUSYWAIT", "ULP-BLOCKING"],
+    );
+    // Overlap needs operations long enough to hide compute in; use the
+    // larger half of the sweep.
+    for &size in &BUFFER_SIZES[3..] {
+        let mut row = vec![human_size(size)];
+        for v in &FIG_VARIANTS {
+            let r = workloads::overlap(*v, size, profile, io);
+            row.push(format!("{:.1}", r.ratio));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Run one artifact, print it, and save its CSV.
+pub fn run_and_save(name: &str, table: Table) {
+    println!("{}", table.render());
+    let path = crate::report::results_dir().join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,189 @@
+//! `couple()` / `decouple()` / `yield_now()` — the paper's contribution.
+//!
+//! State model (paper §II, Fig. 3): a BLT is a KLT while its UC runs on its
+//! original KC ("coupled") and a ULT while its UC is scheduled by some other
+//! KC ("decoupled"). The full procedure, including both synchronization
+//! points, is the paper's Table I; the mapping here is:
+//!
+//! | Table I step | This module |
+//! |---|---|
+//! | Seq.1–2 `enqueue(UC₀,KC₀)`, `unblock(KC₀)` | `Deferred::CoupleRequest` executed by the host scheduler *after* the UC is saved (race point 1 resolved) |
+//! | Seq.3–4 `swap_ctx(UC₀,UCᵢ)` / `swap_ctx(TC₀,UC₀)` | [`couple`]'s `raw_switch` to the host + the TC idle loop's dispatch |
+//! | Seq.5 `system_call()` | user code, now on the original KC |
+//! | Seq.6–7 `enqueue(UC₀,KC₁)`, `swap_ctx(UC₀,TC₀)` | [`decouple`]'s `raw_switch` to the TC with `Deferred::Enqueue` (race point 2 resolved) |
+//! | Seq.8–9 `dequeue()` / `swap_ctx(UCᵢ,UC₀)` | the scheduler loop / direct `yield` switch |
+
+use crate::current::{
+    current_host, current_runtime, current_ulp, run_deferred, set_current_ulp, set_deferred,
+    Deferred,
+};
+use crate::error::UlpError;
+use crate::runtime::RuntimeInner;
+use crate::uc::{UcInner, UcKind};
+use std::sync::Arc;
+use ulp_fcontext::RawContext;
+
+/// The one context-switch primitive every transition uses: optionally
+/// record a deferred action, count the switch, swap, and drain whatever
+/// action the context that later resumes us left behind.
+///
+/// # Safety
+/// `save` must point to the running context's save slot; `target` must be a
+/// validly suspended context that no other thread can resume concurrently.
+pub(crate) unsafe fn raw_switch(
+    save: *mut RawContext,
+    target: RawContext,
+    deferred: Option<Deferred>,
+) {
+    if let Some(d) = deferred {
+        set_deferred(d);
+    }
+    if let Some(rt) = current_runtime() {
+        rt.stats.bump_context_switches();
+    }
+    ulp_fcontext::swap(&mut *save, target, 0);
+    run_deferred();
+}
+
+/// Install `uc` as the current ULP, reloading the emulated TLS register at
+/// the profiled architectural cost (UC↔UC switches, §V-B).
+pub(crate) fn install_ulp(rt: &Arc<RuntimeInner>, uc: &Arc<UcInner>) {
+    set_current_ulp(Some(uc.clone()));
+    if rt.config.tls_switch {
+        ulp_kernel::cost::spin_for(rt.kernel.profile().tls_load());
+        rt.stats.bump_tls_loads();
+    }
+    if rt.config.save_sigmask {
+        // ucontext-style: carry the UC's signal mask to the executing
+        // kernel context. This is the "non-negligible overhead" system
+        // call the paper's §VII warns about.
+        let mask = *uc.sigmask.lock();
+        let _ = rt
+            .kernel
+            .sys_sigprocmask(ulp_kernel::MaskHow::SetMask, mask);
+    }
+}
+
+/// Install `uc` without charging the TLS cost (TC↔UC switches are exempt).
+pub(crate) fn install_ulp_no_charge(uc: &Arc<UcInner>) {
+    set_current_ulp(Some(uc.clone()));
+}
+
+/// Detach the calling UC from its original kernel context and enter the
+/// scheduled pool: the BLT becomes a ULT (paper rule 3).
+///
+/// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
+/// already decoupled.
+pub fn decouple() -> Result<bool, UlpError> {
+    let rt = current_runtime().ok_or(UlpError::NoRuntime)?;
+    let me = current_ulp().ok_or(UlpError::NotAUlp)?;
+    if me.kind == UcKind::Scheduler {
+        return Err(UlpError::SchedulerCannotDecouple);
+    }
+    if !me.is_coupled() {
+        return Ok(false);
+    }
+    debug_assert!(
+        me.kc.is_current_thread(),
+        "coupled UC executing off its original KC"
+    );
+    crate::kc::ensure_tc(&me, &rt)?;
+    rt.stats.bump_decouples();
+    rt.tracer.record(crate::trace::Event::Decouple(me.id));
+    me.coupled.store(false, std::sync::atomic::Ordering::Release);
+    let target = unsafe { *me.kc.tc_ctx.get() };
+    unsafe {
+        // The enqueue is deferred: it runs on the TC only after our
+        // registers are saved — Table I race point 2.
+        raw_switch(me.ctx.get(), target, Some(Deferred::Enqueue(me.clone())));
+    }
+    // We are back: some scheduler KC picked us up. We now run as a ULT.
+    Ok(true)
+}
+
+/// Re-attach the calling UC to its original kernel context: the ULT becomes
+/// a KLT again (paper rule 4), after which system calls execute against the
+/// right kernel state.
+///
+/// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
+/// already coupled.
+pub fn couple() -> Result<bool, UlpError> {
+    let rt = current_runtime().ok_or(UlpError::NoRuntime)?;
+    let me = current_ulp().ok_or(UlpError::NotAUlp)?;
+    if me.is_coupled() {
+        return Ok(false);
+    }
+    // Running as a ULT: by construction we are hosted on a scheduler KC.
+    let host = current_host().ok_or(UlpError::NotAUlp)?;
+    rt.stats.bump_couples();
+    // Switching back into the scheduler's context is a UC↔UC switch: the
+    // host's TLS register is reloaded at cost.
+    install_ulp(&rt, &host);
+    let target = unsafe { *host.ctx.get() };
+    unsafe {
+        // The couple request is deferred: the host publishes us to our
+        // original KC only after our registers are saved — race point 1.
+        raw_switch(me.ctx.get(), target, Some(Deferred::CoupleRequest(me.clone())));
+    }
+    // We are back, resumed by our original KC's trampoline: we are a KLT.
+    debug_assert!(me.kc.is_current_thread());
+    me.coupled.store(true, std::sync::atomic::Ordering::Release);
+    rt.tracer.record(crate::trace::Event::Coupled(me.id));
+    // Safe point: deliverable signals of our own process run now that we
+    // are back on the kernel context that owns them.
+    crate::signals::safe_point();
+    Ok(true)
+}
+
+/// Cooperatively yield to the next runnable UC, if any (direct UC→UC
+/// switch, the paper's `swap_ctx(UC₀, UCᵢ)`). Returns `true` if a switch
+/// happened. Coupled BLTs and schedulers delegate to the OS scheduler.
+pub fn yield_now() -> bool {
+    let Some(rt) = current_runtime() else {
+        std::thread::yield_now();
+        return false;
+    };
+    let Some(me) = current_ulp() else {
+        std::thread::yield_now();
+        return false;
+    };
+    if me.kind == UcKind::Scheduler || me.is_coupled() {
+        // A KLT's yield is the kernel's business (Table IV's sched_yield
+        // rows); nothing user-level to do.
+        std::thread::yield_now();
+        return false;
+    }
+    let Some(next) = rt.runq.pop() else {
+        return false;
+    };
+    rt.stats.bump_yields();
+    rt.tracer.record(crate::trace::Event::Yield {
+        from: me.id,
+        to: next.id,
+    });
+    install_ulp(&rt, &next);
+    let target = unsafe { *next.ctx.get() };
+    unsafe {
+        raw_switch(me.ctx.get(), target, Some(Deferred::Enqueue(me.clone())));
+    }
+    true
+}
+
+/// Run `f` coupled with the original kernel context — the paper's
+/// "enclosing the system call(s) with `couple()` and `decouple()`" idiom
+/// (§V-B: "This is all that a user has to do"). Restores the previous
+/// coupling state afterwards: a UC that entered decoupled leaves decoupled.
+pub fn coupled_scope<R>(f: impl FnOnce() -> R) -> Result<R, UlpError> {
+    let transitioned = couple()?;
+    let result = f();
+    if transitioned {
+        decouple()?;
+    }
+    Ok(result)
+}
+
+/// Is the calling UC currently coupled with its original kernel context?
+/// `None` when not running inside a ULP.
+pub fn is_coupled() -> Option<bool> {
+    current_ulp().map(|u| u.is_coupled())
+}

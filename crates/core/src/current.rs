@@ -1,0 +1,230 @@
+//! Per-OS-thread runtime state and the deferred-action mechanism.
+//!
+//! ## The two race points of Table I
+//!
+//! The paper identifies two synchronization points in the couple/decouple
+//! procedure: a context saved by one KC must not be loaded by another KC
+//! until the save is complete (Seq. 3/4 and Seq. 8/9). The classic
+//! user-level-threading solution — used here — is to *defer publication*:
+//! the suspending context records what should happen to it (enqueue on the
+//! run queue, hand to a KC, terminate) in a thread-local slot, switches
+//! away, and the context that gains control on the same OS thread executes
+//! the action *after* the switch has completed. Since `ulp_ctx_swap` only
+//! transfers control after the full register file is on the suspended
+//! stack, the action — and hence any other KC's ability to resume the
+//! context — strictly follows the save.
+//!
+//! ## The emulated TLS register
+//!
+//! `CURRENT.ulp` doubles as the paper's TLS register (§V-B): a per-KC
+//! pointer to the ULP whose context is installed, switched on every UC↔UC
+//! transition and left alone on TC↔UC transitions.
+
+use crate::runtime::RuntimeInner;
+use crate::uc::UcInner;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// An action to perform on behalf of a context *after* it has been fully
+/// suspended.
+pub enum Deferred {
+    /// Make the UC schedulable: push it on the runtime's run queue
+    /// (decouple Seq. 6–9, and the self-requeue half of `yield`).
+    Enqueue(Arc<UcInner>),
+    /// Hand the UC to its original KC and wake it (couple Seq. 1–4).
+    CoupleRequest(Arc<UcInner>),
+    /// A sibling UC finished: drop its stack and release its slot on the KC.
+    TerminateSibling(Arc<UcInner>),
+}
+
+impl std::fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Deferred::Enqueue(u) => write!(f, "Enqueue({})", u.id),
+            Deferred::CoupleRequest(u) => write!(f, "CoupleRequest({})", u.id),
+            Deferred::TerminateSibling(u) => write!(f, "TerminateSibling({})", u.id),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ThreadState {
+    /// The runtime this OS thread belongs to (set on runtime threads and on
+    /// the thread that created the runtime).
+    rt: Option<Arc<RuntimeInner>>,
+    /// The ULP whose context is currently installed — the emulated TLS
+    /// register.
+    ulp: Option<Arc<UcInner>>,
+    /// On scheduler threads: the scheduler's own identity, i.e. where a
+    /// hosted UC must switch back to when it relinquishes the KC.
+    host: Option<Arc<UcInner>>,
+    /// The pending deferred action, executed right after the next switch.
+    deferred: Option<Deferred>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+/// Install the runtime on this OS thread.
+pub fn set_runtime(rt: Arc<RuntimeInner>) {
+    CURRENT.with(|c| c.borrow_mut().rt = Some(rt));
+}
+
+/// The runtime this OS thread belongs to.
+pub fn current_runtime() -> Option<Arc<RuntimeInner>> {
+    CURRENT.with(|c| c.borrow().rt.clone())
+}
+
+/// Load the emulated TLS register.
+pub fn current_ulp() -> Option<Arc<UcInner>> {
+    CURRENT.with(|c| c.borrow().ulp.clone())
+}
+
+/// Store the emulated TLS register (cost accounting is the switch code's
+/// responsibility).
+pub fn set_current_ulp(u: Option<Arc<UcInner>>) {
+    CURRENT.with(|c| c.borrow_mut().ulp = u);
+}
+
+/// The scheduler identity hosting UCs on this thread, if any.
+pub fn current_host() -> Option<Arc<UcInner>> {
+    CURRENT.with(|c| c.borrow().host.clone())
+}
+
+/// Mark this OS thread as a scheduler hosting UCs.
+pub fn set_host(u: Option<Arc<UcInner>>) {
+    CURRENT.with(|c| c.borrow_mut().host = u);
+}
+
+/// Record the action to run after the next context switch completes.
+/// Panics (debug) if an action is already pending — that would mean a
+/// context switched away without the successor draining the slot.
+pub fn set_deferred(d: Deferred) {
+    CURRENT.with(|c| {
+        let mut st = c.borrow_mut();
+        debug_assert!(
+            st.deferred.is_none(),
+            "deferred action overwritten: {:?}",
+            st.deferred
+        );
+        st.deferred = Some(d);
+    });
+}
+
+/// Execute the pending deferred action, if any. Called immediately after
+/// every context switch lands, and at the top of every fresh context.
+pub fn run_deferred() {
+    let action = CURRENT.with(|c| c.borrow_mut().deferred.take());
+    let Some(action) = action else { return };
+    match action {
+        Deferred::Enqueue(uc) => {
+            if let Some(rt) = uc.rt.upgrade() {
+                rt.runq.push(uc);
+            }
+        }
+        Deferred::CoupleRequest(uc) => {
+            if let Some(rt) = uc.rt.upgrade() {
+                rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
+            }
+            let kc = uc.kc.clone();
+            kc.pending.lock().push_back(uc);
+            kc.notify();
+        }
+        Deferred::TerminateSibling(uc) => {
+            // The sibling's context will never be resumed; its stack can be
+            // reclaimed. We are currently executing on the KC's trampoline
+            // stack, never on the sibling's.
+            let stack = uc.sib_stack.lock().take();
+            if let (Some(stack), Some(rt)) = (stack, uc.rt.upgrade()) {
+                rt.stack_pool.release(stack);
+            }
+            uc.kc
+                .sibling_count
+                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+            // The TC loop re-checks conditions right after running this, but
+            // wake anyway in case the primary's exit condition now holds on
+            // a blocked KC.
+            uc.kc.notify();
+        }
+    }
+}
+
+/// Test/diagnostic helper: is a deferred action pending on this thread?
+pub fn has_deferred() -> bool {
+    CURRENT.with(|c| c.borrow().deferred.is_some())
+}
+
+/// Clear all thread state (used when an OS thread leaves the runtime).
+pub fn clear_thread_state() {
+    CURRENT.with(|c| {
+        let mut st = c.borrow_mut();
+        debug_assert!(st.deferred.is_none(), "leaving runtime with pending deferred");
+        *st = ThreadState::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_state_is_empty_by_default() {
+        std::thread::spawn(|| {
+            assert!(current_runtime().is_none());
+            assert!(current_ulp().is_none());
+            assert!(current_host().is_none());
+            assert!(!has_deferred());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn run_deferred_without_action_is_noop() {
+        std::thread::spawn(|| {
+            run_deferred();
+            assert!(!has_deferred());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn deferred_enqueue_survives_dead_runtime() {
+        // A UC whose runtime is gone: the deferred enqueue must drop the
+        // UC silently instead of crashing (shutdown path).
+        std::thread::spawn(|| {
+            let uc = crate::runqueue::tests::dummy_uc(42);
+            set_deferred(Deferred::Enqueue(uc));
+            assert!(has_deferred());
+            run_deferred(); // rt.upgrade() fails -> dropped
+            assert!(!has_deferred());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn clear_thread_state_resets_everything() {
+        std::thread::spawn(|| {
+            let uc = crate::runqueue::tests::dummy_uc(1);
+            set_current_ulp(Some(uc));
+            clear_thread_state();
+            assert!(current_ulp().is_none());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn deferred_debug_formats() {
+        let uc = crate::runqueue::tests::dummy_uc(3);
+        let d = Deferred::Enqueue(uc.clone());
+        assert!(format!("{d:?}").contains("Enqueue(blt:3)"));
+        let d = Deferred::CoupleRequest(uc.clone());
+        assert!(format!("{d:?}").contains("CoupleRequest"));
+        let d = Deferred::TerminateSibling(uc);
+        assert!(format!("{d:?}").contains("TerminateSibling"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Runtime error types.
+
+use std::fmt;
+
+/// Errors surfaced by the BLT/ULP runtime itself (kernel errors travel as
+/// [`ulp_kernel::Errno`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UlpError {
+    /// An operation that requires running inside a ULP was called from a
+    /// plain OS thread.
+    NotAUlp,
+    /// An operation that requires a runtime was called outside of one.
+    NoRuntime,
+    /// `decouple()` on a scheduler BLT (schedulers never decouple).
+    SchedulerCannotDecouple,
+    /// A system call was issued from a user context that is not coupled
+    /// with its original kernel context — the paper's consistency violation.
+    ConsistencyViolation {
+        /// The ULP that issued the call.
+        ulp: u64,
+        /// The system call name.
+        call: &'static str,
+    },
+    /// Stack allocation failed.
+    StackAlloc(String),
+    /// The runtime is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for UlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UlpError::NotAUlp => write!(f, "not running inside a ULP"),
+            UlpError::NoRuntime => write!(f, "no ULP runtime on this thread"),
+            UlpError::SchedulerCannotDecouple => {
+                write!(f, "scheduler BLTs cannot decouple")
+            }
+            UlpError::ConsistencyViolation { ulp, call } => write!(
+                f,
+                "system-call consistency violation: ulp {ulp} called {call} while decoupled"
+            ),
+            UlpError::StackAlloc(e) => write!(f, "stack allocation failed: {e}"),
+            UlpError::ShuttingDown => write!(f, "runtime is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for UlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(UlpError::NotAUlp.to_string().contains("ULP"));
+        let v = UlpError::ConsistencyViolation {
+            ulp: 3,
+            call: "getpid",
+        };
+        assert!(v.to_string().contains("getpid"));
+        assert!(v.to_string().contains('3'));
+    }
+}

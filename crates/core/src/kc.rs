@@ -1,0 +1,115 @@
+//! The trampoline context (TC) and the kernel context's idle loop.
+//!
+//! §V-A: when a KLT decouples, its KC cannot idle on the UC's own stack —
+//! if the UC migrates and runs elsewhere, the stack under the idling KC
+//! changes and neither side can safely resume (the paper's Fig. 4). The TC
+//! is a separate, very small context on which the KC idles; its stack is
+//! touched by nobody else, so coupling back is always safe (Fig. 5).
+//!
+//! The idle loop implements rules 5–7 of the paper's BLT summary:
+//! an idle KC blocks or busy-waits; an idle KC given a UC wakes and runs it;
+//! a UC terminates coupled with its original KC.
+
+use crate::couple::{install_ulp_no_charge, raw_switch};
+use crate::current::run_deferred;
+use crate::error::UlpError;
+use crate::runtime::RuntimeInner;
+use crate::uc::UcInner;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use ulp_fcontext::{prepare, TRAMPOLINE_STACK_SIZE};
+
+/// Boot record handed to a fresh trampoline context. Owned by the
+/// `KcShared` so it outlives every activation of the TC.
+#[derive(Debug)]
+pub struct TcBoot {
+    pub kc: Arc<crate::uc::KcShared>,
+    pub rt: Arc<RuntimeInner>,
+    /// The BLT's primary UC — resumed one last time when the primary has
+    /// finished and all siblings have drained, so the OS thread can exit.
+    pub primary: Arc<UcInner>,
+}
+
+/// Create the trampoline context for `primary`'s original KC if it does not
+/// exist yet. Must be called on the KC's own thread (it is: only `decouple`
+/// and the spawn path call it).
+pub fn ensure_tc(primary: &Arc<UcInner>, rt: &Arc<RuntimeInner>) -> Result<(), UlpError> {
+    let kc = &primary.kc;
+    if kc.tc_started.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    debug_assert!(kc.is_current_thread(), "TC created off-thread");
+    let stack = rt
+        .stack_pool
+        .acquire(TRAMPOLINE_STACK_SIZE)
+        .map_err(|e| UlpError::StackAlloc(e.to_string()))?;
+    let boot = Box::new(TcBoot {
+        kc: kc.clone(),
+        rt: rt.clone(),
+        primary: primary.clone(),
+    });
+    let boot_ptr = &*boot as *const TcBoot as *mut u8;
+    let ctx = unsafe { prepare(stack.top(), tc_entry, boot_ptr) };
+    unsafe {
+        *kc.tc_ctx.get() = ctx;
+    }
+    *kc.tc_stack.lock() = Some(stack);
+    *kc.tc_boot.lock() = Some(boot);
+    kc.tc_started.store(true, Ordering::Release);
+    Ok(())
+}
+
+extern "C" fn tc_entry(_arg: usize, data: *mut u8) -> ! {
+    // The context that switched here (the decoupling UC) deferred its own
+    // enqueue; publish it now that its registers are safely on its stack.
+    run_deferred();
+    let boot: &TcBoot = unsafe { &*(data as *const TcBoot) };
+    tc_loop(boot)
+}
+
+/// The KC idle loop (paper Fig. 5 right half + §V-B Table I, KC₀ column).
+fn tc_loop(boot: &TcBoot) -> ! {
+    let kc = &boot.kc;
+    let rt = &boot.rt;
+    loop {
+        // Eventcount read precedes the work checks (park protocol).
+        let seen = kc.signal_version();
+
+        // Rule 6: an idle KC given a UC starts running it. Couple requests
+        // are served strictly in arrival order.
+        let next = kc.pending.lock().pop_front();
+        if let Some(uc) = next {
+            // TC→UC switch: the TLS register is restored but NOT reloaded
+            // at cost — the §V-B exemption ("excepting the context switch
+            // between TC and UC").
+            install_ulp_no_charge(&uc);
+            let target = unsafe { *uc.ctx.get() };
+            unsafe { raw_switch(kc.tc_ctx.get(), target, None) };
+            // Back on the TC: the UC decoupled again (its enqueue ran via
+            // the deferred hook inside raw_switch) or a sibling terminated.
+            continue;
+        }
+
+        // Rule 7 (extended for siblings): once the primary has finished and
+        // no sibling still needs this KC, hand control back to the primary
+        // context so the OS thread can exit.
+        if kc.primary_waiting.load(Ordering::Acquire)
+            && kc.sibling_count.load(Ordering::Acquire) == 0
+        {
+            let primary = boot.primary.clone();
+            install_ulp_no_charge(&primary);
+            let target = unsafe { *primary.ctx.get() };
+            unsafe { raw_switch(kc.tc_ctx.get(), target, None) };
+            // The primary exits the thread; we are never resumed. If we
+            // ever are (defensive), fall through and idle again.
+            continue;
+        }
+
+        // Rule 5: idle by busy-waiting or blocking.
+        if kc.park(seen) {
+            rt.stats.bump_kc_blocks();
+            rt.tracer
+                .record(crate::trace::Event::KcBlocked(boot.primary.id));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # ulp-core — Bi-Level Threads and User-Level Processes
+//!
+//! A from-scratch Rust implementation of the execution model from
+//! *"An Implementation of User-Level Processes using Address Space
+//! Sharing"* (Hori, Gerofi, Ishikawa — IPDPS Workshops 2020):
+//!
+//! - **Bi-Level Threads (BLT)**: every spawned task starts as a
+//!   kernel-level thread (an OS thread — its *original kernel context*),
+//!   can [`decouple`] into a user-level thread scheduled cooperatively by
+//!   scheduler kernel contexts, and can [`couple()`] back whenever it needs
+//!   its own kernel identity.
+//! - **User-Level Processes (ULP)**: each BLT carries a private
+//!   simulated-kernel *process* (PID, FD table, signal state, cwd) and a
+//!   private TLS region ([`UlpLocal`]), making it a process-like execution
+//!   entity that is context-switched at user level in tens of nanoseconds.
+//! - **System-call consistency**: system calls resolve kernel state through
+//!   the *executing OS thread*, so a decoupled UC observes foreign kernel
+//!   state. Enclosing system calls in [`coupled_scope`] (the paper's
+//!   `couple()` … `decouple()` idiom) restores consistency; the runtime can
+//!   record or trap violations ([`ConsistencyMode`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ulp_core::{Runtime, coupled_scope, decouple, sys};
+//!
+//! let rt = Runtime::builder().schedulers(1).build();
+//! let blt = rt.spawn("worker", || {
+//!     // Starts as a KLT: system calls are trivially consistent.
+//!     let my_pid = sys::getpid().unwrap();
+//!     // Become a ULT: cheap cooperative scheduling from here on.
+//!     decouple().unwrap();
+//!     // Blocking system calls go back to the original kernel context.
+//!     let pid_again = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+//!     assert_eq!(my_pid, pid_again);
+//!     0
+//! });
+//! assert_eq!(blt.wait(), 0);
+//! ```
+
+pub mod couple;
+pub mod current;
+pub mod error;
+pub mod kc;
+pub mod runqueue;
+pub mod runtime;
+pub mod signals;
+pub mod spawn;
+pub mod stats;
+pub mod sync;
+pub mod sys;
+pub mod tls;
+pub mod trace;
+pub mod uc;
+
+pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
+pub use error::UlpError;
+pub use runqueue::SchedPolicy;
+pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
+pub use spawn::{BltHandle, SiblingHandle, PANIC_EXIT_STATUS};
+pub use stats::{Stats, StatsSnapshot};
+pub use sync::{UlpBarrier, UlpEvent, UlpMutex, UlpMutexGuard};
+pub use trace::{Event as TraceEvent, TraceRecord, Tracer};
+pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
+pub use tls::{errno, set_errno, UlpLocal};
+pub use uc::{BltId, IdlePolicy, UcKind, UcState};
+
+// Re-export the substrate types users interact with through the veneers.
+pub use ulp_fcontext;
+pub use ulp_kernel;
+
+/// Identity of the calling ULP: (runtime-local id, simulated PID, kind),
+/// or `None` on a thread that is not running a ULP.
+pub fn self_info() -> Option<(BltId, ulp_kernel::Pid, UcKind)> {
+    current::current_ulp().map(|u| (u.id, u.pid, u.kind))
+}
+
+/// The calling ULP's runtime-local id.
+pub fn self_id() -> Option<BltId> {
+    current::current_ulp().map(|u| u.id)
+}

@@ -1,0 +1,436 @@
+//! The ULP runtime: configuration, scheduler kernel contexts, lifecycle.
+//!
+//! A runtime owns the simulated kernel, the run queue of decoupled UCs and
+//! `NCprog` scheduler threads (the "BLTs to act as a scheduler" of the
+//! paper's Fig. 6 usage scenario). The paper's topology equations are
+//! exposed as [`Topology`]:
+//!
+//! > NC = NCprog + NCsyscall           (1)
+//! > NB = NCprog × (O + 1)             (2)
+
+use crate::couple::{install_ulp, raw_switch};
+use crate::current::{clear_thread_state, set_current_ulp, set_host, set_runtime};
+use crate::error::UlpError;
+use crate::runqueue::RunQueue;
+use crate::stats::Stats;
+use crate::tls::TlsStorage;
+use crate::uc::{BltId, IdlePolicy, KcShared, OneShot, UcInner, UcKind, UcState};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use ulp_fcontext::{RawContext, StackPool};
+use ulp_kernel::process::Pid;
+use ulp_kernel::{ArchProfile, Kernel, KernelRef};
+
+/// What the runtime does when a system call is issued from a decoupled UC
+/// (a consistency violation in the paper's sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// Let it happen silently — the call simply observes the wrong kernel
+    /// state, exactly as a naive ULP system would.
+    Off,
+    /// Let it happen but record it in the audit log (default).
+    #[default]
+    Record,
+    /// Panic at the call site (for debugging user code).
+    Panic,
+}
+
+/// The paper's CPU-core topology (Fig. 6 and equations (1)/(2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// CPU cores running user program UCs (`NCprog`) — the number of
+    /// scheduler BLTs the runtime starts.
+    pub nc_prog: usize,
+    /// CPU cores dedicated to system-call execution (`NCsyscall`) — where
+    /// decoupled original KCs are parked (advisory pinning).
+    pub nc_syscall: usize,
+    /// Over-subscription magnification `O`.
+    pub oversubscription: usize,
+}
+
+impl Topology {
+    /// Total cores, `NC = NCprog + NCsyscall` (eq. 1).
+    pub fn total_cores(&self) -> usize {
+        self.nc_prog + self.nc_syscall
+    }
+
+    /// Number of worker BLTs, `NB = NCprog × (O + 1)` (eq. 2).
+    pub fn n_blts(&self) -> usize {
+        self.nc_prog * (self.oversubscription + 1)
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Scheduler threads (`NCprog`).
+    pub n_schedulers: usize,
+    /// How idle kernel contexts wait (BUSYWAIT / BLOCKING, §VI-C).
+    pub idle_policy: IdlePolicy,
+    /// Architecture cost model for the simulated kernel and TLS register.
+    pub profile: ArchProfile,
+    /// Emulate the per-switch TLS register reload (§V-B). Disabling it
+    /// models the ULT libraries that "ignore TLS variables" — an ablation.
+    pub tls_switch: bool,
+    /// Create each BLT's trampoline context at spawn instead of lazily at
+    /// the first `decouple()` (§V-A: "may be created at the time of a KLT
+    /// creation, or in a lazy way") — an ablation.
+    pub eager_tc: bool,
+    /// Usable stack size for sibling UCs.
+    pub sibling_stack_size: usize,
+    /// Try to pin scheduler threads to distinct cores.
+    pub pin_schedulers: bool,
+    /// FlexSC-style dedicated system-call cores (paper Fig. 6 / §VII):
+    /// original KCs of worker BLTs are pinned round-robin onto these cores,
+    /// keeping system-call cache footprints off the program cores. Ignored
+    /// (with graceful degradation) when the host lacks the cores.
+    pub syscall_cores: Option<Vec<usize>>,
+    /// Consistency-violation handling for `sys::*` veneers.
+    pub consistency: ConsistencyMode,
+    /// Run-queue discipline: one global FIFO (the prototype's shape) or
+    /// per-scheduler deques with work stealing.
+    pub sched_policy: crate::runqueue::SchedPolicy,
+    /// ucontext-style switching (§VII): install each UC's signal mask on
+    /// the executing kernel context at every UC↔UC switch, paying a system
+    /// call. `false` (default) reproduces fcontext behavior — signals are
+    /// observed by whatever KC happens to run, the paper's caveat.
+    pub save_sigmask: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            n_schedulers: 1,
+            idle_policy: IdlePolicy::Blocking,
+            profile: ArchProfile::Native,
+            tls_switch: true,
+            eager_tc: false,
+            sibling_stack_size: 256 * 1024,
+            pin_schedulers: false,
+            syscall_cores: None,
+            consistency: ConsistencyMode::Record,
+            sched_policy: crate::runqueue::SchedPolicy::GlobalFifo,
+            save_sigmask: false,
+        }
+    }
+}
+
+/// Builder for [`Runtime`].
+#[derive(Default)]
+pub struct RuntimeBuilder {
+    config: Config,
+    kernel: Option<KernelRef>,
+}
+
+impl RuntimeBuilder {
+    pub fn schedulers(mut self, n: usize) -> Self {
+        self.config.n_schedulers = n.max(1);
+        self
+    }
+    pub fn idle_policy(mut self, p: IdlePolicy) -> Self {
+        self.config.idle_policy = p;
+        self
+    }
+    pub fn profile(mut self, p: ArchProfile) -> Self {
+        self.config.profile = p;
+        self
+    }
+    pub fn tls_switch(mut self, on: bool) -> Self {
+        self.config.tls_switch = on;
+        self
+    }
+    pub fn eager_tc(mut self, on: bool) -> Self {
+        self.config.eager_tc = on;
+        self
+    }
+    pub fn sibling_stack_size(mut self, bytes: usize) -> Self {
+        self.config.sibling_stack_size = bytes;
+        self
+    }
+    pub fn pin_schedulers(mut self, on: bool) -> Self {
+        self.config.pin_schedulers = on;
+        self
+    }
+    pub fn syscall_cores(mut self, cores: Vec<usize>) -> Self {
+        self.config.syscall_cores = Some(cores);
+        self
+    }
+    pub fn consistency(mut self, m: ConsistencyMode) -> Self {
+        self.config.consistency = m;
+        self
+    }
+    pub fn save_sigmask(mut self, on: bool) -> Self {
+        self.config.save_sigmask = on;
+        self
+    }
+    pub fn sched_policy(mut self, p: crate::runqueue::SchedPolicy) -> Self {
+        self.config.sched_policy = p;
+        self
+    }
+    /// Use an existing simulated kernel (shared by several runtimes in
+    /// tests). Its profile takes precedence over [`RuntimeBuilder::profile`].
+    pub fn kernel(mut self, k: KernelRef) -> Self {
+        self.kernel = Some(k);
+        self
+    }
+
+    pub fn build(self) -> Runtime {
+        Runtime::from_parts(self.config, self.kernel)
+    }
+}
+
+/// Shared innards of a [`Runtime`].
+pub struct RuntimeInner {
+    pub kernel: KernelRef,
+    pub config: Config,
+    pub runq: RunQueue,
+    pub stats: Stats,
+    pub stack_pool: StackPool,
+    /// The PiP-root-equivalent process every BLT is a child of.
+    pub root_pid: Pid,
+    pub shutdown: AtomicBool,
+    pub(crate) schedulers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) audit: Mutex<Vec<UlpError>>,
+    /// Scheduling-event tracer (disabled by default).
+    pub tracer: crate::trace::Tracer,
+    next_id: AtomicU64,
+}
+
+impl RuntimeInner {
+    pub(crate) fn alloc_id(&self) -> BltId {
+        BltId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Record a consistency violation per the configured mode.
+    pub(crate) fn report_violation(&self, v: UlpError) {
+        match self.config.consistency {
+            ConsistencyMode::Off => {}
+            ConsistencyMode::Record => self.audit.lock().push(v),
+            ConsistencyMode::Panic => panic!("{v}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeInner")
+            .field("config", &self.config)
+            .field("root_pid", &self.root_pid)
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The BLT/ULP runtime. Dropping it shuts the schedulers down (after the
+/// run queue drains); call [`crate::BltHandle::wait`] on every spawned BLT
+/// first.
+#[derive(Debug)]
+pub struct Runtime {
+    pub(crate) inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Default-configured runtime (1 scheduler, BLOCKING idle, native
+    /// profile).
+    pub fn new() -> Runtime {
+        RuntimeBuilder::default().build()
+    }
+
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    fn from_parts(config: Config, kernel: Option<KernelRef>) -> Runtime {
+        let kernel = kernel.unwrap_or_else(|| Kernel::new(config.profile));
+        let root_pid = Pid(1);
+        let inner = Arc::new(RuntimeInner {
+            runq: RunQueue::with_policy(config.idle_policy, config.sched_policy),
+            stats: Stats::default(),
+            stack_pool: StackPool::new(128),
+            root_pid,
+            shutdown: AtomicBool::new(false),
+            schedulers: Mutex::new(Vec::new()),
+            audit: Mutex::new(Vec::new()),
+            tracer: crate::trace::Tracer::default(),
+            next_id: AtomicU64::new(1),
+            kernel,
+            config,
+        });
+        // The creating thread acts as the PiP root: bind it so `sys::*`
+        // works from the root, too.
+        inner.kernel.bind_current(root_pid);
+        set_runtime(inner.clone());
+        let mut handles = Vec::new();
+        for idx in 0..inner.config.n_schedulers {
+            let rt = inner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ulp-sched-{idx}"))
+                    .spawn(move || scheduler_main(rt, idx))
+                    .expect("spawn scheduler thread"),
+            );
+        }
+        *inner.schedulers.lock() = handles;
+        Runtime { inner }
+    }
+
+    /// The simulated kernel.
+    pub fn kernel(&self) -> &KernelRef {
+        &self.inner.kernel
+    }
+
+    /// The root process every BLT is a child of (the PiP-root identity).
+    pub fn root_pid(&self) -> Pid {
+        self.inner.root_pid
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Recorded consistency violations (`ConsistencyMode::Record`).
+    pub fn violations(&self) -> Vec<UlpError> {
+        self.inner.audit.lock().clone()
+    }
+
+    /// Start recording scheduling events (see [`crate::trace`]).
+    pub fn trace_enable(&self) {
+        self.inner.tracer.enable();
+    }
+
+    /// Stop recording scheduling events.
+    pub fn trace_disable(&self) {
+        self.inner.tracer.disable();
+    }
+
+    /// Drain recorded scheduling events.
+    pub fn take_trace(&self) -> Vec<crate::trace::TraceRecord> {
+        self.inner.tracer.take()
+    }
+
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<RuntimeInner> {
+        &self.inner
+    }
+
+    /// Stop the schedulers once the run queue drains and join them.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Nudge sleepers.
+        for _ in 0..self.inner.config.n_schedulers {
+            self.inner.runq.wake_all();
+        }
+        let handles: Vec<_> = self.inner.schedulers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Best-effort pinning of the calling thread to a CPU core.
+pub(crate) fn pin_current_thread(core: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(core % libc::CPU_SETSIZE as usize, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+        false
+    }
+}
+
+/// Scheduler thread body: a scheduler BLT in the paper's Fig. 6 — a KC
+/// bound to a program core, running decoupled UCs from the shared queue.
+fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
+    if rt.config.pin_schedulers {
+        let _ = pin_current_thread(idx);
+    }
+    let pid = rt
+        .kernel
+        .spawn_process(Some(rt.root_pid), &format!("ulp-sched-{idx}"));
+    rt.kernel.bind_current(pid);
+
+    let kc = Arc::new(KcShared::new(rt.config.idle_policy));
+    kc.thread_id
+        .set(std::thread::current().id())
+        .expect("fresh kc");
+    let identity = Arc::new(UcInner {
+        id: rt.alloc_id(),
+        name: format!("sched-{idx}"),
+        kind: UcKind::Scheduler,
+        ctx: UnsafeCell::new(RawContext::null()),
+        kc,
+        pid,
+        coupled: AtomicBool::new(true),
+        state: AtomicU8::new(UcState::Running as u8),
+        tls: TlsStorage::new(),
+        rt: Arc::downgrade(&rt),
+        sib_stack: Mutex::new(None),
+        sib_entry: Mutex::new(None),
+        sib_result: Arc::new(OneShot::new()),
+            sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+    });
+    set_runtime(rt.clone());
+    set_host(Some(identity.clone()));
+    set_current_ulp(Some(identity.clone()));
+    rt.runq.register_local();
+
+    loop {
+        if rt.shutdown.load(Ordering::Acquire) && rt.runq.is_empty() {
+            break;
+        }
+        let seen = rt.runq.version();
+        match rt.runq.pop() {
+            Some(uc) => run_uc(&rt, &identity, uc),
+            None => rt.runq.park(seen),
+        }
+    }
+
+    rt.runq.unregister_local();
+    let _ = rt.kernel.exit_process(pid, 0);
+    rt.kernel.unbind_current();
+    clear_thread_state();
+}
+
+/// Dispatch one decoupled UC on this scheduler KC (Table I, KC₁ column).
+fn run_uc(rt: &Arc<RuntimeInner>, host: &Arc<UcInner>, uc: Arc<UcInner>) {
+    rt.stats.bump_dispatches();
+    rt.tracer.record(crate::trace::Event::Dispatch {
+        uc: uc.id,
+        scheduler: host.id,
+    });
+    // UC↔UC switch: load the worker's TLS register at cost.
+    install_ulp(rt, &uc);
+    let target = unsafe { *uc.ctx.get() };
+    unsafe {
+        raw_switch(host.ctx.get(), target, None);
+    }
+    // The UC relinquished this KC (couple request or yield chain ended in a
+    // couple); by protocol the switch back installed our identity again.
+    debug_assert!(
+        crate::current::current_ulp().map(|u| u.id) == Some(host.id),
+        "scheduler resumed without its identity installed"
+    );
+}

@@ -1,0 +1,317 @@
+//! Spawning BLTs (and sibling UCs) and waiting for their termination.
+//!
+//! Paper rules 1, 2 and 7 (§II): "A BLT is created as a KLT consisting of a
+//! pair of UC and KC"; "the KC created at the beginning is called original
+//! KC"; "when a UC terminates, it is coupled with its original KC to become
+//! a KLT and the KLT terminates". Concretely: every BLT gets a fresh OS
+//! thread whose native context *is* the BLT's UC; the user function starts
+//! executing immediately as a KLT; the spawner `wait()`s for it just like
+//! `wait(2)` on a forked PiP process.
+
+use crate::couple::couple;
+use crate::current::{run_deferred, set_current_ulp, set_runtime, Deferred};
+use crate::error::UlpError;
+use crate::runtime::{Runtime, RuntimeInner};
+use crate::tls::TlsStorage;
+use crate::uc::{BltId, KcShared, OneShot, UcInner, UcKind, UcState, UlpFn};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use ulp_fcontext::prepare;
+use ulp_kernel::process::Pid;
+
+/// Exit status reported when a ULP's body panics (mirroring a crashed
+/// process).
+pub const PANIC_EXIT_STATUS: i32 = 101;
+
+/// Handle to a spawned BLT — the parent's side of `wait()`.
+#[derive(Debug)]
+pub struct BltHandle {
+    pub(crate) uc: Arc<UcInner>,
+    pub(crate) pid: Pid,
+    /// False for thread-mode BLTs sharing another process's identity.
+    pub(crate) owns_identity: bool,
+    pub(crate) rt: Weak<RuntimeInner>,
+    join: Mutex<Option<JoinHandle<i32>>>,
+}
+
+impl BltHandle {
+    /// The BLT's simulated-kernel process ID.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The BLT's runtime-local id.
+    pub fn id(&self) -> BltId {
+        self.uc.id
+    }
+
+    /// Wait for the BLT to terminate (as a KLT coupled with its original
+    /// KC), reap its simulated-kernel zombie, and return its exit status —
+    /// the analogue of `wait(2)` on a PiP child process (§II).
+    ///
+    /// # Panics
+    /// If called twice.
+    pub fn wait(&self) -> i32 {
+        let handle = self
+            .join
+            .lock()
+            .take()
+            .expect("BltHandle::wait called twice");
+        let status = handle.join().unwrap_or(PANIC_EXIT_STATUS);
+        if self.owns_identity {
+            if let Some(rt) = self.rt.upgrade() {
+                // Reap the zombie like the PiP root would.
+                let _ = rt.kernel.try_waitpid(rt.root_pid, Some(self.pid));
+            }
+        }
+        status
+    }
+
+    /// Has the BLT terminated? (Non-blocking.)
+    pub fn is_finished(&self) -> bool {
+        self.uc.state() == UcState::Terminated
+    }
+
+    /// Spawn a sibling UC sharing this BLT's original KC — the paper's M:N
+    /// extension (§VII): "UCs having the same original KC access the same
+    /// information in an OS kernel", so the sibling carries the same PID.
+    pub fn spawn_sibling<F>(&self, name: &str, f: F) -> Result<SiblingHandle, UlpError>
+    where
+        F: FnOnce() -> i32 + Send + 'static,
+    {
+        let rt = self.rt.upgrade().ok_or(UlpError::ShuttingDown)?;
+        spawn_sibling_inner(&rt, &self.uc, name, Box::new(f))
+    }
+}
+
+/// Handle to a sibling UC.
+#[derive(Debug)]
+pub struct SiblingHandle {
+    pub(crate) uc: Arc<UcInner>,
+    result: Arc<OneShot>,
+}
+
+impl SiblingHandle {
+    pub fn id(&self) -> BltId {
+        self.uc.id
+    }
+
+    /// The shared kernel identity (same PID as the primary).
+    pub fn pid(&self) -> Pid {
+        self.uc.pid
+    }
+
+    /// Block until the sibling terminates; returns its exit status.
+    pub fn wait(&self) -> i32 {
+        self.result.wait()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.result.try_get().is_some()
+    }
+}
+
+impl Runtime {
+    /// Spawn a BLT running `f`. The BLT starts as a KLT: `f` executes on a
+    /// fresh OS thread (the original KC) until it calls
+    /// [`crate::decouple`].
+    pub fn spawn<F>(&self, name: &str, f: F) -> BltHandle
+    where
+        F: FnOnce() -> i32 + Send + 'static,
+    {
+        self.spawn_inner(name, None, Box::new(f))
+    }
+
+    /// Spawn a BLT that *shares* an existing kernel identity instead of
+    /// getting a fresh process — PiP's thread mode, where tasks look like
+    /// PThreads to the kernel (same PID, shared FD table) while still being
+    /// privatized at user level (§IV).
+    pub fn spawn_with_identity<F>(&self, name: &str, pid: Pid, f: F) -> BltHandle
+    where
+        F: FnOnce() -> i32 + Send + 'static,
+    {
+        self.spawn_inner(name, Some(pid), Box::new(f))
+    }
+
+    fn spawn_inner(&self, name: &str, pid: Option<Pid>, f: UlpFn) -> BltHandle {
+        let rt = self.inner().clone();
+        rt.stats.bump_blts();
+        let shared_identity = pid.is_some();
+        let pid = pid.unwrap_or_else(|| rt.kernel.spawn_process(Some(rt.root_pid), name));
+        let kc = Arc::new(KcShared::new(rt.config.idle_policy));
+        let uc = Arc::new(UcInner {
+            id: rt.alloc_id(),
+            name: name.to_string(),
+            kind: UcKind::Primary,
+            ctx: UnsafeCell::new(ulp_fcontext::RawContext::null()),
+            kc,
+            pid,
+            coupled: AtomicBool::new(true),
+            state: AtomicU8::new(UcState::Created as u8),
+            tls: TlsStorage::new(),
+            rt: Arc::downgrade(&rt),
+            sib_stack: Mutex::new(None),
+            sib_entry: Mutex::new(None),
+            sib_result: Arc::new(OneShot::new()),
+            sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+        });
+
+        rt.tracer.record(crate::trace::Event::Spawn(uc.id));
+        let thread_uc = uc.clone();
+        let thread_rt = rt.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("ulp-{name}"))
+            .spawn(move || worker_main(thread_rt, thread_uc, f, !shared_identity))
+            .expect("spawn BLT thread");
+
+        BltHandle {
+            uc,
+            pid,
+            owns_identity: !shared_identity,
+            rt: Arc::downgrade(&rt),
+            join: Mutex::new(Some(join)),
+        }
+    }
+}
+
+/// Body of a BLT's original kernel context. `owns_identity` is false for
+/// thread-mode BLTs sharing another process's identity: those must not
+/// exit the shared process when they finish.
+fn worker_main(rt: Arc<RuntimeInner>, uc: Arc<UcInner>, f: UlpFn, owns_identity: bool) -> i32 {
+    // Fig. 6 topology: park original KCs on the dedicated syscall cores so
+    // their kernel work stays off the program cores (FlexSC-like, §VII).
+    if let Some(cores) = &rt.config.syscall_cores {
+        if !cores.is_empty() {
+            let core = cores[uc.id.0 as usize % cores.len()];
+            let _ = crate::runtime::pin_current_thread(core);
+        }
+    }
+    // This OS thread *is* the original KC: adopt the kernel identity.
+    rt.kernel.bind_current(uc.pid);
+    uc.kc
+        .thread_id
+        .set(std::thread::current().id())
+        .expect("fresh KC");
+    set_runtime(rt.clone());
+    set_current_ulp(Some(uc.clone()));
+    uc.set_state(UcState::Running);
+
+    if rt.config.eager_tc {
+        let _ = crate::kc::ensure_tc(&uc, &rt);
+    }
+
+    // Run the user function; a panic terminates the ULP like a crashed
+    // process, not the whole program.
+    let status = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(code) => code,
+        Err(_) => PANIC_EXIT_STATUS,
+    };
+
+    // Rule 7: terminate as a KLT coupled with the original KC.
+    let _ = couple();
+    debug_assert!(uc.kc.is_current_thread());
+
+    // If sibling UCs still depend on this KC, serve them from the TC until
+    // they drain, then take the final exit path.
+    if uc.kc.sibling_count.load(Ordering::Acquire) > 0 {
+        if crate::kc::ensure_tc(&uc, &rt).is_ok() {
+            uc.kc.primary_waiting.store(true, Ordering::Release);
+            uc.kc.notify();
+            let target = unsafe { *uc.kc.tc_ctx.get() };
+            unsafe {
+                crate::couple::raw_switch(uc.ctx.get(), target, None);
+            }
+            // Resumed by the TC once sibling_count hit zero.
+        }
+    }
+
+    uc.set_state(UcState::Terminated);
+    rt.tracer.record(crate::trace::Event::Terminate(uc.id));
+    if owns_identity {
+        let _ = rt.kernel.exit_process(uc.pid, status);
+    }
+    rt.kernel.unbind_current();
+    crate::current::clear_thread_state();
+    status
+}
+
+fn spawn_sibling_inner(
+    rt: &Arc<RuntimeInner>,
+    primary: &Arc<UcInner>,
+    name: &str,
+    f: UlpFn,
+) -> Result<SiblingHandle, UlpError> {
+    rt.stats.bump_siblings();
+    let stack = rt
+        .stack_pool
+        .acquire(rt.config.sibling_stack_size)
+        .map_err(|e| UlpError::StackAlloc(e.to_string()))?;
+    let result = Arc::new(OneShot::new());
+    let uc = Arc::new(UcInner {
+        id: rt.alloc_id(),
+        name: name.to_string(),
+        kind: UcKind::Sibling,
+        ctx: UnsafeCell::new(ulp_fcontext::RawContext::null()),
+        kc: primary.kc.clone(),
+        pid: primary.pid,
+        coupled: AtomicBool::new(false),
+        state: AtomicU8::new(UcState::Created as u8),
+        tls: TlsStorage::new(),
+        rt: Arc::downgrade(rt),
+        sib_stack: Mutex::new(None),
+        sib_entry: Mutex::new(Some(f)),
+        sib_result: result.clone(),
+        sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+    });
+    // Bootstrap the context: entry receives a raw Arc it adopts.
+    let raw = Arc::into_raw(uc.clone()) as *mut u8;
+    let ctx = unsafe { prepare(stack.top(), sibling_entry, raw) };
+    unsafe {
+        *uc.ctx.get() = ctx;
+    }
+    *uc.sib_stack.lock() = Some(stack);
+    primary.kc.sibling_count.fetch_add(1, Ordering::AcqRel);
+    // Siblings are born decoupled, straight into the scheduled pool.
+    rt.runq.push(uc.clone());
+    Ok(SiblingHandle { uc, result })
+}
+
+extern "C" fn sibling_entry(_arg: usize, data: *mut u8) -> ! {
+    // Whoever dispatched us deferred an action (e.g. a yield's
+    // self-enqueue); drain it before anything else.
+    run_deferred();
+    let uc: Arc<UcInner> = unsafe { Arc::from_raw(data as *const UcInner) };
+    uc.set_state(UcState::Running);
+    let f = uc
+        .sib_entry
+        .lock()
+        .take()
+        .expect("sibling dispatched twice");
+    let status = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(code) => code,
+        Err(_) => PANIC_EXIT_STATUS,
+    };
+
+    // Terminate coupled with the (shared) original KC, per rule 7.
+    let _ = couple();
+    debug_assert!(uc.kc.is_current_thread());
+    uc.set_state(UcState::Terminated);
+    uc.sib_result.set(status);
+
+    // Hand the KC back to the trampoline; it reclaims our stack and
+    // decrements the sibling count only after this context is fully saved
+    // (nobody will ever resume it).
+    let kc = uc.kc.clone();
+    let save_slot = uc.ctx.get();
+    let deferred = Deferred::TerminateSibling(uc.clone());
+    drop(uc);
+    let target = unsafe { *kc.tc_ctx.get() };
+    unsafe {
+        crate::couple::raw_switch(save_slot, target, Some(deferred));
+    }
+    unreachable!("terminated sibling resumed");
+}

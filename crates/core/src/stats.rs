@@ -1,0 +1,146 @@
+//! Runtime counters.
+//!
+//! Every hot-path event the paper's evaluation reasons about (context
+//! switches, TLS-register loads, couple/decouple round trips) is counted
+//! with relaxed atomics so tests and benchmarks can assert *how many* of
+//! each operation a scenario performed — e.g. Table V's claim that one
+//! couple+decouple pair costs four context switches and two TLS loads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated runtime event counters (all relaxed; diagnostics only).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// User-level context switches performed (every `swap` the runtime does).
+    pub context_switches: AtomicU64,
+    /// Emulated TLS-register loads (exempting TC↔UC switches, §V-B).
+    pub tls_loads: AtomicU64,
+    /// Completed `couple()` transitions (ULT → KLT).
+    pub couples: AtomicU64,
+    /// Completed `decouple()` transitions (KLT → ULT).
+    pub decouples: AtomicU64,
+    /// `yield_now` calls that actually switched to another UC.
+    pub yields: AtomicU64,
+    /// BLTs spawned (primaries).
+    pub blts_spawned: AtomicU64,
+    /// Sibling UCs spawned (M:N extension).
+    pub siblings_spawned: AtomicU64,
+    /// UCs picked up by scheduler threads.
+    pub scheduler_dispatches: AtomicU64,
+    /// Times a kernel context went to sleep while idling (BLOCKING policy).
+    pub kc_blocks: AtomicU64,
+}
+
+/// Incrementers, named after the field they bump.
+impl Stats {
+    #[inline]
+    pub fn bump_context_switches(&self) {
+        self.context_switches.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_tls_loads(&self) {
+        self.tls_loads.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_couples(&self) {
+        self.couples.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_decouples(&self) {
+        self.decouples.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_yields(&self) {
+        self.yields.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_blts(&self) {
+        self.blts_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_siblings(&self) {
+        self.siblings_spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_dispatches(&self) {
+        self.scheduler_dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn bump_kc_blocks(&self) {
+        self.kc_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            context_switches: self.context_switches.load(Ordering::Relaxed),
+            tls_loads: self.tls_loads.load(Ordering::Relaxed),
+            couples: self.couples.load(Ordering::Relaxed),
+            decouples: self.decouples.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            blts_spawned: self.blts_spawned.load(Ordering::Relaxed),
+            siblings_spawned: self.siblings_spawned.load(Ordering::Relaxed),
+            scheduler_dispatches: self.scheduler_dispatches.load(Ordering::Relaxed),
+            kc_blocks: self.kc_blocks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub context_switches: u64,
+    pub tls_loads: u64,
+    pub couples: u64,
+    pub decouples: u64,
+    pub yields: u64,
+    pub blts_spawned: u64,
+    pub siblings_spawned: u64,
+    pub scheduler_dispatches: u64,
+    pub kc_blocks: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference against an earlier snapshot (for per-scenario accounting).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            context_switches: self.context_switches - earlier.context_switches,
+            tls_loads: self.tls_loads - earlier.tls_loads,
+            couples: self.couples - earlier.couples,
+            decouples: self.decouples - earlier.decouples,
+            yields: self.yields - earlier.yields,
+            blts_spawned: self.blts_spawned - earlier.blts_spawned,
+            siblings_spawned: self.siblings_spawned - earlier.siblings_spawned,
+            scheduler_dispatches: self.scheduler_dispatches - earlier.scheduler_dispatches,
+            kc_blocks: self.kc_blocks - earlier.kc_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.bump_couples();
+        s.bump_couples();
+        s.bump_tls_loads();
+        let snap = s.snapshot();
+        assert_eq!(snap.couples, 2);
+        assert_eq!(snap.tls_loads, 1);
+        assert_eq!(snap.decouples, 0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = Stats::default();
+        s.bump_yields();
+        let a = s.snapshot();
+        s.bump_yields();
+        s.bump_yields();
+        let b = s.snapshot();
+        assert_eq!(b.delta(&a).yields, 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! ULP-aware synchronization primitives.
+//!
+//! An OS mutex or condition variable blocks the **kernel context**, which
+//! under a ULT runtime stalls every other user context that scheduler
+//! would have run — the very problem the paper exists to solve for system
+//! calls. These primitives block *cooperatively*: a waiting ULP yields to
+//! the next runnable UC (falling back to an OS yield when it is a KLT or
+//! nothing is runnable), so waiting never steals a scheduler.
+//!
+//! All three are usable from plain OS threads too (they degrade to
+//! yield-spin), which keeps mixed KLT/ULT programs correct.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One cooperative back-off step.
+#[inline]
+fn stall() {
+    if !crate::couple::yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// A cooperative spin mutex: contended lock attempts yield to other ULPs
+/// instead of blocking the kernel context.
+///
+/// Not reentrant; poisoning-free (a panicking ULP releases via the guard's
+/// unwind-run `Drop`, exactly like `parking_lot`).
+#[derive(Debug, Default)]
+pub struct UlpMutex<T> {
+    locked: AtomicBool,
+    value: std::cell::UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for UlpMutex<T> {}
+unsafe impl<T: Send> Sync for UlpMutex<T> {}
+
+impl<T> UlpMutex<T> {
+    pub const fn new(value: T) -> UlpMutex<T> {
+        UlpMutex {
+            locked: AtomicBool::new(false),
+            value: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire, yielding cooperatively while contended.
+    pub fn lock(&self) -> UlpMutexGuard<'_, T> {
+        loop {
+            if let Some(g) = self.try_lock() {
+                return g;
+            }
+            stall();
+        }
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_lock(&self) -> Option<UlpMutexGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(UlpMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard for [`UlpMutex`].
+pub struct UlpMutexGuard<'a, T> {
+    mutex: &'a UlpMutex<T>,
+}
+
+impl<T> std::ops::Deref for UlpMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for UlpMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for UlpMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A one-shot (resettable) event: waiters yield until `set()`.
+#[derive(Debug, Default)]
+pub struct UlpEvent {
+    state: AtomicU32,
+}
+
+impl UlpEvent {
+    pub const fn new() -> UlpEvent {
+        UlpEvent {
+            state: AtomicU32::new(0),
+        }
+    }
+
+    /// Signal the event; wakes all current and future waiters.
+    pub fn set(&self) {
+        self.state.store(1, Ordering::Release);
+    }
+
+    /// Clear the event back to unsignaled.
+    pub fn reset(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == 1
+    }
+
+    /// Cooperatively wait until set.
+    pub fn wait(&self) {
+        while !self.is_set() {
+            stall();
+        }
+    }
+
+    /// Wait with a deadline; `false` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_set() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            stall();
+        }
+        true
+    }
+}
+
+/// A reusable (sense-reversing) barrier whose waiters yield to other ULPs.
+/// Functionally identical to `ulp_pip::PipBarrier`, provided here so the
+/// core crate is self-contained for non-PiP users.
+#[derive(Debug)]
+pub struct UlpBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl UlpBarrier {
+    pub fn new(parties: usize) -> UlpBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        UlpBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wait for all parties; returns `true` on the releasing (leader) ULP.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                stall();
+            }
+            false
+        }
+    }
+
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(UlpMutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = UlpMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_into_inner() {
+        let m = UlpMutex::new(vec![1, 2, 3]);
+        *m.lock() = vec![9];
+        assert_eq!(m.into_inner(), vec![9]);
+    }
+
+    #[test]
+    fn event_set_wakes_waiter() {
+        let e = Arc::new(UlpEvent::new());
+        let e2 = e.clone();
+        let t = std::thread::spawn(move || e2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!e.is_set());
+        e.set();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn event_timeout_expires() {
+        let e = UlpEvent::new();
+        let t = Instant::now();
+        assert!(!e.wait_timeout(Duration::from_millis(20)));
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        e.set();
+        assert!(e.wait_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn event_reset_rearms() {
+        let e = UlpEvent::new();
+        e.set();
+        e.wait();
+        e.reset();
+        assert!(!e.is_set());
+    }
+
+    #[test]
+    fn barrier_has_single_leader() {
+        let b = Arc::new(UlpBarrier::new(3));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let b = b.clone();
+                let l = leaders.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        if b.wait() {
+                            l.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Acquire), 20);
+    }
+
+    #[test]
+    fn primitives_work_inside_ulps() {
+        use crate::{decouple, Runtime};
+        let rt = Runtime::builder().schedulers(1).build();
+        let m = Arc::new(UlpMutex::new(0u32));
+        let b = Arc::new(UlpBarrier::new(3));
+        let e = Arc::new(UlpEvent::new());
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let (m, b, e) = (m.clone(), b.clone(), e.clone());
+                rt.spawn(&format!("sync{i}"), move || {
+                    decouple().unwrap();
+                    *m.lock() += 1;
+                    // All three must arrive despite sharing one scheduler:
+                    // only cooperative waiting can get them through.
+                    b.wait();
+                    if i == 0 {
+                        e.set();
+                    } else {
+                        e.wait();
+                    }
+                    0
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait(), 0);
+        }
+        assert_eq!(*m.lock(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! System-call veneers for ULPs.
+//!
+//! Each veneer forwards to the simulated kernel **through the calling OS
+//! thread's binding** — i.e. through whatever kernel context currently runs
+//! this UC. That reproduces the paper's hazard precisely (§I): from a
+//! decoupled UC, `sys::getpid()` returns the *scheduler's* PID and
+//! `sys::write()` hits the *scheduler's* FD table. The veneers therefore
+//! run a consistency gate first: depending on
+//! [`crate::runtime::ConsistencyMode`] a violation is ignored, recorded in
+//! the runtime's audit log, or turned into a panic. The correct idiom is
+//! the paper's: enclose the calls in [`crate::coupled_scope`] (or a manual
+//! [`crate::couple()`] / [`crate::decouple()`] pair).
+//!
+//! The veneers also maintain the per-ULP [`crate::tls::errno`], as libc
+//! would.
+
+use crate::current::{current_runtime, current_ulp};
+use crate::error::UlpError;
+use crate::tls::set_errno;
+use std::sync::Arc;
+use std::time::Duration;
+use ulp_kernel::fd::Fd;
+use ulp_kernel::fs::{DirEntry, FileStat, OpenFlags, Whence};
+use ulp_kernel::process::Pid;
+use ulp_kernel::signal::{MaskHow, SigSet, Signal};
+use ulp_kernel::{Aiocb, Errno, KResult, KernelRef};
+
+fn kernel() -> KResult<KernelRef> {
+    current_runtime()
+        .map(|rt| rt.kernel.clone())
+        .ok_or(Errno::ESRCH)
+}
+
+/// The consistency gate: flag system calls issued while decoupled.
+fn gate(call: &'static str) {
+    let Some(rt) = current_runtime() else { return };
+    let Some(me) = current_ulp() else { return };
+    if me.kc.is_current_thread() {
+        return;
+    }
+    rt.report_violation(UlpError::ConsistencyViolation { ulp: me.id.0, call });
+}
+
+fn finish<T>(r: KResult<T>) -> KResult<T> {
+    match &r {
+        Ok(_) => set_errno(0),
+        Err(e) => set_errno(e.as_raw()),
+    }
+    r
+}
+
+/// `getpid()` — Table V's microbenchmark. From a decoupled UC this returns
+/// the scheduling KC's PID, which is exactly the inconsistency the paper
+/// describes.
+pub fn getpid() -> KResult<Pid> {
+    gate("getpid");
+    finish(kernel()?.sys_getpid())
+}
+
+/// `getppid()`.
+pub fn getppid() -> KResult<Pid> {
+    gate("getppid");
+    finish(kernel()?.sys_getppid())
+}
+
+/// `getcwd()`.
+pub fn getcwd() -> KResult<String> {
+    gate("getcwd");
+    finish(kernel()?.sys_getcwd())
+}
+
+/// `chdir(2)`.
+pub fn chdir(path: &str) -> KResult<()> {
+    gate("chdir");
+    finish(kernel()?.sys_chdir(path))
+}
+
+/// `open(2)`.
+pub fn open(path: &str, flags: OpenFlags) -> KResult<Fd> {
+    gate("open");
+    finish(kernel()?.sys_open(path, flags))
+}
+
+/// `close(2)`.
+pub fn close(fd: Fd) -> KResult<()> {
+    gate("close");
+    finish(kernel()?.sys_close(fd))
+}
+
+/// `read(2)` — blocking on pipes: the calling kernel context sleeps.
+pub fn read(fd: Fd, buf: &mut [u8]) -> KResult<usize> {
+    gate("read");
+    finish(kernel()?.sys_read(fd, buf))
+}
+
+/// `write(2)`.
+pub fn write(fd: Fd, data: &[u8]) -> KResult<usize> {
+    gate("write");
+    finish(kernel()?.sys_write(fd, data))
+}
+
+/// `pread(2)`.
+pub fn pread(fd: Fd, offset: u64, buf: &mut [u8]) -> KResult<usize> {
+    gate("pread");
+    finish(kernel()?.sys_pread(fd, offset, buf))
+}
+
+/// `pwrite(2)`.
+pub fn pwrite(fd: Fd, offset: u64, data: &[u8]) -> KResult<usize> {
+    gate("pwrite");
+    finish(kernel()?.sys_pwrite(fd, offset, data))
+}
+
+/// `lseek(2)`.
+pub fn lseek(fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
+    gate("lseek");
+    finish(kernel()?.sys_lseek(fd, offset, whence))
+}
+
+/// `ftruncate(2)`.
+pub fn ftruncate(fd: Fd, len: u64) -> KResult<()> {
+    gate("ftruncate");
+    finish(kernel()?.sys_ftruncate(fd, len))
+}
+
+/// `dup(2)`.
+pub fn dup(fd: Fd) -> KResult<Fd> {
+    gate("dup");
+    finish(kernel()?.sys_dup(fd))
+}
+
+/// `dup2(2)`.
+pub fn dup2(fd: Fd, newfd: Fd) -> KResult<Fd> {
+    gate("dup2");
+    finish(kernel()?.sys_dup2(fd, newfd))
+}
+
+/// `pipe(2)`.
+pub fn pipe() -> KResult<(Fd, Fd)> {
+    gate("pipe");
+    finish(kernel()?.sys_pipe())
+}
+
+/// `unlink(2)`.
+pub fn unlink(path: &str) -> KResult<()> {
+    gate("unlink");
+    finish(kernel()?.sys_unlink(path))
+}
+
+/// `mkdir(2)`.
+pub fn mkdir(path: &str) -> KResult<()> {
+    gate("mkdir");
+    finish(kernel()?.sys_mkdir(path))
+}
+
+/// `rmdir(2)`.
+pub fn rmdir(path: &str) -> KResult<()> {
+    gate("rmdir");
+    finish(kernel()?.sys_rmdir(path))
+}
+
+/// `link(2)`.
+pub fn link(existing: &str, new: &str) -> KResult<()> {
+    gate("link");
+    finish(kernel()?.sys_link(existing, new))
+}
+
+/// `rename(2)`.
+pub fn rename(from: &str, to: &str) -> KResult<()> {
+    gate("rename");
+    finish(kernel()?.sys_rename(from, to))
+}
+
+/// `stat(2)`.
+pub fn stat(path: &str) -> KResult<FileStat> {
+    gate("stat");
+    finish(kernel()?.sys_stat(path))
+}
+
+/// `readdir(3)`.
+pub fn readdir(path: &str) -> KResult<Vec<DirEntry>> {
+    gate("readdir");
+    finish(kernel()?.sys_readdir(path))
+}
+
+/// `kill(2)`.
+pub fn kill(target: Pid, sig: Signal) -> KResult<()> {
+    gate("kill");
+    finish(kernel()?.sys_kill(target, sig))
+}
+
+/// `sigprocmask(2)`. The resulting mask is also recorded on the calling
+/// UC so `Config::save_sigmask` (ucontext-style switching) can carry it
+/// across kernel contexts.
+pub fn sigprocmask(how: MaskHow, set: SigSet) -> KResult<SigSet> {
+    gate("sigprocmask");
+    let k = kernel()?;
+    let old = finish(k.sys_sigprocmask(how, set))?;
+    if let Some(me) = current_ulp() {
+        // Re-read the effective mask from the executing process.
+        if let Ok((_, proc)) = k_current(&k) {
+            *me.sigmask.lock() = proc.signals.mask();
+        }
+    }
+    Ok(old)
+}
+
+fn k_current(
+    k: &KernelRef,
+) -> KResult<(Pid, std::sync::Arc<ulp_kernel::Process>)> {
+    let pid = k.current_pid().ok_or(Errno::ESRCH)?;
+    let proc = k.process(pid).ok_or(Errno::ESRCH)?;
+    Ok((pid, proc))
+}
+
+/// `sigpending(2)`.
+pub fn sigpending() -> KResult<SigSet> {
+    gate("sigpending");
+    finish(kernel()?.sys_sigpending())
+}
+
+/// Dequeue one deliverable signal for the bound process.
+pub fn take_signal() -> KResult<Option<Signal>> {
+    gate("take_signal");
+    finish(kernel()?.sys_take_signal())
+}
+
+/// `nanosleep(2)` — a blocking system call that parks the kernel context.
+pub fn sleep(d: Duration) -> KResult<()> {
+    gate("nanosleep");
+    finish(kernel()?.sys_sleep(d))
+}
+
+/// `aio_write(3)` (submission is a library call in glibc, so no gate: the
+/// helper thread performs the actual system call under the submitter's
+/// identity).
+pub fn aio_write(fd: Fd, offset: u64, data: Arc<Vec<u8>>) -> KResult<Aiocb> {
+    finish(kernel()?.aio_write(fd, offset, data))
+}
+
+/// `aio_read(3)`.
+pub fn aio_read(fd: Fd, offset: u64, len: usize) -> KResult<Aiocb> {
+    finish(kernel()?.aio_read(fd, offset, len))
+}
+
+/// `waitpid(2)` for the calling ULP's children.
+pub fn waitpid(child: Option<Pid>) -> KResult<(Pid, i32)> {
+    gate("waitpid");
+    let k = kernel()?;
+    let me = k.sys_getpid()?;
+    finish(k.waitpid(me, child))
+}

@@ -1,0 +1,190 @@
+//! Runtime event tracing.
+//!
+//! A bounded ring of timestamped scheduling events (spawn, dispatch,
+//! decouple, couple request/completion, yield, termination, KC blocking).
+//! Tests use it to assert *orderings* the Table-I protocol guarantees —
+//! e.g. a UC's couple request is always published after its previous
+//! dispatch — and users get a debugging story for "why is my ULP not
+//! running". Disabled by default; enabling costs one atomic load per event
+//! site plus a short mutex hold when on.
+
+use crate::uc::BltId;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A BLT was spawned (as a KLT).
+    Spawn(BltId),
+    /// A scheduler KC dispatched a decoupled UC.
+    Dispatch { uc: BltId, scheduler: BltId },
+    /// A UC decoupled from its original KC.
+    Decouple(BltId),
+    /// A UC's couple request was published to its original KC.
+    CoupleRequest(BltId),
+    /// A UC resumed on its original KC (couple completed).
+    Coupled(BltId),
+    /// A direct UC→UC yield switch.
+    Yield { from: BltId, to: BltId },
+    /// A UC terminated.
+    Terminate(BltId),
+    /// An idle KC went to sleep (BLOCKING/Adaptive).
+    KcBlocked(BltId),
+}
+
+/// One trace record: nanoseconds since the tracer was enabled + the event
+/// + the OS thread it happened on.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub at_ns: u64,
+    pub event: Event,
+    pub thread: std::thread::ThreadId,
+}
+
+/// A bounded, lock-guarded event ring.
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch_ns: AtomicU64,
+    start: Instant,
+    ring: Mutex<VecDeque<TraceRecord>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.ring.lock().len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            epoch_ns: AtomicU64::new(0),
+            start: Instant::now(),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            capacity: capacity.max(16),
+        }
+    }
+
+    /// Start recording (clears previous contents).
+    pub fn enable(&self) {
+        self.ring.lock().clear();
+        self.epoch_ns
+            .store(self.start.elapsed().as_nanos() as u64, Ordering::Release);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (contents are kept until the next [`Tracer::enable`]
+    /// or [`Tracer::take`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event (cheap no-op when disabled).
+    #[inline]
+    pub fn record(&self, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let at_ns = (self.start.elapsed().as_nanos() as u64)
+            .saturating_sub(self.epoch_ns.load(Ordering::Acquire));
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TraceRecord {
+            at_ns,
+            event,
+            thread: std::thread::current().id(),
+        });
+    }
+
+    /// Drain the recorded events.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        self.ring.lock().drain(..).collect()
+    }
+
+    /// Render as human-readable lines.
+    pub fn render(records: &[TraceRecord]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in records {
+            let _ = writeln!(out, "{:>12} ns  {:?}", r.at_ns, r.event);
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(16);
+        t.record(Event::Spawn(BltId(1)));
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let t = Tracer::new(16);
+        t.enable();
+        t.record(Event::Spawn(BltId(1)));
+        t.record(Event::Decouple(BltId(1)));
+        let recs = t.take();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].event, Event::Spawn(BltId(1)));
+        assert_eq!(recs[1].event, Event::Decouple(BltId(1)));
+        assert!(recs[0].at_ns <= recs[1].at_ns);
+    }
+
+    #[test]
+    fn ring_drops_oldest_at_capacity() {
+        let t = Tracer::new(16); // min capacity is 16
+        t.enable();
+        for i in 0..20 {
+            t.record(Event::Spawn(BltId(i)));
+        }
+        let recs = t.take();
+        assert_eq!(recs.len(), 16);
+        assert_eq!(recs[0].event, Event::Spawn(BltId(4)), "oldest dropped");
+    }
+
+    #[test]
+    fn enable_clears_previous_run() {
+        let t = Tracer::new(16);
+        t.enable();
+        t.record(Event::Spawn(BltId(1)));
+        t.enable();
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let t = Tracer::new(16);
+        t.enable();
+        t.record(Event::Terminate(BltId(9)));
+        let s = Tracer::render(&t.take());
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("Terminate"));
+    }
+}

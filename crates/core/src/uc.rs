@@ -1,0 +1,364 @@
+//! User contexts (UC) and kernel-context control blocks (KC).
+//!
+//! Terminology follows the paper's Fig. 1/2 decomposition:
+//!
+//! - a **KC** (kernel context) is "the reference for accessing resources
+//!   maintained by an OS kernel" — here, an OS thread plus its bound
+//!   simulated-kernel process;
+//! - a **UC** (user context) is the register file + stack of a computation;
+//! - a **BLT** is a pair of the two that can be decoupled at runtime;
+//! - a **TC** (trampoline context) is the small extra context a KC idles on
+//!   while its UC is away (Fig. 5), solving the busy-stack problem of Fig. 4.
+//!
+//! A *primary* UC is an OS thread's native context: the BLT starts life as a
+//! KLT with the user function running directly on the spawned thread, and
+//! the first `decouple()` turns that very context into a schedulable ULT.
+//! *Sibling* UCs (the §VII M:N extension) run on their own allocated stacks
+//! and share the primary's original KC — and therefore its kernel identity.
+
+use crate::runtime::RuntimeInner;
+use crate::tls::TlsStorage;
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::thread::ThreadId;
+use std::time::Duration;
+use ulp_fcontext::{RawContext, Stack};
+use ulp_kernel::process::Pid;
+use ulp_kernel::{futex_wait_timeout, futex_wake};
+
+/// Identifier of a BLT / UC within one runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BltId(pub u64);
+
+impl std::fmt::Display for BltId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blt:{}", self.0)
+    }
+}
+
+/// What flavor of user context this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UcKind {
+    /// A BLT's main UC, living on its OS thread's native stack.
+    Primary,
+    /// An extra UC sharing a primary's original KC (M:N extension, §VII).
+    Sibling,
+    /// A scheduler BLT's UC (never decouples).
+    Scheduler,
+}
+
+/// Lifecycle state of a UC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UcState {
+    Created = 0,
+    Running = 1,
+    Terminated = 2,
+}
+
+/// How an idle kernel context waits (paper §VI-C: BUSYWAIT vs BLOCKING).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IdlePolicy {
+    /// Spin with `std::hint::spin_loop` — lower latency, burns a core.
+    BusyWait,
+    /// Sleep on a futex — higher couple latency (two extra system calls per
+    /// round trip), no CPU burn. The default, as in the paper's discussion
+    /// of the latency/power trade-off (§VII).
+    #[default]
+    Blocking,
+    /// The paper's future-work knob, implemented: busy-wait while the KC
+    /// has been idle only briefly, fall back to futex-blocking after a
+    /// bounded spin streak — "determine the way of blocking in an automatic
+    /// way according to the application's behavior" (§VII). Latency close
+    /// to BUSYWAIT under load, power close to BLOCKING when idle.
+    Adaptive,
+}
+
+/// Consecutive fruitless park() calls before an Adaptive KC gives up
+/// spinning and blocks.
+pub const ADAPTIVE_SPIN_STREAK: u32 = 64;
+
+/// The state a BLT's original kernel context shares with its UCs.
+#[derive(Debug)]
+pub struct KcShared {
+    /// The OS thread acting as this kernel context (set at thread start).
+    pub thread_id: OnceLock<ThreadId>,
+    pub idle_policy: IdlePolicy,
+    /// UCs that called `couple()` and wait to run on this KC.
+    pub pending: Mutex<VecDeque<Arc<UcInner>>>,
+    /// Eventcount for waking the idle loop (futex word under BLOCKING).
+    pub signal: AtomicU32,
+    /// The trampoline context's suspended state.
+    pub tc_ctx: UnsafeCell<RawContext>,
+    /// The trampoline's (small) stack; `None` until the TC is created.
+    pub tc_stack: Mutex<Option<Stack>>,
+    /// Whether the TC has been bootstrapped.
+    pub tc_started: AtomicBool,
+    /// Keeps the TC's boot record alive while the TC may run.
+    pub tc_boot: Mutex<Option<Box<crate::kc::TcBoot>>>,
+    /// Live sibling UCs whose original KC is this one.
+    pub sibling_count: AtomicUsize,
+    /// The primary finished and is parked until siblings drain.
+    pub primary_waiting: AtomicBool,
+    /// Consecutive fruitless parks (Adaptive policy bookkeeping).
+    pub idle_streak: AtomicU32,
+}
+
+// tc_ctx is only touched by the KC's own thread and by contexts executing on
+// that thread; the pending queue and signal are the cross-thread interface.
+unsafe impl Send for KcShared {}
+unsafe impl Sync for KcShared {}
+
+impl KcShared {
+    pub fn new(idle_policy: IdlePolicy) -> KcShared {
+        KcShared {
+            thread_id: OnceLock::new(),
+            idle_policy,
+            pending: Mutex::new(VecDeque::new()),
+            signal: AtomicU32::new(0),
+            tc_ctx: UnsafeCell::new(RawContext::null()),
+            tc_stack: Mutex::new(None),
+            tc_started: AtomicBool::new(false),
+            tc_boot: Mutex::new(None),
+            sibling_count: AtomicUsize::new(0),
+            primary_waiting: AtomicBool::new(false),
+            idle_streak: AtomicU32::new(0),
+        }
+    }
+
+    /// Is the calling OS thread this kernel context?
+    #[inline]
+    pub fn is_current_thread(&self) -> bool {
+        self.thread_id.get() == Some(&std::thread::current().id())
+    }
+
+    /// Publish an event (couple request, sibling termination) and wake the
+    /// idle loop if it sleeps.
+    #[inline]
+    pub fn notify(&self) {
+        self.signal.fetch_add(1, Ordering::Release);
+        match self.idle_policy {
+            IdlePolicy::Blocking => {
+                futex_wake(&self.signal, i32::MAX);
+            }
+            IdlePolicy::Adaptive => {
+                // Reset the spin streak; wake in case the KC already gave
+                // up spinning.
+                self.idle_streak.store(0, Ordering::Release);
+                futex_wake(&self.signal, i32::MAX);
+            }
+            IdlePolicy::BusyWait => {}
+        }
+    }
+
+    /// Current eventcount version; read *before* checking for work.
+    #[inline]
+    pub fn signal_version(&self) -> u32 {
+        self.signal.load(Ordering::Acquire)
+    }
+
+    /// Idle once: spin briefly (BUSYWAIT) or sleep until `signal` moves past
+    /// `seen` (BLOCKING). Returns whether the KC actually blocked.
+    pub fn park(&self, seen: u32) -> bool {
+        match self.idle_policy {
+            IdlePolicy::BusyWait => {
+                for _ in 0..64 {
+                    std::hint::spin_loop();
+                }
+                // On hosts with fewer cores than spinning KCs, a pure spin
+                // would stall handoffs for a whole scheduling quantum; a
+                // yield keeps busy-wait semantics (no futex sleep) while
+                // letting the peer run. On the paper's dedicated cores this
+                // is a no-op (no runnable peer on the core).
+                std::thread::yield_now();
+                false
+            }
+            IdlePolicy::Blocking => {
+                // Bounded wait: robust against lost wakeups by re-checking
+                // at the caller's loop top.
+                futex_wait_timeout(&self.signal, seen, Duration::from_millis(50));
+                true
+            }
+            IdlePolicy::Adaptive => {
+                let streak = self.idle_streak.fetch_add(1, Ordering::AcqRel);
+                if streak < ADAPTIVE_SPIN_STREAK {
+                    for _ in 0..64 {
+                        std::hint::spin_loop();
+                    }
+                    std::thread::yield_now();
+                    false
+                } else {
+                    futex_wait_timeout(&self.signal, seen, Duration::from_millis(50));
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// One-shot result cell used by sibling handles.
+#[derive(Debug, Default)]
+pub struct OneShot {
+    value: Mutex<Option<i32>>,
+    ready: Condvar,
+}
+
+impl OneShot {
+    pub fn new() -> OneShot {
+        OneShot::default()
+    }
+
+    pub fn set(&self, v: i32) {
+        *self.value.lock() = Some(v);
+        self.ready.notify_all();
+    }
+
+    pub fn wait(&self) -> i32 {
+        let mut guard = self.value.lock();
+        while guard.is_none() {
+            self.ready.wait(&mut guard);
+        }
+        guard.expect("checked above")
+    }
+
+    pub fn try_get(&self) -> Option<i32> {
+        *self.value.lock()
+    }
+}
+
+/// Closure type a BLT or sibling executes; the i32 is the exit status the
+/// parent observes through `wait()`, mirroring `wait(2)` for PiP processes.
+pub type UlpFn = Box<dyn FnOnce() -> i32 + Send + 'static>;
+
+/// The shared core of a user context.
+pub struct UcInner {
+    pub id: BltId,
+    pub name: String,
+    pub kind: UcKind,
+    /// This UC's suspended register state (valid only while suspended;
+    /// guarded by the runtime's ownership protocol: a UC is either in
+    /// exactly one queue, pending on exactly one KC, or running on exactly
+    /// one thread).
+    pub ctx: UnsafeCell<RawContext>,
+    /// The original kernel context ("the KC which was used to create the
+    /// KLT in the beginning", §II).
+    pub kc: Arc<KcShared>,
+    /// The simulated-kernel process identity carried by the original KC.
+    pub pid: Pid,
+    /// Whether the UC currently runs as a KLT on its original KC.
+    pub coupled: AtomicBool,
+    pub state: AtomicU8,
+    /// Per-ULP thread-local storage (the privatized TLS region of §V-B).
+    pub tls: TlsStorage,
+    pub rt: Weak<RuntimeInner>,
+    /// Sibling-only: the allocated stack (primaries use the thread stack).
+    pub sib_stack: Mutex<Option<Stack>>,
+    /// Sibling-only: the entry closure, taken at first dispatch.
+    pub sib_entry: Mutex<Option<UlpFn>>,
+    /// Sibling-only: exit status for `SiblingHandle::wait`.
+    pub sib_result: Arc<OneShot>,
+    /// The signal mask this UC believes it has (§VII): under the default
+    /// fcontext-style switching the mask is NOT installed on the executing
+    /// kernel context, reproducing the paper's signaling caveat; with
+    /// `Config::save_sigmask` (ucontext-style) it is installed on every
+    /// UC↔UC switch at the cost of a system call.
+    pub sigmask: Mutex<ulp_kernel::SigSet>,
+}
+
+unsafe impl Send for UcInner {}
+unsafe impl Sync for UcInner {}
+
+impl UcInner {
+    pub fn state(&self) -> UcState {
+        match self.state.load(Ordering::Acquire) {
+            0 => UcState::Created,
+            1 => UcState::Running,
+            _ => UcState::Terminated,
+        }
+    }
+
+    pub fn set_state(&self, s: UcState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn is_coupled(&self) -> bool {
+        self.coupled.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for UcInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UcInner")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("pid", &self.pid)
+            .field("coupled", &self.is_coupled())
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kc_notify_bumps_version() {
+        let kc = KcShared::new(IdlePolicy::BusyWait);
+        let v0 = kc.signal_version();
+        kc.notify();
+        assert_eq!(kc.signal_version(), v0 + 1);
+    }
+
+    #[test]
+    fn kc_thread_identity() {
+        let kc = KcShared::new(IdlePolicy::BusyWait);
+        assert!(!kc.is_current_thread(), "unset id matches no thread");
+        kc.thread_id.set(std::thread::current().id()).unwrap();
+        assert!(kc.is_current_thread());
+        let kc = Arc::new(kc);
+        let kc2 = kc.clone();
+        std::thread::spawn(move || assert!(!kc2.is_current_thread()))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn busywait_park_does_not_block() {
+        let kc = KcShared::new(IdlePolicy::BusyWait);
+        let v = kc.signal_version();
+        assert!(!kc.park(v));
+    }
+
+    #[test]
+    fn blocking_park_wakes_on_notify() {
+        let kc = Arc::new(KcShared::new(IdlePolicy::Blocking));
+        let kc2 = kc.clone();
+        let t = std::thread::spawn(move || {
+            let v = kc2.signal_version();
+            // May block up to the bounded timeout, but notify should cut it
+            // short.
+            kc2.park(v);
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        kc.notify();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let cell = Arc::new(OneShot::new());
+        assert_eq!(cell.try_get(), None);
+        let c2 = cell.clone();
+        let t = std::thread::spawn(move || c2.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        cell.set(9);
+        assert_eq!(t.join().unwrap(), 9);
+        assert_eq!(cell.try_get(), Some(9));
+    }
+}

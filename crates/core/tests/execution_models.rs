@@ -1,0 +1,117 @@
+//! The paper's Fig. 3: BLT can express every thread execution model —
+//! 1:1 (all coupled), N:1 (many UCs on one KC), M:N (a pool of UCs over a
+//! smaller set of scheduler KCs) — *at runtime*, by coupling/decoupling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime};
+
+#[test]
+fn one_to_one_model() {
+    // 1:1 — every UC stays coupled with its own KC: plain kernel threads.
+    let rt = Runtime::builder().schedulers(1).build();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            rt.spawn(&format!("klt{i}"), move || {
+                // Never decouples; every syscall trivially consistent.
+                for _ in 0..50 {
+                    assert!(sys::getpid().unwrap().0 > 1);
+                }
+                i
+            })
+        })
+        .collect();
+    for (i, h) in handles.iter().enumerate() {
+        assert_eq!(h.wait(), i as i32);
+    }
+    // No scheduler dispatches happened: nothing ever entered the pool.
+    assert_eq!(rt.stats().snapshot().scheduler_dispatches, 0);
+    assert_eq!(rt.stats().snapshot().decouples, 0);
+}
+
+#[test]
+fn n_to_one_model() {
+    // N:1 — one original KC carries N user contexts (the primary plus
+    // N-1 siblings); all kernel state is one process, like green threads
+    // inside a single OS thread's identity.
+    let rt = Runtime::builder().schedulers(1).build();
+    let done = Arc::new(AtomicUsize::new(0));
+    let primary = rt.spawn("the-kc", || 0);
+    let pid = primary.pid();
+    let sibs: Vec<_> = (0..6)
+        .map(|i| {
+            let done = done.clone();
+            primary
+                .spawn_sibling(&format!("green{i}"), move || {
+                    let seen = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                    done.fetch_add(1, Ordering::AcqRel);
+                    (seen.0 as i32) // all report the same pid
+                })
+                .unwrap()
+        })
+        .collect();
+    let codes: Vec<i32> = sibs.iter().map(|s| s.wait()).collect();
+    assert!(codes.iter().all(|&c| c == pid.0 as i32), "one kernel identity");
+    assert_eq!(primary.wait(), 0);
+    assert_eq!(done.load(Ordering::Acquire), 6);
+}
+
+#[test]
+fn m_to_n_model() {
+    // M:N — M worker UCs multiplexed onto N scheduler KCs, coupling back
+    // to their own original KCs only for system calls.
+    const M: usize = 9;
+    const N: usize = 3;
+    let rt = Runtime::builder()
+        .schedulers(N)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let handles: Vec<_> = (0..M)
+        .map(|i| {
+            rt.spawn(&format!("m{i}"), move || {
+                decouple().unwrap();
+                let mut acc = 0;
+                for k in 0..40 {
+                    if k % 4 == 0 {
+                        acc = coupled_scope(|| acc + 1).unwrap();
+                    }
+                    yield_now();
+                }
+                acc
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 10);
+    }
+    let snap = rt.stats().snapshot();
+    assert_eq!(snap.blts_spawned as usize, M);
+    assert!(snap.scheduler_dispatches > 0, "pool actually scheduled");
+}
+
+#[test]
+fn model_transitions_at_runtime() {
+    // The defining BLT property: the SAME execution entity moves between
+    // models during its lifetime.
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("shapeshifter", || {
+        // Phase 1: 1:1 (KLT).
+        let pid = sys::getpid().unwrap();
+        // Phase 2: M:N (ULT in the pool).
+        decouple().unwrap();
+        yield_now();
+        // Phase 3: back to 1:1 for a syscall burst.
+        coupled_scope(|| {
+            for _ in 0..10 {
+                assert_eq!(sys::getpid().unwrap(), pid);
+            }
+        })
+        .unwrap();
+        // Phase 4: ULT again, then terminate (which re-couples, rule 7).
+        yield_now();
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    let snap = rt.stats().snapshot();
+    assert!(snap.decouples >= 1 && snap.couples >= 2);
+}

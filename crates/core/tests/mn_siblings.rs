@@ -1,0 +1,152 @@
+//! Deep tests of the M:N extension (§VII): many sibling UCs per original
+//! KC, interaction with couple/decouple, TLS privacy among siblings, and
+//! termination ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, UlpLocal};
+
+fn rt() -> Runtime {
+    Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::Blocking)
+        .build()
+}
+
+#[test]
+fn sixteen_siblings_one_kc() {
+    let rt = rt();
+    let h = rt.spawn("hub", || 0);
+    let done = Arc::new(AtomicUsize::new(0));
+    let sibs: Vec<_> = (0..16)
+        .map(|i| {
+            let done = done.clone();
+            h.spawn_sibling(&format!("s{i}"), move || {
+                for _ in 0..5 {
+                    yield_now();
+                }
+                // All siblings couple against the SAME original KC; the
+                // pending queue must serialize them without loss.
+                let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                done.fetch_add(1, Ordering::AcqRel);
+                (pid.0 > 0) as i32 - 1
+            })
+            .unwrap()
+        })
+        .collect();
+    for s in &sibs {
+        assert_eq!(s.wait(), 0);
+    }
+    assert_eq!(h.wait(), 0);
+    assert_eq!(done.load(Ordering::Acquire), 16);
+}
+
+#[test]
+fn siblings_have_private_tls_but_shared_pid() {
+    static COUNTER: UlpLocal<u64> = UlpLocal::new(|| 0);
+    let rt = rt();
+    let h = rt.spawn("hub", || {
+        COUNTER.with(|c| *c += 100);
+        0
+    });
+    let pid = h.pid();
+    let sibs: Vec<_> = (0..4)
+        .map(|i| {
+            h.spawn_sibling(&format!("t{i}"), move || {
+                // TLS is per-UC even though the kernel identity is shared.
+                for _ in 0..=i {
+                    COUNTER.with(|c| *c += 1);
+                    yield_now();
+                }
+                COUNTER.with(|c| *c as i32)
+            })
+            .unwrap()
+        })
+        .collect();
+    for (i, s) in sibs.iter().enumerate() {
+        assert_eq!(s.wait(), i as i32 + 1, "sibling TLS leaked");
+        assert_eq!(s.pid(), pid, "kernel identity must be shared");
+    }
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn sibling_spawned_while_primary_decoupled() {
+    let rt = rt();
+    let release = Arc::new(AtomicUsize::new(0));
+    let r2 = release.clone();
+    let h = rt.spawn("roaming-hub", move || {
+        decouple().unwrap();
+        // Roam while the sibling is being created and scheduled.
+        while r2.load(Ordering::Acquire) == 0 {
+            yield_now();
+        }
+        coupled_scope(|| 0).unwrap()
+    });
+    let r3 = release.clone();
+    let sib = h
+        .spawn_sibling("late", move || {
+            let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+            r3.store(1, Ordering::Release);
+            (pid.0 > 0) as i32 - 1
+        })
+        .unwrap();
+    assert_eq!(sib.wait(), 0);
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn nested_sibling_generations() {
+    // Siblings spawning work for other BLTs' pools: a sibling of A can
+    // coexist with primaries B, C under shared schedulers.
+    let rt = rt();
+    let a = rt.spawn("a", || {
+        decouple().unwrap();
+        for _ in 0..20 {
+            yield_now();
+        }
+        0
+    });
+    let b = rt.spawn("b", || {
+        decouple().unwrap();
+        for _ in 0..20 {
+            yield_now();
+        }
+        0
+    });
+    let sibs: Vec<_> = (0..4)
+        .map(|i| {
+            let target = if i % 2 == 0 { &a } else { &b };
+            target
+                .spawn_sibling(&format!("gen{i}"), move || {
+                    for _ in 0..10 {
+                        yield_now();
+                    }
+                    coupled_scope(|| ()).unwrap();
+                    i
+                })
+                .unwrap()
+        })
+        .collect();
+    for (i, s) in sibs.iter().enumerate() {
+        assert_eq!(s.wait(), i as i32);
+    }
+    assert_eq!(a.wait(), 0);
+    assert_eq!(b.wait(), 0);
+}
+
+#[test]
+fn m_n_ratio_is_observable_in_stats() {
+    let rt = rt();
+    let h = rt.spawn("hub", || 0);
+    let sibs: Vec<_> = (0..5)
+        .map(|i| h.spawn_sibling(&format!("m{i}"), || 0).unwrap())
+        .collect();
+    for s in sibs {
+        s.wait();
+    }
+    h.wait();
+    let snap = rt.stats().snapshot();
+    assert_eq!(snap.siblings_spawned, 5);
+    assert_eq!(snap.blts_spawned, 1);
+}

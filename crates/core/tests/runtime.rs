@@ -1,0 +1,685 @@
+//! Integration tests for the BLT/ULP runtime: lifecycle, the
+//! couple/decouple protocol of Table I, system-call consistency, yielding,
+//! sibling UCs (M:N), and both idle policies.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ulp_core::ulp_kernel::{Errno, OpenFlags};
+use ulp_core::{
+    couple, coupled_scope, decouple, is_coupled, sys, yield_now, ConsistencyMode, IdlePolicy,
+    Runtime, UcKind, UlpLocal,
+};
+
+fn rt_with(policy: IdlePolicy, scheds: usize) -> Runtime {
+    Runtime::builder()
+        .schedulers(scheds)
+        .idle_policy(policy)
+        .build()
+}
+
+#[test]
+fn blt_runs_as_klt_and_exits() {
+    let rt = Runtime::new();
+    let h = rt.spawn("plain", || 7);
+    assert_eq!(h.wait(), 7);
+}
+
+#[test]
+fn blt_panic_is_contained() {
+    let rt = Runtime::new();
+    let h = rt.spawn("crasher", || panic!("deliberate"));
+    assert_eq!(h.wait(), ulp_core::PANIC_EXIT_STATUS);
+    // Runtime still serviceable afterwards.
+    let h2 = rt.spawn("after", || 1);
+    assert_eq!(h2.wait(), 1);
+}
+
+#[test]
+fn many_blts_concurrently() {
+    let rt = Runtime::new();
+    let handles: Vec<_> = (0..16).map(|i| rt.spawn(&format!("w{i}"), move || i)).collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait(), i as i32);
+    }
+}
+
+#[test]
+fn decouple_then_finish() {
+    // A BLT that decouples and never explicitly couples: the termination
+    // path must couple it back (rule 7) and the thread must exit cleanly.
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("roamer", || {
+        assert_eq!(is_coupled(), Some(true));
+        decouple().unwrap();
+        assert_eq!(is_coupled(), Some(false));
+        21
+    });
+    assert_eq!(h.wait(), 21);
+}
+
+#[test]
+fn couple_restores_original_kc_identity() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("ident", || {
+        let home_pid = sys::getpid().unwrap();
+        decouple().unwrap();
+        // While decoupled we run on a scheduler KC: its pid differs.
+        let foreign_pid = sys::getpid().unwrap();
+        assert_ne!(home_pid, foreign_pid, "decoupled UC must see foreign KC");
+        couple().unwrap();
+        assert_eq!(sys::getpid().unwrap(), home_pid);
+        decouple().unwrap();
+        // coupled_scope: the paper's enclosing idiom.
+        let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        assert_eq!(pid, home_pid);
+        assert_eq!(is_coupled(), Some(false), "scope restored decoupled state");
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    // The two bare getpid calls while decoupled are violations; the
+    // coupled ones are not.
+    let violations = rt.violations();
+    assert_eq!(violations.len(), 1, "exactly one decoupled getpid: {violations:?}");
+}
+
+#[test]
+fn fd_consistency_demo() {
+    // The motivating example from §I: open on one KC, write via another.
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .consistency(ConsistencyMode::Record)
+        .build();
+    let h = rt.spawn("fd-demo", || {
+        let fd = sys::open("/data", OpenFlags::WRONLY | OpenFlags::CREAT).unwrap();
+        decouple().unwrap();
+        // Decoupled: the scheduler KC's FD table does not know `fd`.
+        assert_eq!(sys::write(fd, b"lost").unwrap_err(), Errno::EBADF);
+        // Properly enclosed, the write succeeds.
+        let n = coupled_scope(|| sys::write(fd, b"kept").unwrap()).unwrap();
+        assert_eq!(n, 4);
+        coupled_scope(|| sys::close(fd).unwrap()).unwrap();
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    assert_eq!(rt.kernel().tmpfs().stat("/", "/data").unwrap().size, 4);
+}
+
+#[test]
+fn consistency_mode_off_records_nothing() {
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .consistency(ConsistencyMode::Off)
+        .build();
+    let h = rt.spawn("quiet", || {
+        decouple().unwrap();
+        let _ = sys::getpid().unwrap();
+        0
+    });
+    h.wait();
+    assert!(rt.violations().is_empty());
+}
+
+#[test]
+fn yield_ping_pong_two_ulps() {
+    // Table IV's scenario: two decoupled ULPs yielding to each other on one
+    // scheduler.
+    let rt = rt_with(IdlePolicy::BusyWait, 1);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mk = |name: &str, c: Arc<AtomicUsize>| {
+        rt.spawn(name, move || {
+            decouple().unwrap();
+            for _ in 0..1000 {
+                c.fetch_add(1, Ordering::Relaxed);
+                yield_now();
+            }
+            0
+        })
+    };
+    let a = mk("ping", counter.clone());
+    let b = mk("pong", counter.clone());
+    assert_eq!(a.wait(), 0);
+    assert_eq!(b.wait(), 0);
+    assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    // Real user-level switches must have happened.
+    assert!(rt.stats().snapshot().yields > 0);
+}
+
+#[test]
+fn yield_alone_is_noop() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("alone", || {
+        decouple().unwrap();
+        for _ in 0..100 {
+            // No other UC: yield must return false and not hang.
+            assert!(!yield_now());
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn blocking_syscall_does_not_block_other_ulps() {
+    // The paper's core claim (contribution 2): a BLT in a blocking system
+    // call (coupled on its own KC) must not prevent other ULTs from being
+    // scheduled.
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let progressed = Arc::new(AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+
+    let p2 = progressed.clone();
+    let blocker = rt.spawn("blocker", move || {
+        decouple().unwrap();
+        // Enter a long blocking sleep *coupled*: only our own KC sleeps.
+        coupled_scope(|| sys::sleep(Duration::from_millis(300)).unwrap()).unwrap();
+        // By the time the sleep is done, the runner must have progressed.
+        assert!(p2.load(Ordering::Acquire) >= 100);
+        0
+    });
+
+    let p3 = progressed.clone();
+    let r2 = release.clone();
+    let runner = rt.spawn("runner", move || {
+        decouple().unwrap();
+        for _ in 0..100 {
+            p3.fetch_add(1, Ordering::Release);
+            yield_now();
+        }
+        r2.store(true, Ordering::Release);
+        0
+    });
+
+    assert_eq!(runner.wait(), 0);
+    assert_eq!(blocker.wait(), 0);
+    assert!(release.load(Ordering::Acquire));
+}
+
+#[test]
+fn busywait_policy_works_end_to_end() {
+    let rt = rt_with(IdlePolicy::BusyWait, 1);
+    let h = rt.spawn("busy", || {
+        decouple().unwrap();
+        let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        assert!(pid.0 > 1);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    // BUSYWAIT KCs never futex-block.
+    assert_eq!(rt.stats().snapshot().kc_blocks, 0);
+}
+
+#[test]
+fn blocking_policy_blocks_kcs() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("sleepy", || {
+        decouple().unwrap();
+        // Stay decoupled long enough for the KC to block at least once.
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(30));
+            yield_now();
+        }
+        coupled_scope(|| 0).unwrap()
+    });
+    assert_eq!(h.wait(), 0);
+    assert!(rt.stats().snapshot().kc_blocks > 0, "KC should have futex-slept");
+}
+
+#[test]
+fn couple_decouple_cost_accounting() {
+    // The paper: one couple+decouple pair = 4 context switches + 2 TLS
+    // loads (§VI-C). Verify the counters agree.
+    let rt = rt_with(IdlePolicy::BusyWait, 1);
+    let h = rt.spawn("acct", || {
+        decouple().unwrap();
+        0
+    });
+    h.wait();
+    let before = rt.stats().snapshot();
+    let h = rt.spawn("acct2", || {
+        decouple().unwrap();
+        let snap_before = coupled_scope(|| ()).unwrap();
+        let _ = snap_before;
+        0
+    });
+    h.wait();
+    let delta = rt.stats().snapshot().delta(&before);
+    // coupled_scope's couple + the implicit terminal couple (rule 7: a BLT
+    // always terminates coupled with its original KC).
+    assert_eq!(delta.couples, 2);
+    // decouple() in the body + the one inside coupled_scope.
+    assert_eq!(delta.decouples, 2);
+    // Each couple costs 2 switches (UC→host, TC→UC) and each decouple 2
+    // (UC→TC, host→UC); plus spawn/teardown switches. At minimum:
+    assert!(delta.context_switches >= 4, "saw {delta:?}");
+    assert!(delta.tls_loads >= 2, "saw {delta:?}");
+}
+
+#[test]
+fn ulp_local_privatizes_state() {
+    static COUNTER: UlpLocal<u64> = UlpLocal::new(|| 0);
+    let rt = rt_with(IdlePolicy::Blocking, 2);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            rt.spawn(&format!("tls{i}"), move || {
+                decouple().unwrap();
+                for _ in 0..50 {
+                    COUNTER.with(|c| *c += 1);
+                    yield_now();
+                }
+                // Each ULP saw only its own increments despite migrating
+                // across kernel contexts.
+                COUNTER.with(|c| *c as i32)
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 50);
+    }
+}
+
+#[test]
+fn errno_is_per_ulp() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h1 = rt.spawn("err1", || {
+        let e = sys::open("/missing", OpenFlags::RDONLY).unwrap_err();
+        assert_eq!(e, Errno::ENOENT);
+        assert_eq!(ulp_core::errno(), Errno::ENOENT.as_raw());
+        // A succeeding call clears errno.
+        sys::getpid().unwrap();
+        assert_eq!(ulp_core::errno(), 0);
+        0
+    });
+    assert_eq!(h1.wait(), 0);
+}
+
+#[test]
+fn siblings_share_kernel_identity() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("primary", || {
+        let me = sys::getpid().unwrap();
+        decouple().unwrap();
+        // Hand the KC back eventually; meanwhile record our pid.
+        coupled_scope(|| assert_eq!(sys::getpid().unwrap(), me)).unwrap();
+        0
+    });
+    let sib = h
+        .spawn_sibling("sibling", {
+            let expected = h.pid();
+            move || {
+                // Coupled system calls from the sibling observe the *same*
+                // kernel identity as the primary (§VII: same original KC ->
+                // same kernel information).
+                let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                assert_eq!(pid, expected);
+                5
+            }
+        })
+        .unwrap();
+    assert_eq!(sib.wait(), 5);
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn many_siblings_drain_before_primary_exits() {
+    let rt = rt_with(IdlePolicy::Blocking, 2);
+    let h = rt.spawn("hub", || 0);
+    let sibs: Vec<_> = (0..8)
+        .map(|i| {
+            h.spawn_sibling(&format!("s{i}"), move || {
+                for _ in 0..10 {
+                    yield_now();
+                }
+                coupled_scope(|| ()).unwrap();
+                i
+            })
+            .unwrap()
+        })
+        .collect();
+    for (i, s) in sibs.iter().enumerate() {
+        assert_eq!(s.wait(), i as i32);
+    }
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn sibling_panic_is_contained() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("primary", || 0);
+    let sib = h.spawn_sibling("bad", || panic!("sibling crash")).unwrap();
+    assert_eq!(sib.wait(), ulp_core::PANIC_EXIT_STATUS);
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn oversubscription_many_ulps_few_schedulers() {
+    // Fig. 6's over-subscription scenario: many more BLTs than scheduler
+    // cores, all doing couple/decouple cycles.
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let total = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let total = total.clone();
+            rt.spawn(&format!("o{i}"), move || {
+                decouple().unwrap();
+                for _ in 0..20 {
+                    coupled_scope(|| {
+                        sys::getpid().unwrap();
+                    })
+                    .unwrap();
+                    total.fetch_add(1, Ordering::Relaxed);
+                    yield_now();
+                }
+                0
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 240);
+}
+
+#[test]
+fn self_info_reports_kind() {
+    let rt = Runtime::new();
+    let h = rt.spawn("who", || {
+        let (_, pid, kind) = ulp_core::self_info().unwrap();
+        assert_eq!(kind, UcKind::Primary);
+        assert_eq!(pid, sys::getpid().unwrap());
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    assert!(ulp_core::self_id().is_none(), "root thread is not a ULP");
+}
+
+#[test]
+fn topology_equations() {
+    let t = ulp_core::Topology {
+        nc_prog: 6,
+        nc_syscall: 2,
+        oversubscription: 3,
+    };
+    assert_eq!(t.total_cores(), 8); // eq. (1)
+    assert_eq!(t.n_blts(), 24); // eq. (2)
+}
+
+#[test]
+fn decouple_twice_is_noop() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("dd", || {
+        assert!(decouple().unwrap());
+        assert!(!decouple().unwrap(), "second decouple is a no-op");
+        assert!(couple().unwrap());
+        assert!(!couple().unwrap(), "second couple is a no-op");
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn stress_couple_decouple_under_contention() {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::BusyWait)
+        .build();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            rt.spawn(&format!("stress{i}"), move || {
+                decouple().unwrap();
+                let mut acc = 0i32;
+                for k in 0..200 {
+                    if k % 3 == 0 {
+                        yield_now();
+                    }
+                    acc = coupled_scope(|| acc + 1).unwrap();
+                }
+                acc
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 200);
+    }
+}
+
+#[test]
+fn runtime_shutdown_is_clean() {
+    let rt = Runtime::new();
+    let h = rt.spawn("quickie", || 3);
+    assert_eq!(h.wait(), 3);
+    rt.shutdown();
+    // Second shutdown (and the implicit one in Drop) must be harmless.
+    rt.shutdown();
+}
+
+#[test]
+fn work_stealing_policy_runs_everything() {
+    let rt = Runtime::builder()
+        .schedulers(3)
+        .idle_policy(IdlePolicy::Blocking)
+        .sched_policy(ulp_core::SchedPolicy::WorkStealing)
+        .build();
+    let done = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..9)
+        .map(|i| {
+            let done = done.clone();
+            rt.spawn(&format!("ws{i}"), move || {
+                decouple().unwrap();
+                for _ in 0..30 {
+                    yield_now();
+                }
+                coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                done.fetch_add(1, Ordering::AcqRel);
+                0
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+    assert_eq!(done.load(Ordering::Acquire), 9);
+}
+
+#[test]
+fn signal_caveat_fcontext_mode() {
+    // §VII: with fcontext-style switching (default), the signal mask a ULP
+    // sets while coupled stays with *its own* kernel context; while the UC
+    // runs decoupled, the scheduling KC's process does not carry it —
+    // "the signal is delivered to the scheduling KC".
+    use ulp_core::ulp_kernel::{MaskHow, SigSet, Signal};
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("masker", || {
+        // Block SIGUSR1 while coupled: applies to our own process.
+        sys::sigprocmask(MaskHow::Block, SigSet::with(&[Signal::SigUsr1])).unwrap();
+        let my_pid = sys::getpid().unwrap();
+        decouple().unwrap();
+        // Decoupled: the executing (scheduler) process's mask is empty, so
+        // a signal "to us" delivered at the current KC is NOT blocked.
+        let sched_pid = sys::getpid().unwrap(); // scheduler identity
+        assert_ne!(sched_pid, my_pid);
+        sys::kill(sched_pid, Signal::SigUsr1).unwrap();
+        let got = sys::take_signal().unwrap();
+        assert_eq!(got, Some(Signal::SigUsr1), "scheduler KC caught the signal");
+        // Whereas our own process still blocks it.
+        coupled_scope(|| {
+            sys::kill(my_pid, Signal::SigUsr1).unwrap();
+            assert_eq!(sys::take_signal().unwrap(), None, "masked on our own KC");
+        })
+        .unwrap();
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn signal_mask_travels_in_ucontext_mode() {
+    // The §VII remedy: ucontext-style switching installs the UC's mask on
+    // whatever kernel context runs it (at system-call cost).
+    use ulp_core::ulp_kernel::{MaskHow, SigSet, Signal};
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .save_sigmask(true)
+        .build();
+    let h = rt.spawn("carrier", || {
+        sys::sigprocmask(MaskHow::Block, SigSet::with(&[Signal::SigUsr2])).unwrap();
+        decouple().unwrap();
+        // Force a dispatch so install_ulp runs with our recorded mask.
+        yield_now();
+        let sched_pid = sys::getpid().unwrap();
+        sys::kill(sched_pid, Signal::SigUsr2).unwrap();
+        // The scheduler KC now carries our mask: the signal stays pending.
+        assert_eq!(sys::take_signal().unwrap(), None);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn adaptive_policy_spins_then_blocks() {
+    let rt = rt_with(IdlePolicy::Adaptive, 1);
+    // Fast path: couple/decouple round trips while the KC's streak is
+    // short should behave like BUSYWAIT.
+    let h = rt.spawn("adaptive", || {
+        decouple().unwrap();
+        for _ in 0..20 {
+            coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        }
+        // Now leave the KC idle long enough that it exhausts its spin
+        // streak and futex-blocks.
+        std::thread::sleep(Duration::from_millis(80));
+        coupled_scope(|| 0).unwrap()
+    });
+    assert_eq!(h.wait(), 0);
+    // The long idle phase must have produced at least one real block.
+    assert!(
+        rt.stats().snapshot().kc_blocks > 0,
+        "adaptive KC never fell back to blocking"
+    );
+}
+
+#[test]
+fn syscall_core_topology_is_accepted() {
+    // On a 1-CPU host pinning degrades gracefully; the topology plumbing
+    // must still deliver correct execution.
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .pin_schedulers(true)
+        .syscall_cores(vec![0, 1])
+        .build();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            rt.spawn(&format!("pinned{i}"), || {
+                decouple().unwrap();
+                coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                0
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+}
+
+#[test]
+fn trace_records_the_table_one_sequence() {
+    use ulp_core::TraceEvent;
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    rt.trace_enable();
+    let h = rt.spawn("traced", || {
+        decouple().unwrap();
+        coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    rt.trace_disable();
+    let trace = rt.take_trace();
+    let id = h.id();
+    let pos = |needle: &TraceEvent| trace.iter().position(|r| r.event == *needle);
+
+    let spawn = pos(&TraceEvent::Spawn(id)).expect("spawn traced");
+    let decouple_at = pos(&TraceEvent::Decouple(id)).expect("decouple traced");
+    let dispatch = trace
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::Dispatch { uc, .. } if uc == id))
+        .expect("dispatch traced");
+    let request = pos(&TraceEvent::CoupleRequest(id)).expect("couple request traced");
+    let coupled = pos(&TraceEvent::Coupled(id)).expect("coupled traced");
+    let term = pos(&TraceEvent::Terminate(id)).expect("terminate traced");
+
+    // The protocol order of Table I, end to end:
+    assert!(spawn < decouple_at, "spawn before decouple");
+    assert!(decouple_at < dispatch, "decouple publishes before dispatch");
+    assert!(dispatch < request, "UC runs as ULT before requesting couple");
+    assert!(request < coupled, "request published before resume on KC0");
+    assert!(coupled < term, "terminates after coupling");
+}
+
+#[test]
+fn trace_disabled_by_default_and_cheap() {
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("quiet", || {
+        decouple().unwrap();
+        0
+    });
+    h.wait();
+    assert!(rt.take_trace().is_empty(), "tracing must be opt-in");
+}
+
+#[test]
+fn signal_handlers_run_at_couple_safe_points() {
+    use ulp_core::ulp_kernel::Signal;
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f2 = fired.clone();
+    let h = rt.spawn("handler", move || {
+        let f3 = f2.clone();
+        ulp_core::on_signal(Signal::SigUsr1, move |_| {
+            f3.fetch_add(1, Ordering::SeqCst);
+        });
+        let my_pid = sys::getpid().unwrap();
+        decouple().unwrap();
+        // Signal our own process while decoupled: it stays pending (our KC
+        // is parked) and nothing runs yet.
+        coupled_scope(|| ()).unwrap(); // couple cycle to reach a safe point
+        // Send while decoupled, then observe at the next safe point.
+        sys::kill(my_pid, Signal::SigUsr1).ok(); // decoupled send: scheduler's gate records it
+        let before = f2.load(Ordering::SeqCst);
+        coupled_scope(|| {
+            sys::kill(sys::getpid().unwrap(), Signal::SigUsr1).unwrap();
+        })
+        .unwrap();
+        // coupled_scope's inner kill targeted our own process; the safe
+        // point at the *next* couple dispatches it.
+        coupled_scope(|| ()).unwrap();
+        (f2.load(Ordering::SeqCst) > before) as i32 - 1
+    });
+    assert_eq!(h.wait(), 0);
+    assert!(fired.load(Ordering::SeqCst) >= 1);
+}
+
+#[test]
+fn poll_signals_is_consistency_aware() {
+    use ulp_core::ulp_kernel::Signal;
+    let rt = rt_with(IdlePolicy::Blocking, 1);
+    let h = rt.spawn("poller", move || {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = hits.clone();
+        ulp_core::on_signal(Signal::SigUsr2, move |_| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        let my_pid = sys::getpid().unwrap();
+        sys::kill(my_pid, Signal::SigUsr2).unwrap();
+        // Coupled: poll dispatches.
+        assert!(ulp_core::poll_signals() >= 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        decouple().unwrap();
+        // Decoupled: poll refuses to touch the scheduler's queue.
+        assert_eq!(ulp_core::poll_signals(), 0);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}

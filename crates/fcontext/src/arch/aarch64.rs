@@ -1,0 +1,111 @@
+//! AArch64 (AAPCS64) context switch, mirroring the x86_64 backend.
+//!
+//! Saves the callee-saved integer registers `x19`..`x28`, the frame pointer
+//! `x29`, the link register `x30` and the callee-saved low halves of the SIMD
+//! registers `d8`..`d15` — the set Boost.Context saves on this architecture.
+//!
+//! Frame layout at the saved stack pointer (160 bytes, 16-byte aligned):
+//!
+//! ```text
+//! sp + 0    d8  d9
+//! sp + 16   d10 d11
+//! sp + 32   d12 d13
+//! sp + 48   d14 d15
+//! sp + 64   x19 x20   <- bootstrap: data ptr, entry fn
+//! sp + 80   x21 x22
+//! sp + 96   x23 x24
+//! sp + 112  x25 x26
+//! sp + 128  x27 x28
+//! sp + 144  x29 x30   <- bootstrap: 0, `ulp_ctx_entry`
+//! ```
+
+use core::arch::global_asm;
+
+global_asm!(
+    ".text",
+    ".align 4",
+    ".globl ulp_ctx_swap",
+    ".hidden ulp_ctx_swap",
+    ".type ulp_ctx_swap, @function",
+    "ulp_ctx_swap:",
+    "sub sp, sp, #160",
+    "stp d8,  d9,  [sp, #0]",
+    "stp d10, d11, [sp, #16]",
+    "stp d12, d13, [sp, #32]",
+    "stp d14, d15, [sp, #48]",
+    "stp x19, x20, [sp, #64]",
+    "stp x21, x22, [sp, #80]",
+    "stp x23, x24, [sp, #96]",
+    "stp x25, x26, [sp, #112]",
+    "stp x27, x28, [sp, #128]",
+    "stp x29, x30, [sp, #144]",
+    "mov x9, sp",
+    "str x9, [x0]",
+    "mov sp, x1",
+    "ldp d8,  d9,  [sp, #0]",
+    "ldp d10, d11, [sp, #16]",
+    "ldp d12, d13, [sp, #32]",
+    "ldp d14, d15, [sp, #48]",
+    "ldp x19, x20, [sp, #64]",
+    "ldp x21, x22, [sp, #80]",
+    "ldp x23, x24, [sp, #96]",
+    "ldp x25, x26, [sp, #112]",
+    "ldp x27, x28, [sp, #128]",
+    "ldp x29, x30, [sp, #144]",
+    "add sp, sp, #160",
+    "mov x0, x2",
+    "ret",
+    ".size ulp_ctx_swap, . - ulp_ctx_swap",
+);
+
+global_asm!(
+    ".text",
+    ".align 4",
+    ".globl ulp_ctx_entry",
+    ".hidden ulp_ctx_entry",
+    ".type ulp_ctx_entry, @function",
+    "ulp_ctx_entry:",
+    // x0 already holds the payload. Data pointer and entry fn were stashed
+    // in the x19 / x20 slots of the bootstrap frame.
+    "mov x1, x19",
+    "mov x9, x20",
+    // Terminate frame chains for unwinders.
+    "mov x29, xzr",
+    "mov x30, xzr",
+    "blr x9",
+    "brk #0x1",
+    ".size ulp_ctx_entry, . - ulp_ctx_entry",
+);
+
+extern "C" {
+    /// See the x86_64 backend for the contract.
+    pub fn ulp_ctx_swap(save: *mut *mut u8, target: *mut u8, arg: usize) -> usize;
+
+    fn ulp_ctx_entry();
+}
+
+/// Entry function signature shared with the x86_64 backend.
+pub type RawEntry = extern "C" fn(arg: usize, data: *mut u8) -> !;
+
+const BOOT_FRAME: usize = 160;
+
+/// Build the bootstrap frame; see the x86_64 backend for the contract.
+///
+/// # Safety
+/// `stack_top` must point one past the end of a writable stack region of at
+/// least `BOOT_FRAME + 64` bytes.
+pub unsafe fn init_stack(stack_top: *mut u8, entry: RawEntry, data: *mut u8) -> *mut u8 {
+    let top = (stack_top as usize) & !15usize;
+    let sp = (top - BOOT_FRAME) as *mut u8;
+    debug_assert_eq!(sp as usize % 16, 0);
+
+    core::ptr::write_bytes(sp, 0, BOOT_FRAME);
+    let words = sp as *mut usize;
+    words.add(8).write(data as usize); // x19
+    words.add(9).write(entry as *const () as usize); // x20
+    words.add(18).write(0); // x29
+    words
+        .add(19)
+        .write(ulp_ctx_entry as *const () as usize); // x30 -> first `ret` target
+    sp
+}

@@ -1,0 +1,147 @@
+//! x86_64 System V context switch, modeled after Boost's `fcontext`.
+//!
+//! The saved machine context consists of the callee-saved general purpose
+//! registers (`rbx`, `rbp`, `r12`..`r15`), the SSE control/status word
+//! (`mxcsr`) and the x87 control word — the same set Boost.Context saves.
+//! All of it lives on the suspended context's own stack; a context is
+//! therefore represented by a single stack pointer.
+//!
+//! Frame layout at the saved stack pointer (growing upward in addresses):
+//!
+//! ```text
+//! sp + 0   mxcsr (4 bytes) | x87 cw (2 bytes) | pad
+//! sp + 8   r15
+//! sp + 16  r14
+//! sp + 24  r13        <- bootstrap: entry function pointer
+//! sp + 32  r12        <- bootstrap: user data pointer
+//! sp + 40  rbx
+//! sp + 48  rbp
+//! sp + 56  return address (bootstrap: `ulp_ctx_entry`)
+//! ```
+//!
+//! `ulp_ctx_swap(save, target, arg)` pushes this frame on the current stack,
+//! stores the resulting stack pointer through `save`, installs `target` as
+//! the stack pointer, pops the frame found there and returns into the target
+//! context. `arg` travels in `rax` and becomes either the return value of the
+//! `ulp_ctx_swap` call that suspended the target, or — on first entry — the
+//! first argument of the entry function.
+
+use core::arch::global_asm;
+
+global_asm!(
+    ".text",
+    ".align 16",
+    ".globl ulp_ctx_swap",
+    ".hidden ulp_ctx_swap",
+    ".type ulp_ctx_swap, @function",
+    "ulp_ctx_swap:",
+    // Save callee-saved GPRs of the current context.
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    // Save SSE control/status word and x87 control word.
+    "sub rsp, 8",
+    "stmxcsr [rsp]",
+    "fnstcw [rsp + 4]",
+    // Publish the suspended context: *save = rsp.
+    "mov [rdi], rsp",
+    // Install the target context's stack.
+    "mov rsp, rsi",
+    // Transfer payload: becomes the return value of the target's
+    // `ulp_ctx_swap` call (or `rdi` of the entry fn via ulp_ctx_entry).
+    "mov rax, rdx",
+    // Restore floating point control state.
+    "ldmxcsr [rsp]",
+    "fldcw [rsp + 4]",
+    "add rsp, 8",
+    // Restore callee-saved GPRs of the target context.
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    ".size ulp_ctx_swap, . - ulp_ctx_swap",
+);
+
+global_asm!(
+    ".text",
+    ".align 16",
+    ".globl ulp_ctx_entry",
+    ".hidden ulp_ctx_entry",
+    ".type ulp_ctx_entry, @function",
+    "ulp_ctx_entry:",
+    // First argument: the payload handed over by the switching context.
+    "mov rdi, rax",
+    // Second argument: the user data pointer stashed in the bootstrap
+    // frame's r12 slot by `init_stack`.
+    "mov rsi, r12",
+    // Terminate unwinding / backtraces: push a NULL return address. This
+    // also restores the 16-byte stack alignment required at `call`.
+    "push 0",
+    // The entry function pointer was stashed in the r13 slot.
+    "call r13",
+    // The entry function must never return.
+    "ud2",
+    ".size ulp_ctx_entry, . - ulp_ctx_entry",
+);
+
+extern "C" {
+    /// Switch from the current context to `target`.
+    ///
+    /// The current context's stack pointer is stored through `save`; `arg`
+    /// is delivered to the target. Returns the payload delivered by whoever
+    /// eventually switches back to the context saved through `save`.
+    pub fn ulp_ctx_swap(save: *mut *mut u8, target: *mut u8, arg: usize) -> usize;
+
+    fn ulp_ctx_entry();
+}
+
+/// Entry function signature: receives the payload of the first switch into
+/// this context and the user data pointer. Must never return.
+pub type RawEntry = extern "C" fn(arg: usize, data: *mut u8) -> !;
+
+/// Number of bytes the bootstrap frame occupies below the aligned stack top.
+const BOOT_FRAME: usize = 72;
+
+/// Build the bootstrap frame for a brand new context on `stack_top`
+/// (one-past-the-end, need not be aligned) and return the context's initial
+/// stack pointer.
+///
+/// # Safety
+/// `stack_top` must point one past the end of a writable stack region of at
+/// least `BOOT_FRAME + 64` bytes.
+pub unsafe fn init_stack(stack_top: *mut u8, entry: RawEntry, data: *mut u8) -> *mut u8 {
+    // Align the top down to 16 bytes, then place the frame such that the
+    // stack pointer at `ulp_ctx_entry` satisfies rsp % 16 == 0 after the
+    // bootstrap frame is consumed (see the `push 0; call` pair above).
+    let top = (stack_top as usize) & !15usize;
+    let sp = (top - BOOT_FRAME) as *mut u8;
+    debug_assert_eq!(sp as usize % 16, 8);
+
+    let words = sp as *mut usize;
+    // mxcsr | x87cw slot: capture the *current* thread's control words so a
+    // fresh context starts from a sane FP environment.
+    let mut fpstate: usize = 0;
+    core::arch::asm!(
+        "stmxcsr [{0}]",
+        "fnstcw [{0} + 4]",
+        in(reg) &mut fpstate as *mut usize,
+        options(nostack)
+    );
+    words.add(0).write(fpstate);
+    words.add(1).write(0); // r15
+    words.add(2).write(0); // r14
+    words.add(3).write(entry as *const () as usize); // r13 -> entry fn
+    words.add(4).write(data as usize); // r12 -> user data
+    words.add(5).write(0); // rbx
+    words.add(6).write(0); // rbp
+    words
+        .add(7)
+        .write(ulp_ctx_entry as *const () as usize); // return address
+    sp
+}

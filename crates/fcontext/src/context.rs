@@ -1,0 +1,271 @@
+//! Raw context handles and a safe symmetric-coroutine wrapper.
+//!
+//! The raw layer (`RawContext`, [`swap`], [`prepare`]) is what the BLT
+//! runtime uses directly: a suspended context is nothing but a stack pointer,
+//! and switching is a single call that saves the current register file on the
+//! current stack and installs another. The [`Fiber`] wrapper layers ownership
+//! and a closure-based entry point on top for tests, examples and simple
+//! coroutine use.
+
+use crate::arch;
+use crate::stack::Stack;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A suspended machine context: an opaque stack pointer.
+///
+/// A `RawContext` is only valid until it is resumed; resuming consumes the
+/// value conceptually (the runtime re-saves into a fresh slot on the next
+/// suspension). The type is `Copy` because the runtime's bookkeeping moves
+/// these through queues; the *logical* affine discipline is enforced by the
+/// owning runtime, not by this type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawContext(pub(crate) *mut u8);
+
+unsafe impl Send for RawContext {}
+
+impl RawContext {
+    /// A sentinel for "no context".
+    #[inline]
+    pub const fn null() -> RawContext {
+        RawContext(std::ptr::null_mut())
+    }
+
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.0.is_null()
+    }
+
+    /// The raw stack pointer value (diagnostics only).
+    #[inline]
+    pub fn sp(&self) -> *mut u8 {
+        self.0
+    }
+}
+
+impl Default for RawContext {
+    fn default() -> Self {
+        RawContext::null()
+    }
+}
+
+/// Entry function type for [`prepare`]: `arg` is the payload of the first
+/// switch into the context, `data` the pointer given at preparation time.
+/// The function must never return; it must switch away or abort.
+pub type Entry = arch::RawEntry;
+
+/// Switch from the current context to `target`, delivering `arg`.
+///
+/// The current context is saved into `*save`. Returns the payload delivered
+/// by whoever later resumes the context saved in `*save`.
+///
+/// # Safety
+/// - `target` must be a valid suspended context (from [`prepare`] or a prior
+///   [`swap`] save) that no other thread resumes concurrently.
+/// - The stack backing `target` must be live.
+/// - `save` must point to writable storage that outlives the suspension.
+#[inline]
+pub unsafe fn swap(save: &mut RawContext, target: RawContext, arg: usize) -> usize {
+    debug_assert!(!target.is_null(), "attempt to switch to a null context");
+    arch::ulp_ctx_swap(&mut save.0, target.0, arg)
+}
+
+/// Prepare a fresh context that will run `entry(arg, data)` on `stack` when
+/// first switched to.
+///
+/// # Safety
+/// - `stack_top` must be the top of a live, writable stack not in use by any
+///   other context.
+/// - `data` must remain valid until the context runs.
+pub unsafe fn prepare(stack_top: *mut u8, entry: Entry, data: *mut u8) -> RawContext {
+    RawContext(arch::init_stack(stack_top, entry, data))
+}
+
+/// Result of resuming a [`Fiber`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// The fiber suspended via [`Suspender::suspend`] with this value.
+    Yield(usize),
+    /// The fiber's closure returned with this value; the fiber is finished.
+    Complete(usize),
+}
+
+enum FiberState {
+    New(Box<dyn FnOnce(&mut Suspender, usize) -> usize + Send + 'static>),
+    Running,
+    Done,
+}
+
+struct FiberInner {
+    /// Where `resume()` should land when the fiber suspends or completes.
+    caller: RawContext,
+    /// The suspended fiber context.
+    fiber: RawContext,
+    state: FiberState,
+    /// Set when the closure panicked; the payload is rethrown in `resume`.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// Handle used inside a fiber closure to yield back to the resumer.
+pub struct Suspender {
+    inner: *mut FiberInner,
+}
+
+impl Suspender {
+    /// Suspend the fiber, delivering `value` to `resume`'s caller; returns
+    /// the argument of the next `resume` call.
+    pub fn suspend(&mut self, value: usize) -> usize {
+        unsafe {
+            let inner = &mut *self.inner;
+            // Save the fiber where the next `resume` will look for it and
+            // jump back to the resumer.
+            swap(&mut inner.fiber, inner.caller, value)
+        }
+    }
+}
+
+extern "C" fn fiber_entry(arg: usize, data: *mut u8) -> ! {
+    let inner = data as *mut FiberInner;
+    let result = unsafe {
+        let state = std::mem::replace(&mut (*inner).state, FiberState::Running);
+        let func = match state {
+            FiberState::New(f) => f,
+            _ => unreachable!("fiber entered twice"),
+        };
+        let mut suspender = Suspender { inner };
+        panic::catch_unwind(AssertUnwindSafe(move || func(&mut suspender, arg)))
+    };
+    unsafe {
+        let ret = match result {
+            Ok(v) => v,
+            Err(payload) => {
+                (*inner).panic = Some(payload);
+                0
+            }
+        };
+        (*inner).state = FiberState::Done;
+        let caller = (*inner).caller;
+        let mut discard = RawContext::null();
+        swap(&mut discard, caller, ret);
+    }
+    unreachable!("completed fiber resumed");
+}
+
+/// A one-shot symmetric coroutine running on its own guard-paged stack.
+///
+/// `Fiber` is the safe facade over the raw context layer: create with a
+/// closure, drive with [`Fiber::resume`], communicate `usize` payloads in
+/// both directions (richer types are the caller's concern — the BLT runtime
+/// passes pointers).
+pub struct Fiber {
+    stack: Option<Stack>,
+    inner: Box<FiberInner>,
+    started: bool,
+}
+
+impl Fiber {
+    /// Create a fiber with the default stack size.
+    pub fn new<F>(f: F) -> std::io::Result<Fiber>
+    where
+        F: FnOnce(&mut Suspender, usize) -> usize + Send + 'static,
+    {
+        Fiber::with_stack_size(crate::stack::DEFAULT_STACK_SIZE, f)
+    }
+
+    /// Create a fiber with an explicit usable stack size.
+    pub fn with_stack_size<F>(size: usize, f: F) -> std::io::Result<Fiber>
+    where
+        F: FnOnce(&mut Suspender, usize) -> usize + Send + 'static,
+    {
+        let stack = Stack::new(size)?;
+        let mut inner = Box::new(FiberInner {
+            caller: RawContext::null(),
+            fiber: RawContext::null(),
+            state: FiberState::New(Box::new(f)),
+            panic: None,
+        });
+        inner.fiber = unsafe {
+            prepare(
+                stack.top(),
+                fiber_entry,
+                &mut *inner as *mut FiberInner as *mut u8,
+            )
+        };
+        Ok(Fiber {
+            stack: Some(stack),
+            inner,
+            started: false,
+        })
+    }
+
+    /// Whether the fiber's closure has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.inner.state, FiberState::Done)
+    }
+
+    /// Resume the fiber, delivering `arg` (first resume: the closure's `arg`
+    /// parameter; later resumes: the return value of `suspend`).
+    ///
+    /// Panics raised inside the fiber are rethrown here. Resuming a finished
+    /// fiber returns `Resume::Complete(0)` without running anything.
+    pub fn resume(&mut self, arg: usize) -> Resume {
+        if self.is_done() {
+            return Resume::Complete(0);
+        }
+        self.started = true;
+        let inner: *mut FiberInner = &mut *self.inner;
+        let value = unsafe {
+            // Save *our* context where the fiber will find it, switch in.
+            let target = (*inner).fiber;
+            let v = swap(&mut (*inner).caller, target, arg);
+            v
+        };
+        if let Some(payload) = self.inner.panic.take() {
+            panic::resume_unwind(payload);
+        }
+        if self.is_done() {
+            Resume::Complete(value)
+        } else {
+            Resume::Yield(value)
+        }
+    }
+
+    /// Consume the fiber and recover its stack for pooling. Only allowed
+    /// once the fiber has completed (or never started).
+    pub fn into_stack(mut self) -> Option<Stack> {
+        if self.is_done() || !self.started {
+            self.stack.take()
+        } else {
+            None
+        }
+    }
+}
+
+// A fiber owns its stack and closure; moving it between threads is sound as
+// long as it is resumed by one thread at a time, which `&mut` enforces.
+unsafe impl Send for Fiber {}
+
+impl Drop for Fiber {
+    fn drop(&mut self) {
+        // Dropping a *suspended* fiber frees its stack without unwinding it:
+        // destructors of values live on that stack are leaked, as with
+        // Boost.Context. The BLT runtime always drives contexts to
+        // completion; `Fiber` documents the same contract.
+        if self.started && !self.is_done() {
+            // Leak check hook for tests.
+            crate::SUSPENDED_DROPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Fiber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fiber")
+            .field("started", &self.started)
+            .field("done", &self.is_done())
+            .field(
+                "stack",
+                &self.stack.as_ref().map(|s| s.usable_size()).unwrap_or(0),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,265 @@
+//! Guard-paged execution stacks.
+//!
+//! Stacks are `mmap`ed with an inaccessible guard page at the low end (stacks
+//! grow downward), so runaway recursion in a user context faults instead of
+//! silently corrupting a neighbouring allocation. A small size-classed pool
+//! amortizes the `mmap`/`munmap` cost of frequent context creation, the same
+//! optimization ULT libraries such as Argobots and MassiveThreads apply.
+
+use parking_lot::Mutex;
+use std::io;
+use std::ptr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default usable stack size for a user context (512 KiB, matching the
+/// paper's prototype default for PiP tasks' coroutine stacks).
+pub const DEFAULT_STACK_SIZE: usize = 512 * 1024;
+
+/// Default usable stack size for a trampoline context. The paper notes "the
+/// stack region of a trampoline context can be very small" (§V-A); one page
+/// of usable space is plenty for the idle loop.
+pub const TRAMPOLINE_STACK_SIZE: usize = 16 * 1024;
+
+fn page_size() -> usize {
+    static PAGE: AtomicUsize = AtomicUsize::new(0);
+    let cached = PAGE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
+    let sz = if sz == 0 { 4096 } else { sz };
+    PAGE.store(sz, Ordering::Relaxed);
+    sz
+}
+
+fn round_up(n: usize, to: usize) -> usize {
+    (n + to - 1) / to * to
+}
+
+/// An owned, guard-paged stack region.
+#[derive(Debug)]
+pub struct Stack {
+    /// Base of the whole mapping (guard page included).
+    base: *mut u8,
+    /// Total mapping length (guard page included).
+    total: usize,
+    /// Usable bytes above the guard page.
+    usable: usize,
+}
+
+// The stack is plain memory; it is sound to hand it to another thread as
+// long as only one context executes on it at a time, which the runtime
+// guarantees by construction.
+unsafe impl Send for Stack {}
+
+impl Stack {
+    /// Allocate a stack with at least `usable` usable bytes plus a guard
+    /// page at the low end.
+    pub fn new(usable: usize) -> io::Result<Stack> {
+        let page = page_size();
+        let usable = round_up(usable.max(page), page);
+        let total = usable + page;
+        // MAP_STACK is advisory on Linux but communicates intent.
+        let base = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                total,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_STACK,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        let base = base as *mut u8;
+        if unsafe { libc::mprotect(base as *mut libc::c_void, page, libc::PROT_NONE) } != 0 {
+            let err = io::Error::last_os_error();
+            unsafe { libc::munmap(base as *mut libc::c_void, total) };
+            return Err(err);
+        }
+        Ok(Stack { base, total, usable })
+    }
+
+    /// One past the highest usable address; initial stack pointers are
+    /// derived from this.
+    #[inline]
+    pub fn top(&self) -> *mut u8 {
+        unsafe { self.base.add(self.total) }
+    }
+
+    /// Lowest usable address (just above the guard page).
+    #[inline]
+    pub fn bottom(&self) -> *mut u8 {
+        unsafe { self.base.add(self.total - self.usable) }
+    }
+
+    /// Usable capacity in bytes.
+    #[inline]
+    pub fn usable_size(&self) -> usize {
+        self.usable
+    }
+
+    /// Whether `addr` falls inside the usable region of this stack.
+    #[inline]
+    pub fn contains(&self, addr: *const u8) -> bool {
+        let a = addr as usize;
+        a >= self.bottom() as usize && a < self.top() as usize
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        unsafe {
+            libc::munmap(self.base as *mut libc::c_void, self.total);
+        }
+    }
+}
+
+/// A size-classed freelist of stacks.
+///
+/// `acquire` prefers a cached stack of the exact class; `release` returns a
+/// stack to the pool unless the class is already at capacity.
+#[derive(Debug)]
+pub struct StackPool {
+    classes: Mutex<Vec<(usize, Vec<Stack>)>>,
+    max_per_class: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl StackPool {
+    pub fn new(max_per_class: usize) -> StackPool {
+        StackPool {
+            classes: Mutex::new(Vec::new()),
+            max_per_class,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Fetch a pooled stack of at least `usable` bytes or allocate a new one.
+    pub fn acquire(&self, usable: usize) -> io::Result<Stack> {
+        let page = page_size();
+        let class = round_up(usable.max(page), page);
+        {
+            let mut classes = self.classes.lock();
+            if let Some((_, list)) = classes.iter_mut().find(|(sz, _)| *sz == class) {
+                if let Some(stack) = list.pop() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(stack);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Stack::new(class)
+    }
+
+    /// Return a stack to the pool (dropped if the class is full).
+    pub fn release(&self, stack: Stack) {
+        let class = stack.usable_size();
+        let mut classes = self.classes.lock();
+        if let Some((_, list)) = classes.iter_mut().find(|(sz, _)| *sz == class) {
+            if list.len() < self.max_per_class {
+                list.push(stack);
+            }
+            return;
+        }
+        classes.push((class, vec![stack]));
+    }
+
+    /// (pool hits, pool misses) since creation.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of stacks currently cached.
+    pub fn cached(&self) -> usize {
+        self.classes.lock().iter().map(|(_, l)| l.len()).sum()
+    }
+}
+
+impl Default for StackPool {
+    fn default() -> Self {
+        StackPool::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_has_requested_capacity() {
+        let s = Stack::new(64 * 1024).unwrap();
+        assert!(s.usable_size() >= 64 * 1024);
+        assert_eq!(s.top() as usize - s.bottom() as usize, s.usable_size());
+    }
+
+    #[test]
+    fn stack_is_writable_to_the_bottom() {
+        let s = Stack::new(32 * 1024).unwrap();
+        unsafe {
+            // Touch first and last usable bytes.
+            s.bottom().write_volatile(0xAB);
+            s.top().sub(1).write_volatile(0xCD);
+            assert_eq!(s.bottom().read_volatile(), 0xAB);
+            assert_eq!(s.top().sub(1).read_volatile(), 0xCD);
+        }
+    }
+
+    #[test]
+    fn contains_matches_bounds() {
+        let s = Stack::new(16 * 1024).unwrap();
+        assert!(s.contains(s.bottom()));
+        assert!(s.contains(unsafe { s.top().sub(1) }));
+        assert!(!s.contains(s.top()));
+        assert!(!s.contains(unsafe { s.bottom().sub(1) }));
+    }
+
+    #[test]
+    fn sizes_round_up_to_pages() {
+        let s = Stack::new(1).unwrap();
+        assert_eq!(s.usable_size() % page_size(), 0);
+        assert!(s.usable_size() >= page_size());
+    }
+
+    #[test]
+    fn pool_reuses_stacks() {
+        let pool = StackPool::new(4);
+        let a = pool.acquire(64 * 1024).unwrap();
+        let a_base = a.bottom() as usize;
+        pool.release(a);
+        let b = pool.acquire(64 * 1024).unwrap();
+        assert_eq!(b.bottom() as usize, a_base, "expected the cached stack back");
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn pool_caps_per_class() {
+        let pool = StackPool::new(1);
+        let a = pool.acquire(16 * 1024).unwrap();
+        let b = pool.acquire(16 * 1024).unwrap();
+        pool.release(a);
+        pool.release(b); // dropped: class already holds one
+        assert_eq!(pool.cached(), 1);
+    }
+
+    #[test]
+    fn pool_separates_classes() {
+        let pool = StackPool::new(4);
+        let a = pool.acquire(16 * 1024).unwrap();
+        let b = pool.acquire(64 * 1024).unwrap();
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.cached(), 2);
+        let c = pool.acquire(64 * 1024).unwrap();
+        assert!(c.usable_size() >= 64 * 1024);
+    }
+}

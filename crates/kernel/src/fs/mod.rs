@@ -1,0 +1,98 @@
+//! In-memory filesystem (tmpfs) for the simulated kernel.
+//!
+//! The paper's AIO-vs-ULP evaluation (Figs. 7–8) opens, writes and closes
+//! files "on the tmpfs file system to exclude the variation of actual disk
+//! access" (§VI-D). A Linux tmpfs write is, at its core, a memcpy into page
+//! cache pages; this module reproduces that: file data lives in anonymous
+//! memory and `write` really copies the caller's buffer, so the measured
+//! duration scales with buffer size exactly as on the paper's testbed, minus
+//! the (injected) syscall-entry cost.
+
+mod path;
+mod tmpfs;
+
+pub use path::{normalize, split_parent};
+pub use tmpfs::{DirEntry, FileStat, Ino, IoModel, Tmpfs};
+
+/// Open flags, mirroring the POSIX `O_*` constants the paper's benchmark
+/// uses (`open(O_CREAT|O_WRONLY|O_TRUNC)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    pub const CREAT: OpenFlags = OpenFlags(0o100);
+    pub const EXCL: OpenFlags = OpenFlags(0o200);
+    pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    pub const APPEND: OpenFlags = OpenFlags(0o2000);
+
+    #[inline]
+    pub fn contains(&self, other: OpenFlags) -> bool {
+        // Access mode (low 2 bits) is a value, not a bitmask.
+        if other.0 <= 2 {
+            (self.0 & 0b11) == other.0
+        } else {
+            self.0 & other.0 == other.0
+        }
+    }
+
+    /// May this descriptor read?
+    #[inline]
+    pub fn readable(&self) -> bool {
+        let mode = self.0 & 0b11;
+        mode == Self::RDONLY.0 || mode == Self::RDWR.0
+    }
+
+    /// May this descriptor write?
+    #[inline]
+    pub fn writable(&self) -> bool {
+        let mode = self.0 & 0b11;
+        mode == Self::WRONLY.0 || mode == Self::RDWR.0
+    }
+}
+
+impl std::ops::BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+/// Seek origin for `lseek`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    Set,
+    Cur,
+    End,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_composition() {
+        let f = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+        assert!(f.writable());
+        assert!(!f.readable());
+        assert!(f.contains(OpenFlags::CREAT));
+        assert!(f.contains(OpenFlags::TRUNC));
+        assert!(!f.contains(OpenFlags::APPEND));
+    }
+
+    #[test]
+    fn rdwr_is_both() {
+        let f = OpenFlags::RDWR;
+        assert!(f.readable() && f.writable());
+    }
+
+    #[test]
+    fn rdonly_is_not_wronly() {
+        // O_RDONLY == 0, so containment must treat the access mode as a
+        // value; a WRONLY descriptor does not "contain" RDONLY.
+        assert!(!OpenFlags::WRONLY.contains(OpenFlags::RDONLY));
+        assert!(OpenFlags::RDONLY.contains(OpenFlags::RDONLY));
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal absolute-path handling for the tmpfs.
+
+/// Normalize a path against a current working directory: resolves `.`/`..`,
+/// collapses duplicate slashes, and returns the component list from the
+/// root. Relative paths are interpreted against `cwd` (itself expected to be
+/// normalized and absolute).
+pub fn normalize(cwd: &str, path: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let base: &str = if path.starts_with('/') { "" } else { cwd };
+    for comp in base.split('/').chain(path.split('/')) {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            c => out.push(c.to_string()),
+        }
+    }
+    out
+}
+
+/// Split a normalized component list into (parent components, final name).
+/// Returns `None` for the root itself.
+pub fn split_parent(comps: &[String]) -> Option<(&[String], &str)> {
+    let (last, parent) = comps.split_last()?;
+    Some((parent, last.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(cwd: &str, p: &str) -> Vec<String> {
+        normalize(cwd, p)
+    }
+
+    #[test]
+    fn absolute_paths_ignore_cwd() {
+        assert_eq!(n("/home", "/tmp/x"), vec!["tmp", "x"]);
+    }
+
+    #[test]
+    fn relative_paths_use_cwd() {
+        assert_eq!(n("/home/user", "file"), vec!["home", "user", "file"]);
+    }
+
+    #[test]
+    fn dot_and_dotdot_resolve() {
+        assert_eq!(n("/", "/a/./b/../c"), vec!["a", "c"]);
+        assert_eq!(n("/a/b", ".."), vec!["a"]);
+        assert_eq!(n("/", "/../.."), Vec::<String>::new());
+    }
+
+    #[test]
+    fn duplicate_slashes_collapse() {
+        assert_eq!(n("/", "//x///y"), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let comps = n("/", "/a/b/c");
+        let (parent, name) = split_parent(&comps).unwrap();
+        assert_eq!(parent, &["a".to_string(), "b".to_string()][..]);
+        assert_eq!(name, "c");
+        assert!(split_parent(&[]).is_none());
+    }
+}

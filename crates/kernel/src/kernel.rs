@@ -1,0 +1,434 @@
+//! The simulated kernel: process table, thread↔process binding, lifecycle.
+//!
+//! ## Why a simulated kernel
+//!
+//! The paper's ULPs are real Linux processes sharing one address space via
+//! PiP; their PIDs, FD tables and signal state live in the real kernel,
+//! keyed by the *kernel context* executing the system call. Our ULPs are
+//! contexts inside one Rust process, so this module supplies the same
+//! keying: every **OS thread** (the runtime's kernel context) is *bound* to
+//! at most one simulated process per kernel instance, and every simulated
+//! system call executes against the binding of the OS thread that invokes
+//! it — not against any notion of "current user context". A user context
+//! migrated to a foreign kernel context therefore observes foreign kernel
+//! state, which is precisely the system-call-consistency hazard the paper's
+//! `couple()`/`decouple()` protocol exists to fix (§V-B).
+
+use crate::cost::ArchProfile;
+use crate::errno::{Errno, KResult};
+use crate::fd::FileObject;
+use crate::fs::Tmpfs;
+use crate::process::{Pid, ProcState, Process};
+use crate::signal::Signal;
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared handle to a simulated kernel.
+pub type KernelRef = Arc<Kernel>;
+
+static NEXT_KERNEL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (kernel id → bound pid) for the current OS thread. A thread can be
+    /// bound in several kernel instances at once (tests do this), but in at
+    /// most one process per instance.
+    static BINDINGS: RefCell<Vec<(u64, Pid)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A record of one executed system call, for the consistency audit.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Process the call executed against (the *bound* process).
+    pub pid: Pid,
+    /// System call name.
+    pub call: &'static str,
+    /// OS thread that executed it.
+    pub thread: std::thread::ThreadId,
+}
+
+#[derive(Debug)]
+pub struct Kernel {
+    id: u64,
+    profile: ArchProfile,
+    /// The shared filesystem — one per kernel, shared by all its processes,
+    /// mirroring how PiP processes share the host's tmpfs.
+    pub(crate) fs: Tmpfs,
+    pub(crate) procs: Mutex<HashMap<Pid, Arc<Process>>>,
+    next_pid: AtomicU64,
+    /// waitpid parking: signaled whenever any child exits.
+    pub(crate) wait_lock: Mutex<()>,
+    pub(crate) child_exited: Condvar,
+    /// AIO service, lazily created on the first AIO call (exactly like
+    /// glibc, which spawns its helper thread on first use — §II).
+    pub(crate) aio: std::sync::OnceLock<crate::aio::AioService>,
+    trace_enabled: AtomicBool,
+    trace: Mutex<Vec<TraceEntry>>,
+    /// Total system calls executed (cheap counter, always on).
+    pub(crate) syscall_count: AtomicU64,
+}
+
+impl Kernel {
+    /// Boot a fresh kernel with PID 1 ("init", auto-created) and the given
+    /// architecture cost profile.
+    pub fn new(profile: ArchProfile) -> KernelRef {
+        let kernel = Arc::new(Kernel {
+            id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
+            profile,
+            fs: Tmpfs::new(),
+            procs: Mutex::new(HashMap::new()),
+            next_pid: AtomicU64::new(1),
+            wait_lock: Mutex::new(()),
+            child_exited: Condvar::new(),
+            aio: std::sync::OnceLock::new(),
+            trace_enabled: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+            syscall_count: AtomicU64::new(0),
+        });
+        let init = kernel.spawn_process(None, "init");
+        debug_assert_eq!(init, Pid(1));
+        kernel
+    }
+
+    /// Boot with no cost injection (host-native speed).
+    pub fn native() -> KernelRef {
+        Kernel::new(ArchProfile::Native)
+    }
+
+    pub fn profile(&self) -> ArchProfile {
+        self.profile
+    }
+
+    /// Charge the architectural syscall-entry cost and bump counters.
+    /// Called at the top of every simulated system call.
+    #[inline]
+    pub(crate) fn enter_syscall(&self, name: &'static str, pid: Pid) {
+        self.syscall_count.fetch_add(1, Ordering::Relaxed);
+        crate::cost::spin_for(self.profile.syscall_entry());
+        if self.trace_enabled.load(Ordering::Relaxed) {
+            self.trace.lock().push(TraceEntry {
+                pid,
+                call: name,
+                thread: std::thread::current().id(),
+            });
+        }
+    }
+
+    // ----- process lifecycle ------------------------------------------------
+
+    /// Create a new simulated process (the kernel half of spawning a ULP).
+    /// The caller is responsible for binding an OS thread to it.
+    pub fn spawn_process(&self, ppid: Option<Pid>, name: &str) -> Pid {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed) as u32);
+        let proc = Arc::new(Process::new(pid, ppid, name.to_string()));
+        self.procs.lock().insert(pid, proc);
+        if let Some(parent) = ppid {
+            if let Some(p) = self.process(parent) {
+                p.children.lock().push(pid);
+            }
+        }
+        pid
+    }
+
+    /// Look up a live or zombie process.
+    pub fn process(&self, pid: Pid) -> Option<Arc<Process>> {
+        self.procs.lock().get(&pid).cloned()
+    }
+
+    /// Number of processes currently in the table (incl. zombies).
+    pub fn process_count(&self) -> usize {
+        self.procs.lock().len()
+    }
+
+    /// Terminate a process: close its descriptors, mark it a zombie, wake
+    /// `waitpid` sleepers and post SIGCHLD to the parent.
+    pub fn exit_process(&self, pid: Pid, status: i32) -> KResult<()> {
+        let proc = self.process(pid).ok_or(Errno::ESRCH)?;
+        {
+            let mut st = proc.state.lock();
+            if matches!(*st, ProcState::Zombie(_)) {
+                return Err(Errno::ESRCH);
+            }
+            *st = ProcState::Zombie(status);
+        }
+        // Close all descriptors, releasing tmpfs references.
+        let drained = proc.fds.lock().drain();
+        for desc in drained {
+            if let FileObject::Tmpfs(ino) = desc.object {
+                self.fs.release(ino);
+            }
+        }
+        if let Some(ppid) = proc.ppid {
+            if let Some(parent) = self.process(ppid) {
+                parent.signals.post(Signal::SigChld);
+            }
+        }
+        let _guard = self.wait_lock.lock();
+        self.child_exited.notify_all();
+        Ok(())
+    }
+
+    /// Blocking `waitpid`: reap a zombie child of `parent`. With
+    /// `Some(target)`, wait for that child specifically. Blocks the calling
+    /// OS thread — a *blocking system call* in the paper's sense.
+    pub fn waitpid(&self, parent: Pid, target: Option<Pid>) -> KResult<(Pid, i32)> {
+        loop {
+            {
+                let parent_proc = self.process(parent).ok_or(Errno::ESRCH)?;
+                let children = parent_proc.children.lock().clone();
+                if children.is_empty() {
+                    return Err(Errno::ECHILD);
+                }
+                if let Some(t) = target {
+                    if !children.contains(&t) {
+                        return Err(Errno::ECHILD);
+                    }
+                }
+                for &child in &children {
+                    if target.is_some() && target != Some(child) {
+                        continue;
+                    }
+                    if let Some(cp) = self.process(child) {
+                        if let ProcState::Zombie(status) = cp.state() {
+                            // Reap: remove from table and from parent's list.
+                            self.procs.lock().remove(&child);
+                            parent_proc.children.lock().retain(|&c| c != child);
+                            return Ok((child, status));
+                        }
+                    }
+                }
+            }
+            let mut guard = self.wait_lock.lock();
+            // Re-check happens at loop top; brief wait avoids lost wakeups.
+            self.child_exited
+                .wait_for(&mut guard, std::time::Duration::from_millis(50));
+        }
+    }
+
+    /// Non-blocking variant (`WNOHANG`).
+    pub fn try_waitpid(&self, parent: Pid, target: Option<Pid>) -> KResult<Option<(Pid, i32)>> {
+        let parent_proc = self.process(parent).ok_or(Errno::ESRCH)?;
+        let children = parent_proc.children.lock().clone();
+        if children.is_empty() {
+            return Err(Errno::ECHILD);
+        }
+        for &child in &children {
+            if target.is_some() && target != Some(child) {
+                continue;
+            }
+            if let Some(cp) = self.process(child) {
+                if let ProcState::Zombie(status) = cp.state() {
+                    self.procs.lock().remove(&child);
+                    parent_proc.children.lock().retain(|&c| c != child);
+                    return Ok(Some((child, status)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ----- thread ↔ process binding ----------------------------------------
+
+    /// Bind the calling OS thread to `pid`: subsequent system calls from
+    /// this thread execute against that process. Replaces any previous
+    /// binding of this thread in this kernel.
+    pub fn bind_current(&self, pid: Pid) {
+        let id = self.id;
+        BINDINGS.with(|b| {
+            let mut b = b.borrow_mut();
+            if let Some(entry) = b.iter_mut().find(|(k, _)| *k == id) {
+                entry.1 = pid;
+            } else {
+                b.push((id, pid));
+            }
+        });
+    }
+
+    /// Remove the calling OS thread's binding in this kernel.
+    pub fn unbind_current(&self) {
+        let id = self.id;
+        BINDINGS.with(|b| b.borrow_mut().retain(|(k, _)| *k != id));
+    }
+
+    /// The process bound to the calling OS thread, if any.
+    pub fn current_pid(&self) -> Option<Pid> {
+        let id = self.id;
+        BINDINGS.with(|b| {
+            b.borrow()
+                .iter()
+                .find(|(k, _)| *k == id)
+                .map(|(_, pid)| *pid)
+        })
+    }
+
+    /// Like [`Kernel::current_pid`] but returns `ESRCH` when unbound —
+    /// the common prologue of every system call.
+    pub(crate) fn require_current(&self) -> KResult<(Pid, Arc<Process>)> {
+        let pid = self.current_pid().ok_or(Errno::ESRCH)?;
+        let proc = self.process(pid).ok_or(Errno::ESRCH)?;
+        Ok((pid, proc))
+    }
+
+    /// Bind for the duration of a scope.
+    pub fn bind_scope(self: &Arc<Self>, pid: Pid) -> BindGuard {
+        let prev = self.current_pid();
+        self.bind_current(pid);
+        BindGuard {
+            kernel: self.clone(),
+            prev,
+        }
+    }
+
+    // ----- tracing ----------------------------------------------------------
+
+    /// Enable/disable the per-call trace used by consistency audits.
+    pub fn set_trace(&self, on: bool) {
+        self.trace_enabled.store(on, Ordering::Relaxed);
+        if !on {
+            self.trace.lock().clear();
+        }
+    }
+
+    /// Drain the recorded trace.
+    pub fn take_trace(&self) -> Vec<TraceEntry> {
+        std::mem::take(&mut *self.trace.lock())
+    }
+
+    /// Total system calls executed since boot.
+    pub fn total_syscalls(&self) -> u64 {
+        self.syscall_count.load(Ordering::Relaxed)
+    }
+
+    /// The shared filesystem.
+    pub fn tmpfs(&self) -> &Tmpfs {
+        &self.fs
+    }
+}
+
+/// RAII guard restoring the previous thread binding.
+pub struct BindGuard {
+    kernel: KernelRef,
+    prev: Option<Pid>,
+}
+
+impl Drop for BindGuard {
+    fn drop(&mut self) {
+        match self.prev {
+            Some(pid) => self.kernel.bind_current(pid),
+            None => self.kernel.unbind_current(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_creates_init() {
+        let k = Kernel::native();
+        assert_eq!(k.process_count(), 1);
+        let init = k.process(Pid(1)).unwrap();
+        assert_eq!(*init.name.lock(), "init");
+        assert_eq!(init.ppid, None);
+    }
+
+    #[test]
+    fn spawn_links_parent_child() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "child");
+        assert_eq!(child, Pid(2));
+        assert_eq!(k.process(Pid(1)).unwrap().children(), vec![child]);
+        assert_eq!(k.process(child).unwrap().ppid, Some(Pid(1)));
+    }
+
+    #[test]
+    fn binding_is_per_thread_and_per_kernel() {
+        let k1 = Kernel::native();
+        let k2 = Kernel::native();
+        let p1 = k1.spawn_process(Some(Pid(1)), "a");
+        let p2 = k2.spawn_process(Some(Pid(1)), "b");
+        k1.bind_current(p1);
+        k2.bind_current(p2);
+        assert_eq!(k1.current_pid(), Some(p1));
+        assert_eq!(k2.current_pid(), Some(p2));
+        // Another thread sees no binding.
+        let k1c = k1.clone();
+        std::thread::spawn(move || assert_eq!(k1c.current_pid(), None))
+            .join()
+            .unwrap();
+        k1.unbind_current();
+        assert_eq!(k1.current_pid(), None);
+        assert_eq!(k2.current_pid(), Some(p2));
+        k2.unbind_current();
+    }
+
+    #[test]
+    fn bind_scope_restores() {
+        let k = Kernel::native();
+        let a = k.spawn_process(Some(Pid(1)), "a");
+        let b = k.spawn_process(Some(Pid(1)), "b");
+        k.bind_current(a);
+        {
+            let _g = k.bind_scope(b);
+            assert_eq!(k.current_pid(), Some(b));
+        }
+        assert_eq!(k.current_pid(), Some(a));
+        k.unbind_current();
+    }
+
+    #[test]
+    fn exit_and_waitpid_reap() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "c");
+        k.exit_process(child, 7).unwrap();
+        let (reaped, status) = k.waitpid(Pid(1), None).unwrap();
+        assert_eq!(reaped, child);
+        assert_eq!(status, 7);
+        assert!(k.process(child).is_none(), "zombie reaped");
+        assert_eq!(k.waitpid(Pid(1), None).unwrap_err(), Errno::ECHILD);
+    }
+
+    #[test]
+    fn waitpid_blocks_until_exit() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "c");
+        let k2 = k.clone();
+        let waiter = std::thread::spawn(move || k2.waitpid(Pid(1), Some(child)).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        k.exit_process(child, 3).unwrap();
+        assert_eq!(waiter.join().unwrap(), (child, 3));
+    }
+
+    #[test]
+    fn try_waitpid_wnohang() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "c");
+        assert_eq!(k.try_waitpid(Pid(1), None).unwrap(), None);
+        k.exit_process(child, 0).unwrap();
+        assert_eq!(k.try_waitpid(Pid(1), None).unwrap(), Some((child, 0)));
+    }
+
+    #[test]
+    fn exit_posts_sigchld() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "c");
+        k.exit_process(child, 0).unwrap();
+        assert!(k
+            .process(Pid(1))
+            .unwrap()
+            .signals
+            .pending()
+            .contains(Signal::SigChld));
+    }
+
+    #[test]
+    fn double_exit_is_esrch() {
+        let k = Kernel::native();
+        let child = k.spawn_process(Some(Pid(1)), "c");
+        k.exit_process(child, 0).unwrap();
+        assert_eq!(k.exit_process(child, 0).unwrap_err(), Errno::ESRCH);
+    }
+}

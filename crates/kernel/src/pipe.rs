@@ -1,0 +1,281 @@
+//! Blocking pipes.
+//!
+//! A pipe is the canonical *blocking* system call pair: `read` on an empty
+//! pipe and `write` on a full pipe both put the calling **OS thread** to
+//! sleep in the (simulated) kernel. These are the calls that stall an entire
+//! user-level-thread scheduler in a conventional ULT library — and the calls
+//! that BLT's `couple()`/`decouple()` makes harmless (paper §I, §V-B).
+
+use crate::errno::{Errno, KResult};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default pipe capacity (Linux: 64 KiB).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+#[derive(Debug)]
+struct PipeInner {
+    buf: Mutex<VecDeque<u8>>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+    readers: AtomicUsize,
+    writers: AtomicUsize,
+}
+
+/// Read end of a pipe. Cloning shares the same endpoint (like `dup`).
+#[derive(Debug)]
+pub struct PipeReader(Arc<PipeInner>);
+
+/// Write end of a pipe.
+#[derive(Debug)]
+pub struct PipeWriter(Arc<PipeInner>);
+
+/// Create a connected pipe pair with the given capacity.
+pub fn pipe_with_capacity(capacity: usize) -> (PipeReader, PipeWriter) {
+    let inner = Arc::new(PipeInner {
+        buf: Mutex::new(VecDeque::with_capacity(capacity.min(PIPE_CAPACITY))),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity: capacity.max(1),
+        readers: AtomicUsize::new(1),
+        writers: AtomicUsize::new(1),
+    });
+    (PipeReader(inner.clone()), PipeWriter(inner))
+}
+
+/// Create a connected pipe pair with the default capacity.
+pub fn pipe() -> (PipeReader, PipeWriter) {
+    pipe_with_capacity(PIPE_CAPACITY)
+}
+
+impl Clone for PipeReader {
+    fn clone(&self) -> Self {
+        self.0.readers.fetch_add(1, Ordering::Relaxed);
+        PipeReader(self.0.clone())
+    }
+}
+
+impl Clone for PipeWriter {
+    fn clone(&self) -> Self {
+        self.0.writers.fetch_add(1, Ordering::Relaxed);
+        PipeWriter(self.0.clone())
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        if self.0.readers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Writers must observe EPIPE.
+            self.0.writable.notify_all();
+        }
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        if self.0.writers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Readers must observe EOF.
+            self.0.readable.notify_all();
+        }
+    }
+}
+
+impl PipeReader {
+    /// Blocking read: waits for at least one byte (or EOF). Returns 0 at
+    /// EOF (all writers gone, buffer drained).
+    pub fn read(&self, out: &mut [u8]) -> KResult<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = self.0.buf.lock();
+        loop {
+            if !buf.is_empty() {
+                let n = out.len().min(buf.len());
+                for slot in out[..n].iter_mut() {
+                    *slot = buf.pop_front().expect("len checked");
+                }
+                self.0.writable.notify_all();
+                return Ok(n);
+            }
+            if self.0.writers.load(Ordering::Acquire) == 0 {
+                return Ok(0); // EOF
+            }
+            self.0.readable.wait(&mut buf);
+        }
+    }
+
+    /// Non-blocking read: `EAGAIN` instead of sleeping.
+    pub fn try_read(&self, out: &mut [u8]) -> KResult<usize> {
+        let mut buf = self.0.buf.lock();
+        if buf.is_empty() {
+            return if self.0.writers.load(Ordering::Acquire) == 0 {
+                Ok(0)
+            } else {
+                Err(Errno::EAGAIN)
+            };
+        }
+        let n = out.len().min(buf.len());
+        for slot in out[..n].iter_mut() {
+            *slot = buf.pop_front().expect("len checked");
+        }
+        self.0.writable.notify_all();
+        Ok(n)
+    }
+
+    /// Bytes currently buffered.
+    pub fn available(&self) -> usize {
+        self.0.buf.lock().len()
+    }
+}
+
+impl PipeWriter {
+    /// Blocking write of the whole buffer; sleeps whenever the pipe is full.
+    /// Returns `EPIPE` if all readers are gone.
+    pub fn write(&self, data: &[u8]) -> KResult<usize> {
+        let mut written = 0;
+        let mut buf = self.0.buf.lock();
+        while written < data.len() {
+            if self.0.readers.load(Ordering::Acquire) == 0 {
+                return if written > 0 { Ok(written) } else { Err(Errno::EPIPE) };
+            }
+            let space = self.0.capacity.saturating_sub(buf.len());
+            if space == 0 {
+                self.0.writable.wait(&mut buf);
+                continue;
+            }
+            let n = space.min(data.len() - written);
+            buf.extend(&data[written..written + n]);
+            written += n;
+            self.0.readable.notify_all();
+        }
+        Ok(written)
+    }
+
+    /// Non-blocking write: writes what fits, `EAGAIN` if nothing fits.
+    pub fn try_write(&self, data: &[u8]) -> KResult<usize> {
+        let mut buf = self.0.buf.lock();
+        if self.0.readers.load(Ordering::Acquire) == 0 {
+            return Err(Errno::EPIPE);
+        }
+        let space = self.0.capacity.saturating_sub(buf.len());
+        if space == 0 {
+            return Err(Errno::EAGAIN);
+        }
+        let n = space.min(data.len());
+        buf.extend(&data[..n]);
+        self.0.readable.notify_all();
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn write_then_read() {
+        let (r, w) = pipe();
+        assert_eq!(w.write(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+    }
+
+    #[test]
+    fn read_blocks_until_data() {
+        let (r, w) = pipe();
+        let t = thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            let n = r.read(&mut buf).unwrap();
+            (n, buf)
+        });
+        thread::sleep(Duration::from_millis(20));
+        w.write(b"ok").unwrap();
+        let (n, buf) = t.join().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(&buf[..2], b"ok");
+    }
+
+    #[test]
+    fn write_blocks_when_full() {
+        let (r, w) = pipe_with_capacity(4);
+        assert_eq!(w.write(b"abcd").unwrap(), 4);
+        let t = thread::spawn(move || w.write(b"ef").unwrap());
+        thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        assert_eq!(t.join().unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ef");
+    }
+
+    #[test]
+    fn eof_after_writer_drop() {
+        let (r, w) = pipe();
+        w.write(b"tail").unwrap();
+        drop(w);
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "EOF expected");
+    }
+
+    #[test]
+    fn epipe_after_reader_drop() {
+        let (r, w) = pipe();
+        drop(r);
+        assert_eq!(w.write(b"x").unwrap_err(), Errno::EPIPE);
+    }
+
+    #[test]
+    fn try_read_eagain_when_empty() {
+        let (r, _w) = pipe();
+        let mut buf = [0u8; 1];
+        assert_eq!(r.try_read(&mut buf).unwrap_err(), Errno::EAGAIN);
+    }
+
+    #[test]
+    fn try_write_eagain_when_full() {
+        let (_r, w) = pipe_with_capacity(2);
+        assert_eq!(w.try_write(b"abc").unwrap(), 2);
+        assert_eq!(w.try_write(b"d").unwrap_err(), Errno::EAGAIN);
+    }
+
+    #[test]
+    fn cloned_ends_keep_pipe_alive() {
+        let (r, w) = pipe();
+        let w2 = w.clone();
+        drop(w);
+        w2.write(b"via clone").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).unwrap(), 9);
+        drop(w2);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_transfer_is_lossless() {
+        let (r, w) = pipe_with_capacity(256);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        let t = thread::spawn(move || w.write(&data).unwrap());
+        let mut got = Vec::new();
+        let mut buf = [0u8; 333];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+            if got.len() == expect.len() {
+                break;
+            }
+        }
+        assert_eq!(t.join().unwrap(), expect.len());
+        assert_eq!(got, expect);
+    }
+}

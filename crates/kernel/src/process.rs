@@ -1,0 +1,88 @@
+//! Simulated processes: the per-KC kernel state ("kernel context" in the
+//! paper's terminology — "A KC is the reference for accessing resources
+//! maintained by an OS kernel", §I).
+
+use crate::fd::FdTable;
+use crate::signal::SignalState;
+use parking_lot::Mutex;
+
+/// Process identifier in the simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// Lifecycle state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    Running,
+    /// Exited with a status, not yet reaped by `waitpid`.
+    Zombie(i32),
+}
+
+/// One simulated process: the kernel-side identity a ULP carries.
+#[derive(Debug)]
+pub struct Process {
+    pub pid: Pid,
+    pub ppid: Option<Pid>,
+    /// Human-readable name (the "program" this ULP was spawned from).
+    pub name: Mutex<String>,
+    pub fds: Mutex<FdTable>,
+    pub cwd: Mutex<String>,
+    pub signals: SignalState,
+    pub(crate) state: Mutex<ProcState>,
+    pub(crate) children: Mutex<Vec<Pid>>,
+}
+
+impl Process {
+    pub(crate) fn new(pid: Pid, ppid: Option<Pid>, name: String) -> Process {
+        Process {
+            pid,
+            ppid,
+            name: Mutex::new(name),
+            fds: Mutex::new(FdTable::new()),
+            cwd: Mutex::new("/".to_string()),
+            signals: SignalState::new(),
+            state: Mutex::new(ProcState::Running),
+            children: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn state(&self) -> ProcState {
+        *self.state.lock()
+    }
+
+    pub fn is_zombie(&self) -> bool {
+        matches!(self.state(), ProcState::Zombie(_))
+    }
+
+    /// Snapshot of currently registered children.
+    pub fn children(&self) -> Vec<Pid> {
+        self.children.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_defaults() {
+        let p = Process::new(Pid(7), Some(Pid(1)), "prog".into());
+        assert_eq!(p.pid, Pid(7));
+        assert_eq!(p.ppid, Some(Pid(1)));
+        assert_eq!(p.state(), ProcState::Running);
+        assert_eq!(*p.cwd.lock(), "/");
+        assert_eq!(p.fds.lock().open_count(), 0);
+        assert!(!p.is_zombie());
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(42).to_string(), "pid:42");
+    }
+}

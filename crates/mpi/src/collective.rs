@@ -1,0 +1,322 @@
+//! Collective operations over the point-to-point layer.
+//!
+//! Simple, readable algorithms (linear gather/scatter, recursive-doubling
+//! allreduce when the size is a power of two, linear otherwise) — what a
+//! miniature MPI needs to make the paper's over-subscription scenarios
+//! (halo exchange, reductions) expressible.
+
+use crate::comm::RankCtx;
+use crate::msg::{bytes_to_f64s, f64s_to_bytes, Tag};
+
+/// Reduction operators over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn combine(&self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + *b,
+                ReduceOp::Min => a.min(*b),
+                ReduceOp::Max => a.max(*b),
+            };
+        }
+    }
+}
+
+const TAG_BCAST: Tag = -100;
+const TAG_REDUCE: Tag = -101;
+const TAG_GATHER: Tag = -102;
+const TAG_SCATTER: Tag = -103;
+const TAG_ALLRED: Tag = -104;
+const TAG_ALLGATHER: Tag = -105;
+const TAG_ALLTOALL: Tag = -106;
+
+impl RankCtx {
+    /// Synchronize all ranks (delegates to the ULP-aware PiP barrier).
+    pub fn barrier(&self) {
+        self.world_barrier().wait();
+    }
+
+    fn world_barrier(&self) -> &ulp_pip::PipBarrier {
+        &self.world().barrier
+    }
+
+    fn world(&self) -> &crate::comm::WorldShared {
+        &self.world
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the payload.
+    pub fn bcast(&self, root: usize, data: &[u8]) -> Vec<u8> {
+        if self.rank() == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, TAG_BCAST, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root as i32, TAG_BCAST).data
+        }
+    }
+
+    /// Reduce `contribution` element-wise onto `root`; returns the result on
+    /// the root, `None` elsewhere.
+    pub fn reduce(&self, root: usize, op: ReduceOp, contribution: &[f64]) -> Option<Vec<f64>> {
+        if self.rank() == root {
+            let mut acc = contribution.to_vec();
+            for _ in 0..self.size() - 1 {
+                let msg = self.recv(crate::ANY_SOURCE, TAG_REDUCE);
+                op.combine(&mut acc, &msg.as_f64s());
+            }
+            Some(acc)
+        } else {
+            self.send(root, TAG_REDUCE, &f64s_to_bytes(contribution));
+            None
+        }
+    }
+
+    /// Allreduce: recursive doubling for power-of-two worlds, otherwise
+    /// reduce-to-0 + broadcast.
+    pub fn allreduce(&self, op: ReduceOp, contribution: &[f64]) -> Vec<f64> {
+        let size = self.size();
+        if size == 1 {
+            return contribution.to_vec();
+        }
+        if size.is_power_of_two() {
+            let mut acc = contribution.to_vec();
+            let mut distance = 1;
+            while distance < size {
+                let partner = self.rank() ^ distance;
+                let got = self.sendrecv(
+                    partner,
+                    TAG_ALLRED + distance as Tag,
+                    &f64s_to_bytes(&acc),
+                    partner as i32,
+                    TAG_ALLRED + distance as Tag,
+                );
+                op.combine(&mut acc, &bytes_to_f64s(&got.data));
+                distance <<= 1;
+            }
+            acc
+        } else {
+            let reduced = self.reduce(0, op, contribution);
+            let bytes = if self.rank() == 0 {
+                f64s_to_bytes(&reduced.expect("root has result"))
+            } else {
+                Vec::new()
+            };
+            bytes_to_f64s(&self.bcast(0, &bytes))
+        }
+    }
+
+    /// Gather every rank's `contribution` on `root` (rank order preserved).
+    pub fn gather(&self, root: usize, contribution: &[u8]) -> Option<Vec<Vec<u8>>> {
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+            out[root] = contribution.to_vec();
+            for _ in 0..self.size() - 1 {
+                let msg = self.recv(crate::ANY_SOURCE, TAG_GATHER);
+                out[msg.src] = msg.data;
+            }
+            Some(out)
+        } else {
+            self.send(root, TAG_GATHER, contribution);
+            None
+        }
+    }
+
+    /// Allgather: every rank receives every rank's `contribution`, in rank
+    /// order (linear exchange).
+    pub fn allgather(&self, contribution: &[u8]) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        out[self.rank()] = contribution.to_vec();
+        for dest in 0..self.size() {
+            if dest != self.rank() {
+                self.send(dest, TAG_ALLGATHER, contribution);
+            }
+        }
+        for _ in 0..self.size() - 1 {
+            let msg = self.recv(crate::ANY_SOURCE, TAG_ALLGATHER);
+            out[msg.src] = msg.data;
+        }
+        out
+    }
+
+    /// All-to-all personalized exchange: `chunks[i]` goes to rank `i`;
+    /// returns the chunks received, indexed by source rank.
+    pub fn alltoall(&self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(chunks.len(), self.size(), "one chunk per destination");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        out[self.rank()] = chunks[self.rank()].clone();
+        for dest in 0..self.size() {
+            if dest != self.rank() {
+                self.send(dest, TAG_ALLTOALL, &chunks[dest]);
+            }
+        }
+        for _ in 0..self.size() - 1 {
+            let msg = self.recv(crate::ANY_SOURCE, TAG_ALLTOALL);
+            out[msg.src] = msg.data;
+        }
+        out
+    }
+
+    /// Scatter one chunk per rank from `root`; returns this rank's chunk.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+            for (r, chunk) in chunks.iter().enumerate() {
+                if r != root {
+                    self.send(r, TAG_SCATTER, chunk);
+                }
+            }
+            chunks[root].clone()
+        } else {
+            self.recv(root as i32, TAG_SCATTER).data
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::WorldShared;
+    use crate::net::NetModel;
+    use std::sync::Arc;
+
+    /// Drive `n` ranks on plain threads (collectives are runtime-agnostic).
+    fn run_ranks<F>(n: usize, f: F) -> Vec<Vec<f64>>
+    where
+        F: Fn(RankCtx) -> Vec<f64> + Send + Sync + 'static,
+    {
+        let world = WorldShared::new(n, NetModel::INSTANT);
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..n)
+            .map(|r| {
+                let ctx = RankCtx::new(r, world.clone());
+                let f = f.clone();
+                std::thread::spawn(move || f(ctx))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn bcast_reaches_all() {
+        let results = run_ranks(4, |ctx| {
+            let data = ctx.bcast(2, if ctx.rank() == 2 { b"xyz" } else { b"" });
+            vec![data.len() as f64]
+        });
+        assert!(results.iter().all(|r| r == &vec![3.0]));
+    }
+
+    #[test]
+    fn reduce_sums_on_root() {
+        let results = run_ranks(5, |ctx| {
+            let mine = [ctx.rank() as f64, 1.0];
+            match ctx.reduce(0, ReduceOp::Sum, &mine) {
+                Some(acc) => acc,
+                None => vec![-1.0],
+            }
+        });
+        // Rank 0 has [0+1+2+3+4, 5] = [10, 5].
+        assert_eq!(results[0], vec![10.0, 5.0]);
+        for r in &results[1..] {
+            assert_eq!(r, &vec![-1.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_power_of_two() {
+        let results = run_ranks(4, |ctx| ctx.allreduce(ReduceOp::Sum, &[ctx.rank() as f64]));
+        for r in &results {
+            assert_eq!(r, &vec![6.0]); // 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn allreduce_non_power_of_two() {
+        let results = run_ranks(3, |ctx| ctx.allreduce(ReduceOp::Max, &[ctx.rank() as f64 * 2.0]));
+        for r in &results {
+            assert_eq!(r, &vec![4.0]);
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let results = run_ranks(4, |ctx| {
+            let mine = vec![ctx.rank() as u8; ctx.rank() + 1];
+            match ctx.gather(1, &mine) {
+                Some(all) => {
+                    for (r, chunk) in all.iter().enumerate() {
+                        assert_eq!(chunk, &vec![r as u8; r + 1]);
+                    }
+                    vec![all.len() as f64]
+                }
+                None => vec![0.0],
+            }
+        });
+        assert_eq!(results[1], vec![4.0]);
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let results = run_ranks(3, |ctx| {
+            let chunks: Option<Vec<Vec<u8>>> = if ctx.rank() == 0 {
+                Some((0..3).map(|r| vec![r as u8 * 10; 2]).collect())
+            } else {
+                None
+            };
+            let mine = ctx.scatter(0, chunks.as_deref());
+            assert_eq!(mine, vec![ctx.rank() as u8 * 10; 2]);
+            vec![1.0]
+        });
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let results = run_ranks(4, |ctx| {
+            let mine = vec![ctx.rank() as u8 + 100];
+            let all = ctx.allgather(&mine);
+            for (r, chunk) in all.iter().enumerate() {
+                assert_eq!(chunk, &vec![r as u8 + 100]);
+            }
+            vec![all.len() as f64]
+        });
+        assert!(results.iter().all(|r| r == &vec![4.0]));
+    }
+
+    #[test]
+    fn alltoall_personalized_exchange() {
+        let results = run_ranks(3, |ctx| {
+            let me = ctx.rank() as u8;
+            // chunk for dest d is [me, d].
+            let chunks: Vec<Vec<u8>> = (0..3).map(|d| vec![me, d as u8]).collect();
+            let got = ctx.alltoall(&chunks);
+            for (src, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u8, me]);
+            }
+            vec![1.0]
+        });
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static ARRIVED: AtomicUsize = AtomicUsize::new(0);
+        run_ranks(4, |ctx| {
+            ARRIVED.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            assert_eq!(ARRIVED.load(Ordering::SeqCst), 4);
+            vec![]
+        });
+    }
+}

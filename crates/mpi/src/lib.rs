@@ -1,0 +1,44 @@
+//! # ulp-mpi — a miniature MPI on top of ULP-PiP
+//!
+//! The paper's §III names MPI as the motivation for user-level processes:
+//! MPI processes are *processes* (per-rank PIDs, FD tables), so running an
+//! over-subscribed rank set efficiently needs process-grade execution
+//! entities with thread-grade context-switch costs — exactly what ULP
+//! provides. This crate closes the loop: a small but complete MPI-like
+//! layer where
+//!
+//! - each **rank** is a PiP task / BLT with its own simulated-kernel PID,
+//! - blocking `recv`/`wait`/`barrier` **cooperatively yield** instead of
+//!   stalling the kernel context (latency hiding under over-subscription),
+//! - a configurable [`NetModel`] supplies the communication latency the
+//!   paper says keeps growing relative to compute,
+//! - collectives (`bcast`, `reduce`, `allreduce`, `gather`, `scatter`,
+//!   `barrier`) are built on the point-to-point layer.
+//!
+//! ```
+//! use ulp_mpi::{ReduceOp, UlpWorld};
+//!
+//! let world = UlpWorld::builder().ranks(4).schedulers(2).build();
+//! let codes = world.run("pi", |ctx| {
+//!     let partial = [1.0 / ctx.size() as f64];
+//!     let total = ctx.allreduce(ReduceOp::Sum, &partial);
+//!     assert!((total[0] - 1.0).abs() < 1e-12);
+//!     0
+//! });
+//! assert_eq!(codes, vec![0; 4]);
+//! ```
+
+pub mod collective;
+pub mod comm;
+pub mod msg;
+pub mod net;
+pub mod world;
+
+pub use collective::ReduceOp;
+pub use comm::{RankCtx, RecvRequest, WorldShared};
+pub use msg::{
+    bytes_to_f64s, f64s_to_bytes, u64s_to_bytes, Envelope, Rank, Received, Tag, ANY_SOURCE,
+    ANY_TAG,
+};
+pub use net::NetModel;
+pub use world::{UlpWorld, UlpWorldBuilder};

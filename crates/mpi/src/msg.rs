@@ -1,0 +1,127 @@
+//! Messages, tags, matching and typed payload helpers.
+
+use std::time::Instant;
+
+/// A rank number within a world.
+pub type Rank = usize;
+
+/// Message tag.
+pub type Tag = i32;
+
+/// Wildcard source for [`crate::RankCtx::recv`] matching.
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag.
+pub const ANY_TAG: i32 = -1;
+
+/// One in-flight message.
+#[derive(Debug)]
+pub struct Envelope {
+    pub src: Rank,
+    pub tag: Tag,
+    pub data: Vec<u8>,
+    /// Simulated-network delivery time; unmatchable before this.
+    pub deliver_at: Instant,
+    /// Monotonic sequence for deterministic (non-overtaking) matching
+    /// between a pair, as MPI requires.
+    pub seq: u64,
+}
+
+/// A received message: payload plus its matched envelope metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received {
+    pub src: Rank,
+    pub tag: Tag,
+    pub data: Vec<u8>,
+}
+
+impl Received {
+    /// Interpret the payload as a little-endian slice of `f64`.
+    pub fn as_f64s(&self) -> Vec<f64> {
+        bytes_to_f64s(&self.data)
+    }
+
+    /// Interpret the payload as a little-endian slice of `u64`.
+    pub fn as_u64s(&self) -> Vec<u64> {
+        self.data
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+}
+
+/// Encode a slice of `f64` as little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `f64`s (length must be a multiple of 8).
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Encode a slice of `u64` as little-endian bytes.
+pub fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Does an envelope match a `(source, tag)` request (with wildcards)?
+pub fn matches(env: &Envelope, src: i32, tag: Tag) -> bool {
+    (src == ANY_SOURCE || env.src == src as usize) && (tag == ANY_TAG || env.tag == tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: Rank, tag: Tag) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            data: Vec::new(),
+            deliver_at: Instant::now(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn exact_and_wildcard_matching() {
+        let e = env(3, 7);
+        assert!(matches(&e, 3, 7));
+        assert!(matches(&e, ANY_SOURCE, 7));
+        assert!(matches(&e, 3, ANY_TAG));
+        assert!(matches(&e, ANY_SOURCE, ANY_TAG));
+        assert!(!matches(&e, 2, 7));
+        assert!(!matches(&e, 3, 8));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = [1.5f64, -2.25, 1e300, 0.0];
+        let bytes = f64s_to_bytes(&xs);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(bytes_to_f64s(&bytes), xs);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let xs = [u64::MAX, 0, 42];
+        let r = Received {
+            src: 0,
+            tag: 0,
+            data: u64s_to_bytes(&xs),
+        };
+        assert_eq!(r.as_u64s(), xs);
+    }
+}

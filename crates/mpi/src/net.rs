@@ -1,0 +1,72 @@
+//! The simulated interconnect.
+//!
+//! §III: "The gap between computation speed and the communication latency is
+//! getting bigger … the latency hiding technique becomes more important."
+//! This module supplies the latency: every message carries a delivery time
+//! computed from a configurable [`NetModel`] (base latency + per-byte cost),
+//! and a receive cannot match the message before that time. An
+//! over-subscribed ULP rank that would otherwise stall in `recv` can instead
+//! yield to a sibling rank — the latency-hiding effect the paper attributes
+//! to ULT/ULP-based MPI implementations (MPIQ, AMPI).
+
+use std::time::{Duration, Instant};
+
+/// Latency/bandwidth model of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Base one-way latency.
+    pub latency: Duration,
+    /// Per-byte transfer time in nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+impl NetModel {
+    /// Zero-cost network (intra-node shared memory, the PiP case).
+    pub const INSTANT: NetModel = NetModel {
+        latency: Duration::ZERO,
+        ns_per_byte: 0.0,
+    };
+
+    /// A cluster-like interconnect: ~2 µs latency, ~10 GB/s bandwidth.
+    pub const CLUSTER: NetModel = NetModel {
+        latency: Duration::from_micros(2),
+        ns_per_byte: 0.1,
+    };
+
+    /// A slow network (for visible latency-hiding demos): 200 µs + 1 GB/s.
+    pub const WAN: NetModel = NetModel {
+        latency: Duration::from_micros(200),
+        ns_per_byte: 1.0,
+    };
+
+    /// When a message of `bytes` sent now becomes receivable.
+    pub fn deliver_at(&self, bytes: usize) -> Instant {
+        Instant::now() + self.latency + Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64)
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::INSTANT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_delivers_now() {
+        let t = NetModel::INSTANT.deliver_at(1 << 20);
+        assert!(t <= Instant::now() + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn wan_scales_with_size() {
+        let small = NetModel::WAN.deliver_at(0);
+        let large = NetModel::WAN.deliver_at(1 << 20);
+        assert!(large > small);
+        // 1 MiB at 1 GB/s ≈ 1 ms on top of latency.
+        assert!(large - Instant::now() >= Duration::from_micros(1000));
+    }
+}

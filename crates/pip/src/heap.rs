@@ -1,0 +1,218 @@
+//! The shared heap.
+//!
+//! §IV: "only one heap segment is allowed in one address space … this heap
+//! segment issue is avoided by setting the malloc option not to use heap,
+//! instead to use mmap". This module models that design point: a
+//! region-based allocator whose chunks are `mmap`-like anonymous allocations
+//! shared by every task. Objects allocated here are reachable by plain
+//! pointer from any PiP task — the property that makes PiP's zero-copy
+//! communication work.
+
+use parking_lot::Mutex;
+use std::alloc::{alloc, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default chunk size for the arena (2 MiB — a huge page, the size HPC
+/// systems prefer to reduce page faults and TLB misses, §VII).
+pub const CHUNK_SIZE: usize = 2 * 1024 * 1024;
+
+struct Chunk {
+    base: NonNull<u8>,
+    layout: Layout,
+    used: usize,
+}
+
+unsafe impl Send for Chunk {}
+
+/// A bump allocator over shared chunks. Allocation hands out [`SharedBox`]es
+/// whose pointers every task may dereference.
+pub struct SharedHeap {
+    chunks: Mutex<Vec<Chunk>>,
+    allocated_bytes: AtomicUsize,
+    allocations: AtomicUsize,
+}
+
+impl SharedHeap {
+    pub fn new() -> Arc<SharedHeap> {
+        Arc::new(SharedHeap {
+            chunks: Mutex::new(Vec::new()),
+            allocated_bytes: AtomicUsize::new(0),
+            allocations: AtomicUsize::new(0),
+        })
+    }
+
+    /// Allocate `value` in the shared region; the returned handle is `Send`
+    /// + `Sync` (for `T: Send + Sync`) and exposes a stable raw pointer.
+    pub fn alloc<T: Send + Sync>(self: &Arc<Self>, value: T) -> SharedBox<T> {
+        let layout = Layout::new::<T>().align_to(16).expect("layout");
+        let size = layout.size().max(1);
+        let ptr = {
+            let mut chunks = self.chunks.lock();
+            let need_new = match chunks.last() {
+                Some(c) => align_up(c.used, layout.align()) + size > CHUNK_SIZE,
+                None => true,
+            };
+            if need_new {
+                let chunk_layout =
+                    Layout::from_size_align(CHUNK_SIZE.max(size), 4096).expect("chunk layout");
+                let base = unsafe { alloc(chunk_layout) };
+                let base = NonNull::new(base).expect("shared heap chunk allocation failed");
+                chunks.push(Chunk {
+                    base,
+                    layout: chunk_layout,
+                    used: 0,
+                });
+            }
+            let chunk = chunks.last_mut().expect("chunk exists");
+            let offset = align_up(chunk.used, layout.align());
+            chunk.used = offset + size;
+            unsafe { chunk.base.as_ptr().add(offset) as *mut T }
+        };
+        unsafe { ptr.write(value) };
+        self.allocated_bytes.fetch_add(size, Ordering::Relaxed);
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        SharedBox {
+            ptr,
+            heap: self.clone(),
+        }
+    }
+
+    /// Total bytes handed out.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total allocations performed.
+    pub fn allocations(&self) -> usize {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of backing chunks mapped.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.lock().len()
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+fn align_up(n: usize, align: usize) -> usize {
+    (n + align - 1) & !(align - 1)
+}
+
+/// An object living in the shared heap. The value's destructor runs when
+/// the handle drops, but the *memory* is reclaimed only with the arena —
+/// region semantics, like PiP's process-lifetime shared mappings.
+pub struct SharedBox<T: Send + Sync> {
+    ptr: *mut T,
+    #[allow(dead_code)] // keeps the arena alive
+    heap: Arc<SharedHeap>,
+}
+
+unsafe impl<T: Send + Sync> Send for SharedBox<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedBox<T> {}
+
+impl<T: Send + Sync> SharedBox<T> {
+    /// The raw pointer any task may dereference (the same virtual address
+    /// is valid everywhere — the address-space-sharing property).
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+}
+
+impl<T: Send + Sync> std::ops::Deref for SharedBox<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T: Send + Sync> Drop for SharedBox<T> {
+    fn drop(&mut self) {
+        unsafe { std::ptr::drop_in_place(self.ptr) };
+    }
+}
+
+impl Default for SharedHeap {
+    fn default() -> Self {
+        SharedHeap {
+            chunks: Mutex::new(Vec::new()),
+            allocated_bytes: AtomicUsize::new(0),
+            allocations: AtomicUsize::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn alloc_and_deref() {
+        let heap = SharedHeap::new();
+        let b = heap.alloc(123u64);
+        assert_eq!(*b, 123);
+        assert_eq!(heap.allocations(), 1);
+        assert!(heap.allocated_bytes() >= 8);
+    }
+
+    #[test]
+    fn pointers_are_stable_and_cross_thread() {
+        let heap = SharedHeap::new();
+        let b = heap.alloc(AtomicU64::new(0));
+        let addr = b.as_ptr() as usize;
+        let b = Arc::new(b);
+        let b2 = b.clone();
+        std::thread::spawn(move || {
+            // Same virtual address, same object — "pointers can be
+            // dereferenced as they are" (§IV).
+            assert_eq!(b2.as_ptr() as usize, addr);
+            b2.fetch_add(5, Ordering::SeqCst);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(b.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn many_allocations_span_chunks() {
+        let heap = SharedHeap::new();
+        let boxes: Vec<_> = (0..100).map(|i| heap.alloc([i as u8; 64 * 1024])).collect();
+        assert!(heap.chunk_count() >= 2, "64KiB x100 must exceed one chunk");
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(b[0], i as u8);
+            assert_eq!(b[64 * 1024 - 1], i as u8);
+        }
+    }
+
+    #[test]
+    fn destructors_run_on_drop() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        unsafe impl Send for D {}
+        unsafe impl Sync for D {}
+        let heap = SharedHeap::new();
+        let b = heap.alloc(D);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let heap = SharedHeap::new();
+        let _pad = heap.alloc(1u8);
+        let b = heap.alloc(0u128);
+        assert_eq!(b.as_ptr() as usize % 16, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ulp-pip — Process-in-Process style address-space sharing
+//!
+//! A simulation of the PiP library (Hori et al., HPDC'18) that the paper's
+//! ULP prototype is built on: a **root** process spawns **tasks** derived
+//! from **programs**, all sharing one virtual address space while keeping
+//! their variables **privatized**.
+//!
+//! Because this reproduction lives inside a single Rust process, the
+//! address-space-sharing half is free (every pointer is valid everywhere);
+//! what this crate supplies is the *rest* of PiP's machinery, faithfully:
+//!
+//! - [`Program`] — the PIE-executable stand-in; N spawns → N privatized
+//!   instances of its globals ([`Privatized`]).
+//! - [`PipRoot`] / [`PipTask`] — `pip_spawn` / `pip_wait`, with process
+//!   mode and thread mode (§IV).
+//! - [`Namespace`] — simulated `dlmopen` link namespaces.
+//! - [`SharedHeap`] — the mmap-backed heap replacing the (unshareable)
+//!   `sbrk` heap (§IV).
+//! - [`ExportTable`] — `pip_named_export` / `pip_named_import`.
+//! - [`PipBarrier`] — a ULP-aware (yielding) barrier.
+//!
+//! Tasks are BLTs underneath: they can [`ulp_core::decouple`] into
+//! user-level processes and enclose system calls in
+//! [`ulp_core::coupled_scope`] — that combination is the paper's ULP-PiP.
+
+pub mod barrier;
+pub mod export;
+pub mod heap;
+pub mod namespace;
+pub mod privatize;
+pub mod program;
+pub mod root;
+pub mod task;
+
+pub use barrier::PipBarrier;
+pub use export::ExportTable;
+pub use heap::{SharedBox, SharedHeap};
+pub use namespace::{Namespace, NamespaceId, NamespaceRegistry};
+pub use privatize::Privatized;
+pub use program::Program;
+pub use root::{PipMode, PipRoot, PipRootBuilder, RootShared};
+pub use task::{PipTask, TaskCtx};

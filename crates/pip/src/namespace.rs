@@ -1,0 +1,122 @@
+//! Simulated `dlmopen` link namespaces.
+//!
+//! PiP privatizes variables by loading each task's program into a fresh
+//! linker namespace via `dlmopen` (§IV): same symbol *name*, distinct
+//! *address* per task, and every address dereferenceable by everyone. This
+//! module keeps that bookkeeping: each task owns a [`Namespace`] mapping
+//! symbol names to addresses, and a cross-namespace lookup (the analogue of
+//! a task handing a pointer to a peer) is always possible.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use ulp_core::BltId;
+
+/// Identifier of a link namespace (LM_ID in dlmopen terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NamespaceId(pub u64);
+
+/// One task's link namespace: the program it was loaded from and its symbol
+/// table.
+#[derive(Debug)]
+pub struct Namespace {
+    pub id: NamespaceId,
+    pub program: String,
+    symbols: Mutex<HashMap<String, usize>>,
+}
+
+impl Namespace {
+    /// Define (or redefine) a symbol at `addr`.
+    pub fn define(&self, name: &str, addr: usize) {
+        self.symbols.lock().insert(name.to_string(), addr);
+    }
+
+    /// Resolve a symbol within this namespace (`dlsym` on the task's
+    /// handle).
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.symbols.lock().get(name).copied()
+    }
+
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.lock().len()
+    }
+}
+
+/// All namespaces of a PiP root.
+#[derive(Debug, Default)]
+pub struct NamespaceRegistry {
+    map: Mutex<HashMap<BltId, Arc<Namespace>>>,
+    next: AtomicU64,
+}
+
+impl NamespaceRegistry {
+    pub fn new() -> NamespaceRegistry {
+        NamespaceRegistry::default()
+    }
+
+    /// Create the namespace for a newly spawned task (the `dlmopen` call).
+    pub fn create(&self, task: BltId, program: &str) -> Arc<Namespace> {
+        let ns = Arc::new(Namespace {
+            id: NamespaceId(self.next.fetch_add(1, Ordering::Relaxed)),
+            program: program.to_string(),
+            symbols: Mutex::new(HashMap::new()),
+        });
+        self.map.lock().insert(task, ns.clone());
+        ns
+    }
+
+    /// The namespace of a task.
+    pub fn of(&self, task: BltId) -> Option<Arc<Namespace>> {
+        self.map.lock().get(&task).cloned()
+    }
+
+    /// Cross-namespace symbol resolution: find `name` in *another* task's
+    /// namespace — the shareability half of PiP.
+    pub fn lookup_in(&self, task: BltId, name: &str) -> Option<usize> {
+        self.of(task)?.lookup(name)
+    }
+
+    pub fn count(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_distinct_per_task() {
+        let reg = NamespaceRegistry::new();
+        let a = reg.create(BltId(1), "prog");
+        let b = reg.create(BltId(2), "prog");
+        assert_ne!(a.id, b.id, "same program, fresh namespace each load");
+        a.define("x", 0x1000);
+        b.define("x", 0x2000);
+        // Same symbol name, different (privatized) addresses.
+        assert_eq!(reg.lookup_in(BltId(1), "x"), Some(0x1000));
+        assert_eq!(reg.lookup_in(BltId(2), "x"), Some(0x2000));
+    }
+
+    #[test]
+    fn lookup_missing() {
+        let reg = NamespaceRegistry::new();
+        reg.create(BltId(1), "p");
+        assert_eq!(reg.lookup_in(BltId(1), "nope"), None);
+        assert_eq!(reg.lookup_in(BltId(9), "x"), None);
+    }
+
+    #[test]
+    fn registry_counts() {
+        let reg = NamespaceRegistry::new();
+        reg.create(BltId(1), "a");
+        reg.create(BltId(2), "b");
+        assert_eq!(reg.count(), 2);
+        let ns = reg.of(BltId(1)).unwrap();
+        ns.define("s1", 1);
+        ns.define("s2", 2);
+        assert_eq!(ns.symbol_count(), 2);
+        assert_eq!(ns.program, "a");
+    }
+}

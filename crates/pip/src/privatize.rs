@@ -1,0 +1,120 @@
+//! Variable privatization.
+//!
+//! PiP's defining property (§I): "all variables defined in the process on
+//! PiP are privatized … however, all variables in PiP are not shared but
+//! *shareable*. Any objects in PiP are accessible and shareable since
+//! everything is located in the same virtual address space."
+//!
+//! [`Privatized<T>`] reproduces both halves:
+//! - **privatized**: each PiP task touching the variable gets its own
+//!   instance, initialized from the declared initial value (the instance a
+//!   fresh ELF load would have);
+//! - **shareable**: any task (or the root) can reach any other task's
+//!   instance through [`Privatized::peek`] / [`Privatized::with_instance_of`]
+//!   — the analogue of dereferencing a pointer into another task's data.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use ulp_core::BltId;
+
+/// A program "global variable" with one instance per PiP task.
+pub struct Privatized<T: Clone + Send + 'static> {
+    initial: T,
+    instances: RwLock<HashMap<BltId, Arc<Mutex<T>>>>,
+}
+
+impl<T: Clone + Send + 'static> Privatized<T> {
+    /// Declare a global with its (ELF-image) initial value.
+    pub fn new(initial: T) -> Privatized<T> {
+        Privatized {
+            initial,
+            instances: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn instance_for(&self, id: BltId) -> Arc<Mutex<T>> {
+        if let Some(inst) = self.instances.read().get(&id) {
+            return inst.clone();
+        }
+        let mut map = self.instances.write();
+        map.entry(id)
+            .or_insert_with(|| Arc::new(Mutex::new(self.initial.clone())))
+            .clone()
+    }
+
+    /// Access the calling task's own instance.
+    ///
+    /// # Panics
+    /// When called from a thread that is not running a ULP.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let id = ulp_core::self_id().expect("Privatized accessed outside a PiP task");
+        let inst = self.instance_for(id);
+        let mut guard = inst.lock();
+        f(&mut guard)
+    }
+
+    /// Copy out the calling task's value.
+    pub fn get(&self) -> T {
+        self.with(|v| v.clone())
+    }
+
+    /// Overwrite the calling task's value.
+    pub fn set(&self, v: T) {
+        self.with(|slot| *slot = v);
+    }
+
+    /// Read *another* task's instance (the "shareable" half). Returns the
+    /// initial value if that task never touched the variable — exactly what
+    /// its pristine instance would contain.
+    pub fn peek(&self, id: BltId) -> T {
+        let inst = self.instance_for(id);
+        let guard = inst.lock();
+        guard.clone()
+    }
+
+    /// Mutate another task's instance in place (cross-task communication
+    /// through the shared address space).
+    pub fn with_instance_of<R>(&self, id: BltId, f: impl FnOnce(&mut T) -> R) -> R {
+        let inst = self.instance_for(id);
+        let mut guard = inst.lock();
+        f(&mut guard)
+    }
+
+    /// Number of instantiated copies (diagnostics; equals the number of
+    /// tasks that touched the variable).
+    pub fn instance_count(&self) -> usize {
+        self.instances.read().len()
+    }
+}
+
+impl<T: Clone + Send + std::fmt::Debug + 'static> std::fmt::Debug for Privatized<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Privatized")
+            .field("initial", &self.initial)
+            .field("instances", &self.instance_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peek_of_untouched_task_is_initial() {
+        let v: Privatized<i32> = Privatized::new(42);
+        assert_eq!(v.peek(BltId(99)), 42);
+        assert_eq!(v.instance_count(), 1);
+    }
+
+    #[test]
+    fn cross_instance_mutation() {
+        let v: Privatized<Vec<u8>> = Privatized::new(vec![1]);
+        v.with_instance_of(BltId(1), |inst| inst.push(2));
+        v.with_instance_of(BltId(2), |inst| inst.push(9));
+        assert_eq!(v.peek(BltId(1)), vec![1, 2]);
+        assert_eq!(v.peek(BltId(2)), vec![1, 9]);
+        assert_eq!(v.instance_count(), 2);
+    }
+}

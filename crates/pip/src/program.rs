@@ -1,0 +1,65 @@
+//! Programs: the stand-in for PIE executables.
+//!
+//! PiP derives its tasks from Position-Independent Executables loaded with
+//! `dlmopen` (§IV). Here a [`Program`] is a named, cloneable entry function:
+//! spawning the same program N times yields N tasks whose [`Privatized`]
+//! globals are N independent instances — the paper's variable privatization
+//! ("there are N instances of variable x when N processes are derived from
+//! the same program defining the x").
+//!
+//! [`Privatized`]: crate::privatize::Privatized
+
+use crate::task::TaskCtx;
+use std::sync::Arc;
+
+/// Entry point of a PiP program: receives the task context (rank, root
+/// services), returns the exit status.
+pub type ProgramEntry = dyn Fn(&TaskCtx) -> i32 + Send + Sync + 'static;
+
+/// A "PIE executable": a named entry function that can be instantiated any
+/// number of times. Cloning shares the code (as an ELF would be shared),
+/// never the data.
+#[derive(Clone)]
+pub struct Program {
+    name: Arc<str>,
+    entry: Arc<ProgramEntry>,
+}
+
+impl Program {
+    /// Define a program. Different ULPs may run different programs — the
+    /// paper's in-situ / multi-physics motivation (§III): "It would be more
+    /// convenient to run them as separate programs."
+    pub fn new(name: &str, entry: impl Fn(&TaskCtx) -> i32 + Send + Sync + 'static) -> Program {
+        Program {
+            name: Arc::from(name),
+            entry: Arc::new(entry),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn entry(&self) -> Arc<ProgramEntry> {
+        self.entry.clone()
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_is_cloneable_code_sharing() {
+        let p = Program::new("sim", |_| 0);
+        let q = p.clone();
+        assert_eq!(p.name(), "sim");
+        assert!(Arc::ptr_eq(&p.entry(), &q.entry()), "code is shared");
+    }
+}

@@ -1,0 +1,199 @@
+//! The PiP root process.
+//!
+//! §IV: "PiP root process is a normal Unix/Linux process and it can spawn
+//! PiP processes in the same address space … In an MPI implementation using
+//! PiP, the MPI process manager is the PiP root and the MPI processes are
+//! the PiP processes spawned by the PiP root."
+//!
+//! The root owns the ULP runtime, the shared heap, the export table, the
+//! namespace registry and the spawn counter. Tasks are spawned from
+//! [`crate::Program`]s in either execution mode (§IV):
+//!
+//! - **process mode** — each task is a separate simulated-kernel process
+//!   (own PID, FD table, signal state); the root `wait()`s for it like a
+//!   forked child;
+//! - **thread mode** — tasks share the root's kernel identity, appearing to
+//!   the kernel as threads of one process. Variable privatization works in
+//!   both modes, exactly as the paper states.
+
+use crate::barrier::PipBarrier;
+use crate::export::ExportTable;
+use crate::heap::SharedHeap;
+use crate::namespace::NamespaceRegistry;
+use crate::program::Program;
+use crate::task::{PipTask, TaskCtx};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ulp_core::{IdlePolicy, Runtime, RuntimeBuilder};
+use ulp_kernel::ArchProfile;
+
+/// PiP execution mode (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipMode {
+    /// Tasks are kernel-visible processes (the mode all of the paper's
+    /// evaluations use).
+    #[default]
+    Process,
+    /// Tasks share the root's kernel identity, like PThreads.
+    Thread,
+}
+
+/// Root-wide shared services, reachable from every task's [`TaskCtx`].
+pub struct RootShared {
+    pub heap: Arc<SharedHeap>,
+    pub exports: ExportTable,
+    pub namespaces: NamespaceRegistry,
+    barriers: Mutex<HashMap<String, Arc<PipBarrier>>>,
+    ntasks: AtomicUsize,
+}
+
+impl RootShared {
+    pub fn ntasks(&self) -> usize {
+        self.ntasks.load(Ordering::Acquire)
+    }
+
+    pub fn barrier(&self, name: &str, parties: usize) -> Arc<PipBarrier> {
+        let mut map = self.barriers.lock();
+        let b = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(PipBarrier::new(parties)))
+            .clone();
+        assert_eq!(
+            b.parties(),
+            parties,
+            "barrier '{name}' reused with a different party count"
+        );
+        b
+    }
+}
+
+/// Builder for [`PipRoot`].
+pub struct PipRootBuilder {
+    rt: RuntimeBuilder,
+    mode: PipMode,
+}
+
+impl PipRootBuilder {
+    pub fn mode(mut self, m: PipMode) -> Self {
+        self.mode = m;
+        self
+    }
+    pub fn schedulers(mut self, n: usize) -> Self {
+        self.rt = self.rt.schedulers(n);
+        self
+    }
+    pub fn idle_policy(mut self, p: IdlePolicy) -> Self {
+        self.rt = self.rt.idle_policy(p);
+        self
+    }
+    pub fn profile(mut self, p: ArchProfile) -> Self {
+        self.rt = self.rt.profile(p);
+        self
+    }
+
+    pub fn build(self) -> PipRoot {
+        PipRoot {
+            rt: self.rt.build(),
+            shared: Arc::new(RootShared {
+                heap: SharedHeap::new(),
+                exports: ExportTable::new(),
+                namespaces: NamespaceRegistry::new(),
+                barriers: Mutex::new(HashMap::new()),
+                ntasks: AtomicUsize::new(0),
+            }),
+            mode: self.mode,
+            next_rank: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The PiP root: spawns tasks sharing one address space.
+pub struct PipRoot {
+    rt: Runtime,
+    shared: Arc<RootShared>,
+    mode: PipMode,
+    next_rank: AtomicUsize,
+}
+
+impl PipRoot {
+    /// A root with default configuration (process mode, 1 scheduler).
+    pub fn new() -> PipRoot {
+        PipRoot::builder().build()
+    }
+
+    pub fn builder() -> PipRootBuilder {
+        PipRootBuilder {
+            rt: Runtime::builder(),
+            mode: PipMode::Process,
+        }
+    }
+
+    pub fn mode(&self) -> PipMode {
+        self.mode
+    }
+
+    /// The underlying BLT runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Root-wide shared services.
+    pub fn shared(&self) -> &Arc<RootShared> {
+        &self.shared
+    }
+
+    /// Spawn one task from `program` (PiP's `pip_spawn`): assigns the next
+    /// rank, creates the task's link namespace, and starts the BLT.
+    pub fn spawn(&self, program: &Program) -> PipTask {
+        let rank = self.next_rank.fetch_add(1, Ordering::AcqRel);
+        self.shared.ntasks.fetch_add(1, Ordering::AcqRel);
+        let entry = program.entry();
+        let shared = self.shared.clone();
+        let prog_name = program.name().to_string();
+        let task_name = format!("{prog_name}#{rank}");
+
+        // The namespace must exist before the entry runs; it is keyed by
+        // the BLT id which we only know after spawn. Create it inside the
+        // task prologue instead (the spawned thread runs strictly after the
+        // handle exists, but the entry may run before `spawn` returns — so
+        // the namespace is created by the task itself, like dlmopen runs in
+        // the spawn path of the child in PiP).
+        let ns_program = prog_name.clone();
+        let body = move || {
+            let id = ulp_core::self_id().expect("task body runs as a ULP");
+            let namespace = shared.namespaces.create(id, &ns_program);
+            let ctx = TaskCtx {
+                rank,
+                namespace,
+                shared: shared.clone(),
+            };
+            entry(&ctx)
+        };
+
+        let handle = match self.mode {
+            PipMode::Process => self.rt.spawn(&task_name, body),
+            PipMode::Thread => {
+                let root_pid = self.rt.root_pid();
+                self.rt.spawn_with_identity(&task_name, root_pid, body)
+            }
+        };
+        PipTask {
+            handle,
+            rank,
+            program: prog_name,
+        }
+    }
+
+    /// Spawn `n` tasks from the same program (ranks are assigned in order).
+    pub fn spawn_n(&self, program: &Program, n: usize) -> Vec<PipTask> {
+        (0..n).map(|_| self.spawn(program)).collect()
+    }
+}
+
+impl Default for PipRoot {
+    fn default() -> Self {
+        PipRoot::new()
+    }
+}

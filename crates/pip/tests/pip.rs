@@ -1,0 +1,288 @@
+//! Integration tests for the PiP layer: spawning from programs, variable
+//! privatization, both execution modes, export/import, barriers, and the
+//! combination with ULP (decouple + coupled system calls).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy};
+use ulp_pip::{PipMode, PipRoot, Privatized, Program};
+
+#[test]
+fn spawn_and_wait_single_task() {
+    let root = PipRoot::new();
+    let prog = Program::new("hello", |ctx| {
+        assert_eq!(ctx.rank(), 0);
+        17
+    });
+    let t = root.spawn(&prog);
+    assert_eq!(t.wait(), 17);
+    assert_eq!(t.program(), "hello");
+}
+
+#[test]
+fn ranks_are_sequential() {
+    let root = PipRoot::new();
+    let prog = Program::new("ranked", |ctx| ctx.rank() as i32);
+    let tasks = root.spawn_n(&prog, 5);
+    for (i, t) in tasks.iter().enumerate() {
+        assert_eq!(t.rank(), i);
+        assert_eq!(t.wait(), i as i32);
+    }
+}
+
+#[test]
+fn process_mode_gives_each_task_its_own_pid() {
+    let root = PipRoot::builder().mode(PipMode::Process).build();
+    let pids = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let p2 = pids.clone();
+    let prog = Program::new("pids", move |_ctx| {
+        p2.lock().push(sys::getpid().unwrap());
+        0
+    });
+    let tasks = root.spawn_n(&prog, 4);
+    for t in &tasks {
+        t.wait();
+    }
+    let mut got = pids.lock().clone();
+    got.sort();
+    got.dedup();
+    assert_eq!(got.len(), 4, "process mode: distinct PIDs");
+    // Handles report the same pids the tasks saw.
+    for t in &tasks {
+        assert!(got.contains(&t.pid()));
+    }
+}
+
+#[test]
+fn thread_mode_shares_the_roots_pid() {
+    let root = PipRoot::builder().mode(PipMode::Thread).build();
+    let root_pid = root.runtime().root_pid();
+    let prog = Program::new("threads", move |_ctx| {
+        assert_eq!(sys::getpid().unwrap(), root_pid);
+        0
+    });
+    let tasks = root.spawn_n(&prog, 3);
+    for t in tasks {
+        assert_eq!(t.pid(), root_pid);
+        assert_eq!(t.wait(), 0);
+    }
+}
+
+#[test]
+fn thread_mode_shares_fd_table() {
+    // In thread mode tasks are kernel-level threads of one process: a file
+    // opened by one task is a valid descriptor for another (unlike process
+    // mode, where it would be EBADF).
+    let root = PipRoot::builder().mode(PipMode::Thread).build();
+    let fd_cell = Arc::new(parking_lot::Mutex::new(None));
+    let f2 = fd_cell.clone();
+    let opener = Program::new("opener", move |_| {
+        let fd = sys::open(
+            "/shared.txt",
+            ulp_core::ulp_kernel::OpenFlags::WRONLY | ulp_core::ulp_kernel::OpenFlags::CREAT,
+        )
+        .unwrap();
+        *f2.lock() = Some(fd);
+        0
+    });
+    root.spawn(&opener).wait();
+    let fd = fd_cell.lock().take().unwrap();
+    let writer = Program::new("writer", move |_| {
+        sys::write(fd, b"from another task").unwrap() as i32
+    });
+    assert_eq!(root.spawn(&writer).wait(), 17);
+}
+
+#[test]
+fn privatization_n_instances_for_n_tasks() {
+    // The paper's defining property: N processes from one program defining
+    // x → N instances of x.
+    static X: once_cell_lite::Lazy<Privatized<u64>> = once_cell_lite::Lazy::new(|| Privatized::new(1000));
+
+    // Minimal local Lazy so we avoid extra deps.
+    mod once_cell_lite {
+        pub struct Lazy<T>(std::sync::OnceLock<T>, fn() -> T);
+        impl<T> Lazy<T> {
+            pub const fn new(f: fn() -> T) -> Lazy<T> {
+                Lazy(std::sync::OnceLock::new(), f)
+            }
+        }
+        impl<T> std::ops::Deref for Lazy<T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.0.get_or_init(self.1)
+            }
+        }
+        unsafe impl<T: Sync + Send> Sync for Lazy<T> {}
+    }
+
+    let root = PipRoot::builder().schedulers(2).build();
+    let prog = Program::new("counts", |ctx| {
+        // Each task increments "its" global by rank+1.
+        for _ in 0..(ctx.rank() + 1) {
+            X.with(|v| *v += 1);
+        }
+        X.get() as i32 - 1000
+    });
+    let tasks = root.spawn_n(&prog, 4);
+    let ids: Vec<_> = tasks.iter().map(|t| t.id()).collect();
+    for (i, t) in tasks.iter().enumerate() {
+        assert_eq!(t.wait(), (i + 1) as i32, "each task saw only its own x");
+    }
+    // Shareability: the root can peek each instance.
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(X.peek(*id), 1000 + (i as u64) + 1);
+    }
+    assert_eq!(X.instance_count(), 4);
+}
+
+#[test]
+fn namespaces_privatize_symbols() {
+    let root = PipRoot::new();
+    let prog = Program::new("symbols", |ctx| {
+        // "Link" a symbol at a per-task heap address.
+        let cell = ctx.heap().alloc(ctx.rank() as u64);
+        ctx.namespace().define("my_global", cell.as_ptr() as usize);
+        // Keep the allocation alive for the test duration by exporting it.
+        ctx.export(&format!("keepalive-{}", ctx.rank()), Arc::new(cell));
+        0
+    });
+    let tasks = root.spawn_n(&prog, 3);
+    for t in &tasks {
+        t.wait();
+    }
+    let shared = root.shared();
+    let addrs: Vec<usize> = tasks
+        .iter()
+        .map(|t| shared.namespaces.lookup_in(t.id(), "my_global").unwrap())
+        .collect();
+    // Same symbol name, three distinct addresses (privatized)...
+    assert_eq!(addrs.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    // ...and each address is dereferenceable from the root (shared).
+    for (i, &addr) in addrs.iter().enumerate() {
+        let v = unsafe { *(addr as *const u64) };
+        assert_eq!(v, i as u64);
+    }
+}
+
+#[test]
+fn export_import_across_tasks() {
+    let root = PipRoot::builder().schedulers(2).build();
+    let producer = Program::new("producer", |ctx| {
+        let data = Arc::new(vec![3u64, 1, 4, 1, 5]);
+        ctx.export("digits", data);
+        0
+    });
+    let consumer = Program::new("consumer", |ctx| {
+        let data: Arc<Vec<u64>> = ctx.import("digits").expect("import should find export");
+        data.iter().sum::<u64>() as i32
+    });
+    let p = root.spawn(&producer);
+    let c = root.spawn(&consumer);
+    assert_eq!(c.wait(), 14);
+    assert_eq!(p.wait(), 0);
+}
+
+#[test]
+fn barrier_synchronizes_decoupled_tasks() {
+    let root = PipRoot::builder()
+        .schedulers(1)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let a2 = arrived.clone();
+    const N: usize = 4;
+    let prog = Program::new("bsp", move |ctx| {
+        decouple().unwrap();
+        let b = ctx.barrier("step", N);
+        a2.fetch_add(1, Ordering::AcqRel);
+        b.wait();
+        // After the barrier every task must have arrived.
+        assert_eq!(a2.load(Ordering::Acquire), N);
+        b.wait(); // second generation works too
+        0
+    });
+    let tasks = root.spawn_n(&prog, N);
+    for t in tasks {
+        assert_eq!(t.wait(), 0);
+    }
+}
+
+#[test]
+fn ulp_pip_tasks_decouple_and_stay_consistent() {
+    // The full ULP-PiP combination: PiP tasks that decouple (become
+    // user-level processes) and keep system-call consistency via
+    // coupled_scope.
+    let root = PipRoot::builder().schedulers(2).build();
+    let prog = Program::new("ulp", |ctx| {
+        let my_pid = sys::getpid().unwrap();
+        decouple().unwrap();
+        for _ in 0..10 {
+            let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+            assert_eq!(pid, my_pid);
+            yield_now();
+        }
+        ctx.rank() as i32
+    });
+    let tasks = root.spawn_n(&prog, 6);
+    for (i, t) in tasks.iter().enumerate() {
+        assert_eq!(t.wait(), i as i32);
+    }
+}
+
+#[test]
+fn different_programs_coexist_in_situ_style() {
+    // §III: an in-situ analysis program attached to a simulation — two
+    // *different* programs in one address space.
+    let root = PipRoot::builder().schedulers(2).build();
+    let sim = Program::new("simulation", |ctx| {
+        let field = Arc::new(parking_lot::Mutex::new(vec![0f64; 64]));
+        ctx.export("field", field.clone());
+        for step in 0..10 {
+            {
+                let mut f = field.lock();
+                for (i, v) in f.iter_mut().enumerate() {
+                    *v = (step * i) as f64;
+                }
+            }
+            yield_now();
+        }
+        0
+    });
+    let insitu = Program::new("insitu", |ctx| {
+        let field: Arc<parking_lot::Mutex<Vec<f64>>> = ctx.import("field").expect("field exported");
+        // Zero-copy: analyze the simulation's own buffer.
+        let sum: f64 = field.lock().iter().sum();
+        (sum >= 0.0) as i32
+    });
+    let s = root.spawn(&sim);
+    let a = root.spawn(&insitu);
+    assert_eq!(a.wait(), 1);
+    assert_eq!(s.wait(), 0);
+}
+
+#[test]
+fn shared_heap_is_usable_from_all_tasks() {
+    let root = PipRoot::builder().schedulers(2).build();
+    let prog = Program::new("heapuser", |ctx| {
+        let b = ctx.heap().alloc(AtomicUsize::new(ctx.rank()));
+        b.fetch_add(1, Ordering::SeqCst);
+        b.load(Ordering::SeqCst) as i32
+    });
+    let tasks = root.spawn_n(&prog, 4);
+    for (i, t) in tasks.iter().enumerate() {
+        assert_eq!(t.wait(), (i + 1) as i32);
+    }
+    assert!(root.shared().heap.allocations() >= 4);
+}
+
+#[test]
+fn task_panic_is_contained_like_a_crashed_process() {
+    let root = PipRoot::new();
+    let bad = Program::new("segv", |_| panic!("simulated crash"));
+    let good = Program::new("ok", |_| 0);
+    let t1 = root.spawn(&bad);
+    let t2 = root.spawn(&good);
+    assert_eq!(t1.wait(), ulp_core::PANIC_EXIT_STATUS);
+    assert_eq!(t2.wait(), 0);
+}

@@ -1,0 +1,148 @@
+//! Stress tests for the PiP layer: heap churn from many tasks, barrier
+//! generations under over-subscription, export-table contention, and
+//! privatization at scale.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ulp_core::{decouple, yield_now, IdlePolicy};
+use ulp_pip::{PipBarrier, PipRoot, Privatized, Program};
+
+#[test]
+fn heap_churn_from_many_tasks() {
+    let root = PipRoot::builder().schedulers(2).build();
+    let prog = Program::new("churn", |ctx| {
+        decouple().unwrap();
+        let mut sum = 0u64;
+        for i in 0..50u64 {
+            let b = ctx.heap().alloc(i * ctx.rank() as u64);
+            sum += *b;
+            if i % 8 == 0 {
+                yield_now();
+            }
+        }
+        (sum == (0..50).sum::<u64>() * ctx.rank() as u64) as i32 - 1
+    });
+    let tasks = root.spawn_n(&prog, 8);
+    for t in tasks {
+        assert_eq!(t.wait(), 0);
+    }
+    assert!(root.shared().heap.allocations() >= 8 * 50);
+}
+
+#[test]
+fn barrier_many_generations_oversubscribed() {
+    const N: usize = 6;
+    const GENS: usize = 25;
+    let root = PipRoot::builder()
+        .schedulers(1)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let leader_count = Arc::new(AtomicUsize::new(0));
+    let lc = leader_count.clone();
+    let prog = Program::new("bsp", move |ctx| {
+        decouple().unwrap();
+        let b = ctx.barrier("gen", N);
+        for _ in 0..GENS {
+            if b.wait() {
+                lc.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        0
+    });
+    let tasks = root.spawn_n(&prog, N);
+    for t in tasks {
+        assert_eq!(t.wait(), 0);
+    }
+    assert_eq!(
+        leader_count.load(Ordering::Acquire),
+        GENS,
+        "exactly one leader per generation"
+    );
+}
+
+#[test]
+fn export_table_rendezvous_many_pairs() {
+    let root = PipRoot::builder().schedulers(2).build();
+    const PAIRS: usize = 6;
+    let producer = Program::new("prod", |ctx| {
+        let rank = ctx.rank();
+        ctx.export(&format!("chan-{rank}"), Arc::new(rank as u64 * 7));
+        0
+    });
+    let consumer = Program::new("cons", |ctx| {
+        // Consumer i imports producer i's export (ranks offset by PAIRS).
+        let target = ctx.rank() - PAIRS;
+        let v: Arc<u64> = ctx
+            .import(&format!("chan-{target}"))
+            .expect("producer must publish");
+        (*v == target as u64 * 7) as i32 - 1
+    });
+    let producers = root.spawn_n(&producer, PAIRS);
+    let consumers = root.spawn_n(&consumer, PAIRS);
+    for t in producers {
+        assert_eq!(t.wait(), 0);
+    }
+    for t in consumers {
+        assert_eq!(t.wait(), 0);
+    }
+}
+
+#[test]
+fn privatized_instances_scale() {
+    static G: std::sync::LazyLock<Privatized<Vec<u64>>> =
+        std::sync::LazyLock::new(|| Privatized::new(Vec::new()));
+    let root = PipRoot::builder().schedulers(2).build();
+    let prog = Program::new("vecs", |ctx| {
+        decouple().unwrap();
+        for i in 0..30u64 {
+            G.with(|v| v.push(i * (ctx.rank() as u64 + 1)));
+            if i % 10 == 0 {
+                yield_now();
+            }
+        }
+        G.with(|v| v.len() as i32)
+    });
+    let tasks = root.spawn_n(&prog, 10);
+    let ids: Vec<_> = tasks.iter().map(|t| t.id()).collect();
+    for t in &tasks {
+        assert_eq!(t.wait(), 30, "each instance got exactly its own pushes");
+    }
+    // Cross-check instance contents from the root.
+    for (rank, id) in ids.iter().enumerate() {
+        let v = G.peek(*id);
+        assert_eq!(v.len(), 30);
+        assert_eq!(v[2], 2 * (rank as u64 + 1));
+    }
+    assert_eq!(G.instance_count(), 10);
+}
+
+#[test]
+fn standalone_barrier_reuse_with_threads() {
+    // PipBarrier must also behave outside a runtime (plain threads).
+    let b = Arc::new(PipBarrier::new(2));
+    for _ in 0..100 {
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || b2.wait());
+        let mine = b.wait();
+        let theirs = t.join().unwrap();
+        assert!(mine ^ theirs, "exactly one leader");
+    }
+}
+
+#[test]
+fn many_tasks_spawn_wait_cycles() {
+    let root = PipRoot::builder().schedulers(1).build();
+    let prog = Program::new("cyc", |ctx| ctx.rank() as i32);
+    for round in 0..5 {
+        let tasks = root.spawn_n(&prog, 4);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.wait(), (round * 4 + i) as i32);
+        }
+    }
+    // Kernel process table must not leak zombies (tasks were reaped).
+    assert!(
+        root.runtime().kernel().process_count() < 10,
+        "zombies leaked: {}",
+        root.runtime().kernel().process_count()
+    );
+}

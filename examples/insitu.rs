@@ -1,0 +1,91 @@
+//! In-situ analysis: two *different programs* sharing one address space.
+//!
+//! The paper's §III use case: "In a typical in-situ case, the in-situ
+//! program is attached to a simulation program to run simultaneously …
+//! merging different programs can come at significant effort … It would be
+//! more convenient to run them as separate programs." With PiP-style
+//! address-space sharing the analyzer reads the simulation's field
+//! *in place* — zero copies — while both remain separate programs with
+//! separate (simulated) PIDs and privatized globals.
+//!
+//! Run: `cargo run --release --example insitu`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use ulp_repro::core::{sys, yield_now};
+use ulp_repro::pip::{PipRoot, Privatized, Program};
+
+const GRID: usize = 128 * 128;
+const STEPS: u64 = 20;
+
+fn main() {
+    let root = PipRoot::builder().schedulers(2).build();
+
+    // Shared state published through the PiP export table: the field buffer
+    // and a step counter. The analyzer dereferences the very same memory.
+    let field: Arc<Vec<AtomicU64>> = Arc::new((0..GRID).map(|_| AtomicU64::new(0)).collect());
+    let step = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Each program privatizes its own bookkeeping — same "global", one
+    // instance per process (the PiP property).
+    static ITERATIONS: std::sync::LazyLock<Privatized<u64>> =
+        std::sync::LazyLock::new(|| Privatized::new(0));
+
+    let sim_field = field.clone();
+    let sim_step = step.clone();
+    let sim_done = done.clone();
+    let simulation = Program::new("simulation", move |ctx| {
+        println!("[simulation] pid={:?}", sys::getpid().unwrap());
+        ctx.export("field", sim_field.clone());
+        for s in 1..=STEPS {
+            for (i, cell) in sim_field.iter().enumerate() {
+                cell.store(s * i as u64 % 1009, Ordering::Relaxed);
+            }
+            ITERATIONS.with(|n| *n += 1);
+            sim_step.store(s, Ordering::Release);
+            yield_now(); // let the analyzer in
+        }
+        sim_done.store(true, Ordering::Release);
+        ITERATIONS.get() as i32
+    });
+
+    let an_step = step.clone();
+    let an_done = done.clone();
+    let analyzer = Program::new("analyzer", move |ctx| {
+        println!("[analyzer]   pid={:?}", sys::getpid().unwrap());
+        let field: Arc<Vec<AtomicU64>> = ctx.import("field").expect("simulation exports field");
+        let mut seen = 0u64;
+        let mut analyzed = 0;
+        while !an_done.load(Ordering::Acquire) || an_step.load(Ordering::Acquire) > seen {
+            let s = an_step.load(Ordering::Acquire);
+            if s > seen {
+                seen = s;
+                // Analyze the simulation's buffer in place — no copy.
+                let sum: u64 = field.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                let mean = sum as f64 / GRID as f64;
+                println!("[analyzer]   step {s:>2}: mean field value {mean:8.2}");
+                ITERATIONS.with(|n| *n += 1);
+                analyzed += 1;
+            } else {
+                yield_now();
+            }
+        }
+        analyzed
+    });
+
+    let sim_task = root.spawn(&simulation);
+    let an_task = root.spawn(&analyzer);
+    let sim_steps = sim_task.wait();
+    let analyzed = an_task.wait();
+
+    println!("\nsimulation ran {sim_steps} steps (its private ITERATIONS instance)");
+    println!("analyzer processed {analyzed} snapshots (its own private instance)");
+    println!(
+        "distinct PIDs: sim={:?} analyzer={:?} — two programs, one address space",
+        sim_task.pid(),
+        an_task.pid()
+    );
+    assert_eq!(sim_steps, STEPS as i32);
+    assert!(analyzed >= 1);
+}

@@ -1,0 +1,85 @@
+//! Over-subscribed MPI ranks with communication latency hiding.
+//!
+//! The paper's §III argument: "Another approach for this latency hiding is
+//! over-subscription … context switching overhead can be problematic when
+//! using oversubscribed KLTs or processes. Thus, MPI implementations using
+//! ULT are gathering attentions." Here 8 MPI-style ranks run a ring halo
+//! exchange over a simulated slow network (200 µs latency) on ONE scheduler
+//! kernel context. While a rank waits for its halo, the cooperative `recv`
+//! yields to a sibling rank — the waiting time of all ranks overlaps.
+//!
+//! Run: `cargo run --release --example oversubscription`
+
+use std::time::Instant;
+use ulp_repro::mpi::{f64s_to_bytes, NetModel, ReduceOp, UlpWorld};
+
+const RANKS: usize = 32;
+const STEPS: usize = 60;
+const CELLS: usize = 64;
+
+fn step(ctx: &ulp_repro::mpi::RankCtx, field: &mut Vec<f64>) {
+    let n = ctx.size();
+    let me = ctx.rank();
+    let left = (me + n - 1) % n;
+    let right = (me + 1) % n;
+    // Exchange halos with both neighbours (tags disambiguate direction).
+    ctx.send(right, 1, &f64s_to_bytes(&[field[CELLS - 1]]));
+    ctx.send(left, 2, &f64s_to_bytes(&[field[0]]));
+    let from_left = ctx.recv(left as i32, 1).as_f64s()[0];
+    let from_right = ctx.recv(right as i32, 2).as_f64s()[0];
+    // A Jacobi-ish relaxation using the halos.
+    let mut next = field.clone();
+    next[0] = (from_left + field[1]) * 0.5;
+    next[CELLS - 1] = (field[CELLS - 2] + from_right) * 0.5;
+    for i in 1..CELLS - 1 {
+        next[i] = (field[i - 1] + field[i + 1]) * 0.5;
+    }
+    *field = next;
+}
+
+fn run(decoupled: bool) -> u128 {
+    let builder = UlpWorld::builder()
+        .ranks(RANKS)
+        .schedulers(1)
+        .net(NetModel::CLUSTER);
+    let world = if decoupled {
+        builder.build()
+    } else {
+        builder.coupled_ranks().build()
+    };
+    let t = Instant::now();
+    let codes = world.run("halo", |ctx| {
+        let mut field: Vec<f64> = (0..CELLS).map(|i| (ctx.rank() * CELLS + i) as f64).collect();
+        for _ in 0..STEPS {
+            step(&ctx, &mut field);
+        }
+        // A final allreduce checks global agreement and synchronizes.
+        let total = ctx.allreduce(ReduceOp::Sum, &[field.iter().sum::<f64>()]);
+        (total[0].is_finite() as i32) - 1 // 0 on success
+    });
+    assert!(codes.iter().all(|&c| c == 0));
+    t.elapsed().as_micros()
+}
+
+fn main() {
+    println!(
+        "{} ranks x {} halo-exchange steps over a {}us-latency network, 1 scheduler core",
+        RANKS,
+        STEPS,
+        NetModel::CLUSTER.latency.as_micros()
+    );
+
+    let ulp = run(true);
+    println!("ULP ranks (decoupled, cooperative recv) : {ulp:>8} us");
+
+    let klt = run(false);
+    println!("KLT ranks (coupled, one OS thread each) : {klt:>8} us");
+
+    println!(
+        "\nwith a fast network the cost is switch-dominated: ULP ranks context-switch at",
+    );
+    println!(
+        "user level (~150 ns) while kernel-thread ranks pay the OS for every wait:",
+    );
+    println!("speedup {:.2}x on this host", klt as f64 / ulp as f64);
+}

@@ -1,0 +1,89 @@
+//! Context-switch ping-pong and the M:N sibling extension.
+//!
+//! Part 1 measures the paper's Table IV scenario live: two decoupled ULPs
+//! yielding to each other on one scheduler, reported as ns/yield.
+//! Part 2 demonstrates §VII's M:N extension: several sibling user contexts
+//! sharing one original kernel context — and therefore one simulated PID.
+//!
+//! Run: `cargo run --release --example pingpong`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ulp_repro::core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime};
+
+const YIELDS: usize = 200_000;
+
+fn main() {
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(IdlePolicy::BusyWait)
+        .build();
+
+    println!("== Part 1: yield ping-pong ({YIELDS} yields) ==");
+    let stop = Arc::new(AtomicBool::new(false));
+    let ns_per_yield = Arc::new(AtomicU64::new(0));
+
+    let s2 = stop.clone();
+    let peer = rt.spawn("pong", move || {
+        decouple().unwrap();
+        while !s2.load(Ordering::Acquire) {
+            yield_now();
+        }
+        0
+    });
+    let s3 = stop.clone();
+    let n2 = ns_per_yield.clone();
+    let ping = rt.spawn("ping", move || {
+        decouple().unwrap();
+        let t = Instant::now();
+        for _ in 0..YIELDS {
+            yield_now();
+        }
+        // Each iteration is a round trip: two yields.
+        n2.store(t.elapsed().as_nanos() as u64 / (2 * YIELDS) as u64, Ordering::Release);
+        s3.store(true, Ordering::Release);
+        0
+    });
+    ping.wait();
+    peer.wait();
+    println!(
+        "  {} ns per yield (paper, Table IV: 150 ns on a 2013 Xeon)",
+        ns_per_yield.load(Ordering::Acquire)
+    );
+
+    println!("\n== Part 2: M:N — sibling UCs share one kernel context ==");
+    let primary = rt.spawn("primary", || {
+        let pid = sys::getpid().unwrap();
+        println!("  [primary] pid {pid}");
+        0
+    });
+    let siblings: Vec<_> = (0..3)
+        .map(|i| {
+            primary
+                .spawn_sibling(&format!("sib{i}"), move || {
+                    // Every sibling sees the SAME pid as the primary: same
+                    // original KC, same kernel state (paper §VII).
+                    let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                    println!("  [sib{i}]    pid {pid} (shared with primary)");
+                    for _ in 0..10 {
+                        yield_now();
+                    }
+                    i
+                })
+                .expect("spawn sibling")
+        })
+        .collect();
+    for (i, s) in siblings.iter().enumerate() {
+        assert_eq!(s.wait(), i as i32);
+        assert_eq!(s.pid(), primary.pid());
+    }
+    primary.wait();
+    println!("  3 siblings + 1 primary = 4 UCs, 1 original KC, 1 PID");
+
+    let snap = rt.stats().snapshot();
+    println!(
+        "\ntotals: {} context switches, {} yields, {} siblings",
+        snap.context_switches, snap.yields, snap.siblings_spawned
+    );
+}

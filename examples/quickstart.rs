@@ -1,0 +1,82 @@
+//! Quickstart: bi-level threads in five minutes.
+//!
+//! Demonstrates the full BLT lifecycle from the paper's §II summary:
+//! a BLT is created as a kernel-level thread, `decouple()` turns it into a
+//! user-level thread, `couple()` (or `coupled_scope`) restores its kernel
+//! identity around system calls, and it always terminates coupled with its
+//! original kernel context.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ulp_repro::core::ulp_kernel::OpenFlags;
+use ulp_repro::core::{coupled_scope, decouple, is_coupled, sys, yield_now, IdlePolicy, Runtime};
+
+fn main() {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+
+    println!("== 1. A BLT starts as a kernel-level thread ==");
+    let h = rt.spawn("hello", || {
+        let pid = sys::getpid().expect("coupled syscalls always work");
+        println!("  [hello] running as a KLT, my simulated PID is {pid}");
+        0
+    });
+    h.wait();
+
+    println!("\n== 2. decouple() makes it a user-level thread ==");
+    let h = rt.spawn("roamer", || {
+        let home = sys::getpid().unwrap();
+        decouple().unwrap();
+        println!(
+            "  [roamer] decoupled; coupled = {:?}; now scheduled by a scheduler KC",
+            is_coupled().unwrap()
+        );
+        // Careful: a bare system call here executes against the scheduler's
+        // kernel context — the paper's consistency hazard.
+        let foreign = sys::getpid().unwrap();
+        println!("  [roamer] bare getpid() while decoupled: {foreign} (WRONG: home is {home})");
+        // The paper's idiom: enclose system calls in couple()/decouple().
+        let correct = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        println!("  [roamer] coupled_scope getpid(): {correct} (correct)");
+        assert_eq!(correct, home);
+        0
+    });
+    h.wait();
+    println!(
+        "  runtime recorded {} consistency violation(s) for the bare call",
+        rt.violations().len()
+    );
+
+    println!("\n== 3. Blocking system calls stop blocking everyone ==");
+    let writer = rt.spawn("writer", || {
+        decouple().unwrap();
+        coupled_scope(|| {
+            let fd = sys::open("/demo.txt", OpenFlags::WRONLY | OpenFlags::CREAT).unwrap();
+            sys::write(fd, b"written from my own kernel context").unwrap();
+            sys::close(fd).unwrap();
+        })
+        .unwrap();
+        println!("  [writer] open-write-close done on my own KC");
+        0
+    });
+    let runner = rt.spawn("runner", || {
+        decouple().unwrap();
+        for i in 0..3 {
+            println!("  [runner] making progress ({i}) while others do I/O");
+            yield_now();
+        }
+        0
+    });
+    writer.wait();
+    runner.wait();
+
+    let stats = rt.stats().snapshot();
+    println!("\n== Runtime statistics ==");
+    println!("  context switches : {}", stats.context_switches);
+    println!("  TLS loads        : {}", stats.tls_loads);
+    println!("  couples          : {}", stats.couples);
+    println!("  decouples        : {}", stats.decouples);
+    println!("  BLTs spawned     : {}", stats.blts_spawned);
+}

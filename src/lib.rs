@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the ULP reproduction workspace.
+pub use ulp_core as core;
+pub use ulp_fcontext as fcontext;
+pub use ulp_kernel as kernel;
+pub use ulp_mpi as mpi;
+pub use ulp_pip as pip;
