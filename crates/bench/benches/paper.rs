@@ -1,46 +1,51 @@
-//! Criterion benches: the paper's microbenchmarks plus ablations of the
+//! Harness-free benches: the paper's microbenchmarks plus ablations of the
 //! design choices DESIGN.md calls out (eager vs lazy trampoline creation,
 //! TLS-register switching on/off, ucontext-style signal-mask saving,
 //! global-FIFO vs work-stealing scheduling, over-subscription factor).
 //!
-//! Run: `cargo bench -p ulp-bench` (use `--bench paper -- <filter>` to
-//! select a group).
+//! The build environment is offline, so instead of criterion this uses the
+//! paper's own protocol from `ulp_bench::measure_min` (warm-up loop, then
+//! minimum of ten measured runs). Run:
+//! `cargo bench -p ulp-bench --bench paper [-- <filter>]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use ulp_bench::{measure_min, min_of_runs, sci};
 use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, SchedPolicy};
 use ulp_fcontext::Fiber;
 use ulp_kernel::{ArchProfile, IoModel};
 
-/// Table III: raw user-level context switch.
-fn bench_ctx_switch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.throughput(Throughput::Elements(2)); // two swaps per resume
-    group.bench_function("ctx_switch_roundtrip", |b| {
-        let mut fiber = Fiber::new(|sus, _| {
-            loop {
-                sus.suspend(0);
-            }
-            #[allow(unreachable_code)]
-            0
-        })
-        .unwrap();
-        b.iter(|| fiber.resume(0));
-    });
-    for profile in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
-        group.bench_with_input(
-            BenchmarkId::new("tls_load", profile.name()),
-            &profile,
-            |b, p| {
-                b.iter(|| ulp_kernel::spin_for(p.tls_load()));
-            },
-        );
-    }
-    group.finish();
+fn report(group: &str, name: &str, ns_per_op: f64) {
+    println!("{group}/{name}: {ns_per_op:.1} ns/op ({})", sci(ns_per_op));
 }
 
-/// A reusable yield-ping-pong harness returning a closure-driving runtime.
+/// Table III: raw user-level context switch.
+fn bench_ctx_switch() {
+    let mut fiber = Fiber::new(|sus, _| {
+        loop {
+            sus.suspend(0);
+        }
+        #[allow(unreachable_code)]
+        0
+    })
+    .unwrap();
+    // Two swaps per resume.
+    let ns = measure_min(10_000, || {
+        fiber.resume(0);
+    }) / 2.0;
+    report("table3", "ctx_switch_oneway", ns);
+    for profile in [
+        ArchProfile::Native,
+        ArchProfile::Wallaby,
+        ArchProfile::Albireo,
+    ] {
+        let ns = measure_min(10_000, || ulp_kernel::spin_for(profile.tls_load()));
+        report("table3", &format!("tls_load/{}", profile.name()), ns);
+    }
+}
+
+/// A reusable yield-ping-pong harness: two decoupled ULPs on one scheduler;
+/// the driver runs batches of 1024 yields on demand.
 struct YieldPair {
     rt: Runtime,
     stop: Arc<AtomicBool>,
@@ -125,31 +130,51 @@ impl Drop for YieldPair {
 }
 
 /// Table IV + ablations: yield cost under different configurations.
-fn bench_yield(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_yield");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(1024));
+fn bench_yield() {
     let configs: &[(&str, IdlePolicy, SchedPolicy, bool, bool)] = &[
-        ("busywait/fifo", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, true, false),
-        ("busywait/worksteal", IdlePolicy::BusyWait, SchedPolicy::WorkStealing, true, false),
-        ("ablate-no-tls", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, false, false),
-        ("ablate-save-sigmask", IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, true, true),
+        (
+            "busywait/fifo",
+            IdlePolicy::BusyWait,
+            SchedPolicy::GlobalFifo,
+            true,
+            false,
+        ),
+        (
+            "busywait/worksteal",
+            IdlePolicy::BusyWait,
+            SchedPolicy::WorkStealing,
+            true,
+            false,
+        ),
+        (
+            "ablate-no-tls",
+            IdlePolicy::BusyWait,
+            SchedPolicy::GlobalFifo,
+            false,
+            false,
+        ),
+        (
+            "ablate-save-sigmask",
+            IdlePolicy::BusyWait,
+            SchedPolicy::GlobalFifo,
+            true,
+            true,
+        ),
     ];
     for (name, policy, sched, tls, sigmask) in configs {
-        group.bench_function(*name, |b| {
-            let pair = YieldPair::new(*policy, *sched, *tls, *sigmask);
-            b.iter(|| pair.batch());
+        let pair = YieldPair::new(*policy, *sched, *tls, *sigmask);
+        let ns = min_of_runs(|| {
+            let t = std::time::Instant::now();
+            pair.batch();
+            t.elapsed().as_nanos() as f64 / 1024.0
         });
+        report("table4_yield", name, ns);
     }
-    group.finish();
 }
 
 /// Table V: getpid plain vs enclosed by couple()/decouple().
-fn bench_getpid(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5_getpid");
-    group.sample_size(20);
-
-    group.bench_function("plain_klt", |b| {
+fn bench_getpid() {
+    {
         let rt = Runtime::builder().schedulers(1).build();
         let (tx, rx) = std::sync::mpsc::channel::<()>();
         let (dtx, drx) = std::sync::mpsc::channel::<()>();
@@ -162,47 +187,48 @@ fn bench_getpid(c: &mut Criterion) {
             }
             0
         });
-        b.iter(|| {
+        let ns = min_of_runs(|| {
+            let t = std::time::Instant::now();
             tx.send(()).unwrap();
             drx.recv().unwrap();
+            t.elapsed().as_nanos() as f64 / 256.0
         });
         drop(tx);
         h.wait();
-    });
+        report("table5_getpid", "plain_klt", ns);
+    }
 
     for (name, policy) in [
         ("coupled_scope/busywait", IdlePolicy::BusyWait),
         ("coupled_scope/blocking", IdlePolicy::Blocking),
     ] {
-        group.bench_function(name, |b| {
-            let rt = Runtime::builder().schedulers(1).idle_policy(policy).build();
-            let (tx, rx) = std::sync::mpsc::channel::<()>();
-            let (dtx, drx) = std::sync::mpsc::channel::<()>();
-            let h = rt.spawn("getpid-ulp", move || {
-                decouple().unwrap();
-                while rx.recv().is_ok() {
-                    for _ in 0..64 {
-                        coupled_scope(|| sys::getpid().unwrap()).unwrap();
-                    }
-                    dtx.send(()).unwrap();
+        let rt = Runtime::builder().schedulers(1).idle_policy(policy).build();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (dtx, drx) = std::sync::mpsc::channel::<()>();
+        let h = rt.spawn("getpid-ulp", move || {
+            decouple().unwrap();
+            while rx.recv().is_ok() {
+                for _ in 0..64 {
+                    coupled_scope(|| sys::getpid().unwrap()).unwrap();
                 }
-                0
-            });
-            b.iter(|| {
-                tx.send(()).unwrap();
-                drx.recv().unwrap();
-            });
-            drop(tx);
-            h.wait();
+                dtx.send(()).unwrap();
+            }
+            0
         });
+        let ns = min_of_runs(|| {
+            let t = std::time::Instant::now();
+            tx.send(()).unwrap();
+            drx.recv().unwrap();
+            t.elapsed().as_nanos() as f64 / 64.0
+        });
+        drop(tx);
+        h.wait();
+        report("table5_getpid", name, ns);
     }
-    group.finish();
 }
 
 /// Fig. 7: open-write-close for one representative size per variant.
-fn bench_owc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_owc_64k");
-    group.sample_size(10);
+fn bench_owc() {
     use ulp_bench::workloads::{owc_ns, OwcVariant};
     for variant in [
         OwcVariant::Plain,
@@ -211,88 +237,81 @@ fn bench_owc(c: &mut Criterion) {
         OwcVariant::Ulp(IdlePolicy::BusyWait),
         OwcVariant::Ulp(IdlePolicy::Blocking),
     ] {
-        group.bench_function(variant.label(), |b| {
-            b.iter_custom(|iters| {
-                let ns = owc_ns(
-                    variant,
-                    64 * 1024,
-                    ArchProfile::Native,
-                    IoModel::RAW,
-                    iters.max(4) as usize,
-                );
-                std::time::Duration::from_nanos((ns * iters as f64) as u64)
-            });
-        });
+        let ns = owc_ns(variant, 64 * 1024, ArchProfile::Native, IoModel::RAW, 16);
+        report("fig7_owc_64k", variant.label(), ns);
     }
-    group.finish();
 }
 
 /// Ablation: eager vs lazy trampoline-context creation (spawn+decouple
 /// latency).
-fn bench_tc_creation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_tc");
-    group.sample_size(10);
+fn bench_tc_creation() {
     for (name, eager) in [("lazy_tc", false), ("eager_tc", true)] {
-        group.bench_function(name, |b| {
-            let rt = Runtime::builder()
-                .schedulers(1)
-                .idle_policy(IdlePolicy::Blocking)
-                .eager_tc(eager)
-                .build();
-            b.iter(|| {
+        let rt = Runtime::builder()
+            .schedulers(1)
+            .idle_policy(IdlePolicy::Blocking)
+            .eager_tc(eager)
+            .build();
+        let ns = min_of_runs(|| {
+            let t = std::time::Instant::now();
+            for _ in 0..16 {
                 let h = rt.spawn("tc-bench", || {
                     decouple().unwrap();
                     0
                 });
-                h.wait()
-            });
+                h.wait();
+            }
+            t.elapsed().as_nanos() as f64 / 16.0
         });
+        report("ablate_tc", name, ns);
     }
-    group.finish();
 }
 
 /// Ablation: over-subscription factor O (eq. 2) — total time for a fixed
 /// amount of yield-heavy work split across NB = NCprog x (O+1) BLTs.
-fn bench_oversubscription(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_oversubscription");
-    group.sample_size(10);
+fn bench_oversubscription() {
     const TOTAL_WORK: usize = 4096;
     for o in [0usize, 1, 3, 7] {
-        let n_blts = o + 1; // NCprog = 1 scheduler
-        group.bench_with_input(BenchmarkId::new("factor", o), &n_blts, |b, &n| {
-            let rt = Runtime::builder()
-                .schedulers(1)
-                .idle_policy(IdlePolicy::Blocking)
-                .build();
-            b.iter(|| {
-                let per = TOTAL_WORK / n;
-                let handles: Vec<_> = (0..n)
-                    .map(|i| {
-                        rt.spawn(&format!("o{i}"), move || {
-                            decouple().unwrap();
-                            for _ in 0..per {
-                                yield_now();
-                            }
-                            0
-                        })
+        let n = o + 1; // NCprog = 1 scheduler
+        let rt = Runtime::builder()
+            .schedulers(1)
+            .idle_policy(IdlePolicy::Blocking)
+            .build();
+        let ns = min_of_runs(|| {
+            let t = std::time::Instant::now();
+            let per = TOTAL_WORK / n;
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    rt.spawn(&format!("o{i}"), move || {
+                        decouple().unwrap();
+                        for _ in 0..per {
+                            yield_now();
+                        }
+                        0
                     })
-                    .collect();
-                for h in handles {
-                    h.wait();
-                }
-            });
+                })
+                .collect();
+            for h in handles {
+                h.wait();
+            }
+            t.elapsed().as_nanos() as f64
         });
+        report("ablate_oversubscription", &format!("factor_{o}"), ns);
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ctx_switch,
-    bench_yield,
-    bench_getpid,
-    bench_owc,
-    bench_tc_creation,
-    bench_oversubscription
-);
-criterion_main!(benches);
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let groups: &[(&str, fn())] = &[
+        ("table3", bench_ctx_switch),
+        ("table4_yield", bench_yield),
+        ("table5_getpid", bench_getpid),
+        ("fig7_owc_64k", bench_owc),
+        ("ablate_tc", bench_tc_creation),
+        ("ablate_oversubscription", bench_oversubscription),
+    ];
+    for (name, f) in groups {
+        if filter.is_empty() || name.contains(&filter) {
+            f();
+        }
+    }
+}

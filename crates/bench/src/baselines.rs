@@ -116,7 +116,11 @@ mod tests {
     fn two_core_request_reports_pin_state() {
         let r = sched_yield_ns(true, 500);
         if n_cpus() < 2 {
-            assert!(!r.pinned, "cannot truly pin to two cores on {} cpu", n_cpus());
+            assert!(
+                !r.pinned,
+                "cannot truly pin to two cores on {} cpu",
+                n_cpus()
+            );
         }
     }
 

@@ -1,0 +1,219 @@
+//! Machine-readable hot-path metrics: `BENCH_1.json`.
+//!
+//! Emitted by `repro_all` (and the standalone `bench1` binary). Reports the
+//! switch-path numbers the hot-path overhaul targets — yield latency under
+//! both scheduling disciplines, the bare couple()/decouple() round trip,
+//! and aggregate switch throughput under 4-KC over-subscription — next to
+//! the pre-overhaul baseline measured on the same machine at the commit
+//! where the switch path still took the global-atomics / per-switch-Arc
+//! route (see [`baseline`]).
+
+use crate::workloads;
+use ulp_core::{IdlePolicy, SchedPolicy};
+use ulp_kernel::ArchProfile;
+
+/// Pre-overhaul numbers, measured with the seed-equivalent switch path
+/// (global `Stats` atomics, per-switch `Arc`/`RefCell` TLS traffic,
+/// mutex-guarded sigmask) on this host. Regenerate with
+/// `cargo run --release -p ulp-bench --bin bench1 -- --print-raw` at the
+/// baseline commit.
+pub mod baseline {
+    //! Best (fastest) of two baseline runs on the reference host — the
+    //! conservative comparison point for the improvement figures.
+    pub const YIELD_FIFO_NS: f64 = 207.9;
+    pub const YIELD_WS_NS: f64 = 174.0;
+    pub const COUPLE_RTT_BUSYWAIT_NS: f64 = 4325.1;
+    pub const COUPLE_RTT_BLOCKING_NS: f64 = 2881.6;
+    pub const OVERSUB4_SWITCHES_PER_SEC: f64 = 3075197.7;
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Bench1 {
+    /// ns per yield, 2 ULPs / 1 scheduler, BUSYWAIT, global FIFO.
+    pub yield_fifo_ns: f64,
+    /// ns per yield, 2 ULPs / 1 scheduler, BUSYWAIT, work stealing.
+    pub yield_ws_ns: f64,
+    /// ns per bare couple()+decouple() round trip, BUSYWAIT.
+    pub couple_rtt_busywait_ns: f64,
+    /// ns per bare couple()+decouple() round trip, BLOCKING.
+    pub couple_rtt_blocking_ns: f64,
+    /// Aggregate switches/sec: 8 yield-looping ULPs over 4 scheduler KCs.
+    pub oversub4_switches_per_sec: f64,
+}
+
+/// Run the BENCH_1 measurements (scale-aware, same min-of-ten protocol as
+/// every other artifact).
+pub fn measure() -> Bench1 {
+    let iters = 5_000 * crate::repro::scale();
+    Bench1 {
+        yield_fifo_ns: workloads::ulp_yield_ns_sched(
+            IdlePolicy::BusyWait,
+            SchedPolicy::GlobalFifo,
+            ArchProfile::Native,
+            iters,
+        ),
+        yield_ws_ns: workloads::ulp_yield_ns_sched(
+            IdlePolicy::BusyWait,
+            SchedPolicy::WorkStealing,
+            ArchProfile::Native,
+            iters,
+        ),
+        couple_rtt_busywait_ns: workloads::couple_rtt_ns(
+            IdlePolicy::BusyWait,
+            ArchProfile::Native,
+            iters / 5,
+        ),
+        couple_rtt_blocking_ns: workloads::couple_rtt_ns(
+            IdlePolicy::Blocking,
+            ArchProfile::Native,
+            iters / 5,
+        ),
+        oversub4_switches_per_sec: workloads::oversub_switches_per_sec(
+            4,
+            SchedPolicy::GlobalFifo,
+            8,
+            iters,
+        ),
+    }
+}
+
+fn pct_faster(before: f64, after: f64) -> f64 {
+    if before.is_finite() && before > 0.0 {
+        100.0 * (before - after) / before
+    } else {
+        f64::NAN
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON (the build environment is offline; no serde).
+pub fn to_json(b: &Bench1) -> String {
+    let metric = |name: &str, unit: &str, before: f64, after: f64, improvement: f64| {
+        format!(
+            "    \"{name}\": {{\"unit\": \"{unit}\", \"before\": {}, \"after\": {}, \"improvement_pct\": {}}}",
+            json_num(before),
+            json_num(after),
+            json_num(improvement),
+        )
+    };
+    let rows = [
+        metric(
+            "yield_latency_global_fifo",
+            "ns",
+            baseline::YIELD_FIFO_NS,
+            b.yield_fifo_ns,
+            pct_faster(baseline::YIELD_FIFO_NS, b.yield_fifo_ns),
+        ),
+        metric(
+            "yield_latency_work_stealing",
+            "ns",
+            baseline::YIELD_WS_NS,
+            b.yield_ws_ns,
+            pct_faster(baseline::YIELD_WS_NS, b.yield_ws_ns),
+        ),
+        metric(
+            "couple_decouple_rtt_busywait",
+            "ns",
+            baseline::COUPLE_RTT_BUSYWAIT_NS,
+            b.couple_rtt_busywait_ns,
+            pct_faster(baseline::COUPLE_RTT_BUSYWAIT_NS, b.couple_rtt_busywait_ns),
+        ),
+        metric(
+            "couple_decouple_rtt_blocking",
+            "ns",
+            baseline::COUPLE_RTT_BLOCKING_NS,
+            b.couple_rtt_blocking_ns,
+            pct_faster(baseline::COUPLE_RTT_BLOCKING_NS, b.couple_rtt_blocking_ns),
+        ),
+        metric(
+            "oversub_4kc_switch_throughput",
+            "switches/sec",
+            baseline::OVERSUB4_SWITCHES_PER_SEC,
+            b.oversub4_switches_per_sec,
+            // Throughput: higher is better — report the relative gain over
+            // the baseline, positive for an improvement.
+            -pct_faster(
+                baseline::OVERSUB4_SWITCHES_PER_SEC,
+                b.oversub4_switches_per_sec,
+            ),
+        ),
+    ];
+    format!(
+        "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        crate::RUNS,
+        rows.join(",\n"),
+    )
+}
+
+/// Measure, print, and drop `BENCH_1.json` in the results directory.
+pub fn run_and_save() {
+    let b = measure();
+    let json = to_json(&b);
+    print!("{json}");
+    let dir = crate::report::results_dir();
+    let path = dir.join("BENCH_1.json");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[json] failed to create {}: {e}", dir.display());
+        return;
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let b = Bench1 {
+            yield_fifo_ns: 123.4,
+            yield_ws_ns: 100.0,
+            couple_rtt_busywait_ns: 1500.0,
+            couple_rtt_blocking_ns: 2900.0,
+            oversub4_switches_per_sec: 1.0e6,
+        };
+        let s = to_json(&b);
+        assert!(s.contains("\"yield_latency_global_fifo\""));
+        assert!(s.contains("\"after\": 123.4"));
+        // Balanced braces — crude but catches truncation.
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "unbalanced JSON: {s}"
+        );
+    }
+
+    #[test]
+    fn pct_faster_sign() {
+        assert!((pct_faster(200.0, 100.0) - 50.0).abs() < 1e-9);
+        assert!(pct_faster(f64::NAN, 100.0).is_nan());
+    }
+
+    #[test]
+    fn throughput_gain_is_positive() {
+        // Throughput doubled → the JSON must report a positive gain.
+        let b = Bench1 {
+            yield_fifo_ns: 100.0,
+            yield_ws_ns: 100.0,
+            couple_rtt_busywait_ns: 1000.0,
+            couple_rtt_blocking_ns: 1000.0,
+            oversub4_switches_per_sec: 2.0 * baseline::OVERSUB4_SWITCHES_PER_SEC,
+        };
+        let s = to_json(&b);
+        let row = s
+            .lines()
+            .find(|l| l.contains("oversub_4kc_switch_throughput"))
+            .unwrap();
+        assert!(row.contains("\"improvement_pct\": 100.0"), "row: {row}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Emit BENCH_1.json (hot-path switch metrics with before/after deltas).
+//! `--print-raw` prints the measured values as Rust consts, for refreshing
+//! `bench1::baseline` at a baseline commit.
+fn main() {
+    if std::env::args().any(|a| a == "--print-raw") {
+        let b = ulp_bench::bench1::measure();
+        println!("pub const YIELD_FIFO_NS: f64 = {:.1};", b.yield_fifo_ns);
+        println!("pub const YIELD_WS_NS: f64 = {:.1};", b.yield_ws_ns);
+        println!(
+            "pub const COUPLE_RTT_BUSYWAIT_NS: f64 = {:.1};",
+            b.couple_rtt_busywait_ns
+        );
+        println!(
+            "pub const COUPLE_RTT_BLOCKING_NS: f64 = {:.1};",
+            b.couple_rtt_blocking_ns
+        );
+        println!(
+            "pub const OVERSUB4_SWITCHES_PER_SEC: f64 = {:.1};",
+            b.oversub4_switches_per_sec
+        );
+        return;
+    }
+    ulp_bench::bench1::run_and_save();
+}

@@ -94,7 +94,10 @@ fn main() {
     );
     println!("runtime counters:");
     println!("  context switches    : {}", stats.context_switches);
-    println!("  couples / decouples : {} / {}", stats.couples, stats.decouples);
+    println!(
+        "  couples / decouples : {} / {}",
+        stats.couples, stats.decouples
+    );
     println!("  scheduler dispatches: {}", stats.scheduler_dispatches);
     println!("  TLS loads           : {}", stats.tls_loads);
     println!("  KC blocks (adaptive): {}", stats.kc_blocks);

@@ -2,7 +2,11 @@
 //! native profile and both modeled machines.
 use ulp_kernel::ArchProfile;
 fn main() {
-    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+    for p in [
+        ArchProfile::Native,
+        ArchProfile::Wallaby,
+        ArchProfile::Albireo,
+    ] {
         ulp_bench::repro::run_and_save(&format!("fig7-{}", short(p)), ulp_bench::repro::fig7(p));
     }
 }

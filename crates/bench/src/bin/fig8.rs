@@ -1,7 +1,11 @@
 //! Reproduce the paper's Figure 8 (overlap ratios, IMB method).
 use ulp_kernel::ArchProfile;
 fn main() {
-    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+    for p in [
+        ArchProfile::Native,
+        ArchProfile::Wallaby,
+        ArchProfile::Albireo,
+    ] {
         ulp_bench::repro::run_and_save(&format!("fig8-{}", short(p)), ulp_bench::repro::fig8(p));
     }
 }

@@ -2,14 +2,29 @@
 //! Set ULP_BENCH_SCALE=10 for paper-grade iteration counts.
 use ulp_kernel::ArchProfile;
 fn main() {
-    println!("ULP-RS paper reproduction — all artifacts (scale={})", ulp_bench::repro::scale());
+    println!(
+        "ULP-RS paper reproduction — all artifacts (scale={})",
+        ulp_bench::repro::scale()
+    );
     ulp_bench::repro::run_and_save("table3", ulp_bench::repro::table3());
     ulp_bench::repro::run_and_save("table4", ulp_bench::repro::table4());
     ulp_bench::repro::run_and_save("table5", ulp_bench::repro::table5());
-    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
-        let s = match p { ArchProfile::Native => "native", ArchProfile::Wallaby => "wallaby", ArchProfile::Albireo => "albireo" };
+    for p in [
+        ArchProfile::Native,
+        ArchProfile::Wallaby,
+        ArchProfile::Albireo,
+    ] {
+        let s = match p {
+            ArchProfile::Native => "native",
+            ArchProfile::Wallaby => "wallaby",
+            ArchProfile::Albireo => "albireo",
+        };
         ulp_bench::repro::run_and_save(&format!("fig7-{s}"), ulp_bench::repro::fig7(p));
         ulp_bench::repro::run_and_save(&format!("fig8-{s}"), ulp_bench::repro::fig8(p));
     }
-    println!("\nDone. CSVs in {}", ulp_bench::report::results_dir().display());
+    ulp_bench::bench1::run_and_save();
+    println!(
+        "\nDone. CSVs in {}",
+        ulp_bench::report::results_dir().display()
+    );
 }

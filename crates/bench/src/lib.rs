@@ -14,6 +14,7 @@
 //! from RDTSC as in the paper.
 
 pub mod baselines;
+pub mod bench1;
 pub mod report;
 pub mod workloads;
 

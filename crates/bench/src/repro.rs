@@ -5,8 +5,8 @@ use crate::baselines;
 use crate::report::Table;
 use crate::workloads::{self, OwcVariant};
 use crate::{human_size, ns_to_cycles, sci, BUFFER_SIZES};
-use ulp_kernel::{ArchProfile, IoModel};
 use ulp_core::IdlePolicy;
+use ulp_kernel::{ArchProfile, IoModel};
 
 /// Iteration scale knob: 1 = quick, 10 = paper-grade.
 pub fn scale() -> usize {
@@ -57,7 +57,11 @@ pub fn table4() -> Table {
         "Table IV: Yielding Time, 2 ULPs or PThreads (paper Wallaby: ULP 1.50E-7, 1core 2.66E-7, 2cores 7.79E-8)",
         &["variant", "profile", "time[s]", "ns/yield", "cycles", "note"],
     );
-    for p in [ArchProfile::Native, ArchProfile::Wallaby, ArchProfile::Albireo] {
+    for p in [
+        ArchProfile::Native,
+        ArchProfile::Wallaby,
+        ArchProfile::Albireo,
+    ] {
         let ns = workloads::ulp_yield_ns(IdlePolicy::BusyWait, p, iters);
         t.row(vec![
             "ULP yield".into(),
@@ -75,7 +79,11 @@ pub fn table4() -> Table {
         sci(one.ns_per_yield),
         format!("{:.1}", one.ns_per_yield),
         ns_to_cycles(one.ns_per_yield).to_string(),
-        if one.pinned { String::new() } else { "unpinned".into() },
+        if one.pinned {
+            String::new()
+        } else {
+            "unpinned".into()
+        },
     ]);
     let two = baselines::sched_yield_ns(true, iters);
     t.row(vec![
@@ -87,7 +95,10 @@ pub fn table4() -> Table {
         if two.pinned {
             String::new()
         } else {
-            format!("only {} cpu(s): degraded to shared core", baselines::n_cpus())
+            format!(
+                "only {} cpu(s): degraded to shared core",
+                baselines::n_cpus()
+            )
         },
     ]);
     t

@@ -4,7 +4,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime};
+use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, SchedPolicy};
 use ulp_fcontext::Fiber;
 use ulp_kernel::{ArchProfile, IoModel, OpenFlags};
 
@@ -47,9 +47,21 @@ pub fn tls_load_ns(profile: ArchProfile, iters: usize) -> f64 {
 /// Two decoupled ULPs yielding to each other on one scheduler, ns per
 /// yield (Table IV row 1). The returned value is already min-of-runs.
 pub fn ulp_yield_ns(policy: IdlePolicy, profile: ArchProfile, iters: usize) -> f64 {
+    ulp_yield_ns_sched(policy, SchedPolicy::GlobalFifo, profile, iters)
+}
+
+/// [`ulp_yield_ns`] with an explicit scheduling discipline (the BENCH_1
+/// hot-path metric is reported under both).
+pub fn ulp_yield_ns_sched(
+    policy: IdlePolicy,
+    sched: SchedPolicy,
+    profile: ArchProfile,
+    iters: usize,
+) -> f64 {
     let rt = Runtime::builder()
         .schedulers(1)
         .idle_policy(policy)
+        .sched_policy(sched)
         .profile(profile)
         .build();
     let result = Arc::new(Mutex::new(f64::INFINITY));
@@ -142,6 +154,66 @@ pub fn getpid_coupled_ns(policy: IdlePolicy, profile: ArchProfile, iters: usize)
     .wait();
     let v = *result.lock();
     v
+}
+
+/// A bare couple()+decouple() round trip (no enclosed system call) from a
+/// decoupled ULP — the cost of the Table-I transition protocol itself, ns.
+pub fn couple_rtt_ns(policy: IdlePolicy, profile: ArchProfile, iters: usize) -> f64 {
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(policy)
+        .profile(profile)
+        .build();
+    let result = Arc::new(Mutex::new(f64::INFINITY));
+    let r2 = result.clone();
+    rt.spawn("couple-rtt", move || {
+        decouple().unwrap();
+        *r2.lock() = crate::measure_min(iters, || {
+            coupled_scope(|| ()).unwrap();
+        });
+        0
+    })
+    .wait();
+    let v = *result.lock();
+    v
+}
+
+/// Aggregate context-switch throughput under over-subscription: `n_blts`
+/// yield-looping ULPs over `n_sched` scheduler KCs (switches per second).
+pub fn oversub_switches_per_sec(
+    n_sched: usize,
+    sched: SchedPolicy,
+    n_blts: usize,
+    yields_each: usize,
+) -> f64 {
+    let rt = Runtime::builder()
+        .schedulers(n_sched)
+        .idle_policy(IdlePolicy::Blocking)
+        .sched_policy(sched)
+        .build();
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..n_blts)
+        .map(|i| {
+            let g = go.clone();
+            rt.spawn(&format!("oversub{i}"), move || {
+                decouple().unwrap();
+                while !g.load(Ordering::Acquire) {
+                    yield_now();
+                }
+                for _ in 0..yields_each {
+                    yield_now();
+                }
+                0
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    go.store(true, Ordering::Release);
+    for h in handles {
+        h.wait();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (n_blts * yields_each) as f64 / secs
 }
 
 // ------------------------------------------------------------ Figs. 7 & 8
@@ -319,7 +391,12 @@ fn imb_ratio(pure_io: f64, pure_cpu: f64, ovl: f64) -> f64 {
 /// writes, "calculated in the way used in the Intel MPI benchmarks" (§VI-D):
 /// `overlap = (t_io + t_cpu − t_ovl) / min(t_io, t_cpu)`, with the compute
 /// workload calibrated to the pure-I/O time.
-pub fn overlap(variant: OwcVariant, size: usize, profile: ArchProfile, io: IoModel) -> OverlapResult {
+pub fn overlap(
+    variant: OwcVariant,
+    size: usize,
+    profile: ArchProfile,
+    io: IoModel,
+) -> OverlapResult {
     const OPS: usize = 8;
     let rt = owc_runtime(variant, profile, io);
 
@@ -357,116 +434,123 @@ pub fn overlap(variant: OwcVariant, size: usize, profile: ArchProfile, io: IoMod
     }
 
     // --- overlapped run (minimum of three trials, like everything else).
-    let one_overlapped_trial = |variant: OwcVariant| -> f64 { match variant {
-        OwcVariant::Plain => {
-            // No async mechanism: sequential I/O then compute.
-            let cell = Arc::new(Mutex::new(0f64));
-            let c2 = cell.clone();
-            rt.spawn("ovl-plain", move || {
-                let buf = Arc::new(vec![1u8; size]);
-                let t = Instant::now();
-                for _ in 0..OPS {
-                    owc_once(OwcVariant::Plain, &buf);
-                    for _ in 0..slices {
+    let one_overlapped_trial = |variant: OwcVariant| -> f64 {
+        match variant {
+            OwcVariant::Plain => {
+                // No async mechanism: sequential I/O then compute.
+                let cell = Arc::new(Mutex::new(0f64));
+                let c2 = cell.clone();
+                rt.spawn("ovl-plain", move || {
+                    let buf = Arc::new(vec![1u8; size]);
+                    let t = Instant::now();
+                    for _ in 0..OPS {
+                        owc_once(OwcVariant::Plain, &buf);
+                        for _ in 0..slices {
+                            compute_slice(slice_iters);
+                        }
+                    }
+                    *c2.lock() = t.elapsed().as_nanos() as f64 / OPS as f64;
+                    0
+                })
+                .wait();
+                let v = *cell.lock();
+                v
+            }
+            OwcVariant::Ulp(_) => {
+                // Two ULPs: one does the coupled I/O (its own KC blocks), the
+                // other computes on the scheduler meanwhile. Completion is
+                // timestamped inside each task so thread teardown/join costs do
+                // not pollute the overlapped time (the AIO arm also measures
+                // inside its task).
+                let go = Arc::new(AtomicBool::new(false));
+                let ends: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+                let g2 = go.clone();
+                let e2 = ends.clone();
+                let io_task = rt.spawn("ovl-io", move || {
+                    decouple().unwrap();
+                    while !g2.load(Ordering::Acquire) {
+                        yield_now();
+                    }
+                    let buf = Arc::new(vec![2u8; size]);
+                    // One couple()/decouple() pair around the whole series —
+                    // the paper's "enclose a series of system-calls" idiom
+                    // (§VII); the original KC executes all OPS operations while
+                    // the compute ULP keeps the scheduler busy.
+                    coupled_scope(|| {
+                        let flags = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+                        for _ in 0..OPS {
+                            let fd = sys::open("/bench.dat", flags).unwrap();
+                            sys::write(fd, &buf).unwrap();
+                            sys::close(fd).unwrap();
+                        }
+                    })
+                    .unwrap();
+                    e2.lock().push(Instant::now());
+                    0
+                });
+                let g3 = go.clone();
+                let e3 = ends.clone();
+                let cpu_task = rt.spawn("ovl-cpu", move || {
+                    decouple().unwrap();
+                    while !g3.load(Ordering::Acquire) {
+                        yield_now();
+                    }
+                    for _ in 0..(OPS as u64 * slices) {
                         compute_slice(slice_iters);
                     }
-                }
-                *c2.lock() = t.elapsed().as_nanos() as f64 / OPS as f64;
-                0
-            })
-            .wait();
-            let v = *cell.lock();
-            v
-        }
-        OwcVariant::Ulp(_) => {
-            // Two ULPs: one does the coupled I/O (its own KC blocks), the
-            // other computes on the scheduler meanwhile. Completion is
-            // timestamped inside each task so thread teardown/join costs do
-            // not pollute the overlapped time (the AIO arm also measures
-            // inside its task).
-            let go = Arc::new(AtomicBool::new(false));
-            let ends: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
-            let g2 = go.clone();
-            let e2 = ends.clone();
-            let io_task = rt.spawn("ovl-io", move || {
-                decouple().unwrap();
-                while !g2.load(Ordering::Acquire) {
-                    yield_now();
-                }
-                let buf = Arc::new(vec![2u8; size]);
-                // One couple()/decouple() pair around the whole series —
-                // the paper's "enclose a series of system-calls" idiom
-                // (§VII); the original KC executes all OPS operations while
-                // the compute ULP keeps the scheduler busy.
-                coupled_scope(|| {
+                    e3.lock().push(Instant::now());
+                    0
+                });
+                let t = Instant::now();
+                go.store(true, Ordering::Release);
+                io_task.wait();
+                cpu_task.wait();
+                let last_end = ends
+                    .lock()
+                    .iter()
+                    .max()
+                    .copied()
+                    .unwrap_or_else(Instant::now);
+                last_end.duration_since(t).as_nanos() as f64 / OPS as f64
+            }
+            OwcVariant::AioReturn | OwcVariant::AioSuspend => {
+                let cell = Arc::new(Mutex::new(0f64));
+                let c2 = cell.clone();
+                rt.spawn("ovl-aio", move || {
+                    let buf = Arc::new(vec![3u8; size]);
                     let flags = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
+                    let t = Instant::now();
                     for _ in 0..OPS {
                         let fd = sys::open("/bench.dat", flags).unwrap();
-                        sys::write(fd, &buf).unwrap();
-                        sys::close(fd).unwrap();
-                    }
-                })
-                .unwrap();
-                e2.lock().push(Instant::now());
-                0
-            });
-            let g3 = go.clone();
-            let e3 = ends.clone();
-            let cpu_task = rt.spawn("ovl-cpu", move || {
-                decouple().unwrap();
-                while !g3.load(Ordering::Acquire) {
-                    yield_now();
-                }
-                for _ in 0..(OPS as u64 * slices) {
-                    compute_slice(slice_iters);
-                }
-                e3.lock().push(Instant::now());
-                0
-            });
-            let t = Instant::now();
-            go.store(true, Ordering::Release);
-            io_task.wait();
-            cpu_task.wait();
-            let last_end = ends.lock().iter().max().copied().unwrap_or_else(Instant::now);
-            last_end.duration_since(t).as_nanos() as f64 / OPS as f64
-        }
-        OwcVariant::AioReturn | OwcVariant::AioSuspend => {
-            let cell = Arc::new(Mutex::new(0f64));
-            let c2 = cell.clone();
-            rt.spawn("ovl-aio", move || {
-                let buf = Arc::new(vec![3u8; size]);
-                let flags = OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC;
-                let t = Instant::now();
-                for _ in 0..OPS {
-                    let fd = sys::open("/bench.dat", flags).unwrap();
-                    let cb = sys::aio_write(fd, 0, buf.clone()).unwrap();
-                    // Compute while the helper writes.
-                    for _ in 0..slices {
-                        compute_slice(slice_iters);
-                        if variant == OwcVariant::AioReturn {
-                            // Poll between slices, as a ULT would.
-                            let _ = cb.error();
-                        }
-                    }
-                    match variant {
-                        OwcVariant::AioReturn => {
-                            while cb.error() == Some(ulp_kernel::Errno::EINPROGRESS) {
-                                std::hint::spin_loop();
+                        let cb = sys::aio_write(fd, 0, buf.clone()).unwrap();
+                        // Compute while the helper writes.
+                        for _ in 0..slices {
+                            compute_slice(slice_iters);
+                            if variant == OwcVariant::AioReturn {
+                                // Poll between slices, as a ULT would.
+                                let _ = cb.error();
                             }
                         }
-                        _ => cb.suspend(),
+                        match variant {
+                            OwcVariant::AioReturn => {
+                                while cb.error() == Some(ulp_kernel::Errno::EINPROGRESS) {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            _ => cb.suspend(),
+                        }
+                        cb.aio_return().unwrap();
+                        sys::close(fd).unwrap();
                     }
-                    cb.aio_return().unwrap();
-                    sys::close(fd).unwrap();
-                }
-                *c2.lock() = t.elapsed().as_nanos() as f64 / OPS as f64;
-                0
-            })
-            .wait();
-            let v = *cell.lock();
-            v
+                    *c2.lock() = t.elapsed().as_nanos() as f64 / OPS as f64;
+                    0
+                })
+                .wait();
+                let v = *cell.lock();
+                v
+            }
         }
-    }};
+    };
     let mut ovl = f64::INFINITY;
     for _ in 0..3 {
         ovl = ovl.min(one_overlapped_trial(variant));

@@ -8,24 +8,73 @@
 //! | Table I step | This module |
 //! |---|---|
 //! | Seq.1–2 `enqueue(UC₀,KC₀)`, `unblock(KC₀)` | `Deferred::CoupleRequest` executed by the host scheduler *after* the UC is saved (race point 1 resolved) |
-//! | Seq.3–4 `swap_ctx(UC₀,UCᵢ)` / `swap_ctx(TC₀,UC₀)` | [`couple`]'s `raw_switch` to the host + the TC idle loop's dispatch |
+//! | Seq.3–4 `swap_ctx(UC₀,UCᵢ)` / `swap_ctx(TC₀,UC₀)` | [`couple`]'s switch to the host + the TC idle loop's dispatch |
 //! | Seq.5 `system_call()` | user code, now on the original KC |
-//! | Seq.6–7 `enqueue(UC₀,KC₁)`, `swap_ctx(UC₀,TC₀)` | [`decouple`]'s `raw_switch` to the TC with `Deferred::Enqueue` (race point 2 resolved) |
+//! | Seq.6–7 `enqueue(UC₀,KC₁)`, `swap_ctx(UC₀,TC₀)` | [`decouple`]'s switch to the TC with `Deferred::Enqueue` (race point 2 resolved) |
 //! | Seq.8–9 `dequeue()` / `swap_ctx(UCᵢ,UC₀)` | the scheduler loop / direct `yield` switch |
+//!
+//! ## Hot-path structure
+//!
+//! Every transition does all of its bookkeeping — deferred-action slot,
+//! sharded stats, tracer, TLS-cost emulation, lazy sigmask carry, TLS
+//! register swap — inside a *single* [`with_thread`] access that returns the
+//! `(save, target)` context pair, and only then performs the actual
+//! `ulp_fcontext::swap` *outside* the closure: a UC may resume on a
+//! different OS thread, so no thread-block borrow may be live across the
+//! swap. The context that lands runs [`run_deferred`] (its own single
+//! access). `Arc` ownership moves instead of being counted: the run queue's
+//! popped `Arc` moves into the TLS register, the displaced occupant moves
+//! into its deferred enqueue, and `run_deferred` moves it back into the
+//! queue — a yield performs no refcount operation at all.
 
-use crate::current::{
-    current_host, current_runtime, current_ulp, run_deferred, set_current_ulp, set_deferred,
-    Deferred,
-};
+use crate::current::{run_deferred, with_thread, Deferred, ThreadBlock};
 use crate::error::UlpError;
-use crate::runtime::RuntimeInner;
 use crate::uc::{UcInner, UcKind};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use ulp_fcontext::RawContext;
 
-/// The one context-switch primitive every transition uses: optionally
-/// record a deferred action, count the switch, swap, and drain whatever
-/// action the context that later resumes us left behind.
+/// Install `uc` as the current ULP at the profiled UC↔UC cost: reload the
+/// emulated TLS register (§V-B) and lazily carry the signal mask. Returns
+/// the displaced occupant of the TLS register so callers can thread its
+/// ownership into a deferred action.
+#[inline]
+pub(crate) fn install_on(b: &ThreadBlock, uc: Arc<UcInner>) -> Option<Arc<UcInner>> {
+    let mask_bits = if b.save_sigmask() {
+        Some(uc.sigmask.bits())
+    } else {
+        None
+    };
+    let displaced = b.swap_ulp(Some(uc));
+    if b.tls_switch() {
+        ulp_kernel::cost::spin_for(b.tls_spin());
+        if let Some(s) = b.shard() {
+            s.bump_tls_loads();
+        }
+    }
+    if let Some(bits) = mask_bits {
+        // ucontext-style mask carry (§VII), made lazy: the system call —
+        // the "non-negligible overhead" the paper warns about — fires only
+        // when the incoming UC's mask differs from the one this kernel
+        // context last installed.
+        if b.installed_mask() != Some(bits) {
+            if let Some(rt) = b.rt() {
+                let _ = rt.kernel.sys_sigprocmask(
+                    ulp_kernel::MaskHow::SetMask,
+                    ulp_kernel::SigSet::from_bits(bits),
+                );
+                b.set_installed_mask(Some(bits));
+            }
+        }
+    }
+    displaced
+}
+
+/// The context-switch primitive used by the scheduler/TC call sites:
+/// optionally record a deferred action, count the switch, swap, and drain
+/// whatever action the context that later resumes us left behind.
+/// (`couple`/`decouple`/`yield_now` inline this structure themselves so
+/// their whole prep shares one thread-block access.)
 ///
 /// # Safety
 /// `save` must point to the running context's save slot; `target` must be a
@@ -35,38 +84,37 @@ pub(crate) unsafe fn raw_switch(
     target: RawContext,
     deferred: Option<Deferred>,
 ) {
-    if let Some(d) = deferred {
-        set_deferred(d);
-    }
-    if let Some(rt) = current_runtime() {
-        rt.stats.bump_context_switches();
-    }
+    with_thread(|b| {
+        if let Some(d) = deferred {
+            b.put_deferred(d);
+        }
+        if let Some(s) = b.shard() {
+            s.bump_context_switches();
+        }
+    });
     ulp_fcontext::swap(&mut *save, target, 0);
     run_deferred();
 }
 
-/// Install `uc` as the current ULP, reloading the emulated TLS register at
-/// the profiled architectural cost (UC↔UC switches, §V-B).
-pub(crate) fn install_ulp(rt: &Arc<RuntimeInner>, uc: &Arc<UcInner>) {
-    set_current_ulp(Some(uc.clone()));
-    if rt.config.tls_switch {
-        ulp_kernel::cost::spin_for(rt.kernel.profile().tls_load());
-        rt.stats.bump_tls_loads();
-    }
-    if rt.config.save_sigmask {
-        // ucontext-style: carry the UC's signal mask to the executing
-        // kernel context. This is the "non-negligible overhead" system
-        // call the paper's §VII warns about.
-        let mask = *uc.sigmask.lock();
-        let _ = rt
-            .kernel
-            .sys_sigprocmask(ulp_kernel::MaskHow::SetMask, mask);
-    }
+/// Install `uc` without charging the TLS cost (TC↔UC switches are exempt).
+pub(crate) fn install_ulp_no_charge(uc: Arc<UcInner>) {
+    with_thread(|b| {
+        let _displaced = b.swap_ulp(Some(uc));
+    });
 }
 
-/// Install `uc` without charging the TLS cost (TC↔UC switches are exempt).
-pub(crate) fn install_ulp_no_charge(uc: &Arc<UcInner>) {
-    set_current_ulp(Some(uc.clone()));
+/// What a transition's prep phase decided (computed under a single
+/// thread-block access; the swap itself happens after the access ends).
+enum Prep {
+    /// Nothing user-level to do; the OS scheduler may be yielded to.
+    OsYield,
+    /// No runnable UC / no transition necessary.
+    NoSwitch,
+    /// Perform `swap(save, target)`.
+    Switch {
+        save: *mut RawContext,
+        target: RawContext,
+    },
 }
 
 /// Detach the calling UC from its original kernel context and enter the
@@ -75,29 +123,55 @@ pub(crate) fn install_ulp_no_charge(uc: &Arc<UcInner>) {
 /// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
 /// already decoupled.
 pub fn decouple() -> Result<bool, UlpError> {
-    let rt = current_runtime().ok_or(UlpError::NoRuntime)?;
-    let me = current_ulp().ok_or(UlpError::NotAUlp)?;
-    if me.kind == UcKind::Scheduler {
-        return Err(UlpError::SchedulerCannotDecouple);
-    }
-    if !me.is_coupled() {
+    let prep = with_thread(|b| -> Result<Prep, UlpError> {
+        if b.rt().is_none() {
+            return Err(UlpError::NoRuntime);
+        }
+        let Some(me) = b.ulp() else {
+            return Err(UlpError::NotAUlp);
+        };
+        if me.kind == UcKind::Scheduler {
+            return Err(UlpError::SchedulerCannotDecouple);
+        }
+        if !me.is_coupled() {
+            return Ok(Prep::NoSwitch);
+        }
+        debug_assert!(
+            me.kc.is_current_thread(),
+            "coupled UC executing off its original KC"
+        );
+        if !me.kc.tc_started.load(std::sync::atomic::Ordering::Acquire) {
+            // Cold path, once per KC: materialize the trampoline. Needs
+            // owned handles, so it pays two clones — never again after.
+            let me_arc = b.ulp_arc().expect("checked above");
+            let rt_arc = b.rt_arc().expect("checked above");
+            crate::kc::ensure_tc(&me_arc, &rt_arc)?;
+        }
+        if let Some(s) = b.shard() {
+            s.bump_decouples();
+            s.bump_context_switches();
+        }
+        let rt = b.rt().expect("checked above");
+        rt.tracer.record(crate::trace::Event::Decouple(me.id));
+        me.coupled
+            .store(false, std::sync::atomic::Ordering::Release);
+        let save = me.ctx.get();
+        let target = unsafe { *me.kc.tc_ctx.get() };
+        // Vacate the TLS register and move our own reference into the
+        // deferred enqueue: it runs on the TC only after our registers are
+        // saved — Table I race point 2.
+        let me_owned = b.swap_ulp(None).expect("me is installed");
+        b.put_deferred(Deferred::Enqueue(me_owned));
+        Ok(Prep::Switch { save, target })
+    })?;
+    let Prep::Switch { save, target } = prep else {
         return Ok(false);
-    }
-    debug_assert!(
-        me.kc.is_current_thread(),
-        "coupled UC executing off its original KC"
-    );
-    crate::kc::ensure_tc(&me, &rt)?;
-    rt.stats.bump_decouples();
-    rt.tracer.record(crate::trace::Event::Decouple(me.id));
-    me.coupled.store(false, std::sync::atomic::Ordering::Release);
-    let target = unsafe { *me.kc.tc_ctx.get() };
+    };
     unsafe {
-        // The enqueue is deferred: it runs on the TC only after our
-        // registers are saved — Table I race point 2.
-        raw_switch(me.ctx.get(), target, Some(Deferred::Enqueue(me.clone())));
+        ulp_fcontext::swap(&mut *save, target, 0);
     }
     // We are back: some scheduler KC picked us up. We now run as a ULT.
+    run_deferred();
     Ok(true)
 }
 
@@ -108,27 +182,51 @@ pub fn decouple() -> Result<bool, UlpError> {
 /// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
 /// already coupled.
 pub fn couple() -> Result<bool, UlpError> {
-    let rt = current_runtime().ok_or(UlpError::NoRuntime)?;
-    let me = current_ulp().ok_or(UlpError::NotAUlp)?;
-    if me.is_coupled() {
+    let prep = with_thread(|b| -> Result<Prep, UlpError> {
+        if b.rt().is_none() {
+            return Err(UlpError::NoRuntime);
+        }
+        let Some(me) = b.ulp() else {
+            return Err(UlpError::NotAUlp);
+        };
+        if me.is_coupled() {
+            return Ok(Prep::NoSwitch);
+        }
+        // Running as a ULT: by construction we are hosted on a scheduler KC.
+        let Some(host) = b.host_arc() else {
+            return Err(UlpError::NotAUlp);
+        };
+        if let Some(s) = b.shard() {
+            s.bump_couples();
+            s.bump_context_switches();
+        }
+        let save = me.ctx.get();
+        let target = unsafe { *host.ctx.get() };
+        // Switching back into the scheduler's context is a UC↔UC switch:
+        // the host's TLS register is reloaded at cost. Our own reference is
+        // displaced out of the register and moves into the couple request —
+        // the host publishes us to our original KC only after our registers
+        // are saved (race point 1).
+        let me_owned = install_on(b, host).expect("me is installed");
+        b.put_deferred(Deferred::CoupleRequest(me_owned));
+        Ok(Prep::Switch { save, target })
+    })?;
+    let Prep::Switch { save, target } = prep else {
         return Ok(false);
-    }
-    // Running as a ULT: by construction we are hosted on a scheduler KC.
-    let host = current_host().ok_or(UlpError::NotAUlp)?;
-    rt.stats.bump_couples();
-    // Switching back into the scheduler's context is a UC↔UC switch: the
-    // host's TLS register is reloaded at cost.
-    install_ulp(&rt, &host);
-    let target = unsafe { *host.ctx.get() };
+    };
     unsafe {
-        // The couple request is deferred: the host publishes us to our
-        // original KC only after our registers are saved — race point 1.
-        raw_switch(me.ctx.get(), target, Some(Deferred::CoupleRequest(me.clone())));
+        ulp_fcontext::swap(&mut *save, target, 0);
     }
     // We are back, resumed by our original KC's trampoline: we are a KLT.
-    debug_assert!(me.kc.is_current_thread());
-    me.coupled.store(true, std::sync::atomic::Ordering::Release);
-    rt.tracer.record(crate::trace::Event::Coupled(me.id));
+    run_deferred();
+    with_thread(|b| {
+        let me = b.ulp().expect("reinstalled by the KC trampoline");
+        debug_assert!(me.kc.is_current_thread());
+        me.coupled.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(rt) = b.rt() {
+            rt.tracer.record(crate::trace::Event::Coupled(me.id));
+        }
+    });
     // Safe point: deliverable signals of our own process run now that we
     // are back on the kernel context that owns them.
     crate::signals::safe_point();
@@ -139,51 +237,78 @@ pub fn couple() -> Result<bool, UlpError> {
 /// switch, the paper's `swap_ctx(UC₀, UCᵢ)`). Returns `true` if a switch
 /// happened. Coupled BLTs and schedulers delegate to the OS scheduler.
 pub fn yield_now() -> bool {
-    let Some(rt) = current_runtime() else {
-        std::thread::yield_now();
-        return false;
-    };
-    let Some(me) = current_ulp() else {
-        std::thread::yield_now();
-        return false;
-    };
-    if me.kind == UcKind::Scheduler || me.is_coupled() {
-        // A KLT's yield is the kernel's business (Table IV's sched_yield
-        // rows); nothing user-level to do.
-        std::thread::yield_now();
-        return false;
-    }
-    let Some(next) = rt.runq.pop() else {
-        return false;
-    };
-    rt.stats.bump_yields();
-    rt.tracer.record(crate::trace::Event::Yield {
-        from: me.id,
-        to: next.id,
+    let prep = with_thread(|b| {
+        let Some(rt) = b.rt() else {
+            return Prep::OsYield;
+        };
+        let Some(me) = b.ulp() else {
+            return Prep::OsYield;
+        };
+        if me.kind == UcKind::Scheduler || me.is_coupled() {
+            // A KLT's yield is the kernel's business (Table IV's
+            // sched_yield rows); nothing user-level to do.
+            return Prep::OsYield;
+        }
+        let Some(next) = rt.runq.pop() else {
+            return Prep::NoSwitch;
+        };
+        if let Some(s) = b.shard() {
+            s.bump_yields();
+            s.bump_context_switches();
+        }
+        rt.tracer.record(crate::trace::Event::Yield {
+            from: me.id,
+            to: next.id,
+        });
+        let save = me.ctx.get();
+        let target = unsafe { *next.ctx.get() };
+        // Move the popped Arc into the TLS register; our displaced self
+        // moves into the deferred self-enqueue. No refcount is touched.
+        let me_owned = install_on(b, next).expect("me is installed");
+        b.put_deferred(Deferred::Enqueue(me_owned));
+        Prep::Switch { save, target }
     });
-    install_ulp(&rt, &next);
-    let target = unsafe { *next.ctx.get() };
-    unsafe {
-        raw_switch(me.ctx.get(), target, Some(Deferred::Enqueue(me.clone())));
+    match prep {
+        Prep::OsYield => {
+            std::thread::yield_now();
+            false
+        }
+        Prep::NoSwitch => false,
+        Prep::Switch { save, target } => {
+            unsafe {
+                ulp_fcontext::swap(&mut *save, target, 0);
+            }
+            run_deferred();
+            true
+        }
     }
-    true
 }
 
 /// Run `f` coupled with the original kernel context — the paper's
 /// "enclosing the system call(s) with `couple()` and `decouple()`" idiom
 /// (§V-B: "This is all that a user has to do"). Restores the previous
-/// coupling state afterwards: a UC that entered decoupled leaves decoupled.
+/// coupling state afterwards: a UC that entered decoupled leaves decoupled,
+/// *even when `f` panics* — the unwind is caught, the coupling state
+/// restored, and the panic resumed, so a panicking scope cannot leak its UC
+/// in the coupled state (which would wedge every later caller expecting the
+/// scheduled pool to get the UC back).
 pub fn coupled_scope<R>(f: impl FnOnce() -> R) -> Result<R, UlpError> {
     let transitioned = couple()?;
-    let result = f();
-    if transitioned {
-        decouple()?;
+    // AssertUnwindSafe: the closure either completes or its panic is
+    // re-raised below after the coupling state is restored, so no broken
+    // invariant escapes. Each raise/catch pair runs entirely on one OS
+    // thread (a context switch never happens mid-unwind; the decouple
+    // switch below runs strictly between the catch and the resume).
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let restored = if transitioned { decouple() } else { Ok(false) };
+    match result {
+        Ok(value) => restored.map(|_| value),
+        Err(payload) => resume_unwind(payload),
     }
-    Ok(result)
 }
 
 /// Is the calling UC currently coupled with its original kernel context?
 /// `None` when not running inside a ULP.
 pub fn is_coupled() -> Option<bool> {
-    current_ulp().map(|u| u.is_coupled())
+    with_thread(|b| b.ulp().map(|u| u.is_coupled()))
 }

@@ -16,14 +16,36 @@
 //!
 //! ## The emulated TLS register
 //!
-//! `CURRENT.ulp` doubles as the paper's TLS register (§V-B): a per-KC
-//! pointer to the ULP whose context is installed, switched on every UC↔UC
-//! transition and left alone on TC↔UC transitions.
+//! The thread block's `ulp` anchor doubles as the paper's TLS register
+//! (§V-B): a per-KC pointer to the ULP whose context is installed, switched
+//! on every UC↔UC transition and left alone on TC↔UC transitions.
+//!
+//! ## The thread block
+//!
+//! All per-thread state lives in one `Cell`-based [`ThreadBlock`] so a
+//! context switch touches thread-local storage *once*: `Arc` anchors keep
+//! the runtime / current ULP / host identity / stats shard alive, and raw
+//! pointer mirrors beside them give the hot path borrow-free access with no
+//! reference-count traffic. The cells also cache the switch-relevant
+//! `Config` knobs (TLS-switch emulation, sigmask carrying) and the signal
+//! mask currently installed on this kernel context, which makes the
+//! ucontext-style mask carry lazy: the `sigprocmask` system call fires only
+//! when the incoming UC's mask differs from the installed one.
+//!
+//! Safety contract for the raw mirrors: each pointer is written together
+//! with its anchor and is non-null only while the anchor is `Some`;
+//! borrows derived from them (via [`ThreadBlock::rt`] etc.) must stay
+//! inside a single [`with_thread`] closure and must never be held across a
+//! context switch — a UC may resume on a different OS thread, where this
+//! thread's block would be the wrong one.
 
 use crate::runtime::RuntimeInner;
+use crate::stats::StatsShard;
 use crate::uc::UcInner;
-use std::cell::RefCell;
+use std::cell::Cell;
+use std::ptr;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An action to perform on behalf of a context *after* it has been fully
 /// suspended.
@@ -47,120 +69,339 @@ impl std::fmt::Debug for Deferred {
     }
 }
 
-#[derive(Default)]
-struct ThreadState {
+/// The one-per-OS-thread state block (see the module docs for the layout
+/// rationale and the safety contract on the pointer mirrors).
+pub(crate) struct ThreadBlock {
     /// The runtime this OS thread belongs to (set on runtime threads and on
-    /// the thread that created the runtime).
-    rt: Option<Arc<RuntimeInner>>,
+    /// the thread that created the runtime) + its borrow-free mirror.
+    rt: Cell<Option<Arc<RuntimeInner>>>,
+    rt_ptr: Cell<*const RuntimeInner>,
     /// The ULP whose context is currently installed — the emulated TLS
-    /// register.
-    ulp: Option<Arc<UcInner>>,
+    /// register — + mirror.
+    ulp: Cell<Option<Arc<UcInner>>>,
+    ulp_ptr: Cell<*const UcInner>,
     /// On scheduler threads: the scheduler's own identity, i.e. where a
-    /// hosted UC must switch back to when it relinquishes the KC.
-    host: Option<Arc<UcInner>>,
+    /// hosted UC must switch back to when it relinquishes the KC; + mirror.
+    host: Cell<Option<Arc<UcInner>>>,
+    host_ptr: Cell<*const UcInner>,
+    /// This kernel context's private stats shard + mirror.
+    shard: Cell<Option<Arc<StatsShard>>>,
+    shard_ptr: Cell<*const StatsShard>,
     /// The pending deferred action, executed right after the next switch.
-    deferred: Option<Deferred>,
+    deferred: Cell<Option<Deferred>>,
+    /// Cached `Config::tls_switch` / `ArchProfile::tls_load` / parts of
+    /// `Config::save_sigmask`, loaded once in [`set_runtime`] so the switch
+    /// path never chases the runtime's config.
+    tls_switch: Cell<bool>,
+    tls_spin: Cell<Duration>,
+    save_sigmask: Cell<bool>,
+    /// Raw bits of the signal mask currently installed on this kernel
+    /// context's bound process; `None` = unknown (forces the next carrying
+    /// install to issue the system call).
+    installed_mask: Cell<Option<u32>>,
+}
+
+impl ThreadBlock {
+    /// This thread's runtime, borrow-free. The reference must not outlive
+    /// the enclosing [`with_thread`] closure nor cross a context switch.
+    #[inline]
+    pub(crate) fn rt(&self) -> Option<&RuntimeInner> {
+        let p = self.rt_ptr.get();
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: non-null mirrors always have a live anchor (module
+            // docs), and the anchor cannot be cleared while `&self` borrows
+            // from this thread's block.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// The emulated TLS register, borrow-free (same contract as `rt`).
+    #[inline]
+    pub(crate) fn ulp(&self) -> Option<&UcInner> {
+        let p = self.ulp_ptr.get();
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: as in `rt`.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// This kernel context's stats shard, borrow-free (as `rt`).
+    #[inline]
+    pub(crate) fn shard(&self) -> Option<&StatsShard> {
+        let p = self.shard_ptr.get();
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: as in `rt`.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Clone the runtime anchor (cold paths that need owned handles).
+    #[inline]
+    pub(crate) fn rt_arc(&self) -> Option<Arc<RuntimeInner>> {
+        let rt = self.rt.take();
+        let out = rt.clone();
+        self.rt.set(rt);
+        out
+    }
+
+    /// Clone the TLS-register anchor (cold paths that need owned handles).
+    #[inline]
+    pub(crate) fn ulp_arc(&self) -> Option<Arc<UcInner>> {
+        let u = self.ulp.take();
+        let out = u.clone();
+        self.ulp.set(u);
+        out
+    }
+
+    /// Clone the host-identity anchor. The couple path pays this one clone
+    /// at the dispatch boundary (the host's reference is re-materialized
+    /// when a hosted UC hands the KC back).
+    #[inline]
+    pub(crate) fn host_arc(&self) -> Option<Arc<UcInner>> {
+        let h = self.host.take();
+        let out = h.clone();
+        self.host.set(h);
+        out
+    }
+
+    /// Store the emulated TLS register, returning the displaced occupant.
+    /// The yield path threads `Arc` ownership through here (incoming UC in,
+    /// outgoing UC back out into its deferred enqueue) so a yield moves
+    /// reference counts instead of touching them.
+    #[inline]
+    pub(crate) fn swap_ulp(&self, new: Option<Arc<UcInner>>) -> Option<Arc<UcInner>> {
+        let p = new.as_ref().map_or(ptr::null(), Arc::as_ptr);
+        self.ulp_ptr.set(p);
+        self.ulp.replace(new)
+    }
+
+    #[inline]
+    pub(crate) fn put_deferred(&self, d: Deferred) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.deferred.take();
+            debug_assert!(prev.is_none(), "deferred action overwritten: {prev:?}");
+        }
+        self.deferred.set(Some(d));
+    }
+
+    #[inline]
+    pub(crate) fn tls_switch(&self) -> bool {
+        self.tls_switch.get()
+    }
+
+    #[inline]
+    pub(crate) fn tls_spin(&self) -> Duration {
+        self.tls_spin.get()
+    }
+
+    #[inline]
+    pub(crate) fn save_sigmask(&self) -> bool {
+        self.save_sigmask.get()
+    }
+
+    #[inline]
+    pub(crate) fn installed_mask(&self) -> Option<u32> {
+        self.installed_mask.get()
+    }
+
+    #[inline]
+    pub(crate) fn set_installed_mask(&self, bits: Option<u32>) {
+        self.installed_mask.set(bits);
+    }
 }
 
 thread_local! {
-    static CURRENT: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+    static BLOCK: ThreadBlock = const {
+        ThreadBlock {
+            rt: Cell::new(None),
+            rt_ptr: Cell::new(ptr::null()),
+            ulp: Cell::new(None),
+            ulp_ptr: Cell::new(ptr::null()),
+            host: Cell::new(None),
+            host_ptr: Cell::new(ptr::null()),
+            shard: Cell::new(None),
+            shard_ptr: Cell::new(ptr::null()),
+            deferred: Cell::new(None),
+            tls_switch: Cell::new(false),
+            tls_spin: Cell::new(Duration::ZERO),
+            save_sigmask: Cell::new(false),
+            installed_mask: Cell::new(None),
+        }
+    };
 }
 
-/// Install the runtime on this OS thread.
+/// Run `f` with this thread's block — the hot path's single TLS access.
+#[inline]
+pub(crate) fn with_thread<R>(f: impl FnOnce(&ThreadBlock) -> R) -> R {
+    BLOCK.with(f)
+}
+
+/// Install the runtime on this OS thread: anchors the runtime, caches the
+/// switch-relevant config knobs, and registers this kernel context's
+/// private stats shard with the runtime.
 pub fn set_runtime(rt: Arc<RuntimeInner>) {
-    CURRENT.with(|c| c.borrow_mut().rt = Some(rt));
+    BLOCK.with(|b| {
+        b.tls_switch.set(rt.config.tls_switch);
+        b.tls_spin.set(rt.config.profile.tls_load());
+        b.save_sigmask.set(rt.config.save_sigmask);
+        b.installed_mask.set(None);
+        let shard = rt.stats.register_shard();
+        b.shard_ptr.set(Arc::as_ptr(&shard));
+        b.shard.set(Some(shard));
+        b.rt_ptr.set(Arc::as_ptr(&rt));
+        b.rt.set(Some(rt));
+    });
 }
 
 /// The runtime this OS thread belongs to.
 pub fn current_runtime() -> Option<Arc<RuntimeInner>> {
-    CURRENT.with(|c| c.borrow().rt.clone())
+    BLOCK.with(|b| {
+        let rt = b.rt.take();
+        let out = rt.clone();
+        b.rt.set(rt);
+        out
+    })
 }
 
 /// Load the emulated TLS register.
 pub fn current_ulp() -> Option<Arc<UcInner>> {
-    CURRENT.with(|c| c.borrow().ulp.clone())
+    BLOCK.with(|b| {
+        let u = b.ulp.take();
+        let out = u.clone();
+        b.ulp.set(u);
+        out
+    })
 }
 
 /// Store the emulated TLS register (cost accounting is the switch code's
 /// responsibility).
 pub fn set_current_ulp(u: Option<Arc<UcInner>>) {
-    CURRENT.with(|c| c.borrow_mut().ulp = u);
+    BLOCK.with(|b| {
+        b.swap_ulp(u);
+    });
 }
 
 /// The scheduler identity hosting UCs on this thread, if any.
 pub fn current_host() -> Option<Arc<UcInner>> {
-    CURRENT.with(|c| c.borrow().host.clone())
+    BLOCK.with(|b| {
+        let h = b.host.take();
+        let out = h.clone();
+        b.host.set(h);
+        out
+    })
 }
 
 /// Mark this OS thread as a scheduler hosting UCs.
 pub fn set_host(u: Option<Arc<UcInner>>) {
-    CURRENT.with(|c| c.borrow_mut().host = u);
+    BLOCK.with(|b| {
+        let p = u.as_ref().map_or(ptr::null(), Arc::as_ptr);
+        b.host_ptr.set(p);
+        b.host.set(u);
+    });
 }
 
 /// Record the action to run after the next context switch completes.
 /// Panics (debug) if an action is already pending — that would mean a
 /// context switched away without the successor draining the slot.
 pub fn set_deferred(d: Deferred) {
-    CURRENT.with(|c| {
-        let mut st = c.borrow_mut();
-        debug_assert!(
-            st.deferred.is_none(),
-            "deferred action overwritten: {:?}",
-            st.deferred
-        );
-        st.deferred = Some(d);
-    });
+    BLOCK.with(|b| b.put_deferred(d));
 }
 
 /// Execute the pending deferred action, if any. Called immediately after
 /// every context switch lands, and at the top of every fresh context.
 pub fn run_deferred() {
-    let action = CURRENT.with(|c| c.borrow_mut().deferred.take());
-    let Some(action) = action else { return };
-    match action {
-        Deferred::Enqueue(uc) => {
-            if let Some(rt) = uc.rt.upgrade() {
-                rt.runq.push(uc);
+    BLOCK.with(|b| {
+        let Some(action) = b.deferred.take() else {
+            return;
+        };
+        match action {
+            Deferred::Enqueue(uc) => {
+                // Prefer this thread's runtime (borrow-free); off runtime
+                // threads fall back to the UC's weak handle, dropping the
+                // UC silently if the runtime is gone (shutdown path). The
+                // push consumes the Arc — the yield path's only refcount
+                // "operation" is this move.
+                if let Some(rt) = b.rt() {
+                    rt.runq.push(uc);
+                } else if let Some(rt) = uc.rt.upgrade() {
+                    rt.runq.push(uc);
+                }
+            }
+            Deferred::CoupleRequest(uc) => {
+                if let Some(rt) = b.rt() {
+                    rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
+                } else if let Some(rt) = uc.rt.upgrade() {
+                    rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
+                }
+                let kc = uc.kc.clone();
+                kc.pending.lock().push_back(uc);
+                kc.notify();
+            }
+            Deferred::TerminateSibling(uc) => {
+                // The sibling's context will never be resumed; its stack can
+                // be reclaimed. We are currently executing on the KC's
+                // trampoline stack, never on the sibling's.
+                if let Some(stack) = uc.sib_stack.lock().take() {
+                    if let Some(rt) = b.rt() {
+                        rt.stack_pool.release(stack);
+                    } else if let Some(rt) = uc.rt.upgrade() {
+                        rt.stack_pool.release(stack);
+                    }
+                }
+                uc.kc
+                    .sibling_count
+                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                // The TC loop re-checks conditions right after running this,
+                // but wake anyway in case the primary's exit condition now
+                // holds on a blocked KC.
+                uc.kc.notify();
             }
         }
-        Deferred::CoupleRequest(uc) => {
-            if let Some(rt) = uc.rt.upgrade() {
-                rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
-            }
-            let kc = uc.kc.clone();
-            kc.pending.lock().push_back(uc);
-            kc.notify();
-        }
-        Deferred::TerminateSibling(uc) => {
-            // The sibling's context will never be resumed; its stack can be
-            // reclaimed. We are currently executing on the KC's trampoline
-            // stack, never on the sibling's.
-            let stack = uc.sib_stack.lock().take();
-            if let (Some(stack), Some(rt)) = (stack, uc.rt.upgrade()) {
-                rt.stack_pool.release(stack);
-            }
-            uc.kc
-                .sibling_count
-                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
-            // The TC loop re-checks conditions right after running this, but
-            // wake anyway in case the primary's exit condition now holds on
-            // a blocked KC.
-            uc.kc.notify();
-        }
-    }
+    });
 }
 
 /// Test/diagnostic helper: is a deferred action pending on this thread?
 pub fn has_deferred() -> bool {
-    CURRENT.with(|c| c.borrow().deferred.is_some())
+    BLOCK.with(|b| {
+        let d = b.deferred.take();
+        let pending = d.is_some();
+        b.deferred.set(d);
+        pending
+    })
 }
 
 /// Clear all thread state (used when an OS thread leaves the runtime).
 pub fn clear_thread_state() {
-    CURRENT.with(|c| {
-        let mut st = c.borrow_mut();
-        debug_assert!(st.deferred.is_none(), "leaving runtime with pending deferred");
-        *st = ThreadState::default();
+    BLOCK.with(|b| {
+        debug_assert!(
+            {
+                let d = b.deferred.take();
+                let pending = d.is_some();
+                b.deferred.set(d);
+                !pending
+            },
+            "leaving runtime with pending deferred"
+        );
+        b.deferred.set(None);
+        b.rt_ptr.set(ptr::null());
+        b.rt.set(None);
+        b.ulp_ptr.set(ptr::null());
+        b.ulp.set(None);
+        b.host_ptr.set(ptr::null());
+        b.host.set(None);
+        b.shard_ptr.set(ptr::null());
+        b.shard.set(None);
+        b.tls_switch.set(false);
+        b.tls_spin.set(Duration::ZERO);
+        b.save_sigmask.set(false);
+        b.installed_mask.set(None);
     });
 }
 
@@ -226,5 +467,23 @@ mod tests {
         assert!(format!("{d:?}").contains("CoupleRequest"));
         let d = Deferred::TerminateSibling(uc);
         assert!(format!("{d:?}").contains("TerminateSibling"));
+    }
+
+    #[test]
+    fn ulp_anchor_and_mirror_stay_in_sync() {
+        std::thread::spawn(|| {
+            let uc = crate::runqueue::tests::dummy_uc(7);
+            set_current_ulp(Some(uc.clone()));
+            with_thread(|b| {
+                assert_eq!(b.ulp().map(|u| u.id), Some(uc.id));
+            });
+            // swap returns the displaced occupant without net refcounting
+            let displaced = with_thread(|b| b.swap_ulp(None));
+            assert_eq!(displaced.map(|u| u.id), Some(uc.id));
+            assert!(current_ulp().is_none());
+            with_thread(|b| assert!(b.ulp().is_none()));
+        })
+        .join()
+        .unwrap();
     }
 }

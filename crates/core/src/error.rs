@@ -25,6 +25,9 @@ pub enum UlpError {
     StackAlloc(String),
     /// The runtime is shutting down.
     ShuttingDown,
+    /// `spawn_sibling` after the primary's handle was waited/dropped: the
+    /// original KC has retired and can never serve the sibling.
+    PrimaryExited,
 }
 
 impl fmt::Display for UlpError {
@@ -41,6 +44,9 @@ impl fmt::Display for UlpError {
             ),
             UlpError::StackAlloc(e) => write!(f, "stack allocation failed: {e}"),
             UlpError::ShuttingDown => write!(f, "runtime is shutting down"),
+            UlpError::PrimaryExited => {
+                write!(f, "the BLT's original kernel context has retired")
+            }
         }
     }
 }

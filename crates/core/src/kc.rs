@@ -81,9 +81,10 @@ fn tc_loop(boot: &TcBoot) -> ! {
         if let Some(uc) = next {
             // TC→UC switch: the TLS register is restored but NOT reloaded
             // at cost — the §V-B exemption ("excepting the context switch
-            // between TC and UC").
-            install_ulp_no_charge(&uc);
+            // between TC and UC"). The pending queue's Arc moves straight
+            // into the TLS register.
             let target = unsafe { *uc.ctx.get() };
+            install_ulp_no_charge(uc);
             unsafe { raw_switch(kc.tc_ctx.get(), target, None) };
             // Back on the TC: the UC decoupled again (its enqueue ran via
             // the deferred hook inside raw_switch) or a sibling terminated.
@@ -96,9 +97,8 @@ fn tc_loop(boot: &TcBoot) -> ! {
         if kc.primary_waiting.load(Ordering::Acquire)
             && kc.sibling_count.load(Ordering::Acquire) == 0
         {
-            let primary = boot.primary.clone();
-            install_ulp_no_charge(&primary);
-            let target = unsafe { *primary.ctx.get() };
+            let target = unsafe { *boot.primary.ctx.get() };
+            install_ulp_no_charge(boot.primary.clone());
             unsafe { raw_switch(kc.tc_ctx.get(), target, None) };
             // The primary exits the thread; we are never resumed. If we
             // ever are (defensive), fall through and idle again.

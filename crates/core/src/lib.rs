@@ -57,12 +57,12 @@ pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
 pub use error::UlpError;
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
+pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
 pub use spawn::{BltHandle, SiblingHandle, PANIC_EXIT_STATUS};
 pub use stats::{Stats, StatsSnapshot};
 pub use sync::{UlpBarrier, UlpEvent, UlpMutex, UlpMutexGuard};
-pub use trace::{Event as TraceEvent, TraceRecord, Tracer};
-pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
 pub use tls::{errno, set_errno, UlpLocal};
+pub use trace::{Event as TraceEvent, TraceRecord, Tracer};
 pub use uc::{BltId, IdlePolicy, UcKind, UcState};
 
 // Re-export the substrate types users interact with through the veneers.

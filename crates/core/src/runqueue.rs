@@ -1,17 +1,40 @@
-//! The global run queue of decoupled user contexts.
+//! The run queue of decoupled user contexts.
 //!
-//! A lock-free MPMC injector (crossbeam's `Injector`) with an
-//! eventcount-style parking protocol so idle scheduler KCs sleep instead of
-//! spinning (unless the runtime is configured for BUSYWAIT). The wake path
-//! costs one atomic increment when nobody sleeps — important because every
-//! `yield`/`decouple` pushes here, and Table IV's yield latency budget is
-//! ~150 ns.
+//! A global FIFO injector plus (under [`SchedPolicy::WorkStealing`])
+//! per-scheduler stealable deques and a **single-slot "next UC" handoff**,
+//! with an eventcount-style parking protocol so idle scheduler KCs sleep
+//! instead of spinning (unless the runtime is configured for BUSYWAIT).
+//!
+//! ## The hot path
+//!
+//! Every `yield`/`decouple` pushes here, and Table IV's yield latency budget
+//! is ~150 ns, so the common cases are engineered down to:
+//!
+//! - **Slot handoff** (yield ping-pong on a scheduler thread): the UC parks
+//!   in a thread-local slot — no lock, no eventcount bump, no futex. The
+//!   owning scheduler is by definition awake, so skipping the wake protocol
+//!   is sound; a fairness bound ([`SLOT_FAIRNESS_LIMIT`]) spills to the real
+//!   deque so queued UCs cannot starve behind a ping-pong pair.
+//! - **Local deque**: one uncontended lock, then the eventcount publish.
+//! - **Injector** (foreign threads, `GlobalFifo`): same, on the shared queue.
+//!
+//! ## Wake protocol (eventcount)
+//!
+//! A producer publishes (enqueue, `version += 1`) and then checks
+//! `sleepers`; a consumer announces (`sleepers += 1`) and then re-checks
+//! emptiness + `version` before sleeping on the futex. Those two
+//! check-after-publish patterns race in *both* directions, and each needs a
+//! StoreLoad barrier — `Release`/`Acquire` alone permits the producer to
+//! read `sleepers == 0` while the consumer reads the stale version and
+//! sleeps, a missed wake bounded only by the park timeout. Both sides
+//! therefore carry an explicit `SeqCst` fence between their publish and
+//! their check.
 
 use crate::uc::{IdlePolicy, UcInner};
-use crossbeam_deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::RwLock;
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use ulp_kernel::{futex_wait_timeout, futex_wake};
@@ -19,32 +42,54 @@ use ulp_kernel::{futex_wait_timeout, futex_wake};
 /// Scheduling discipline of the run queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
-    /// One global FIFO (crossbeam injector) — the paper prototype's shape.
+    /// One global FIFO — the paper prototype's shape.
     #[default]
     GlobalFifo,
     /// Per-scheduler local FIFOs with work stealing: a UC requeued on a
-    /// scheduler thread lands in that scheduler's local deque; idle
-    /// schedulers steal — the discipline ULT libraries such as Argobots and
-    /// MassiveThreads use (§III), provided here as an ablation.
+    /// scheduler thread lands in that scheduler's local deque (or its
+    /// next-UC slot); idle schedulers steal — the discipline ULT libraries
+    /// such as Argobots and MassiveThreads use (§III), provided here as an
+    /// ablation and as the fast path for yield-heavy workloads.
     WorkStealing,
 }
 
+/// Consecutive slot pops a scheduler may serve before a subsequent push is
+/// forced into the real deque, bounding how long a slot ping-pong pair can
+/// shadow queued UCs.
+const SLOT_FAIRNESS_LIMIT: u32 = 64;
+
+/// A scheduler's stealable local FIFO.
+#[derive(Debug, Default)]
+struct LocalDeque {
+    queue: Mutex<VecDeque<Arc<UcInner>>>,
+}
+
+/// Thread-local registration of a scheduler with its runtime's queue.
+struct LocalReg {
+    /// Owning [`RunQueue`] identity (its address) so runtimes never mix.
+    tag: usize,
+    deque: Arc<LocalDeque>,
+    /// The single-slot next-UC handoff; visible only to the owning thread.
+    slot: RefCell<Option<Arc<UcInner>>>,
+    /// Consecutive pops served from the slot (fairness bookkeeping).
+    slot_streak: Cell<u32>,
+}
+
 thread_local! {
-    /// The local worker of a scheduler thread under `WorkStealing`, tagged
-    /// with the owning RunQueue's address so runtimes never mix.
-    static LOCAL: RefCell<Option<(usize, Worker<Arc<UcInner>>)>> = const { RefCell::new(None) };
+    static LOCAL: RefCell<Option<LocalReg>> = const { RefCell::new(None) };
 }
 
 #[derive(Debug)]
 pub struct RunQueue {
-    injector: Injector<Arc<UcInner>>,
-    /// Eventcount version: bumped on every push.
+    injector: Mutex<VecDeque<Arc<UcInner>>>,
+    /// Eventcount version: bumped on every push that needs the wake protocol.
     version: AtomicU32,
     /// Number of parked (or about-to-park) schedulers.
     sleepers: AtomicU32,
     idle_policy: IdlePolicy,
     policy: SchedPolicy,
-    stealers: RwLock<Vec<Stealer<Arc<UcInner>>>>,
+    /// Every registered scheduler's deque, for stealing and global counts.
+    locals: RwLock<Vec<Arc<LocalDeque>>>,
     /// Consecutive fruitless parks (Adaptive policy bookkeeping).
     idle_streak: AtomicU32,
 }
@@ -56,12 +101,12 @@ impl RunQueue {
 
     pub fn with_policy(idle_policy: IdlePolicy, policy: SchedPolicy) -> RunQueue {
         RunQueue {
-            injector: Injector::new(),
+            injector: Mutex::new(VecDeque::new()),
             version: AtomicU32::new(0),
             sleepers: AtomicU32::new(0),
             idle_policy,
             policy,
-            stealers: RwLock::new(Vec::new()),
+            locals: RwLock::new(Vec::new()),
             idle_streak: AtomicU32::new(0),
         }
     }
@@ -70,90 +115,150 @@ impl RunQueue {
         self.policy
     }
 
+    #[inline]
+    fn tag(&self) -> usize {
+        self as *const RunQueue as usize
+    }
+
     /// Register the calling scheduler thread as a work-stealing
-    /// participant (no-op under `GlobalFifo`).
+    /// participant (no-op under `GlobalFifo`). The deque is published to
+    /// the steal registry *before* the thread-local is set, so a UC pushed
+    /// locally is stealable from the instant it can exist.
     pub fn register_local(&self) {
         if self.policy != SchedPolicy::WorkStealing {
             return;
         }
-        let worker = Worker::new_fifo();
-        self.stealers.write().push(worker.stealer());
-        LOCAL.with(|l| *l.borrow_mut() = Some((self as *const _ as usize, worker)));
-    }
-
-    /// Drop the calling thread's local worker (leftover UCs spill to the
-    /// injector).
-    pub fn unregister_local(&self) {
+        let deque = Arc::new(LocalDeque::default());
+        self.locals.write().push(deque.clone());
         LOCAL.with(|l| {
-            let mut slot = l.borrow_mut();
-            if let Some((tag, worker)) = slot.take() {
-                if tag == self as *const _ as usize {
-                    while let Some(uc) = worker.pop() {
-                        self.injector.push(uc);
-                    }
-                } else {
-                    *slot = Some((tag, worker));
-                }
-            }
+            *l.borrow_mut() = Some(LocalReg {
+                tag: self.tag(),
+                deque,
+                slot: RefCell::new(None),
+                slot_streak: Cell::new(0),
+            });
         });
     }
 
-    /// Make a UC schedulable. On a registered scheduler thread under
-    /// `WorkStealing` the UC lands in the local deque; otherwise in the
-    /// global injector.
-    pub fn push(&self, uc: Arc<UcInner>) {
-        let mut pushed = false;
-        if self.policy == SchedPolicy::WorkStealing {
-            LOCAL.with(|l| {
-                if let Some((tag, worker)) = &*l.borrow() {
-                    if *tag == self as *const _ as usize {
-                        worker.push(uc.clone());
-                        pushed = true;
-                    }
+    /// Drop the calling thread's local registration: the slot and any
+    /// leftover deque entries spill to the injector, and the deque leaves
+    /// the steal registry.
+    pub fn unregister_local(&self) {
+        let reg = LOCAL.with(|l| {
+            let mut slot = l.borrow_mut();
+            match slot.take() {
+                Some(reg) if reg.tag == self.tag() => Some(reg),
+                other => {
+                    *slot = other;
+                    None
                 }
-            });
+            }
+        });
+        let Some(reg) = reg else { return };
+        let mut spilled = false;
+        if let Some(uc) = reg.slot.borrow_mut().take() {
+            self.injector.lock().push_back(uc);
+            spilled = true;
         }
-        if !pushed {
-            self.injector.push(uc);
+        {
+            let mut q = reg.deque.queue.lock();
+            while let Some(uc) = q.pop_front() {
+                self.injector.lock().push_back(uc);
+                spilled = true;
+            }
         }
+        self.locals.write().retain(|d| !Arc::ptr_eq(d, &reg.deque));
+        if spilled {
+            // Spilled UCs need the full publish: another scheduler may be
+            // the only one left to run them.
+            self.publish_and_wake();
+        }
+    }
+
+    /// Eventcount publish half: bump the version, then (behind a StoreLoad
+    /// barrier — see the module docs) wake sleepers if any.
+    #[inline]
+    fn publish_and_wake(&self) {
         self.version.fetch_add(1, Ordering::Release);
         self.idle_streak.store(0, Ordering::Release);
-        if self.sleepers.load(Ordering::Acquire) > 0 {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
             futex_wake(&self.version, i32::MAX);
         }
     }
 
-    /// Pop the next runnable UC, if any: local deque first, then the global
-    /// injector, then steal from sibling schedulers.
+    /// Make a UC schedulable. On a registered scheduler thread under
+    /// `WorkStealing` the UC lands in the next-UC slot (if free and the
+    /// fairness budget allows) or the thread's local deque; otherwise in
+    /// the global injector.
+    pub fn push(&self, uc: Arc<UcInner>) {
+        if self.policy == SchedPolicy::WorkStealing {
+            let tag = self.tag();
+            let outcome = LOCAL.with(move |l| {
+                let b = l.borrow();
+                let Some(reg) = b.as_ref().filter(|reg| reg.tag == tag) else {
+                    // Not our registered scheduler thread.
+                    return Err(uc);
+                };
+                let mut slot = reg.slot.borrow_mut();
+                if slot.is_none() && reg.slot_streak.get() < SLOT_FAIRNESS_LIMIT {
+                    // Slot handoff: the owner thread is awake by definition,
+                    // so no eventcount bump and no futex — zero shared-line
+                    // traffic on the yield ping-pong path.
+                    *slot = Some(uc);
+                    return Ok(true);
+                }
+                // Slot taken (or owed to the deque for fairness): use the
+                // stealable local deque; the caller runs the full publish.
+                drop(slot);
+                reg.slot_streak.set(0);
+                reg.deque.queue.lock().push_back(uc);
+                Ok(false)
+            });
+            match outcome {
+                Ok(true) => return,
+                Ok(false) => {
+                    self.publish_and_wake();
+                    return;
+                }
+                Err(uc) => {
+                    self.injector.lock().push_back(uc);
+                    self.publish_and_wake();
+                    return;
+                }
+            }
+        }
+        self.injector.lock().push_back(uc);
+        self.publish_and_wake();
+    }
+
+    /// Pop the next runnable UC, if any: the thread's next-UC slot first,
+    /// then its local deque, then the global injector, then steal from
+    /// sibling schedulers.
     pub fn pop(&self) -> Option<Arc<UcInner>> {
         if self.policy == SchedPolicy::WorkStealing {
             let local = LOCAL.with(|l| {
-                if let Some((tag, worker)) = &*l.borrow() {
-                    if *tag == self as *const _ as usize {
-                        return worker.pop();
-                    }
+                let b = l.borrow();
+                let reg = b.as_ref().filter(|reg| reg.tag == self.tag())?;
+                if let Some(uc) = reg.slot.borrow_mut().take() {
+                    reg.slot_streak.set(reg.slot_streak.get().saturating_add(1));
+                    return Some(uc);
                 }
-                None
+                reg.slot_streak.set(0);
+                let popped = reg.deque.queue.lock().pop_front();
+                popped
             });
             if local.is_some() {
                 return local;
             }
         }
-        loop {
-            match self.injector.steal() {
-                Steal::Success(uc) => return Some(uc),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if let Some(uc) = self.injector.lock().pop_front() {
+            return Some(uc);
         }
         if self.policy == SchedPolicy::WorkStealing {
-            for stealer in self.stealers.read().iter() {
-                loop {
-                    match stealer.steal() {
-                        Steal::Success(uc) => return Some(uc),
-                        Steal::Empty => break,
-                        Steal::Retry => continue,
-                    }
+            for deque in self.locals.read().iter() {
+                if let Some(uc) = deque.queue.lock().pop_front() {
+                    return Some(uc);
                 }
             }
         }
@@ -167,6 +272,17 @@ impl RunQueue {
         self.version.load(Ordering::Acquire)
     }
 
+    /// The consumer half of the wake protocol: announce, then (behind the
+    /// matching StoreLoad barrier) re-check before sleeping.
+    fn blocking_wait(&self, seen: u32) {
+        self.sleepers.fetch_add(1, Ordering::AcqRel);
+        fence(Ordering::SeqCst);
+        if self.is_empty() && self.version.load(Ordering::Relaxed) == seen {
+            futex_wait_timeout(&self.version, seen, Duration::from_millis(20));
+        }
+        self.sleepers.fetch_sub(1, Ordering::AcqRel);
+    }
+
     /// Idle until the version moves past `seen` (bounded; callers re-check
     /// in a loop). Under BUSYWAIT this spins briefly instead of sleeping.
     pub fn park(&self, seen: u32) {
@@ -178,13 +294,7 @@ impl RunQueue {
                 // See KcShared::park: keep single-core hosts live.
                 std::thread::yield_now();
             }
-            IdlePolicy::Blocking => {
-                self.sleepers.fetch_add(1, Ordering::AcqRel);
-                if self.is_empty() && self.version.load(Ordering::Acquire) == seen {
-                    futex_wait_timeout(&self.version, seen, Duration::from_millis(20));
-                }
-                self.sleepers.fetch_sub(1, Ordering::AcqRel);
-            }
+            IdlePolicy::Blocking => self.blocking_wait(seen),
             IdlePolicy::Adaptive => {
                 let streak = self.idle_streak.fetch_add(1, Ordering::AcqRel);
                 if streak < crate::uc::ADAPTIVE_SPIN_STREAK {
@@ -193,11 +303,7 @@ impl RunQueue {
                     }
                     std::thread::yield_now();
                 } else {
-                    self.sleepers.fetch_add(1, Ordering::AcqRel);
-                    if self.is_empty() && self.version.load(Ordering::Acquire) == seen {
-                        futex_wait_timeout(&self.version, seen, Duration::from_millis(20));
-                    }
-                    self.sleepers.fetch_sub(1, Ordering::AcqRel);
+                    self.blocking_wait(seen);
                 }
             }
         }
@@ -207,25 +313,48 @@ impl RunQueue {
     /// shutdown so sleepers re-check the shutdown flag).
     pub fn wake_all(&self) {
         self.version.fetch_add(1, Ordering::Release);
+        fence(Ordering::SeqCst);
         futex_wake(&self.version, i32::MAX);
     }
 
-    /// Whether any UC is runnable anywhere (injector or a stealable local
-    /// deque).
+    /// Whether any UC is runnable *from this thread's viewpoint*: the
+    /// injector, any registered deque, or — on a registered scheduler
+    /// thread — its own next-UC slot (other threads cannot see a foreign
+    /// slot; its owner drains it before it can ever park or exit).
     pub fn is_empty(&self) -> bool {
-        if !self.injector.is_empty() {
+        if !self.injector.lock().is_empty() {
             return false;
         }
         if self.policy == SchedPolicy::WorkStealing {
-            return self.stealers.read().iter().all(|s| s.is_empty());
+            let own_slot_full = LOCAL.with(|l| {
+                l.borrow()
+                    .as_ref()
+                    .filter(|reg| reg.tag == self.tag())
+                    .is_some_and(|reg| reg.slot.borrow().is_some())
+            });
+            if own_slot_full {
+                return false;
+            }
+            return self.locals.read().iter().all(|d| d.queue.lock().is_empty());
         }
         true
     }
 
     pub fn len(&self) -> usize {
-        let mut n = self.injector.len();
+        let mut n = self.injector.lock().len();
         if self.policy == SchedPolicy::WorkStealing {
-            n += self.stealers.read().iter().map(|s| s.len()).sum::<usize>();
+            n += self
+                .locals
+                .read()
+                .iter()
+                .map(|d| d.queue.lock().len())
+                .sum::<usize>();
+            n += LOCAL.with(|l| {
+                l.borrow()
+                    .as_ref()
+                    .filter(|reg| reg.tag == self.tag())
+                    .is_some_and(|reg| reg.slot.borrow().is_some())
+            }) as usize;
         }
         n
     }
@@ -257,7 +386,7 @@ pub(crate) mod tests {
             sib_stack: Mutex::new(None),
             sib_entry: Mutex::new(None),
             sib_result: Arc::new(OneShot::new()),
-            sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+            sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         })
     }
 
@@ -358,6 +487,7 @@ pub(crate) mod tests {
 mod ws_tests {
     use super::*;
     use crate::uc::IdlePolicy;
+    use std::sync::atomic::AtomicBool;
 
     fn uc(id: u64) -> Arc<UcInner> {
         super::tests::dummy_uc(id)
@@ -367,9 +497,9 @@ mod ws_tests {
     fn ws_local_push_pop_on_registered_thread() {
         let q = RunQueue::with_policy(IdlePolicy::BusyWait, SchedPolicy::WorkStealing);
         q.register_local();
-        q.push(uc(1));
-        q.push(uc(2));
-        // Local FIFO order.
+        q.push(uc(1)); // slot
+        q.push(uc(2)); // deque (slot taken)
+                       // Local FIFO order: slot first, then the deque.
         assert_eq!(q.pop().unwrap().id.0, 1);
         assert_eq!(q.pop().unwrap().id.0, 2);
         assert!(q.pop().is_none());
@@ -384,9 +514,7 @@ mod ws_tests {
         ));
         q.register_local();
         let q2 = q.clone();
-        std::thread::spawn(move || q2.push(uc(7)))
-            .join()
-            .unwrap();
+        std::thread::spawn(move || q2.push(uc(7))).join().unwrap();
         assert_eq!(q.pop().unwrap().id.0, 7);
         q.unregister_local();
     }
@@ -397,15 +525,13 @@ mod ws_tests {
             IdlePolicy::BusyWait,
             SchedPolicy::WorkStealing,
         ));
-        // "Scheduler A" registers and leaves work in its local deque.
+        // "Scheduler A" registers and leaves work behind; unregistering
+        // spills both the slot and the deque to the injector.
         let qa = q.clone();
         std::thread::spawn(move || {
             qa.register_local();
             qa.push(uc(11));
             qa.push(uc(12));
-            // Deliberately do NOT unregister: the worker stays stealable
-            // only through its registered stealer... but dropping the
-            // thread drops the thread-local Worker, so spill first.
             qa.unregister_local();
         })
         .join()
@@ -423,9 +549,12 @@ mod ws_tests {
         let q = RunQueue::with_policy(IdlePolicy::BusyWait, SchedPolicy::WorkStealing);
         q.register_local();
         assert!(q.is_empty());
-        q.push(uc(1)); // local
+        q.push(uc(1)); // slot
         assert!(!q.is_empty());
         assert_eq!(q.len(), 1);
+        q.push(uc(2)); // deque
+        assert_eq!(q.len(), 2);
+        q.pop();
         q.pop();
         q.unregister_local();
     }
@@ -437,5 +566,86 @@ mod ws_tests {
         q.register_local(); // no-op
         q.push(uc(3));
         assert_eq!(q.pop().unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn ws_slot_fairness_spills_to_deque() {
+        let q = RunQueue::with_policy(IdlePolicy::BusyWait, SchedPolicy::WorkStealing);
+        q.register_local();
+        // A queued straggler that a naive slot ping-pong would starve.
+        q.push(uc(999)); // slot
+        q.push(uc(1000)); // deque (slot taken): the straggler
+        assert_eq!(q.pop().unwrap().id.0, 999);
+        // Ping-pong: push to the (now free) slot, pop it back, repeatedly.
+        // The fairness budget must eventually force a push past the slot so
+        // the straggler surfaces.
+        let mut popped = Vec::new();
+        for i in 0..(2 * SLOT_FAIRNESS_LIMIT as u64) {
+            q.push(uc(i));
+            popped.push(q.pop().unwrap().id.0);
+        }
+        assert!(
+            popped.contains(&1000),
+            "straggler never surfaced through the slot ping-pong: {popped:?}"
+        );
+        while q.pop().is_some() {}
+        q.unregister_local();
+    }
+
+    /// Regression test for the eventcount wake protocol: a scheduler parked
+    /// BLOCKING must be woken promptly by a push that lands in *another*
+    /// thread's local deque — the push's publish must reach the sleeper
+    /// even though the UC never touches the injector.
+    #[test]
+    fn ws_parked_scheduler_wakes_on_local_deque_push() {
+        let q = Arc::new(RunQueue::with_policy(
+            IdlePolicy::Blocking,
+            SchedPolicy::WorkStealing,
+        ));
+        let parked = Arc::new(AtomicBool::new(false));
+
+        let qb = q.clone();
+        let parked_b = parked.clone();
+        let sleeper = std::thread::spawn(move || {
+            let seen = qb.version();
+            assert!(qb.pop().is_none());
+            parked_b.store(true, Ordering::Release);
+            let t0 = std::time::Instant::now();
+            qb.park(seen);
+            let waited = t0.elapsed();
+            // Steal the UC out of the producer's deque.
+            let got = loop {
+                if let Some(uc) = qb.pop() {
+                    break uc;
+                }
+                std::hint::spin_loop();
+            };
+            (waited, got.id.0)
+        });
+
+        let qa = q.clone();
+        let producer = std::thread::spawn(move || {
+            qa.register_local();
+            while !parked.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            // Give the sleeper time to actually reach the futex.
+            std::thread::sleep(Duration::from_millis(2));
+            qa.push(uc(1)); // slot — no wake needed, owner is this thread
+            qa.push(uc(2)); // local deque — MUST wake the sleeper
+                            // Drain our slot so unregister doesn't spill it.
+            assert_eq!(qa.pop().unwrap().id.0, 1);
+            qa.unregister_local();
+        });
+
+        let (waited, got) = sleeper.join().unwrap();
+        producer.join().unwrap();
+        assert_eq!(got, 2);
+        // A missed wake would ride the full 20 ms park timeout; a correct
+        // publish cuts the park short.
+        assert!(
+            waited < Duration::from_millis(15),
+            "sleeper only woke after {waited:?} — wake was missed"
+        );
     }
 }

@@ -8,8 +8,9 @@
 //! > NC = NCprog + NCsyscall           (1)
 //! > NB = NCprog × (O + 1)             (2)
 
-use crate::couple::{install_ulp, raw_switch};
-use crate::current::{clear_thread_state, set_current_ulp, set_host, set_runtime};
+use crate::current::{
+    clear_thread_state, run_deferred, set_current_ulp, set_host, set_runtime, with_thread,
+};
 use crate::error::UlpError;
 use crate::runqueue::RunQueue;
 use crate::stats::Stats;
@@ -390,7 +391,7 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
         sib_stack: Mutex::new(None),
         sib_entry: Mutex::new(None),
         sib_result: Arc::new(OneShot::new()),
-            sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+        sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
     });
     set_runtime(rt.clone());
     set_host(Some(identity.clone()));
@@ -416,17 +417,28 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
 
 /// Dispatch one decoupled UC on this scheduler KC (Table I, KC₁ column).
 fn run_uc(rt: &Arc<RuntimeInner>, host: &Arc<UcInner>, uc: Arc<UcInner>) {
-    rt.stats.bump_dispatches();
     rt.tracer.record(crate::trace::Event::Dispatch {
         uc: uc.id,
         scheduler: host.id,
     });
-    // UC↔UC switch: load the worker's TLS register at cost.
-    install_ulp(rt, &uc);
     let target = unsafe { *uc.ctx.get() };
+    let save = host.ctx.get();
+    // One thread-block access for the whole dispatch: count it, then the
+    // UC↔UC install loads the worker's TLS register at cost. The queue's
+    // Arc moves into the TLS register; the displaced host-identity clone
+    // (re-materialized when the UC couples away) is dropped here — the
+    // dispatch boundary is where the switch path's Arc traffic lives.
+    with_thread(|b| {
+        if let Some(s) = b.shard() {
+            s.bump_dispatches();
+            s.bump_context_switches();
+        }
+        let _displaced_host = crate::couple::install_on(b, uc);
+    });
     unsafe {
-        raw_switch(host.ctx.get(), target, None);
+        ulp_fcontext::swap(&mut *save, target, 0);
     }
+    run_deferred();
     // The UC relinquished this KC (couple request or yield chain ended in a
     // couple); by protocol the switch back installed our identity again.
     debug_assert!(

@@ -19,26 +19,23 @@ type Handler = Arc<dyn Fn(Signal) + Send + Sync + 'static>;
 
 /// Per-ULP handler table, stored in ULP-local storage so each user-level
 /// process has its own dispositions (as real processes do).
-static HANDLERS: crate::tls::UlpLocal<HashMap<u8, Handler>> = crate::tls::UlpLocal::new(HashMap::new);
+static HANDLERS: crate::tls::UlpLocal<HashMap<u8, Handler>> =
+    crate::tls::UlpLocal::new(HashMap::new);
 
 /// Count of signals each ULP has handled (diagnostics / tests).
 static HANDLED: crate::tls::UlpLocal<u64> = crate::tls::UlpLocal::new(|| 0);
 
 /// Register a handler for `sig` on the calling ULP (the `sigaction(2)`
 /// analogue). Returns the previously registered handler, if any.
-pub fn on_signal(
-    sig: Signal,
-    f: impl Fn(Signal) + Send + Sync + 'static,
-) -> Option<()> {
+pub fn on_signal(sig: Signal, f: impl Fn(Signal) + Send + Sync + 'static) -> Option<()> {
     let prev = HANDLERS.try_with(|h| h.insert(sig as u8, Arc::new(f)).map(|_| ()))?;
     // Mirror the registration into the simulated kernel's disposition
     // table of the ULP's own process.
     if let (Some(rt), Some(me)) = (current_runtime(), current_ulp()) {
         if let Some(proc) = rt.kernel.process(me.pid) {
-            let _ = proc.signals.set_disposition(
-                sig,
-                ulp_kernel::Disposition::Handler(me.id.0),
-            );
+            let _ = proc
+                .signals
+                .set_disposition(sig, ulp_kernel::Disposition::Handler(me.id.0));
         }
     }
     prev
@@ -59,14 +56,18 @@ pub fn handled_count() -> u64 {
 /// (the paper's consistency rule applies to signals too): when decoupled,
 /// this returns 0 without touching the scheduler's signal queue.
 pub fn poll_signals() -> usize {
-    let Some(rt) = current_runtime() else { return 0 };
+    let Some(rt) = current_runtime() else {
+        return 0;
+    };
     let Some(me) = current_ulp() else { return 0 };
     if !me.kc.is_current_thread() {
         // Decoupled: our own process's signals are not reachable from this
         // kernel context; do NOT steal the scheduler's.
         return 0;
     }
-    let Some(proc) = rt.kernel.process(me.pid) else { return 0 };
+    let Some(proc) = rt.kernel.process(me.pid) else {
+        return 0;
+    };
     let mut dispatched = 0;
     while let Some(sig) = proc.signals.take_deliverable() {
         let handler = HANDLERS

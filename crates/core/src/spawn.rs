@@ -61,6 +61,7 @@ impl BltHandle {
             .lock()
             .take()
             .expect("BltHandle::wait called twice");
+        self.close_kc();
         let status = handle.join().unwrap_or(PANIC_EXIT_STATUS);
         if self.owns_identity {
             if let Some(rt) = self.rt.upgrade() {
@@ -85,6 +86,26 @@ impl BltHandle {
     {
         let rt = self.rt.upgrade().ok_or(UlpError::ShuttingDown)?;
         spawn_sibling_inner(&rt, &self.uc, name, Box::new(f))
+    }
+
+    /// Declare that no further sibling will be spawned through this handle,
+    /// letting the original KC retire once the live siblings drain. Taken
+    /// under the registration gate so it serializes against
+    /// [`BltHandle::spawn_sibling`].
+    fn close_kc(&self) {
+        {
+            let _gate = self.uc.kc.pending.lock();
+            self.uc.kc.handle_closed.store(true, Ordering::Release);
+        }
+        self.uc.kc.notify();
+    }
+}
+
+impl Drop for BltHandle {
+    fn drop(&mut self) {
+        // A dropped handle can never spawn another sibling; let the KC
+        // retire. (Idempotent after `wait()`.)
+        self.close_kc();
     }
 }
 
@@ -157,7 +178,7 @@ impl Runtime {
             sib_stack: Mutex::new(None),
             sib_entry: Mutex::new(None),
             sib_result: Arc::new(OneShot::new()),
-            sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+            sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         });
 
         rt.tracer.record(crate::trace::Event::Spawn(uc.id));
@@ -215,17 +236,41 @@ fn worker_main(rt: Arc<RuntimeInner>, uc: Arc<UcInner>, f: UlpFn, owns_identity:
     let _ = couple();
     debug_assert!(uc.kc.is_current_thread());
 
-    // If sibling UCs still depend on this KC, serve them from the TC until
-    // they drain, then take the final exit path.
-    if uc.kc.sibling_count.load(Ordering::Acquire) > 0 {
-        if crate::kc::ensure_tc(&uc, &rt).is_ok() {
+    // The KC may not exit while its `BltHandle` is still open: a sibling
+    // spawned through the handle needs this OS thread to serve its couple
+    // requests, and without the gate a sibling registering just as this
+    // thread exits would park on a dead KC forever. Retire only once the
+    // handle has closed (wait()/drop) AND every registered sibling has
+    // drained; both conditions are checked under the registration gate
+    // (the `pending` lock), making retirement atomic w.r.t. registration.
+    loop {
+        let seen = uc.kc.signal_version();
+        {
+            let _gate = uc.kc.pending.lock();
+            if uc.kc.handle_closed.load(Ordering::Acquire)
+                && uc.kc.sibling_count.load(Ordering::Acquire) == 0
+            {
+                break;
+            }
+        }
+        if crate::kc::ensure_tc(&uc, &rt).is_err() {
+            // Without a trampoline the KC cannot serve anyone; fall back to
+            // the plain exit path rather than spin.
+            break;
+        }
+        if uc.kc.sibling_count.load(Ordering::Acquire) > 0 {
+            // Serve the live siblings from the TC until they drain.
             uc.kc.primary_waiting.store(true, Ordering::Release);
             uc.kc.notify();
             let target = unsafe { *uc.kc.tc_ctx.get() };
             unsafe {
                 crate::couple::raw_switch(uc.ctx.get(), target, None);
             }
-            // Resumed by the TC once sibling_count hit zero.
+            // Resumed by the TC once sibling_count hit zero; re-check.
+        } else {
+            // Handle still open but nothing to serve: idle until a sibling
+            // registers or the handle closes (both notify()).
+            uc.kc.park(seen);
         }
     }
 
@@ -245,11 +290,26 @@ fn spawn_sibling_inner(
     name: &str,
     f: UlpFn,
 ) -> Result<SiblingHandle, UlpError> {
+    // Registration gate: either this sibling registers before the KC
+    // retires (and worker_main's drain loop will serve it), or the handle
+    // already closed and the spawn fails cleanly — never a sibling parked
+    // on a KC whose thread is gone.
+    {
+        let _gate = primary.kc.pending.lock();
+        if primary.kc.handle_closed.load(Ordering::Acquire) {
+            return Err(UlpError::PrimaryExited);
+        }
+        primary.kc.sibling_count.fetch_add(1, Ordering::AcqRel);
+    }
     rt.stats.bump_siblings();
-    let stack = rt
-        .stack_pool
-        .acquire(rt.config.sibling_stack_size)
-        .map_err(|e| UlpError::StackAlloc(e.to_string()))?;
+    let stack = match rt.stack_pool.acquire(rt.config.sibling_stack_size) {
+        Ok(s) => s,
+        Err(e) => {
+            primary.kc.sibling_count.fetch_sub(1, Ordering::AcqRel);
+            primary.kc.notify();
+            return Err(UlpError::StackAlloc(e.to_string()));
+        }
+    };
     let result = Arc::new(OneShot::new());
     let uc = Arc::new(UcInner {
         id: rt.alloc_id(),
@@ -265,7 +325,7 @@ fn spawn_sibling_inner(
         sib_stack: Mutex::new(None),
         sib_entry: Mutex::new(Some(f)),
         sib_result: result.clone(),
-        sigmask: Mutex::new(ulp_kernel::SigSet::EMPTY),
+        sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
     });
     // Bootstrap the context: entry receives a raw Arc it adopts.
     let raw = Arc::into_raw(uc.clone()) as *mut u8;
@@ -274,9 +334,11 @@ fn spawn_sibling_inner(
         *uc.ctx.get() = ctx;
     }
     *uc.sib_stack.lock() = Some(stack);
-    primary.kc.sibling_count.fetch_add(1, Ordering::AcqRel);
-    // Siblings are born decoupled, straight into the scheduled pool.
+    // Siblings are born decoupled, straight into the scheduled pool. The
+    // count was already bumped under the registration gate above; wake the
+    // primary in case it idles in its pre-retirement loop.
     rt.runq.push(uc.clone());
+    primary.kc.notify();
     Ok(SiblingHandle { uc, result })
 }
 

@@ -1,88 +1,192 @@
 //! Runtime counters.
 //!
 //! Every hot-path event the paper's evaluation reasons about (context
-//! switches, TLS-register loads, couple/decouple round trips) is counted
-//! with relaxed atomics so tests and benchmarks can assert *how many* of
-//! each operation a scenario performed — e.g. Table V's claim that one
-//! couple+decouple pair costs four context switches and two TLS loads.
+//! switches, TLS-register loads, couple/decouple round trips) is counted so
+//! tests and benchmarks can assert *how many* of each operation a scenario
+//! performed — e.g. Table V's claim that one couple+decouple pair costs four
+//! context switches and two TLS loads.
+//!
+//! ## Sharding
+//!
+//! Counting must not perturb what it counts. A single set of shared
+//! `fetch_add` counters puts one contended cache line in the middle of every
+//! context switch — with several scheduler KCs ping-ponging that line, the
+//! bookkeeping can cost more than the switch it measures. So the counters
+//! are *sharded*: every kernel context registers its own cache-line-aligned
+//! [`StatsShard`] and bumps it with single-writer increments (a plain
+//! load/add/store — no `lock xadd`, no sharing). [`Stats::snapshot`] folds
+//! the shards together at read time, which is rare and cold.
+//!
+//! Threads that never registered a shard (tests poking [`Stats`] directly,
+//! early spawn bookkeeping) fall back to a shared shard with the same API.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Aggregated runtime event counters (all relaxed; diagnostics only).
+use parking_lot::Mutex;
+
+/// One kernel context's private block of event counters.
+///
+/// `align(128)` keeps each shard on its own cache line pair (two lines
+/// covers adjacent-line prefetchers), so two KCs bumping their own shards
+/// never false-share. The fields are atomics only so the aggregator may read
+/// them concurrently; each counter has exactly one writer (the registering
+/// thread), which lets [`StatsShard::bump`] use a load+store instead of an
+/// interlocked read-modify-write.
 #[derive(Debug, Default)]
-pub struct Stats {
-    /// User-level context switches performed (every `swap` the runtime does).
+#[repr(align(128))]
+pub struct StatsShard {
     pub context_switches: AtomicU64,
-    /// Emulated TLS-register loads (exempting TC↔UC switches, §V-B).
     pub tls_loads: AtomicU64,
-    /// Completed `couple()` transitions (ULT → KLT).
     pub couples: AtomicU64,
-    /// Completed `decouple()` transitions (KLT → ULT).
     pub decouples: AtomicU64,
-    /// `yield_now` calls that actually switched to another UC.
     pub yields: AtomicU64,
-    /// BLTs spawned (primaries).
     pub blts_spawned: AtomicU64,
-    /// Sibling UCs spawned (M:N extension).
     pub siblings_spawned: AtomicU64,
-    /// UCs picked up by scheduler threads.
     pub scheduler_dispatches: AtomicU64,
-    /// Times a kernel context went to sleep while idling (BLOCKING policy).
     pub kc_blocks: AtomicU64,
 }
 
-/// Incrementers, named after the field they bump.
-impl Stats {
+/// Single-writer increment: plain load + store, never a `lock` prefix.
+/// Sound because only the shard's owning thread writes it; concurrent
+/// snapshot readers may observe a value one bump stale, which is fine for
+/// diagnostics counters.
+#[inline]
+fn bump(counter: &AtomicU64) {
+    let v = counter.load(Ordering::Relaxed);
+    counter.store(v + 1, Ordering::Relaxed);
+}
+
+/// Incrementers, named after the field they bump. These are what the switch
+/// hot path calls (through the cached per-thread shard pointer).
+impl StatsShard {
     #[inline]
     pub fn bump_context_switches(&self) {
-        self.context_switches.fetch_add(1, Ordering::Relaxed);
+        bump(&self.context_switches);
     }
     #[inline]
     pub fn bump_tls_loads(&self) {
-        self.tls_loads.fetch_add(1, Ordering::Relaxed);
+        bump(&self.tls_loads);
     }
     #[inline]
     pub fn bump_couples(&self) {
-        self.couples.fetch_add(1, Ordering::Relaxed);
+        bump(&self.couples);
     }
     #[inline]
     pub fn bump_decouples(&self) {
-        self.decouples.fetch_add(1, Ordering::Relaxed);
+        bump(&self.decouples);
     }
     #[inline]
     pub fn bump_yields(&self) {
-        self.yields.fetch_add(1, Ordering::Relaxed);
+        bump(&self.yields);
     }
     #[inline]
     pub fn bump_blts(&self) {
-        self.blts_spawned.fetch_add(1, Ordering::Relaxed);
+        bump(&self.blts_spawned);
     }
     #[inline]
     pub fn bump_siblings(&self) {
-        self.siblings_spawned.fetch_add(1, Ordering::Relaxed);
+        bump(&self.siblings_spawned);
     }
     #[inline]
     pub fn bump_dispatches(&self) {
-        self.scheduler_dispatches.fetch_add(1, Ordering::Relaxed);
+        bump(&self.scheduler_dispatches);
     }
     #[inline]
     pub fn bump_kc_blocks(&self) {
-        self.kc_blocks.fetch_add(1, Ordering::Relaxed);
+        bump(&self.kc_blocks);
     }
 
-    /// Point-in-time snapshot for reporting.
+    /// Fold this shard into an accumulating snapshot.
+    fn add_into(&self, acc: &mut StatsSnapshot) {
+        acc.context_switches += self.context_switches.load(Ordering::Relaxed);
+        acc.tls_loads += self.tls_loads.load(Ordering::Relaxed);
+        acc.couples += self.couples.load(Ordering::Relaxed);
+        acc.decouples += self.decouples.load(Ordering::Relaxed);
+        acc.yields += self.yields.load(Ordering::Relaxed);
+        acc.blts_spawned += self.blts_spawned.load(Ordering::Relaxed);
+        acc.siblings_spawned += self.siblings_spawned.load(Ordering::Relaxed);
+        acc.scheduler_dispatches += self.scheduler_dispatches.load(Ordering::Relaxed);
+        acc.kc_blocks += self.kc_blocks.load(Ordering::Relaxed);
+    }
+}
+
+/// Aggregated runtime event counters (diagnostics only).
+///
+/// Writers go through per-KC shards (see [`Stats::register_shard`]); the
+/// legacy `bump_*` methods on `Stats` itself hit a shared fallback shard and
+/// remain for callers without a registered shard.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Catch-all shard for threads that never registered one. Unlike the
+    /// per-KC shards this one can have multiple writers, but the callers
+    /// are cold paths where an extra stale count is acceptable — hot paths
+    /// always go through a registered shard.
+    fallback: StatsShard,
+    /// Every shard ever registered. Shards are kept for the lifetime of the
+    /// `Stats` (a terminated KC's counts must stay visible), so this only
+    /// grows — by one small allocation per KC.
+    shards: Mutex<Vec<Arc<StatsShard>>>,
+}
+
+impl Stats {
+    /// Hand out a fresh private shard; the caller caches the `Arc` (and
+    /// typically a raw pointer to it) and bumps it without synchronization.
+    pub fn register_shard(&self) -> Arc<StatsShard> {
+        let shard = Arc::new(StatsShard::default());
+        self.shards.lock().push(shard.clone());
+        shard
+    }
+
+    #[inline]
+    pub fn bump_context_switches(&self) {
+        self.fallback.bump_context_switches();
+    }
+    #[inline]
+    pub fn bump_tls_loads(&self) {
+        self.fallback.bump_tls_loads();
+    }
+    #[inline]
+    pub fn bump_couples(&self) {
+        self.fallback.bump_couples();
+    }
+    #[inline]
+    pub fn bump_decouples(&self) {
+        self.fallback.bump_decouples();
+    }
+    #[inline]
+    pub fn bump_yields(&self) {
+        self.fallback.bump_yields();
+    }
+    #[inline]
+    pub fn bump_blts(&self) {
+        self.fallback.bump_blts();
+    }
+    #[inline]
+    pub fn bump_siblings(&self) {
+        self.fallback.bump_siblings();
+    }
+    #[inline]
+    pub fn bump_dispatches(&self) {
+        self.fallback.bump_dispatches();
+    }
+    #[inline]
+    pub fn bump_kc_blocks(&self) {
+        self.fallback.bump_kc_blocks();
+    }
+
+    /// Point-in-time snapshot for reporting: the fallback shard plus every
+    /// registered per-KC shard, summed. Not atomic across counters (each
+    /// counter is read individually), which diagnostics tolerate; quiescent
+    /// reads (the usual case in tests: snapshot while the scenario's BLTs
+    /// are parked or joined) are exact.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            context_switches: self.context_switches.load(Ordering::Relaxed),
-            tls_loads: self.tls_loads.load(Ordering::Relaxed),
-            couples: self.couples.load(Ordering::Relaxed),
-            decouples: self.decouples.load(Ordering::Relaxed),
-            yields: self.yields.load(Ordering::Relaxed),
-            blts_spawned: self.blts_spawned.load(Ordering::Relaxed),
-            siblings_spawned: self.siblings_spawned.load(Ordering::Relaxed),
-            scheduler_dispatches: self.scheduler_dispatches.load(Ordering::Relaxed),
-            kc_blocks: self.kc_blocks.load(Ordering::Relaxed),
+        let mut acc = StatsSnapshot::default();
+        self.fallback.add_into(&mut acc);
+        for shard in self.shards.lock().iter() {
+            shard.add_into(&mut acc);
         }
+        acc
     }
 }
 
@@ -142,5 +246,54 @@ mod tests {
         s.bump_yields();
         let b = s.snapshot();
         assert_eq!(b.delta(&a).yields, 2);
+    }
+
+    #[test]
+    fn shards_fold_into_snapshot() {
+        let s = Stats::default();
+        let shard_a = s.register_shard();
+        let shard_b = s.register_shard();
+        shard_a.bump_context_switches();
+        shard_a.bump_context_switches();
+        shard_b.bump_context_switches();
+        s.bump_context_switches(); // fallback
+        shard_b.bump_tls_loads();
+        let snap = s.snapshot();
+        assert_eq!(snap.context_switches, 4);
+        assert_eq!(snap.tls_loads, 1);
+    }
+
+    #[test]
+    fn shard_counts_survive_owner_drop() {
+        let s = Stats::default();
+        let shard = s.register_shard();
+        shard.bump_yields();
+        drop(shard); // KC exits; its Arc goes away but the registry's stays
+        assert_eq!(s.snapshot().yields, 1);
+    }
+
+    #[test]
+    fn shard_is_cache_line_isolated() {
+        assert!(std::mem::align_of::<StatsShard>() >= 128);
+        assert!(std::mem::size_of::<StatsShard>() >= 128);
+    }
+
+    #[test]
+    fn concurrent_shard_writers_do_not_interfere() {
+        let s = Arc::new(Stats::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let shard = s.register_shard();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    shard.bump_yields();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each shard is single-writer, so no increments may be lost.
+        assert_eq!(s.snapshot().yields, 40_000);
     }
 }

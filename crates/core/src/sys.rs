@@ -197,17 +197,19 @@ pub fn sigprocmask(how: MaskHow, set: SigSet) -> KResult<SigSet> {
     let k = kernel()?;
     let old = finish(k.sys_sigprocmask(how, set))?;
     if let Some(me) = current_ulp() {
-        // Re-read the effective mask from the executing process.
+        // Re-read the effective mask from the executing process, and note
+        // it as installed on this kernel context so the lazy carry in the
+        // switch path doesn't redundantly re-install it.
         if let Ok((_, proc)) = k_current(&k) {
-            *me.sigmask.lock() = proc.signals.mask();
+            let mask = proc.signals.mask();
+            me.sigmask.set(mask);
+            crate::current::with_thread(|b| b.set_installed_mask(Some(mask.bits())));
         }
     }
     Ok(old)
 }
 
-fn k_current(
-    k: &KernelRef,
-) -> KResult<(Pid, std::sync::Arc<ulp_kernel::Process>)> {
+fn k_current(k: &KernelRef) -> KResult<(Pid, std::sync::Arc<ulp_kernel::Process>)> {
     let pid = k.current_pid().ok_or(Errno::ESRCH)?;
     let proc = k.process(pid).ok_or(Errno::ESRCH)?;
     Ok((pid, proc))

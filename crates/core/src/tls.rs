@@ -150,10 +150,14 @@ mod tests {
     fn storage_initializes_lazily() {
         let s = TlsStorage::new();
         assert_eq!(s.initialized_count(), 0);
-        let v = s.with_slot(3, || 41, |v: &mut i32| {
-            *v += 1;
-            *v
-        });
+        let v = s.with_slot(
+            3,
+            || 41,
+            |v: &mut i32| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(v, 42);
         assert_eq!(s.initialized_count(), 1);
         // Second access sees the mutated value, not a fresh init.

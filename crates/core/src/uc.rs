@@ -101,6 +101,12 @@ pub struct KcShared {
     pub tc_boot: Mutex<Option<Box<crate::kc::TcBoot>>>,
     /// Live sibling UCs whose original KC is this one.
     pub sibling_count: AtomicUsize,
+    /// The primary's `BltHandle` was waited or dropped: no further sibling
+    /// may register, and the KC may retire once the count drains. Written
+    /// and read under the `pending` lock (the registration gate), so a
+    /// sibling either registers before the KC retires or observes the
+    /// closed flag and fails to spawn — never registers into a dead KC.
+    pub handle_closed: AtomicBool,
     /// The primary finished and is parked until siblings drain.
     pub primary_waiting: AtomicBool,
     /// Consecutive fruitless parks (Adaptive policy bookkeeping).
@@ -124,6 +130,7 @@ impl KcShared {
             tc_started: AtomicBool::new(false),
             tc_boot: Mutex::new(None),
             sibling_count: AtomicUsize::new(0),
+            handle_closed: AtomicBool::new(false),
             primary_waiting: AtomicBool::new(false),
             idle_streak: AtomicU32::new(0),
         }
@@ -233,6 +240,43 @@ impl OneShot {
 /// parent observes through `wait()`, mirroring `wait(2)` for PiP processes.
 pub type UlpFn = Box<dyn FnOnce() -> i32 + Send + 'static>;
 
+/// A UC's signal mask as a lock-free cell.
+///
+/// The switch path only needs to *compare* the UC's mask against the mask
+/// installed on the executing kernel context (and install it when they
+/// differ), so the mask lives in an atomic word instead of a mutex: readers
+/// on the hot path never contend, and writers (`sigprocmask` veneers) are
+/// rare. Mask updates happen while the UC is running on the writing thread,
+/// so a plain store/load pair with release/acquire ordering suffices.
+#[derive(Debug, Default)]
+pub struct SigMaskCell {
+    bits: AtomicU32,
+}
+
+impl SigMaskCell {
+    pub fn new(mask: ulp_kernel::SigSet) -> SigMaskCell {
+        SigMaskCell {
+            bits: AtomicU32::new(mask.bits()),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> ulp_kernel::SigSet {
+        ulp_kernel::SigSet::from_bits(self.bits())
+    }
+
+    #[inline]
+    pub fn set(&self, mask: ulp_kernel::SigSet) {
+        self.bits.store(mask.bits(), Ordering::Release);
+    }
+
+    /// Raw bits, for cheap equality checks against a cached installed mask.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits.load(Ordering::Acquire)
+    }
+}
+
 /// The shared core of a user context.
 pub struct UcInner {
     pub id: BltId,
@@ -263,9 +307,11 @@ pub struct UcInner {
     /// The signal mask this UC believes it has (§VII): under the default
     /// fcontext-style switching the mask is NOT installed on the executing
     /// kernel context, reproducing the paper's signaling caveat; with
-    /// `Config::save_sigmask` (ucontext-style) it is installed on every
-    /// UC↔UC switch at the cost of a system call.
-    pub sigmask: Mutex<ulp_kernel::SigSet>,
+    /// `Config::save_sigmask` (ucontext-style) it is carried across UC↔UC
+    /// switches — lazily, so the `sigprocmask` system call only fires when
+    /// the incoming UC's mask differs from the one already installed on the
+    /// kernel context.
+    pub sigmask: SigMaskCell,
 }
 
 unsafe impl Send for UcInner {}

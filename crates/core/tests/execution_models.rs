@@ -45,13 +45,16 @@ fn n_to_one_model() {
                 .spawn_sibling(&format!("green{i}"), move || {
                     let seen = coupled_scope(|| sys::getpid().unwrap()).unwrap();
                     done.fetch_add(1, Ordering::AcqRel);
-                    (seen.0 as i32) // all report the same pid
+                    seen.0 as i32 // all report the same pid
                 })
                 .unwrap()
         })
         .collect();
     let codes: Vec<i32> = sibs.iter().map(|s| s.wait()).collect();
-    assert!(codes.iter().all(|&c| c == pid.0 as i32), "one kernel identity");
+    assert!(
+        codes.iter().all(|&c| c == pid.0 as i32),
+        "one kernel identity"
+    );
     assert_eq!(primary.wait(), 0);
     assert_eq!(done.load(Ordering::Acquire), 6);
 }

@@ -1,0 +1,192 @@
+//! Hot-path accounting invariants and panic-safety of `coupled_scope`.
+//!
+//! Table V of the paper prices one `getpid` enclosed in couple()/decouple()
+//! at exactly **4 user-level context switches and 2 TLS loads**:
+//!
+//! 1. couple: UC → host scheduler (the host's TLS register reloads — load 1)
+//! 2. the original KC's trampoline resumes the UC (TC↔UC exemption, no load)
+//! 3. decouple: UC → trampoline (exempt again)
+//! 4. a scheduler dispatches the UC (the UC's TLS register reloads — load 2)
+//!
+//! These tests pin the *exact* counts — not `>=` — under every combination
+//! of run-queue discipline and idle policy, so any stray switch, double
+//! count, or lost count introduced in the switch path fails loudly. The
+//! counters are sharded per KC; the exactness also proves the shard
+//! aggregation loses nothing.
+
+use ulp_core::ulp_kernel::ArchProfile;
+use ulp_core::{
+    coupled_scope, decouple, sys, IdlePolicy, Runtime, SchedPolicy, StatsSnapshot,
+    PANIC_EXIT_STATUS,
+};
+
+/// Snapshot the runtime's stats from inside a ULP.
+fn my_stats() -> StatsSnapshot {
+    ulp_core::current::current_runtime()
+        .expect("inside a runtime")
+        .stats
+        .snapshot()
+}
+
+fn assert_table5_invariant(sched: SchedPolicy, idle: IdlePolicy) {
+    const PAIRS: u64 = 8;
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(idle)
+        .sched_policy(sched)
+        .profile(ArchProfile::Native)
+        .build();
+    let h = rt.spawn("table5", move || {
+        decouple().unwrap();
+        // One warm-up pair so the trampoline exists and the measurement
+        // starts from the steady "decoupled, just dispatched" state.
+        coupled_scope(|| ()).unwrap();
+        let before = my_stats();
+        for _ in 0..PAIRS {
+            coupled_scope(|| {
+                let _ = sys::getpid().unwrap();
+            })
+            .unwrap();
+        }
+        let d = my_stats().delta(&before);
+        assert_eq!(
+            d.context_switches,
+            4 * PAIRS,
+            "Table V: exactly 4 switches per couple+decouple pair ({sched:?}/{idle:?}), got {d:?}"
+        );
+        assert_eq!(
+            d.tls_loads,
+            2 * PAIRS,
+            "Table V: exactly 2 TLS loads per pair ({sched:?}/{idle:?}), got {d:?}"
+        );
+        assert_eq!(d.couples, PAIRS);
+        assert_eq!(d.decouples, PAIRS);
+        assert_eq!(d.scheduler_dispatches, PAIRS);
+        assert_eq!(d.yields, 0);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn table5_counts_global_fifo_busywait() {
+    assert_table5_invariant(SchedPolicy::GlobalFifo, IdlePolicy::BusyWait);
+}
+
+#[test]
+fn table5_counts_global_fifo_blocking() {
+    assert_table5_invariant(SchedPolicy::GlobalFifo, IdlePolicy::Blocking);
+}
+
+#[test]
+fn table5_counts_work_stealing_busywait() {
+    assert_table5_invariant(SchedPolicy::WorkStealing, IdlePolicy::BusyWait);
+}
+
+#[test]
+fn table5_counts_work_stealing_blocking() {
+    assert_table5_invariant(SchedPolicy::WorkStealing, IdlePolicy::Blocking);
+}
+
+/// A panic inside `coupled_scope` must not leak the UC in the coupled
+/// state: the scope catches the unwind, restores the previous coupling
+/// state, and re-raises. (Regression: the scope used to `?`-return early
+/// on the panic path, skipping the decouple, so a caught panic left the
+/// caller silently coupled and every later "decoupled" assumption wrong.)
+#[test]
+fn coupled_scope_panic_restores_decoupled_state() {
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("panicky", || {
+        decouple().unwrap();
+        assert_eq!(ulp_core::is_coupled(), Some(false));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = coupled_scope(|| -> i32 { panic!("boom inside scope") });
+        }));
+        assert!(caught.is_err(), "the panic must propagate out of the scope");
+        assert_eq!(
+            ulp_core::is_coupled(),
+            Some(false),
+            "a panicking scope must restore the decoupled state"
+        );
+        // The runtime is still fully functional afterwards.
+        let pid = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+        assert_eq!(coupled_scope(|| sys::getpid().unwrap()).unwrap(), pid);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+}
+
+/// An uncaught panic crossing a `coupled_scope` still terminates the BLT
+/// with the crash status — the scope's catch/decouple/re-raise must not
+/// swallow the unwind.
+#[test]
+fn coupled_scope_panic_propagates_to_exit_status() {
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("dies-in-scope", || {
+        decouple().unwrap();
+        coupled_scope(|| panic!("unhandled")).unwrap();
+        0
+    });
+    assert_eq!(h.wait(), PANIC_EXIT_STATUS);
+}
+
+/// Siblings of a crashed-in-scope primary still drain correctly (the
+/// panic-unwind path must not corrupt the shared KC's bookkeeping).
+#[test]
+fn coupled_scope_panic_leaves_kc_serviceable() {
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("host-blt", || {
+        decouple().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = coupled_scope(|| -> i32 { panic!("scoped crash") });
+        }));
+        assert!(caught.is_err());
+        0
+    });
+    // The primary's KC must still serve a sibling spawned after the crash.
+    let sib = h.spawn_sibling("post-crash-sib", || 7).unwrap();
+    assert_eq!(sib.wait(), 7);
+    assert_eq!(h.wait(), 0);
+}
+
+/// A sibling spawned through a still-open handle is served even if the
+/// primary's body finished long before — the KC must not retire while the
+/// handle could still register siblings. (Regression: the primary used to
+/// check `sibling_count` once and exit its OS thread; a sibling registering
+/// in that window coupled into a queue nobody would ever serve, hanging
+/// `wait()` forever.)
+#[test]
+fn sibling_after_primary_body_finished_is_served() {
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("short-lived", move || {
+        tx.send(()).unwrap();
+        0
+    });
+    // The primary's body has provably returned (or is about to); give its
+    // thread every chance to win the old race before we register.
+    rx.recv().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let sib = h
+        .spawn_sibling("late-registrant", || {
+            coupled_scope(|| {
+                sys::getpid().unwrap();
+            })
+            .unwrap();
+            42
+        })
+        .unwrap();
+    assert_eq!(sib.wait(), 42);
+    assert_eq!(h.wait(), 0);
+}
+
+/// After `wait()` the handle is closed and the KC has retired: a late
+/// `spawn_sibling` fails cleanly instead of parking forever.
+#[test]
+fn sibling_after_wait_fails_cleanly() {
+    let rt = Runtime::builder().schedulers(1).build();
+    let h = rt.spawn("done", || 0);
+    assert_eq!(h.wait(), 0);
+    let err = h.spawn_sibling("too-late", || 0).unwrap_err();
+    assert_eq!(err, ulp_core::UlpError::PrimaryExited);
+}

@@ -38,7 +38,9 @@ fn blt_panic_is_contained() {
 #[test]
 fn many_blts_concurrently() {
     let rt = Runtime::new();
-    let handles: Vec<_> = (0..16).map(|i| rt.spawn(&format!("w{i}"), move || i)).collect();
+    let handles: Vec<_> = (0..16)
+        .map(|i| rt.spawn(&format!("w{i}"), move || i))
+        .collect();
     for (i, h) in handles.into_iter().enumerate() {
         assert_eq!(h.wait(), i as i32);
     }
@@ -80,7 +82,11 @@ fn couple_restores_original_kc_identity() {
     // The two bare getpid calls while decoupled are violations; the
     // coupled ones are not.
     let violations = rt.violations();
-    assert_eq!(violations.len(), 1, "exactly one decoupled getpid: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "exactly one decoupled getpid: {violations:?}"
+    );
 }
 
 #[test]
@@ -126,9 +132,20 @@ fn yield_ping_pong_two_ulps() {
     // scheduler.
     let rt = rt_with(IdlePolicy::BusyWait, 1);
     let counter = Arc::new(AtomicUsize::new(0));
-    let mk = |name: &str, c: Arc<AtomicUsize>| {
+    let ready = Arc::new(AtomicUsize::new(0));
+    let mk = |name: &str, c: Arc<AtomicUsize>, r: Arc<AtomicUsize>| {
         rt.spawn(name, move || {
             decouple().unwrap();
+            // Rendezvous in ULP context so the ping-pong provably overlaps:
+            // the second ULP can only announce itself once dispatched, and
+            // with one scheduler that dispatch takes a real user-level
+            // yield from the first. Without this, one ULP can run all its
+            // iterations against an empty run queue before the other even
+            // decouples, and no switch ever happens.
+            r.fetch_add(1, Ordering::AcqRel);
+            while r.load(Ordering::Acquire) < 2 {
+                yield_now();
+            }
             for _ in 0..1000 {
                 c.fetch_add(1, Ordering::Relaxed);
                 yield_now();
@@ -136,8 +153,8 @@ fn yield_ping_pong_two_ulps() {
             0
         })
     };
-    let a = mk("ping", counter.clone());
-    let b = mk("pong", counter.clone());
+    let a = mk("ping", counter.clone(), ready.clone());
+    let b = mk("pong", counter.clone(), ready.clone());
     assert_eq!(a.wait(), 0);
     assert_eq!(b.wait(), 0);
     assert_eq!(counter.load(Ordering::Relaxed), 2000);
@@ -222,7 +239,10 @@ fn blocking_policy_blocks_kcs() {
         coupled_scope(|| 0).unwrap()
     });
     assert_eq!(h.wait(), 0);
-    assert!(rt.stats().snapshot().kc_blocks > 0, "KC should have futex-slept");
+    assert!(
+        rt.stats().snapshot().kc_blocks > 0,
+        "KC should have futex-slept"
+    );
 }
 
 #[test]
@@ -520,10 +540,7 @@ fn signal_mask_travels_in_ucontext_mode() {
     // The §VII remedy: ucontext-style switching installs the UC's mask on
     // whatever kernel context runs it (at system-call cost).
     use ulp_core::ulp_kernel::{MaskHow, SigSet, Signal};
-    let rt = Runtime::builder()
-        .schedulers(1)
-        .save_sigmask(true)
-        .build();
+    let rt = Runtime::builder().schedulers(1).save_sigmask(true).build();
     let h = rt.spawn("carrier", || {
         sys::sigprocmask(MaskHow::Block, SigSet::with(&[Signal::SigUsr2])).unwrap();
         decouple().unwrap();
@@ -613,7 +630,10 @@ fn trace_records_the_table_one_sequence() {
     // The protocol order of Table I, end to end:
     assert!(spawn < decouple_at, "spawn before decouple");
     assert!(decouple_at < dispatch, "decouple publishes before dispatch");
-    assert!(dispatch < request, "UC runs as ULT before requesting couple");
+    assert!(
+        dispatch < request,
+        "UC runs as ULT before requesting couple"
+    );
     assert!(request < coupled, "request published before resume on KC0");
     assert!(coupled < term, "terminates after coupling");
 }
@@ -645,7 +665,7 @@ fn signal_handlers_run_at_couple_safe_points() {
         // Signal our own process while decoupled: it stays pending (our KC
         // is parked) and nothing runs yet.
         coupled_scope(|| ()).unwrap(); // couple cycle to reach a safe point
-        // Send while decoupled, then observe at the next safe point.
+                                       // Send while decoupled, then observe at the next safe point.
         sys::kill(my_pid, Signal::SigUsr1).ok(); // decoupled send: scheduler's gate records it
         let before = f2.load(Ordering::SeqCst);
         coupled_scope(|| {

@@ -104,8 +104,6 @@ pub unsafe fn init_stack(stack_top: *mut u8, entry: RawEntry, data: *mut u8) -> 
     words.add(8).write(data as usize); // x19
     words.add(9).write(entry as *const () as usize); // x20
     words.add(18).write(0); // x29
-    words
-        .add(19)
-        .write(ulp_ctx_entry as *const () as usize); // x30 -> first `ret` target
+    words.add(19).write(ulp_ctx_entry as *const () as usize); // x30 -> first `ret` target
     sp
 }

@@ -140,8 +140,6 @@ pub unsafe fn init_stack(stack_top: *mut u8, entry: RawEntry, data: *mut u8) -> 
     words.add(4).write(data as usize); // r12 -> user data
     words.add(5).write(0); // rbx
     words.add(6).write(0); // rbp
-    words
-        .add(7)
-        .write(ulp_ctx_entry as *const () as usize); // return address
+    words.add(7).write(ulp_ctx_entry as *const () as usize); // return address
     sp
 }

@@ -89,8 +89,10 @@ pub enum Resume {
     Complete(usize),
 }
 
+type FiberBody = Box<dyn FnOnce(&mut Suspender, usize) -> usize + Send + 'static>;
+
 enum FiberState {
-    New(Box<dyn FnOnce(&mut Suspender, usize) -> usize + Send + 'static>),
+    New(FiberBody),
     Running,
     Done,
 }
@@ -216,8 +218,7 @@ impl Fiber {
         let value = unsafe {
             // Save *our* context where the fiber will find it, switch in.
             let target = (*inner).fiber;
-            let v = swap(&mut (*inner).caller, target, arg);
-            v
+            swap(&mut (*inner).caller, target, arg)
         };
         if let Some(payload) = self.inner.panic.take() {
             panic::resume_unwind(payload);

@@ -33,7 +33,7 @@ fn page_size() -> usize {
 }
 
 fn round_up(n: usize, to: usize) -> usize {
-    (n + to - 1) / to * to
+    n.div_ceil(to) * to
 }
 
 /// An owned, guard-paged stack region.
@@ -79,7 +79,11 @@ impl Stack {
             unsafe { libc::munmap(base as *mut libc::c_void, total) };
             return Err(err);
         }
-        Ok(Stack { base, total, usable })
+        Ok(Stack {
+            base,
+            total,
+            usable,
+        })
     }
 
     /// One past the highest usable address; initial stack pointers are
@@ -235,7 +239,11 @@ mod tests {
         let a_base = a.bottom() as usize;
         pool.release(a);
         let b = pool.acquire(64 * 1024).unwrap();
-        assert_eq!(b.bottom() as usize, a_base, "expected the cached stack back");
+        assert_eq!(
+            b.bottom() as usize,
+            a_base,
+            "expected the cached stack back"
+        );
         let (hits, misses) = pool.stats();
         assert_eq!(hits, 1);
         assert_eq!(misses, 1);

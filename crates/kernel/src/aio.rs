@@ -147,7 +147,9 @@ impl AioService {
                 // The helper services requests until the kernel (and with it
                 // the sender) is dropped.
                 for job in rx.iter() {
-                    let Some(kernel) = kernel.upgrade() else { break };
+                    let Some(kernel) = kernel.upgrade() else {
+                        break;
+                    };
                     // Execute with the *requesting* process's identity, as
                     // glibc's helper implicitly does by sharing the process.
                     let _bind = kernel.bind_scope(job.pid);
@@ -341,9 +343,7 @@ mod tests {
         let (k, _) = boot();
         let fd = k.sys_open("/many", wflags()).unwrap();
         let cbs: Vec<Aiocb> = (0..32)
-            .map(|i| {
-                k.aio_write(fd, i * 8, Arc::new(vec![i as u8; 8])).unwrap()
-            })
+            .map(|i| k.aio_write(fd, i * 8, Arc::new(vec![i as u8; 8])).unwrap())
             .collect();
         for cb in &cbs {
             cb.suspend();

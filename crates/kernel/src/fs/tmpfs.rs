@@ -516,10 +516,7 @@ impl Tmpfs {
                 .map(|(name, &ino)| DirEntry {
                     name: name.clone(),
                     ino,
-                    is_dir: matches!(
-                        inner.get(ino).map(|n| &n.kind),
-                        Ok(InodeKind::Dir { .. })
-                    ),
+                    is_dir: matches!(inner.get(ino).map(|n| &n.kind), Ok(InodeKind::Dir { .. })),
                 })
                 .collect()),
         }
@@ -590,12 +587,20 @@ mod tests {
     fn excl_refuses_existing() {
         let fs = Tmpfs::new();
         let a = fs
-            .open("/", "/x", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL)
+            .open(
+                "/",
+                "/x",
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL,
+            )
             .unwrap();
         fs.release(a);
         assert_eq!(
-            fs.open("/", "/x", OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL)
-                .unwrap_err(),
+            fs.open(
+                "/",
+                "/x",
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::EXCL
+            )
+            .unwrap_err(),
             Errno::EEXIST
         );
     }

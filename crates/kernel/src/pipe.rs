@@ -139,7 +139,11 @@ impl PipeWriter {
         let mut buf = self.0.buf.lock();
         while written < data.len() {
             if self.0.readers.load(Ordering::Acquire) == 0 {
-                return if written > 0 { Ok(written) } else { Err(Errno::EPIPE) };
+                return if written > 0 {
+                    Ok(written)
+                } else {
+                    Err(Errno::EPIPE)
+                };
             }
             let space = self.0.capacity.saturating_sub(buf.len());
             if space == 0 {

@@ -80,6 +80,19 @@ impl SigSet {
     pub fn iter(&self) -> impl Iterator<Item = Signal> + '_ {
         ALL_SIGNALS.iter().copied().filter(|s| self.contains(*s))
     }
+
+    /// Raw bit representation — lets callers store a mask in an atomic and
+    /// compare masks without interpreting them.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a set from [`SigSet::bits`].
+    #[inline]
+    pub const fn from_bits(bits: u32) -> SigSet {
+        SigSet(bits)
+    }
 }
 
 /// How `sigprocmask` modifies the mask.
@@ -163,7 +176,11 @@ impl SignalState {
         for entry in inner.dispositions.iter_mut() {
             if entry.0 == sig as u8 || entry.0 == 0 {
                 let was_set = entry.0 != 0;
-                let old = if was_set { entry.1 } else { Disposition::Default };
+                let old = if was_set {
+                    entry.1
+                } else {
+                    Disposition::Default
+                };
                 *entry = (sig as u8, disp);
                 return Ok(old);
             }
@@ -226,7 +243,10 @@ mod tests {
     #[test]
     fn setmask_replaces_whole_mask() {
         let st = SignalState::new();
-        st.set_mask(MaskHow::Block, SigSet::with(&[Signal::SigUsr1, Signal::SigInt]));
+        st.set_mask(
+            MaskHow::Block,
+            SigSet::with(&[Signal::SigUsr1, Signal::SigInt]),
+        );
         let old = st.set_mask(MaskHow::SetMask, SigSet::with(&[Signal::SigTerm]));
         assert!(old.contains(Signal::SigUsr1) && old.contains(Signal::SigInt));
         assert_eq!(st.mask(), SigSet::with(&[Signal::SigTerm]));
@@ -236,7 +256,8 @@ mod tests {
     fn dispositions_round_trip() {
         let st = SignalState::new();
         assert_eq!(st.disposition(Signal::SigUsr2), Disposition::Default);
-        st.set_disposition(Signal::SigUsr2, Disposition::Handler(42)).unwrap();
+        st.set_disposition(Signal::SigUsr2, Disposition::Handler(42))
+            .unwrap();
         assert_eq!(st.disposition(Signal::SigUsr2), Disposition::Handler(42));
         let old = st
             .set_disposition(Signal::SigUsr2, Disposition::Ignore)

@@ -400,7 +400,9 @@ mod tests {
     #[test]
     fn open_write_read_via_fds() {
         let (k, _) = boot();
-        let fd = k.sys_open("/f", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+        let fd = k
+            .sys_open("/f", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
         assert_eq!(k.sys_write(fd, b"abcdef").unwrap(), 6);
         // Offset advanced; reading now hits EOF.
         let mut buf = [0u8; 6];
@@ -446,18 +448,25 @@ mod tests {
     #[test]
     fn lseek_whences() {
         let (k, _) = boot();
-        let fd = k.sys_open("/s", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+        let fd = k
+            .sys_open("/s", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
         k.sys_write(fd, b"0123456789").unwrap();
         assert_eq!(k.sys_lseek(fd, -4, Whence::End).unwrap(), 6);
         assert_eq!(k.sys_lseek(fd, 2, Whence::Cur).unwrap(), 8);
-        assert_eq!(k.sys_lseek(fd, -100, Whence::Cur).unwrap_err(), Errno::EINVAL);
+        assert_eq!(
+            k.sys_lseek(fd, -100, Whence::Cur).unwrap_err(),
+            Errno::EINVAL
+        );
         k.unbind_current();
     }
 
     #[test]
     fn pwrite_pread_do_not_move_offset() {
         let (k, _) = boot();
-        let fd = k.sys_open("/p", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+        let fd = k
+            .sys_open("/p", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
         k.sys_pwrite(fd, 3, b"xyz").unwrap();
         let mut buf = [0u8; 3];
         assert_eq!(k.sys_pread(fd, 3, &mut buf).unwrap(), 3);
@@ -469,7 +478,9 @@ mod tests {
     #[test]
     fn dup_shares_offset() {
         let (k, _) = boot();
-        let fd = k.sys_open("/d", OpenFlags::RDWR | OpenFlags::CREAT).unwrap();
+        let fd = k
+            .sys_open("/d", OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
         let dup = k.sys_dup(fd).unwrap();
         k.sys_write(fd, b"abc").unwrap();
         assert_eq!(k.sys_lseek(dup, 0, Whence::Cur).unwrap(), 3);
@@ -509,7 +520,12 @@ mod tests {
         let (k, pid) = boot();
         let other = k.spawn_process(Some(Pid(1)), "victim");
         k.sys_kill(other, Signal::SigUsr1).unwrap();
-        assert!(k.process(other).unwrap().signals.pending().contains(Signal::SigUsr1));
+        assert!(k
+            .process(other)
+            .unwrap()
+            .signals
+            .pending()
+            .contains(Signal::SigUsr1));
         // Self-delivery path with masking.
         k.sys_sigprocmask(MaskHow::Block, SigSet::with(&[Signal::SigUsr2]))
             .unwrap();

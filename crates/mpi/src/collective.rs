@@ -154,9 +154,9 @@ impl RankCtx {
         assert_eq!(chunks.len(), self.size(), "one chunk per destination");
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
         out[self.rank()] = chunks[self.rank()].clone();
-        for dest in 0..self.size() {
+        for (dest, chunk) in chunks.iter().enumerate() {
             if dest != self.rank() {
-                self.send(dest, TAG_ALLTOALL, &chunks[dest]);
+                self.send(dest, TAG_ALLTOALL, chunk);
             }
         }
         for _ in 0..self.size() - 1 {
@@ -242,7 +242,9 @@ mod tests {
 
     #[test]
     fn allreduce_non_power_of_two() {
-        let results = run_ranks(3, |ctx| ctx.allreduce(ReduceOp::Max, &[ctx.rank() as f64 * 2.0]));
+        let results = run_ranks(3, |ctx| {
+            ctx.allreduce(ReduceOp::Max, &[ctx.rank() as f64 * 2.0])
+        });
         for r in &results {
             assert_eq!(r, &vec![4.0]);
         }

@@ -29,10 +29,11 @@ impl Mailbox {
         // has been "delivered" by the simulated network.
         let mut best: Option<(usize, u64)> = None;
         for (i, env) in q.iter().enumerate() {
-            if env.deliver_at <= now && matches(env, src, tag) {
-                if best.map(|(_, seq)| env.seq < seq).unwrap_or(true) {
-                    best = Some((i, env.seq));
-                }
+            if env.deliver_at <= now
+                && matches(env, src, tag)
+                && best.map(|(_, seq)| env.seq < seq).unwrap_or(true)
+            {
+                best = Some((i, env.seq));
             }
         }
         best.and_then(|(i, _)| q.remove(i))
@@ -164,7 +165,14 @@ impl RankCtx {
     }
 
     /// Send-and-receive in one call (deadlock-free pairwise exchange).
-    pub fn sendrecv(&self, dest: Rank, send_tag: Tag, data: &[u8], src: i32, recv_tag: Tag) -> Received {
+    pub fn sendrecv(
+        &self,
+        dest: Rank,
+        send_tag: Tag,
+        data: &[u8],
+        src: i32,
+        recv_tag: Tag,
+    ) -> Received {
         self.send(dest, send_tag, data);
         self.recv(src, recv_tag)
     }

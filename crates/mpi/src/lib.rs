@@ -37,8 +37,7 @@ pub mod world;
 pub use collective::ReduceOp;
 pub use comm::{RankCtx, RecvRequest, WorldShared};
 pub use msg::{
-    bytes_to_f64s, f64s_to_bytes, u64s_to_bytes, Envelope, Rank, Received, Tag, ANY_SOURCE,
-    ANY_TAG,
+    bytes_to_f64s, f64s_to_bytes, u64s_to_bytes, Envelope, Rank, Received, Tag, ANY_SOURCE, ANY_TAG,
 };
 pub use net::NetModel;
 pub use world::{UlpWorld, UlpWorldBuilder};

@@ -41,7 +41,9 @@ impl NetModel {
 
     /// When a message of `bytes` sent now becomes receivable.
     pub fn deliver_at(&self, bytes: usize) -> Instant {
-        Instant::now() + self.latency + Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64)
+        Instant::now()
+            + self.latency
+            + Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64)
     }
 }
 

@@ -101,7 +101,11 @@ mod tests {
             b2.wait();
         });
         b.wait();
-        assert_eq!(flag.load(Ordering::Acquire), 1, "peer arrived before release");
+        assert_eq!(
+            flag.load(Ordering::Acquire),
+            1,
+            "peer arrived before release"
+        );
         t.join().unwrap();
     }
 

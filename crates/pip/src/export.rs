@@ -119,7 +119,8 @@ mod tests {
         let t = Arc::new(ExportTable::new());
         let t2 = t.clone();
         let waiter = std::thread::spawn(move || {
-            t2.import_wait::<u64>("late", Duration::from_secs(5)).map(|v| *v)
+            t2.import_wait::<u64>("late", Duration::from_secs(5))
+                .map(|v| *v)
         });
         std::thread::sleep(Duration::from_millis(20));
         t.export("late", Arc::new(99u64));

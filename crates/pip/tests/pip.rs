@@ -97,7 +97,8 @@ fn thread_mode_shares_fd_table() {
 fn privatization_n_instances_for_n_tasks() {
     // The paper's defining property: N processes from one program defining
     // x → N instances of x.
-    static X: once_cell_lite::Lazy<Privatized<u64>> = once_cell_lite::Lazy::new(|| Privatized::new(1000));
+    static X: once_cell_lite::Lazy<Privatized<u64>> =
+        once_cell_lite::Lazy::new(|| Privatized::new(1000));
 
     // Minimal local Lazy so we avoid extra deps.
     mod once_cell_lite {
@@ -157,7 +158,10 @@ fn namespaces_privatize_symbols() {
         .map(|t| shared.namespaces.lookup_in(t.id(), "my_global").unwrap())
         .collect();
     // Same symbol name, three distinct addresses (privatized)...
-    assert_eq!(addrs.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    assert_eq!(
+        addrs.iter().collect::<std::collections::HashSet<_>>().len(),
+        3
+    );
     // ...and each address is dereferenceable from the root (shared).
     for (i, &addr) in addrs.iter().enumerate() {
         let v = unsafe { *(addr as *const u64) };

@@ -49,7 +49,9 @@ fn run(decoupled: bool) -> u128 {
     };
     let t = Instant::now();
     let codes = world.run("halo", |ctx| {
-        let mut field: Vec<f64> = (0..CELLS).map(|i| (ctx.rank() * CELLS + i) as f64).collect();
+        let mut field: Vec<f64> = (0..CELLS)
+            .map(|i| (ctx.rank() * CELLS + i) as f64)
+            .collect();
         for _ in 0..STEPS {
             step(&ctx, &mut field);
         }
@@ -75,11 +77,7 @@ fn main() {
     let klt = run(false);
     println!("KLT ranks (coupled, one OS thread each) : {klt:>8} us");
 
-    println!(
-        "\nwith a fast network the cost is switch-dominated: ULP ranks context-switch at",
-    );
-    println!(
-        "user level (~150 ns) while kernel-thread ranks pay the OS for every wait:",
-    );
+    println!("\nwith a fast network the cost is switch-dominated: ULP ranks context-switch at",);
+    println!("user level (~150 ns) while kernel-thread ranks pay the OS for every wait:",);
     println!("speedup {:.2}x on this host", klt as f64 / ulp as f64);
 }

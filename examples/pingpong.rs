@@ -41,7 +41,10 @@ fn main() {
             yield_now();
         }
         // Each iteration is a round trip: two yields.
-        n2.store(t.elapsed().as_nanos() as u64 / (2 * YIELDS) as u64, Ordering::Release);
+        n2.store(
+            t.elapsed().as_nanos() as u64 / (2 * YIELDS) as u64,
+            Ordering::Release,
+        );
         s3.store(true, Ordering::Release);
         0
     });

@@ -1,0 +1,25 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided (the one part of crossbeam this
+//! workspace uses), implemented over `std::sync::mpsc`, whose `Sender` has
+//! been `Sync` since Rust 1.72 — so the crossbeam ergonomics carry over.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Unbounded MPSC channel (crossbeam's `unbounded` signature).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(41).unwrap();
+        tx.send(1).unwrap();
+        assert_eq!(rx.iter().take(2).sum::<i32>(), 42);
+    }
+}

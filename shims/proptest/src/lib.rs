@@ -1,0 +1,473 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the proptest API the workspace's property tests use:
+//! integer-range / tuple / `Just` / mapped / vec / one-of / regex-literal
+//! strategies, `any::<T>()`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: generation is a deterministic xorshift stream seeded from the
+//! test's name, so every run explores the same cases and failures reproduce
+//! exactly. That trade keeps the dependency surface at zero while retaining
+//! the model-checking value of the property tests.
+
+use std::ops::Range;
+
+/// Deterministic xorshift64* generator; seeded per test from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a of the bytes, never zero).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // xorshift state must be non-zero
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test values (the proptest trait, minus shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy (the result of [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "empty range strategy");
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+
+    /// Helper for `prop_oneof!`: erase a strategy's concrete type.
+    pub fn boxed(s: impl Strategy<Value = T> + 'static) -> Box<dyn Strategy<Value = T>> {
+        Box::new(s)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for the full value domain of `T` (`any::<T>()`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `&str` as a strategy: a micro-regex of alternations of character-class /
+/// literal atoms with `{m,n}` repetition — the proptest string-strategy
+/// subset these tests use (e.g. `"[a-z]{1,8}|\.|\.\."`).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let branches: Vec<&str> = split_top_level_alternation(self);
+        let branch = branches[rng.below(branches.len() as u64) as usize];
+        generate_branch(branch, rng)
+    }
+}
+
+fn split_top_level_alternation(pattern: &str) -> Vec<&str> {
+    let bytes = pattern.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 1, // skip the escaped byte
+            b'[' | b'{' | b'(' => depth += 1,
+            b']' | b'}' | b')' => depth = depth.saturating_sub(1),
+            b'|' if depth == 0 => {
+                parts.push(&pattern[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&pattern[start..]);
+    parts
+}
+
+fn generate_branch(branch: &str, rng: &mut TestRng) -> String {
+    let bytes = branch.as_bytes();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Parse one atom.
+        let mut chars: Vec<char> = Vec::new();
+        match bytes[i] {
+            b'[' => {
+                let close = branch[i..]
+                    .find(']')
+                    .map(|o| i + o)
+                    .expect("unterminated character class");
+                let class = &bytes[i + 1..close];
+                let mut j = 0;
+                while j < class.len() {
+                    if j + 2 < class.len() && class[j + 1] == b'-' {
+                        for c in class[j]..=class[j + 2] {
+                            chars.push(c as char);
+                        }
+                        j += 3;
+                    } else {
+                        chars.push(class[j] as char);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+            }
+            b'\\' => {
+                chars.push(bytes[i + 1] as char);
+                i += 2;
+            }
+            c => {
+                chars.push(c as char);
+                i += 1;
+            }
+        }
+        // Parse an optional {m,n} / {m} repetition.
+        let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+            let close = branch[i..]
+                .find('}')
+                .map(|o| i + o)
+                .expect("unterminated repetition");
+            let body = &branch[i + 1..close];
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse::<usize>().expect("repetition bound"),
+                    b.parse::<usize>().expect("repetition bound"),
+                ),
+                None => {
+                    let n = body.parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with element strategy `elem` and a size drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Union::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0usize..5).generate(&mut rng);
+            assert!(w < 5);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u8), (10u8..20).prop_map(|v| v * 2)];
+        let mut rng = TestRng::from_name("oneof");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let strat = collection::vec(0u8..10, 2..6);
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}|\\.|\\.\\.".generate(&mut rng);
+            let ok = s == "."
+                || s == ".."
+                || ((1..=8).contains(&s.len()) && s.bytes().all(|b| b.is_ascii_lowercase()));
+            assert!(ok, "unexpected generation {s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 1u64..100, ys in collection::vec(0u8..4, 1..5)) {
+            prop_assert!(x >= 1);
+            prop_assert_eq!(ys.iter().filter(|&&y| y > 3).count(), 0);
+        }
+    }
+}

@@ -4,7 +4,6 @@
 //! sequences, and per-ULP storage never bleeds between ULPs.
 
 use proptest::prelude::*;
-use std::sync::Arc;
 use ulp_repro::core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, UlpLocal};
 use ulp_repro::fcontext::{Fiber, Resume};
 

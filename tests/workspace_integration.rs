@@ -118,7 +118,10 @@ fn io_model_affects_real_write_latency() {
 fn thread_mode_pip_with_mpi_style_sharing() {
     // Thread-mode tasks share the root PID *and* the FD table; the export
     // table still privatizes nothing it shouldn't.
-    let root = PipRoot::builder().mode(PipMode::Thread).schedulers(1).build();
+    let root = PipRoot::builder()
+        .mode(PipMode::Thread)
+        .schedulers(1)
+        .build();
     let opener = Program::new("opener", |ctx| {
         let fd = sys::open("/thread-shared", OpenFlags::WRONLY | OpenFlags::CREAT).unwrap();
         ctx.export("the-fd", Arc::new(fd));
@@ -134,7 +137,10 @@ fn thread_mode_pip_with_mpi_style_sharing() {
 
 #[test]
 fn process_mode_does_not_share_descriptors() {
-    let root = PipRoot::builder().mode(PipMode::Process).schedulers(1).build();
+    let root = PipRoot::builder()
+        .mode(PipMode::Process)
+        .schedulers(1)
+        .build();
     let opener = Program::new("opener", |ctx| {
         let fd = sys::open("/proc-private", OpenFlags::WRONLY | OpenFlags::CREAT).unwrap();
         ctx.export("fd", Arc::new(fd));
