@@ -9,7 +9,7 @@
 //! route (see [`baseline`]).
 
 use crate::workloads;
-use ulp_core::{IdlePolicy, SchedPolicy};
+use ulp_core::{HistSummary, IdlePolicy, SchedPolicy};
 use ulp_kernel::ArchProfile;
 
 /// Pre-overhaul numbers, measured with the seed-equivalent switch path
@@ -39,12 +39,21 @@ pub struct Bench1 {
     pub couple_rtt_blocking_ns: f64,
     /// Aggregate switches/sec: 8 yield-looping ULPs over 4 scheduler KCs.
     pub oversub4_switches_per_sec: f64,
+    /// Yield-to-yield interval distribution (BUSYWAIT, global FIFO), from
+    /// the runtime's latency histograms — a traced run separate from the
+    /// mean measurements above.
+    pub yield_interval: HistSummary,
+    /// Couple-request→resume distribution (BLOCKING), traced run.
+    pub couple_resume: HistSummary,
+    /// Run-queue enqueue→dispatch distribution (BLOCKING), traced run.
+    pub queue_delay: HistSummary,
 }
 
 /// Run the BENCH_1 measurements (scale-aware, same min-of-ten protocol as
 /// every other artifact).
 pub fn measure() -> Bench1 {
     let iters = 5_000 * crate::repro::scale();
+    let couple_hists = workloads::couple_latency_summaries(IdlePolicy::Blocking, iters / 5);
     Bench1 {
         yield_fifo_ns: workloads::ulp_yield_ns_sched(
             IdlePolicy::BusyWait,
@@ -74,6 +83,13 @@ pub fn measure() -> Bench1 {
             8,
             iters,
         ),
+        yield_interval: workloads::yield_interval_summary(
+            IdlePolicy::BusyWait,
+            SchedPolicy::GlobalFifo,
+            iters,
+        ),
+        couple_resume: couple_hists.0,
+        queue_delay: couple_hists.1,
     }
 }
 
@@ -145,10 +161,27 @@ pub fn to_json(b: &Bench1) -> String {
             ),
         ),
     ];
+    let pct_row = |name: &str, s: &HistSummary| {
+        format!(
+            "    \"{name}\": {{\"unit\": \"ns\", \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}}",
+            s.count,
+            json_num(s.p50_ns),
+            json_num(s.p95_ns),
+            json_num(s.p99_ns),
+            s.max_ns,
+            json_num(s.mean_ns),
+        )
+    };
+    let pct_rows = [
+        pct_row("yield_interval", &b.yield_interval),
+        pct_row("couple_resume", &b.couple_resume),
+        pct_row("queue_delay", &b.queue_delay),
+    ];
     format!(
-        "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }},\n  \"percentiles\": {{\n{}\n  }}\n}}\n",
         crate::RUNS,
         rows.join(",\n"),
+        pct_rows.join(",\n"),
     )
 }
 
@@ -173,6 +206,17 @@ pub fn run_and_save() {
 mod tests {
     use super::*;
 
+    fn sample_summary() -> HistSummary {
+        HistSummary {
+            count: 1000,
+            p50_ns: 150.0,
+            p95_ns: 300.0,
+            p99_ns: 450.0,
+            max_ns: 900,
+            mean_ns: 180.0,
+        }
+    }
+
     #[test]
     fn json_shape_is_parseable_enough() {
         let b = Bench1 {
@@ -181,6 +225,9 @@ mod tests {
             couple_rtt_busywait_ns: 1500.0,
             couple_rtt_blocking_ns: 2900.0,
             oversub4_switches_per_sec: 1.0e6,
+            yield_interval: sample_summary(),
+            couple_resume: sample_summary(),
+            queue_delay: sample_summary(),
         };
         let s = to_json(&b);
         assert!(s.contains("\"yield_latency_global_fifo\""));
@@ -191,6 +238,48 @@ mod tests {
             s.matches('}').count(),
             "unbalanced JSON: {s}"
         );
+    }
+
+    #[test]
+    fn json_has_percentile_rows() {
+        let b = Bench1 {
+            yield_fifo_ns: 100.0,
+            yield_ws_ns: 100.0,
+            couple_rtt_busywait_ns: 1000.0,
+            couple_rtt_blocking_ns: 1000.0,
+            oversub4_switches_per_sec: 1.0e6,
+            yield_interval: sample_summary(),
+            couple_resume: sample_summary(),
+            queue_delay: sample_summary(),
+        };
+        let s = to_json(&b);
+        for row in ["\"yield_interval\"", "\"couple_resume\"", "\"queue_delay\""] {
+            assert!(s.contains(row), "missing percentile row {row} in {s}");
+        }
+        assert!(s.contains("\"p50\": 150.0"));
+        assert!(s.contains("\"p95\": 300.0"));
+        assert!(s.contains("\"p99\": 450.0"));
+        assert!(s.contains("\"max\": 900"));
+        // An unmeasured summary still renders as valid JSON (NaN
+        // percentiles become null via json_num).
+        let empty = Bench1 {
+            yield_interval: HistSummary::default(),
+            ..b
+        };
+        let s = to_json(&empty);
+        assert!(s.contains("\"count\": 0"));
+        assert!(s.matches('{').count() == s.matches('}').count());
+    }
+
+    #[test]
+    fn measured_percentiles_are_ordered() {
+        // A tiny traced run: the folded histogram must produce ordered,
+        // populated percentiles (p50 <= p95 <= p99 <= max).
+        let s =
+            workloads::yield_interval_summary(IdlePolicy::BusyWait, SchedPolicy::GlobalFifo, 2_000);
+        assert!(s.count > 0, "traced yields must land samples: {s:?}");
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns, "{s:?}");
+        assert!(s.p99_ns <= s.max_ns as f64 + 1e-9, "{s:?}");
     }
 
     #[test]
@@ -208,6 +297,9 @@ mod tests {
             couple_rtt_busywait_ns: 1000.0,
             couple_rtt_blocking_ns: 1000.0,
             oversub4_switches_per_sec: 2.0 * baseline::OVERSUB4_SWITCHES_PER_SEC,
+            yield_interval: sample_summary(),
+            couple_resume: sample_summary(),
+            queue_delay: sample_summary(),
         };
         let s = to_json(&b);
         let row = s

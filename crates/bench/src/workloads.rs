@@ -178,6 +178,71 @@ pub fn couple_rtt_ns(policy: IdlePolicy, profile: ArchProfile, iters: usize) -> 
     v
 }
 
+// ------------------------------------------------------- latency percentiles
+
+/// Distribution of the yield-to-yield interval on a scheduler KC, from the
+/// runtime's own latency histograms (ISSUE 2): the same two-ULP ping-pong
+/// as [`ulp_yield_ns_sched`], but run with tracing enabled so every switch
+/// lands a histogram sample, then folded into percentiles. Runs in a
+/// *separate* runtime from the mean measurements so the ring writes never
+/// pollute the min-of-runs numbers.
+pub fn yield_interval_summary(
+    policy: IdlePolicy,
+    sched: SchedPolicy,
+    iters: usize,
+) -> ulp_core::HistSummary {
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(policy)
+        .sched_policy(sched)
+        .build();
+    rt.trace_enable();
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let partner = rt.spawn("yield-hist-peer", move || {
+        decouple().unwrap();
+        while !s2.load(Ordering::Acquire) {
+            yield_now();
+        }
+        0
+    });
+    let s3 = stop.clone();
+    let driver = rt.spawn("yield-hist-meas", move || {
+        decouple().unwrap();
+        for _ in 0..iters {
+            yield_now();
+        }
+        s3.store(true, Ordering::Release);
+        0
+    });
+    driver.wait();
+    partner.wait();
+    rt.trace_disable();
+    rt.latency_snapshot().yield_interval.summary()
+}
+
+/// Distributions of the couple-path spans (ISSUE 2): repeated bare
+/// couple()+decouple() round trips with tracing on, folded into
+/// (couple-request→resume, enqueue→dispatch) percentile summaries.
+pub fn couple_latency_summaries(
+    policy: IdlePolicy,
+    iters: usize,
+) -> (ulp_core::HistSummary, ulp_core::HistSummary) {
+    let rt = Runtime::builder().schedulers(1).idle_policy(policy).build();
+    rt.trace_enable();
+    rt.spawn("couple-hist", move || {
+        decouple().unwrap();
+        for _ in 0..iters {
+            coupled_scope(|| ()).unwrap();
+        }
+        0
+    })
+    .wait();
+    rt.trace_disable();
+    let lat = rt.latency_snapshot();
+    (lat.couple_resume.summary(), lat.queue_delay.summary())
+}
+
 /// Aggregate context-switch throughput under over-subscription: `n_blts`
 /// yield-looping ULPs over `n_sched` scheduler KCs (switches per second).
 pub fn oversub_switches_per_sec(

@@ -151,8 +151,9 @@ pub fn decouple() -> Result<bool, UlpError> {
             s.bump_decouples();
             s.bump_context_switches();
         }
-        let rt = b.rt().expect("checked above");
-        rt.tracer.record(crate::trace::Event::Decouple(me.id));
+        if let Some(t) = b.trace() {
+            t.record(crate::trace::Event::Decouple(me.id));
+        }
         me.coupled
             .store(false, std::sync::atomic::Ordering::Release);
         let save = me.ctx.get();
@@ -223,8 +224,17 @@ pub fn couple() -> Result<bool, UlpError> {
         let me = b.ulp().expect("reinstalled by the KC trampoline");
         debug_assert!(me.kc.is_current_thread());
         me.coupled.store(true, std::sync::atomic::Ordering::Release);
-        if let Some(rt) = b.rt() {
-            rt.tracer.record(crate::trace::Event::Coupled(me.id));
+        if let Some(t) = b.trace() {
+            if t.is_on() {
+                let now = crate::trace::now_ns();
+                t.record_at(now, crate::trace::Event::Coupled(me.id));
+                // Close the couple-request→resume span opened when the host
+                // published our request.
+                let since = me.wait_since.swap(0, std::sync::atomic::Ordering::Relaxed);
+                if since != 0 {
+                    t.hist_couple_resume.record(now.saturating_sub(since));
+                }
+            }
         }
     });
     // Safe point: deliverable signals of our own process run now that we
@@ -256,10 +266,27 @@ pub fn yield_now() -> bool {
             s.bump_yields();
             s.bump_context_switches();
         }
-        rt.tracer.record(crate::trace::Event::Yield {
-            from: me.id,
-            to: next.id,
-        });
+        if let Some(t) = b.trace() {
+            if t.is_on() {
+                let now = crate::trace::now_ns();
+                t.record_at(
+                    now,
+                    crate::trace::Event::Yield {
+                        from: me.id,
+                        to: next.id,
+                    },
+                );
+                t.note_yield(now);
+                // Close the incoming UC's enqueue→dispatch span (stamped by
+                // the run-queue push that made it runnable).
+                let since = next
+                    .wait_since
+                    .swap(0, std::sync::atomic::Ordering::Relaxed);
+                if since != 0 {
+                    t.hist_queue_delay.record(now.saturating_sub(since));
+                }
+            }
+        }
         let save = me.ctx.get();
         let target = unsafe { *next.ctx.get() };
         // Move the popped Arc into the TLS register; our displaced self

@@ -41,6 +41,7 @@
 
 use crate::runtime::RuntimeInner;
 use crate::stats::StatsShard;
+use crate::trace::TraceShard;
 use crate::uc::UcInner;
 use std::cell::Cell;
 use std::ptr;
@@ -87,6 +88,9 @@ pub(crate) struct ThreadBlock {
     /// This kernel context's private stats shard + mirror.
     shard: Cell<Option<Arc<StatsShard>>>,
     shard_ptr: Cell<*const StatsShard>,
+    /// This kernel context's private trace shard + mirror.
+    trace: Cell<Option<Arc<TraceShard>>>,
+    trace_ptr: Cell<*const TraceShard>,
     /// The pending deferred action, executed right after the next switch.
     deferred: Cell<Option<Deferred>>,
     /// Cached `Config::tls_switch` / `ArchProfile::tls_load` / parts of
@@ -133,6 +137,18 @@ impl ThreadBlock {
     #[inline]
     pub(crate) fn shard(&self) -> Option<&StatsShard> {
         let p = self.shard_ptr.get();
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: as in `rt`.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// This kernel context's trace shard, borrow-free (as `rt`).
+    #[inline]
+    pub(crate) fn trace(&self) -> Option<&TraceShard> {
+        let p = self.trace_ptr.get();
         if p.is_null() {
             None
         } else {
@@ -228,6 +244,8 @@ thread_local! {
             host_ptr: Cell::new(ptr::null()),
             shard: Cell::new(None),
             shard_ptr: Cell::new(ptr::null()),
+            trace: Cell::new(None),
+            trace_ptr: Cell::new(ptr::null()),
             deferred: Cell::new(None),
             tls_switch: Cell::new(false),
             tls_spin: Cell::new(Duration::ZERO),
@@ -255,6 +273,9 @@ pub fn set_runtime(rt: Arc<RuntimeInner>) {
         let shard = rt.stats.register_shard();
         b.shard_ptr.set(Arc::as_ptr(&shard));
         b.shard.set(Some(shard));
+        let trace = rt.tracer.register_shard();
+        b.trace_ptr.set(Arc::as_ptr(&trace));
+        b.trace.set(Some(trace));
         b.rt_ptr.set(Arc::as_ptr(&rt));
         b.rt.set(Some(rt));
     });
@@ -335,8 +356,15 @@ pub fn run_deferred() {
                 }
             }
             Deferred::CoupleRequest(uc) => {
-                if let Some(rt) = b.rt() {
-                    rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
+                if let Some(t) = b.trace() {
+                    if t.is_on() {
+                        let now = crate::trace::now_ns();
+                        t.record_at(now, crate::trace::Event::CoupleRequest(uc.id));
+                        // Open the couple-request→resume span; the original
+                        // KC closes it when the UC runs again.
+                        uc.wait_since
+                            .store(now, std::sync::atomic::Ordering::Relaxed);
+                    }
                 } else if let Some(rt) = uc.rt.upgrade() {
                     rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));
                 }
@@ -398,6 +426,8 @@ pub fn clear_thread_state() {
         b.host.set(None);
         b.shard_ptr.set(ptr::null());
         b.shard.set(None);
+        b.trace_ptr.set(ptr::null());
+        b.trace.set(None);
         b.tls_switch.set(false);
         b.tls_spin.set(Duration::ZERO);
         b.save_sigmask.set(false);

@@ -1,0 +1,435 @@
+//! Export surfaces for the observability layer.
+//!
+//! Two text formats, both dependency-free:
+//!
+//! - [`chrome_trace_json`] renders a drained trace as Chrome trace-event
+//!   JSON (the JSON Array/Object format Perfetto's `ui.perfetto.dev` opens
+//!   directly): each BLT is a track, and its lifecycle shows as back-to-back
+//!   spans — `coupled` / `queued` / `decoupled` / `coupling` — stitched from
+//!   the Table-I protocol events, with KC blocks and signal deliveries as
+//!   instant markers.
+//! - [`prometheus_text`] renders the runtime's counters and latency
+//!   histograms in the Prometheus text exposition format, cumulative
+//!   `le`-bucketed as scrapers expect.
+
+use crate::hist::{bucket_le, HistData, LatencySnapshot};
+use crate::stats::StatsSnapshot;
+use crate::trace::{Event, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Microsecond timestamp with the sub-µs part kept (Chrome traces use µs;
+/// our spans are tens of ns wide, so the decimals matter).
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// One BLT track's currently open span.
+struct Open {
+    start_ns: u64,
+    state: &'static str,
+    /// `decoupled` spans carry the dispatching scheduler as an argument.
+    scheduler: Option<u64>,
+}
+
+fn push_complete(out: &mut Vec<String>, tid: u64, open: Open, end_ns: u64) {
+    let dur = end_ns.saturating_sub(open.start_ns);
+    let args = match open.scheduler {
+        Some(s) => format!(",\"args\":{{\"scheduler\":\"blt:{s}\"}}"),
+        None => String::new(),
+    };
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{}{args}}}",
+        open.state,
+        us(open.start_ns),
+        us(dur),
+    ));
+}
+
+fn push_instant(out: &mut Vec<String>, tid: u64, name: &str, at_ns: u64) {
+    out.push(format!(
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\"}}",
+        us(at_ns),
+    ));
+}
+
+/// Render a drained trace as Chrome trace-event JSON (Perfetto-loadable).
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut recs: Vec<&TraceRecord> = records.iter().collect();
+    recs.sort_by_key(|r| r.at_ns);
+    let end_ns = recs.last().map_or(0, |r| r.at_ns);
+
+    // tid = BltId; BTreeMap keeps track order stable in the output.
+    let mut open: BTreeMap<u64, Open> = BTreeMap::new();
+    let mut tids: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut events: Vec<String> = Vec::new();
+
+    let transition = |events: &mut Vec<String>,
+                      open: &mut BTreeMap<u64, Open>,
+                      tid: u64,
+                      at_ns: u64,
+                      next: Option<(&'static str, Option<u64>)>| {
+        if let Some(prev) = open.remove(&tid) {
+            push_complete(events, tid, prev, at_ns);
+        }
+        if let Some((state, scheduler)) = next {
+            open.insert(
+                tid,
+                Open {
+                    start_ns: at_ns,
+                    state,
+                    scheduler,
+                },
+            );
+        }
+    };
+
+    for r in &recs {
+        match r.event {
+            Event::Spawn(u) => {
+                tids.insert(u.0, ());
+                transition(
+                    &mut events,
+                    &mut open,
+                    u.0,
+                    r.at_ns,
+                    Some(("coupled", None)),
+                );
+            }
+            Event::Decouple(u) => {
+                tids.insert(u.0, ());
+                transition(&mut events, &mut open, u.0, r.at_ns, Some(("queued", None)));
+            }
+            Event::Dispatch { uc, scheduler } => {
+                tids.insert(uc.0, ());
+                tids.insert(scheduler.0, ());
+                transition(
+                    &mut events,
+                    &mut open,
+                    uc.0,
+                    r.at_ns,
+                    Some(("decoupled", Some(scheduler.0))),
+                );
+            }
+            Event::Yield { from, to } => {
+                tids.insert(from.0, ());
+                tids.insert(to.0, ());
+                // The yielding UC re-enters the queue; the incoming UC runs.
+                transition(
+                    &mut events,
+                    &mut open,
+                    from.0,
+                    r.at_ns,
+                    Some(("queued", None)),
+                );
+                transition(
+                    &mut events,
+                    &mut open,
+                    to.0,
+                    r.at_ns,
+                    Some(("decoupled", None)),
+                );
+            }
+            Event::CoupleRequest(u) => {
+                tids.insert(u.0, ());
+                transition(
+                    &mut events,
+                    &mut open,
+                    u.0,
+                    r.at_ns,
+                    Some(("coupling", None)),
+                );
+            }
+            Event::Coupled(u) => {
+                tids.insert(u.0, ());
+                transition(
+                    &mut events,
+                    &mut open,
+                    u.0,
+                    r.at_ns,
+                    Some(("coupled", None)),
+                );
+            }
+            Event::Terminate(u) => {
+                tids.insert(u.0, ());
+                transition(&mut events, &mut open, u.0, r.at_ns, None);
+            }
+            Event::KcBlocked(u) => {
+                tids.insert(u.0, ());
+                push_instant(&mut events, u.0, "kc_blocked", r.at_ns);
+            }
+            Event::Signal { uc, signal } => {
+                tids.insert(uc.0, ());
+                push_instant(&mut events, uc.0, &format!("signal:{signal}"), r.at_ns);
+            }
+        }
+    }
+
+    // Close whatever is still open at the trace horizon.
+    for (tid, span) in std::mem::take(&mut open) {
+        push_complete(&mut events, tid, span, end_ns);
+    }
+
+    // Metadata: one process, one named track per BLT.
+    let mut meta: Vec<String> = Vec::with_capacity(tids.len() + 1);
+    meta.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"ulp-runtime\"}}"
+            .to_string(),
+    );
+    for tid in tids.keys() {
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"blt:{tid}\"}}}}",
+        ));
+    }
+    meta.extend(events);
+
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
+        meta.join(",\n")
+    )
+}
+
+fn counter_block(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn hist_block(out: &mut String, name: &str, help: &str, d: &HistData) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    if let Some(last) = d.buckets.iter().rposition(|&c| c != 0) {
+        let mut cum = 0u64;
+        for (i, &c) in d.buckets.iter().enumerate().take(last + 1) {
+            cum += c;
+            if let Some(le) = bucket_le(i) {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", d.count);
+    let _ = writeln!(out, "{name}_sum {}", d.sum);
+    let _ = writeln!(out, "{name}_count {}", d.count);
+}
+
+/// Render counters + latency histograms in the Prometheus text exposition
+/// format (scrape-ready; also a convenient stable diff format for tests).
+pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
+    let mut out = String::new();
+    counter_block(
+        &mut out,
+        "ulp_context_switches_total",
+        "User-level context switches (all kinds).",
+        stats.context_switches,
+    );
+    counter_block(
+        &mut out,
+        "ulp_tls_loads_total",
+        "Emulated TLS-register reloads on UC-to-UC switches.",
+        stats.tls_loads,
+    );
+    counter_block(
+        &mut out,
+        "ulp_couples_total",
+        "couple() transitions (ULT back to KLT).",
+        stats.couples,
+    );
+    counter_block(
+        &mut out,
+        "ulp_decouples_total",
+        "decouple() transitions (KLT to ULT).",
+        stats.decouples,
+    );
+    counter_block(
+        &mut out,
+        "ulp_yields_total",
+        "Direct UC-to-UC yield switches.",
+        stats.yields,
+    );
+    counter_block(
+        &mut out,
+        "ulp_blts_spawned_total",
+        "BLTs spawned.",
+        stats.blts_spawned,
+    );
+    counter_block(
+        &mut out,
+        "ulp_siblings_spawned_total",
+        "Sibling UCs spawned (M:N extension).",
+        stats.siblings_spawned,
+    );
+    counter_block(
+        &mut out,
+        "ulp_scheduler_dispatches_total",
+        "Decoupled UCs dispatched by scheduler KCs.",
+        stats.scheduler_dispatches,
+    );
+    counter_block(
+        &mut out,
+        "ulp_kc_blocks_total",
+        "Idle kernel contexts that blocked on a futex.",
+        stats.kc_blocks,
+    );
+    hist_block(
+        &mut out,
+        "ulp_queue_delay_ns",
+        "Run-queue enqueue to scheduler dispatch, nanoseconds.",
+        &lat.queue_delay,
+    );
+    hist_block(
+        &mut out,
+        "ulp_couple_resume_ns",
+        "Couple request published to resume on the original KC, nanoseconds.",
+        &lat.couple_resume,
+    );
+    hist_block(
+        &mut out,
+        "ulp_yield_interval_ns",
+        "Interval between consecutive yields on one kernel context, nanoseconds.",
+        &lat.yield_interval,
+    );
+    hist_block(
+        &mut out,
+        "ulp_kc_block_ns",
+        "Kernel-context futex block to wake, nanoseconds.",
+        &lat.kc_block,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uc::BltId;
+
+    fn rec(at_ns: u64, event: Event) -> TraceRecord {
+        TraceRecord {
+            at_ns,
+            event,
+            kc: 1,
+        }
+    }
+
+    fn fig6_records() -> Vec<TraceRecord> {
+        vec![
+            rec(0, Event::Spawn(BltId(4))),
+            rec(100, Event::Decouple(BltId(4))),
+            rec(
+                250,
+                Event::Dispatch {
+                    uc: BltId(4),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(400, Event::CoupleRequest(BltId(4))),
+            rec(600, Event::Coupled(BltId(4))),
+            rec(650, Event::KcBlocked(BltId(4))),
+            rec(
+                700,
+                Event::Signal {
+                    uc: BltId(4),
+                    signal: 10,
+                },
+            ),
+            rec(800, Event::Terminate(BltId(4))),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_serde_json() {
+        let json = chrome_trace_json(&fig6_records());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["displayTimeUnit"].as_str(), Some("ns"));
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Every BLT lifecycle phase shows up as a complete span.
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .filter_map(|e| e["name"].as_str())
+            .collect();
+        for expected in ["coupled", "queued", "decoupled", "coupling"] {
+            assert!(span_names.contains(&expected), "missing span {expected}");
+        }
+        // Instants and metadata are present and well-formed.
+        assert!(events
+            .iter()
+            .any(|e| e["ph"].as_str() == Some("i") && e["name"].as_str() == Some("kc_blocked")));
+        assert!(events
+            .iter()
+            .any(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name")));
+        // Spans must not extend past the trace horizon (0.8 µs).
+        for e in events.iter().filter(|e| e["ph"].as_str() == Some("X")) {
+            let ts = e["ts"].as_f64().unwrap();
+            let dur = e["dur"].as_f64().unwrap();
+            assert!(ts + dur <= 0.8 + 1e-9, "span escapes horizon: {e:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_input_is_valid() {
+        let json = chrome_trace_json(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v["traceEvents"].as_array().is_some());
+    }
+
+    #[test]
+    fn dispatch_span_carries_scheduler_arg() {
+        let json = chrome_trace_json(&fig6_records());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let decoupled = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"].as_str() == Some("decoupled"))
+            .expect("decoupled span");
+        assert_eq!(decoupled["args"]["scheduler"].as_str(), Some("blt:1"));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let stats = StatsSnapshot {
+            context_switches: 42,
+            yields: 7,
+            ..Default::default()
+        };
+        let mut lat = LatencySnapshot::default();
+        // Two samples: bucket(100)=8, bucket(300)=10.
+        lat.queue_delay.buckets[crate::hist::bucket_index(100)] += 1;
+        lat.queue_delay.buckets[crate::hist::bucket_index(300)] += 1;
+        lat.queue_delay.count = 2;
+        lat.queue_delay.sum = 400;
+        lat.queue_delay.max = 300;
+        let text = prometheus_text(&stats, &lat);
+        assert!(text.contains("ulp_context_switches_total 42\n"));
+        assert!(text.contains("ulp_yields_total 7\n"));
+        assert!(text.contains("# TYPE ulp_queue_delay_ns histogram"));
+        // Cumulative buckets: the 100-ns sample is <= 127, both are <= 511.
+        assert!(text.contains("ulp_queue_delay_ns_bucket{le=\"127\"} 1"));
+        assert!(text.contains("ulp_queue_delay_ns_bucket{le=\"511\"} 2"));
+        assert!(text.contains("ulp_queue_delay_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ulp_queue_delay_ns_sum 400"));
+        assert!(text.contains("ulp_queue_delay_ns_count 2"));
+        // Empty histograms still expose the +Inf bucket.
+        assert!(text.contains("ulp_kc_block_ns_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn prometheus_cumulative_buckets_are_monotone() {
+        let mut lat = LatencySnapshot::default();
+        for (i, b) in lat.couple_resume.buckets.iter_mut().enumerate().take(20) {
+            *b = (i % 3) as u64;
+            lat.couple_resume.count += (i % 3) as u64;
+        }
+        let text = prometheus_text(&StatsSnapshot::default(), &lat);
+        let mut prev = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("ulp_couple_resume_ns_bucket") && !l.contains("+Inf"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "non-monotone cumulative bucket: {line}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Log2-bucketed latency histograms for the switch-path spans.
+//!
+//! The paper's evaluation (and the lightweight-thread literature it cites)
+//! argues means hide exactly what distinguishes scheduling policies: tail
+//! latency. These histograms capture full distributions at single-writer
+//! cost — each kernel context owns a [`LatencyHist`] inside its trace shard
+//! and bumps it with the same load+store discipline as [`crate::stats`];
+//! [`crate::trace::Tracer::latency_snapshot`] folds the shards into plain
+//! [`HistData`] for percentile extraction.
+//!
+//! ## Bucketing
+//!
+//! 64 power-of-two buckets: bucket 0 holds the value 0, bucket `i` (i ≥ 1)
+//! covers `[2^(i-1), 2^i)` nanoseconds. One `leading_zeros` per sample, no
+//! float math on the record path, and the range covers anything a `u64`
+//! nanosecond count can hold. Quantiles interpolate linearly inside the
+//! winning bucket, so the worst-case quantile error is the bucket width —
+//! a factor-of-two resolution, which is what "is p99 microseconds or
+//! milliseconds?" questions need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (covers the full `u64` ns range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Bucket index for a nanosecond sample: 0 for 0, else `1 + floor(log2 ns)`
+/// capped to the last bucket.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`None` for the open last bucket).
+/// Cumulative counts up to bucket `i` are exactly the samples `<=` this
+/// bound, which is what a Prometheus `le` label requires.
+pub fn bucket_le(i: usize) -> Option<u64> {
+    if i >= HIST_BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A single-writer latency histogram.
+///
+/// Fields are atomics only so a concurrent snapshot may read them; each
+/// instance has exactly one writer (the owning kernel context), so
+/// [`LatencyHist::record`] uses plain load+store bumps — no `lock` prefix,
+/// no shared-line contention. Lives inside the cache-line-padded
+/// [`crate::trace::TraceShard`], so no extra alignment here.
+#[derive(Debug)]
+pub struct LatencyHist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+#[inline]
+fn bump(counter: &AtomicU64, by: u64) {
+    let v = counter.load(Ordering::Relaxed);
+    counter.store(v.saturating_add(by), Ordering::Relaxed);
+}
+
+impl LatencyHist {
+    /// Record one sample (single-writer; call only from the owning thread).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        bump(&self.buckets[bucket_index(ns)], 1);
+        bump(&self.count, 1);
+        bump(&self.sum, ns);
+        if ns > self.max.load(Ordering::Relaxed) {
+            self.max.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Zero every bucket. Exact only while the owner is quiescent (the
+    /// enable path calls this; a concurrently recording owner may resurrect
+    /// one in-flight sample, which diagnostics tolerate).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Fold this histogram into an accumulating snapshot.
+    pub fn fold_into(&self, acc: &mut HistData) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc.buckets[i] += b.load(Ordering::Relaxed);
+        }
+        acc.count += self.count.load(Ordering::Relaxed);
+        acc.sum = acc.sum.saturating_add(self.sum.load(Ordering::Relaxed));
+        acc.max = acc.max.max(self.max.load(Ordering::Relaxed));
+    }
+}
+
+/// Plain-data histogram: the foldable/mergeable snapshot of one or more
+/// [`LatencyHist`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct HistData {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistData {
+    /// Merge another snapshot into this one.
+    pub fn merge(&mut self, other: &HistData) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, interpolated
+    /// linearly inside the winning log2 bucket and clamped to the observed
+    /// maximum. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c as f64;
+            if next >= rank {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << i.min(63)) as f64
+                };
+                let frac = ((rank - seen) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).min(self.max as f64);
+            }
+            seen = next;
+        }
+        self.max as f64
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean in nanoseconds (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The percentile row reports and benchmarks consume.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50_ns: self.p50(),
+            p95_ns: self.p95(),
+            p99_ns: self.p99(),
+            max_ns: self.max,
+            mean_ns: self.mean(),
+        }
+    }
+}
+
+/// Compact percentile report of one span's distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistSummary {
+    pub count: u64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub p99_ns: f64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl std::fmt::Display for HistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.0}ns p95={:.0}ns p99={:.0}ns max={}ns",
+            self.count, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns
+        )
+    }
+}
+
+/// The four switch-path spans the tentpole histograms, folded across every
+/// kernel context's shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySnapshot {
+    /// Decouple/yield enqueue → scheduler dispatch (run-queue delay).
+    pub queue_delay: HistData,
+    /// Couple request published → UC resumed on its original KC.
+    pub couple_resume: HistData,
+    /// Consecutive yields on one kernel context (yield-to-yield interval).
+    pub yield_interval: HistData,
+    /// KC futex block → wake (BLOCKING/Adaptive idle only).
+    pub kc_block: HistData,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_le_is_cumulative_upper_bound() {
+        // Every value in buckets 0..=i is <= bucket_le(i).
+        assert_eq!(bucket_le(0), Some(0));
+        assert_eq!(bucket_le(1), Some(1));
+        assert_eq!(bucket_le(2), Some(3));
+        assert_eq!(bucket_le(10), Some(1023));
+        assert_eq!(bucket_le(HIST_BUCKETS - 1), None);
+        for v in [0u64, 1, 2, 3, 7, 1000, 123_456_789] {
+            let i = bucket_index(v);
+            if let Some(le) = bucket_le(i) {
+                assert!(v <= le, "value {v} exceeds its bucket bound {le}");
+            }
+            if i > 0 {
+                let below = bucket_le(i - 1).unwrap();
+                assert!(
+                    v > below,
+                    "value {v} should be above bucket {}'s bound",
+                    i - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_summary() {
+        let h = LatencyHist::default();
+        for ns in [10u64, 20, 30, 40, 1000] {
+            h.record(ns);
+        }
+        let mut d = HistData::default();
+        h.fold_into(&mut d);
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 1100);
+        assert_eq!(d.max, 1000);
+        let s = d.summary();
+        assert!(s.p50_ns > 0.0 && s.p50_ns <= 64.0, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns <= 1000.0, "p99 clamped to max, got {}", s.p99_ns);
+        assert!((s.mean_ns - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = LatencyHist::default();
+        for i in 0..1000u64 {
+            h.record(i * 7 + 3);
+        }
+        let mut d = HistData::default();
+        h.fold_into(&mut d);
+        let (p50, p95, p99) = (d.p50(), d.p95(), d.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= d.max as f64);
+    }
+
+    #[test]
+    fn empty_histogram_yields_nan() {
+        let d = HistData::default();
+        assert!(d.p50().is_nan());
+        assert!(d.mean().is_nan());
+        assert_eq!(d.summary().count, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = LatencyHist::default();
+        let b = LatencyHist::default();
+        a.record(5);
+        b.record(500);
+        let mut da = HistData::default();
+        a.fold_into(&mut da);
+        let mut db = HistData::default();
+        b.fold_into(&mut db);
+        da.merge(&db);
+        assert_eq!(da.count, 2);
+        assert_eq!(da.max, 500);
+        assert_eq!(da.sum, 505);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let h = LatencyHist::default();
+        h.record(42);
+        h.reset();
+        let mut d = HistData::default();
+        h.fold_into(&mut d);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.max, 0);
+    }
+}

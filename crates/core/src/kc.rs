@@ -105,11 +105,26 @@ fn tc_loop(boot: &TcBoot) -> ! {
             continue;
         }
 
-        // Rule 5: idle by busy-waiting or blocking.
+        // Rule 5: idle by busy-waiting or blocking. When tracing, time the
+        // futex block→wake span through this thread's trace shard (this
+        // thread registered one in `set_runtime` at worker start).
+        let t0 = crate::current::with_thread(|b| match b.trace() {
+            Some(t) if t.is_on() => crate::trace::now_ns(),
+            _ => 0,
+        });
         if kc.park(seen) {
             rt.stats.bump_kc_blocks();
-            rt.tracer
-                .record(crate::trace::Event::KcBlocked(boot.primary.id));
+            crate::current::with_thread(|b| {
+                if let Some(t) = b.trace() {
+                    if t.is_on() {
+                        let now = crate::trace::now_ns();
+                        t.record_at(now, crate::trace::Event::KcBlocked(boot.primary.id));
+                        if t0 != 0 {
+                            t.hist_kc_block.record(now.saturating_sub(t0));
+                        }
+                    }
+                }
+            });
         }
     }
 }

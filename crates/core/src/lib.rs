@@ -41,6 +41,8 @@
 pub mod couple;
 pub mod current;
 pub mod error;
+pub mod export;
+pub mod hist;
 pub mod kc;
 pub mod runqueue;
 pub mod runtime;
@@ -55,6 +57,8 @@ pub mod uc;
 
 pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
 pub use error::UlpError;
+pub use export::{chrome_trace_json, prometheus_text};
+pub use hist::{HistData, HistSummary, LatencySnapshot};
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};

@@ -92,6 +92,10 @@ pub struct RunQueue {
     locals: RwLock<Vec<Arc<LocalDeque>>>,
     /// Consecutive fruitless parks (Adaptive policy bookkeeping).
     idle_streak: AtomicU32,
+    /// The owning runtime's trace gate: when tracing is on, a push stamps
+    /// the UC's `wait_since` so the dispatcher can histogram the queue
+    /// delay. `None` (standalone queues) means no stamping.
+    gate: Option<Arc<crate::trace::TraceGate>>,
 }
 
 impl RunQueue {
@@ -108,7 +112,14 @@ impl RunQueue {
             policy,
             locals: RwLock::new(Vec::new()),
             idle_streak: AtomicU32::new(0),
+            gate: None,
         }
+    }
+
+    /// Attach the runtime's trace gate (called once, while the runtime is
+    /// still under construction and the queue has no other users).
+    pub(crate) fn set_trace_gate(&mut self, gate: Arc<crate::trace::TraceGate>) {
+        self.gate = Some(gate);
     }
 
     pub fn policy(&self) -> SchedPolicy {
@@ -192,6 +203,14 @@ impl RunQueue {
     /// fairness budget allows) or the thread's local deque; otherwise in
     /// the global injector.
     pub fn push(&self, uc: Arc<UcInner>) {
+        if let Some(g) = &self.gate {
+            if g.is_on() {
+                // Open the enqueue→dispatch span (one relaxed load when
+                // tracing is off — the `gate` Option is a plain field).
+                uc.wait_since
+                    .store(crate::trace::now_ns(), Ordering::Relaxed);
+            }
+        }
         if self.policy == SchedPolicy::WorkStealing {
             let tag = self.tag();
             let outcome = LOCAL.with(move |l| {
@@ -367,7 +386,7 @@ pub(crate) mod tests {
     use crate::uc::{BltId, KcShared, OneShot, UcKind};
     use parking_lot::Mutex;
     use std::cell::UnsafeCell;
-    use std::sync::atomic::{AtomicBool, AtomicU8};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8};
     use ulp_fcontext::RawContext;
     use ulp_kernel::process::Pid;
 
@@ -387,6 +406,7 @@ pub(crate) mod tests {
             sib_entry: Mutex::new(None),
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
+            wait_since: AtomicU64::new(0),
         })
     }
 

@@ -195,8 +195,11 @@ pub struct RuntimeInner {
     pub shutdown: AtomicBool,
     pub(crate) schedulers: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) audit: Mutex<Vec<UlpError>>,
-    /// Scheduling-event tracer (disabled by default).
+    /// Scheduling-event tracer (disabled by default; per-KC shards).
     pub tracer: crate::trace::Tracer,
+    /// `ULP_TRACE=<path>`: where to dump the Chrome-trace JSON at shutdown
+    /// (`None` when the env hook is not in use).
+    trace_dump: Mutex<Option<std::path::PathBuf>>,
     next_id: AtomicU64,
 }
 
@@ -247,15 +250,25 @@ impl Runtime {
     fn from_parts(config: Config, kernel: Option<KernelRef>) -> Runtime {
         let kernel = kernel.unwrap_or_else(|| Kernel::new(config.profile));
         let root_pid = Pid(1);
+        let tracer = crate::trace::Tracer::default();
+        let mut runq = RunQueue::with_policy(config.idle_policy, config.sched_policy);
+        runq.set_trace_gate(tracer.gate());
+        // ULP_TRACE=<path>: record from birth, dump Perfetto JSON at
+        // shutdown (no code changes needed in the traced program).
+        let trace_dump = std::env::var_os("ULP_TRACE").map(std::path::PathBuf::from);
+        if trace_dump.is_some() {
+            tracer.enable();
+        }
         let inner = Arc::new(RuntimeInner {
-            runq: RunQueue::with_policy(config.idle_policy, config.sched_policy),
+            runq,
             stats: Stats::default(),
             stack_pool: StackPool::new(128),
             root_pid,
             shutdown: AtomicBool::new(false),
             schedulers: Mutex::new(Vec::new()),
             audit: Mutex::new(Vec::new()),
-            tracer: crate::trace::Tracer::default(),
+            tracer,
+            trace_dump: Mutex::new(trace_dump),
             next_id: AtomicU64::new(1),
             kernel,
             config,
@@ -308,9 +321,31 @@ impl Runtime {
         self.inner.tracer.disable();
     }
 
+    /// Whether scheduling-event recording is currently on.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.tracer.is_enabled()
+    }
+
     /// Drain recorded scheduling events.
     pub fn take_trace(&self) -> Vec<crate::trace::TraceRecord> {
         self.inner.tracer.take()
+    }
+
+    /// Fold every kernel context's latency histograms into one snapshot
+    /// (queue delay, couple resume, yield interval, KC block — see
+    /// [`crate::hist::LatencySnapshot`]). Populated only while tracing is
+    /// enabled.
+    pub fn latency_snapshot(&self) -> crate::hist::LatencySnapshot {
+        self.inner.tracer.latency_snapshot()
+    }
+
+    /// Prometheus text-exposition dump of the runtime's counters and
+    /// latency histograms (see [`crate::export::prometheus_text`]).
+    pub fn prometheus_dump(&self) -> String {
+        crate::export::prometheus_text(
+            &self.inner.stats.snapshot(),
+            &self.inner.tracer.latency_snapshot(),
+        )
     }
 
     pub fn config(&self) -> &Config {
@@ -331,6 +366,21 @@ impl Runtime {
         let handles: Vec<_> = self.inner.schedulers.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // ULP_TRACE dump: after the joins so every scheduler's shard is
+        // quiescent. take() leaves the path slot empty, so the Drop-routed
+        // second call is a no-op.
+        if let Some(path) = self.inner.trace_dump.lock().take() {
+            let records = self.inner.tracer.take();
+            let json = crate::export::chrome_trace_json(&records);
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!(
+                    "[ulp-trace] wrote {} events to {}",
+                    records.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("[ulp-trace] failed to write {}: {e}", path.display()),
+            }
         }
     }
 }
@@ -392,6 +442,7 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
         sib_entry: Mutex::new(None),
         sib_result: Arc::new(OneShot::new()),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
+        wait_since: AtomicU64::new(0),
     });
     set_runtime(rt.clone());
     set_host(Some(identity.clone()));
@@ -404,7 +455,7 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
         }
         let seen = rt.runq.version();
         match rt.runq.pop() {
-            Some(uc) => run_uc(&rt, &identity, uc),
+            Some(uc) => run_uc(&identity, uc),
             None => rt.runq.park(seen),
         }
     }
@@ -416,22 +467,36 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
 }
 
 /// Dispatch one decoupled UC on this scheduler KC (Table I, KC₁ column).
-fn run_uc(rt: &Arc<RuntimeInner>, host: &Arc<UcInner>, uc: Arc<UcInner>) {
-    rt.tracer.record(crate::trace::Event::Dispatch {
-        uc: uc.id,
-        scheduler: host.id,
-    });
+fn run_uc(host: &Arc<UcInner>, uc: Arc<UcInner>) {
     let target = unsafe { *uc.ctx.get() };
     let save = host.ctx.get();
-    // One thread-block access for the whole dispatch: count it, then the
-    // UC↔UC install loads the worker's TLS register at cost. The queue's
-    // Arc moves into the TLS register; the displaced host-identity clone
-    // (re-materialized when the UC couples away) is dropped here — the
-    // dispatch boundary is where the switch path's Arc traffic lives.
+    // One thread-block access for the whole dispatch: count it, trace it,
+    // then the UC↔UC install loads the worker's TLS register at cost. The
+    // queue's Arc moves into the TLS register; the displaced host-identity
+    // clone (re-materialized when the UC couples away) is dropped here —
+    // the dispatch boundary is where the switch path's Arc traffic lives.
     with_thread(|b| {
         if let Some(s) = b.shard() {
             s.bump_dispatches();
             s.bump_context_switches();
+        }
+        if let Some(t) = b.trace() {
+            if t.is_on() {
+                let now = crate::trace::now_ns();
+                t.record_at(
+                    now,
+                    crate::trace::Event::Dispatch {
+                        uc: uc.id,
+                        scheduler: host.id,
+                    },
+                );
+                // Close the enqueue→dispatch span opened at the run-queue
+                // push.
+                let since = uc.wait_since.swap(0, Ordering::Relaxed);
+                if since != 0 {
+                    t.hist_queue_delay.record(now.saturating_sub(since));
+                }
+            }
         }
         let _displaced_host = crate::couple::install_on(b, uc);
     });

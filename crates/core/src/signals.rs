@@ -70,6 +70,10 @@ pub fn poll_signals() -> usize {
     };
     let mut dispatched = 0;
     while let Some(sig) = proc.signals.take_deliverable() {
+        rt.tracer.record(crate::trace::Event::Signal {
+            uc: me.id,
+            signal: sig as u8,
+        });
         let handler = HANDLERS
             .try_with(|h| h.get(&(sig as u8)).cloned())
             .flatten();

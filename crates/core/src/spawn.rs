@@ -17,7 +17,7 @@ use crate::uc::{BltId, KcShared, OneShot, UcInner, UcKind, UcState, UlpFn};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use ulp_fcontext::prepare;
@@ -179,6 +179,7 @@ impl Runtime {
             sib_entry: Mutex::new(None),
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
+            wait_since: AtomicU64::new(0),
         });
 
         rt.tracer.record(crate::trace::Event::Spawn(uc.id));
@@ -326,7 +327,9 @@ fn spawn_sibling_inner(
         sib_entry: Mutex::new(Some(f)),
         sib_result: result.clone(),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
+        wait_since: AtomicU64::new(0),
     });
+    rt.tracer.record(crate::trace::Event::Spawn(uc.id));
     // Bootstrap the context: entry receives a raw Arc it adopts.
     let raw = Arc::into_raw(uc.clone()) as *mut u8;
     let ctx = unsafe { prepare(stack.top(), sibling_entry, raw) };

@@ -21,7 +21,7 @@ use crate::tls::TlsStorage;
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::ThreadId;
 use std::time::Duration;
@@ -312,6 +312,12 @@ pub struct UcInner {
     /// the incoming UC's mask differs from the one already installed on the
     /// kernel context.
     pub sigmask: SigMaskCell,
+    /// Tracing-only wait-span anchor: the `now_ns()` at which this UC was
+    /// last enqueued (run queue push) or had its couple request published.
+    /// `0` = no pending span. Written by the enqueuing thread, consumed
+    /// (swapped to 0) by whichever thread resumes the UC; only touched while
+    /// the trace gate is on, so it costs nothing when tracing is off.
+    pub wait_since: AtomicU64,
 }
 
 unsafe impl Send for UcInner {}

@@ -88,6 +88,114 @@ fn table5_counts_work_stealing_blocking() {
     assert_table5_invariant(SchedPolicy::WorkStealing, IdlePolicy::Blocking);
 }
 
+/// With the tracer compiled in but **off** (the default), every event site
+/// is one relaxed flag load and nothing else: the Table V counts stay
+/// exact, no trace records exist, and no histogram sample was taken. Any
+/// stray switch, allocation-triggered couple, or accidental recording on
+/// the disabled path breaks one of these equalities.
+#[test]
+fn tracer_off_costs_only_the_flag_check() {
+    const PAIRS: u64 = 8;
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(IdlePolicy::BusyWait)
+        .profile(ArchProfile::Native)
+        .build();
+    assert!(!rt.trace_enabled());
+    let h = rt.spawn("untraced", move || {
+        decouple().unwrap();
+        coupled_scope(|| ()).unwrap();
+        let before = my_stats();
+        for _ in 0..PAIRS {
+            coupled_scope(|| {
+                let _ = sys::getpid().unwrap();
+            })
+            .unwrap();
+        }
+        let d = my_stats().delta(&before);
+        assert_eq!(
+            d.context_switches,
+            4 * PAIRS,
+            "tracer-off perturbs switches: {d:?}"
+        );
+        assert_eq!(
+            d.tls_loads,
+            2 * PAIRS,
+            "tracer-off perturbs TLS loads: {d:?}"
+        );
+        assert_eq!(d.couples, PAIRS);
+        assert_eq!(d.decouples, PAIRS);
+        assert_eq!(d.scheduler_dispatches, PAIRS);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    assert!(
+        rt.take_trace().is_empty(),
+        "disabled tracer must record nothing"
+    );
+    let lat = rt.latency_snapshot();
+    assert_eq!(lat.queue_delay.count, 0);
+    assert_eq!(lat.couple_resume.count, 0);
+    assert_eq!(lat.yield_interval.count, 0);
+    assert_eq!(lat.kc_block.count, 0);
+}
+
+/// Turning tracing **on** must not change the Table V protocol counts —
+/// the per-KC ring write is off the switch-count books — while the trace
+/// and the latency histograms actually fill.
+#[test]
+fn tracing_on_does_not_perturb_table5_counts() {
+    const PAIRS: u64 = 8;
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(IdlePolicy::BusyWait)
+        .profile(ArchProfile::Native)
+        .build();
+    rt.trace_enable();
+    let h = rt.spawn("traced", move || {
+        decouple().unwrap();
+        coupled_scope(|| ()).unwrap();
+        let before = my_stats();
+        for _ in 0..PAIRS {
+            coupled_scope(|| {
+                let _ = sys::getpid().unwrap();
+            })
+            .unwrap();
+        }
+        let d = my_stats().delta(&before);
+        assert_eq!(
+            d.context_switches,
+            4 * PAIRS,
+            "tracing-on perturbs switches: {d:?}"
+        );
+        assert_eq!(
+            d.tls_loads,
+            2 * PAIRS,
+            "tracing-on perturbs TLS loads: {d:?}"
+        );
+        assert_eq!(d.couples, PAIRS);
+        assert_eq!(d.decouples, PAIRS);
+        assert_eq!(d.scheduler_dispatches, PAIRS);
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    let trace = rt.take_trace();
+    let coupleds = trace
+        .iter()
+        .filter(|r| matches!(r.event, ulp_core::TraceEvent::Coupled(_)))
+        .count() as u64;
+    assert!(
+        coupleds > PAIRS,
+        "expected the couple protocol in the trace"
+    );
+    let lat = rt.latency_snapshot();
+    assert!(
+        lat.couple_resume.count >= PAIRS,
+        "couple-resume spans: {lat:?}"
+    );
+    assert!(lat.queue_delay.count >= PAIRS, "queue-delay spans: {lat:?}");
+}
+
 /// A panic inside `coupled_scope` must not leak the UC in the coupled
 /// state: the scope catches the unwind, restores the previous coupling
 /// state, and re-raises. (Regression: the scope used to `?`-return early
