@@ -47,6 +47,10 @@ pub struct Bench1 {
     pub couple_resume: HistSummary,
     /// Run-queue enqueue→dispatch distribution (BLOCKING), traced run.
     pub queue_delay: HistSummary,
+    /// Kernel `getpid` enter→exit span distribution (coupled, traced run)
+    /// from the per-syscall latency histograms — the same series the
+    /// metrics endpoint exports as `ulp_syscall_latency_ns{call="getpid"}`.
+    pub syscall_getpid: HistSummary,
 }
 
 /// Run the BENCH_1 measurements (scale-aware, same min-of-ten protocol as
@@ -90,6 +94,7 @@ pub fn measure() -> Bench1 {
         ),
         couple_resume: couple_hists.0,
         queue_delay: couple_hists.1,
+        syscall_getpid: workloads::syscall_getpid_summary(iters / 5),
     }
 }
 
@@ -176,6 +181,7 @@ pub fn to_json(b: &Bench1) -> String {
         pct_row("yield_interval", &b.yield_interval),
         pct_row("couple_resume", &b.couple_resume),
         pct_row("queue_delay", &b.queue_delay),
+        pct_row("syscall_getpid_latency", &b.syscall_getpid),
     ];
     format!(
         "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }},\n  \"percentiles\": {{\n{}\n  }}\n}}\n",
@@ -228,6 +234,7 @@ mod tests {
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
+            syscall_getpid: sample_summary(),
         };
         let s = to_json(&b);
         assert!(s.contains("\"yield_latency_global_fifo\""));
@@ -251,9 +258,15 @@ mod tests {
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
+            syscall_getpid: sample_summary(),
         };
         let s = to_json(&b);
-        for row in ["\"yield_interval\"", "\"couple_resume\"", "\"queue_delay\""] {
+        for row in [
+            "\"yield_interval\"",
+            "\"couple_resume\"",
+            "\"queue_delay\"",
+            "\"syscall_getpid_latency\"",
+        ] {
             assert!(s.contains(row), "missing percentile row {row} in {s}");
         }
         assert!(s.contains("\"p50\": 150.0"));
@@ -300,6 +313,7 @@ mod tests {
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
+            syscall_getpid: sample_summary(),
         };
         let s = to_json(&b);
         let row = s

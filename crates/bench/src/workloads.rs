@@ -243,6 +243,29 @@ pub fn couple_latency_summaries(
     (lat.couple_resume.summary(), lat.queue_delay.summary())
 }
 
+/// Distribution of the kernel-side `getpid` enter→exit span: a coupled
+/// getpid loop with tracing on, folded from the runtime's per-syscall
+/// latency histograms — the same numbers the live metrics endpoint
+/// exports as `ulp_syscall_latency_ns{call="getpid"}`. A coupled getpid
+/// is the cheapest dispatch the simulated kernel has, so this row is the
+/// floor of the syscall-span instrumentation overhead.
+pub fn syscall_getpid_summary(iters: usize) -> ulp_core::HistSummary {
+    let rt = Runtime::builder().schedulers(1).build();
+    rt.trace_enable();
+    rt.spawn("getpid-hist", move || {
+        for _ in 0..iters {
+            sys::getpid().unwrap();
+        }
+        0
+    })
+    .wait();
+    rt.trace_disable();
+    rt.syscall_snapshot()
+        .get("getpid")
+        .map(|d| d.summary())
+        .unwrap_or_default()
+}
+
 /// Aggregate context-switch throughput under over-subscription: `n_blts`
 /// yield-looping ULPs over `n_sched` scheduler KCs (switches per second).
 pub fn oversub_switches_per_sec(

@@ -17,7 +17,7 @@
 //!
 //! Every transition does all of its bookkeeping — deferred-action slot,
 //! sharded stats, tracer, TLS-cost emulation, lazy sigmask carry, TLS
-//! register swap — inside a *single* [`with_thread`] access that returns the
+//! register swap — inside a *single* `with_thread` access that returns the
 //! `(save, target)` context pair, and only then performs the actual
 //! `ulp_fcontext::swap` *outside* the closure: a UC may resume on a
 //! different OS thread, so no thread-block borrow may be live across the

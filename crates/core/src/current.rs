@@ -22,7 +22,7 @@
 //!
 //! ## The thread block
 //!
-//! All per-thread state lives in one `Cell`-based [`ThreadBlock`] so a
+//! All per-thread state lives in one `Cell`-based `ThreadBlock` so a
 //! context switch touches thread-local storage *once*: `Arc` anchors keep
 //! the runtime / current ULP / host identity / stats shard alive, and raw
 //! pointer mirrors beside them give the hot path borrow-free access with no
@@ -34,8 +34,8 @@
 //!
 //! Safety contract for the raw mirrors: each pointer is written together
 //! with its anchor and is non-null only while the anchor is `Some`;
-//! borrows derived from them (via [`ThreadBlock::rt`] etc.) must stay
-//! inside a single [`with_thread`] closure and must never be held across a
+//! borrows derived from them (via `ThreadBlock::rt` etc.) must stay
+//! inside a single `with_thread` closure and must never be held across a
 //! context switch — a UC may resume on a different OS thread, where this
 //! thread's block would be the wrong one.
 

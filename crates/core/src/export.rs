@@ -7,16 +7,27 @@
 //!   directly): each BLT is a track, and its lifecycle shows as back-to-back
 //!   spans — `coupled` / `queued` / `decoupled` / `coupling` — stitched from
 //!   the Table-I protocol events, with KC blocks and signal deliveries as
-//!   instant markers.
+//!   instant markers. Each BLT additionally gets a **syscall track** right
+//!   below its state track (`thread_sort_index` keeps them adjacent) carrying
+//!   the simulated kernel's enter/exit spans — nested where a call sleeps
+//!   in-kernel (`read` around `pipe_block_read`) — and a
+//!   `syscall_violation` instant wherever a call was issued decoupled, so
+//!   system-call-consistency hazards are visible at a glance.
 //! - [`prometheus_text`] renders the runtime's counters and latency
 //!   histograms in the Prometheus text exposition format, cumulative
-//!   `le`-bucketed as scrapers expect.
+//!   `le`-bucketed as scrapers expect, including the per-syscall
+//!   `ulp_syscall_latency_ns{call="…"}` family.
 
-use crate::hist::{bucket_le, HistData, LatencySnapshot};
+use crate::hist::{bucket_le, HistData, LatencySnapshot, SyscallSnapshot};
 use crate::stats::StatsSnapshot;
 use crate::trace::{Event, TraceRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write;
+use ulp_kernel::Sysno;
+
+/// Offset separating a BLT's syscall track id from its state track id. BLT
+/// ids are sequential and small, so the two ranges can't collide.
+const SYSCALL_TID_BASE: u64 = 1_000_000;
 
 /// Microsecond timestamp with the sub-µs part kept (Chrome traces use µs;
 /// our spans are tens of ns wide, so the decimals matter).
@@ -53,6 +64,26 @@ fn push_instant(out: &mut Vec<String>, tid: u64, name: &str, at_ns: u64) {
     ));
 }
 
+/// A complete span on a BLT's syscall track. `errno`/`coupled` land in
+/// `args` so Perfetto's detail pane shows the outcome on click.
+fn push_syscall_span(
+    out: &mut Vec<String>,
+    tid: u64,
+    no: Sysno,
+    start_ns: u64,
+    end_ns: u64,
+    errno: i32,
+    coupled: bool,
+) {
+    let dur = end_ns.saturating_sub(start_ns);
+    out.push(format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"errno\":{errno},\"coupled\":{coupled}}}}}",
+        no.name(),
+        us(start_ns),
+        us(dur),
+    ));
+}
+
 /// Render a drained trace as Chrome trace-event JSON (Perfetto-loadable).
 pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     let mut recs: Vec<&TraceRecord> = records.iter().collect();
@@ -62,6 +93,10 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     // tid = BltId; BTreeMap keeps track order stable in the output.
     let mut open: BTreeMap<u64, Open> = BTreeMap::new();
     let mut tids: BTreeMap<u64, ()> = BTreeMap::new();
+    // Per-UC stack of in-flight syscalls (calls nest: `read` sleeps inside
+    // `pipe_block_read`), keyed by BLT id; rendered on tid BASE + id.
+    let mut sys_open: BTreeMap<u64, Vec<(u64, Sysno, bool)>> = BTreeMap::new();
+    let mut sys_tids: BTreeMap<u64, ()> = BTreeMap::new();
     let mut events: Vec<String> = Vec::new();
 
     let transition = |events: &mut Vec<String>,
@@ -162,6 +197,46 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                 tids.insert(uc.0, ());
                 push_instant(&mut events, uc.0, &format!("signal:{signal}"), r.at_ns);
             }
+            Event::SyscallEnter { uc, sysno, coupled } => {
+                sys_tids.insert(uc.0, ());
+                if !coupled {
+                    // §V-B hazard: a syscall issued while decoupled may land
+                    // on the wrong kernel context's state.
+                    push_instant(
+                        &mut events,
+                        SYSCALL_TID_BASE + uc.0,
+                        "syscall_violation",
+                        r.at_ns,
+                    );
+                }
+                sys_open
+                    .entry(uc.0)
+                    .or_default()
+                    .push((r.at_ns, sysno, coupled));
+            }
+            Event::SyscallExit {
+                uc,
+                sysno,
+                coupled,
+                errno,
+            } => {
+                sys_tids.insert(uc.0, ());
+                let stack = sys_open.entry(uc.0).or_default();
+                // An exit without a matching enter means tracing came on
+                // mid-call; there is no start edge to draw, so skip it.
+                if stack.last().is_some_and(|&(_, no, _)| no == sysno) {
+                    let (start_ns, no, _) = stack.pop().expect("guarded by last()");
+                    push_syscall_span(
+                        &mut events,
+                        SYSCALL_TID_BASE + uc.0,
+                        no,
+                        start_ns,
+                        r.at_ns,
+                        errno,
+                        coupled,
+                    );
+                }
+            }
         }
     }
 
@@ -169,9 +244,25 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     for (tid, span) in std::mem::take(&mut open) {
         push_complete(&mut events, tid, span, end_ns);
     }
+    for (uc, stack) in std::mem::take(&mut sys_open) {
+        // Innermost first so nested spans keep sane durations; errno 0 is a
+        // placeholder — the call had not returned by the horizon.
+        for (start_ns, no, coupled) in stack.into_iter().rev() {
+            push_syscall_span(
+                &mut events,
+                SYSCALL_TID_BASE + uc,
+                no,
+                start_ns,
+                end_ns,
+                0,
+                coupled,
+            );
+        }
+    }
 
-    // Metadata: one process, one named track per BLT.
-    let mut meta: Vec<String> = Vec::with_capacity(tids.len() + 1);
+    // Metadata: one process, one named state track per BLT, plus its syscall
+    // track; sort indices interleave them (state above, syscalls just below).
+    let mut meta: Vec<String> = Vec::with_capacity(2 * (tids.len() + sys_tids.len()) + 1);
     meta.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"ulp-runtime\"}}"
             .to_string(),
@@ -179,6 +270,20 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     for tid in tids.keys() {
         meta.push(format!(
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"blt:{tid}\"}}}}",
+        ));
+        meta.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"sort_index\":{}}}}}",
+            2 * tid,
+        ));
+    }
+    for uc in sys_tids.keys() {
+        let tid = SYSCALL_TID_BASE + uc;
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"syscalls blt:{uc}\"}}}}",
+        ));
+        meta.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"sort_index\":{}}}}}",
+            2 * uc + 1,
         ));
     }
     meta.extend(events);
@@ -212,9 +317,67 @@ fn hist_block(out: &mut String, name: &str, help: &str, d: &HistData) {
     let _ = writeln!(out, "{name}_count {}", d.count);
 }
 
+/// The per-syscall families: a `call`-labelled counter and a `call`-labelled
+/// cumulative histogram. Zero-count calls are omitted (standard practice for
+/// labelled families — absent series, not zero series), but the HELP/TYPE
+/// headers are always present so scrapers see the families exist.
+fn syscall_blocks(out: &mut String, sys: &SyscallSnapshot) {
+    let _ = writeln!(
+        out,
+        "# HELP ulp_syscall_total Simulated system calls completed, by call name."
+    );
+    let _ = writeln!(out, "# TYPE ulp_syscall_total counter");
+    for (name, d) in sys.nonzero() {
+        let _ = writeln!(out, "ulp_syscall_total{{call=\"{name}\"}} {}", d.count);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ulp_syscall_latency_ns Syscall enter-to-exit latency, nanoseconds, by call name."
+    );
+    let _ = writeln!(out, "# TYPE ulp_syscall_latency_ns histogram");
+    for (name, d) in sys.nonzero() {
+        if let Some(last) = d.buckets.iter().rposition(|&c| c != 0) {
+            let mut cum = 0u64;
+            for (i, &c) in d.buckets.iter().enumerate().take(last + 1) {
+                cum += c;
+                if let Some(le) = bucket_le(i) {
+                    let _ = writeln!(
+                        out,
+                        "ulp_syscall_latency_ns_bucket{{call=\"{name}\",le=\"{le}\"}} {cum}"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ulp_syscall_latency_ns_bucket{{call=\"{name}\",le=\"+Inf\"}} {}",
+            d.count
+        );
+        let _ = writeln!(
+            out,
+            "ulp_syscall_latency_ns_sum{{call=\"{name}\"}} {}",
+            d.sum
+        );
+        let _ = writeln!(
+            out,
+            "ulp_syscall_latency_ns_count{{call=\"{name}\"}} {}",
+            d.count
+        );
+    }
+}
+
 /// Render counters + latency histograms in the Prometheus text exposition
 /// format (scrape-ready; also a convenient stable diff format for tests).
-pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
+///
+/// `sys` supplies the per-syscall latency families and
+/// `kernel_syscalls_total` the kernel's all-time dispatch counter (counted
+/// even when tracing is off, so it is passed separately from the snapshot).
+pub fn prometheus_text(
+    stats: &StatsSnapshot,
+    lat: &LatencySnapshot,
+    sys: &SyscallSnapshot,
+    kernel_syscalls_total: u64,
+) -> String {
     let mut out = String::new();
     counter_block(
         &mut out,
@@ -270,6 +433,13 @@ pub fn prometheus_text(stats: &StatsSnapshot, lat: &LatencySnapshot) -> String {
         "Idle kernel contexts that blocked on a futex.",
         stats.kc_blocks,
     );
+    counter_block(
+        &mut out,
+        "ulp_kernel_syscalls_total",
+        "System calls dispatched by the simulated kernel (all processes).",
+        kernel_syscalls_total,
+    );
+    syscall_blocks(&mut out, sys);
     hist_block(
         &mut out,
         "ulp_queue_delay_ns",
@@ -400,7 +570,7 @@ mod tests {
         lat.queue_delay.count = 2;
         lat.queue_delay.sum = 400;
         lat.queue_delay.max = 300;
-        let text = prometheus_text(&stats, &lat);
+        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0);
         assert!(text.contains("ulp_context_switches_total 42\n"));
         assert!(text.contains("ulp_yields_total 7\n"));
         assert!(text.contains("# TYPE ulp_queue_delay_ns histogram"));
@@ -415,13 +585,186 @@ mod tests {
     }
 
     #[test]
+    fn syscall_spans_render_on_their_own_track() {
+        // A coupled `read` that sleeps in `pipe_block_read`, then a
+        // decoupled `getpid` — the consistency violation the timeline is
+        // supposed to make obvious.
+        let records = vec![
+            rec(0, Event::Spawn(BltId(4))),
+            rec(
+                100,
+                Event::SyscallEnter {
+                    uc: BltId(4),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                },
+            ),
+            rec(
+                150,
+                Event::SyscallEnter {
+                    uc: BltId(4),
+                    sysno: Sysno::PipeBlockRead,
+                    coupled: true,
+                },
+            ),
+            rec(
+                400,
+                Event::SyscallExit {
+                    uc: BltId(4),
+                    sysno: Sysno::PipeBlockRead,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            rec(
+                450,
+                Event::SyscallExit {
+                    uc: BltId(4),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            rec(500, Event::Decouple(BltId(4))),
+            rec(
+                600,
+                Event::SyscallEnter {
+                    uc: BltId(4),
+                    sysno: Sysno::Getpid,
+                    coupled: false,
+                },
+            ),
+            rec(
+                650,
+                Event::SyscallExit {
+                    uc: BltId(4),
+                    sysno: Sysno::Getpid,
+                    coupled: false,
+                    errno: 0,
+                },
+            ),
+            rec(800, Event::Terminate(BltId(4))),
+        ];
+        let json = chrome_trace_json(&records);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        let sys_tid = (SYSCALL_TID_BASE + 4) as f64;
+
+        // Syscall spans live on their own track, nested read > pipe_block_read.
+        let span = |name: &str| {
+            events
+                .iter()
+                .find(|e| e["ph"].as_str() == Some("X") && e["name"].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("missing span {name}"))
+        };
+        for name in ["read", "pipe_block_read", "getpid"] {
+            assert_eq!(span(name)["tid"].as_f64(), Some(sys_tid));
+        }
+        assert!(span("read")["dur"].as_f64() > span("pipe_block_read")["dur"].as_f64());
+        assert_eq!(span("getpid")["args"]["coupled"].as_bool(), Some(false));
+        assert_eq!(span("read")["args"]["errno"].as_i64(), Some(0));
+
+        // The decoupled getpid left a violation instant on the same track.
+        assert!(events.iter().any(|e| {
+            e["ph"].as_str() == Some("i")
+                && e["name"].as_str() == Some("syscall_violation")
+                && e["tid"].as_f64() == Some(sys_tid)
+        }));
+
+        // Both tracks are named and sorted adjacent (state 8, syscalls 9).
+        let sort_of = |tid: f64| {
+            events
+                .iter()
+                .find(|e| {
+                    e["name"].as_str() == Some("thread_sort_index")
+                        && e["tid"].as_f64() == Some(tid)
+                })
+                .and_then(|e| e["args"]["sort_index"].as_i64())
+        };
+        assert_eq!(sort_of(4.0), Some(8));
+        assert_eq!(sort_of(sys_tid), Some(9));
+        assert!(events.iter().any(|e| {
+            e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"].as_str() == Some("syscalls blt:4")
+        }));
+    }
+
+    #[test]
+    fn unbalanced_syscall_records_still_render_sanely() {
+        // Exit with no enter (tracing enabled mid-call) draws nothing; an
+        // enter with no exit is closed at the trace horizon.
+        let records = vec![
+            rec(
+                100,
+                Event::SyscallExit {
+                    uc: BltId(2),
+                    sysno: Sysno::Close,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            rec(
+                200,
+                Event::SyscallEnter {
+                    uc: BltId(2),
+                    sysno: Sysno::FutexWait,
+                    coupled: true,
+                },
+            ),
+            rec(900, Event::KcBlocked(BltId(2))),
+        ];
+        let json = chrome_trace_json(&records);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(!events.iter().any(|e| e["name"].as_str() == Some("close")));
+        let futex = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("futex_wait"))
+            .expect("open span closed at horizon");
+        assert_eq!(futex["ts"].as_f64(), Some(0.2));
+        assert_eq!(futex["dur"].as_f64(), Some(0.7));
+    }
+
+    #[test]
+    fn prometheus_syscall_series() {
+        let mut sys = SyscallSnapshot::new();
+        {
+            let row = sys
+                .calls
+                .iter_mut()
+                .find(|(n, _)| *n == "read")
+                .expect("read row");
+            row.1.buckets[crate::hist::bucket_index(100)] += 2;
+            row.1.count = 2;
+            row.1.sum = 200;
+            row.1.max = 100;
+        }
+        let text = prometheus_text(
+            &StatsSnapshot::default(),
+            &LatencySnapshot::default(),
+            &sys,
+            17,
+        );
+        assert!(text.contains("ulp_kernel_syscalls_total 17\n"));
+        assert!(text.contains("# TYPE ulp_syscall_total counter"));
+        assert!(text.contains("ulp_syscall_total{call=\"read\"} 2\n"));
+        assert!(text.contains("# TYPE ulp_syscall_latency_ns histogram"));
+        assert!(text.contains("ulp_syscall_latency_ns_bucket{call=\"read\",le=\"127\"} 2"));
+        assert!(text.contains("ulp_syscall_latency_ns_bucket{call=\"read\",le=\"+Inf\"} 2"));
+        assert!(text.contains("ulp_syscall_latency_ns_sum{call=\"read\"} 200"));
+        assert!(text.contains("ulp_syscall_latency_ns_count{call=\"read\"} 2"));
+        // Zero-count calls are absent series, not zero series.
+        assert!(!text.contains("call=\"getpid\""));
+    }
+
+    #[test]
     fn prometheus_cumulative_buckets_are_monotone() {
         let mut lat = LatencySnapshot::default();
         for (i, b) in lat.couple_resume.buckets.iter_mut().enumerate().take(20) {
             *b = (i % 3) as u64;
             lat.couple_resume.count += (i % 3) as u64;
         }
-        let text = prometheus_text(&StatsSnapshot::default(), &lat);
+        let text = prometheus_text(&StatsSnapshot::default(), &lat, &SyscallSnapshot::new(), 0);
         let mut prev = 0u64;
         for line in text
             .lines()

@@ -47,7 +47,7 @@ pub fn bucket_le(i: usize) -> Option<u64> {
 /// instance has exactly one writer (the owning kernel context), so
 /// [`LatencyHist::record`] uses plain load+store bumps — no `lock` prefix,
 /// no shared-line contention. Lives inside the cache-line-padded
-/// [`crate::trace::TraceShard`], so no extra alignment here.
+/// `crate::trace::TraceShard`, so no extra alignment here.
 #[derive(Debug)]
 pub struct LatencyHist {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -112,9 +112,13 @@ impl LatencyHist {
 /// [`LatencyHist`]s.
 #[derive(Debug, Clone, Copy)]
 pub struct HistData {
+    /// Per-bucket sample counts (see [`bucket_index`] for the bucketing).
     pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of recorded samples.
     pub count: u64,
+    /// Sum of all samples in nanoseconds (saturating).
     pub sum: u64,
+    /// Largest recorded sample in nanoseconds.
     pub max: u64,
 }
 
@@ -173,14 +177,17 @@ impl HistData {
         self.max as f64
     }
 
+    /// Median latency in nanoseconds ([`HistData::quantile`] at 0.50).
     pub fn p50(&self) -> f64 {
         self.quantile(0.50)
     }
 
+    /// 95th-percentile latency in nanoseconds.
     pub fn p95(&self) -> f64 {
         self.quantile(0.95)
     }
 
+    /// 99th-percentile latency in nanoseconds.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
@@ -210,11 +217,17 @@ impl HistData {
 /// Compact percentile report of one span's distribution.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HistSummary {
+    /// Number of samples behind the percentiles.
     pub count: u64,
+    /// Median in nanoseconds.
     pub p50_ns: f64,
+    /// 95th percentile in nanoseconds.
     pub p95_ns: f64,
+    /// 99th percentile in nanoseconds.
     pub p99_ns: f64,
+    /// Observed maximum in nanoseconds.
     pub max_ns: u64,
+    /// Arithmetic mean in nanoseconds.
     pub mean_ns: f64,
 }
 
@@ -240,6 +253,63 @@ pub struct LatencySnapshot {
     pub yield_interval: HistData,
     /// KC futex block → wake (BLOCKING/Adaptive idle only).
     pub kc_block: HistData,
+}
+
+/// Per-syscall enter→exit latency distributions, folded across every kernel
+/// context's shard: one `(name, histogram)` row per simulated system call,
+/// in [`ulp_kernel::Sysno`] discriminant order.
+///
+/// Produced by `Runtime::syscall_snapshot()`; rendered as the
+/// `ulp_syscall_latency_ns{call="…"}` Prometheus family by
+/// [`crate::export::prometheus_text`].
+///
+/// ```
+/// let snap = ulp_core::hist::SyscallSnapshot::new();
+/// assert_eq!(snap.get("getpid").unwrap().count, 0);
+/// assert!(snap.get("no_such_call").is_none());
+/// assert!(snap.nonzero().next().is_none(), "nothing recorded yet");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyscallSnapshot {
+    /// One `(syscall name, distribution)` row per [`ulp_kernel::Sysno`].
+    pub calls: Vec<(&'static str, HistData)>,
+}
+
+impl SyscallSnapshot {
+    /// An empty snapshot with every syscall's row present (count 0).
+    pub fn new() -> SyscallSnapshot {
+        SyscallSnapshot {
+            calls: ulp_kernel::Sysno::ALL
+                .iter()
+                .map(|no| (no.name(), HistData::default()))
+                .collect(),
+        }
+    }
+
+    /// Look up one syscall's distribution by name (e.g. `"read"`).
+    pub fn get(&self, name: &str) -> Option<&HistData> {
+        self.calls.iter().find(|(n, _)| *n == name).map(|(_, d)| d)
+    }
+
+    /// Rows that recorded at least one sample — what reports print and the
+    /// Prometheus exporter emits.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, &HistData)> {
+        self.calls
+            .iter()
+            .filter(|(_, d)| d.count > 0)
+            .map(|(n, d)| (*n, d))
+    }
+
+    /// Total samples across every syscall.
+    pub fn total_count(&self) -> u64 {
+        self.calls.iter().map(|(_, d)| d.count).sum()
+    }
+}
+
+impl Default for SyscallSnapshot {
+    fn default() -> Self {
+        SyscallSnapshot::new()
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@ use ulp_fcontext::{prepare, TRAMPOLINE_STACK_SIZE};
 /// `KcShared` so it outlives every activation of the TC.
 #[derive(Debug)]
 pub struct TcBoot {
+    /// The kernel context this trampoline serves.
     pub kc: Arc<crate::uc::KcShared>,
+    /// The owning runtime.
     pub rt: Arc<RuntimeInner>,
     /// The BLT's primary UC — resumed one last time when the primary has
     /// finished and all siblings have drained, so the OS thread can exit.

@@ -37,6 +37,24 @@
 //! });
 //! assert_eq!(blt.wait(), 0);
 //! ```
+//!
+//! ## Observability
+//!
+//! The runtime records its own behavior without external dependencies — see
+//! `OBSERVABILITY.md` at the repository root for the end-to-end recipe:
+//!
+//! - **Tracing** ([`trace`]): per-KC lock-free shards record scheduling
+//!   events *and* the simulated kernel's syscall enter/exit spans;
+//!   [`chrome_trace_json`] renders the merged trace for Perfetto
+//!   (`ULP_TRACE=<path>` dumps at shutdown).
+//! - **Histograms** ([`hist`]): log2-bucketed latency distributions for
+//!   scheduling edges ([`LatencySnapshot`]) and per-syscall enter→exit
+//!   times ([`SyscallSnapshot`]).
+//! - **Metrics** ([`prometheus_text`]): counters + histograms in Prometheus
+//!   text exposition format; `ULP_METRICS_ADDR=host:port` (or
+//!   `Runtime::serve_metrics`) serves it live over HTTP for scrapers.
+
+#![warn(missing_docs)]
 
 pub mod couple;
 pub mod current;
@@ -44,6 +62,7 @@ pub mod error;
 pub mod export;
 pub mod hist;
 pub mod kc;
+mod metrics_server;
 pub mod runqueue;
 pub mod runtime;
 pub mod signals;
@@ -58,7 +77,7 @@ pub mod uc;
 pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text};
-pub use hist::{HistData, HistSummary, LatencySnapshot};
+pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
@@ -72,6 +91,8 @@ pub use uc::{BltId, IdlePolicy, UcKind, UcState};
 // Re-export the substrate types users interact with through the veneers.
 pub use ulp_fcontext;
 pub use ulp_kernel;
+// Syscall identity/phase types appearing in trace events and snapshots.
+pub use ulp_kernel::{SyscallPhase, Sysno};
 
 /// Identity of the calling ULP: (runtime-local id, simulated PID, kind),
 /// or `None` on a thread that is not running a ULP.

@@ -1,0 +1,134 @@
+//! A minimal blocking HTTP/1.0 endpoint serving the Prometheus dump.
+//!
+//! Deliberately tiny and dependency-free: one dedicated kernel-level thread
+//! (`ulp-metrics`) blocks in `accept()` on a std [`TcpListener`] and answers
+//! each connection with the current [`prometheus_text`] rendering — exactly
+//! what a Prometheus scraper (or `curl`) needs, and nothing more. The server
+//! holds only a [`Weak`] reference to the runtime, so it can never keep a
+//! shut-down runtime alive; after shutdown it answers `503`.
+//!
+//! Enabled via `ULP_METRICS_ADDR=host:port` (port `0` picks a free port) or
+//! programmatically through `Runtime::serve_metrics`.
+//!
+//! [`prometheus_text`]: crate::export::prometheus_text
+
+use crate::runtime::RuntimeInner;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background metrics listener. Dropping it (or calling
+/// [`MetricsServer::stop`]) shuts the thread down.
+pub(crate) struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` and start the accept loop on a dedicated thread.
+    pub(crate) fn start(addr: &str, rt: Weak<RuntimeInner>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("ulp-metrics".to_string())
+            .spawn(move || serve(listener, rt, flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the thread. The accept loop is unblocked by
+    /// a throwaway self-connection — `accept()` has no portable timeout.
+    pub(crate) fn stop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve(listener: TcpListener, rt: Weak<RuntimeInner>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(mut stream) = conn {
+            let _ = answer(&mut stream, &rt);
+        }
+    }
+}
+
+/// Read enough of the request to see the method + path, then respond and
+/// close (HTTP/1.0 semantics — no keep-alive, no chunking).
+fn answer(stream: &mut TcpStream, rt: &Weak<RuntimeInner>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let mut len = 0;
+    while len < buf.len() && !buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => len += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("only GET is supported\n"),
+        )
+    } else if path == "/metrics" || path == "/" {
+        match rt.upgrade() {
+            // Prometheus text exposition format version 0.0.4.
+            Some(rt) => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                rt.prometheus_render(),
+            ),
+            None => (
+                "503 Service Unavailable",
+                "text/plain",
+                String::from("runtime has shut down\n"),
+            ),
+        }
+    } else {
+        (
+            "404 Not Found",
+            "text/plain",
+            String::from("try /metrics\n"),
+        )
+    };
+
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -13,7 +13,7 @@
 //! - **Slot handoff** (yield ping-pong on a scheduler thread): the UC parks
 //!   in a thread-local slot — no lock, no eventcount bump, no futex. The
 //!   owning scheduler is by definition awake, so skipping the wake protocol
-//!   is sound; a fairness bound ([`SLOT_FAIRNESS_LIMIT`]) spills to the real
+//!   is sound; a fairness bound (`SLOT_FAIRNESS_LIMIT`) spills to the real
 //!   deque so queued UCs cannot starve behind a ping-pong pair.
 //! - **Local deque**: one uncontended lock, then the eventcount publish.
 //! - **Injector** (foreign threads, `GlobalFifo`): same, on the shared queue.
@@ -79,6 +79,8 @@ thread_local! {
     static LOCAL: RefCell<Option<LocalReg>> = const { RefCell::new(None) };
 }
 
+/// The queue of decoupled UCs awaiting dispatch by scheduler KCs, with the
+/// eventcount-style sleep/wake protocol idle schedulers park on.
 #[derive(Debug)]
 pub struct RunQueue {
     injector: Mutex<VecDeque<Arc<UcInner>>>,
@@ -99,10 +101,12 @@ pub struct RunQueue {
 }
 
 impl RunQueue {
+    /// A global-FIFO queue with the given idle policy.
     pub fn new(idle_policy: IdlePolicy) -> RunQueue {
         RunQueue::with_policy(idle_policy, SchedPolicy::GlobalFifo)
     }
 
+    /// A queue with explicit idle and scheduling policies.
     pub fn with_policy(idle_policy: IdlePolicy, policy: SchedPolicy) -> RunQueue {
         RunQueue {
             injector: Mutex::new(VecDeque::new()),
@@ -122,6 +126,7 @@ impl RunQueue {
         self.gate = Some(gate);
     }
 
+    /// The queue's scheduling discipline.
     pub fn policy(&self) -> SchedPolicy {
         self.policy
     }
@@ -359,6 +364,7 @@ impl RunQueue {
         true
     }
 
+    /// Runnable UCs currently queued (injector plus local deques).
     pub fn len(&self) -> usize {
         let mut n = self.injector.lock().len();
         if self.policy == SchedPolicy::WorkStealing {

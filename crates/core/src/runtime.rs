@@ -127,46 +127,58 @@ pub struct RuntimeBuilder {
 }
 
 impl RuntimeBuilder {
+    /// Number of scheduler threads (`NCprog`), clamped to at least 1.
     pub fn schedulers(mut self, n: usize) -> Self {
         self.config.n_schedulers = n.max(1);
         self
     }
+    /// How idle kernel contexts wait (BUSYWAIT / BLOCKING / Adaptive).
     pub fn idle_policy(mut self, p: IdlePolicy) -> Self {
         self.config.idle_policy = p;
         self
     }
+    /// Architecture cost model for the simulated kernel.
     pub fn profile(mut self, p: ArchProfile) -> Self {
         self.config.profile = p;
         self
     }
+    /// Emulate the per-switch TLS-register reload (§V-B); `false` is the
+    /// "ignore TLS variables" ablation.
     pub fn tls_switch(mut self, on: bool) -> Self {
         self.config.tls_switch = on;
         self
     }
+    /// Create trampoline contexts at spawn instead of lazily (§V-A).
     pub fn eager_tc(mut self, on: bool) -> Self {
         self.config.eager_tc = on;
         self
     }
+    /// Usable stack size for sibling UCs.
     pub fn sibling_stack_size(mut self, bytes: usize) -> Self {
         self.config.sibling_stack_size = bytes;
         self
     }
+    /// Try to pin scheduler threads to distinct cores.
     pub fn pin_schedulers(mut self, on: bool) -> Self {
         self.config.pin_schedulers = on;
         self
     }
+    /// FlexSC-style dedicated system-call cores (Fig. 6 / §VII).
     pub fn syscall_cores(mut self, cores: Vec<usize>) -> Self {
         self.config.syscall_cores = Some(cores);
         self
     }
+    /// Consistency-violation handling for `sys::*` veneers.
     pub fn consistency(mut self, m: ConsistencyMode) -> Self {
         self.config.consistency = m;
         self
     }
+    /// ucontext-style switching: carry signal masks across UC switches.
     pub fn save_sigmask(mut self, on: bool) -> Self {
         self.config.save_sigmask = on;
         self
     }
+    /// Run-queue discipline (global FIFO vs work stealing).
     pub fn sched_policy(mut self, p: crate::runqueue::SchedPolicy) -> Self {
         self.config.sched_policy = p;
         self
@@ -178,6 +190,8 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Start the runtime: spawns the scheduler threads and binds the
+    /// calling thread as the PiP-root process.
     pub fn build(self) -> Runtime {
         Runtime::from_parts(self.config, self.kernel)
     }
@@ -185,13 +199,19 @@ impl RuntimeBuilder {
 
 /// Shared innards of a [`Runtime`].
 pub struct RuntimeInner {
+    /// The simulated kernel (possibly shared with other runtimes).
     pub kernel: KernelRef,
+    /// The configuration the runtime was built with.
     pub config: Config,
+    /// Decoupled UCs awaiting dispatch.
     pub runq: RunQueue,
+    /// Sharded event counters.
     pub stats: Stats,
+    /// Reusable sibling stacks.
     pub stack_pool: StackPool,
     /// The PiP-root-equivalent process every BLT is a child of.
     pub root_pid: Pid,
+    /// Set by [`Runtime::shutdown`]; schedulers exit once the queue drains.
     pub shutdown: AtomicBool,
     pub(crate) schedulers: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) audit: Mutex<Vec<UlpError>>,
@@ -200,6 +220,9 @@ pub struct RuntimeInner {
     /// `ULP_TRACE=<path>`: where to dump the Chrome-trace JSON at shutdown
     /// (`None` when the env hook is not in use).
     trace_dump: Mutex<Option<std::path::PathBuf>>,
+    /// Live `/metrics` endpoint (see [`crate::metrics_server`]), present
+    /// while serving.
+    metrics: Mutex<Option<crate::metrics_server::MetricsServer>>,
     next_id: AtomicU64,
 }
 
@@ -215,6 +238,19 @@ impl RuntimeInner {
             ConsistencyMode::Record => self.audit.lock().push(v),
             ConsistencyMode::Panic => panic!("{v}"),
         }
+    }
+
+    /// One Prometheus text rendering of everything this runtime exports:
+    /// counters, scheduling-latency histograms, per-syscall latency families
+    /// and the kernel's all-time syscall counter. Shared by
+    /// `Runtime::prometheus_dump` and the `/metrics` endpoint.
+    pub(crate) fn prometheus_render(&self) -> String {
+        crate::export::prometheus_text(
+            &self.stats.snapshot(),
+            &self.tracer.latency_snapshot(),
+            &self.tracer.syscall_snapshot(),
+            self.kernel.total_syscalls(),
+        )
     }
 }
 
@@ -243,6 +279,7 @@ impl Runtime {
         RuntimeBuilder::default().build()
     }
 
+    /// A builder for a customized runtime.
     pub fn builder() -> RuntimeBuilder {
         RuntimeBuilder::default()
     }
@@ -256,9 +293,16 @@ impl Runtime {
         // ULP_TRACE=<path>: record from birth, dump Perfetto JSON at
         // shutdown (no code changes needed in the traced program).
         let trace_dump = std::env::var_os("ULP_TRACE").map(std::path::PathBuf::from);
-        if trace_dump.is_some() {
+        // ULP_METRICS_ADDR=host:port: serve live Prometheus text. The
+        // per-syscall latency families only fill while tracing is on, so the
+        // endpoint implies tracing.
+        let metrics_addr = std::env::var("ULP_METRICS_ADDR").ok();
+        if trace_dump.is_some() || metrics_addr.is_some() {
             tracer.enable();
         }
+        // Route the simulated kernel's syscall enter/exit callbacks into the
+        // per-KC trace shards (process-global, idempotent).
+        crate::trace::install_kernel_observer();
         let inner = Arc::new(RuntimeInner {
             runq,
             stats: Stats::default(),
@@ -269,6 +313,7 @@ impl Runtime {
             audit: Mutex::new(Vec::new()),
             tracer,
             trace_dump: Mutex::new(trace_dump),
+            metrics: Mutex::new(None),
             next_id: AtomicU64::new(1),
             kernel,
             config,
@@ -288,7 +333,14 @@ impl Runtime {
             );
         }
         *inner.schedulers.lock() = handles;
-        Runtime { inner }
+        let rt = Runtime { inner };
+        if let Some(addr) = metrics_addr {
+            match rt.serve_metrics(&addr) {
+                Ok(bound) => eprintln!("[ulp-metrics] serving http://{bound}/metrics"),
+                Err(e) => eprintln!("[ulp-metrics] failed to bind {addr}: {e}"),
+            }
+        }
+        rt
     }
 
     /// The simulated kernel.
@@ -339,15 +391,44 @@ impl Runtime {
         self.inner.tracer.latency_snapshot()
     }
 
-    /// Prometheus text-exposition dump of the runtime's counters and
-    /// latency histograms (see [`crate::export::prometheus_text`]).
-    pub fn prometheus_dump(&self) -> String {
-        crate::export::prometheus_text(
-            &self.inner.stats.snapshot(),
-            &self.inner.tracer.latency_snapshot(),
-        )
+    /// Fold every kernel context's per-syscall latency histograms into one
+    /// snapshot: one `(name, distribution)` row per simulated system call
+    /// (see [`crate::hist::SyscallSnapshot`]). Populated only while tracing
+    /// is enabled.
+    pub fn syscall_snapshot(&self) -> crate::hist::SyscallSnapshot {
+        self.inner.tracer.syscall_snapshot()
     }
 
+    /// Prometheus text-exposition dump of the runtime's counters, latency
+    /// histograms and per-syscall latency families (see
+    /// [`crate::export::prometheus_text`]).
+    pub fn prometheus_dump(&self) -> String {
+        self.inner.prometheus_render()
+    }
+
+    /// Start serving [`Runtime::prometheus_dump`] over HTTP on `addr`
+    /// (e.g. `"127.0.0.1:9184"`; port `0` picks a free port). Returns the
+    /// bound address. Idempotent per runtime: a second call replaces the
+    /// previous server. `GET /metrics` (or `/`) answers with the exposition
+    /// text; the listener dies with the runtime's [`Runtime::shutdown`].
+    ///
+    /// The env-var equivalent is `ULP_METRICS_ADDR=addr`, which also turns
+    /// the tracer on so the latency families fill; this method leaves
+    /// tracing control to the caller.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let server =
+            crate::metrics_server::MetricsServer::start(addr, Arc::downgrade(&self.inner))?;
+        let bound = server.addr();
+        *self.inner.metrics.lock() = Some(server);
+        Ok(bound)
+    }
+
+    /// The metrics endpoint's bound address, if one is serving.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.metrics.lock().as_ref().map(|s| s.addr())
+    }
+
+    /// The runtime's configuration (as built).
     pub fn config(&self) -> &Config {
         &self.inner.config
     }
@@ -358,6 +439,11 @@ impl Runtime {
 
     /// Stop the schedulers once the run queue drains and join them.
     pub fn shutdown(&self) {
+        // Metrics first: scrapes race shutdown harmlessly, but the listener
+        // thread should not outlive the runtime it reports on.
+        if let Some(mut server) = self.inner.metrics.lock().take() {
+            server.stop();
+        }
         self.inner.shutdown.store(true, Ordering::Release);
         // Nudge sleepers.
         for _ in 0..self.inner.config.n_schedulers {

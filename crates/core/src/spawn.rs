@@ -117,6 +117,7 @@ pub struct SiblingHandle {
 }
 
 impl SiblingHandle {
+    /// The sibling's runtime-local id.
     pub fn id(&self) -> BltId {
         self.uc.id
     }
@@ -131,6 +132,7 @@ impl SiblingHandle {
         self.result.wait()
     }
 
+    /// Whether the sibling has terminated (non-blocking).
     pub fn is_finished(&self) -> bool {
         self.result.try_get().is_some()
     }

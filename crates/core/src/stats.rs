@@ -31,19 +31,29 @@ use parking_lot::Mutex;
 /// covers adjacent-line prefetchers), so two KCs bumping their own shards
 /// never false-share. The fields are atomics only so the aggregator may read
 /// them concurrently; each counter has exactly one writer (the registering
-/// thread), which lets [`StatsShard::bump`] use a load+store instead of an
+/// thread), which lets `StatsShard::bump` use a load+store instead of an
 /// interlocked read-modify-write.
 #[derive(Debug, Default)]
 #[repr(align(128))]
 pub struct StatsShard {
+    /// User-level context switches, all kinds (couple, decouple, yield,
+    /// dispatch — Table V counts four per couple+decouple pair).
     pub context_switches: AtomicU64,
+    /// Emulated TLS-register reloads on UC-to-UC switches (§V-B).
     pub tls_loads: AtomicU64,
+    /// `couple()` transitions — ULT back to KLT.
     pub couples: AtomicU64,
+    /// `decouple()` transitions — KLT to ULT.
     pub decouples: AtomicU64,
+    /// Direct UC-to-UC yield switches.
     pub yields: AtomicU64,
+    /// BLTs spawned (each starts as a kernel-level thread).
     pub blts_spawned: AtomicU64,
+    /// Sibling UCs spawned (the M:N extension).
     pub siblings_spawned: AtomicU64,
+    /// Decoupled UCs popped and run by scheduler KCs.
     pub scheduler_dispatches: AtomicU64,
+    /// Idle kernel contexts that blocked on a futex (BLOCKING idle policy).
     pub kc_blocks: AtomicU64,
 }
 
@@ -60,38 +70,47 @@ fn bump(counter: &AtomicU64) {
 /// Incrementers, named after the field they bump. These are what the switch
 /// hot path calls (through the cached per-thread shard pointer).
 impl StatsShard {
+    /// Count one user-level context switch.
     #[inline]
     pub fn bump_context_switches(&self) {
         bump(&self.context_switches);
     }
+    /// Count one emulated TLS-register reload.
     #[inline]
     pub fn bump_tls_loads(&self) {
         bump(&self.tls_loads);
     }
+    /// Count one `couple()` transition.
     #[inline]
     pub fn bump_couples(&self) {
         bump(&self.couples);
     }
+    /// Count one `decouple()` transition.
     #[inline]
     pub fn bump_decouples(&self) {
         bump(&self.decouples);
     }
+    /// Count one UC-to-UC yield.
     #[inline]
     pub fn bump_yields(&self) {
         bump(&self.yields);
     }
+    /// Count one BLT spawn.
     #[inline]
     pub fn bump_blts(&self) {
         bump(&self.blts_spawned);
     }
+    /// Count one sibling-UC spawn.
     #[inline]
     pub fn bump_siblings(&self) {
         bump(&self.siblings_spawned);
     }
+    /// Count one scheduler dispatch of a decoupled UC.
     #[inline]
     pub fn bump_dispatches(&self) {
         bump(&self.scheduler_dispatches);
     }
+    /// Count one kernel context blocking idle.
     #[inline]
     pub fn bump_kc_blocks(&self) {
         bump(&self.kc_blocks);
@@ -138,38 +157,47 @@ impl Stats {
         shard
     }
 
+    /// Count one context switch on the fallback shard.
     #[inline]
     pub fn bump_context_switches(&self) {
         self.fallback.bump_context_switches();
     }
+    /// Count one TLS reload on the fallback shard.
     #[inline]
     pub fn bump_tls_loads(&self) {
         self.fallback.bump_tls_loads();
     }
+    /// Count one `couple()` on the fallback shard.
     #[inline]
     pub fn bump_couples(&self) {
         self.fallback.bump_couples();
     }
+    /// Count one `decouple()` on the fallback shard.
     #[inline]
     pub fn bump_decouples(&self) {
         self.fallback.bump_decouples();
     }
+    /// Count one yield on the fallback shard.
     #[inline]
     pub fn bump_yields(&self) {
         self.fallback.bump_yields();
     }
+    /// Count one BLT spawn on the fallback shard.
     #[inline]
     pub fn bump_blts(&self) {
         self.fallback.bump_blts();
     }
+    /// Count one sibling spawn on the fallback shard.
     #[inline]
     pub fn bump_siblings(&self) {
         self.fallback.bump_siblings();
     }
+    /// Count one dispatch on the fallback shard.
     #[inline]
     pub fn bump_dispatches(&self) {
         self.fallback.bump_dispatches();
     }
+    /// Count one KC idle-block on the fallback shard.
     #[inline]
     pub fn bump_kc_blocks(&self) {
         self.fallback.bump_kc_blocks();
@@ -193,14 +221,23 @@ impl Stats {
 /// Plain-data snapshot of [`Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
+    /// User-level context switches, all kinds.
     pub context_switches: u64,
+    /// Emulated TLS-register reloads on UC-to-UC switches.
     pub tls_loads: u64,
+    /// `couple()` transitions (ULT back to KLT).
     pub couples: u64,
+    /// `decouple()` transitions (KLT to ULT).
     pub decouples: u64,
+    /// Direct UC-to-UC yield switches.
     pub yields: u64,
+    /// BLTs spawned.
     pub blts_spawned: u64,
+    /// Sibling UCs spawned (M:N extension).
     pub siblings_spawned: u64,
+    /// Decoupled UCs dispatched by scheduler KCs.
     pub scheduler_dispatches: u64,
+    /// Idle kernel contexts that blocked on a futex.
     pub kc_blocks: u64,
 }
 

@@ -36,6 +36,7 @@ unsafe impl<T: Send> Send for UlpMutex<T> {}
 unsafe impl<T: Send> Sync for UlpMutex<T> {}
 
 impl<T> UlpMutex<T> {
+    /// An unlocked mutex holding `value`.
     pub const fn new(value: T) -> UlpMutex<T> {
         UlpMutex {
             locked: AtomicBool::new(false),
@@ -103,6 +104,7 @@ pub struct UlpEvent {
 }
 
 impl UlpEvent {
+    /// An unsignaled event.
     pub const fn new() -> UlpEvent {
         UlpEvent {
             state: AtomicU32::new(0),
@@ -119,6 +121,7 @@ impl UlpEvent {
         self.state.store(0, Ordering::Release);
     }
 
+    /// Whether the event is currently signaled.
     pub fn is_set(&self) -> bool {
         self.state.load(Ordering::Acquire) == 1
     }
@@ -154,6 +157,7 @@ pub struct UlpBarrier {
 }
 
 impl UlpBarrier {
+    /// A barrier for `parties` participants (at least one).
     pub fn new(parties: usize) -> UlpBarrier {
         assert!(parties > 0, "barrier needs at least one party");
         UlpBarrier {
@@ -178,6 +182,7 @@ impl UlpBarrier {
         }
     }
 
+    /// The number of participants per generation.
     pub fn parties(&self) -> usize {
         self.parties
     }

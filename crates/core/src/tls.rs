@@ -24,6 +24,7 @@ pub struct TlsStorage {
 }
 
 impl TlsStorage {
+    /// Empty storage with no slots populated.
     pub fn new() -> TlsStorage {
         TlsStorage::default()
     }

@@ -5,11 +5,11 @@
 //! The seed tracer was a `Mutex<VecDeque>`: correct, but enabling it
 //! serialized every kernel context through one lock on the very switch path
 //! it was measuring. This version gives each kernel context its own
-//! **single-writer ring** inside a cache-line-padded [`TraceShard`]
+//! **single-writer ring** inside a cache-line-padded `TraceShard`
 //! (registered next to the stats shard in `set_runtime`), so recording an
 //! event is a handful of plain stores with no shared-line contention, and
 //! the disabled path costs exactly one relaxed atomic load of the shared
-//! [`TraceGate`] — the same discipline as `StatsShard`.
+//! `TraceGate` — the same discipline as `StatsShard`.
 //!
 //! ## Ring protocol (seqlock-per-slot SPSC)
 //!
@@ -36,13 +36,14 @@
 //! decouple, and its `Coupled` record always lands on its original KC's
 //! shard (see `tests/trace_protocol.rs`).
 
-use crate::hist::{HistData, LatencyHist, LatencySnapshot};
+use crate::hist::{HistData, LatencyHist, LatencySnapshot, SyscallSnapshot};
 use crate::uc::BltId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use ulp_kernel::{SyscallPhase, Sysno};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +51,12 @@ pub enum Event {
     /// A BLT was spawned (as a KLT).
     Spawn(BltId),
     /// A scheduler KC dispatched a decoupled UC.
-    Dispatch { uc: BltId, scheduler: BltId },
+    Dispatch {
+        /// The UC being dispatched.
+        uc: BltId,
+        /// The scheduler KC doing the dispatching.
+        scheduler: BltId,
+    },
     /// A UC decoupled from its original KC.
     Decouple(BltId),
     /// A UC's couple request was published to its original KC.
@@ -58,13 +64,45 @@ pub enum Event {
     /// A UC resumed on its original KC (couple completed).
     Coupled(BltId),
     /// A direct UC→UC yield switch.
-    Yield { from: BltId, to: BltId },
+    Yield {
+        /// The UC giving up the kernel context.
+        from: BltId,
+        /// The UC taking it over.
+        to: BltId,
+    },
     /// A UC terminated.
     Terminate(BltId),
     /// An idle KC went to sleep (BLOCKING/Adaptive).
     KcBlocked(BltId),
     /// A simulated-kernel signal was delivered to a UC.
-    Signal { uc: BltId, signal: u8 },
+    Signal {
+        /// The receiving UC.
+        uc: BltId,
+        /// The signal number.
+        signal: u8,
+    },
+    /// A simulated system call began on this KC. `coupled` records whether
+    /// the issuing UC ran on its original KC at that moment — `false` marks
+    /// a system-call-consistency hazard (§V-B) right on the timeline.
+    SyscallEnter {
+        /// The issuing UC (`BltId(0)` when no ULP is bound).
+        uc: BltId,
+        /// Which system call.
+        sysno: Sysno,
+        /// Whether the issuer ran coupled at the enter edge.
+        coupled: bool,
+    },
+    /// The matching system-call return; `errno` is `0` on success.
+    SyscallExit {
+        /// The issuing UC (`BltId(0)` when no ULP is bound).
+        uc: BltId,
+        /// Which system call.
+        sysno: Sysno,
+        /// Whether the issuer ran coupled at the exit edge.
+        coupled: bool,
+        /// The call's errno; `0` on success.
+        errno: i32,
+    },
 }
 
 impl Event {
@@ -80,6 +118,19 @@ impl Event {
             Event::Terminate(u) => (6, u.0, 0),
             Event::KcBlocked(u) => (7, u.0, 0),
             Event::Signal { uc, signal } => (8, uc.0, signal as u64),
+            Event::SyscallEnter { uc, sysno, coupled } => {
+                (9, uc.0, sysno as u64 | (coupled as u64) << 16)
+            }
+            Event::SyscallExit {
+                uc,
+                sysno,
+                coupled,
+                errno,
+            } => (
+                10,
+                uc.0,
+                sysno as u64 | (coupled as u64) << 16 | (errno as u32 as u64) << 32,
+            ),
         }
     }
 
@@ -104,6 +155,17 @@ impl Event {
                 uc: BltId(a),
                 signal: b as u8,
             },
+            9 => Event::SyscallEnter {
+                uc: BltId(a),
+                sysno: Sysno::from_u16(b as u16)?,
+                coupled: (b >> 16) & 1 == 1,
+            },
+            10 => Event::SyscallExit {
+                uc: BltId(a),
+                sysno: Sysno::from_u16(b as u16)?,
+                coupled: (b >> 16) & 1 == 1,
+                errno: (b >> 32) as u32 as i32,
+            },
             _ => return None,
         })
     }
@@ -114,8 +176,11 @@ impl Event {
 /// fallback ring, i.e. a thread without a registered shard).
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
+    /// Nanoseconds since the tracer's clock epoch.
     pub at_ns: u64,
+    /// What happened.
     pub event: Event,
+    /// The trace shard (≈ kernel context) the record was captured on.
     pub kc: u32,
 }
 
@@ -213,7 +278,20 @@ pub(crate) struct TraceShard {
     pub(crate) hist_yield: LatencyHist,
     /// KC futex block → wake.
     pub(crate) hist_kc_block: LatencyHist,
+    /// Per-syscall enter→exit latency, indexed by `Sysno`. Lazily allocated
+    /// with the ring so a never-enabled tracer costs no memory.
+    sys_hists: OnceLock<Box<[LatencyHist]>>,
+    /// Enter-timestamp stack for nested syscall spans (a blocked pipe read
+    /// nests `pipe_block_read` inside `read`). Single-writer, like the ring.
+    sys_stack_no: [AtomicU64; SYS_STACK_DEPTH],
+    sys_stack_at: [AtomicU64; SYS_STACK_DEPTH],
+    sys_depth: AtomicU64,
 }
+
+/// Maximum syscall-span nesting tracked per KC. Depth 2 is the common case
+/// (dispatch span + in-kernel sleep span); deeper frames are counted but
+/// not timed.
+const SYS_STACK_DEPTH: usize = 8;
 
 impl std::fmt::Debug for TraceShard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -238,7 +316,19 @@ impl TraceShard {
             hist_couple_resume: LatencyHist::default(),
             hist_yield: LatencyHist::default(),
             hist_kc_block: LatencyHist::default(),
+            sys_hists: OnceLock::new(),
+            sys_stack_no: [const { AtomicU64::new(0) }; SYS_STACK_DEPTH],
+            sys_stack_at: [const { AtomicU64::new(0) }; SYS_STACK_DEPTH],
+            sys_depth: AtomicU64::new(0),
         }
+    }
+
+    /// Allocate the lazily-created recording buffers (ring + per-syscall
+    /// histograms). Idempotent; called on enable and for late-joining KCs.
+    fn alloc_buffers(&self, capacity: usize) {
+        self.ring.get_or_init(|| new_ring(capacity));
+        self.sys_hists
+            .get_or_init(|| (0..Sysno::COUNT).map(|_| LatencyHist::default()).collect());
     }
 
     /// The one load every event site pays when tracing is off.
@@ -295,6 +385,44 @@ impl TraceShard {
         }
     }
 
+    /// Push a syscall-enter timestamp for span timing. Caller has checked
+    /// the gate. Frames beyond [`SYS_STACK_DEPTH`] are counted (so exits
+    /// stay balanced) but not timed.
+    pub(crate) fn note_syscall_enter(&self, now: u64, sysno: Sysno) {
+        let d = self.sys_depth.load(Ordering::Relaxed);
+        if let Some(slot) = self.sys_stack_no.get(d as usize) {
+            slot.store(sysno as u64, Ordering::Relaxed);
+            self.sys_stack_at[d as usize].store(now, Ordering::Relaxed);
+        }
+        self.sys_depth.store(d + 1, Ordering::Relaxed);
+    }
+
+    /// Pop the matching enter frame and feed this syscall's latency
+    /// histogram. An unbalanced exit (tracing enabled mid-span, or a
+    /// mismatched syscall number) clears the stack and drops the sample
+    /// rather than attributing a bogus duration.
+    pub(crate) fn note_syscall_exit(&self, now: u64, sysno: Sysno) {
+        let d = self.sys_depth.load(Ordering::Relaxed);
+        if d == 0 {
+            return;
+        }
+        self.sys_depth.store(d - 1, Ordering::Relaxed);
+        let Some(slot) = self.sys_stack_no.get((d - 1) as usize) else {
+            return; // overflowed frame: balanced, but never timed
+        };
+        if slot.load(Ordering::Relaxed) != sysno as u64 {
+            self.sys_depth.store(0, Ordering::Relaxed);
+            return;
+        }
+        let at = self.sys_stack_at[(d - 1) as usize].load(Ordering::Relaxed);
+        if now <= at {
+            return;
+        }
+        if let Some(hists) = self.sys_hists.get() {
+            hists[sysno as usize].record(now - at);
+        }
+    }
+
     /// Drain everything between the cursor and `head` (seqlock-validated;
     /// slots the writer lapped are skipped, not torn).
     fn drain_into(&self, out: &mut Vec<TraceRecord>) {
@@ -342,6 +470,12 @@ impl TraceShard {
         self.hist_couple_resume.reset();
         self.hist_yield.reset();
         self.hist_kc_block.reset();
+        self.sys_depth.store(0, Ordering::Relaxed);
+        if let Some(hists) = self.sys_hists.get() {
+            for h in hists.iter() {
+                h.reset();
+            }
+        }
     }
 }
 
@@ -395,8 +529,8 @@ impl Tracer {
         let id = shards.len() as u32 + 1;
         let shard = Arc::new(TraceShard::new(self.gate.clone(), id, self.capacity));
         if self.is_enabled() {
-            // Late joiner while recording: allocate its ring now.
-            shard.ring.get_or_init(|| new_ring(self.capacity));
+            // Late joiner while recording: allocate its buffers now.
+            shard.alloc_buffers(self.capacity);
         }
         shards.push(shard.clone());
         shard
@@ -407,7 +541,7 @@ impl Tracer {
     pub fn enable(&self) {
         let shards = self.shards.lock();
         for s in shards.iter() {
-            s.ring.get_or_init(|| new_ring(self.capacity));
+            s.alloc_buffers(self.capacity);
             s.reset_for_enable();
         }
         self.fallback.lock().clear();
@@ -421,13 +555,14 @@ impl Tracer {
         self.gate.enabled.store(false, Ordering::Release);
     }
 
+    /// Whether recording is currently on.
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.gate.is_on()
     }
 
     /// Record an event (one relaxed load when disabled). Hot event sites
-    /// inside the runtime go through their thread's [`TraceShard`]
+    /// inside the runtime go through their thread's `TraceShard`
     /// directly; this entry point routes to it when possible and otherwise
     /// falls back to the shared ring, so it is safe from any thread.
     #[inline]
@@ -478,6 +613,21 @@ impl Tracer {
         out
     }
 
+    /// Fold every shard's per-syscall latency histograms into one snapshot,
+    /// one `(name, histogram)` row per syscall in [`Sysno`] order.
+    pub fn syscall_snapshot(&self) -> SyscallSnapshot {
+        let shards = self.shards.lock();
+        let mut snap = SyscallSnapshot::new();
+        for s in shards.iter() {
+            if let Some(hists) = s.sys_hists.get() {
+                for (i, h) in hists.iter().enumerate() {
+                    h.fold_into(&mut snap.calls[i].1);
+                }
+            }
+        }
+        snap
+    }
+
     /// Fold every shard's latency histograms into one snapshot.
     pub fn latency_snapshot(&self) -> LatencySnapshot {
         let shards = self.shards.lock();
@@ -507,6 +657,53 @@ impl Default for Tracer {
     fn default() -> Self {
         Tracer::new(4096)
     }
+}
+
+/// Route one simulated-kernel syscall observation onto the calling thread's
+/// trace shard — the glue between `ulp_kernel::trace`'s observer hook and
+/// the runtime's rings. Kernel contexts without a registered shard (e.g.
+/// the AIO helper thread) and disabled gates cost one TLS access and drop
+/// the observation; everything else lands on the same per-KC ring and
+/// process-wide clock as the couple/decouple protocol events.
+fn kernel_syscall_observer(sysno: Sysno, phase: SyscallPhase) {
+    crate::current::with_thread(|b| {
+        let Some(shard) = b.trace() else {
+            return;
+        };
+        if !shard.is_on() {
+            return;
+        }
+        let now = now_ns();
+        // Identify the issuing UC and whether it sits on its original KC.
+        // No UC (scheduler/main thread running kernel code directly) reads
+        // as the anonymous BLT 0, trivially consistent.
+        let (uc, coupled) = b.ulp().map_or((BltId(0), true), |u| (u.id, u.is_coupled()));
+        match phase {
+            SyscallPhase::Enter => {
+                shard.note_syscall_enter(now, sysno);
+                shard.record_at(now, Event::SyscallEnter { uc, sysno, coupled });
+            }
+            SyscallPhase::Exit { errno } => {
+                shard.note_syscall_exit(now, sysno);
+                shard.record_at(
+                    now,
+                    Event::SyscallExit {
+                        uc,
+                        sysno,
+                        coupled,
+                        errno,
+                    },
+                );
+            }
+        }
+    });
+}
+
+/// Install [`kernel_syscall_observer`] as the process-global syscall hook.
+/// Idempotent — every `Runtime` construction calls it, first one wins, and
+/// the observer routes per-thread so multiple runtimes coexist.
+pub(crate) fn install_kernel_observer() {
+    ulp_kernel::install_syscall_observer(kernel_syscall_observer);
 }
 
 #[cfg(test)]
@@ -605,6 +802,71 @@ mod tests {
             assert_eq!(Event::unpack(tag, a, b), Some(e));
         }
         assert_eq!(Event::unpack(99, 0, 0), None);
+    }
+
+    #[test]
+    fn syscall_event_pack_unpack_roundtrip() {
+        for sysno in [Sysno::Getpid, Sysno::FutexWait, Sysno::PipeBlockWrite] {
+            for coupled in [true, false] {
+                for errno in [0i32, 11, 110] {
+                    let enter = Event::SyscallEnter {
+                        uc: BltId(42),
+                        sysno,
+                        coupled,
+                    };
+                    let exit = Event::SyscallExit {
+                        uc: BltId(42),
+                        sysno,
+                        coupled,
+                        errno,
+                    };
+                    for e in [enter, exit] {
+                        let (tag, a, b) = e.pack();
+                        assert_eq!(Event::unpack(tag, a, b), Some(e));
+                    }
+                }
+            }
+        }
+        // A corrupt sysno word drops the record instead of panicking.
+        assert_eq!(Event::unpack(9, 1, u16::MAX as u64), None);
+    }
+
+    #[test]
+    fn syscall_spans_time_nested_frames() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        let base = now_ns();
+        // read { pipe_block_read } nesting: both frames get their own time.
+        s.note_syscall_enter(base, Sysno::Read);
+        s.note_syscall_enter(base + 10, Sysno::PipeBlockRead);
+        s.note_syscall_exit(base + 500, Sysno::PipeBlockRead);
+        s.note_syscall_exit(base + 600, Sysno::Read);
+        let snap = t.syscall_snapshot();
+        let read = snap.get("read").unwrap();
+        let block = snap.get("pipe_block_read").unwrap();
+        assert_eq!(read.count, 1);
+        assert_eq!(read.max, 600);
+        assert_eq!(block.count, 1);
+        assert_eq!(block.max, 490);
+        assert_eq!(snap.get("getpid").unwrap().count, 0);
+        assert!(snap.get("no_such_call").is_none());
+    }
+
+    #[test]
+    fn syscall_exit_without_enter_is_dropped() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        // Tracing flipped on mid-span: the exit has no matching frame.
+        s.note_syscall_exit(now_ns(), Sysno::Getpid);
+        assert_eq!(t.syscall_snapshot().get("getpid").unwrap().count, 0);
+        // Mismatched frame: sample dropped, stack cleared.
+        let base = now_ns();
+        s.note_syscall_enter(base, Sysno::Open);
+        s.note_syscall_exit(base + 5, Sysno::Close);
+        assert_eq!(t.syscall_snapshot().get("open").unwrap().count, 0);
+        assert_eq!(t.syscall_snapshot().get("close").unwrap().count, 0);
     }
 
     #[test]

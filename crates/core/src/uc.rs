@@ -54,8 +54,11 @@ pub enum UcKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum UcState {
+    /// Spawned but not yet running.
     Created = 0,
+    /// Running (coupled or decoupled).
     Running = 1,
+    /// Finished; its exit status is available.
     Terminated = 2,
 }
 
@@ -86,6 +89,7 @@ pub const ADAPTIVE_SPIN_STREAK: u32 = 64;
 pub struct KcShared {
     /// The OS thread acting as this kernel context (set at thread start).
     pub thread_id: OnceLock<ThreadId>,
+    /// How this KC waits when idle (BUSYWAIT / BLOCKING / Adaptive).
     pub idle_policy: IdlePolicy,
     /// UCs that called `couple()` and wait to run on this KC.
     pub pending: Mutex<VecDeque<Arc<UcInner>>>,
@@ -119,6 +123,7 @@ unsafe impl Send for KcShared {}
 unsafe impl Sync for KcShared {}
 
 impl KcShared {
+    /// Fresh kernel-context state with the given idle policy.
     pub fn new(idle_policy: IdlePolicy) -> KcShared {
         KcShared {
             thread_id: OnceLock::new(),
@@ -214,15 +219,18 @@ pub struct OneShot {
 }
 
 impl OneShot {
+    /// An empty cell.
     pub fn new() -> OneShot {
         OneShot::default()
     }
 
+    /// Publish the value and wake every waiter. Later calls overwrite.
     pub fn set(&self, v: i32) {
         *self.value.lock() = Some(v);
         self.ready.notify_all();
     }
 
+    /// Block (on the condvar) until a value is published, then return it.
     pub fn wait(&self) -> i32 {
         let mut guard = self.value.lock();
         while guard.is_none() {
@@ -231,6 +239,7 @@ impl OneShot {
         guard.expect("checked above")
     }
 
+    /// The value if already published; never blocks.
     pub fn try_get(&self) -> Option<i32> {
         *self.value.lock()
     }
@@ -254,17 +263,20 @@ pub struct SigMaskCell {
 }
 
 impl SigMaskCell {
+    /// A cell holding `mask`.
     pub fn new(mask: ulp_kernel::SigSet) -> SigMaskCell {
         SigMaskCell {
             bits: AtomicU32::new(mask.bits()),
         }
     }
 
+    /// The current mask.
     #[inline]
     pub fn get(&self) -> ulp_kernel::SigSet {
         ulp_kernel::SigSet::from_bits(self.bits())
     }
 
+    /// Replace the mask (called from `sigprocmask` veneers).
     #[inline]
     pub fn set(&self, mask: ulp_kernel::SigSet) {
         self.bits.store(mask.bits(), Ordering::Release);
@@ -279,8 +291,11 @@ impl SigMaskCell {
 
 /// The shared core of a user context.
 pub struct UcInner {
+    /// Runtime-local identity (shows up as `blt:N` in traces).
     pub id: BltId,
+    /// Human-readable name given at spawn.
     pub name: String,
+    /// Primary, sibling or scheduler.
     pub kind: UcKind,
     /// This UC's suspended register state (valid only while suspended;
     /// guarded by the runtime's ownership protocol: a UC is either in
@@ -294,9 +309,11 @@ pub struct UcInner {
     pub pid: Pid,
     /// Whether the UC currently runs as a KLT on its original KC.
     pub coupled: AtomicBool,
+    /// Lifecycle state, as [`UcState`] discriminants.
     pub state: AtomicU8,
     /// Per-ULP thread-local storage (the privatized TLS region of §V-B).
     pub tls: TlsStorage,
+    /// The owning runtime (weak: UCs must not keep it alive).
     pub rt: Weak<RuntimeInner>,
     /// Sibling-only: the allocated stack (primaries use the thread stack).
     pub sib_stack: Mutex<Option<Stack>>,
@@ -324,6 +341,7 @@ unsafe impl Send for UcInner {}
 unsafe impl Sync for UcInner {}
 
 impl UcInner {
+    /// Current lifecycle state.
     pub fn state(&self) -> UcState {
         match self.state.load(Ordering::Acquire) {
             0 => UcState::Created,
@@ -332,10 +350,12 @@ impl UcInner {
         }
     }
 
+    /// Publish a lifecycle transition.
     pub fn set_state(&self, s: UcState) {
         self.state.store(s as u8, Ordering::Release);
     }
 
+    /// Whether the UC currently runs as a KLT on its original KC.
     #[inline]
     pub fn is_coupled(&self) -> bool {
         self.coupled.load(Ordering::Acquire)

@@ -1,0 +1,134 @@
+//! Smoke tests for the live Prometheus endpoint.
+//!
+//! `ULP_METRICS_ADDR=127.0.0.1:0` (or `Runtime::serve_metrics`) starts a
+//! tiny blocking HTTP/1.0 listener on a dedicated thread; a scrape must
+//! return parseable Prometheus text exposition including the per-syscall
+//! `ulp_syscall_*` families. These tests speak raw HTTP over a
+//! `TcpStream` — exactly what `curl` and a Prometheus scraper do.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One GET against the endpoint; returns (status line, body).
+fn scrape(addr: SocketAddr, path: &str, method: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    write!(conn, "{method} {path} HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// Minimal exposition-format check: every non-comment, non-blank line is
+/// `name[{labels}] <number>`, and every `# TYPE` names a known metric type.
+fn assert_parses_as_exposition(body: &str) {
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split_whitespace().nth(1).expect("TYPE has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram" | "summary"),
+                "unknown metric type: {line}"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {line}"
+        );
+    }
+}
+
+/// The env-var path: `ULP_METRICS_ADDR=127.0.0.1:0` binds a free port,
+/// implies tracing (so the syscall families fill), and a scrape returns the
+/// `ulp_syscall_*` series for the workload that ran.
+#[test]
+fn env_var_endpoint_serves_syscall_families() {
+    std::env::set_var("ULP_METRICS_ADDR", "127.0.0.1:0");
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    std::env::remove_var("ULP_METRICS_ADDR");
+    let addr = rt.metrics_addr().expect("endpoint must have started");
+    assert!(rt.trace_enabled(), "metrics endpoint implies tracing");
+
+    let h = rt.spawn("workload", || {
+        for _ in 0..10 {
+            ulp_core::sys::getpid().unwrap();
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+
+    let (status, body) = scrape(addr, "/metrics", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_parses_as_exposition(&body);
+    assert!(body.contains("ulp_kernel_syscalls_total "));
+    assert!(body.contains("ulp_context_switches_total "));
+    assert!(
+        body.contains("ulp_syscall_total{call=\"getpid\"}"),
+        "per-call counter missing:\n{body}"
+    );
+    assert!(
+        body.contains("ulp_syscall_latency_ns_bucket{call=\"getpid\",le=\""),
+        "per-call latency buckets missing:\n{body}"
+    );
+    assert!(body.contains("ulp_syscall_latency_ns_count{call=\"getpid\"}"));
+
+    // The getpid sample count is at least the workload's 10 calls.
+    let count: u64 = body
+        .lines()
+        .find(|l| l.starts_with("ulp_syscall_total{call=\"getpid\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("getpid counter sample");
+    assert!(count >= 10, "expected >= 10 getpid calls, saw {count}");
+}
+
+/// The programmatic path plus HTTP edge cases: `/` aliases `/metrics`,
+/// unknown paths 404, non-GET methods 405, and shutdown closes the
+/// listener.
+#[test]
+fn serve_metrics_api_and_http_edge_cases() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    assert!(rt.metrics_addr().is_none(), "no endpoint until asked");
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+    assert_eq!(rt.metrics_addr(), Some(addr));
+
+    let (status, body) = scrape(addr, "/", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_parses_as_exposition(&body);
+
+    let (status, _) = scrape(addr, "/nope", "GET");
+    assert!(status.contains("404"), "bad status: {status}");
+    let (status, _) = scrape(addr, "/metrics", "POST");
+    assert!(status.contains("405"), "bad status: {status}");
+
+    rt.shutdown();
+    assert!(
+        rt.metrics_addr().is_none(),
+        "endpoint dies with the runtime"
+    );
+    // The port is released: either connects are refused outright or the
+    // socket is gone; a fresh connect must not produce a 200 scrape.
+    if let Ok(mut conn) = TcpStream::connect(addr) {
+        let _ = write!(conn, "GET /metrics HTTP/1.0\r\n\r\n");
+        let mut resp = String::new();
+        let _ = conn.read_to_string(&mut resp);
+        assert!(
+            !resp.contains("200 OK"),
+            "listener answered after shutdown: {resp}"
+        );
+    }
+}

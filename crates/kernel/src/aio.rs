@@ -14,6 +14,7 @@ use crate::errno::{Errno, KResult};
 use crate::fd::Fd;
 use crate::kernel::{Kernel, KernelRef};
 use crate::process::Pid;
+use crate::trace::{self, SyscallPhase, Sysno};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::{Arc, Weak};
@@ -94,22 +95,33 @@ impl Aiocb {
     }
 
     /// `aio_suspend(3)` for a single control block: put the calling OS
-    /// thread to sleep until completion.
+    /// thread to sleep until completion. The sleep (if any) is bracketed by
+    /// an `aio_suspend` span through the syscall observer hook.
     pub fn suspend(&self) {
         let mut st = self.inner.state.lock();
+        if !matches!(*st, AioState::InProgress) {
+            return;
+        }
+        trace::emit(Sysno::AioSuspend, SyscallPhase::Enter);
         while matches!(*st, AioState::InProgress) {
             self.inner.done.wait(&mut st);
         }
+        trace::emit(Sysno::AioSuspend, SyscallPhase::Exit { errno: 0 });
     }
 
-    /// `aio_suspend` with a timeout; `false` on `EAGAIN` (timed out).
+    /// `aio_suspend` with a timeout; `false` on `EAGAIN` (timed out). A
+    /// timed-out sleep exits its `aio_suspend` span with `errno == EAGAIN`.
     pub fn suspend_timeout(&self, timeout: Duration) -> bool {
         let mut st = self.inner.state.lock();
         if !matches!(*st, AioState::InProgress) {
             return true;
         }
+        trace::emit(Sysno::AioSuspend, SyscallPhase::Enter);
         self.inner.done.wait_for(&mut st, timeout);
-        !matches!(*st, AioState::InProgress)
+        let done = !matches!(*st, AioState::InProgress);
+        let errno = if done { 0 } else { Errno::EAGAIN.as_raw() };
+        trace::emit(Sysno::AioSuspend, SyscallPhase::Exit { errno });
+        done
     }
 
     /// Whether the request has completed (success or failure).
@@ -187,33 +199,37 @@ impl Kernel {
     /// buffer from the helper thread (submission is O(1) regardless of size).
     pub fn aio_write(self: &Arc<Self>, fd: Fd, offset: u64, data: Arc<Vec<u8>>) -> KResult<Aiocb> {
         let pid = self.current_pid().ok_or(Errno::ESRCH)?;
-        let cb = Aiocb::new();
-        self.aio_service()
-            .tx
-            .send(AioJob {
-                pid,
-                fd,
-                op: AioOp::Write { offset, data },
-                cb: cb.inner.clone(),
-            })
-            .map_err(|_| Errno::EIO)?;
-        Ok(cb)
+        self.syscall_span(Sysno::AioWrite, pid, || {
+            let cb = Aiocb::new();
+            self.aio_service()
+                .tx
+                .send(AioJob {
+                    pid,
+                    fd,
+                    op: AioOp::Write { offset, data },
+                    cb: cb.inner.clone(),
+                })
+                .map_err(|_| Errno::EIO)?;
+            Ok(cb)
+        })
     }
 
     /// `aio_read(3)`: positional asynchronous read of `len` bytes.
     pub fn aio_read(self: &Arc<Self>, fd: Fd, offset: u64, len: usize) -> KResult<Aiocb> {
         let pid = self.current_pid().ok_or(Errno::ESRCH)?;
-        let cb = Aiocb::new();
-        self.aio_service()
-            .tx
-            .send(AioJob {
-                pid,
-                fd,
-                op: AioOp::Read { offset, len },
-                cb: cb.inner.clone(),
-            })
-            .map_err(|_| Errno::EIO)?;
-        Ok(cb)
+        self.syscall_span(Sysno::AioRead, pid, || {
+            let cb = Aiocb::new();
+            self.aio_service()
+                .tx
+                .send(AioJob {
+                    pid,
+                    fd,
+                    op: AioOp::Read { offset, len },
+                    cb: cb.inner.clone(),
+                })
+                .map_err(|_| Errno::EIO)?;
+            Ok(cb)
+        })
     }
 }
 

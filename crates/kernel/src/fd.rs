@@ -19,13 +19,18 @@ use std::sync::Arc;
 pub struct Fd(pub i32);
 
 /// What a descriptor refers to.
+///
+/// The pipe variants are the descriptors whose `read(2)`/`write(2)` can put
+/// the calling kernel context to sleep; those sleeps show up as nested
+/// `pipe_block_read`/`pipe_block_write` spans on the trace timeline (see
+/// [`crate::trace`]).
 #[derive(Debug)]
 pub enum FileObject {
     /// A tmpfs file or directory.
     Tmpfs(Ino),
-    /// Read end of a pipe.
+    /// Read end of a pipe (blocking reads may sleep the calling KC).
     PipeRead(PipeReader),
-    /// Write end of a pipe.
+    /// Write end of a pipe (blocking writes may sleep the calling KC).
     PipeWrite(PipeWriter),
 }
 

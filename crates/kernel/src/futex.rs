@@ -6,13 +6,27 @@
 //! over an `AtomicU32`, and [`Semaphore`] built on top of them, following the
 //! construction in *Rust Atomics and Locks*, ch. 8–9.
 
+use crate::errno::Errno;
+use crate::trace::{self, SyscallPhase, Sysno};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 /// Block until `*atom != expected` (or a spurious wake). Returns immediately
 /// if the value already differs.
+///
+/// Emits a `futex_wait` span through the syscall observer hook: with tracing
+/// on, every KC sleep (the BLOCKING idle primitive) shows up on the merged
+/// timeline. `futex_wake` is deliberately *not* instrumented — it sits on
+/// the couple/notify hot path and never blocks.
 #[inline]
 pub fn futex_wait(atom: &AtomicU32, expected: u32) {
+    trace::emit(Sysno::FutexWait, SyscallPhase::Enter);
+    futex_wait_raw(atom, expected);
+    trace::emit(Sysno::FutexWait, SyscallPhase::Exit { errno: 0 });
+}
+
+#[inline]
+fn futex_wait_raw(atom: &AtomicU32, expected: u32) {
     #[cfg(target_os = "linux")]
     unsafe {
         libc::syscall(
@@ -34,7 +48,18 @@ pub fn futex_wait(atom: &AtomicU32, expected: u32) {
 
 /// Block until `*atom != expected`, a wake-up, or `timeout`. Returns `false`
 /// on timeout.
+///
+/// Emits a `futex_wait` span like [`futex_wait`]; a timed-out wait exits
+/// with `errno == ETIMEDOUT`.
 pub fn futex_wait_timeout(atom: &AtomicU32, expected: u32, timeout: Duration) -> bool {
+    trace::emit(Sysno::FutexWait, SyscallPhase::Enter);
+    let woken = futex_wait_timeout_raw(atom, expected, timeout);
+    let errno = if woken { 0 } else { Errno::ETIMEDOUT.as_raw() };
+    trace::emit(Sysno::FutexWait, SyscallPhase::Exit { errno });
+    woken
+}
+
+fn futex_wait_timeout_raw(atom: &AtomicU32, expected: u32, timeout: Duration) -> bool {
     #[cfg(target_os = "linux")]
     unsafe {
         let ts = libc::timespec {

@@ -20,6 +20,7 @@ use crate::fd::FileObject;
 use crate::fs::Tmpfs;
 use crate::process::{Pid, ProcState, Process};
 use crate::signal::Signal;
+use crate::trace::{self, SyscallPhase, Sysno};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -104,16 +105,40 @@ impl Kernel {
     /// Charge the architectural syscall-entry cost and bump counters.
     /// Called at the top of every simulated system call.
     #[inline]
-    pub(crate) fn enter_syscall(&self, name: &'static str, pid: Pid) {
+    pub(crate) fn enter_syscall(&self, no: Sysno, pid: Pid) {
         self.syscall_count.fetch_add(1, Ordering::Relaxed);
         crate::cost::spin_for(self.profile.syscall_entry());
         if self.trace_enabled.load(Ordering::Relaxed) {
             self.trace.lock().push(TraceEntry {
                 pid,
-                call: name,
+                call: no.name(),
                 thread: std::thread::current().id(),
             });
         }
+    }
+
+    /// Run one system call body inside an observed span: charges the entry
+    /// cost, emits the `Enter`/`Exit` pair through the global observer hook
+    /// (see [`crate::trace`]), and forwards the result. The `Exit` record
+    /// carries the raw errno (`0` on success) so the span shows up in the
+    /// merged timeline with its outcome.
+    #[inline]
+    pub(crate) fn syscall_span<T>(
+        &self,
+        no: Sysno,
+        pid: Pid,
+        f: impl FnOnce() -> KResult<T>,
+    ) -> KResult<T> {
+        trace::emit(no, SyscallPhase::Enter);
+        self.enter_syscall(no, pid);
+        let out = f();
+        trace::emit(
+            no,
+            SyscallPhase::Exit {
+                errno: errno_of(&out),
+            },
+        );
+        out
     }
 
     // ----- process lifecycle ------------------------------------------------
@@ -174,6 +199,18 @@ impl Kernel {
     /// `Some(target)`, wait for that child specifically. Blocks the calling
     /// OS thread — a *blocking system call* in the paper's sense.
     pub fn waitpid(&self, parent: Pid, target: Option<Pid>) -> KResult<(Pid, i32)> {
+        trace::emit(Sysno::Waitpid, SyscallPhase::Enter);
+        let out = self.waitpid_inner(parent, target);
+        trace::emit(
+            Sysno::Waitpid,
+            SyscallPhase::Exit {
+                errno: errno_of(&out),
+            },
+        );
+        out
+    }
+
+    fn waitpid_inner(&self, parent: Pid, target: Option<Pid>) -> KResult<(Pid, i32)> {
         loop {
             {
                 let parent_proc = self.process(parent).ok_or(Errno::ESRCH)?;
@@ -304,6 +341,15 @@ impl Kernel {
     /// The shared filesystem.
     pub fn tmpfs(&self) -> &Tmpfs {
         &self.fs
+    }
+}
+
+/// Raw errno of a syscall result: `0` on success.
+#[inline]
+pub(crate) fn errno_of<T>(r: &KResult<T>) -> i32 {
+    match r {
+        Ok(_) => 0,
+        Err(e) => e.as_raw(),
     }
 }
 

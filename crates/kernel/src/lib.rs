@@ -34,6 +34,7 @@ pub mod pipe;
 pub mod process;
 pub mod signal;
 pub mod syscall;
+pub mod trace;
 
 pub use aio::{aio_suspend_any, Aiocb};
 pub use cost::{cycles, cycles_per_ns, cycles_to_ns, spin_for, ArchProfile};
@@ -45,3 +46,4 @@ pub use kernel::{BindGuard, Kernel, KernelRef, TraceEntry};
 pub use pipe::{pipe, pipe_with_capacity, PipeReader, PipeWriter};
 pub use process::{Pid, ProcState, Process};
 pub use signal::{Disposition, MaskHow, SigSet, Signal, SignalState};
+pub use trace::{install_syscall_observer, SyscallObserver, SyscallPhase, Sysno};

@@ -7,6 +7,8 @@
 //! that BLT's `couple()`/`decouple()` makes harmless (paper §I, §V-B).
 
 use crate::errno::{Errno, KResult};
+use crate::kernel::errno_of;
+use crate::trace::{self, SyscallPhase, Sysno};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,25 +88,44 @@ impl Drop for PipeWriter {
 impl PipeReader {
     /// Blocking read: waits for at least one byte (or EOF). Returns 0 at
     /// EOF (all writers gone, buffer drained).
+    ///
+    /// When the calling thread actually sleeps, the sleep is bracketed by a
+    /// `pipe_block_read` span through the syscall observer hook — nested
+    /// inside the surrounding `read(2)` span, so the timeline distinguishes
+    /// "read that returned at once" from "read that stalled its KC".
     pub fn read(&self, out: &mut [u8]) -> KResult<usize> {
         if out.is_empty() {
             return Ok(0);
         }
         let mut buf = self.0.buf.lock();
-        loop {
+        let mut blocked = false;
+        let res = loop {
             if !buf.is_empty() {
                 let n = out.len().min(buf.len());
                 for slot in out[..n].iter_mut() {
                     *slot = buf.pop_front().expect("len checked");
                 }
                 self.0.writable.notify_all();
-                return Ok(n);
+                break Ok(n);
             }
             if self.0.writers.load(Ordering::Acquire) == 0 {
-                return Ok(0); // EOF
+                break Ok(0); // EOF
+            }
+            if !blocked {
+                blocked = true;
+                trace::emit(Sysno::PipeBlockRead, SyscallPhase::Enter);
             }
             self.0.readable.wait(&mut buf);
+        };
+        if blocked {
+            trace::emit(
+                Sysno::PipeBlockRead,
+                SyscallPhase::Exit {
+                    errno: errno_of(&res),
+                },
+            );
         }
+        res
     }
 
     /// Non-blocking read: `EAGAIN` instead of sleeping.
@@ -134,12 +155,19 @@ impl PipeReader {
 impl PipeWriter {
     /// Blocking write of the whole buffer; sleeps whenever the pipe is full.
     /// Returns `EPIPE` if all readers are gone.
+    ///
+    /// Sleeps are bracketed by a `pipe_block_write` span, exactly as in
+    /// [`PipeReader::read`].
     pub fn write(&self, data: &[u8]) -> KResult<usize> {
         let mut written = 0;
         let mut buf = self.0.buf.lock();
-        while written < data.len() {
+        let mut blocked = false;
+        let res = loop {
+            if written >= data.len() {
+                break Ok(written);
+            }
             if self.0.readers.load(Ordering::Acquire) == 0 {
-                return if written > 0 {
+                break if written > 0 {
                     Ok(written)
                 } else {
                     Err(Errno::EPIPE)
@@ -147,6 +175,10 @@ impl PipeWriter {
             }
             let space = self.0.capacity.saturating_sub(buf.len());
             if space == 0 {
+                if !blocked {
+                    blocked = true;
+                    trace::emit(Sysno::PipeBlockWrite, SyscallPhase::Enter);
+                }
                 self.0.writable.wait(&mut buf);
                 continue;
             }
@@ -154,8 +186,16 @@ impl PipeWriter {
             buf.extend(&data[written..written + n]);
             written += n;
             self.0.readable.notify_all();
+        };
+        if blocked {
+            trace::emit(
+                Sysno::PipeBlockWrite,
+                SyscallPhase::Exit {
+                    errno: errno_of(&res),
+                },
+            );
         }
-        Ok(written)
+        res
     }
 
     /// Non-blocking write: writes what fits, `EAGAIN` if nothing fits.

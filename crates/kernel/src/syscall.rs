@@ -1,10 +1,13 @@
 //! The simulated system-call surface.
 //!
 //! Every function here follows the same contract: it resolves the **calling
-//! OS thread's** bound process (the kernel context's identity), charges the
-//! architectural syscall-entry cost, and then operates on that process's
-//! state. None of them know anything about user contexts — which is exactly
-//! why a migrated UC that calls them without `couple()` observes the wrong
+//! OS thread's** bound process (the kernel context's identity), then runs its
+//! body inside `Kernel::syscall_span` — which charges the architectural
+//! syscall-entry cost and emits an `Enter`/`Exit` span pair (syscall number
+//! plus errno) through the observer hook in [`crate::trace`], so the runtime
+//! can interleave syscall spans with its couple/decouple timeline. None of
+//! these functions know anything about user contexts — which is exactly why
+//! a migrated UC that calls them without `couple()` observes the wrong
 //! process (paper §I: "the returned PID may vary depending on the scheduling
 //! KLT").
 
@@ -15,6 +18,7 @@ use crate::kernel::Kernel;
 use crate::pipe;
 use crate::process::Pid;
 use crate::signal::{MaskHow, SigSet, Signal};
+use crate::trace::Sysno;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -24,37 +28,34 @@ impl Kernel {
     /// `getpid(2)` — the paper's Table V microbenchmark.
     pub fn sys_getpid(&self) -> KResult<Pid> {
         let (pid, _) = self.require_current()?;
-        self.enter_syscall("getpid", pid);
-        Ok(pid)
+        self.syscall_span(Sysno::Getpid, pid, || Ok(pid))
     }
 
     /// `getppid(2)`.
     pub fn sys_getppid(&self) -> KResult<Pid> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("getppid", pid);
-        Ok(proc.ppid.unwrap_or(Pid(0)))
+        self.syscall_span(Sysno::Getppid, pid, || Ok(proc.ppid.unwrap_or(Pid(0))))
     }
 
     /// `getcwd(2)`.
     pub fn sys_getcwd(&self) -> KResult<String> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("getcwd", pid);
-        let cwd = proc.cwd.lock().clone();
-        Ok(cwd)
+        self.syscall_span(Sysno::Getcwd, pid, || Ok(proc.cwd.lock().clone()))
     }
 
     /// `chdir(2)`.
     pub fn sys_chdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("chdir", pid);
-        let cwd = proc.cwd.lock().clone();
-        let st = self.fs.stat(&cwd, path)?;
-        if !st.is_dir {
-            return Err(Errno::ENOTDIR);
-        }
-        let comps = crate::fs::normalize(&cwd, path);
-        *proc.cwd.lock() = format!("/{}", comps.join("/"));
-        Ok(())
+        self.syscall_span(Sysno::Chdir, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            let st = self.fs.stat(&cwd, path)?;
+            if !st.is_dir {
+                return Err(Errno::ENOTDIR);
+            }
+            let comps = crate::fs::normalize(&cwd, path);
+            *proc.cwd.lock() = format!("/{}", comps.join("/"));
+            Ok(())
+        })
     }
 
     // ----- files ------------------------------------------------------------
@@ -63,197 +64,205 @@ impl Kernel {
     /// *calling thread's* process FD table.
     pub fn sys_open(&self, path: &str, flags: OpenFlags) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("open", pid);
-        let cwd = proc.cwd.lock().clone();
-        let ino = self.fs.open(&cwd, path, flags)?;
-        let desc = Arc::new(Description {
-            object: FileObject::Tmpfs(ino),
-            offset: Mutex::new(0),
-            flags,
-        });
-        let installed = proc.fds.lock().install(desc);
-        match installed {
-            Ok(fd) => Ok(fd),
-            Err(e) => {
-                self.fs.release(ino);
-                Err(e)
+        self.syscall_span(Sysno::Open, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            let ino = self.fs.open(&cwd, path, flags)?;
+            let desc = Arc::new(Description {
+                object: FileObject::Tmpfs(ino),
+                offset: Mutex::new(0),
+                flags,
+            });
+            let installed = proc.fds.lock().install(desc);
+            match installed {
+                Ok(fd) => Ok(fd),
+                Err(e) => {
+                    self.fs.release(ino);
+                    Err(e)
+                }
             }
-        }
+        })
     }
 
     /// `close(2)`.
     pub fn sys_close(&self, fd: Fd) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("close", pid);
-        let desc = proc.fds.lock().remove(fd)?;
-        if let FileObject::Tmpfs(ino) = desc.object {
-            // Only release the inode once the last descriptor sharing this
-            // description is gone (dup'ed fds share one Arc).
-            if Arc::strong_count(&desc) == 1 {
-                self.fs.release(ino);
+        self.syscall_span(Sysno::Close, pid, || {
+            let desc = proc.fds.lock().remove(fd)?;
+            if let FileObject::Tmpfs(ino) = desc.object {
+                // Only release the inode once the last descriptor sharing this
+                // description is gone (dup'ed fds share one Arc).
+                if Arc::strong_count(&desc) == 1 {
+                    self.fs.release(ino);
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// `write(2)`: tmpfs writes advance the shared offset; pipe writes may
     /// block the calling OS thread.
     pub fn sys_write(&self, fd: Fd, data: &[u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("write", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                if !desc.flags.writable() {
-                    return Err(Errno::EBADF);
+        self.syscall_span(Sysno::Write, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    if !desc.flags.writable() {
+                        return Err(Errno::EBADF);
+                    }
+                    let mut off = desc.offset.lock();
+                    let pos = if desc.flags.contains(OpenFlags::APPEND) {
+                        self.fs.size(*ino)?
+                    } else {
+                        *off
+                    };
+                    let n = self.fs.write_at(*ino, pos, data)?;
+                    *off = pos + n as u64;
+                    Ok(n)
                 }
-                let mut off = desc.offset.lock();
-                let pos = if desc.flags.contains(OpenFlags::APPEND) {
-                    self.fs.size(*ino)?
-                } else {
-                    *off
-                };
-                let n = self.fs.write_at(*ino, pos, data)?;
-                *off = pos + n as u64;
-                Ok(n)
+                FileObject::PipeWrite(w) => w.write(data),
+                FileObject::PipeRead(_) => Err(Errno::EBADF),
             }
-            FileObject::PipeWrite(w) => w.write(data),
-            FileObject::PipeRead(_) => Err(Errno::EBADF),
-        }
+        })
     }
 
     /// `read(2)`.
     pub fn sys_read(&self, fd: Fd, buf: &mut [u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("read", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                if !desc.flags.readable() {
-                    return Err(Errno::EBADF);
+        self.syscall_span(Sysno::Read, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    if !desc.flags.readable() {
+                        return Err(Errno::EBADF);
+                    }
+                    let mut off = desc.offset.lock();
+                    let n = self.fs.read_at(*ino, *off, buf)?;
+                    *off += n as u64;
+                    Ok(n)
                 }
-                let mut off = desc.offset.lock();
-                let n = self.fs.read_at(*ino, *off, buf)?;
-                *off += n as u64;
-                Ok(n)
+                FileObject::PipeRead(r) => r.read(buf),
+                FileObject::PipeWrite(_) => Err(Errno::EBADF),
             }
-            FileObject::PipeRead(r) => r.read(buf),
-            FileObject::PipeWrite(_) => Err(Errno::EBADF),
-        }
+        })
     }
 
     /// `pwrite(2)`: positional, does not move the shared offset.
     pub fn sys_pwrite(&self, fd: Fd, offset: u64, data: &[u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("pwrite", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                if !desc.flags.writable() {
-                    return Err(Errno::EBADF);
+        self.syscall_span(Sysno::Pwrite, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    if !desc.flags.writable() {
+                        return Err(Errno::EBADF);
+                    }
+                    self.fs.write_at(*ino, offset, data)
                 }
-                self.fs.write_at(*ino, offset, data)
+                _ => Err(Errno::ESPIPE),
             }
-            _ => Err(Errno::ESPIPE),
-        }
+        })
     }
 
     /// `pread(2)`.
     pub fn sys_pread(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("pread", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                if !desc.flags.readable() {
-                    return Err(Errno::EBADF);
+        self.syscall_span(Sysno::Pread, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    if !desc.flags.readable() {
+                        return Err(Errno::EBADF);
+                    }
+                    self.fs.read_at(*ino, offset, buf)
                 }
-                self.fs.read_at(*ino, offset, buf)
+                _ => Err(Errno::ESPIPE),
             }
-            _ => Err(Errno::ESPIPE),
-        }
+        })
     }
 
     /// `lseek(2)`.
     pub fn sys_lseek(&self, fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("lseek", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                let mut off = desc.offset.lock();
-                let base: i64 = match whence {
-                    Whence::Set => 0,
-                    Whence::Cur => *off as i64,
-                    Whence::End => self.fs.size(*ino)? as i64,
-                };
-                let new = base.checked_add(offset).ok_or(Errno::EINVAL)?;
-                if new < 0 {
-                    return Err(Errno::EINVAL);
+        self.syscall_span(Sysno::Lseek, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    let mut off = desc.offset.lock();
+                    let base: i64 = match whence {
+                        Whence::Set => 0,
+                        Whence::Cur => *off as i64,
+                        Whence::End => self.fs.size(*ino)? as i64,
+                    };
+                    let new = base.checked_add(offset).ok_or(Errno::EINVAL)?;
+                    if new < 0 {
+                        return Err(Errno::EINVAL);
+                    }
+                    *off = new as u64;
+                    Ok(*off)
                 }
-                *off = new as u64;
-                Ok(*off)
+                _ => Err(Errno::ESPIPE),
             }
-            _ => Err(Errno::ESPIPE),
-        }
+        })
     }
 
     /// `ftruncate(2)`.
     pub fn sys_ftruncate(&self, fd: Fd, len: u64) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("ftruncate", pid);
-        let desc = proc.fds.lock().get(fd)?;
-        match &desc.object {
-            FileObject::Tmpfs(ino) => {
-                if !desc.flags.writable() {
-                    return Err(Errno::EBADF);
+        self.syscall_span(Sysno::Ftruncate, pid, || {
+            let desc = proc.fds.lock().get(fd)?;
+            match &desc.object {
+                FileObject::Tmpfs(ino) => {
+                    if !desc.flags.writable() {
+                        return Err(Errno::EBADF);
+                    }
+                    self.fs.truncate(*ino, len)
                 }
-                self.fs.truncate(*ino, len)
+                _ => Err(Errno::EINVAL),
             }
-            _ => Err(Errno::EINVAL),
-        }
+        })
     }
 
     /// `dup(2)`.
     pub fn sys_dup(&self, fd: Fd) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("dup", pid);
-        let duped = proc.fds.lock().dup(fd);
-        duped
+        self.syscall_span(Sysno::Dup, pid, || proc.fds.lock().dup(fd))
     }
 
     /// `dup2(2)`.
     pub fn sys_dup2(&self, fd: Fd, newfd: Fd) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("dup2", pid);
-        let old = proc.fds.lock().dup2(fd, newfd)?;
-        if let Some(desc) = old {
-            if let FileObject::Tmpfs(ino) = desc.object {
-                if Arc::strong_count(&desc) == 1 {
-                    self.fs.release(ino);
+        self.syscall_span(Sysno::Dup2, pid, || {
+            let old = proc.fds.lock().dup2(fd, newfd)?;
+            if let Some(desc) = old {
+                if let FileObject::Tmpfs(ino) = desc.object {
+                    if Arc::strong_count(&desc) == 1 {
+                        self.fs.release(ino);
+                    }
                 }
             }
-        }
-        Ok(newfd)
+            Ok(newfd)
+        })
     }
 
     /// `pipe(2)`: returns (read end, write end).
     pub fn sys_pipe(&self) -> KResult<(Fd, Fd)> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("pipe", pid);
-        let (r, w) = pipe::pipe();
-        let mut fds = proc.fds.lock();
-        let rfd = fds.install(Arc::new(Description {
-            object: FileObject::PipeRead(r),
-            offset: Mutex::new(0),
-            flags: OpenFlags::RDONLY,
-        }))?;
-        let wfd = fds.install(Arc::new(Description {
-            object: FileObject::PipeWrite(w),
-            offset: Mutex::new(0),
-            flags: OpenFlags::WRONLY,
-        }))?;
-        Ok((rfd, wfd))
+        self.syscall_span(Sysno::Pipe, pid, || {
+            let (r, w) = pipe::pipe();
+            let mut fds = proc.fds.lock();
+            let rfd = fds.install(Arc::new(Description {
+                object: FileObject::PipeRead(r),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDONLY,
+            }))?;
+            let wfd = fds.install(Arc::new(Description {
+                object: FileObject::PipeWrite(w),
+                offset: Mutex::new(0),
+                flags: OpenFlags::WRONLY,
+            }))?;
+            Ok((rfd, wfd))
+        })
     }
 
     // ----- namespace --------------------------------------------------------
@@ -261,57 +270,64 @@ impl Kernel {
     /// `unlink(2)`.
     pub fn sys_unlink(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("unlink", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.unlink(&cwd, path)
+        self.syscall_span(Sysno::Unlink, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.unlink(&cwd, path)
+        })
     }
 
     /// `mkdir(2)`.
     pub fn sys_mkdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("mkdir", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.mkdir(&cwd, path).map(|_| ())
+        self.syscall_span(Sysno::Mkdir, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.mkdir(&cwd, path).map(|_| ())
+        })
     }
 
     /// `rmdir(2)`.
     pub fn sys_rmdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("rmdir", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.rmdir(&cwd, path)
+        self.syscall_span(Sysno::Rmdir, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.rmdir(&cwd, path)
+        })
     }
 
     /// `link(2)`.
     pub fn sys_link(&self, existing: &str, new: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("link", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.link(&cwd, existing, new)
+        self.syscall_span(Sysno::Link, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.link(&cwd, existing, new)
+        })
     }
 
     /// `rename(2)`.
     pub fn sys_rename(&self, from: &str, to: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("rename", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.rename(&cwd, from, to)
+        self.syscall_span(Sysno::Rename, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.rename(&cwd, from, to)
+        })
     }
 
     /// `stat(2)`.
     pub fn sys_stat(&self, path: &str) -> KResult<FileStat> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("stat", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.stat(&cwd, path)
+        self.syscall_span(Sysno::Stat, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.stat(&cwd, path)
+        })
     }
 
     /// `readdir(3)`-ish: whole directory listing.
     pub fn sys_readdir(&self, path: &str) -> KResult<Vec<DirEntry>> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("readdir", pid);
-        let cwd = proc.cwd.lock().clone();
-        self.fs.readdir(&cwd, path)
+        self.syscall_span(Sysno::Readdir, pid, || {
+            let cwd = proc.cwd.lock().clone();
+            self.fs.readdir(&cwd, path)
+        })
     }
 
     // ----- signals ----------------------------------------------------------
@@ -319,32 +335,34 @@ impl Kernel {
     /// `kill(2)`: post a signal to a process.
     pub fn sys_kill(&self, target: Pid, sig: Signal) -> KResult<()> {
         let (pid, _) = self.require_current()?;
-        self.enter_syscall("kill", pid);
-        let t = self.process(target).ok_or(Errno::ESRCH)?;
-        t.signals.post(sig);
-        Ok(())
+        self.syscall_span(Sysno::Kill, pid, || {
+            let t = self.process(target).ok_or(Errno::ESRCH)?;
+            t.signals.post(sig);
+            Ok(())
+        })
     }
 
     /// `sigprocmask(2)` on the calling thread's bound process.
     pub fn sys_sigprocmask(&self, how: MaskHow, set: SigSet) -> KResult<SigSet> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("sigprocmask", pid);
-        Ok(proc.signals.set_mask(how, set))
+        self.syscall_span(Sysno::Sigprocmask, pid, || {
+            Ok(proc.signals.set_mask(how, set))
+        })
     }
 
     /// `sigpending(2)`.
     pub fn sys_sigpending(&self) -> KResult<SigSet> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("sigpending", pid);
-        Ok(proc.signals.pending())
+        self.syscall_span(Sysno::Sigpending, pid, || Ok(proc.signals.pending()))
     }
 
     /// Dequeue one deliverable signal for the bound process (the simulated
     /// kernel's "return to userspace" delivery point).
     pub fn sys_take_signal(&self) -> KResult<Option<Signal>> {
         let (pid, proc) = self.require_current()?;
-        self.enter_syscall("take_signal", pid);
-        Ok(proc.signals.take_deliverable())
+        self.syscall_span(Sysno::TakeSignal, pid, || {
+            Ok(proc.signals.take_deliverable())
+        })
     }
 
     // ----- blocking helpers ---------------------------------------------------
@@ -352,9 +370,10 @@ impl Kernel {
     /// `nanosleep(2)`-style blocking sleep: blocks the calling OS thread.
     pub fn sys_sleep(&self, d: std::time::Duration) -> KResult<()> {
         let (pid, _) = self.require_current()?;
-        self.enter_syscall("nanosleep", pid);
-        std::thread::sleep(d);
-        Ok(())
+        self.syscall_span(Sysno::Nanosleep, pid, || {
+            std::thread::sleep(d);
+            Ok(())
+        })
     }
 }
 

@@ -1,0 +1,254 @@
+//! Syscall-span observation hooks.
+//!
+//! The simulated kernel sits *below* `ulp-core` in the crate graph, so it
+//! cannot write into the runtime's per-KC trace shards directly. Instead it
+//! exposes a process-global **observer hook**: the runtime installs a plain
+//! `fn(Sysno, SyscallPhase)` once at construction, and every simulated
+//! system call emits an `Enter`/`Exit` pair through it. The observer routes
+//! the pair onto the calling OS thread's trace shard (same rings, same
+//! process-wide clock as the couple/decouple protocol events), which is what
+//! lets the merged Perfetto timeline interleave syscall spans with BLT state
+//! tracks and makes system-call-consistency violations visually obvious.
+//!
+//! With no observer installed (the kernel crate used standalone, or tracing
+//! never wired up) every emit is a single `OnceLock` load — the kernel keeps
+//! working with zero observability cost.
+
+use std::sync::OnceLock;
+
+/// Identity of a simulated system call, used to label trace spans and to
+/// index the per-syscall latency histograms.
+///
+/// Discriminants are dense (`0..COUNT`) so the value round-trips through the
+/// packed trace-slot encoding via [`Sysno::from_u16`] and can index a
+/// `[_; Sysno::COUNT]` table directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Sysno {
+    /// `getpid(2)` — the paper's Table V consistency microbenchmark.
+    Getpid = 0,
+    /// `getppid(2)`.
+    Getppid,
+    /// `getcwd(2)`.
+    Getcwd,
+    /// `chdir(2)`.
+    Chdir,
+    /// `open(2)`.
+    Open,
+    /// `close(2)`.
+    Close,
+    /// `write(2)` (tmpfs or pipe; the pipe case may block).
+    Write,
+    /// `read(2)` (tmpfs or pipe; the pipe case may block).
+    Read,
+    /// `pwrite(2)`.
+    Pwrite,
+    /// `pread(2)`.
+    Pread,
+    /// `lseek(2)`.
+    Lseek,
+    /// `ftruncate(2)`.
+    Ftruncate,
+    /// `dup(2)`.
+    Dup,
+    /// `dup2(2)`.
+    Dup2,
+    /// `pipe(2)`.
+    Pipe,
+    /// `unlink(2)`.
+    Unlink,
+    /// `mkdir(2)`.
+    Mkdir,
+    /// `rmdir(2)`.
+    Rmdir,
+    /// `link(2)`.
+    Link,
+    /// `rename(2)`.
+    Rename,
+    /// `stat(2)`.
+    Stat,
+    /// `readdir(3)`.
+    Readdir,
+    /// `kill(2)`.
+    Kill,
+    /// `sigprocmask(2)`.
+    Sigprocmask,
+    /// `sigpending(2)`.
+    Sigpending,
+    /// Signal-delivery dequeue (the simulated return-to-userspace point).
+    TakeSignal,
+    /// `nanosleep(2)` — blocks the calling OS thread.
+    Nanosleep,
+    /// Blocking `waitpid(2)`.
+    Waitpid,
+    /// `futex(FUTEX_WAIT)` — the BLOCKING idle primitive (§VI-C).
+    FutexWait,
+    /// `aio_write(3)` submission.
+    AioWrite,
+    /// `aio_read(3)` submission.
+    AioRead,
+    /// `aio_suspend(3)` — blocks until an AIO request completes.
+    AioSuspend,
+    /// The in-kernel sleep of a `read(2)` on an empty pipe.
+    PipeBlockRead,
+    /// The in-kernel sleep of a `write(2)` on a full pipe.
+    PipeBlockWrite,
+}
+
+impl Sysno {
+    /// Number of distinct syscalls — the length of per-syscall tables.
+    pub const COUNT: usize = 34;
+
+    /// All syscalls, in discriminant order (`ALL[i] as u16 == i`).
+    pub const ALL: [Sysno; Sysno::COUNT] = [
+        Sysno::Getpid,
+        Sysno::Getppid,
+        Sysno::Getcwd,
+        Sysno::Chdir,
+        Sysno::Open,
+        Sysno::Close,
+        Sysno::Write,
+        Sysno::Read,
+        Sysno::Pwrite,
+        Sysno::Pread,
+        Sysno::Lseek,
+        Sysno::Ftruncate,
+        Sysno::Dup,
+        Sysno::Dup2,
+        Sysno::Pipe,
+        Sysno::Unlink,
+        Sysno::Mkdir,
+        Sysno::Rmdir,
+        Sysno::Link,
+        Sysno::Rename,
+        Sysno::Stat,
+        Sysno::Readdir,
+        Sysno::Kill,
+        Sysno::Sigprocmask,
+        Sysno::Sigpending,
+        Sysno::TakeSignal,
+        Sysno::Nanosleep,
+        Sysno::Waitpid,
+        Sysno::FutexWait,
+        Sysno::AioWrite,
+        Sysno::AioRead,
+        Sysno::AioSuspend,
+        Sysno::PipeBlockRead,
+        Sysno::PipeBlockWrite,
+    ];
+
+    /// Stable lower-case name, used as the Perfetto span label and the
+    /// `call="…"` Prometheus label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sysno::Getpid => "getpid",
+            Sysno::Getppid => "getppid",
+            Sysno::Getcwd => "getcwd",
+            Sysno::Chdir => "chdir",
+            Sysno::Open => "open",
+            Sysno::Close => "close",
+            Sysno::Write => "write",
+            Sysno::Read => "read",
+            Sysno::Pwrite => "pwrite",
+            Sysno::Pread => "pread",
+            Sysno::Lseek => "lseek",
+            Sysno::Ftruncate => "ftruncate",
+            Sysno::Dup => "dup",
+            Sysno::Dup2 => "dup2",
+            Sysno::Pipe => "pipe",
+            Sysno::Unlink => "unlink",
+            Sysno::Mkdir => "mkdir",
+            Sysno::Rmdir => "rmdir",
+            Sysno::Link => "link",
+            Sysno::Rename => "rename",
+            Sysno::Stat => "stat",
+            Sysno::Readdir => "readdir",
+            Sysno::Kill => "kill",
+            Sysno::Sigprocmask => "sigprocmask",
+            Sysno::Sigpending => "sigpending",
+            Sysno::TakeSignal => "take_signal",
+            Sysno::Nanosleep => "nanosleep",
+            Sysno::Waitpid => "waitpid",
+            Sysno::FutexWait => "futex_wait",
+            Sysno::AioWrite => "aio_write",
+            Sysno::AioRead => "aio_read",
+            Sysno::AioSuspend => "aio_suspend",
+            Sysno::PipeBlockRead => "pipe_block_read",
+            Sysno::PipeBlockWrite => "pipe_block_write",
+        }
+    }
+
+    /// Inverse of `self as u16`; `None` for out-of-range values (e.g. a
+    /// corrupt trace slot).
+    pub fn from_u16(v: u16) -> Option<Sysno> {
+        Sysno::ALL.get(v as usize).copied()
+    }
+}
+
+/// Which edge of a syscall span an observation marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallPhase {
+    /// The call is about to execute (after the calling thread's process
+    /// binding was resolved).
+    Enter,
+    /// The call returned.
+    Exit {
+        /// Raw errno of the result: `0` on success.
+        errno: i32,
+    },
+}
+
+/// The hook type: called on the *issuing* OS thread, synchronously, on both
+/// edges of every simulated system call. Must be cheap and must not call
+/// back into the kernel.
+pub type SyscallObserver = fn(Sysno, SyscallPhase);
+
+static OBSERVER: OnceLock<SyscallObserver> = OnceLock::new();
+
+/// Install the process-global syscall observer. The first installation wins;
+/// later calls are no-ops (the runtime may be constructed several times in
+/// one process — e.g. tests — and all instances install the same router).
+pub fn install_syscall_observer(f: SyscallObserver) {
+    let _ = OBSERVER.set(f);
+}
+
+/// Emit one syscall observation. A single `OnceLock` load when no observer
+/// was ever installed.
+#[inline]
+pub fn emit(no: Sysno, phase: SyscallPhase) {
+    if let Some(f) = OBSERVER.get() {
+        f(no, phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table_matches_discriminants() {
+        for (i, no) in Sysno::ALL.iter().enumerate() {
+            assert_eq!(*no as u16 as usize, i);
+            assert_eq!(Sysno::from_u16(i as u16), Some(*no));
+        }
+        assert_eq!(Sysno::from_u16(Sysno::COUNT as u16), None);
+        assert_eq!(Sysno::ALL.len(), Sysno::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Sysno::ALL.iter().map(|n| n.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Sysno::COUNT);
+        assert_eq!(Sysno::Getpid.name(), "getpid");
+        assert_eq!(Sysno::PipeBlockWrite.name(), "pipe_block_write");
+    }
+
+    #[test]
+    fn emit_without_observer_is_a_noop() {
+        // Must not panic or allocate; just exercises the cold path.
+        emit(Sysno::Getpid, SyscallPhase::Enter);
+        emit(Sysno::Getpid, SyscallPhase::Exit { errno: 0 });
+    }
+}

@@ -1,0 +1,67 @@
+//! Live Prometheus endpoint demo: serve `/metrics`, run a workload, scrape.
+//!
+//! Starts the runtime's metrics listener on a free port, runs a small
+//! couple/decouple + syscall workload with tracing on, then scrapes its own
+//! endpoint over plain HTTP — the same bytes `curl http://ADDR/metrics` or
+//! a Prometheus scraper would see — and prints the `ulp_syscall_*` series.
+//!
+//! Run: `cargo run --release --example metrics_endpoint`
+//!
+//! In a real deployment you would instead set `ULP_METRICS_ADDR=host:port`
+//! (which also turns tracing on) and point Prometheus at the address; see
+//! `OBSERVABILITY.md` for the scrape-config recipe.
+
+use std::io::{Read, Write};
+use ulp_repro::core::{coupled_scope, decouple, sys, Runtime};
+
+fn main() {
+    let rt = Runtime::builder().schedulers(2).build();
+    rt.trace_enable(); // the latency families only fill while tracing
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind metrics port");
+    println!("serving http://{addr}/metrics");
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            rt.spawn(&format!("worker{i}"), || {
+                decouple().unwrap();
+                for _ in 0..100 {
+                    coupled_scope(|| {
+                        sys::getpid().unwrap();
+                        let (r, w) = sys::pipe().unwrap();
+                        sys::write(w, b"x").unwrap();
+                        let mut buf = [0u8; 1];
+                        sys::read(r, &mut buf).unwrap();
+                        sys::close(r).unwrap();
+                        sys::close(w).unwrap();
+                    })
+                    .unwrap();
+                }
+                0
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+
+    // Self-scrape: exactly what curl does.
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    write!(conn, "GET /metrics HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    let (head, body) = resp.split_once("\r\n\r\n").expect("http response");
+    assert!(
+        head.starts_with("HTTP/1.0 200"),
+        "unexpected status: {head}"
+    );
+    assert!(body.contains("ulp_syscall_latency_ns_bucket{call=\"read\""));
+
+    println!("--- scraped {} bytes; ulp_syscall_* series ---", body.len());
+    for line in body.lines().filter(|l| {
+        (l.starts_with("ulp_syscall_") || l.starts_with("ulp_kernel_syscalls_total"))
+            && !l.contains("_bucket")
+            && !l.starts_with('#')
+    }) {
+        println!("{line}");
+    }
+}

@@ -2,16 +2,24 @@
 //!
 //! Spawns a few BLTs that repeatedly decouple, yield on the scheduler KCs,
 //! and couple back for a system call — the paper's Fig. 6 lifecycle — while
-//! the lock-free per-KC tracer records every protocol event. The merged
-//! trace is rendered as Chrome trace-event JSON (validated by parsing it
-//! back) and written to the path given as the first argument.
+//! the lock-free per-KC tracer records every protocol event *and* the
+//! simulated kernel's syscall enter/exit spans. One worker also sleeps in a
+//! blocking pipe read, so the export shows the nested
+//! `read` → `pipe_block_read` in-kernel frames. In Perfetto each BLT gets
+//! two adjacent tracks: its state track (`blt:N` — coupled / queued /
+//! decoupled / coupling) and its syscall track (`syscalls blt:N`), with
+//! `syscall_violation` instants wherever a call was issued decoupled. The
+//! merged trace is rendered as Chrome trace-event JSON (validated by
+//! parsing it back) and written to the path given as the first argument.
 //!
 //! Run: `cargo run --release --example trace_timeline -- /tmp/ulp_trace.json`
 //! then load the file at <https://ui.perfetto.dev> (or `chrome://tracing`).
 //!
 //! Alternatively, set `ULP_TRACE=<path>` on any program using the runtime
-//! and the same JSON is written automatically at shutdown.
+//! and the same JSON is written automatically at shutdown. See
+//! `OBSERVABILITY.md` for the full track-reading guide.
 
+use std::time::Duration;
 use ulp_repro::core::{
     chrome_trace_json, coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime,
 };
@@ -44,6 +52,25 @@ fn main() {
             })
         })
         .collect();
+
+    // One worker blocks in a pipe read so the timeline shows an in-kernel
+    // sleep: the `read` span with the nested `pipe_block_read` frame.
+    let kernel = rt.kernel().clone();
+    let blocker = rt.spawn("blocker", move || {
+        let (r, w) = sys::pipe().unwrap();
+        let pid = sys::getpid().unwrap();
+        let writer = std::thread::spawn(move || {
+            kernel.bind_current(pid);
+            std::thread::sleep(Duration::from_millis(5));
+            kernel.sys_write(w, b"wake").unwrap();
+            kernel.unbind_current();
+        });
+        let mut buf = [0u8; 8];
+        sys::read(r, &mut buf).unwrap();
+        writer.join().unwrap();
+        0
+    });
+    assert_eq!(blocker.wait(), 0);
     for h in handles {
         assert_eq!(h.wait(), 0);
     }
@@ -54,15 +81,37 @@ fn main() {
     // Round-trip validation: the writer's output must be real JSON with a
     // non-empty traceEvents array before we call the file loadable.
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("trace JSON is valid");
-    let n_events = parsed["traceEvents"]
+    let events = parsed["traceEvents"]
         .as_array()
-        .expect("traceEvents is an array")
-        .len();
+        .expect("traceEvents is an array");
+    let n_events = events.len();
     assert!(n_events > 0, "trace should contain events");
+
+    // Self-check: at least one syscall span track (thread_name starting
+    // with "syscalls") interleaved with the BLT state tracks, and the
+    // blocking read's nested frames actually present.
+    let syscall_tracks = events
+        .iter()
+        .filter(|e| {
+            e["name"].as_str() == Some("thread_name")
+                && e["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("syscalls"))
+        })
+        .count();
+    assert!(syscall_tracks >= 1, "expected a syscall span track");
+    for span in ["read", "pipe_block_read", "getpid", "decoupled"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["ph"].as_str() == Some("X") && e["name"].as_str() == Some(span)),
+            "missing expected span {span}"
+        );
+    }
 
     std::fs::write(&out_path, &json).expect("write trace file");
     println!(
-        "wrote {n_events} trace events ({} records) to {out_path}",
+        "wrote {n_events} trace events ({} records, {syscall_tracks} syscall tracks) to {out_path}",
         records.len()
     );
 
@@ -71,4 +120,7 @@ fn main() {
     println!("couple resume : {}", lat.couple_resume.summary());
     println!("yield interval: {}", lat.yield_interval.summary());
     println!("kc block      : {}", lat.kc_block.summary());
+    for (name, d) in rt.syscall_snapshot().nonzero() {
+        println!("syscall {name:<16}: {}", d.summary());
+    }
 }
