@@ -123,6 +123,7 @@ enum Prep {
 /// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
 /// already decoupled.
 pub fn decouple() -> Result<bool, UlpError> {
+    crate::chaos::preempt_point(crate::chaos::ChaosSite::Decouple);
     let prep = with_thread(|b| -> Result<Prep, UlpError> {
         if b.rt().is_none() {
             return Err(UlpError::NoRuntime);
@@ -183,6 +184,7 @@ pub fn decouple() -> Result<bool, UlpError> {
 /// Returns `Ok(true)` if a transition happened, `Ok(false)` if the UC was
 /// already coupled.
 pub fn couple() -> Result<bool, UlpError> {
+    crate::chaos::preempt_point(crate::chaos::ChaosSite::Couple);
     let prep = with_thread(|b| -> Result<Prep, UlpError> {
         if b.rt().is_none() {
             return Err(UlpError::NoRuntime);
@@ -320,6 +322,14 @@ pub fn yield_now() -> bool {
 /// in the coupled state (which would wedge every later caller expecting the
 /// scheduled pool to get the UC back).
 pub fn coupled_scope<R>(f: impl FnOnce() -> R) -> Result<R, UlpError> {
+    if cfg!(torture_mutation) {
+        // Planted consistency bug for the torture harness's mutation check
+        // (`RUSTFLAGS="--cfg torture_mutation"`): skip the coupling
+        // entirely, so `f`'s system calls run against whatever kernel
+        // context happens to host the UC — exactly the §V-B hazard. The
+        // trace oracle must flag the decoupled syscall enters.
+        return Ok(f());
+    }
     let transitioned = couple()?;
     // AssertUnwindSafe: the closure either completes or its panic is
     // re-raised below after the coupling state is restored, so no broken

@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod couple;
 pub mod current;
 pub mod error;
@@ -74,6 +75,7 @@ pub mod tls;
 pub mod trace;
 pub mod uc;
 
+pub use chaos::ChaosPlan;
 pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text};

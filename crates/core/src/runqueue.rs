@@ -260,29 +260,53 @@ impl RunQueue {
     /// then its local deque, then the global injector, then steal from
     /// sibling schedulers.
     pub fn pop(&self) -> Option<Arc<UcInner>> {
+        // Torture hook: a biased pop drains from the "wrong" end of each
+        // queue and skips the slot fast path, so dispatch order degenerates
+        // away from the engineered common case (no-op unless chaos armed).
+        let biased = crate::chaos::bias_pop();
         if self.policy == SchedPolicy::WorkStealing {
             let local = LOCAL.with(|l| {
                 let b = l.borrow();
                 let reg = b.as_ref().filter(|reg| reg.tag == self.tag())?;
-                if let Some(uc) = reg.slot.borrow_mut().take() {
-                    reg.slot_streak.set(reg.slot_streak.get().saturating_add(1));
-                    return Some(uc);
+                if !biased {
+                    if let Some(uc) = reg.slot.borrow_mut().take() {
+                        reg.slot_streak.set(reg.slot_streak.get().saturating_add(1));
+                        return Some(uc);
+                    }
                 }
                 reg.slot_streak.set(0);
-                let popped = reg.deque.queue.lock().pop_front();
-                popped
+                let popped = {
+                    let mut q = reg.deque.queue.lock();
+                    if biased {
+                        q.pop_back()
+                    } else {
+                        q.pop_front()
+                    }
+                };
+                // Biased pops bypassed the slot; don't strand its occupant.
+                popped.or_else(|| reg.slot.borrow_mut().take())
             });
             if local.is_some() {
                 return local;
             }
         }
-        if let Some(uc) = self.injector.lock().pop_front() {
-            return Some(uc);
+        {
+            let mut inj = self.injector.lock();
+            let got = if biased {
+                inj.pop_back()
+            } else {
+                inj.pop_front()
+            };
+            if got.is_some() {
+                return got;
+            }
         }
         if self.policy == SchedPolicy::WorkStealing {
             for deque in self.locals.read().iter() {
-                if let Some(uc) = deque.queue.lock().pop_front() {
-                    return Some(uc);
+                let mut q = deque.queue.lock();
+                let got = if biased { q.pop_back() } else { q.pop_front() };
+                if got.is_some() {
+                    return got;
                 }
             }
         }
@@ -310,7 +334,18 @@ impl RunQueue {
     /// Idle until the version moves past `seen` (bounded; callers re-check
     /// in a loop). Under BUSYWAIT this spins briefly instead of sleeping.
     pub fn park(&self, seen: u32) {
-        match self.idle_policy {
+        // Torture hook: behave as the opposite idle policy for this one
+        // call (no-op unless chaos is armed). Flipping BUSYWAIT→BLOCKING is
+        // bounded by the park timeout even if no producer ever wakes us.
+        let policy = if crate::chaos::flip_idle() {
+            match self.idle_policy {
+                IdlePolicy::BusyWait => IdlePolicy::Blocking,
+                IdlePolicy::Blocking | IdlePolicy::Adaptive => IdlePolicy::BusyWait,
+            }
+        } else {
+            self.idle_policy
+        };
+        match policy {
             IdlePolicy::BusyWait => {
                 for _ in 0..64 {
                     std::hint::spin_loop();

@@ -383,6 +383,15 @@ impl Runtime {
         self.inner.tracer.take()
     }
 
+    /// Trace records lost since tracing was last enabled (ring-buffer laps
+    /// and fallback evictions, counted at drain time). Nonzero means
+    /// [`Runtime::take_trace`] returned an incomplete history; consumers
+    /// that *reason* about the trace (rather than eyeball it) should treat
+    /// that as an error and re-run with a larger ring.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.tracer.dropped_records()
+    }
+
     /// Fold every kernel context's latency histograms into one snapshot
     /// (queue delay, couple resume, yield interval, KC block — see
     /// [`crate::hist::LatencySnapshot`]). Populated only while tracing is

@@ -367,6 +367,12 @@ extern "C" fn sibling_entry(_arg: usize, data: *mut u8) -> ! {
     let _ = couple();
     debug_assert!(uc.kc.is_current_thread());
     uc.set_state(UcState::Terminated);
+    // Record before publishing the result: once the waiter sees the
+    // status it may shut tracing down, and trace-based spawn/terminate
+    // accounting needs this event on every exit path.
+    if let Some(rt) = uc.rt.upgrade() {
+        rt.tracer.record(crate::trace::Event::Terminate(uc.id));
+    }
     uc.sib_result.set(status);
 
     // Hand the KC back to the trampoline; it reclaims our stack and

@@ -266,6 +266,11 @@ pub(crate) struct TraceShard {
     head: AtomicU64,
     /// Drain cursor: records below this index were already taken.
     taken: AtomicU64,
+    /// Records lost since the last enable: slots the writer lapped before a
+    /// drain reached them, plus any seqlock-invalidated or unpackable slot.
+    /// A drain that skips data *counts* it here instead of silently
+    /// overwriting history — oracles turn nonzero into a hard failure.
+    dropped: AtomicU64,
     /// Lazily allocated so a tracer that is never enabled costs no memory.
     ring: OnceLock<Box<[Slot]>>,
     /// Timestamp of this KC's previous yield (yield-to-yield interval).
@@ -310,6 +315,7 @@ impl TraceShard {
             capacity,
             head: AtomicU64::new(0),
             taken: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             ring: OnceLock::new(),
             last_yield_ns: AtomicU64::new(0),
             hist_queue_delay: LatencyHist::default(),
@@ -424,20 +430,30 @@ impl TraceShard {
     }
 
     /// Drain everything between the cursor and `head` (seqlock-validated;
-    /// slots the writer lapped are skipped, not torn).
+    /// slots the writer lapped are skipped, not torn — and every skipped
+    /// record is added to the shard's `dropped` counter).
+    ///
+    /// Loss accounting is exact, not best-effort: `head` is Acquire-loaded
+    /// *after* the writer's Release publish, so a slot below `head` whose
+    /// seq does not read `seq_done(i)` can only have been lapped by a later
+    /// write — "still being written" is impossible for an index the writer
+    /// already moved past. Both seqlock rejections are therefore genuine
+    /// losses, as is the cursor gap when the writer outran a full ring.
     fn drain_into(&self, out: &mut Vec<TraceRecord>) {
         let Some(ring) = self.ring.get() else {
             return;
         };
         let head = self.head.load(Ordering::Acquire);
-        let lo = self
-            .taken
-            .load(Ordering::Relaxed)
-            .max(head.saturating_sub(self.capacity as u64));
+        let taken = self.taken.load(Ordering::Relaxed);
+        let lo = taken.max(head.saturating_sub(self.capacity as u64));
+        // Records between the cursor and the oldest surviving slot were
+        // overwritten before any drain saw them.
+        let mut dropped = lo - taken;
         for i in lo..head {
             let slot = &ring[(i as usize) & (self.capacity - 1)];
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 != seq_done(i) {
+                dropped += 1;
                 continue;
             }
             let at_ns = slot.at_ns.load(Ordering::Relaxed);
@@ -446,6 +462,7 @@ impl TraceShard {
             let b = slot.b.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != s1 {
+                dropped += 1;
                 continue;
             }
             if let Some(event) = Event::unpack(tag, a, b) {
@@ -454,7 +471,12 @@ impl TraceShard {
                     event,
                     kc: self.id,
                 });
+            } else {
+                dropped += 1;
             }
+        }
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
         }
         self.taken.store(head, Ordering::Relaxed);
     }
@@ -465,6 +487,7 @@ impl TraceShard {
     fn reset_for_enable(&self) {
         self.taken
             .store(self.head.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
         self.last_yield_ns.store(0, Ordering::Relaxed);
         self.hist_queue_delay.reset();
         self.hist_couple_resume.reset();
@@ -486,6 +509,9 @@ pub struct Tracer {
     capacity: usize,
     shards: Mutex<Vec<Arc<TraceShard>>>,
     fallback: Mutex<VecDeque<TraceRecord>>,
+    /// Records evicted from the full fallback ring (the shard analogue is
+    /// counted per shard in [`TraceShard::drain_into`]).
+    fallback_dropped: AtomicU64,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -509,6 +535,7 @@ impl Tracer {
             capacity,
             shards: Mutex::new(Vec::new()),
             fallback: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            fallback_dropped: AtomicU64::new(0),
         }
     }
 
@@ -545,6 +572,7 @@ impl Tracer {
             s.reset_for_enable();
         }
         self.fallback.lock().clear();
+        self.fallback_dropped.store(0, Ordering::Relaxed);
         self.gate.epoch_ns.store(now_ns(), Ordering::Release);
         self.gate.enabled.store(true, Ordering::Release);
     }
@@ -593,6 +621,7 @@ impl Tracer {
         let mut ring = self.fallback.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.fallback_dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(TraceRecord {
             at_ns,
@@ -611,6 +640,20 @@ impl Tracer {
         }
         out.sort_by_key(|r| r.at_ns);
         out
+    }
+
+    /// Records lost since the last [`Tracer::enable`]: shard-ring laps
+    /// (counted at drain time) plus fallback-ring evictions. A nonzero
+    /// value means [`Tracer::take`] returned an *incomplete* history —
+    /// trace-based invariant checking must treat it as fatal rather than
+    /// reason from a silently truncated event stream.
+    pub fn dropped_records(&self) -> u64 {
+        let shards = self.shards.lock();
+        let from_shards: u64 = shards
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum();
+        from_shards + self.fallback_dropped.load(Ordering::Relaxed)
     }
 
     /// Fold every shard's per-syscall latency histograms into one snapshot,
@@ -946,7 +989,7 @@ mod tests {
         // Every drained record must have unpacked cleanly (unpack
         // returning None would have dropped it) and carry this shard's
         // id — the seqlock skipped anything the writer was lapping.
-        let mut check = |r: TraceRecord| {
+        let check = |r: TraceRecord| {
             assert_eq!(r.kc, 1);
             assert!(matches!(r.event, Event::Yield { .. }));
         };
@@ -969,6 +1012,57 @@ mod tests {
         assert!(written > 0);
         assert!(drained as u64 <= written);
         assert!(drained > 0, "drained nothing although records were written");
+        // Loss accounting is exact: every written record was either
+        // delivered or counted as dropped — none vanished silently.
+        assert_eq!(drained as u64 + t.dropped_records(), written);
+    }
+
+    #[test]
+    fn shard_overflow_counts_dropped_records() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        assert_eq!(t.dropped_records(), 0);
+        let base = now_ns();
+        for i in 0..20u64 {
+            s.record_at(base + i, Event::Spawn(BltId(i)));
+        }
+        // The writer lapped 4 records before this drain reached them.
+        assert_eq!(t.take().len(), 16);
+        assert_eq!(t.dropped_records(), 4);
+        // A loss-free follow-up run adds nothing.
+        s.record_at(now_ns(), Event::Terminate(BltId(19)));
+        assert_eq!(t.take().len(), 1);
+        assert_eq!(t.dropped_records(), 4);
+    }
+
+    #[test]
+    fn fallback_eviction_counts_dropped_records() {
+        // No shard registered: records from this thread land in the
+        // fallback ring, whose evictions must be counted too.
+        let t = Tracer::new(16);
+        t.enable();
+        for i in 0..20 {
+            t.record(Event::Spawn(BltId(i)));
+        }
+        assert_eq!(t.take().len(), 16);
+        assert_eq!(t.dropped_records(), 4);
+    }
+
+    #[test]
+    fn enable_resets_dropped_records() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        let base = now_ns();
+        for i in 0..40u64 {
+            s.record_at(base + i, Event::Spawn(BltId(i)));
+            t.record(Event::Terminate(BltId(i)));
+        }
+        t.take();
+        assert!(t.dropped_records() > 0);
+        t.enable();
+        assert_eq!(t.dropped_records(), 0, "enable() starts the count fresh");
     }
 
     #[test]

@@ -132,3 +132,81 @@ fn serve_metrics_api_and_http_edge_cases() {
         );
     }
 }
+
+/// Prometheus typically isn't the only scraper (a dashboard, a human with
+/// `curl`). The accept loop is single-threaded, so concurrent clients are
+/// served one after the other — both must get complete, parseable
+/// responses, and neither may deadlock the other.
+#[test]
+fn concurrent_scrapes_are_both_served() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+
+    // Open both connections and send both requests BEFORE reading either
+    // response, so the second request queues behind the first inside the
+    // server rather than being serialized by the client.
+    let mut a = TcpStream::connect(addr).expect("first client");
+    let mut b = TcpStream::connect(addr).expect("second client");
+    write!(a, "GET /metrics HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
+    write!(b, "GET /metrics HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
+
+    // Read in the opposite order from connection setup: if the server
+    // wedged on client `a`, reading `b` first would hang here.
+    for (name, conn) in [("b", &mut b), ("a", &mut a)] {
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp)
+            .unwrap_or_else(|e| panic!("client {name} never got a response: {e}"));
+        let (head, body) = resp
+            .split_once("\r\n\r\n")
+            .unwrap_or_else(|| panic!("client {name}: no header/body split"));
+        assert!(
+            head.lines().next().unwrap_or("").contains("200"),
+            "client {name}: bad status: {head}"
+        );
+        assert_parses_as_exposition(body);
+        // Content-Length must match what actually arrived — a truncated
+        // body would parse line-by-line yet still be half a scrape.
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("client {name}: no Content-Length"));
+        assert_eq!(declared, body.len(), "client {name}: truncated body");
+    }
+}
+
+/// The syscall-latency snapshot must survive runtime shutdown: a harness
+/// reports *after* tearing the runtime down, and the observability docs
+/// promise the snapshot is a plain value with no live dependencies.
+#[test]
+fn syscall_snapshot_survives_shutdown() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    rt.trace_enable();
+    let h = rt.spawn("workload", || {
+        for _ in 0..10 {
+            ulp_core::sys::getpid().unwrap();
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    let before = rt.syscall_snapshot();
+    let getpid_before = before.get("getpid").expect("getpid row exists").count;
+    assert!(getpid_before >= 10, "workload recorded {getpid_before}");
+
+    rt.shutdown();
+
+    // After shutdown: still callable, still carries the recorded samples.
+    let after = rt.syscall_snapshot();
+    let getpid_after = after
+        .get("getpid")
+        .expect("getpid row after shutdown")
+        .count;
+    assert!(
+        getpid_after >= getpid_before,
+        "samples lost across shutdown: {getpid_before} -> {getpid_after}"
+    );
+    // And the aggregate latency snapshot is equally safe to take.
+    let _ = rt.latency_snapshot();
+}

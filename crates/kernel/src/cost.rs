@@ -61,6 +61,7 @@ impl ArchProfile {
         }
     }
 
+    /// Short human-readable profile name (used in reports and logs).
     pub fn name(&self) -> &'static str {
         match self {
             ArchProfile::Native => "native",

@@ -38,11 +38,15 @@ pub enum FileObject {
 /// descriptors share one description, as on Linux.
 #[derive(Debug)]
 pub struct Description {
+    /// What the description refers to (tmpfs file, pipe end, …).
     pub object: FileObject,
+    /// Shared file offset (`lseek`/sequential I/O state).
     pub offset: Mutex<u64>,
+    /// The flags the description was opened with.
     pub flags: OpenFlags,
 }
 
+/// Shared handle to an open file description (`dup` clones the `Arc`).
 pub type DescriptionRef = Arc<Description>;
 
 /// Default per-process descriptor limit (mirrors a typical RLIMIT_NOFILE).
@@ -56,6 +60,7 @@ pub struct FdTable {
 }
 
 impl FdTable {
+    /// An empty table with the default descriptor limit.
     pub fn new() -> FdTable {
         FdTable {
             slots: Vec::new(),
@@ -78,6 +83,7 @@ impl FdTable {
         Ok(Fd((self.slots.len() - 1) as i32))
     }
 
+    /// Resolve `fd` to its description (`EBADF` for empty/invalid slots).
     pub fn get(&self, fd: Fd) -> KResult<DescriptionRef> {
         if fd.0 < 0 {
             return Err(Errno::EBADF);

@@ -20,14 +20,22 @@ pub use tmpfs::{DirEntry, FileStat, Ino, IoModel, Tmpfs};
 pub struct OpenFlags(pub u32);
 
 impl OpenFlags {
+    /// Read-only access mode.
     pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Write-only access mode.
     pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Read/write access mode.
     pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create the file if it does not exist.
     pub const CREAT: OpenFlags = OpenFlags(0o100);
+    /// With [`OpenFlags::CREAT`]: fail if the file already exists.
     pub const EXCL: OpenFlags = OpenFlags(0o200);
+    /// Truncate to zero length on open.
     pub const TRUNC: OpenFlags = OpenFlags(0o1000);
+    /// Every write lands at end-of-file.
     pub const APPEND: OpenFlags = OpenFlags(0o2000);
 
+    /// Whether `other`'s access mode / flag bits are all present in `self`.
     #[inline]
     pub fn contains(&self, other: OpenFlags) -> bool {
         // Access mode (low 2 bits) is a value, not a bitmask.
@@ -63,8 +71,11 @@ impl std::ops::BitOr for OpenFlags {
 /// Seek origin for `lseek`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Whence {
+    /// Absolute offset (`SEEK_SET`).
     Set,
+    /// Relative to the current offset (`SEEK_CUR`).
     Cur,
+    /// Relative to end-of-file (`SEEK_END`).
     End,
 }
 

@@ -32,17 +32,24 @@ struct Inode {
 /// Metadata snapshot returned by `stat`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileStat {
+    /// Inode number.
     pub ino: Ino,
+    /// File size in bytes (entry count for directories).
     pub size: u64,
+    /// Whether the inode is a directory.
     pub is_dir: bool,
+    /// Hard-link count.
     pub nlink: u32,
 }
 
 /// One directory entry returned by `readdir`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirEntry {
+    /// Entry name (final path component).
     pub name: String,
+    /// The inode the entry points at.
     pub ino: Ino,
+    /// Whether that inode is a directory.
     pub is_dir: bool,
 }
 
@@ -203,6 +210,7 @@ impl TmpfsInner {
 }
 
 impl Tmpfs {
+    /// An empty filesystem containing only the root directory.
     pub fn new() -> Tmpfs {
         let root = Inode {
             kind: InodeKind::Dir {
@@ -368,6 +376,7 @@ impl Tmpfs {
         }
     }
 
+    /// `stat(2)`: metadata snapshot of the inode at `path`.
     pub fn stat(&self, cwd: &str, path: &str) -> KResult<FileStat> {
         let inner = self.inner.read();
         let ino = inner.resolve(cwd, path)?;
@@ -383,6 +392,7 @@ impl Tmpfs {
         })
     }
 
+    /// `mkdir(2)`: create a directory (`EEXIST` if the path exists).
     pub fn mkdir(&self, cwd: &str, path: &str) -> KResult<Ino> {
         let mut inner = self.inner.write();
         if inner.resolve(cwd, path).is_ok() {
@@ -405,6 +415,7 @@ impl Tmpfs {
         }
     }
 
+    /// `unlink(2)`: remove a file link (`EISDIR` for directories).
     pub fn unlink(&self, cwd: &str, path: &str) -> KResult<()> {
         let mut inner = self.inner.write();
         let (parent, name) = inner.resolve_parent(cwd, path)?;
@@ -426,6 +437,7 @@ impl Tmpfs {
         Ok(())
     }
 
+    /// `rmdir(2)`: remove an *empty* directory.
     pub fn rmdir(&self, cwd: &str, path: &str) -> KResult<()> {
         let mut inner = self.inner.write();
         let (parent, name) = inner.resolve_parent(cwd, path)?;
@@ -506,6 +518,7 @@ impl Tmpfs {
         Ok(())
     }
 
+    /// `readdir(3)`: list a directory's entries in name order.
     pub fn readdir(&self, cwd: &str, path: &str) -> KResult<Vec<DirEntry>> {
         let inner = self.inner.read();
         let ino = inner.resolve(cwd, path)?;

@@ -7,6 +7,7 @@
 //! construction in *Rust Atomics and Locks*, ch. 8–9.
 
 use crate::errno::Errno;
+use crate::fault::{self, FaultKind};
 use crate::trace::{self, SyscallPhase, Sysno};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
@@ -21,7 +22,11 @@ use std::time::Duration;
 #[inline]
 pub fn futex_wait(atom: &AtomicU32, expected: u32) {
     trace::emit(Sysno::FutexWait, SyscallPhase::Enter);
-    futex_wait_raw(atom, expected);
+    // Injected spurious wake: return as if woken without sleeping. POSIX
+    // allows this at any time, so callers must loop on their predicate.
+    if !fault::fire(FaultKind::SpuriousWake) {
+        futex_wait_raw(atom, expected);
+    }
     trace::emit(Sysno::FutexWait, SyscallPhase::Exit { errno: 0 });
 }
 
@@ -53,7 +58,10 @@ fn futex_wait_raw(atom: &AtomicU32, expected: u32) {
 /// with `errno == ETIMEDOUT`.
 pub fn futex_wait_timeout(atom: &AtomicU32, expected: u32, timeout: Duration) -> bool {
     trace::emit(Sysno::FutexWait, SyscallPhase::Enter);
-    let woken = futex_wait_timeout_raw(atom, expected, timeout);
+    // An injected spurious wake reports `woken` — indistinguishable from a
+    // real wake, exactly as the futex man page warns.
+    let woken =
+        fault::fire(FaultKind::SpuriousWake) || futex_wait_timeout_raw(atom, expected, timeout);
     let errno = if woken { 0 } else { Errno::ETIMEDOUT.as_raw() };
     trace::emit(Sysno::FutexWait, SyscallPhase::Exit { errno });
     woken
@@ -89,6 +97,11 @@ fn futex_wait_timeout_raw(atom: &AtomicU32, expected: u32, timeout: Duration) ->
 /// Wake at most `n` waiters blocked on `atom`. Returns how many were woken.
 #[inline]
 pub fn futex_wake(atom: &AtomicU32, n: i32) -> i32 {
+    // Injected wakeup delay: widen the sleeper/waker race window so
+    // protocols that only work because wakes are "fast enough" break.
+    if fault::fire(FaultKind::DelayWake) {
+        fault::wake_delay();
+    }
     #[cfg(target_os = "linux")]
     unsafe {
         libc::syscall(
@@ -121,6 +134,7 @@ pub struct Semaphore {
 }
 
 impl Semaphore {
+    /// A semaphore holding `permits` initial permits.
     pub fn new(permits: u32) -> Semaphore {
         Semaphore {
             count: AtomicU32::new(permits),

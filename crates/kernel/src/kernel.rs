@@ -39,6 +39,14 @@ thread_local! {
     static BINDINGS: RefCell<Vec<(u64, Pid)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// The most recent pid bound on the calling thread in *any* kernel
+/// instance, if one exists. Used by the fault-injection layer
+/// ([`crate::fault`]) to key per-process fault streams without a kernel
+/// handle in scope.
+pub(crate) fn any_bound_pid() -> Option<Pid> {
+    BINDINGS.with(|b| b.borrow().last().map(|(_, pid)| *pid))
+}
+
 /// A record of one executed system call, for the consistency audit.
 #[derive(Debug, Clone)]
 pub struct TraceEntry {
@@ -50,6 +58,8 @@ pub struct TraceEntry {
     pub thread: std::thread::ThreadId,
 }
 
+/// The simulated kernel: process table, shared tmpfs, PID allocation and
+/// per-thread process bindings. Usually handled through [`KernelRef`].
 #[derive(Debug)]
 pub struct Kernel {
     id: u64,
@@ -98,6 +108,7 @@ impl Kernel {
         Kernel::new(ArchProfile::Native)
     }
 
+    /// The architecture cost profile this kernel was built with.
     pub fn profile(&self) -> ArchProfile {
         self.profile
     }

@@ -23,9 +23,12 @@
 //! evaluation machines — Wallaby (x86_64) and Albireo (AArch64) — can be
 //! modeled on one host. `ArchProfile::Native` injects nothing.
 
+#![warn(missing_docs)]
+
 pub mod aio;
 pub mod cost;
 pub mod errno;
+pub mod fault;
 pub mod fd;
 pub mod fs;
 pub mod futex;
@@ -39,6 +42,7 @@ pub mod trace;
 pub use aio::{aio_suspend_any, Aiocb};
 pub use cost::{cycles, cycles_per_ns, cycles_to_ns, spin_for, ArchProfile};
 pub use errno::{Errno, KResult};
+pub use fault::{FaultKind, FaultPlan, FAULT_KINDS};
 pub use fd::{Fd, FdTable};
 pub use fs::{DirEntry, FileStat, IoModel, OpenFlags, Tmpfs, Whence};
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, Semaphore};

@@ -7,6 +7,7 @@
 //! that BLT's `couple()`/`decouple()` makes harmless (paper §I, §V-B).
 
 use crate::errno::{Errno, KResult};
+use crate::fault::{self, FaultKind};
 use crate::kernel::errno_of;
 use crate::trace::{self, SyscallPhase, Sysno};
 use parking_lot::{Condvar, Mutex};
@@ -97,6 +98,18 @@ impl PipeReader {
         if out.is_empty() {
             return Ok(0);
         }
+        // Injected EINTR: fail before any bytes move, as a signal arriving
+        // before the first transfer would.
+        if fault::fire(FaultKind::Eintr) {
+            return Err(Errno::EINTR);
+        }
+        // Injected short read: truncate the destination to one byte, the
+        // worst legal outcome of a successful read.
+        let out = if out.len() > 1 && fault::fire(FaultKind::ShortRead) {
+            &mut out[..1]
+        } else {
+            out
+        };
         let mut buf = self.0.buf.lock();
         let mut blocked = false;
         let res = loop {
@@ -130,6 +143,9 @@ impl PipeReader {
 
     /// Non-blocking read: `EAGAIN` instead of sleeping.
     pub fn try_read(&self, out: &mut [u8]) -> KResult<usize> {
+        if fault::fire(FaultKind::Eagain) {
+            return Err(Errno::EAGAIN);
+        }
         let mut buf = self.0.buf.lock();
         if buf.is_empty() {
             return if self.0.writers.load(Ordering::Acquire) == 0 {
@@ -159,6 +175,11 @@ impl PipeWriter {
     /// Sleeps are bracketed by a `pipe_block_write` span, exactly as in
     /// [`PipeReader::read`].
     pub fn write(&self, data: &[u8]) -> KResult<usize> {
+        // Injected EINTR: only legal before any bytes are written (once
+        // data moved, a real kernel returns the partial count instead).
+        if fault::fire(FaultKind::Eintr) {
+            return Err(Errno::EINTR);
+        }
         let mut written = 0;
         let mut buf = self.0.buf.lock();
         let mut blocked = false;
@@ -200,6 +221,9 @@ impl PipeWriter {
 
     /// Non-blocking write: writes what fits, `EAGAIN` if nothing fits.
     pub fn try_write(&self, data: &[u8]) -> KResult<usize> {
+        if fault::fire(FaultKind::Eagain) {
+            return Err(Errno::EAGAIN);
+        }
         let mut buf = self.0.buf.lock();
         if self.0.readers.load(Ordering::Acquire) == 0 {
             return Err(Errno::EPIPE);

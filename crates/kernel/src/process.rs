@@ -19,6 +19,7 @@ impl std::fmt::Display for Pid {
 /// Lifecycle state of a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcState {
+    /// Alive (running or schedulable).
     Running,
     /// Exited with a status, not yet reaped by `waitpid`.
     Zombie(i32),
@@ -27,12 +28,17 @@ pub enum ProcState {
 /// One simulated process: the kernel-side identity a ULP carries.
 #[derive(Debug)]
 pub struct Process {
+    /// The process ID.
     pub pid: Pid,
+    /// Parent PID (`None` for the root process).
     pub ppid: Option<Pid>,
     /// Human-readable name (the "program" this ULP was spawned from).
     pub name: Mutex<String>,
+    /// The per-process descriptor table (the §V-B consistency stakes).
     pub fds: Mutex<FdTable>,
+    /// Current working directory.
     pub cwd: Mutex<String>,
+    /// Pending/masked signals and dispositions.
     pub signals: SignalState,
     pub(crate) state: Mutex<ProcState>,
     pub(crate) children: Mutex<Vec<Pid>>,
@@ -52,10 +58,12 @@ impl Process {
         }
     }
 
+    /// The process's lifecycle state.
     pub fn state(&self) -> ProcState {
         *self.state.lock()
     }
 
+    /// Whether the process has exited but not been reaped.
     pub fn is_zombie(&self) -> bool {
         matches!(self.state(), ProcState::Zombie(_))
     }

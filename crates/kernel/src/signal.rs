@@ -27,6 +27,7 @@ pub enum Signal {
     SigChld = 17,
 }
 
+/// Every signal the simulated kernel models, in delivery-priority order.
 pub const ALL_SIGNALS: [Signal; 5] = [
     Signal::SigInt,
     Signal::SigUsr1,
@@ -47,8 +48,10 @@ impl Signal {
 pub struct SigSet(u32);
 
 impl SigSet {
+    /// The empty set.
     pub const EMPTY: SigSet = SigSet(0);
 
+    /// Build a set containing exactly `signals`.
     pub fn with(signals: &[Signal]) -> SigSet {
         let mut s = SigSet::EMPTY;
         for &sig in signals {
@@ -57,26 +60,31 @@ impl SigSet {
         s
     }
 
+    /// Add `sig` to the set.
     #[inline]
     pub fn add(&mut self, sig: Signal) {
         self.0 |= sig.bit();
     }
 
+    /// Remove `sig` from the set.
     #[inline]
     pub fn remove(&mut self, sig: Signal) {
         self.0 &= !sig.bit();
     }
 
+    /// Whether `sig` is in the set.
     #[inline]
     pub fn contains(&self, sig: Signal) -> bool {
         self.0 & sig.bit() != 0
     }
 
+    /// Whether no signal is in the set.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.0 == 0
     }
 
+    /// Iterate the member signals in [`ALL_SIGNALS`] order.
     pub fn iter(&self) -> impl Iterator<Item = Signal> + '_ {
         ALL_SIGNALS.iter().copied().filter(|s| self.contains(*s))
     }
@@ -98,8 +106,11 @@ impl SigSet {
 /// How `sigprocmask` modifies the mask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaskHow {
+    /// Add the set to the mask (`SIG_BLOCK`).
     Block,
+    /// Remove the set from the mask (`SIG_UNBLOCK`).
     Unblock,
+    /// Replace the mask with the set (`SIG_SETMASK`).
     SetMask,
 }
 
@@ -109,6 +120,7 @@ pub enum Disposition {
     /// Default action (terminate for most; ignore for SIGCHLD).
     #[default]
     Default,
+    /// Discard the signal (`SIG_IGN`).
     Ignore,
     /// A registered handler; the u64 is an opaque handler token the runtime
     /// maps back to a closure.
@@ -131,6 +143,7 @@ struct SignalInner {
 }
 
 impl SignalState {
+    /// Fresh state: empty mask, nothing pending, default dispositions.
     pub fn new() -> SignalState {
         SignalState::default()
     }
@@ -154,10 +167,12 @@ impl SignalState {
         old
     }
 
+    /// The current blocked-signal mask.
     pub fn mask(&self) -> SigSet {
         self.inner.lock().mask
     }
 
+    /// Signals posted but not yet taken (`sigpending(2)`).
     pub fn pending(&self) -> SigSet {
         self.inner.lock().pending
     }
@@ -171,6 +186,7 @@ impl SignalState {
         Some(sig)
     }
 
+    /// `sigaction(2)`: set `sig`'s disposition, returning the previous one.
     pub fn set_disposition(&self, sig: Signal, disp: Disposition) -> KResult<Disposition> {
         let mut inner = self.inner.lock();
         for entry in inner.dispositions.iter_mut() {
@@ -188,6 +204,7 @@ impl SignalState {
         Err(Errno::EINVAL)
     }
 
+    /// The current disposition for `sig` ([`Disposition::Default`] if never set).
     pub fn disposition(&self, sig: Signal) -> Disposition {
         let inner = self.inner.lock();
         inner
@@ -198,6 +215,7 @@ impl SignalState {
             .unwrap_or_default()
     }
 
+    /// Total signals ever posted to this process (diagnostics).
     pub fn total_posted(&self) -> u64 {
         self.inner.lock().posted
     }

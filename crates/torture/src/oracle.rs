@@ -1,0 +1,459 @@
+//! The Table-I trace oracle.
+//!
+//! Every torture run records the full scheduling trace; this module
+//! re-derives the paper's coupling-protocol invariants from that trace
+//! *machine-checkably* instead of eyeballing timelines. The invariants,
+//! lettered for reference in violation messages:
+//!
+//! - **A — complete history.** Zero trace records dropped. Everything
+//!   below reasons from the trace, so a gap voids the run.
+//! - **B — system-call consistency (§V-B).** Every `SyscallEnter` by a
+//!   workload BLT carries `coupled == true`, and the runtime's own
+//!   consistency auditor recorded nothing. This is the invariant the
+//!   planted `torture_mutation` bug violates.
+//! - **C — per-BLT coupling state machine (Table I).** Replaying each
+//!   BLT's events: `Decouple` only from coupled, `CoupleRequest` only from
+//!   decoupled, `Coupled` only answers a pending request, `Dispatch` and
+//!   `Yield` only move decoupled UCs, signals deliver only while coupled,
+//!   and nothing follows `Terminate`.
+//! - **D — request/completion and queue balance.** Per BLT, couple
+//!   requests equal couple completions, and run-queue resumptions
+//!   (`Dispatch` + `Yield`-to) equal enqueues (`Decouple` + `Yield`-from,
+//!   plus the birth enqueue of a decoupled-born sibling).
+//! - **E — counter conservation.** Trace-event totals equal the runtime's
+//!   independent statistics counters (events and counters are bumped by
+//!   different code paths; drift means one of them lies).
+//! - **F — histogram conservation.** The couple-resume histogram holds
+//!   exactly one sample per `Coupled` event; the queue-delay histogram one
+//!   per `Dispatch`/`Yield`.
+//! - **G — spawn/terminate balance (rules 1 & 7).** Every spawned BLT
+//!   terminates exactly once, on the trace.
+//! - **H — system-call span balance.** Per BLT and system call, every
+//!   exit has a prior enter (checked as a running prefix) and the counts
+//!   match at end-of-run.
+
+use crate::StatsDelta;
+use std::collections::{HashMap, HashSet};
+use ulp_core::{BltId, LatencySnapshot, Sysno, TraceEvent, TraceRecord, UlpError};
+
+/// Everything the oracle looks at for one run.
+pub struct OracleInput<'a> {
+    /// The full recorded trace, in timestamp order ([`ulp_core::Runtime::take_trace`]).
+    pub trace: &'a [TraceRecord],
+    /// Records lost to ring laps ([`ulp_core::Runtime::trace_dropped`]).
+    pub dropped: u64,
+    /// The runtime's own consistency audit (`ConsistencyMode::Record`).
+    pub consistency: &'a [UlpError],
+    /// Runtime counter deltas over the traced window.
+    pub stats: StatsDelta,
+    /// Switch-path latency histograms accumulated over the traced window.
+    pub latency: &'a LatencySnapshot,
+    /// Enforce invariant B. Always true in the harness — the planted
+    /// mutation must *fail* the oracle, not be excused by it.
+    pub expect_coupled_syscalls: bool,
+}
+
+/// Where the coupling state machine believes a BLT is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoupleState {
+    /// No scheduling event seen yet; birth mode not yet inferred.
+    Unknown,
+    /// Coupled with its original KC (running as a KLT).
+    Coupled,
+    /// In the scheduled pool or running as a ULT on a foreign KC.
+    Decoupled,
+    /// Couple request published, not yet resumed by the original KC.
+    PendingCouple,
+    /// Terminated; nothing may follow.
+    Terminated,
+}
+
+/// Per-BLT bookkeeping accumulated in one pass over the trace.
+#[derive(Debug)]
+struct BltTrack {
+    /// Dense index by spawn order (for messages).
+    state: CoupleState,
+    /// Inferred from the first post-spawn scheduling event: a sibling is
+    /// born decoupled (its birth *is* a run-queue push), a primary coupled.
+    born_decoupled: bool,
+    decouples: u64,
+    requests: u64,
+    coupleds: u64,
+    yields_from: u64,
+    yields_to: u64,
+    dispatches: u64,
+    terminates: u64,
+    /// Running (enter − exit) per system call; final value must be zero.
+    spans: HashMap<Sysno, i64>,
+}
+
+impl BltTrack {
+    fn new() -> Self {
+        BltTrack {
+            state: CoupleState::Unknown,
+            born_decoupled: false,
+            decouples: 0,
+            requests: 0,
+            coupleds: 0,
+            yields_from: 0,
+            yields_to: 0,
+            dispatches: 0,
+            terminates: 0,
+            spans: HashMap::new(),
+        }
+    }
+}
+
+/// Collects violations with per-category caps so one systemic failure
+/// (say, every syscall decoupled under the mutation) doesn't bury the
+/// others in thousands of lines.
+struct Report {
+    out: Vec<String>,
+    per_cat: HashMap<&'static str, u64>,
+}
+
+const CAT_CAP: u64 = 8;
+
+impl Report {
+    fn new() -> Self {
+        Report {
+            out: Vec::new(),
+            per_cat: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, cat: &'static str, msg: String) {
+        let n = self.per_cat.entry(cat).or_insert(0);
+        *n += 1;
+        match *n {
+            n if n < CAT_CAP => self.out.push(format!("[{cat}] {msg}")),
+            n if n == CAT_CAP => self
+                .out
+                .push(format!("[{cat}] {msg} (further {cat} violations elided)")),
+            _ => {}
+        }
+    }
+
+    fn finish(mut self) -> Vec<String> {
+        for (cat, n) in self.per_cat.iter() {
+            if *n > CAT_CAP {
+                self.out.push(format!("[{cat}] {} violations total", *n));
+            }
+        }
+        self.out
+    }
+}
+
+/// Verify one run's trace against invariants A–H. Returns one message per
+/// violation (empty = the run upheld Table I).
+pub fn check(input: &OracleInput<'_>) -> Vec<String> {
+    let mut r = Report::new();
+
+    // A — complete history.
+    if input.dropped > 0 {
+        r.push(
+            "A",
+            format!(
+                "{} trace records dropped: history incomplete, run void",
+                input.dropped
+            ),
+        );
+    }
+
+    // B — the runtime's own auditor.
+    for v in input.consistency {
+        r.push("B", format!("runtime consistency audit: {v}"));
+    }
+
+    // The spawned set: oracle invariants apply to workload BLTs. Scheduler
+    // identities and the root thread never record `Spawn` and only appear
+    // as `Dispatch.scheduler`, `KcBlocked` or (always-coupled) syscall
+    // spans, which the per-BLT machinery below deliberately skips.
+    let spawned: HashSet<BltId> = input
+        .trace
+        .iter()
+        .filter_map(|rec| match rec.event {
+            TraceEvent::Spawn(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    let mut track: HashMap<BltId, BltTrack> = HashMap::new();
+    let mut totals_spawn = 0u64;
+    let mut totals_terminate = 0u64;
+    let mut totals_decouple = 0u64;
+    let mut totals_coupled = 0u64;
+    let mut totals_yield = 0u64;
+    let mut totals_dispatch = 0u64;
+    let mut decoupled_enters = 0u64;
+    let mut first_decoupled_enter: Option<(BltId, Sysno)> = None;
+
+    for rec in input.trace {
+        match rec.event {
+            TraceEvent::Spawn(b) => {
+                totals_spawn += 1;
+                let t = track.entry(b).or_insert_with(BltTrack::new);
+                if t.state == CoupleState::Terminated {
+                    r.push("C", format!("{b:?}: Spawn after Terminate"));
+                }
+            }
+            TraceEvent::Decouple(b) => {
+                totals_decouple += 1;
+                if !spawned.contains(&b) {
+                    r.push("C", format!("{b:?}: Decouple by a never-spawned BLT"));
+                    continue;
+                }
+                let t = track.entry(b).or_insert_with(BltTrack::new);
+                t.decouples += 1;
+                match t.state {
+                    // First event: the BLT ran coupled since birth (a
+                    // primary in its KLT phase).
+                    CoupleState::Unknown | CoupleState::Coupled => {
+                        t.state = CoupleState::Decoupled;
+                    }
+                    s => r.push("C", format!("{b:?}: Decouple while {s:?}")),
+                }
+            }
+            TraceEvent::CoupleRequest(b) => {
+                if !spawned.contains(&b) {
+                    r.push("C", format!("{b:?}: CoupleRequest by a never-spawned BLT"));
+                    continue;
+                }
+                let t = track.entry(b).or_insert_with(BltTrack::new);
+                t.requests += 1;
+                match t.state {
+                    CoupleState::Decoupled => t.state = CoupleState::PendingCouple,
+                    s => r.push("C", format!("{b:?}: CoupleRequest while {s:?}")),
+                }
+            }
+            TraceEvent::Coupled(b) => {
+                totals_coupled += 1;
+                if !spawned.contains(&b) {
+                    r.push("C", format!("{b:?}: Coupled by a never-spawned BLT"));
+                    continue;
+                }
+                let t = track.entry(b).or_insert_with(BltTrack::new);
+                t.coupleds += 1;
+                match t.state {
+                    CoupleState::PendingCouple => t.state = CoupleState::Coupled,
+                    s => r.push(
+                        "C",
+                        format!("{b:?}: Coupled without a pending request ({s:?})"),
+                    ),
+                }
+            }
+            TraceEvent::Dispatch { uc, .. } => {
+                totals_dispatch += 1;
+                if !spawned.contains(&uc) {
+                    r.push("C", format!("{uc:?}: Dispatch of a never-spawned BLT"));
+                    continue;
+                }
+                let t = track.entry(uc).or_insert_with(BltTrack::new);
+                t.dispatches += 1;
+                match t.state {
+                    // First event: born straight into the scheduled pool
+                    // (a sibling — its registration is a run-queue push).
+                    CoupleState::Unknown => {
+                        t.born_decoupled = true;
+                        t.state = CoupleState::Decoupled;
+                    }
+                    CoupleState::Decoupled => {}
+                    s => r.push("C", format!("{uc:?}: Dispatch while {s:?}")),
+                }
+            }
+            TraceEvent::Yield { from, to } => {
+                totals_yield += 1;
+                for (b, incoming) in [(from, false), (to, true)] {
+                    if !spawned.contains(&b) {
+                        r.push("C", format!("{b:?}: Yield by/to a never-spawned BLT"));
+                        continue;
+                    }
+                    let t = track.entry(b).or_insert_with(BltTrack::new);
+                    if incoming {
+                        t.yields_to += 1;
+                    } else {
+                        t.yields_from += 1;
+                    }
+                    match t.state {
+                        CoupleState::Unknown => {
+                            t.born_decoupled = true;
+                            t.state = CoupleState::Decoupled;
+                        }
+                        CoupleState::Decoupled => {}
+                        s => r.push(
+                            "C",
+                            format!(
+                                "{b:?}: Yield {} while {s:?}",
+                                if incoming { "to" } else { "from" }
+                            ),
+                        ),
+                    }
+                }
+            }
+            TraceEvent::Terminate(b) => {
+                totals_terminate += 1;
+                if !spawned.contains(&b) {
+                    r.push("C", format!("{b:?}: Terminate of a never-spawned BLT"));
+                    continue;
+                }
+                let t = track.entry(b).or_insert_with(BltTrack::new);
+                t.terminates += 1;
+                match t.state {
+                    // Rule 7: terminate as a KLT, i.e. never with a couple
+                    // request in flight and never twice. `Unknown` is a
+                    // primary that neither decoupled nor syscalled.
+                    CoupleState::PendingCouple => r.push(
+                        "C",
+                        format!("{b:?}: Terminate with couple request in flight"),
+                    ),
+                    CoupleState::Terminated => r.push("C", format!("{b:?}: Terminate twice")),
+                    _ => {}
+                }
+                t.state = CoupleState::Terminated;
+            }
+            TraceEvent::Signal { uc, signal } => {
+                if !spawned.contains(&uc) {
+                    continue;
+                }
+                let t = track.entry(uc).or_insert_with(BltTrack::new);
+                // Delivery happens at the post-couple safe point or an
+                // explicit poll while coupled; `Unknown` is the KLT phase.
+                match t.state {
+                    CoupleState::Coupled | CoupleState::Unknown => {}
+                    s => r.push(
+                        "C",
+                        format!("{uc:?}: signal {signal} delivered while {s:?}"),
+                    ),
+                }
+            }
+            TraceEvent::KcBlocked(_) => {}
+            TraceEvent::SyscallEnter { uc, sysno, coupled } => {
+                if !coupled && input.expect_coupled_syscalls && spawned.contains(&uc) {
+                    decoupled_enters += 1;
+                    first_decoupled_enter.get_or_insert((uc, sysno));
+                    r.push(
+                        "B",
+                        format!("{uc:?}: {sysno:?} entered DECOUPLED (§V-B hazard)"),
+                    );
+                }
+                if spawned.contains(&uc) {
+                    let t = track.entry(uc).or_insert_with(BltTrack::new);
+                    *t.spans.entry(sysno).or_insert(0) += 1;
+                }
+            }
+            TraceEvent::SyscallExit { uc, sysno, .. } => {
+                if spawned.contains(&uc) {
+                    let t = track.entry(uc).or_insert_with(BltTrack::new);
+                    let n = t.spans.entry(sysno).or_insert(0);
+                    *n -= 1;
+                    if *n < 0 {
+                        r.push("H", format!("{uc:?}: {sysno:?} exit without enter"));
+                        *n = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-BLT end-of-run balances.
+    for (b, t) in track.iter() {
+        // G — terminate exactly once.
+        if t.terminates != 1 {
+            r.push(
+                "G",
+                format!("{b:?}: {} Terminate events (want 1)", t.terminates),
+            );
+        }
+        // D — every couple request answered.
+        if t.requests != t.coupleds {
+            r.push(
+                "D",
+                format!(
+                    "{b:?}: {} couple requests vs {} completions",
+                    t.requests, t.coupleds
+                ),
+            );
+        }
+        // D — queue conservation: each enqueue (decouple, yield-away,
+        // decoupled birth) is consumed by exactly one resumption.
+        let enqueues = t.decouples + t.yields_from + u64::from(t.born_decoupled);
+        let resumptions = t.dispatches + t.yields_to;
+        if enqueues != resumptions {
+            r.push(
+                "D",
+                format!("{b:?}: {enqueues} enqueues vs {resumptions} resumptions"),
+            );
+        }
+        // H — all spans closed.
+        for (sysno, n) in t.spans.iter() {
+            if *n != 0 {
+                r.push("H", format!("{b:?}: {sysno:?} has {n} unclosed spans"));
+            }
+        }
+    }
+
+    // G — global spawn/terminate balance.
+    if totals_spawn != totals_terminate {
+        r.push(
+            "G",
+            format!("{totals_spawn} Spawn events vs {totals_terminate} Terminate events"),
+        );
+    }
+
+    // E — trace totals vs the runtime's independent counters.
+    let e = [
+        ("Spawn", totals_spawn, input.stats.spawned, "spawned"),
+        (
+            "Decouple",
+            totals_decouple,
+            input.stats.decouples,
+            "decouples",
+        ),
+        ("Coupled", totals_coupled, input.stats.couples, "couples"),
+        ("Yield", totals_yield, input.stats.yields, "yields"),
+        (
+            "Dispatch",
+            totals_dispatch,
+            input.stats.dispatches,
+            "dispatches",
+        ),
+    ];
+    for (event, traced, counted, counter) in e {
+        if traced != counted {
+            r.push(
+                "E",
+                format!("{traced} {event} events vs stats.{counter} = {counted}"),
+            );
+        }
+    }
+
+    // F — histogram sample conservation.
+    if input.latency.couple_resume.count != totals_coupled {
+        r.push(
+            "F",
+            format!(
+                "couple_resume histogram has {} samples vs {} Coupled events",
+                input.latency.couple_resume.count, totals_coupled
+            ),
+        );
+    }
+    let switches = totals_dispatch + totals_yield;
+    if input.latency.queue_delay.count != switches {
+        r.push(
+            "F",
+            format!(
+                "queue_delay histogram has {} samples vs {} Dispatch+Yield events",
+                input.latency.queue_delay.count, switches
+            ),
+        );
+    }
+
+    if decoupled_enters > 0 {
+        let (uc, sysno) = first_decoupled_enter.expect("counted above");
+        r.push(
+            "B",
+            format!("{decoupled_enters} decoupled syscall enters total (first: {uc:?} {sysno:?})"),
+        );
+    }
+
+    r.finish()
+}

@@ -1,0 +1,441 @@
+//! Torture workloads.
+//!
+//! Each scenario is a small program built from the primitives the paper's
+//! protocol must keep consistent — couple/decouple round trips, blocking
+//! pipes, M:N siblings, signals — written to *verify its own results*
+//! (pids match, bytes round-trip, checksums hold) and report mismatches as
+//! soft failures instead of panicking. Soft failures merge into the same
+//! violation list as the trace oracle's findings, so a planted consistency
+//! bug surfaces as a failed run either way.
+//!
+//! Workload sizes are deliberately small: every scenario must fit its
+//! trace into the default 4096-record per-KC rings, because a dropped
+//! record is itself an oracle failure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use ulp_core::{coupled_scope, decouple, sys, yield_now, Runtime};
+use ulp_kernel::{Errno, Signal};
+
+/// A torture workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One worker ping-ponging between coupled system-call bursts and
+    /// decoupled scheduling on a single scheduler. The *designated replay
+    /// cell*: its trace digest is deterministic for a fixed seed, so it
+    /// anchors the harness's replay check.
+    Chain,
+    /// Two workers exchanging tokens over crossed blocking pipes — every
+    /// round trip blocks a kernel context both ways.
+    PingPong,
+    /// Two primaries each carrying three sibling UCs (§VII M:N): yield
+    /// storms on the shared original KCs, with coupled pid checks.
+    MnSiblings,
+    /// Four writer/reader pairs pushing checksummed bulk data through
+    /// tiny-capacity pipes: constant blocking, short reads and `EINTR`
+    /// retries on both sides.
+    PipeBlockers,
+    /// Three workers handling a storm of `SIGUSR1` from the root while
+    /// they couple and decouple.
+    SignalStorm,
+}
+
+impl Scenario {
+    /// Every scenario, in matrix order.
+    pub const ALL: &'static [Scenario] = &[
+        Scenario::Chain,
+        Scenario::PingPong,
+        Scenario::MnSiblings,
+        Scenario::PipeBlockers,
+        Scenario::SignalStorm,
+    ];
+
+    /// Stable name (used in reports and for `--scenario` selection).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Chain => "chain",
+            Scenario::PingPong => "pingpong",
+            Scenario::MnSiblings => "mn_siblings",
+            Scenario::PipeBlockers => "pipe_blockers",
+            Scenario::SignalStorm => "signal_storm",
+        }
+    }
+
+    /// Look a scenario up by [`Scenario::name`].
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// How many scheduler KCs the scenario wants.
+    pub fn schedulers(&self) -> usize {
+        match self {
+            Scenario::Chain => 1,
+            Scenario::PingPong => 2,
+            Scenario::MnSiblings => 2,
+            Scenario::PipeBlockers => 2,
+            Scenario::SignalStorm => 1,
+        }
+    }
+
+    /// Run the workload to completion on `rt` (all BLTs joined on return)
+    /// and report its soft failures.
+    pub fn run(&self, rt: &Runtime) -> Vec<String> {
+        let fails = Fails::default();
+        match self {
+            Scenario::Chain => chain(rt, &fails),
+            Scenario::PingPong => pingpong(rt, &fails),
+            Scenario::MnSiblings => mn_siblings(rt, &fails),
+            Scenario::PipeBlockers => pipe_blockers(rt, &fails),
+            Scenario::SignalStorm => signal_storm(rt, &fails),
+        }
+        fails.take()
+    }
+}
+
+/// Shared soft-failure sink: scenarios *report* broken invariants instead
+/// of panicking, so a planted bug flows into the oracle verdict (a panic
+/// would take the harness down before the oracle ran).
+#[derive(Clone, Default)]
+struct Fails(Arc<Mutex<Vec<String>>>);
+
+impl Fails {
+    fn push(&self, msg: String) {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).push(msg);
+    }
+
+    fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.0.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+/// Retry a system call through injected `EINTR`/`EAGAIN`, bounded so a
+/// genuinely wedged call cannot hang the harness.
+fn retrying<T>(mut f: impl FnMut() -> Result<T, Errno>) -> Result<T, Errno> {
+    for _ in 0..10_000 {
+        match f() {
+            Err(Errno::EINTR) | Err(Errno::EAGAIN) => continue,
+            other => return other,
+        }
+    }
+    Err(Errno::EINTR)
+}
+
+/// The replay cell: one worker, one scheduler, a self-pipe. Each round is
+/// one coupled burst — `getpid` plus a write-then-read round trip through
+/// the worker's own FD table — between decoupled stretches. Every byte is
+/// position-dependent, so a wrong FD table (the §V-B hazard) or a lost
+/// write surfaces as a value mismatch.
+fn chain(rt: &Runtime, fails: &Fails) {
+    const ROUNDS: usize = 200;
+    let f = fails.clone();
+    let h = rt.spawn("chain-w", move || {
+        let my_pid = sys::getpid();
+        if decouple().is_err() {
+            f.push("chain: decouple failed".into());
+            return 1;
+        }
+        let fds = coupled_scope(sys::pipe);
+        let (rfd, wfd) = match fds {
+            Ok(Ok(p)) => p,
+            other => {
+                f.push(format!("chain: pipe setup failed: {other:?}"));
+                return 1;
+            }
+        };
+        for i in 0..ROUNDS {
+            let f = &f;
+            let round = coupled_scope(|| {
+                if sys::getpid() != my_pid {
+                    f.push(format!("chain: pid changed at round {i}"));
+                }
+                let byte = [i as u8];
+                match retrying(|| sys::write(wfd, &byte)) {
+                    Ok(1) => {}
+                    other => f.push(format!("chain: write {i} -> {other:?}")),
+                }
+                let mut got = [0u8; 1];
+                match retrying(|| sys::read(rfd, &mut got)) {
+                    Ok(1) if got[0] == i as u8 => {}
+                    other => f.push(format!("chain: read {i} -> {other:?} (byte {})", got[0])),
+                }
+            });
+            if round.is_err() {
+                f.push(format!("chain: coupled_scope failed at round {i}"));
+            }
+        }
+        0
+    });
+    if h.wait() != 0 {
+        fails.push("chain: worker exited nonzero".into());
+    }
+}
+
+/// Two workers, two crossed kernel pipes. Each round, `pp-a` sends a token
+/// and blocks reading the reply; `pp-b` does the mirror image. Raw pipe
+/// ends (not FD-table entries: the two workers are different simulated
+/// processes) — the blocking, fault-injected `read`/`write` paths are the
+/// same ones the FD layer uses.
+fn pingpong(rt: &Runtime, fails: &Fails) {
+    const ROUNDS: usize = 64;
+    let (a_rx, b_tx) = ulp_kernel::pipe_with_capacity(8);
+    let (b_rx, a_tx) = ulp_kernel::pipe_with_capacity(8);
+
+    let f = fails.clone();
+    let a = rt.spawn("pp-a", move || {
+        let my_pid = sys::getpid();
+        let _ = decouple();
+        for i in 0..ROUNDS {
+            let f = &f;
+            let ok = coupled_scope(|| {
+                if sys::getpid() != my_pid {
+                    f.push(format!("pp-a: pid changed at round {i}"));
+                }
+                if let Err(e) = retrying(|| a_tx.write(&[i as u8])) {
+                    f.push(format!("pp-a: send {i}: {e:?}"));
+                }
+                let mut got = [0u8; 1];
+                match retrying(|| a_rx.read(&mut got)) {
+                    Ok(1) if got[0] == i as u8 => {}
+                    other => f.push(format!("pp-a: reply {i} -> {other:?}")),
+                }
+            });
+            if ok.is_err() {
+                f.push(format!("pp-a: coupled_scope failed at round {i}"));
+            }
+            yield_now();
+        }
+        0
+    });
+
+    let f = fails.clone();
+    let b = rt.spawn("pp-b", move || {
+        let _ = decouple();
+        for i in 0..ROUNDS {
+            let f = &f;
+            let ok = coupled_scope(|| {
+                let mut got = [0u8; 1];
+                match retrying(|| b_rx.read(&mut got)) {
+                    Ok(1) => {
+                        if got[0] != i as u8 {
+                            f.push(format!("pp-b: token {i} got {}", got[0]));
+                        }
+                    }
+                    other => f.push(format!("pp-b: recv {i} -> {other:?}")),
+                }
+                if let Err(e) = retrying(|| b_tx.write(&got)) {
+                    f.push(format!("pp-b: echo {i}: {e:?}"));
+                }
+            });
+            if ok.is_err() {
+                f.push(format!("pp-b: coupled_scope failed at round {i}"));
+            }
+            yield_now();
+        }
+        0
+    });
+
+    a.wait();
+    b.wait();
+}
+
+/// §VII M:N extension under stress: two primaries, three siblings each.
+/// Siblings yield-storm on the shared original KC and periodically couple
+/// to check they observe the *primary's* pid — the address-space-sharing
+/// guarantee the whole design exists for.
+fn mn_siblings(rt: &Runtime, fails: &Fails) {
+    const YIELDS: usize = 48;
+    let mut primaries = Vec::new();
+    for p in 0..2 {
+        let f = fails.clone();
+        let barrier = Arc::new(AtomicU64::new(0));
+        let gate = barrier.clone();
+        let h = rt.spawn(&format!("mn-p{p}"), move || {
+            let _ = decouple();
+            // Hold the KC available until every sibling reports done.
+            while gate.load(Ordering::Acquire) < 3 {
+                let _ = coupled_scope(|| {});
+                yield_now();
+            }
+            0
+        });
+        let my_pid = h.pid();
+        for s in 0..3 {
+            let f = f.clone();
+            let done = barrier.clone();
+            let sib = h.spawn_sibling(&format!("mn-p{p}s{s}"), move || {
+                for i in 0..YIELDS {
+                    yield_now();
+                    if i % 4 == 3 {
+                        match coupled_scope(|| sys::getpid()) {
+                            Ok(Ok(pid)) if pid == my_pid => {}
+                            other => f.push(format!(
+                                "mn-p{p}s{s}: pid at yield {i} -> {other:?} (want {my_pid})"
+                            )),
+                        }
+                    }
+                }
+                done.fetch_add(1, Ordering::AcqRel);
+                0
+            });
+            match sib {
+                Ok(handle) => primaries.push(SibOrPrimary::Sib(handle)),
+                Err(e) => fails.push(format!("mn-p{p}s{s}: spawn failed: {e}")),
+            }
+        }
+        primaries.push(SibOrPrimary::Primary(h));
+    }
+    for h in &primaries {
+        match h {
+            SibOrPrimary::Sib(s) => {
+                s.wait();
+            }
+            SibOrPrimary::Primary(p) => {
+                p.wait();
+            }
+        }
+    }
+}
+
+enum SibOrPrimary {
+    Sib(ulp_core::SiblingHandle),
+    Primary(ulp_core::BltHandle),
+}
+
+/// Bulk transfer through deliberately tiny pipes: four writer/reader
+/// pairs, 1 KiB each in 96-byte chunks through capacity-64 pipes. Readers
+/// verify a positional checksum, so reordered, duplicated or lost bytes
+/// are all detected even through short reads and `EINTR` retries.
+fn pipe_blockers(rt: &Runtime, fails: &Fails) {
+    const BYTES: usize = 1024;
+    const CHUNK: usize = 96;
+    let mut handles = Vec::new();
+    for pair in 0..4u8 {
+        let (rx, tx) = ulp_kernel::pipe_with_capacity(64);
+        let f = fails.clone();
+        handles.push(rt.spawn(&format!("pb-w{pair}"), move || {
+            let _ = decouple();
+            let data: Vec<u8> = (0..BYTES).map(|i| (i as u8) ^ pair).collect();
+            let mut sent = 0;
+            while sent < BYTES {
+                let end = (sent + CHUNK).min(BYTES);
+                let r = coupled_scope(|| retrying(|| tx.write(&data[sent..end])));
+                match r {
+                    Ok(Ok(n)) => sent += n,
+                    other => {
+                        f.push(format!("pb-w{pair}: write at {sent}: {other:?}"));
+                        return 1;
+                    }
+                }
+                yield_now();
+            }
+            0
+        }));
+        let f = fails.clone();
+        handles.push(rt.spawn(&format!("pb-r{pair}"), move || {
+            let _ = decouple();
+            let mut got = 0usize;
+            let mut buf = [0u8; CHUNK];
+            while got < BYTES {
+                let r = coupled_scope(|| retrying(|| rx.read(&mut buf)));
+                match r {
+                    Ok(Ok(0)) => {
+                        f.push(format!("pb-r{pair}: EOF at {got}"));
+                        return 1;
+                    }
+                    Ok(Ok(n)) => {
+                        for (k, &b) in buf[..n].iter().enumerate() {
+                            let want = ((got + k) as u8) ^ pair;
+                            if b != want {
+                                f.push(format!("pb-r{pair}: byte {} is {b}, want {want}", got + k));
+                                return 1;
+                            }
+                        }
+                        got += n;
+                    }
+                    other => {
+                        f.push(format!("pb-r{pair}: read at {got}: {other:?}"));
+                        return 1;
+                    }
+                }
+                yield_now();
+            }
+            0
+        }));
+    }
+    for h in &handles {
+        h.wait();
+    }
+}
+
+/// Signal storm: three workers alternate coupled bursts (where the
+/// runtime's safe points deliver pending signals to their handlers) with
+/// decoupled yields, while the root thread `kill(2)`s them repeatedly.
+/// Checks that handlers only ever run for the *targeted* process and that
+/// delivery doesn't corrupt the couple protocol (the oracle sees to the
+/// latter).
+fn signal_storm(rt: &Runtime, fails: &Fails) {
+    const KILLS: usize = 24;
+    // Round-bounded, NOT wall-time-bounded: a busy-wait idle policy spins
+    // workers through couple/yield cycles far faster than a blocking one,
+    // and a time-based stop flag would let the event count scale with
+    // scheduler throughput until the trace ring overflows (invariant A).
+    const ROUNDS: usize = 200;
+    let mut handles = Vec::new();
+    let mut done_flags = Vec::new();
+    for w in 0..3 {
+        let f = fails.clone();
+        let done = Arc::new(AtomicU64::new(0));
+        done_flags.push(done.clone());
+        handles.push(rt.spawn(&format!("sig-w{w}"), move || {
+            let my_pid = sys::getpid();
+            let hits = Arc::new(AtomicU64::new(0));
+            let h2 = hits.clone();
+            ulp_core::on_signal(Signal::SigUsr1, move |_| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            });
+            let _ = decouple();
+            for _round in 0..ROUNDS {
+                // Couple: the safe point inside delivers pending signals.
+                let ok = coupled_scope(|| {
+                    if sys::getpid() != my_pid {
+                        f.push(format!("sig-w{w}: pid changed"));
+                    }
+                });
+                if ok.is_err() {
+                    f.push(format!("sig-w{w}: coupled_scope failed"));
+                    break;
+                }
+                yield_now();
+            }
+            // Published strictly before the worker's process can die, so
+            // the kill loop below can tell "exited as planned" from
+            // "vanished unexpectedly".
+            done.store(1, Ordering::Release);
+            hits.load(Ordering::Relaxed) as i32
+        }));
+    }
+    for _round in 0..KILLS {
+        let mut live = 0;
+        for (h, done) in handles.iter().zip(&done_flags) {
+            if done.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            live += 1;
+            if let Err(e) = rt.kernel().sys_kill(h.pid(), Signal::SigUsr1) {
+                // The worker may finish its rounds between the flag check
+                // and the kill; only an error with the flag STILL unset
+                // means it vanished mid-run.
+                if done.load(Ordering::Acquire) == 0 {
+                    fails.push(format!("storm: kill {:?} failed: {e:?}", h.pid()));
+                }
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(300));
+    }
+    for h in &handles {
+        h.wait();
+    }
+}

@@ -1,0 +1,103 @@
+//! Bounded torture smoke for CI: a few fixed-seed cells through the full
+//! run → oracle pipeline, plus the replay-determinism guarantee.
+//!
+//! Chaos/fault state is process-global; `run_cell` serializes internally,
+//! so these tests are safe under the default parallel test runner.
+
+use ulp_core::{IdlePolicy, SchedPolicy};
+use ulp_torture::{digest, matrix, run_cell, run_seed, Cell, Scenario};
+
+/// Fixed master seed for CI determinism (same default as the binary).
+const MASTER: u64 = 0xDECAF;
+
+#[test]
+fn full_matrix_one_pass_is_violation_free() {
+    if cfg!(torture_mutation) {
+        // The planted bug makes multi-worker cells meaningless (and the
+        // mutation run is asserted separately below).
+        return;
+    }
+    for (i, cell) in matrix().into_iter().enumerate() {
+        let report = run_cell(cell, run_seed(MASTER, i as u64));
+        assert!(
+            report.violations.is_empty(),
+            "{cell} seed {:#018x}: {:?}",
+            report.seed,
+            report.violations
+        );
+        assert_eq!(report.dropped, 0, "{cell}: trace records dropped");
+        assert!(
+            !report.trace.is_empty(),
+            "{cell}: empty trace — tracing was off?"
+        );
+    }
+}
+
+#[test]
+fn chain_cell_replays_byte_identically() {
+    if cfg!(torture_mutation) {
+        return;
+    }
+    let cell = Cell {
+        scenario: Scenario::Chain,
+        sched: SchedPolicy::GlobalFifo,
+        idle: IdlePolicy::Blocking,
+    };
+    let seed = run_seed(MASTER, 777);
+    let a = run_cell(cell, seed);
+    let b = run_cell(cell, seed);
+    assert_eq!(
+        digest::bytes(&a.trace),
+        digest::bytes(&b.trace),
+        "canonical traces diverged for one seed"
+    );
+    assert_eq!(a.digest, b.digest);
+    // NB: raw trace lengths may differ — scheduler-side noise (KcBlocked,
+    // idle futex spans) is timing-dependent by design and only the
+    // canonical form is replay-stable.
+}
+
+#[test]
+fn chaos_and_faults_actually_fire() {
+    if cfg!(torture_mutation) {
+        return;
+    }
+    let cell = Cell {
+        scenario: Scenario::Chain,
+        sched: SchedPolicy::GlobalFifo,
+        idle: IdlePolicy::Blocking,
+    };
+    let report = run_cell(cell, run_seed(MASTER, 1));
+    assert!(
+        report.chaos_fired.iter().sum::<u64>() > 0,
+        "aggressive chaos plan never fired: {:?}",
+        report.chaos_fired
+    );
+    assert!(
+        report.faults_injected.iter().sum::<u64>() > 0,
+        "aggressive fault plan never injected: {:?}",
+        report.faults_injected
+    );
+}
+
+/// The whole reason the harness exists: with the consistency bug planted
+/// (`RUSTFLAGS="--cfg torture_mutation"`), the oracle MUST fail the run.
+#[cfg(torture_mutation)]
+#[test]
+fn planted_mutation_is_caught_by_the_oracle() {
+    let cell = Cell {
+        scenario: Scenario::Chain,
+        sched: SchedPolicy::GlobalFifo,
+        idle: IdlePolicy::Blocking,
+    };
+    let report = run_cell(cell, run_seed(MASTER, 0));
+    assert!(
+        !report.violations.is_empty(),
+        "oracle passed a run whose coupled_scope never couples"
+    );
+    assert!(
+        report.violations.iter().any(|v| v.starts_with("[B]")),
+        "mutation must surface as invariant-B (syscall consistency) violations: {:?}",
+        report.violations
+    );
+}

@@ -6,6 +6,92 @@
 use proptest::prelude::*;
 use ulp_repro::kernel::{Errno, Kernel, OpenFlags, Pid, Whence};
 
+/// Shared body of the FD-allocation property: open six files (fds must be
+/// sequential), close `close_order`'s slots, then verify the next open
+/// takes the lowest freed slot and every other closed fd is `EBADF`.
+/// Plain `assert!`s so both the proptest driver (which catches panics)
+/// and the named regression tests below can run it.
+fn check_fd_allocation(close_order: &[usize]) {
+    let k = Kernel::native();
+    let pid = k.spawn_process(Some(Pid(1)), "fds");
+    k.bind_current(pid);
+    let fds: Vec<_> = (0..6)
+        .map(|i| {
+            k.sys_open(&format!("/f{i}"), OpenFlags::WRONLY | OpenFlags::CREAT)
+                .unwrap()
+        })
+        .collect();
+    // Sequential opens get sequential fds.
+    for (i, fd) in fds.iter().enumerate() {
+        assert_eq!(fd.0, i as i32);
+    }
+    let mut closed = std::collections::BTreeSet::new();
+    for &i in close_order {
+        if closed.insert(i) {
+            k.sys_close(fds[i]).unwrap();
+        }
+    }
+    let reused = if let Some(&lowest) = closed.iter().next() {
+        // The next open must take the lowest closed slot.
+        let fresh = k
+            .sys_open("/fresh", OpenFlags::WRONLY | OpenFlags::CREAT)
+            .unwrap();
+        assert_eq!(fresh.0, lowest as i32);
+        Some(lowest)
+    } else {
+        None
+    };
+    // Closed fds are EBADF — except the slot the fresh open reused.
+    for &i in &closed {
+        if Some(i) == reused {
+            assert!(k.sys_pwrite(fds[i], 0, b"x").is_ok());
+        } else {
+            assert_eq!(k.sys_pwrite(fds[i], 0, b"x").unwrap_err(), Errno::EBADF);
+        }
+    }
+    k.unbind_current();
+}
+
+/// Named regressions promoted from `proptest_kernel.proptest-regressions`
+/// so the historical failure runs deterministically on every `cargo test`,
+/// not just when proptest happens to replay its seed file.
+mod fd_allocation_regressions {
+    use super::check_fd_allocation;
+
+    /// The recorded shrink (`cc a6a2b17d…`): closing only fd 0 once made
+    /// the reuse check disagree with the lowest-free-slot rule.
+    #[test]
+    fn close_first_fd_then_reopen() {
+        check_fd_allocation(&[0]);
+    }
+
+    /// Same slot closed twice — the second close must be a no-op, not a
+    /// double free.
+    #[test]
+    fn close_first_fd_twice() {
+        check_fd_allocation(&[0, 0]);
+    }
+
+    /// Non-lowest slot freed first: the fresh open must still take the
+    /// lowest freed slot, not the first freed one.
+    #[test]
+    fn close_out_of_order() {
+        check_fd_allocation(&[5, 0, 3]);
+    }
+
+    /// Everything closed, in reverse: fresh open lands on slot 0.
+    #[test]
+    fn close_all_reversed() {
+        check_fd_allocation(&[5, 4, 3, 2, 1, 0]);
+    }
+
+    /// Nothing closed: pure sequential-allocation check.
+    #[test]
+    fn close_nothing() {
+        check_fd_allocation(&[]);
+    }
+}
+
 fn arb_op() -> impl Strategy<Value = FileOp> {
     prop_oneof![
         (0u64..2048, proptest::collection::vec(any::<u8>(), 0..256))
@@ -114,39 +200,7 @@ proptest! {
     /// shares the description.
     #[test]
     fn fd_allocation_rule(close_order in proptest::collection::vec(0usize..6, 0..6)) {
-        let k = Kernel::native();
-        let pid = k.spawn_process(Some(Pid(1)), "fds");
-        k.bind_current(pid);
-        let fds: Vec<_> = (0..6)
-            .map(|i| k.sys_open(&format!("/f{i}"), OpenFlags::WRONLY | OpenFlags::CREAT).unwrap())
-            .collect();
-        // Sequential opens get sequential fds.
-        for (i, fd) in fds.iter().enumerate() {
-            prop_assert_eq!(fd.0, i as i32);
-        }
-        let mut closed = std::collections::BTreeSet::new();
-        for &i in &close_order {
-            if closed.insert(i) {
-                k.sys_close(fds[i]).unwrap();
-            }
-        }
-        let reused = if let Some(&lowest) = closed.iter().next() {
-            // The next open must take the lowest closed slot.
-            let fresh = k.sys_open("/fresh", OpenFlags::WRONLY | OpenFlags::CREAT).unwrap();
-            prop_assert_eq!(fresh.0, lowest as i32);
-            Some(lowest)
-        } else {
-            None
-        };
-        // Closed fds are EBADF — except the slot the fresh open reused.
-        for &i in &closed {
-            if Some(i) == reused {
-                prop_assert!(k.sys_pwrite(fds[i], 0, b"x").is_ok());
-            } else {
-                prop_assert_eq!(k.sys_pwrite(fds[i], 0, b"x").unwrap_err(), Errno::EBADF);
-            }
-        }
-        k.unbind_current();
+        check_fd_allocation(&close_order);
     }
 
     /// Signal sets behave like bit sets: post/take round-trips, masked
