@@ -20,13 +20,20 @@ use ulp_kernel::ArchProfile;
 pub mod baseline {
     //! Best (fastest) of two baseline runs on the reference host — the
     //! conservative comparison point for the improvement figures.
+    /// ns per yield, global FIFO (baseline).
     pub const YIELD_FIFO_NS: f64 = 207.9;
+    /// ns per yield, work stealing (baseline).
     pub const YIELD_WS_NS: f64 = 174.0;
+    /// ns per couple/decouple round trip, BUSYWAIT (baseline).
     pub const COUPLE_RTT_BUSYWAIT_NS: f64 = 4325.1;
+    /// ns per couple/decouple round trip, BLOCKING (baseline).
     pub const COUPLE_RTT_BLOCKING_NS: f64 = 2881.6;
+    /// Aggregate switches/sec, 8 ULPs over 4 KCs (baseline).
     pub const OVERSUB4_SWITCHES_PER_SEC: f64 = 3075197.7;
 }
 
+/// One full switch-path measurement sweep (the numbers the hot-path
+/// overhaul is judged by).
 #[derive(Debug, Clone, Copy)]
 pub struct Bench1 {
     /// ns per yield, 2 ULPs / 1 scheduler, BUSYWAIT, global FIFO.

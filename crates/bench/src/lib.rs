@@ -13,6 +13,8 @@
 //! ten runs". [`measure_min`] implements that protocol; cycle counts come
 //! from RDTSC as in the paper.
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod bench1;
 pub mod report;

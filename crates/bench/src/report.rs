@@ -13,6 +13,7 @@ pub struct Table {
 }
 
 impl Table {
+    /// An empty table with the given title and column headers.
     pub fn new(title: &str, header: &[&str]) -> Table {
         Table {
             title: title.to_string(),
@@ -21,6 +22,7 @@ impl Table {
         }
     }
 
+    /// Append a row; arity must match the header.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
         self.rows.push(cells);
@@ -67,10 +69,12 @@ impl Table {
         Ok(())
     }
 
+    /// Whether no rows have been added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
 
+    /// Number of data rows (excluding the header).
     pub fn n_rows(&self) -> usize {
         self.rows.len()
     }

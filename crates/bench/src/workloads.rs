@@ -322,6 +322,7 @@ pub enum OwcVariant {
 }
 
 impl OwcVariant {
+    /// Row label used in the Fig. 7 table and CSVs.
     pub fn label(&self) -> &'static str {
         match self {
             OwcVariant::Plain => "plain",
@@ -460,8 +461,11 @@ pub fn calibrate_compute(target_ns: f64) -> u64 {
 /// Result of one overlap measurement (Fig. 8, IMB method).
 #[derive(Debug, Clone, Copy)]
 pub struct OverlapResult {
+    /// Wall time of the I/O phase alone.
     pub pure_io_ns: f64,
+    /// Wall time of the compute phase alone.
     pub pure_cpu_ns: f64,
+    /// Wall time with both phases overlapped.
     pub overlapped_ns: f64,
     /// Percentage in [0, 100].
     pub ratio: f64,

@@ -369,14 +369,17 @@ fn syscall_blocks(out: &mut String, sys: &SyscallSnapshot) {
 /// Render counters + latency histograms in the Prometheus text exposition
 /// format (scrape-ready; also a convenient stable diff format for tests).
 ///
-/// `sys` supplies the per-syscall latency families and
+/// `sys` supplies the per-syscall latency families,
 /// `kernel_syscalls_total` the kernel's all-time dispatch counter (counted
-/// even when tracing is off, so it is passed separately from the snapshot).
+/// even when tracing is off, so it is passed separately from the snapshot)
+/// and `violations_total` the runtime's recorded system-call-consistency
+/// violations (the audit log's length — also independent of tracing).
 pub fn prometheus_text(
     stats: &StatsSnapshot,
     lat: &LatencySnapshot,
     sys: &SyscallSnapshot,
     kernel_syscalls_total: u64,
+    violations_total: u64,
 ) -> String {
     let mut out = String::new();
     counter_block(
@@ -438,6 +441,12 @@ pub fn prometheus_text(
         "ulp_kernel_syscalls_total",
         "System calls dispatched by the simulated kernel (all processes).",
         kernel_syscalls_total,
+    );
+    counter_block(
+        &mut out,
+        "ulp_syscall_violations_total",
+        "System-call-consistency violations recorded by the audit log (§V-B hazards).",
+        violations_total,
     );
     syscall_blocks(&mut out, sys);
     hist_block(
@@ -570,8 +579,10 @@ mod tests {
         lat.queue_delay.count = 2;
         lat.queue_delay.sum = 400;
         lat.queue_delay.max = 300;
-        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0);
+        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0, 3);
         assert!(text.contains("ulp_context_switches_total 42\n"));
+        assert!(text.contains("# TYPE ulp_syscall_violations_total counter"));
+        assert!(text.contains("ulp_syscall_violations_total 3\n"));
         assert!(text.contains("ulp_yields_total 7\n"));
         assert!(text.contains("# TYPE ulp_queue_delay_ns histogram"));
         // Cumulative buckets: the 100-ns sample is <= 127, both are <= 511.
@@ -744,8 +755,10 @@ mod tests {
             &LatencySnapshot::default(),
             &sys,
             17,
+            0,
         );
         assert!(text.contains("ulp_kernel_syscalls_total 17\n"));
+        assert!(text.contains("ulp_syscall_violations_total 0\n"));
         assert!(text.contains("# TYPE ulp_syscall_total counter"));
         assert!(text.contains("ulp_syscall_total{call=\"read\"} 2\n"));
         assert!(text.contains("# TYPE ulp_syscall_latency_ns histogram"));
@@ -764,7 +777,13 @@ mod tests {
             *b = (i % 3) as u64;
             lat.couple_resume.count += (i % 3) as u64;
         }
-        let text = prometheus_text(&StatsSnapshot::default(), &lat, &SyscallSnapshot::new(), 0);
+        let text = prometheus_text(
+            &StatsSnapshot::default(),
+            &lat,
+            &SyscallSnapshot::new(),
+            0,
+            0,
+        );
         let mut prev = 0u64;
         for line in text
             .lines()

@@ -53,6 +53,12 @@
 //! - **Metrics** ([`prometheus_text`]): counters + histograms in Prometheus
 //!   text exposition format; `ULP_METRICS_ADDR=host:port` (or
 //!   `Runtime::serve_metrics`) serves it live over HTTP for scrapers.
+//! - **Profiling** ([`profile`]): the trace folded into per-BLT wall-clock
+//!   attribution across the Table-I states with per-syscall self time —
+//!   collapsed-stack ("folded") text for flamegraph tooling plus a
+//!   structured [`ProfileSnapshot`] (`ULP_PROFILE=<path>` dumps at
+//!   shutdown; the metrics endpoint serves `/profile`, `/profile.json`
+//!   and a non-destructive mid-run `/trace`).
 
 #![warn(missing_docs)]
 
@@ -64,6 +70,7 @@ pub mod export;
 pub mod hist;
 pub mod kc;
 mod metrics_server;
+pub mod profile;
 pub mod runqueue;
 pub mod runtime;
 pub mod signals;
@@ -80,6 +87,7 @@ pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text};
 pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
+pub use profile::{fold_profile, BltProfile, ProfileSnapshot, ProfileState};
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};

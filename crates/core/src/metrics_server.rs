@@ -1,11 +1,27 @@
-//! A minimal blocking HTTP/1.0 endpoint serving the Prometheus dump.
+//! A minimal blocking HTTP/1.0 endpoint serving the observability surfaces.
 //!
 //! Deliberately tiny and dependency-free: one dedicated kernel-level thread
-//! (`ulp-metrics`) blocks in `accept()` on a std [`TcpListener`] and answers
-//! each connection with the current [`prometheus_text`] rendering — exactly
-//! what a Prometheus scraper (or `curl`) needs, and nothing more. The server
-//! holds only a [`Weak`] reference to the runtime, so it can never keep a
-//! shut-down runtime alive; after shutdown it answers `503`.
+//! (`ulp-metrics`) blocks in `accept()` on a std [`TcpListener`]; each
+//! accepted connection is answered on a short-lived worker thread (capped at
+//! [`MAX_CONCURRENT`]; at the cap the acceptor answers inline, which
+//! backpressures new connects instead of queueing unboundedly). A slow or
+//! stalled client therefore cannot wedge other scrapers — and is itself
+//! bounded by the 2-second read timeout. The server holds only a [`Weak`]
+//! reference to the runtime, so it can never keep a shut-down runtime alive;
+//! after shutdown it answers `503`.
+//!
+//! Routes (all `GET`, HTTP/1.0 close-delimited):
+//!
+//! - `/metrics` (or `/`) — [`prometheus_text`] rendering.
+//! - `/profile` — collapsed-stack ("folded") profile text, ready for
+//!   inferno/flamegraph.pl/speedscope (see [`crate::profile`]).
+//! - `/profile.json` — the structured [`crate::profile::ProfileSnapshot`].
+//! - `/trace` — Chrome-trace/Perfetto JSON of the current ring contents.
+//!
+//! The profile and trace routes read the rings through the tracer's
+//! non-destructive snapshot path: scraping mid-run consumes nothing, so the
+//! shutdown `ULP_TRACE`/`ULP_PROFILE` dumps (and any oracle draining the
+//! trace) still see the full history.
 //!
 //! Enabled via `ULP_METRICS_ADDR=host:port` (port `0` picks a free port) or
 //! programmatically through `Runtime::serve_metrics`.
@@ -15,10 +31,15 @@
 use crate::runtime::RuntimeInner;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Upper bound on connections being answered concurrently. Above it the
+/// accept loop answers inline — the listener's backlog, not a thread herd,
+/// absorbs bursts.
+const MAX_CONCURRENT: usize = 8;
 
 /// Handle to the background metrics listener. Dropping it (or calling
 /// [`MetricsServer::stop`]) shuts the thread down.
@@ -50,8 +71,10 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stop accepting and join the thread. The accept loop is unblocked by
-    /// a throwaway self-connection — `accept()` has no portable timeout.
+    /// Stop accepting and join the acceptor thread. The accept loop is
+    /// unblocked by a throwaway self-connection — `accept()` has no portable
+    /// timeout. In-flight worker threads are not joined; they hold only the
+    /// [`Weak`] runtime reference and die within the read timeout.
     pub(crate) fn stop(&mut self) {
         if let Some(h) = self.handle.take() {
             self.stop.store(true, Ordering::Release);
@@ -68,15 +91,37 @@ impl Drop for MetricsServer {
 }
 
 fn serve(listener: TcpListener, rt: Weak<RuntimeInner>, stop: Arc<AtomicBool>) {
+    let active = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
         }
-        if let Ok(mut stream) = conn {
+        let Ok(mut stream) = conn else { continue };
+        // Claim a worker slot optimistically; at the cap, give it back and
+        // serve inline (backpressure, not an unbounded thread herd).
+        if active.fetch_add(1, Ordering::AcqRel) < MAX_CONCURRENT {
+            let rt2 = rt.clone();
+            let active2 = active.clone();
+            let spawned = std::thread::Builder::new()
+                .name("ulp-metrics-conn".to_string())
+                .spawn(move || {
+                    let _ = answer(&mut stream, &rt2);
+                    active2.fetch_sub(1, Ordering::AcqRel);
+                });
+            if spawned.is_err() {
+                // Thread exhaustion: the failed spawn consumed (and closed)
+                // the connection; release the never-used slot.
+                active.fetch_sub(1, Ordering::AcqRel);
+            }
+        } else {
+            active.fetch_sub(1, Ordering::AcqRel);
             let _ = answer(&mut stream, &rt);
         }
     }
 }
+
+/// A route's renderer: content type + body from a live runtime.
+type Render = fn(&RuntimeInner) -> (&'static str, String);
 
 /// Read enough of the request to see the method + path, then respond and
 /// close (HTTP/1.0 semantics — no keep-alive, no chunking).
@@ -96,32 +141,40 @@ fn answer(stream: &mut TcpStream, rt: &Weak<RuntimeInner>) -> std::io::Result<()
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
 
+    const UNAVAILABLE: (&str, &str) = ("503 Service Unavailable", "text/plain");
     let (status, content_type, body) = if method != "GET" {
         (
             "405 Method Not Allowed",
             "text/plain",
             String::from("only GET is supported\n"),
         )
-    } else if path == "/metrics" || path == "/" {
-        match rt.upgrade() {
+    } else {
+        let render: Option<Render> = match path {
             // Prometheus text exposition format version 0.0.4.
-            Some(rt) => (
-                "200 OK",
-                "text/plain; version=0.0.4",
-                rt.prometheus_render(),
-            ),
+            "/metrics" | "/" => Some(|rt| ("text/plain; version=0.0.4", rt.prometheus_render())),
+            "/profile" => Some(|rt| ("text/plain", rt.profile_collapsed())),
+            "/profile.json" => Some(|rt| ("application/json", rt.profile_json())),
+            "/trace" => Some(|rt| ("application/json", rt.trace_json())),
+            _ => None,
+        };
+        match render {
+            Some(render) => match rt.upgrade() {
+                Some(rt) => {
+                    let (content_type, body) = render(&rt);
+                    ("200 OK", content_type, body)
+                }
+                None => (
+                    UNAVAILABLE.0,
+                    UNAVAILABLE.1,
+                    String::from("runtime has shut down\n"),
+                ),
+            },
             None => (
-                "503 Service Unavailable",
+                "404 Not Found",
                 "text/plain",
-                String::from("runtime has shut down\n"),
+                String::from("try /metrics, /profile, /profile.json or /trace\n"),
             ),
         }
-    } else {
-        (
-            "404 Not Found",
-            "text/plain",
-            String::from("try /metrics\n"),
-        )
     };
 
     write!(

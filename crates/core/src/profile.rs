@@ -1,0 +1,1000 @@
+//! Trace-driven profiling: fold the event stream into per-BLT wall-clock
+//! attribution and Brendan-Gregg collapsed stacks.
+//!
+//! The tracer ([`crate::trace`]) answers *what happened when*; this module
+//! answers *where the time went*. [`fold_profile`] replays a drained (or
+//! non-destructively snapshotted) record stream through the same Table-I
+//! state machine the Perfetto export uses and aggregates, per BLT:
+//!
+//! - wall-clock time in each lifecycle state — `coupled` / `queued` /
+//!   `coupling` / `decoupled` — which **partition** the BLT's lifetime
+//!   (first event → `Terminate`) exactly, plus the parallel `kc_blocked`
+//!   track (the original kernel context parked on its futex while the UC
+//!   roams; it overlaps the lifecycle states by construction);
+//! - per-syscall **self time**, nested under the state the call was issued
+//!   from: a blocking pipe read folds as
+//!   `coupled → syscall:read → syscall:pipe_block_read`, and a §V-B hazard
+//!   shows up as syscall frames under `decoupled` — cost attribution *is*
+//!   the violation detector.
+//!
+//! Two renderings:
+//!
+//! - [`ProfileSnapshot::collapsed`] — Brendan Gregg's collapsed-stack
+//!   ("folded") text, one `frame;frame;frame value` line per stack, the
+//!   input format of `flamegraph.pl`, inferno and speedscope. Values are
+//!   self-time nanoseconds, so the lines for one BLT sum back exactly to
+//!   its state totals ([`BltProfile::flame_ns`]).
+//! - [`ProfileSnapshot::to_json`] — a structured dump of the same numbers
+//!   for dashboards and the `/profile.json` endpoint.
+//!
+//! ## Reconciliation contract
+//!
+//! The fold is *accountable*: on a loss-free trace (zero dropped records,
+//! all spans closed) the aggregate counts equal the runtime's independent
+//! histogram snapshots — per-`Sysno` span counts match
+//! [`SyscallSnapshot`], `decoupled` span counts match the queue-delay
+//! sample count and coupled-resume counts match the couple-resume sample
+//! count ([`ProfileSnapshot::reconcile`]). The torture oracle's invariant
+//! family I re-checks this on every fuzzed run, so the profile can't
+//! silently drift from the telemetry it summarizes.
+//!
+//! In-flight syscalls (entered but not yet exited at the snapshot horizon)
+//! are deliberately *not* folded as syscall frames — their time stays in
+//! the issuing state's self time until the exit lands, mirroring the
+//! latency histograms, which also only record completed spans.
+
+use crate::hist::{LatencySnapshot, SyscallSnapshot};
+use crate::trace::{Event, TraceRecord, SYS_STACK_DEPTH};
+use crate::uc::BltId;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use ulp_kernel::Sysno;
+
+/// Where a BLT's wall-clock time is attributed (the Table-I lifecycle
+/// states plus the parallel blocked-original-KC track).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ProfileState {
+    /// Running as a KLT on its original kernel context.
+    Coupled = 0,
+    /// Decoupled and waiting in the run queue.
+    Queued = 1,
+    /// Couple request published, waiting for the original KC to resume it.
+    Coupling = 2,
+    /// Running as a ULT on a scheduler kernel context.
+    Decoupled = 3,
+    /// The original kernel context parked on its futex (parallel to the
+    /// four lifecycle states — it overlaps them, it does not partition).
+    KcBlocked = 4,
+}
+
+/// Number of attribution buckets (including the parallel `kc_blocked`).
+pub const PROFILE_STATES: usize = 5;
+/// Number of lifecycle states that partition a BLT's lifetime.
+const LIFECYCLE_STATES: usize = 4;
+
+const COUPLED: usize = ProfileState::Coupled as usize;
+const QUEUED: usize = ProfileState::Queued as usize;
+const COUPLING: usize = ProfileState::Coupling as usize;
+const DECOUPLED: usize = ProfileState::Decoupled as usize;
+const KC_BLOCKED: usize = ProfileState::KcBlocked as usize;
+
+impl ProfileState {
+    /// All states, in bucket order.
+    pub const ALL: [ProfileState; PROFILE_STATES] = [
+        ProfileState::Coupled,
+        ProfileState::Queued,
+        ProfileState::Coupling,
+        ProfileState::Decoupled,
+        ProfileState::KcBlocked,
+    ];
+
+    /// The frame label used in collapsed stacks and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileState::Coupled => "coupled",
+            ProfileState::Queued => "queued",
+            ProfileState::Coupling => "coupling",
+            ProfileState::Decoupled => "decoupled",
+            ProfileState::KcBlocked => "kc_blocked",
+        }
+    }
+}
+
+/// Aggregate of one state's spans for one BLT.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateBucket {
+    /// Total wall-clock nanoseconds spent in this state.
+    pub total_ns: u64,
+    /// Self time: [`StateBucket::total_ns`] minus the time attributed to
+    /// syscall frames issued from this state (equal to `total_ns` for
+    /// `kc_blocked`, which nests nothing).
+    pub self_ns: u64,
+    /// Number of spans (state entries).
+    pub spans: u64,
+}
+
+/// One aggregated syscall stack: the issuing state plus the nested call
+/// chain (outermost first), e.g. `coupled → read → pipe_block_read`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallPath {
+    /// The lifecycle state the outermost call was issued from.
+    pub state: ProfileState,
+    /// The call chain, outermost first (`stack.last()` is this path's own
+    /// call).
+    pub stack: Vec<Sysno>,
+    /// Completed spans folded into this path.
+    pub count: u64,
+    /// Summed enter→exit wall time of those spans.
+    pub total_ns: u64,
+    /// [`SyscallPath::total_ns`] minus time in nested child frames — the
+    /// collapsed-stack leaf value.
+    pub self_ns: u64,
+}
+
+/// Wall-clock attribution for one BLT.
+#[derive(Debug, Clone)]
+pub struct BltProfile {
+    /// The BLT (`BltId(0)` aggregates threads running without a bound ULP,
+    /// e.g. the root thread; scheduler identities appear under their own
+    /// ids with syscall frames but no lifecycle spans).
+    pub id: BltId,
+    /// Timestamp of the BLT's first trace event (its profile birth).
+    pub start_ns: u64,
+    /// `Terminate` timestamp, when the trace contains one.
+    pub end_ns: Option<u64>,
+    /// Per-state aggregation, indexed by `ProfileState as usize`.
+    pub states: [StateBucket; PROFILE_STATES],
+    /// How many `coupled` spans were entered via a `Coupled` event (i.e.
+    /// couple-resume completions, as opposed to the coupled-at-birth span).
+    pub coupled_resumes: u64,
+    /// Folded syscall stacks, sorted by (state, call chain).
+    pub syscalls: Vec<SyscallPath>,
+}
+
+impl BltProfile {
+    /// This state's aggregate.
+    pub fn state(&self, s: ProfileState) -> StateBucket {
+        self.states[s as usize]
+    }
+
+    /// Summed wall time of the four lifecycle states. On a trace where the
+    /// BLT both spawned and terminated this equals
+    /// `end_ns - start_ns` exactly — the states partition the lifetime.
+    pub fn lifecycle_ns(&self) -> u64 {
+        self.states[..LIFECYCLE_STATES]
+            .iter()
+            .map(|b| b.total_ns)
+            .sum()
+    }
+
+    /// What this BLT's collapsed-stack lines sum to: every state's self
+    /// time plus every syscall path's self time. Equals
+    /// [`BltProfile::lifecycle_ns`] + `kc_blocked` time when all syscall
+    /// frames closed inside their issuing state (the steady-state case).
+    pub fn flame_ns(&self) -> u64 {
+        let states: u64 = self.states.iter().map(|b| b.self_ns).sum();
+        let sys: u64 = self.syscalls.iter().map(|p| p.self_ns).sum();
+        states + sys
+    }
+
+    /// Completed syscall spans whose outermost frame is `no`, summed over
+    /// every issuing state and nesting position.
+    pub fn syscall_count(&self, no: Sysno) -> u64 {
+        self.syscalls
+            .iter()
+            .filter(|p| p.stack.last() == Some(&no))
+            .map(|p| p.count)
+            .sum()
+    }
+}
+
+/// The folded profile: one [`BltProfile`] per BLT that appears in the
+/// trace, plus the snapshot horizon every open span was closed at.
+#[derive(Debug, Clone)]
+pub struct ProfileSnapshot {
+    /// Timestamp of the last trace record (open spans close here).
+    pub horizon_ns: u64,
+    /// Per-BLT attribution, sorted by id.
+    pub blts: Vec<BltProfile>,
+}
+
+impl ProfileSnapshot {
+    /// Look up one BLT's profile.
+    pub fn get(&self, id: BltId) -> Option<&BltProfile> {
+        self.blts.iter().find(|b| b.id == id)
+    }
+
+    /// Completed spans of syscall `no` across every BLT.
+    pub fn syscall_count(&self, no: Sysno) -> u64 {
+        self.blts.iter().map(|b| b.syscall_count(no)).sum()
+    }
+
+    /// All completed syscall spans across every BLT and call.
+    pub fn total_syscall_spans(&self) -> u64 {
+        self.blts
+            .iter()
+            .flat_map(|b| b.syscalls.iter())
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// Total attributed wall time (lifecycle states of every BLT; the
+    /// parallel `kc_blocked` track is excluded to avoid double counting).
+    pub fn total_ns(&self) -> u64 {
+        self.blts.iter().map(|b| b.lifecycle_ns()).sum()
+    }
+
+    /// Check this profile against the runtime's independently-maintained
+    /// histogram snapshots. Returns every discrepancy (empty = reconciled).
+    /// Exact only for a loss-free trace window: same enable point, zero
+    /// dropped records, and no syscall in flight at either edge.
+    pub fn reconcile(&self, lat: &LatencySnapshot, sys: &SyscallSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        for no in Sysno::ALL {
+            let folded = self.syscall_count(no);
+            let hist = sys.get(no.name()).map_or(0, |d| d.count);
+            if folded != hist {
+                out.push(format!(
+                    "syscall {}: {folded} folded spans vs {hist} histogram samples",
+                    no.name()
+                ));
+            }
+        }
+        let decoupled: u64 = self
+            .blts
+            .iter()
+            .map(|b| b.state(ProfileState::Decoupled).spans)
+            .sum();
+        if decoupled != lat.queue_delay.count {
+            out.push(format!(
+                "{decoupled} decoupled spans vs {} queue-delay samples",
+                lat.queue_delay.count
+            ));
+        }
+        let resumes: u64 = self.blts.iter().map(|b| b.coupled_resumes).sum();
+        if resumes != lat.couple_resume.count {
+            out.push(format!(
+                "{resumes} coupled resumes vs {} couple-resume samples",
+                lat.couple_resume.count
+            ));
+        }
+        out
+    }
+
+    /// Render as Brendan Gregg collapsed-stack ("folded") text: one
+    /// `blt:N;state[;syscall:name…] self_ns` line per stack with nonzero
+    /// self time, consumable by `flamegraph.pl`, inferno
+    /// (`inferno-flamegraph`) and speedscope.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blts {
+            for s in ProfileState::ALL {
+                let self_ns = b.state(s).self_ns;
+                if self_ns > 0 {
+                    let _ = writeln!(out, "blt:{};{} {self_ns}", b.id.0, s.name());
+                }
+            }
+            for p in &b.syscalls {
+                if p.self_ns == 0 {
+                    continue;
+                }
+                let _ = write!(out, "blt:{};{}", b.id.0, p.state.name());
+                for no in &p.stack {
+                    let _ = write!(out, ";syscall:{}", no.name());
+                }
+                let _ = writeln!(out, " {}", p.self_ns);
+            }
+        }
+        out
+    }
+
+    /// Structured JSON rendering of the same numbers (the `/profile.json`
+    /// endpoint). Dependency-free, like the rest of [`crate::export`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"horizon_ns\":{},\"total_ns\":{},\"blts\":[",
+            self.horizon_ns,
+            self.total_ns()
+        );
+        for (i, b) in self.blts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"start_ns\":{},\"end_ns\":{},\"lifecycle_ns\":{},\"coupled_resumes\":{},\"states\":{{",
+                b.id.0,
+                b.start_ns,
+                b.end_ns.map_or("null".to_string(), |e| e.to_string()),
+                b.lifecycle_ns(),
+                b.coupled_resumes,
+            );
+            for (j, s) in ProfileState::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let bk = b.state(*s);
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"total_ns\":{},\"self_ns\":{},\"spans\":{}}}",
+                    s.name(),
+                    bk.total_ns,
+                    bk.self_ns,
+                    bk.spans
+                );
+            }
+            let _ = write!(out, "}},\"syscalls\":[");
+            for (j, p) in b.syscalls.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"stack\":[\"{}\"", p.state.name());
+                for no in &p.stack {
+                    let _ = write!(out, ",\"{}\"", no.name());
+                }
+                let _ = write!(
+                    out,
+                    "],\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                    p.count, p.total_ns, p.self_ns
+                );
+            }
+            let _ = write!(out, "]}}");
+        }
+        let _ = write!(out, "]}}");
+        out
+    }
+}
+
+/// Parse collapsed-stack text back into `(stack, value)` rows — the
+/// validation half of the format contract (tests, the CI smoke job and the
+/// torture oracle all re-check `/profile` output through this).
+pub fn parse_collapsed(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", i + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value: {line:?}", i + 1))?;
+        if stack.is_empty() || stack.split(';').any(|f| f.is_empty()) {
+            return Err(format!("line {}: empty stack frame: {line:?}", i + 1));
+        }
+        out.push((stack.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// One in-flight syscall frame during the fold.
+struct SysFrame {
+    start_ns: u64,
+    sysno: Sysno,
+    /// Lifecycle state at the enter edge (attribution anchor).
+    state: usize,
+    /// Wall time consumed by already-closed child frames.
+    child_ns: u64,
+    /// Entered beyond [`SYS_STACK_DEPTH`]: balanced but never folded,
+    /// mirroring the histogram recorder's cap.
+    deep: bool,
+}
+
+/// Per-BLT accumulation state.
+struct Builder {
+    start_ns: u64,
+    end_ns: Option<u64>,
+    states: [StateBucket; PROFILE_STATES],
+    /// Syscall wall time attributed inside each lifecycle state (top-level
+    /// frames only; nested time is the parent frame's business).
+    state_sys_ns: [u64; LIFECYCLE_STATES],
+    /// The currently open lifecycle span.
+    open: Option<(u64, usize)>,
+    /// The open span is the birth span: still relabelable to `queued` if
+    /// the first scheduling event shows the BLT was born decoupled (a
+    /// sibling, whose registration is a run-queue push).
+    birth_unresolved: bool,
+    kc_open: Option<u64>,
+    coupled_resumes: u64,
+    /// (state, call chain as u16 discriminants) → (count, total, self).
+    paths: BTreeMap<(usize, Vec<u16>), (u64, u64, u64)>,
+}
+
+impl Builder {
+    fn new(start_ns: u64) -> Builder {
+        Builder {
+            start_ns,
+            end_ns: None,
+            states: [StateBucket::default(); PROFILE_STATES],
+            state_sys_ns: [0; LIFECYCLE_STATES],
+            open: None,
+            birth_unresolved: false,
+            kc_open: None,
+            coupled_resumes: 0,
+            paths: BTreeMap::new(),
+        }
+    }
+
+    /// Close the open span at `at` and optionally open the next state.
+    fn transition(&mut self, at: u64, next: Option<usize>) {
+        if let Some((start, s)) = self.open.take() {
+            self.states[s].total_ns += at.saturating_sub(start);
+        }
+        if let Some(s) = next {
+            self.states[s].spans += 1;
+            self.open = Some((at, s));
+        }
+    }
+
+    /// Resolve the birth span's label: the first scheduling event tells us
+    /// whether the BLT was born coupled (a primary: first event `Decouple`
+    /// or anything else) or decoupled (a sibling: first event `Dispatch` or
+    /// an incoming `Yield`, i.e. its birth *was* a run-queue push).
+    fn resolve_birth(&mut self, born_decoupled: bool) {
+        if !self.birth_unresolved {
+            return;
+        }
+        self.birth_unresolved = false;
+        if born_decoupled {
+            if let Some((_, s)) = self.open.as_mut() {
+                if *s == COUPLED {
+                    self.states[COUPLED].spans -= 1;
+                    self.states[QUEUED].spans += 1;
+                    *s = QUEUED;
+                }
+            }
+        }
+    }
+
+    fn close_kc(&mut self, at: u64) {
+        if let Some(t0) = self.kc_open.take() {
+            self.states[KC_BLOCKED].total_ns += at.saturating_sub(t0);
+        }
+    }
+
+    /// The state syscall frames entered right now should attribute to.
+    fn sys_state(&self, coupled: bool) -> usize {
+        match self.open {
+            Some((_, s)) if s < LIFECYCLE_STATES => s,
+            // No lifecycle track (BLT 0, scheduler identities): fall back
+            // to the consistency flag the event itself carries.
+            _ => {
+                if coupled {
+                    COUPLED
+                } else {
+                    DECOUPLED
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, horizon: u64) -> BltProfile {
+        self.transition(horizon, None);
+        self.close_kc(horizon);
+        for (i, bucket) in self.states.iter_mut().enumerate() {
+            let attributed = if i < LIFECYCLE_STATES {
+                self.state_sys_ns[i]
+            } else {
+                0
+            };
+            bucket.self_ns = bucket.total_ns.saturating_sub(attributed);
+        }
+        let syscalls = self
+            .paths
+            .into_iter()
+            .map(|((state, stack), (count, total_ns, self_ns))| SyscallPath {
+                state: ProfileState::ALL[state],
+                stack: stack
+                    .into_iter()
+                    .map(|v| Sysno::from_u16(v).expect("folded from a valid Sysno"))
+                    .collect(),
+                count,
+                total_ns,
+                self_ns,
+            })
+            .collect();
+        BltProfile {
+            id: BltId(0), // overwritten by the caller
+            start_ns: self.start_ns,
+            end_ns: self.end_ns,
+            states: self.states,
+            coupled_resumes: self.coupled_resumes,
+            syscalls,
+        }
+    }
+}
+
+/// Fold a record stream (drained via `Runtime::take_trace` or snapshotted
+/// non-destructively via `Runtime::trace_snapshot`) into a
+/// [`ProfileSnapshot`]. Records need not be pre-sorted; the fold sorts a
+/// copy by timestamp, exactly like the Perfetto export.
+pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
+    let mut recs: Vec<&TraceRecord> = records.iter().collect();
+    recs.sort_by_key(|r| r.at_ns);
+    let horizon_ns = recs.last().map_or(0, |r| r.at_ns);
+
+    let mut builders: BTreeMap<u64, Builder> = BTreeMap::new();
+    // In-flight syscall frames, keyed by (BLT, recording shard). Enter and
+    // exit of one span always land on the same shard (a syscall executes
+    // synchronously on one kernel context), so the shard key keeps streams
+    // from distinct unbound threads — which all report as `BltId(0)` — from
+    // corrupting each other's nesting.
+    let mut sys_stacks: BTreeMap<(u64, u32), Vec<SysFrame>> = BTreeMap::new();
+
+    for r in &recs {
+        let at = r.at_ns;
+        // Fetch-or-create the builder for a BLT; a BLT's profile is born at
+        // its first event of any kind.
+        macro_rules! blt {
+            ($id:expr) => {
+                builders.entry($id.0).or_insert_with(|| Builder::new(at))
+            };
+        }
+        match r.event {
+            Event::Spawn(u) => {
+                let t = blt!(u);
+                t.transition(at, Some(COUPLED));
+                t.birth_unresolved = true;
+            }
+            Event::Decouple(u) => {
+                let t = blt!(u);
+                t.resolve_birth(false);
+                t.transition(at, Some(QUEUED));
+            }
+            Event::Dispatch { uc, .. } => {
+                let t = blt!(uc);
+                t.resolve_birth(true);
+                t.transition(at, Some(DECOUPLED));
+            }
+            Event::Yield { from, to } => {
+                {
+                    let t = blt!(from);
+                    t.resolve_birth(false);
+                    t.transition(at, Some(QUEUED));
+                }
+                {
+                    let t = blt!(to);
+                    t.resolve_birth(true);
+                    t.transition(at, Some(DECOUPLED));
+                }
+            }
+            Event::CoupleRequest(u) => {
+                let t = blt!(u);
+                t.resolve_birth(false);
+                t.transition(at, Some(COUPLING));
+            }
+            Event::Coupled(u) => {
+                let t = blt!(u);
+                t.resolve_birth(false);
+                t.coupled_resumes += 1;
+                t.close_kc(at);
+                t.transition(at, Some(COUPLED));
+            }
+            Event::Terminate(u) => {
+                let t = blt!(u);
+                t.resolve_birth(false);
+                t.transition(at, None);
+                t.close_kc(at);
+                t.end_ns = Some(at);
+            }
+            Event::KcBlocked(u) => {
+                let t = blt!(u);
+                // A re-park without an intervening `Coupled` (spurious
+                // futex wake) closes the previous window here — the wake
+                // itself is not traced, so the awake gap is charged to the
+                // blocked track rather than invented.
+                t.close_kc(at);
+                t.kc_open = Some(at);
+                t.states[KC_BLOCKED].spans += 1;
+            }
+            Event::Signal { .. } => {}
+            Event::SyscallEnter { uc, sysno, coupled } => {
+                let state = blt!(uc).sys_state(coupled);
+                let stack = sys_stacks.entry((uc.0, r.kc)).or_default();
+                let deep = stack.len() >= SYS_STACK_DEPTH;
+                stack.push(SysFrame {
+                    start_ns: at,
+                    sysno,
+                    state,
+                    child_ns: 0,
+                    deep,
+                });
+            }
+            Event::SyscallExit { uc, sysno, .. } => {
+                let stack = sys_stacks.entry((uc.0, r.kc)).or_default();
+                match stack.last() {
+                    None => {} // tracing came on mid-span: no enter edge
+                    Some(top) if top.sysno != sysno => {
+                        // Mismatched frame: the histogram recorder clears
+                        // its whole stack here; mirror it so counts agree.
+                        stack.clear();
+                    }
+                    Some(_) => {
+                        let frame = stack.pop().expect("guarded by last()");
+                        let dur = at.saturating_sub(frame.start_ns);
+                        if frame.deep {
+                            // Beyond the recorder's nesting cap: balanced
+                            // but never timed — fold nothing, like the
+                            // histograms.
+                            continue;
+                        }
+                        if let Some(parent) = stack.last_mut() {
+                            parent.child_ns += dur;
+                        } else {
+                            let t = blt!(uc);
+                            if frame.state < LIFECYCLE_STATES {
+                                t.state_sys_ns[frame.state] += dur;
+                            }
+                        }
+                        let mut path: Vec<u16> = stack.iter().map(|f| f.sysno as u16).collect();
+                        path.push(sysno as u16);
+                        let t = blt!(uc);
+                        let entry = t.paths.entry((frame.state, path)).or_insert((0, 0, 0));
+                        entry.0 += 1;
+                        entry.1 += dur;
+                        entry.2 += dur.saturating_sub(frame.child_ns);
+                    }
+                }
+            }
+        }
+    }
+
+    let blts = builders
+        .into_iter()
+        .map(|(id, builder)| {
+            let mut p = builder.finish(horizon_ns);
+            p.id = BltId(id);
+            p
+        })
+        .collect();
+    ProfileSnapshot { horizon_ns, blts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, event: Event) -> TraceRecord {
+        TraceRecord {
+            at_ns,
+            event,
+            kc: 1,
+        }
+    }
+
+    /// The Fig. 6 lifecycle: spawn → decouple → dispatch → couple request →
+    /// coupled → terminate, with a KC block while the UC roams.
+    fn fig6() -> Vec<TraceRecord> {
+        vec![
+            rec(0, Event::Spawn(BltId(4))),
+            rec(100, Event::Decouple(BltId(4))),
+            rec(150, Event::KcBlocked(BltId(4))),
+            rec(
+                250,
+                Event::Dispatch {
+                    uc: BltId(4),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(400, Event::CoupleRequest(BltId(4))),
+            rec(600, Event::Coupled(BltId(4))),
+            rec(800, Event::Terminate(BltId(4))),
+        ]
+    }
+
+    #[test]
+    fn lifecycle_states_partition_the_lifetime() {
+        let p = fold_profile(&fig6());
+        let b = p.get(BltId(4)).expect("blt 4 profiled");
+        assert_eq!(b.start_ns, 0);
+        assert_eq!(b.end_ns, Some(800));
+        assert_eq!(b.state(ProfileState::Coupled).total_ns, 100 + 200);
+        assert_eq!(b.state(ProfileState::Coupled).spans, 2);
+        assert_eq!(b.state(ProfileState::Queued).total_ns, 150);
+        assert_eq!(b.state(ProfileState::Decoupled).total_ns, 150);
+        assert_eq!(b.state(ProfileState::Coupling).total_ns, 200);
+        assert_eq!(b.lifecycle_ns(), 800, "states partition [spawn, terminate]");
+        assert_eq!(b.coupled_resumes, 1);
+        // The KC parked at 150 and woke to resume the UC at 600.
+        assert_eq!(b.state(ProfileState::KcBlocked).total_ns, 450);
+        assert_eq!(b.state(ProfileState::KcBlocked).spans, 1);
+        // No syscalls ran: every state's self time is its total.
+        assert_eq!(b.flame_ns(), 800 + 450);
+    }
+
+    #[test]
+    fn nested_syscall_self_times_decompose() {
+        let mut recs = vec![
+            rec(0, Event::Spawn(BltId(7))),
+            rec(
+                100,
+                Event::SyscallEnter {
+                    uc: BltId(7),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                },
+            ),
+            rec(
+                150,
+                Event::SyscallEnter {
+                    uc: BltId(7),
+                    sysno: Sysno::PipeBlockRead,
+                    coupled: true,
+                },
+            ),
+            rec(
+                500,
+                Event::SyscallExit {
+                    uc: BltId(7),
+                    sysno: Sysno::PipeBlockRead,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            rec(
+                600,
+                Event::SyscallExit {
+                    uc: BltId(7),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+        ];
+        recs.push(rec(1000, Event::Terminate(BltId(7))));
+        let p = fold_profile(&recs);
+        let b = p.get(BltId(7)).unwrap();
+        // read: 500 total, 100 self (400 inside pipe_block_read... minus the
+        // 50ns before the nested enter and 100 after its exit).
+        let read = b
+            .syscalls
+            .iter()
+            .find(|p| p.stack == vec![Sysno::Read])
+            .expect("read path");
+        assert_eq!(read.state, ProfileState::Coupled);
+        assert_eq!(read.count, 1);
+        assert_eq!(read.total_ns, 500);
+        assert_eq!(read.self_ns, 150);
+        let nested = b
+            .syscalls
+            .iter()
+            .find(|p| p.stack == vec![Sysno::Read, Sysno::PipeBlockRead])
+            .expect("nested path");
+        assert_eq!(nested.count, 1);
+        assert_eq!(nested.total_ns, 350);
+        assert_eq!(nested.self_ns, 350);
+        // State self excludes only the top-level span's wall time.
+        assert_eq!(b.state(ProfileState::Coupled).total_ns, 1000);
+        assert_eq!(b.state(ProfileState::Coupled).self_ns, 500);
+        // Flame decomposition is exact: 500 (coupled self) + 150 + 350.
+        assert_eq!(b.flame_ns(), 1000);
+        assert_eq!(b.syscall_count(Sysno::Read), 1);
+        assert_eq!(b.syscall_count(Sysno::PipeBlockRead), 1);
+    }
+
+    #[test]
+    fn sibling_birth_span_relabels_to_queued() {
+        // A sibling records Spawn, then its first scheduling event is a
+        // Dispatch — the time in between was spent queued, not coupled.
+        let recs = vec![
+            rec(0, Event::Spawn(BltId(9))),
+            rec(
+                300,
+                Event::Dispatch {
+                    uc: BltId(9),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(500, Event::Terminate(BltId(9))),
+        ];
+        let p = fold_profile(&recs);
+        let b = p.get(BltId(9)).unwrap();
+        assert_eq!(b.state(ProfileState::Queued).total_ns, 300);
+        assert_eq!(b.state(ProfileState::Queued).spans, 1);
+        assert_eq!(b.state(ProfileState::Coupled).spans, 0);
+        assert_eq!(b.state(ProfileState::Decoupled).total_ns, 200);
+        assert_eq!(b.lifecycle_ns(), 500);
+    }
+
+    #[test]
+    fn decoupled_syscalls_fold_under_decoupled() {
+        let recs = vec![
+            rec(0, Event::Spawn(BltId(3))),
+            rec(100, Event::Decouple(BltId(3))),
+            rec(
+                200,
+                Event::Dispatch {
+                    uc: BltId(3),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(
+                300,
+                Event::SyscallEnter {
+                    uc: BltId(3),
+                    sysno: Sysno::Getpid,
+                    coupled: false,
+                },
+            ),
+            rec(
+                350,
+                Event::SyscallExit {
+                    uc: BltId(3),
+                    sysno: Sysno::Getpid,
+                    coupled: false,
+                    errno: 0,
+                },
+            ),
+            rec(400, Event::Terminate(BltId(3))),
+        ];
+        let p = fold_profile(&recs);
+        let b = p.get(BltId(3)).unwrap();
+        let path = &b.syscalls[0];
+        assert_eq!(path.state, ProfileState::Decoupled, "§V-B hazard visible");
+        assert_eq!(path.stack, vec![Sysno::Getpid]);
+        assert_eq!(b.state(ProfileState::Decoupled).self_ns, 200 - 50);
+    }
+
+    #[test]
+    fn unmatched_and_inflight_syscalls_fold_nothing() {
+        let recs = vec![
+            rec(0, Event::Spawn(BltId(2))),
+            // Exit without enter: tracing came on mid-span.
+            rec(
+                50,
+                Event::SyscallExit {
+                    uc: BltId(2),
+                    sysno: Sysno::Close,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            // Enter without exit: still in flight at the horizon.
+            rec(
+                100,
+                Event::SyscallEnter {
+                    uc: BltId(2),
+                    sysno: Sysno::FutexWait,
+                    coupled: true,
+                },
+            ),
+            rec(900, Event::KcBlocked(BltId(2))),
+        ];
+        let p = fold_profile(&recs);
+        let b = p.get(BltId(2)).unwrap();
+        assert!(b.syscalls.is_empty(), "no completed span, nothing folded");
+        // The in-flight call's time stays in the state's self time.
+        assert_eq!(b.state(ProfileState::Coupled).total_ns, 900);
+        assert_eq!(b.state(ProfileState::Coupled).self_ns, 900);
+    }
+
+    #[test]
+    fn collapsed_round_trips_and_sums_to_flame_ns() {
+        let mut recs = fig6();
+        recs.insert(
+            1,
+            rec(
+                30,
+                Event::SyscallEnter {
+                    uc: BltId(4),
+                    sysno: Sysno::Getpid,
+                    coupled: true,
+                },
+            ),
+        );
+        recs.insert(
+            2,
+            rec(
+                60,
+                Event::SyscallExit {
+                    uc: BltId(4),
+                    sysno: Sysno::Getpid,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+        );
+        let p = fold_profile(&recs);
+        let text = p.collapsed();
+        let rows = parse_collapsed(&text).expect("folded text parses");
+        assert!(!rows.is_empty());
+        for (stack, _) in &rows {
+            assert!(stack.starts_with("blt:4;"), "unexpected stack {stack}");
+        }
+        let total: u64 = rows.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, p.get(BltId(4)).unwrap().flame_ns());
+        assert!(text.contains("blt:4;coupled;syscall:getpid 30\n"));
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed_lines() {
+        assert!(parse_collapsed("blt:1;coupled 12\n").is_ok());
+        assert!(parse_collapsed("no-value-line\n").is_err());
+        assert!(parse_collapsed("stack notanumber\n").is_err());
+        assert!(parse_collapsed("a;;b 5\n").is_err());
+        assert!(parse_collapsed("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_valid_json() {
+        let p = fold_profile(&fig6());
+        let v: serde_json::Value = serde_json::from_str(&p.to_json()).expect("valid JSON");
+        assert_eq!(v["horizon_ns"].as_u64(), Some(800));
+        let blts = v["blts"].as_array().expect("blts array");
+        assert_eq!(blts.len(), 1);
+        assert_eq!(blts[0]["id"].as_u64(), Some(4));
+        assert_eq!(blts[0]["lifecycle_ns"].as_u64(), Some(800));
+        assert_eq!(
+            blts[0]["states"]["kc_blocked"]["total_ns"].as_u64(),
+            Some(450)
+        );
+        assert_eq!(blts[0]["end_ns"].as_u64(), Some(800));
+    }
+
+    #[test]
+    fn empty_trace_folds_to_empty_profile() {
+        let p = fold_profile(&[]);
+        assert_eq!(p.horizon_ns, 0);
+        assert!(p.blts.is_empty());
+        assert_eq!(p.total_ns(), 0);
+        assert!(p.collapsed().is_empty());
+        let v: serde_json::Value = serde_json::from_str(&p.to_json()).unwrap();
+        assert_eq!(v["blts"].as_array().map(|a| a.len()), Some(0));
+    }
+
+    #[test]
+    fn blt0_syscall_streams_fold_by_shard() {
+        // Two unbound threads (both report BltId(0)) interleave getpid
+        // spans on different shards; the shard key keeps them paired.
+        let recs = vec![
+            TraceRecord {
+                at_ns: 10,
+                event: Event::SyscallEnter {
+                    uc: BltId(0),
+                    sysno: Sysno::Getpid,
+                    coupled: true,
+                },
+                kc: 1,
+            },
+            TraceRecord {
+                at_ns: 20,
+                event: Event::SyscallEnter {
+                    uc: BltId(0),
+                    sysno: Sysno::Open,
+                    coupled: true,
+                },
+                kc: 2,
+            },
+            TraceRecord {
+                at_ns: 30,
+                event: Event::SyscallExit {
+                    uc: BltId(0),
+                    sysno: Sysno::Getpid,
+                    coupled: true,
+                    errno: 0,
+                },
+                kc: 1,
+            },
+            TraceRecord {
+                at_ns: 40,
+                event: Event::SyscallExit {
+                    uc: BltId(0),
+                    sysno: Sysno::Open,
+                    coupled: true,
+                    errno: 0,
+                },
+                kc: 2,
+            },
+        ];
+        let p = fold_profile(&recs);
+        assert_eq!(p.syscall_count(Sysno::Getpid), 1);
+        assert_eq!(p.syscall_count(Sysno::Open), 1);
+        let b = p.get(BltId(0)).unwrap();
+        // Neither stream saw the other as a nested frame.
+        assert!(b.syscalls.iter().all(|p| p.stack.len() == 1));
+    }
+}

@@ -220,6 +220,9 @@ pub struct RuntimeInner {
     /// `ULP_TRACE=<path>`: where to dump the Chrome-trace JSON at shutdown
     /// (`None` when the env hook is not in use).
     trace_dump: Mutex<Option<std::path::PathBuf>>,
+    /// `ULP_PROFILE=<path>`: where to dump the folded (collapsed-stack)
+    /// profile at shutdown (`None` when the env hook is not in use).
+    profile_dump: Mutex<Option<std::path::PathBuf>>,
     /// Live `/metrics` endpoint (see [`crate::metrics_server`]), present
     /// while serving.
     metrics: Mutex<Option<crate::metrics_server::MetricsServer>>,
@@ -241,16 +244,36 @@ impl RuntimeInner {
     }
 
     /// One Prometheus text rendering of everything this runtime exports:
-    /// counters, scheduling-latency histograms, per-syscall latency families
-    /// and the kernel's all-time syscall counter. Shared by
-    /// `Runtime::prometheus_dump` and the `/metrics` endpoint.
+    /// counters, scheduling-latency histograms, per-syscall latency
+    /// families, the kernel's all-time syscall counter and the recorded
+    /// consistency-violation count. Shared by `Runtime::prometheus_dump`
+    /// and the `/metrics` endpoint.
     pub(crate) fn prometheus_render(&self) -> String {
         crate::export::prometheus_text(
             &self.stats.snapshot(),
             &self.tracer.latency_snapshot(),
             &self.tracer.syscall_snapshot(),
             self.kernel.total_syscalls(),
+            self.audit.lock().len() as u64,
         )
+    }
+
+    /// Fold the tracer's current contents into collapsed-stack text (the
+    /// `/profile` endpoint body). Non-destructive.
+    pub(crate) fn profile_collapsed(&self) -> String {
+        crate::profile::fold_profile(&self.tracer.snapshot()).collapsed()
+    }
+
+    /// Fold the tracer's current contents into the structured profile JSON
+    /// (the `/profile.json` endpoint body). Non-destructive.
+    pub(crate) fn profile_json(&self) -> String {
+        crate::profile::fold_profile(&self.tracer.snapshot()).to_json()
+    }
+
+    /// Render the tracer's current contents as Chrome-trace JSON without
+    /// draining them (the `/trace` endpoint body). Non-destructive.
+    pub(crate) fn trace_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.tracer.snapshot())
     }
 }
 
@@ -293,11 +316,14 @@ impl Runtime {
         // ULP_TRACE=<path>: record from birth, dump Perfetto JSON at
         // shutdown (no code changes needed in the traced program).
         let trace_dump = std::env::var_os("ULP_TRACE").map(std::path::PathBuf::from);
+        // ULP_PROFILE=<path>: fold the same recording into collapsed-stack
+        // text at shutdown (feed it to inferno/flamegraph.pl/speedscope).
+        let profile_dump = std::env::var_os("ULP_PROFILE").map(std::path::PathBuf::from);
         // ULP_METRICS_ADDR=host:port: serve live Prometheus text. The
         // per-syscall latency families only fill while tracing is on, so the
-        // endpoint implies tracing.
+        // endpoint implies tracing — as do both dump hooks.
         let metrics_addr = std::env::var("ULP_METRICS_ADDR").ok();
-        if trace_dump.is_some() || metrics_addr.is_some() {
+        if trace_dump.is_some() || profile_dump.is_some() || metrics_addr.is_some() {
             tracer.enable();
         }
         // Route the simulated kernel's syscall enter/exit callbacks into the
@@ -313,6 +339,7 @@ impl Runtime {
             audit: Mutex::new(Vec::new()),
             tracer,
             trace_dump: Mutex::new(trace_dump),
+            profile_dump: Mutex::new(profile_dump),
             metrics: Mutex::new(None),
             next_id: AtomicU64::new(1),
             kernel,
@@ -381,6 +408,21 @@ impl Runtime {
     /// Drain recorded scheduling events.
     pub fn take_trace(&self) -> Vec<crate::trace::TraceRecord> {
         self.inner.tracer.take()
+    }
+
+    /// Copy the recorded scheduling events without draining them: shard
+    /// cursors stay put and a later [`Runtime::take_trace`] still returns
+    /// everything. Safe while tracing is live — this is what the `/trace`
+    /// endpoint serves mid-run.
+    pub fn trace_snapshot(&self) -> Vec<crate::trace::TraceRecord> {
+        self.inner.tracer.snapshot()
+    }
+
+    /// Fold the current trace contents into a per-BLT wall-clock profile
+    /// (see [`crate::profile`]). Non-destructive, like
+    /// [`Runtime::trace_snapshot`]; safe to call mid-run.
+    pub fn profile_snapshot(&self) -> crate::profile::ProfileSnapshot {
+        crate::profile::fold_profile(&self.inner.tracer.snapshot())
     }
 
     /// Trace records lost since tracing was last enabled (ring-buffer laps
@@ -461,6 +503,23 @@ impl Runtime {
         let handles: Vec<_> = self.inner.schedulers.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // ULP_PROFILE dump: folded from a *non-destructive* snapshot, and
+        // ordered before the ULP_TRACE drain so both hooks see the full
+        // history when set together. take() empties the path slot, so the
+        // Drop-routed second call is a no-op.
+        if let Some(path) = self.inner.profile_dump.lock().take() {
+            let profile = crate::profile::fold_profile(&self.inner.tracer.snapshot());
+            let text = profile.collapsed();
+            match std::fs::write(&path, &text) {
+                Ok(()) => eprintln!(
+                    "[ulp-profile] wrote {} stacks ({} BLTs) to {}",
+                    text.lines().count(),
+                    profile.blts.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("[ulp-profile] failed to write {}: {e}", path.display()),
+            }
         }
         // ULP_TRACE dump: after the joins so every scheduler's shard is
         // quiescent. take() leaves the path slot empty, so the Drop-routed

@@ -295,8 +295,9 @@ pub(crate) struct TraceShard {
 
 /// Maximum syscall-span nesting tracked per KC. Depth 2 is the common case
 /// (dispatch span + in-kernel sleep span); deeper frames are counted but
-/// not timed.
-const SYS_STACK_DEPTH: usize = 8;
+/// not timed. Shared with the profile fold (`profile.rs`), which must
+/// mirror the cap exactly for its counts to reconcile with the histograms.
+pub(crate) const SYS_STACK_DEPTH: usize = 8;
 
 impl std::fmt::Debug for TraceShard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -421,11 +422,11 @@ impl TraceShard {
             return;
         }
         let at = self.sys_stack_at[(d - 1) as usize].load(Ordering::Relaxed);
-        if now <= at {
-            return;
-        }
+        // A zero-width span (clock granularity) still counts as a sample:
+        // the histogram count is the span count, and the profile fold
+        // reconciles against it one-for-one.
         if let Some(hists) = self.sys_hists.get() {
-            hists[sysno as usize].record(now - at);
+            hists[sysno as usize].record(now.saturating_sub(at));
         }
     }
 
@@ -440,6 +441,20 @@ impl TraceShard {
     /// already moved past. Both seqlock rejections are therefore genuine
     /// losses, as is the cursor gap when the writer outran a full ring.
     fn drain_into(&self, out: &mut Vec<TraceRecord>) {
+        self.collect_into(out, true);
+    }
+
+    /// Read everything between the cursor and `head` without consuming it:
+    /// the cursor stays put and nothing is charged to `dropped`, so a
+    /// subsequent [`TraceShard::drain_into`] still returns (and accounts
+    /// for) every record. This is the read-only path behind the live
+    /// `/trace` and `/profile` endpoints — a scrape mid-run must not eat
+    /// the history the shutdown dump (or the torture oracle) will want.
+    fn snapshot_into(&self, out: &mut Vec<TraceRecord>) {
+        self.collect_into(out, false);
+    }
+
+    fn collect_into(&self, out: &mut Vec<TraceRecord>, advance: bool) {
         let Some(ring) = self.ring.get() else {
             return;
         };
@@ -474,6 +489,9 @@ impl TraceShard {
             } else {
                 dropped += 1;
             }
+        }
+        if !advance {
+            return;
         }
         if dropped > 0 {
             self.dropped.fetch_add(dropped, Ordering::Relaxed);
@@ -637,6 +655,23 @@ impl Tracer {
         let mut out: Vec<TraceRecord> = self.fallback.lock().drain(..).collect();
         for s in shards.iter() {
             s.drain_into(&mut out);
+        }
+        out.sort_by_key(|r| r.at_ns);
+        out
+    }
+
+    /// Copy out the recorded events without consuming them: shard cursors
+    /// stay put, the fallback ring keeps its contents, and nothing is
+    /// charged as dropped — a later [`Tracer::take`] still returns the full
+    /// history. Safe to call while recording is live (writers are never
+    /// blocked; a record being overwritten mid-read is simply skipped by
+    /// the seqlock check). Powers the mid-run `/trace` and `/profile`
+    /// endpoints and the `ULP_PROFILE` shutdown dump.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let shards = self.shards.lock();
+        let mut out: Vec<TraceRecord> = self.fallback.lock().iter().cloned().collect();
+        for s in shards.iter() {
+            s.snapshot_into(&mut out);
         }
         out.sort_by_key(|r| r.at_ns);
         out
@@ -1063,6 +1098,51 @@ mod tests {
         assert!(t.dropped_records() > 0);
         t.enable();
         assert_eq!(t.dropped_records(), 0, "enable() starts the count fresh");
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        let base = now_ns();
+        s.record_at(base, Event::Spawn(BltId(1)));
+        s.record_at(base + 10, Event::Decouple(BltId(1)));
+        // Fallback path too: this thread has no registered shard.
+        t.record(Event::Terminate(BltId(1)));
+
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(t.dropped_records(), 0, "snapshot charges no losses");
+
+        // Snapshotting twice sees the same history...
+        assert_eq!(t.snapshot().len(), 3);
+        // ...and the destructive drain still gets everything afterwards.
+        assert_eq!(t.take().len(), 3);
+        assert!(t.take().is_empty());
+        assert_eq!(t.dropped_records(), 0);
+    }
+
+    #[test]
+    fn snapshot_then_record_then_snapshot_grows() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        s.record_at(now_ns(), Event::Spawn(BltId(5)));
+        assert_eq!(t.snapshot().len(), 1);
+        s.record_at(now_ns(), Event::Terminate(BltId(5)));
+        assert_eq!(t.snapshot().len(), 2, "later records join the snapshot");
+        // A lapped ring still snapshots only the surviving window, without
+        // touching the dropped accounting (that stays the drain's job).
+        let base = now_ns();
+        for i in 0..20u64 {
+            s.record_at(base + i, Event::Spawn(BltId(i)));
+        }
+        assert_eq!(t.snapshot().len(), 16);
+        assert_eq!(t.dropped_records(), 0);
+        assert_eq!(t.take().len(), 16);
+        assert_eq!(t.dropped_records(), 6, "drain charges the 4+2 lapped");
     }
 
     #[test]

@@ -134,9 +134,9 @@ fn serve_metrics_api_and_http_edge_cases() {
 }
 
 /// Prometheus typically isn't the only scraper (a dashboard, a human with
-/// `curl`). The accept loop is single-threaded, so concurrent clients are
-/// served one after the other — both must get complete, parseable
-/// responses, and neither may deadlock the other.
+/// `curl`). Connections are answered on capped worker threads — both
+/// clients must get complete, parseable responses, and neither may
+/// deadlock the other.
 #[test]
 fn concurrent_scrapes_are_both_served() {
     let rt = ulp_core::Runtime::builder().schedulers(1).build();
@@ -175,6 +175,122 @@ fn concurrent_scrapes_are_both_served() {
             .unwrap_or_else(|| panic!("client {name}: no Content-Length"));
         assert_eq!(declared, body.len(), "client {name}: truncated body");
     }
+}
+
+/// Concurrency, not just fairness: a stalled client must not serialize the
+/// endpoint. Client A opens a connection and sends an *incomplete* request
+/// (its worker blocks in `read` for up to the 2-second timeout); client B's
+/// complete scrape must be answered while A is still stalled — on the old
+/// serial accept loop this took the full 2 seconds, now it overlaps.
+#[test]
+fn stalled_client_does_not_serialize_scrapes() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+
+    let mut stalled = TcpStream::connect(addr).expect("stalled client");
+    write!(stalled, "GET /metrics HTTP/1.0\r\nHost:").unwrap(); // no terminator
+    stalled.flush().unwrap();
+
+    let t0 = std::time::Instant::now();
+    let (status, body) = scrape(addr, "/metrics", "GET");
+    let waited = t0.elapsed();
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_parses_as_exposition(&body);
+    assert!(
+        waited < std::time::Duration::from_millis(1500),
+        "scrape waited {waited:?} behind a stalled client — connections \
+         are being serialized"
+    );
+
+    // The stalled client is not abandoned either: completing its request
+    // (within its worker's read timeout) still yields a full response.
+    write!(stalled, " ulp\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    stalled.read_to_string(&mut resp).unwrap();
+    assert!(
+        resp.lines().next().unwrap_or("").contains("200"),
+        "stalled client never served: {resp}"
+    );
+}
+
+/// The live profiling routes. `/profile` must return collapsed-stack text
+/// that parses and agrees exactly with `Runtime::profile_snapshot` (the
+/// acceptance contract), `/profile.json` valid JSON of the same numbers,
+/// and `/trace` parseable Chrome-trace JSON — all *without* draining the
+/// rings or stopping the tracer.
+#[test]
+fn profile_and_trace_routes_serve_live_views() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+    rt.trace_enable();
+
+    let h = rt.spawn("workload", || {
+        ulp_core::decouple().unwrap();
+        for _ in 0..5 {
+            ulp_core::yield_now();
+            ulp_core::coupled_scope(|| ulp_core::sys::getpid().unwrap()).unwrap();
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+
+    // Mid-run semantics: the tracer stays on and nothing is consumed.
+    let (status, trace_body) = scrape(addr, "/trace", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let v: serde_json::Value = serde_json::from_str(&trace_body).expect("/trace is valid JSON");
+    assert!(
+        !v["traceEvents"].as_array().expect("traceEvents").is_empty(),
+        "no events in the /trace body"
+    );
+    assert!(rt.trace_enabled(), "/trace must not stop the tracer");
+    let n_records = rt.trace_snapshot().len();
+    assert!(n_records > 0, "workload recorded nothing");
+
+    // Freeze the rings so the scrape and the API fold identical records,
+    // then check the acceptance contract: equal text, and parsed per-BLT
+    // sums equal to the snapshot's flame totals.
+    rt.trace_disable();
+    let (status, profile_body) = scrape(addr, "/profile", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let snap = rt.profile_snapshot();
+    assert_eq!(
+        profile_body,
+        snap.collapsed(),
+        "/profile and profile_snapshot() disagree"
+    );
+    let rows = ulp_core::profile::parse_collapsed(&profile_body).expect("folded text parses");
+    assert!(!rows.is_empty(), "empty /profile for a traced workload");
+    for b in &snap.blts {
+        let prefix = format!("blt:{};", b.id.0);
+        let sum: u64 = rows
+            .iter()
+            .filter(|(s, _)| s.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sum, b.flame_ns(), "per-BLT total mismatch for {prefix}");
+    }
+    // The workload's coupled_scope syscall shows up as a nested frame.
+    assert!(
+        profile_body.contains(";coupled;syscall:getpid "),
+        "missing coupled getpid stack:\n{profile_body}"
+    );
+
+    let (status, json_body) = scrape(addr, "/profile.json", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let v: serde_json::Value =
+        serde_json::from_str(&json_body).expect("/profile.json is valid JSON");
+    assert_eq!(
+        v["blts"].as_array().map(|a| a.len()),
+        Some(snap.blts.len()),
+        "profile.json BLT count"
+    );
+
+    // Everything above was non-destructive: the full history is still
+    // there for whoever owns the drain (a scheduler may have added an idle
+    // event between snapshot and drain, so at-least).
+    let drained = rt.take_trace();
+    assert!(drained.len() >= n_records, "the scrapes consumed records");
+    assert_eq!(rt.trace_dropped(), 0);
 }
 
 /// The syscall-latency snapshot must survive runtime shutdown: a harness

@@ -30,6 +30,7 @@ impl RawContext {
         RawContext(std::ptr::null_mut())
     }
 
+    /// Whether this is the null context (no saved register file).
     #[inline]
     pub fn is_null(&self) -> bool {
         self.0.is_null()

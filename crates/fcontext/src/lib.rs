@@ -28,6 +28,8 @@
 //! assert_eq!(f.resume(21), Resume::Complete(42));
 //! ```
 
+#![warn(missing_docs)]
+
 #[cfg(target_arch = "x86_64")]
 #[path = "arch/x86_64.rs"]
 pub mod arch;

@@ -134,6 +134,8 @@ pub struct StackPool {
 }
 
 impl StackPool {
+    /// An empty pool retaining at most `max_per_class` free stacks per
+    /// size class.
     pub fn new(max_per_class: usize) -> StackPool {
         StackPool {
             classes: Mutex::new(Vec::new()),

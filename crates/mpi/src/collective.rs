@@ -11,8 +11,11 @@ use crate::msg::{bytes_to_f64s, f64s_to_bytes, Tag};
 /// Reduction operators over `f64` vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
+    /// Elementwise sum (`MPI_SUM`).
     Sum,
+    /// Elementwise minimum (`MPI_MIN`).
     Min,
+    /// Elementwise maximum (`MPI_MAX`).
     Max,
 }
 

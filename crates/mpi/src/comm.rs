@@ -63,6 +63,7 @@ pub struct WorldShared {
 }
 
 impl WorldShared {
+    /// Mailboxes and a rendezvous barrier for `size` ranks under `net`.
     pub fn new(size: usize, net: NetModel) -> Arc<WorldShared> {
         Arc::new(WorldShared {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
@@ -72,6 +73,7 @@ impl WorldShared {
         })
     }
 
+    /// The world size (number of ranks).
     pub fn size(&self) -> usize {
         self.mailboxes.len()
     }
@@ -93,6 +95,7 @@ pub struct RecvRequest {
 }
 
 impl RankCtx {
+    /// The communicator for `rank` within `world`.
     pub fn new(rank: Rank, world: Arc<WorldShared>) -> RankCtx {
         RankCtx { rank, world }
     }
@@ -212,7 +215,9 @@ impl RecvRequest {
 
 /// Re-exported wildcard constants on the context for ergonomics.
 impl RankCtx {
+    /// [`ANY_SOURCE`], re-exported on the context.
     pub const ANY_SOURCE: i32 = ANY_SOURCE;
+    /// [`ANY_TAG`], re-exported on the context.
     pub const ANY_TAG: Tag = ANY_TAG;
 }
 

@@ -28,6 +28,8 @@
 //! assert_eq!(codes, vec![0; 4]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod collective;
 pub mod comm;
 pub mod msg;

@@ -17,8 +17,11 @@ pub const ANY_TAG: i32 = -1;
 /// One in-flight message.
 #[derive(Debug)]
 pub struct Envelope {
+    /// Sending rank.
     pub src: Rank,
+    /// Message tag.
     pub tag: Tag,
+    /// Payload bytes.
     pub data: Vec<u8>,
     /// Simulated-network delivery time; unmatchable before this.
     pub deliver_at: Instant,
@@ -30,8 +33,11 @@ pub struct Envelope {
 /// A received message: payload plus its matched envelope metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Received {
+    /// Sending rank (resolved even for `ANY_SOURCE` receives).
     pub src: Rank,
+    /// Message tag (resolved even for `ANY_TAG` receives).
     pub tag: Tag,
+    /// Payload bytes.
     pub data: Vec<u8>,
 }
 

@@ -24,6 +24,7 @@ pub struct UlpWorldBuilder {
 }
 
 impl UlpWorldBuilder {
+    /// World size (number of MPI-style ranks; at least 1).
     pub fn ranks(mut self, n: usize) -> Self {
         self.ranks = n.max(1);
         self
@@ -34,10 +35,12 @@ impl UlpWorldBuilder {
         self.schedulers = n.max(1);
         self
     }
+    /// The simulated communication-latency model.
     pub fn net(mut self, net: NetModel) -> Self {
         self.net = net;
         self
     }
+    /// Idle-KC policy for the underlying runtime (§VI-C).
     pub fn idle_policy(mut self, p: IdlePolicy) -> Self {
         self.idle_policy = p;
         self
@@ -49,6 +52,7 @@ impl UlpWorldBuilder {
         self
     }
 
+    /// Build the world (starts the PiP root and its runtime).
     pub fn build(self) -> UlpWorld {
         let root = PipRoot::builder()
             .schedulers(self.schedulers)
@@ -72,6 +76,8 @@ pub struct UlpWorld {
 }
 
 impl UlpWorld {
+    /// Configure a world (defaults: 2 ranks, 1 scheduler, instant network,
+    /// blocking idle KCs, decoupled ranks).
     pub fn builder() -> UlpWorldBuilder {
         UlpWorldBuilder {
             ranks: 2,
@@ -82,6 +88,7 @@ impl UlpWorld {
         }
     }
 
+    /// World size (number of ranks `run` will spawn).
     pub fn size(&self) -> usize {
         self.ranks
     }

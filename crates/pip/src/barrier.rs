@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A sense-reversing barrier whose waiters yield through the ULP
+/// scheduler instead of blocking their kernel context.
 #[derive(Debug)]
 pub struct PipBarrier {
     parties: usize,
@@ -25,6 +27,7 @@ impl PipBarrier {
         }
     }
 
+    /// How many tasks the barrier waits for.
     pub fn parties(&self) -> usize {
         self.parties
     }

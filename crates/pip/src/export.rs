@@ -20,6 +20,7 @@ pub struct ExportTable {
 }
 
 impl ExportTable {
+    /// An empty table.
     pub fn new() -> ExportTable {
         ExportTable::default()
     }
@@ -58,10 +59,12 @@ impl ExportTable {
         }
     }
 
+    /// Number of currently exported names.
     pub fn len(&self) -> usize {
         self.map.lock().len()
     }
 
+    /// Whether nothing has been exported (or everything was replaced away).
     pub fn is_empty(&self) -> bool {
         self.map.lock().is_empty()
     }

@@ -35,6 +35,7 @@ pub struct SharedHeap {
 }
 
 impl SharedHeap {
+    /// An empty heap (chunks are mapped on demand).
     pub fn new() -> Arc<SharedHeap> {
         Arc::new(SharedHeap {
             chunks: Mutex::new(Vec::new()),

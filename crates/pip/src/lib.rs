@@ -23,6 +23,8 @@
 //! user-level processes and enclose system calls in
 //! [`ulp_core::coupled_scope`] — that combination is the paper's ULP-PiP.
 
+#![warn(missing_docs)]
+
 pub mod barrier;
 pub mod export;
 pub mod heap;

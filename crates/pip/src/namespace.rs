@@ -21,7 +21,9 @@ pub struct NamespaceId(pub u64);
 /// table.
 #[derive(Debug)]
 pub struct Namespace {
+    /// Unique id (allocation order within the registry).
     pub id: NamespaceId,
+    /// Name of the program this namespace was loaded from.
     pub program: String,
     symbols: Mutex<HashMap<String, usize>>,
 }
@@ -38,6 +40,7 @@ impl Namespace {
         self.symbols.lock().get(name).copied()
     }
 
+    /// Number of symbols defined in this namespace.
     pub fn symbol_count(&self) -> usize {
         self.symbols.lock().len()
     }
@@ -51,6 +54,7 @@ pub struct NamespaceRegistry {
 }
 
 impl NamespaceRegistry {
+    /// An empty registry.
     pub fn new() -> NamespaceRegistry {
         NamespaceRegistry::default()
     }
@@ -77,6 +81,7 @@ impl NamespaceRegistry {
         self.of(task)?.lookup(name)
     }
 
+    /// Number of live namespaces (one per spawned task).
     pub fn count(&self) -> usize {
         self.map.lock().len()
     }

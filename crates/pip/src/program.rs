@@ -36,6 +36,7 @@ impl Program {
         }
     }
 
+    /// The program's name (what `pip_spawn` would receive as the path).
     pub fn name(&self) -> &str {
         &self.name
     }

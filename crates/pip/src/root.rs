@@ -42,18 +42,24 @@ pub enum PipMode {
 
 /// Root-wide shared services, reachable from every task's [`TaskCtx`].
 pub struct RootShared {
+    /// The mmap-backed heap replacing the unshareable `sbrk` heap (§IV).
     pub heap: Arc<SharedHeap>,
+    /// `pip_named_export` / `pip_named_import` table.
     pub exports: ExportTable,
+    /// Per-task `dlmopen` link namespaces.
     pub namespaces: NamespaceRegistry,
     barriers: Mutex<HashMap<String, Arc<PipBarrier>>>,
     ntasks: AtomicUsize,
 }
 
 impl RootShared {
+    /// Number of tasks spawned so far.
     pub fn ntasks(&self) -> usize {
         self.ntasks.load(Ordering::Acquire)
     }
 
+    /// The named barrier, created on first use; reusing a name with a
+    /// different `parties` count is a caller bug and panics.
     pub fn barrier(&self, name: &str, parties: usize) -> Arc<PipBarrier> {
         let mut map = self.barriers.lock();
         let b = map
@@ -76,23 +82,28 @@ pub struct PipRootBuilder {
 }
 
 impl PipRootBuilder {
+    /// Spawn tasks in process or thread mode (§IV).
     pub fn mode(mut self, m: PipMode) -> Self {
         self.mode = m;
         self
     }
+    /// Number of scheduler KCs in the underlying runtime.
     pub fn schedulers(mut self, n: usize) -> Self {
         self.rt = self.rt.schedulers(n);
         self
     }
+    /// Idle-KC policy for the underlying runtime (§VI-C).
     pub fn idle_policy(mut self, p: IdlePolicy) -> Self {
         self.rt = self.rt.idle_policy(p);
         self
     }
+    /// Simulated architecture profile (context-switch cost model).
     pub fn profile(mut self, p: ArchProfile) -> Self {
         self.rt = self.rt.profile(p);
         self
     }
 
+    /// Build the root and start its runtime.
     pub fn build(self) -> PipRoot {
         PipRoot {
             rt: self.rt.build(),
@@ -123,6 +134,7 @@ impl PipRoot {
         PipRoot::builder().build()
     }
 
+    /// Configure a root before building it.
     pub fn builder() -> PipRootBuilder {
         PipRootBuilder {
             rt: Runtime::builder(),
@@ -130,6 +142,7 @@ impl PipRoot {
         }
     }
 
+    /// The spawn mode this root was built with.
     pub fn mode(&self) -> PipMode {
         self.mode
     }

@@ -66,10 +66,12 @@ pub struct PipTask {
 }
 
 impl PipTask {
+    /// The task's PiP rank (spawn order under this root).
     pub fn rank(&self) -> usize {
         self.rank
     }
 
+    /// Name of the program the task was spawned from.
     pub fn program(&self) -> &str {
         &self.program
     }
@@ -92,6 +94,7 @@ impl PipTask {
         self.handle.wait()
     }
 
+    /// Whether the task has terminated (non-blocking `wait` probe).
     pub fn is_finished(&self) -> bool {
         self.handle.is_finished()
     }

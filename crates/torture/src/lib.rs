@@ -171,6 +171,7 @@ pub fn run_cell(cell: Cell, seed: u64) -> RunReport {
     let dropped = rt.trace_dropped();
     let stats = delta(&stats0, &rt.stats().snapshot());
     let latency = rt.latency_snapshot();
+    let syscalls = rt.syscall_snapshot();
     let consistency: Vec<UlpError> = rt.violations();
     rt.shutdown();
 
@@ -180,6 +181,7 @@ pub fn run_cell(cell: Cell, seed: u64) -> RunReport {
         consistency: &consistency,
         stats,
         latency: &latency,
+        syscalls: &syscalls,
         // Under the planted mutation, syscalls legitimately (well,
         // "legitimately") run decoupled; the oracle must still flag them —
         // that is the whole point of the mutation check.

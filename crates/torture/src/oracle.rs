@@ -31,10 +31,21 @@
 //! - **H — system-call span balance.** Per BLT and system call, every
 //!   exit has a prior enter (checked as a running prefix) and the counts
 //!   match at end-of-run.
+//! - **I — profile reconciliation.** Folding the same trace through
+//!   [`ulp_core::fold_profile`] must (I1) partition each terminated BLT's
+//!   lifetime exactly across the four lifecycle states, (I2/I3) agree
+//!   with the per-syscall and switch-path histogram sample counts
+//!   one-for-one, and (I4) render collapsed-stack text that parses and
+//!   whose per-BLT line sums equal the snapshot's own totals — the profile
+//!   layer may summarize the telemetry, never contradict it. Skipped when
+//!   A already voided the run (a lossy trace folds to a lossy profile).
 
 use crate::StatsDelta;
 use std::collections::{HashMap, HashSet};
-use ulp_core::{BltId, LatencySnapshot, Sysno, TraceEvent, TraceRecord, UlpError};
+use ulp_core::profile::parse_collapsed;
+use ulp_core::{
+    fold_profile, BltId, LatencySnapshot, SyscallSnapshot, Sysno, TraceEvent, TraceRecord, UlpError,
+};
 
 /// Everything the oracle looks at for one run.
 pub struct OracleInput<'a> {
@@ -48,6 +59,9 @@ pub struct OracleInput<'a> {
     pub stats: StatsDelta,
     /// Switch-path latency histograms accumulated over the traced window.
     pub latency: &'a LatencySnapshot,
+    /// Per-syscall latency histograms accumulated over the traced window
+    /// ([`ulp_core::Runtime::syscall_snapshot`]).
+    pub syscalls: &'a SyscallSnapshot,
     /// Enforce invariant B. Always true in the harness — the planted
     /// mutation must *fail* the oracle, not be excused by it.
     pub expect_coupled_syscalls: bool,
@@ -144,7 +158,7 @@ impl Report {
     }
 }
 
-/// Verify one run's trace against invariants A–H. Returns one message per
+/// Verify one run's trace against invariants A–I. Returns one message per
 /// violation (empty = the run upheld Table I).
 pub fn check(input: &OracleInput<'_>) -> Vec<String> {
     let mut r = Report::new();
@@ -453,6 +467,74 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
             "B",
             format!("{decoupled_enters} decoupled syscall enters total (first: {uc:?} {sysno:?})"),
         );
+    }
+
+    // I — the profile fold is accountable to the raw telemetry. Only
+    // meaningful on a complete history: A already voided lossy runs.
+    if input.dropped == 0 {
+        let profile = fold_profile(input.trace);
+
+        // I1 — per-BLT lifetime partition: for every BLT whose whole life
+        // is on the trace, the four lifecycle state totals sum to exactly
+        // `end - start` (the fold closes and opens spans at the same
+        // timestamps, so not a nanosecond may leak or double-count).
+        for b in &profile.blts {
+            if !spawned.contains(&b.id) {
+                continue;
+            }
+            if let Some(end) = b.end_ns {
+                let lifetime = end.saturating_sub(b.start_ns);
+                if b.lifecycle_ns() != lifetime {
+                    r.push(
+                        "I",
+                        format!(
+                            "{:?}: lifecycle states sum to {} ns over a {} ns lifetime",
+                            b.id,
+                            b.lifecycle_ns(),
+                            lifetime
+                        ),
+                    );
+                }
+            }
+        }
+
+        // I2 + I3 — folded span counts vs the independent histograms
+        // (per-syscall counts, decoupled spans vs queue-delay samples,
+        // coupled resumes vs couple-resume samples).
+        for msg in profile.reconcile(input.latency, input.syscalls) {
+            r.push("I", msg);
+        }
+
+        // I4 — the collapsed rendering round-trips and adds up: every line
+        // parses, and per BLT the self-time leaves sum back to the
+        // snapshot's own flame total.
+        match parse_collapsed(&profile.collapsed()) {
+            Err(e) => r.push("I", format!("collapsed text does not parse: {e}")),
+            Ok(rows) => {
+                let mut per_blt: HashMap<String, u64> = HashMap::new();
+                for (stack, v) in &rows {
+                    let blt = stack.split(';').next().unwrap_or("").to_string();
+                    *per_blt.entry(blt).or_insert(0) += v;
+                }
+                for b in &profile.blts {
+                    let rendered = per_blt
+                        .get(&format!("blt:{}", b.id.0))
+                        .copied()
+                        .unwrap_or(0);
+                    if rendered != b.flame_ns() {
+                        r.push(
+                            "I",
+                            format!(
+                                "{:?}: collapsed lines sum to {} ns vs flame total {} ns",
+                                b.id,
+                                rendered,
+                                b.flame_ns()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     r.finish()

@@ -1,9 +1,12 @@
-//! Live Prometheus endpoint demo: serve `/metrics`, run a workload, scrape.
+//! Live observability endpoint demo: serve, run a workload, scrape it all.
 //!
 //! Starts the runtime's metrics listener on a free port, runs a small
 //! couple/decouple + syscall workload with tracing on, then scrapes its own
-//! endpoint over plain HTTP — the same bytes `curl http://ADDR/metrics` or
-//! a Prometheus scraper would see — and prints the `ulp_syscall_*` series.
+//! endpoint over plain HTTP — the same bytes `curl` or a Prometheus scraper
+//! would see — covering every route: `/metrics` (exposition text, including
+//! `ulp_syscall_violations_total`), `/profile` (collapsed flame stacks),
+//! `/profile.json` (the structured snapshot) and `/trace` (Perfetto JSON,
+//! snapshotted mid-run without disturbing the tracer).
 //!
 //! Run: `cargo run --release --example metrics_endpoint`
 //!
@@ -12,7 +15,22 @@
 //! `OBSERVABILITY.md` for the scrape-config recipe.
 
 use std::io::{Read, Write};
-use ulp_repro::core::{coupled_scope, decouple, sys, Runtime};
+use std::net::SocketAddr;
+use ulp_repro::core::{coupled_scope, decouple, profile::parse_collapsed, sys, Runtime};
+
+/// One raw-TCP GET — exactly what curl does.
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    write!(conn, "GET {path} HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    let (head, body) = resp.split_once("\r\n\r\n").expect("http response");
+    assert!(
+        head.starts_with("HTTP/1.0 200"),
+        "unexpected status for {path}: {head}"
+    );
+    body.to_string()
+}
 
 fn main() {
     let rt = Runtime::builder().schedulers(2).build();
@@ -44,17 +62,12 @@ fn main() {
         assert_eq!(h.wait(), 0);
     }
 
-    // Self-scrape: exactly what curl does.
-    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
-    write!(conn, "GET /metrics HTTP/1.0\r\nHost: ulp\r\n\r\n").unwrap();
-    let mut resp = String::new();
-    conn.read_to_string(&mut resp).unwrap();
-    let (head, body) = resp.split_once("\r\n\r\n").expect("http response");
-    assert!(
-        head.starts_with("HTTP/1.0 200"),
-        "unexpected status: {head}"
-    );
+    let body = scrape(addr, "/metrics");
     assert!(body.contains("ulp_syscall_latency_ns_bucket{call=\"read\""));
+    assert!(
+        body.contains("ulp_syscall_violations_total "),
+        "violations counter missing from the exposition"
+    );
 
     println!("--- scraped {} bytes; ulp_syscall_* series ---", body.len());
     for line in body.lines().filter(|l| {
@@ -64,4 +77,23 @@ fn main() {
     }) {
         println!("{line}");
     }
+
+    // The profiling routes, scraped live (the tracer stays on and the
+    // rings are read non-destructively).
+    let folded = scrape(addr, "/profile");
+    let rows = parse_collapsed(&folded).expect("/profile parses as folded stacks");
+    assert!(!rows.is_empty(), "/profile is empty");
+    assert!(folded.contains(";coupled;syscall:getpid "));
+    println!("--- /profile: {} stacks ---", rows.len());
+
+    let profile_json = scrape(addr, "/profile.json");
+    assert!(profile_json.starts_with("{\"horizon_ns\":"));
+    let trace_json = scrape(addr, "/trace");
+    assert!(trace_json.contains("\"traceEvents\":["));
+    assert!(rt.trace_enabled(), "scrapes must not stop the tracer");
+    println!(
+        "--- /profile.json: {} bytes, /trace: {} bytes, tracer still on ---",
+        profile_json.len(),
+        trace_json.len()
+    );
 }

@@ -15,13 +15,21 @@
 //! Run: `cargo run --release --example trace_timeline -- /tmp/ulp_trace.json`
 //! then load the file at <https://ui.perfetto.dev> (or `chrome://tracing`).
 //!
-//! Alternatively, set `ULP_TRACE=<path>` on any program using the runtime
-//! and the same JSON is written automatically at shutdown. See
-//! `OBSERVABILITY.md` for the full track-reading guide.
+//! The same run is also folded into a collapsed-stack profile (see
+//! `crates/core/src/profile.rs`) and self-validated: the per-BLT line sums
+//! must equal the structured snapshot's totals — the property the CI
+//! profile smoke job checks end to end.
+//!
+//! Alternatively, set `ULP_TRACE=<path>` / `ULP_PROFILE=<path>` on any
+//! program using the runtime and the same JSON / folded text is written
+//! automatically at shutdown (this example reads the rings through the
+//! non-destructive snapshot path, so those dumps still see the full
+//! history). See `OBSERVABILITY.md` for the full track-reading guide.
 
 use std::time::Duration;
 use ulp_repro::core::{
-    chrome_trace_json, coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime,
+    chrome_trace_json, coupled_scope, decouple, fold_profile, profile::parse_collapsed, sys,
+    yield_now, IdlePolicy, Runtime,
 };
 
 const WORKERS: usize = 4;
@@ -75,7 +83,9 @@ fn main() {
         assert_eq!(h.wait(), 0);
     }
 
-    let records = rt.take_trace();
+    // Non-destructive read: the rings keep their contents, so a
+    // ULP_TRACE/ULP_PROFILE shutdown dump still sees everything.
+    let records = rt.trace_snapshot();
     let json = chrome_trace_json(&records);
 
     // Round-trip validation: the writer's output must be real JSON with a
@@ -114,6 +124,42 @@ fn main() {
         "wrote {n_events} trace events ({} records, {syscall_tracks} syscall tracks) to {out_path}",
         records.len()
     );
+
+    // Fold the same records into the collapsed-stack profile and validate
+    // the accounting: every line parses, per-BLT sums equal the snapshot's
+    // flame totals, and the expected stacks are present.
+    let profile = fold_profile(&records);
+    let folded = profile.collapsed();
+    let rows = parse_collapsed(&folded).expect("folded profile parses");
+    assert!(!rows.is_empty(), "profile should contain stacks");
+    for b in &profile.blts {
+        let prefix = format!("blt:{};", b.id.0);
+        let sum: u64 = rows
+            .iter()
+            .filter(|(s, _)| s.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sum, b.flame_ns(), "folded sum mismatch for {prefix}");
+    }
+    assert!(
+        folded.contains(";coupled;syscall:getpid "),
+        "missing coupled getpid stack"
+    );
+    assert!(
+        folded.contains(";coupled;syscall:read;syscall:pipe_block_read "),
+        "missing nested blocking-read stack"
+    );
+    println!(
+        "folded profile: {} stacks over {} BLTs, {} lifecycle ns total",
+        rows.len(),
+        profile.blts.len(),
+        profile.total_ns()
+    );
+    let mut top: Vec<_> = rows.iter().collect();
+    top.sort_by_key(|(_, v)| std::cmp::Reverse(*v));
+    for (stack, ns) in top.iter().take(5) {
+        println!("  {stack} {ns}");
+    }
 
     let lat = rt.latency_snapshot();
     println!("queue delay   : {}", lat.queue_delay.summary());
