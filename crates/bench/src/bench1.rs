@@ -28,6 +28,12 @@ pub mod baseline {
     pub const COUPLE_RTT_BUSYWAIT_NS: f64 = 4325.1;
     /// ns per couple/decouple round trip, BLOCKING (baseline).
     pub const COUPLE_RTT_BLOCKING_NS: f64 = 2881.6;
+    /// ns per couple/decouple round trip, ADAPTIVE. The adaptive idle
+    /// policy was never part of the baseline campaign (it postdates the
+    /// pre-overhaul commit), so the Blocking figure — the regime Adaptive
+    /// falls back to once its spin streak runs dry — is reused as the
+    /// nearest slow-path reference point.
+    pub const COUPLE_RTT_ADAPTIVE_NS: f64 = COUPLE_RTT_BLOCKING_NS;
     /// Aggregate switches/sec, 8 ULPs over 4 KCs (baseline).
     pub const OVERSUB4_SWITCHES_PER_SEC: f64 = 3075197.7;
 }
@@ -44,6 +50,9 @@ pub struct Bench1 {
     pub couple_rtt_busywait_ns: f64,
     /// ns per bare couple()+decouple() round trip, BLOCKING.
     pub couple_rtt_blocking_ns: f64,
+    /// ns per bare couple()+decouple() round trip, ADAPTIVE (spin a
+    /// bounded streak on the idle KC before falling back to the futex).
+    pub couple_rtt_adaptive_ns: f64,
     /// Aggregate switches/sec: 8 yield-looping ULPs over 4 scheduler KCs.
     pub oversub4_switches_per_sec: f64,
     /// Yield-to-yield interval distribution (BUSYWAIT, global FIFO), from
@@ -85,6 +94,11 @@ pub fn measure() -> Bench1 {
         ),
         couple_rtt_blocking_ns: workloads::couple_rtt_ns(
             IdlePolicy::Blocking,
+            ArchProfile::Native,
+            iters / 5,
+        ),
+        couple_rtt_adaptive_ns: workloads::couple_rtt_ns(
+            IdlePolicy::Adaptive,
             ArchProfile::Native,
             iters / 5,
         ),
@@ -159,6 +173,13 @@ pub fn to_json(b: &Bench1) -> String {
             baseline::COUPLE_RTT_BLOCKING_NS,
             b.couple_rtt_blocking_ns,
             pct_faster(baseline::COUPLE_RTT_BLOCKING_NS, b.couple_rtt_blocking_ns),
+        ),
+        metric(
+            "couple_decouple_rtt_adaptive",
+            "ns",
+            baseline::COUPLE_RTT_ADAPTIVE_NS,
+            b.couple_rtt_adaptive_ns,
+            pct_faster(baseline::COUPLE_RTT_ADAPTIVE_NS, b.couple_rtt_adaptive_ns),
         ),
         metric(
             "oversub_4kc_switch_throughput",
@@ -237,6 +258,7 @@ mod tests {
             yield_ws_ns: 100.0,
             couple_rtt_busywait_ns: 1500.0,
             couple_rtt_blocking_ns: 2900.0,
+            couple_rtt_adaptive_ns: 2900.0,
             oversub4_switches_per_sec: 1.0e6,
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),
@@ -261,6 +283,7 @@ mod tests {
             yield_ws_ns: 100.0,
             couple_rtt_busywait_ns: 1000.0,
             couple_rtt_blocking_ns: 1000.0,
+            couple_rtt_adaptive_ns: 1000.0,
             oversub4_switches_per_sec: 1.0e6,
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),
@@ -316,6 +339,7 @@ mod tests {
             yield_ws_ns: 100.0,
             couple_rtt_busywait_ns: 1000.0,
             couple_rtt_blocking_ns: 1000.0,
+            couple_rtt_adaptive_ns: 1000.0,
             oversub4_switches_per_sec: 2.0 * baseline::OVERSUB4_SWITCHES_PER_SEC,
             yield_interval: sample_summary(),
             couple_resume: sample_summary(),

@@ -1,0 +1,5 @@
+//! Emit BENCH_2.json (direct-handoff coupling RTT + hit rate per idle
+//! policy, and the contended-lock suite under- and oversubscribed).
+fn main() {
+    ulp_bench::bench2::run_and_save();
+}

@@ -1,0 +1,104 @@
+//! CI perf smoke: a low-iteration couple-RTT check against the committed
+//! `results/BENCH_1.json`.
+//!
+//! Re-measures the bare couple()/decouple() round trip (BUSYWAIT and
+//! BLOCKING) and fails — exit code 1 — if either regresses more than 25%
+//! over the committed "after" figure. Also runs the direct-handoff
+//! ping-pong and fails if the handoff hit rate drops to 90% or below, or
+//! if the fast path stops beating the committed slow-path RTT: both are
+//! structural properties of the handoff protocol, not timing noise. The
+//! handoff check runs under BUSYWAIT, where the fast path's margin over
+//! the slow path is widest (wake batching pulled the BLOCKING slow path
+//! close enough to the handoff figure that a short run could flap).
+//!
+//! Iteration counts are deliberately tiny (the min-of-runs protocol keeps
+//! even short runs stable on the fast paths measured here); the 25% margin
+//! absorbs shared-runner jitter.
+
+use ulp_core::IdlePolicy;
+use ulp_kernel::ArchProfile;
+
+const ITERS: usize = 400;
+const MAX_REGRESSION: f64 = 1.25;
+
+/// Pull `"after": <num>` out of the committed BENCH_1.json row named
+/// `key` (hand-rolled: the build environment has no serde).
+fn committed_after(json: &str, key: &str) -> Option<f64> {
+    let row = json.lines().find(|l| l.contains(&format!("\"{key}\"")))?;
+    let tail = row.split("\"after\": ").nth(1)?;
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let path = ulp_bench::report::results_dir().join("BENCH_1.json");
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf-smoke: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    let mut gate = |label: &str, key: &str, measured: f64| {
+        let Some(reference) = committed_after(&json, key) else {
+            eprintln!(
+                "perf-smoke: FAIL {label}: no \"{key}\" row in {}",
+                path.display()
+            );
+            failed = true;
+            return;
+        };
+        let limit = reference * MAX_REGRESSION;
+        let verdict = if measured <= limit { "ok" } else { "FAIL" };
+        println!(
+            "perf-smoke: {verdict} {label}: {measured:.1} ns (committed {reference:.1} ns, limit {limit:.1})"
+        );
+        if measured > limit {
+            failed = true;
+        }
+    };
+
+    gate(
+        "couple RTT busywait",
+        "couple_decouple_rtt_busywait",
+        ulp_bench::workloads::couple_rtt_ns(IdlePolicy::BusyWait, ArchProfile::Native, ITERS),
+    );
+    gate(
+        "couple RTT blocking",
+        "couple_decouple_rtt_blocking",
+        ulp_bench::workloads::couple_rtt_ns(IdlePolicy::Blocking, ArchProfile::Native, ITERS),
+    );
+
+    // Structural handoff checks: the deterministic ping-pong must hand off
+    // on essentially every decouple and beat the committed slow-path RTT.
+    let h =
+        ulp_bench::workloads::couple_handoff_rtt(IdlePolicy::BusyWait, ArchProfile::Native, ITERS);
+    println!(
+        "perf-smoke: {} handoff hit rate: {:.4}",
+        if h.hit_rate > 0.9 { "ok" } else { "FAIL" },
+        h.hit_rate
+    );
+    if h.hit_rate <= 0.9 {
+        failed = true;
+    }
+    if let Some(slow) = committed_after(&json, "couple_decouple_rtt_busywait") {
+        let verdict = if h.rtt_ns < slow { "ok" } else { "FAIL" };
+        println!(
+            "perf-smoke: {verdict} handoff RTT: {:.1} ns (committed slow path {slow:.1} ns)",
+            h.rtt_ns
+        );
+        if h.rtt_ns >= slow {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("perf-smoke: couple-RTT regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("perf-smoke: all gates passed");
+}

@@ -23,6 +23,7 @@ fn main() {
         ulp_bench::repro::run_and_save(&format!("fig8-{s}"), ulp_bench::repro::fig8(p));
     }
     ulp_bench::bench1::run_and_save();
+    ulp_bench::bench2::run_and_save();
     println!(
         "\nDone. CSVs in {}",
         ulp_bench::report::results_dir().display()

@@ -17,6 +17,7 @@
 
 pub mod baselines;
 pub mod bench1;
+pub mod bench2;
 pub mod report;
 pub mod workloads;
 

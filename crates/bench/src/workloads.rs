@@ -4,7 +4,10 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use ulp_core::{coupled_scope, decouple, sys, yield_now, IdlePolicy, Runtime, SchedPolicy};
+use ulp_core::{
+    couple, coupled_scope, decouple, pending_couplers, sys, yield_now, IdlePolicy, RawUlpLock,
+    Runtime, SchedPolicy, UlpLock,
+};
 use ulp_fcontext::Fiber;
 use ulp_kernel::{ArchProfile, IoModel, OpenFlags};
 
@@ -176,6 +179,154 @@ pub fn couple_rtt_ns(policy: IdlePolicy, profile: ArchProfile, iters: usize) -> 
     .wait();
     let v = *result.lock();
     v
+}
+
+// --------------------------------------------------- direct-handoff coupling
+
+/// Result of the direct-handoff ping-pong measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffRtt {
+    /// ns per couple()+decouple() round trip on the fast path.
+    pub rtt_ns: f64,
+    /// Fraction of decouples that hit the handoff fast path, in [0, 1],
+    /// from the runtime's own `couple_handoffs` / `decouples` counters.
+    pub hit_rate: f64,
+}
+
+/// Spin (OS-yielding, so a single-core host can run the peer) until the
+/// calling UC's KC has exactly one couple requester parked. Bounded so a
+/// broken handoff protocol aborts the bench instead of hanging it.
+fn wait_for_pending_coupler() {
+    let mut spins = 0u64;
+    while pending_couplers() != Some(1) {
+        std::thread::yield_now();
+        spins += 1;
+        assert!(spins <= 200_000_000, "handoff ping-pong wedged");
+    }
+}
+
+/// The couple/decouple round trip on the **direct-handoff fast path**: a
+/// primary and a sibling sharing one original KC ping-pong couples, so
+/// every decouple finds the peer's request already parked in `pending` and
+/// switches straight into it — 2 switches per round trip instead of the
+/// slow path's 4, the trampoline never runs, and no futex syscall fires.
+///
+/// The wait-before-decouple discipline from the hot-path tests keeps the
+/// orbit deterministic: each side transitions only once the peer's request
+/// is parked. One ping-pong round retires one couple()+decouple() pair *per
+/// UC*, so the reported RTT is the round wall time halved (min-of-runs
+/// protocol, like every other mean in the suite).
+pub fn couple_handoff_rtt(policy: IdlePolicy, profile: ArchProfile, iters: usize) -> HandoffRtt {
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(policy)
+        .profile(profile)
+        .build();
+    let warm = iters / 10 + 1;
+    let rounds = crate::RUNS * (warm + iters);
+    let before = rt.stats().snapshot();
+    let result = Arc::new(Mutex::new(f64::INFINITY));
+    let r2 = result.clone();
+    let h = rt.spawn("handoff-rtt-a", move || {
+        // The sibling's first parked request anchors the orbit; from here
+        // on every decouple — warm-up and measured — hands off.
+        wait_for_pending_coupler();
+        let mut best = f64::INFINITY;
+        for _ in 0..crate::RUNS {
+            for _ in 0..warm {
+                decouple().unwrap();
+                couple().unwrap();
+                wait_for_pending_coupler();
+            }
+            let t = Instant::now();
+            for _ in 0..iters {
+                decouple().unwrap();
+                couple().unwrap();
+                wait_for_pending_coupler();
+            }
+            // Each round retires two full RTTs (one per UC).
+            best = best.min(t.elapsed().as_nanos() as f64 / (2 * iters) as f64);
+        }
+        *r2.lock() = best;
+        // Release the peer, whose last couple request is still parked.
+        decouple().unwrap();
+        0
+    });
+    let sib = h
+        .spawn_sibling("handoff-rtt-b", move || {
+            // One more couple than the primary's rounds: the final one is
+            // completed by the primary's releasing decouple, after which we
+            // terminate coupled (paper rule 7).
+            for i in 0..(rounds + 1) {
+                couple().unwrap();
+                if i < rounds {
+                    wait_for_pending_coupler();
+                    decouple().unwrap();
+                }
+            }
+            0
+        })
+        .unwrap();
+    assert_eq!(sib.wait(), 0);
+    assert_eq!(h.wait(), 0);
+    let d = rt.stats().snapshot().delta(&before);
+    let hit_rate = if d.decouples > 0 {
+        d.couple_handoffs as f64 / d.decouples as f64
+    } else {
+        0.0
+    };
+    let rtt_ns = *result.lock();
+    drop(rt);
+    HandoffRtt { rtt_ns, hit_rate }
+}
+
+// ---------------------------------------------------------------- lock suite
+
+/// Throughput of one shared `R` lock under contention: `n_ulps` decoupled
+/// ULPs over `n_scheds` scheduler KCs, each performing `iters_each`
+/// lock/increment/unlock operations on a single [`UlpLock<u64, R>`].
+/// Returns ns per acquire (wall time over total acquisitions). Run with
+/// `n_ulps <= n_scheds` for the undersubscribed regime and
+/// `n_ulps > n_scheds` for oversubscription, where a spinning waiter can
+/// occupy the scheduler the holder needs — the regime the cooperative
+/// `stall()` paths in the suite exist for.
+pub fn contended_lock_ns<R: RawUlpLock + 'static>(
+    n_scheds: usize,
+    n_ulps: usize,
+    iters_each: usize,
+) -> f64 {
+    let rt = Runtime::builder()
+        .schedulers(n_scheds)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let lock = Arc::new(UlpLock::<u64, R>::new(0));
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..n_ulps)
+        .map(|i| {
+            let l = lock.clone();
+            let g = go.clone();
+            rt.spawn(&format!("lock-{}-{i}", R::NAME), move || {
+                decouple().unwrap();
+                while !g.load(Ordering::Acquire) {
+                    yield_now();
+                }
+                for _ in 0..iters_each {
+                    *l.lock() += 1;
+                }
+                0
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    go.store(true, Ordering::Release);
+    for h in handles {
+        h.wait();
+    }
+    let total_ns = t.elapsed().as_nanos() as f64;
+    let total_ops = (n_ulps * iters_each) as u64;
+    assert_eq!(*lock.lock(), total_ops, "lock {} lost updates", R::NAME);
+    drop(rt);
+    total_ns / total_ops as f64
 }
 
 // ------------------------------------------------------- latency percentiles

@@ -158,6 +158,35 @@ pub fn decouple() -> Result<bool, UlpError> {
         me.coupled
             .store(false, std::sync::atomic::Ordering::Release);
         let save = me.ctx.get();
+        // Direct-handoff fast path: a couple requester already waits in
+        // this KC's pending queue, so switch straight into it instead of
+        // detouring through the trampoline — the requester resumes on its
+        // original KC in one switch, and the enqueue→pop→futex-wake round
+        // trip of the slow path never happens. Popping under the pending
+        // lock IS the claim: the TC idle loop (the only other dispatcher
+        // of this queue) runs exclusively on this same OS thread, which is
+        // busy executing us — so handoff and idle loop can never pop the
+        // same waiter. The waiter's context is fully saved: its
+        // CoupleRequest was published by the host scheduler only after the
+        // requester's registers landed (Table I race point 1).
+        if let Some(waiter) = me.kc.pending.lock().pop_front() {
+            if let Some(s) = b.shard() {
+                s.bump_couple_handoffs();
+            }
+            if let Some(t) = b.trace() {
+                t.record(crate::trace::Event::CoupleHandoff {
+                    from: me.id,
+                    to: waiter.id,
+                });
+            }
+            let target = unsafe { *waiter.ctx.get() };
+            // KC-local install: the waiter lands on its own original KC,
+            // so like the TC→UC dispatch this is exempt from the TLS
+            // charge (§V-B) and carries no sigmask.
+            let me_owned = b.swap_ulp(Some(waiter)).expect("me is installed");
+            b.put_deferred(Deferred::Enqueue(me_owned));
+            return Ok(Prep::Switch { save, target });
+        }
         let target = unsafe { *me.kc.tc_ctx.get() };
         // Vacate the TLS register and move our own reference into the
         // deferred enqueue: it runs on the TC only after our registers are
@@ -348,4 +377,16 @@ pub fn coupled_scope<R>(f: impl FnOnce() -> R) -> Result<R, UlpError> {
 /// `None` when not running inside a ULP.
 pub fn is_coupled() -> Option<bool> {
     with_thread(|b| b.ulp().map(|u| u.is_coupled()))
+}
+
+/// Number of couple requesters currently parked in the calling UC's
+/// original kernel context's pending queue. `None` when not running inside
+/// a ULP.
+///
+/// A coupled UC that decouples while this is nonzero takes the
+/// direct-handoff fast path (it switches straight into the waiting
+/// requester), so cooperative workloads can use this as a "someone is
+/// waiting for my KC" hint.
+pub fn pending_couplers() -> Option<usize> {
+    with_thread(|b| b.ulp().map(|u| u.kc.pending.lock().len()))
 }

@@ -193,6 +193,12 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                 tids.insert(u.0, ());
                 push_instant(&mut events, u.0, "kc_blocked", r.at_ns);
             }
+            Event::CoupleHandoff { from, .. } => {
+                // The span transitions are driven by the bracketing
+                // Decouple(from)/Coupled(to) records; mark the fast path.
+                tids.insert(from.0, ());
+                push_instant(&mut events, from.0, "couple_handoff", r.at_ns);
+            }
             Event::Signal { uc, signal } => {
                 tids.insert(uc.0, ());
                 push_instant(&mut events, uc.0, &format!("signal:{signal}"), r.at_ns);
@@ -435,6 +441,12 @@ pub fn prometheus_text(
         "ulp_kc_blocks_total",
         "Idle kernel contexts that blocked on a futex.",
         stats.kc_blocks,
+    );
+    counter_block(
+        &mut out,
+        "ulp_couple_handoff_total",
+        "Couples completed by direct handoff from a decoupling UC (fast path).",
+        stats.couple_handoffs,
     );
     counter_block(
         &mut out,

@@ -83,7 +83,7 @@ pub mod trace;
 pub mod uc;
 
 pub use chaos::ChaosPlan;
-pub use couple::{couple, coupled_scope, decouple, is_coupled, yield_now};
+pub use couple::{couple, coupled_scope, decouple, is_coupled, pending_couplers, yield_now};
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text};
 pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
@@ -93,7 +93,10 @@ pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
 pub use spawn::{BltHandle, SiblingHandle, PANIC_EXIT_STATUS};
 pub use stats::{Stats, StatsSnapshot};
-pub use sync::{UlpBarrier, UlpEvent, UlpMutex, UlpMutexGuard};
+pub use sync::{
+    FutexLock, McsLock, RawUlpLock, TasLock, TicketLock, UlpBarrier, UlpEvent, UlpLock,
+    UlpLockGuard, UlpMutex, UlpMutexGuard,
+};
 pub use tls::{errno, set_errno, UlpLocal};
 pub use trace::{Event as TraceEvent, TraceRecord, Tracer};
 pub use uc::{BltId, IdlePolicy, UcKind, UcState};

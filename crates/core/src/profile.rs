@@ -592,6 +592,10 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
                 t.states[KC_BLOCKED].spans += 1;
             }
             Event::Signal { .. } => {}
+            // The handoff marker carries no lifetime of its own: the
+            // bracketing Decouple(from) and Coupled(to) records drive the
+            // state transitions, so the I1 partition stays exact.
+            Event::CoupleHandoff { .. } => {}
             Event::SyscallEnter { uc, sysno, coupled } => {
                 let state = blt!(uc).sys_state(coupled);
                 let stack = sys_stacks.entry((uc.0, r.kc)).or_default();

@@ -55,6 +55,9 @@ pub struct StatsShard {
     pub scheduler_dispatches: AtomicU64,
     /// Idle kernel contexts that blocked on a futex (BLOCKING idle policy).
     pub kc_blocks: AtomicU64,
+    /// Couples completed by direct handoff from a decoupling UC (the fast
+    /// path that skipped the run queue and the idle-loop futex wake).
+    pub couple_handoffs: AtomicU64,
 }
 
 /// Single-writer increment: plain load + store, never a `lock` prefix.
@@ -115,6 +118,11 @@ impl StatsShard {
     pub fn bump_kc_blocks(&self) {
         bump(&self.kc_blocks);
     }
+    /// Count one direct-handoff couple completion.
+    #[inline]
+    pub fn bump_couple_handoffs(&self) {
+        bump(&self.couple_handoffs);
+    }
 
     /// Fold this shard into an accumulating snapshot.
     fn add_into(&self, acc: &mut StatsSnapshot) {
@@ -127,6 +135,7 @@ impl StatsShard {
         acc.siblings_spawned += self.siblings_spawned.load(Ordering::Relaxed);
         acc.scheduler_dispatches += self.scheduler_dispatches.load(Ordering::Relaxed);
         acc.kc_blocks += self.kc_blocks.load(Ordering::Relaxed);
+        acc.couple_handoffs += self.couple_handoffs.load(Ordering::Relaxed);
     }
 }
 
@@ -202,6 +211,11 @@ impl Stats {
     pub fn bump_kc_blocks(&self) {
         self.fallback.bump_kc_blocks();
     }
+    /// Count one direct-handoff couple on the fallback shard.
+    #[inline]
+    pub fn bump_couple_handoffs(&self) {
+        self.fallback.bump_couple_handoffs();
+    }
 
     /// Point-in-time snapshot for reporting: the fallback shard plus every
     /// registered per-KC shard, summed. Not atomic across counters (each
@@ -239,6 +253,8 @@ pub struct StatsSnapshot {
     pub scheduler_dispatches: u64,
     /// Idle kernel contexts that blocked on a futex.
     pub kc_blocks: u64,
+    /// Couples completed by direct handoff (fast path).
+    pub couple_handoffs: u64,
 }
 
 impl StatsSnapshot {
@@ -254,6 +270,7 @@ impl StatsSnapshot {
             siblings_spawned: self.siblings_spawned - earlier.siblings_spawned,
             scheduler_dispatches: self.scheduler_dispatches - earlier.scheduler_dispatches,
             kc_blocks: self.kc_blocks - earlier.kc_blocks,
+            couple_handoffs: self.couple_handoffs - earlier.couple_handoffs,
         }
     }
 }

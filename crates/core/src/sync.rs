@@ -7,17 +7,400 @@
 //! the next runnable UC (falling back to an OS yield when it is a KLT or
 //! nothing is runnable), so waiting never steals a scheduler.
 //!
-//! All three are usable from plain OS threads too (they degrade to
+//! All of them are usable from plain OS threads too (they degrade to
 //! yield-spin), which keeps mixed KLT/ULT programs correct.
+//!
+//! ## The lock suite
+//!
+//! Beyond the veneer types ([`UlpMutex`], [`UlpEvent`], [`UlpBarrier`]),
+//! the module exposes four interchangeable raw lock policies behind one
+//! trait ([`RawUlpLock`]), so contention behavior can be compared like for
+//! like — in particular **oversubscribed** (more runnable ULPs than
+//! scheduler KCs), where a non-cooperative spinlock would convoy or
+//! live-lock:
+//!
+//! | policy | fairness | waiting cost under contention |
+//! |---|---|---|
+//! | [`TasLock`] | none (barging) | all waiters hammer one cache line |
+//! | [`TicketLock`] | FIFO | all waiters poll one counter |
+//! | [`McsLock`] | FIFO | each waiter spins on its own queue node |
+//! | [`FutexLock`] | none (barging) | bounded spin, then `futex` sleep |
+//!
+//! Every policy waits with `stall()` — a ULP yield that falls back to an OS
+//! yield — so a preempted or descheduled lock holder can always run.
+//! [`FutexLock`]'s sleep level additionally parks the *kernel context*,
+//! which is only safe when the caller owns one (a coupled BLT or a plain OS
+//! thread); decoupled ULTs stay at the yielding level so they never block
+//! the scheduler KC under them (see `DESIGN.md`).
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use ulp_kernel::{futex_wait, futex_wake};
 
 /// One cooperative back-off step.
 #[inline]
 fn stall() {
     if !crate::couple::yield_now() {
         std::thread::yield_now();
+    }
+}
+
+/// A raw (data-less) mutual-exclusion lock: the common interface of the
+/// suite's four contention policies.
+///
+/// Implementations must be usable concurrently from decoupled ULTs,
+/// coupled BLTs and plain OS threads, and must wait *cooperatively*
+/// (yield to runnable ULPs) so that an oversubscribed schedule — more
+/// contenders than scheduler KCs — always lets the current holder run.
+///
+/// The caller is responsible for pairing: [`unlock`](RawUlpLock::unlock)
+/// must only be called by the context that last acquired the lock. Wrap a
+/// value in [`UlpLock`] for an RAII-guarded, misuse-resistant interface.
+pub trait RawUlpLock: Default + Send + Sync {
+    /// Short policy name used to label benchmark rows and torture cells.
+    const NAME: &'static str;
+
+    /// Acquire the lock, waiting cooperatively while contended.
+    fn lock(&self);
+
+    /// Try to acquire without waiting; `true` on success.
+    fn try_lock(&self) -> bool;
+
+    /// Release the lock. Must be called by the current holder exactly once
+    /// per acquisition.
+    fn unlock(&self);
+}
+
+/// Test-and-set spinlock: one `AtomicBool`, no fairness.
+///
+/// The baseline policy — identical to the lock inside [`UlpMutex`]. A
+/// test-and-test-and-set read phase keeps contended waiting on a shared
+/// (read-only) cache line until the lock looks free; acquisition barges,
+/// so a waiter can starve under pathological schedules.
+#[derive(Debug, Default)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl RawUlpLock for TasLock {
+    const NAME: &'static str = "tas";
+
+    fn lock(&self) {
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            // Read-only wait phase: no cache-line ping-pong while held.
+            while self.locked.load(Ordering::Relaxed) {
+                stall();
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Ticket lock: FIFO handover through a take-a-number pair of counters.
+///
+/// Strictly fair — requests are served in arrival order — but every waiter
+/// polls the single `serving` counter, so the handover line is invalidated
+/// in all waiting caches on each release. Under oversubscription FIFO
+/// order can *add* latency: the next ticket holder may be descheduled
+/// while later arrivals are running; the cooperative `stall()` is what
+/// keeps that from becoming a live-lock.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: AtomicU32,
+    serving: AtomicU32,
+}
+
+impl RawUlpLock for TicketLock {
+    const NAME: &'static str = "ticket";
+
+    fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        while self.serving.load(Ordering::Acquire) != ticket {
+            stall();
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        let serving = self.serving.load(Ordering::Acquire);
+        // Take a ticket only if it would be served immediately: advance
+        // `next` from the currently-served value by one.
+        self.next
+            .compare_exchange(
+                serving,
+                serving.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        // Single-writer: only the holder advances the grant.
+        let now = self.serving.load(Ordering::Relaxed);
+        self.serving.store(now.wrapping_add(1), Ordering::Release);
+    }
+}
+
+/// One waiter's slot in an [`McsLock`] queue. Heap-allocated per
+/// acquisition so a ULP that migrates OS threads mid-wait (every `stall()`
+/// may resume it on a different scheduler KC) still owns its node.
+#[derive(Debug)]
+struct McsNode {
+    next: AtomicPtr<McsNode>,
+    locked: AtomicBool,
+}
+
+/// MCS queue lock: FIFO handover with *local* spinning.
+///
+/// Each waiter enqueues a private node and spins on its own `locked` flag;
+/// the releasing holder flips exactly one successor's flag. Contended
+/// waiting therefore touches no shared cache line — the policy that scales
+/// where [`TicketLock`]'s shared grant counter thrashes. The price is one
+/// heap allocation per contended-path acquisition (nodes cannot live on
+/// the stack or in OS-thread-local storage: a decoupled ULP's stall may
+/// resume it on another kernel context).
+#[derive(Debug, Default)]
+pub struct McsLock {
+    tail: AtomicPtr<McsNode>,
+    /// The holder's node, stashed at acquisition so `unlock` needs no
+    /// argument (single-writer: only the holder reads/writes it while the
+    /// lock is held).
+    owner: AtomicPtr<McsNode>,
+}
+
+impl RawUlpLock for McsLock {
+    const NAME: &'static str = "mcs";
+
+    fn lock(&self) {
+        let node = Box::into_raw(Box::new(McsNode {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            locked: AtomicBool::new(true),
+        }));
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` stays alive until its owner's unlock, which
+            // cannot complete before it observes and wakes our node.
+            unsafe { (*prev).next.store(node, Ordering::Release) };
+            // SAFETY: `node` is ours until our own unlock frees it.
+            while unsafe { (*node).locked.load(Ordering::Acquire) } {
+                stall();
+            }
+        }
+        self.owner.store(node, Ordering::Relaxed);
+    }
+
+    fn try_lock(&self) -> bool {
+        if !self.tail.load(Ordering::Relaxed).is_null() {
+            return false;
+        }
+        let node = Box::into_raw(Box::new(McsNode {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            locked: AtomicBool::new(false),
+        }));
+        match self.tail.compare_exchange(
+            std::ptr::null_mut(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                self.owner.store(node, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // SAFETY: the node was never published.
+                drop(unsafe { Box::from_raw(node) });
+                false
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        let node = self.owner.load(Ordering::Relaxed);
+        debug_assert!(!node.is_null(), "unlock without a holder");
+        // SAFETY: `node` is the holder's own published node; it is freed
+        // only here, after handover.
+        unsafe {
+            if (*node).next.load(Ordering::Acquire).is_null() {
+                // No known successor: try to close the queue.
+                if self
+                    .tail
+                    .compare_exchange(
+                        node,
+                        std::ptr::null_mut(),
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    drop(Box::from_raw(node));
+                    return;
+                }
+                // A successor swapped the tail but has not linked itself
+                // yet; the window is a few instructions long.
+                while (*node).next.load(Ordering::Acquire).is_null() {
+                    std::hint::spin_loop();
+                }
+            }
+            let next = (*node).next.load(Ordering::Acquire);
+            (*next).locked.store(false, Ordering::Release);
+            drop(Box::from_raw(node));
+        }
+    }
+}
+
+impl Drop for McsLock {
+    fn drop(&mut self) {
+        // An unlocked, uncontended lock owns no nodes. Dropping a *held*
+        // lock leaks the holder's node — deliberate: freeing it here could
+        // race a concurrent unlock, and dropping a held lock is a misuse
+        // the data-carrying wrapper (`UlpLock`) makes impossible.
+    }
+}
+
+/// Contended [`FutexLock`] acquisitions spin this many cooperative steps
+/// before arming the kernel sleep.
+const FUTEX_SPIN: u32 = 64;
+
+/// Two-level lock: bounded cooperative spin, then a `futex` sleep.
+///
+/// The classic three-state futex mutex (0 = free, 1 = held, 2 = held with
+/// sleepers — Drepper's *Futexes Are Cheap, Look and Feel*) with a spin
+/// phase sized for the tens-of-nanoseconds critical sections this runtime
+/// is built around. The wake side only issues the `futex_wake` system
+/// call when the state says somebody slept, mirroring the runtime's
+/// sleeper-gated idle protocols.
+///
+/// A **decoupled** ULT never enters the sleep level: blocking the futex
+/// would park the scheduler kernel context hosting it, stalling every
+/// other ULT that scheduler owns — exactly the blocking anomaly the paper
+/// exists to avoid. Decoupled waiters stay at the yielding spin level;
+/// coupled BLTs and plain OS threads (which own the kernel context they
+/// would block) get the real sleep.
+#[derive(Debug, Default)]
+pub struct FutexLock {
+    /// 0 = free, 1 = held, 2 = held and at least one waiter slept.
+    state: AtomicU32,
+}
+
+impl RawUlpLock for FutexLock {
+    const NAME: &'static str = "futex2l";
+
+    fn lock(&self) {
+        if self.try_lock() {
+            return;
+        }
+        // Level one: bounded cooperative spin.
+        for _ in 0..FUTEX_SPIN {
+            stall();
+            if self.state.load(Ordering::Relaxed) == 0 && self.try_lock() {
+                return;
+            }
+        }
+        // Level two: mark contended and sleep. `swap(2)` both acquires
+        // (when it returns 0) and re-publishes the contended mark on
+        // every spurious wake-up.
+        while self.state.swap(2, Ordering::Acquire) != 0 {
+            if crate::couple::is_coupled() == Some(false) {
+                // Decoupled: our KC is a scheduler's — never block it.
+                stall();
+            } else {
+                futex_wait(&self.state, 2);
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        if self.state.swap(0, Ordering::Release) == 2 {
+            futex_wake(&self.state, 1);
+        }
+    }
+}
+
+/// A value guarded by one of the suite's raw lock policies.
+///
+/// `UlpLock<T>` defaults to the [`TasLock`] policy; pick another with the
+/// second type parameter, e.g. `UlpLock<u64, McsLock>`. The guard releases
+/// on drop (including unwinds), which also makes the holder-only `unlock`
+/// contract of [`RawUlpLock`] unbreakable from safe code.
+#[derive(Debug, Default)]
+pub struct UlpLock<T, R: RawUlpLock = TasLock> {
+    raw: R,
+    value: std::cell::UnsafeCell<T>,
+}
+
+unsafe impl<T: Send, R: RawUlpLock> Send for UlpLock<T, R> {}
+unsafe impl<T: Send, R: RawUlpLock> Sync for UlpLock<T, R> {}
+
+impl<T, R: RawUlpLock> UlpLock<T, R> {
+    /// An unlocked lock holding `value`.
+    pub fn new(value: T) -> UlpLock<T, R> {
+        UlpLock {
+            raw: R::default(),
+            value: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire, waiting cooperatively while contended.
+    pub fn lock(&self) -> UlpLockGuard<'_, T, R> {
+        self.raw.lock();
+        UlpLockGuard { lock: self }
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_lock(&self) -> Option<UlpLockGuard<'_, T, R>> {
+        if self.raw.try_lock() {
+            Some(UlpLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard for [`UlpLock`]; releases the underlying raw lock on drop.
+pub struct UlpLockGuard<'a, T, R: RawUlpLock> {
+    lock: &'a UlpLock<T, R>,
+}
+
+impl<T, R: RawUlpLock> std::ops::Deref for UlpLockGuard<'_, T, R> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T, R: RawUlpLock> std::ops::DerefMut for UlpLockGuard<'_, T, R> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T, R: RawUlpLock> Drop for UlpLockGuard<'_, T, R> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock();
     }
 }
 
@@ -279,6 +662,130 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(leaders.load(Ordering::Acquire), 20);
+    }
+
+    /// Exclusion + counter integrity for one raw policy under plain OS
+    /// threads.
+    fn raw_lock_excludes<R: RawUlpLock + 'static>() {
+        let l = Arc::new(UlpLock::<u64, R>::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        *l.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), 2000);
+    }
+
+    /// Exclusion for one raw policy under **oversubscribed** decoupled
+    /// ULPs: more contenders than scheduler KCs, so only cooperative
+    /// waiting lets the holder run.
+    fn raw_lock_excludes_oversubscribed<R: RawUlpLock + 'static>() {
+        use crate::{decouple, Runtime};
+        let rt = Runtime::builder().schedulers(1).build();
+        let l = Arc::new(UlpLock::<u64, R>::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let l = l.clone();
+                rt.spawn(&format!("{}-{i}", R::NAME), move || {
+                    decouple().unwrap();
+                    for _ in 0..200 {
+                        *l.lock() += 1;
+                    }
+                    0
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait(), 0);
+        }
+        assert_eq!(*l.lock(), 800);
+    }
+
+    #[test]
+    fn tas_lock_excludes() {
+        raw_lock_excludes::<TasLock>();
+        raw_lock_excludes_oversubscribed::<TasLock>();
+    }
+
+    #[test]
+    fn ticket_lock_excludes() {
+        raw_lock_excludes::<TicketLock>();
+        raw_lock_excludes_oversubscribed::<TicketLock>();
+    }
+
+    #[test]
+    fn mcs_lock_excludes() {
+        raw_lock_excludes::<McsLock>();
+        raw_lock_excludes_oversubscribed::<McsLock>();
+    }
+
+    #[test]
+    fn futex_lock_excludes() {
+        raw_lock_excludes::<FutexLock>();
+        raw_lock_excludes_oversubscribed::<FutexLock>();
+    }
+
+    #[test]
+    fn raw_try_lock_fails_while_held() {
+        fn check<R: RawUlpLock>() {
+            let l = UlpLock::<(), R>::new(());
+            let g = l.lock();
+            assert!(l.try_lock().is_none(), "{} try_lock while held", R::NAME);
+            drop(g);
+            let g = l.try_lock();
+            assert!(g.is_some(), "{} try_lock when free", R::NAME);
+        }
+        check::<TasLock>();
+        check::<TicketLock>();
+        check::<McsLock>();
+        check::<FutexLock>();
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo() {
+        // Holder + two queued waiters: the first queued waiter must win.
+        let l = Arc::new(TicketLock::default());
+        l.lock();
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for who in 0..2 {
+            let l2 = l.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                l2.lock();
+                order.lock().unwrap().push(who);
+                l2.unlock();
+            }));
+            // Serialize arrival so tickets are taken in `who` order.
+            while l.next.load(Ordering::Acquire) != who + 2 {
+                std::thread::yield_now();
+            }
+        }
+        l.unlock();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn lock_names_are_distinct() {
+        let names = [
+            TasLock::NAME,
+            TicketLock::NAME,
+            McsLock::NAME,
+            FutexLock::NAME,
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub enum Event {
     CoupleRequest(BltId),
     /// A UC resumed on its original KC (couple completed).
     Coupled(BltId),
+    /// A decoupling UC switched *directly* into a couple requester waiting
+    /// in its KC's pending queue — the fast path that skips the run-queue
+    /// enqueue → idle-loop pop → futex wake round trip. Always bracketed by
+    /// `Decouple(from)` before and `Coupled(to)` after.
+    CoupleHandoff {
+        /// The UC departing the kernel context (it decouples).
+        from: BltId,
+        /// The waiting couple requester handed the kernel context.
+        to: BltId,
+    },
     /// A direct UC→UC yield switch.
     Yield {
         /// The UC giving up the kernel context.
@@ -131,6 +141,7 @@ impl Event {
                 uc.0,
                 sysno as u64 | (coupled as u64) << 16 | (errno as u32 as u64) << 32,
             ),
+            Event::CoupleHandoff { from, to } => (11, from.0, to.0),
         }
     }
 
@@ -165,6 +176,10 @@ impl Event {
                 sysno: Sysno::from_u16(b as u16)?,
                 coupled: (b >> 16) & 1 == 1,
                 errno: (b >> 32) as u32 as i32,
+            },
+            11 => Event::CoupleHandoff {
+                from: BltId(a),
+                to: BltId(b),
             },
             _ => return None,
         })
@@ -873,6 +888,10 @@ mod tests {
             Event::Signal {
                 uc: BltId(10),
                 signal: 12,
+            },
+            Event::CoupleHandoff {
+                from: BltId(11),
+                to: BltId(12),
             },
         ];
         for e in events {

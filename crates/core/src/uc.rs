@@ -21,7 +21,7 @@ use crate::tls::TlsStorage;
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::ThreadId;
 use std::time::Duration;
@@ -115,6 +115,12 @@ pub struct KcShared {
     pub primary_waiting: AtomicBool,
     /// Consecutive fruitless parks (Adaptive policy bookkeeping).
     pub idle_streak: AtomicU32,
+    /// Kernel contexts currently inside (or entering) a futex wait on
+    /// `signal`. Lets [`KcShared::notify`] skip the `futex_wake` system
+    /// call entirely when nobody sleeps — the common case whenever the KC
+    /// is running user code or still spinning (same waiter-gated wake
+    /// protocol as `RunQueue`, see `runqueue.rs` for the fence rationale).
+    pub sleepers: AtomicU32,
 }
 
 // tc_ctx is only touched by the KC's own thread and by contexts executing on
@@ -138,6 +144,7 @@ impl KcShared {
             handle_closed: AtomicBool::new(false),
             primary_waiting: AtomicBool::new(false),
             idle_streak: AtomicU32::new(0),
+            sleepers: AtomicU32::new(0),
         }
     }
 
@@ -152,17 +159,21 @@ impl KcShared {
     #[inline]
     pub fn notify(&self) {
         self.signal.fetch_add(1, Ordering::Release);
-        match self.idle_policy {
-            IdlePolicy::Blocking => {
-                futex_wake(&self.signal, i32::MAX);
-            }
-            IdlePolicy::Adaptive => {
-                // Reset the spin streak; wake in case the KC already gave
-                // up spinning.
-                self.idle_streak.store(0, Ordering::Release);
-                futex_wake(&self.signal, i32::MAX);
-            }
-            IdlePolicy::BusyWait => {}
+        if self.idle_policy == IdlePolicy::Adaptive {
+            // Reset the spin streak so a busy KC keeps spinning instead of
+            // falling asleep right after new work arrived.
+            self.idle_streak.store(0, Ordering::Release);
+        }
+        // Waiter-gated wake (the batching half of the fast path): skip the
+        // futex_wake system call unless a KC actually announced itself
+        // asleep. The SeqCst fence orders our signal bump before the
+        // sleepers load against the parker's mirror-image fence, so either
+        // we see its announcement or it sees our new version — a wake can
+        // be elided but never lost (same protocol as
+        // `RunQueue::publish_and_wake`, see `runqueue.rs`).
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            futex_wake(&self.signal, i32::MAX);
         }
     }
 
@@ -189,9 +200,7 @@ impl KcShared {
                 false
             }
             IdlePolicy::Blocking => {
-                // Bounded wait: robust against lost wakeups by re-checking
-                // at the caller's loop top.
-                futex_wait_timeout(&self.signal, seen, Duration::from_millis(50));
+                self.block_on_signal(seen);
                 true
             }
             IdlePolicy::Adaptive => {
@@ -203,11 +212,26 @@ impl KcShared {
                     std::thread::yield_now();
                     false
                 } else {
-                    futex_wait_timeout(&self.signal, seen, Duration::from_millis(50));
+                    self.block_on_signal(seen);
                     true
                 }
             }
         }
+    }
+
+    /// Announce this KC as a sleeper, re-check the eventcount, and futex
+    /// wait (bounded; robust against lost wakeups by re-checking at the
+    /// caller's loop top). The announce → fence → re-check order pairs with
+    /// [`KcShared::notify`]'s bump → fence → sleepers-load: a notify racing
+    /// this park either sees `sleepers > 0` and wakes, or bumped `signal`
+    /// early enough for the re-check here to see it and skip the sleep.
+    fn block_on_signal(&self, seen: u32) {
+        self.sleepers.fetch_add(1, Ordering::AcqRel);
+        fence(Ordering::SeqCst);
+        if self.signal.load(Ordering::Relaxed) == seen {
+            futex_wait_timeout(&self.signal, seen, Duration::from_millis(50));
+        }
+        self.sleepers.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

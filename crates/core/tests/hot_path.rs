@@ -16,8 +16,8 @@
 
 use ulp_core::ulp_kernel::ArchProfile;
 use ulp_core::{
-    coupled_scope, decouple, sys, IdlePolicy, Runtime, SchedPolicy, StatsSnapshot,
-    PANIC_EXIT_STATUS,
+    couple, coupled_scope, decouple, pending_couplers, sys, IdlePolicy, Runtime, SchedPolicy,
+    StatsSnapshot, PANIC_EXIT_STATUS,
 };
 
 /// Snapshot the runtime's stats from inside a ULP.
@@ -68,6 +68,151 @@ fn assert_table5_invariant(sched: SchedPolicy, idle: IdlePolicy) {
     assert_eq!(h.wait(), 0);
 }
 
+/// Spin (OS-yielding, so a single-core host can run the peer) until the
+/// calling UC's KC has a couple requester parked in its pending queue.
+/// Bounded so a broken handoff protocol fails loudly instead of hanging.
+fn wait_for_pending_coupler() {
+    let mut spins = 0u64;
+    while pending_couplers() != Some(1) {
+        std::thread::yield_now();
+        spins += 1;
+        if spins > 2_000_000 {
+            panic!(
+                "wait_for_pending_coupler stuck: pending_couplers()={:?} stats={:?}",
+                pending_couplers(),
+                my_stats()
+            );
+        }
+    }
+}
+
+/// Exact counts for the **direct-handoff fast path**: two UCs sharing one
+/// original KC ping-pong couples, so every decouple finds the peer's couple
+/// request already parked in `pending` and switches straight into it.
+///
+/// Per pair, the coupling round trip itself collapses from 4 switches to 2
+/// — couple's swap to the host plus the peer's single handoff swap replace
+/// couple → TC-wake → TC-pop → TC→UC dispatch — and the KC's trampoline
+/// never runs at all (not even lazily: every decouple, including the very
+/// first, waits for the peer's parked request before it fires), so the
+/// futex wake on request publication is elided (the sleepers gate sees no
+/// sleeper) and the KC never futex-blocks. Global counters per round (one
+/// pair per UC, both UCs):
+///
+/// - 6 context switches (2 couples + 2 handoff decouples + 2 run-queue
+///   dispatches of the departed UCs) — the slow path takes 8 (two extra
+///   TC→UC dispatches);
+/// - 4 TLS loads (couple's host install + scheduler dispatch, per UC —
+///   the handoff install is KC-local and exempt, like TC→UC);
+/// - 2 handoffs: hit rate is exactly 100%;
+/// - 0 yields, and 0 KC futex blocks under *every* idle policy.
+///
+/// The wait-before-decouple discipline makes the schedule deterministic:
+/// each side transitions only once the peer's request is parked, so the
+/// counts are exact in every interleaving the OS scheduler picks.
+fn assert_handoff_invariant(sched: SchedPolicy, idle: IdlePolicy) {
+    const WARMUP: u64 = 2;
+    const PAIRS: u64 = 8;
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .idle_policy(idle)
+        .sched_policy(sched)
+        .profile(ArchProfile::Native)
+        .build();
+    let h = rt.spawn("handoff-a", move || {
+        // Primaries start coupled; the sibling's first couple request
+        // anchors the orbit before our first decouple, so *every* decouple
+        // in this body — warm-up, measured, and releasing — hands off.
+        for _ in 0..WARMUP {
+            wait_for_pending_coupler();
+            decouple().unwrap();
+            couple().unwrap();
+        }
+        wait_for_pending_coupler();
+        let before = my_stats();
+        for _ in 0..PAIRS {
+            decouple().unwrap();
+            couple().unwrap();
+            wait_for_pending_coupler();
+        }
+        let d = my_stats().delta(&before);
+        assert_eq!(
+            d.context_switches,
+            6 * PAIRS,
+            "handoff: 6 switches per round, not the slow path's 8 ({sched:?}/{idle:?}): {d:?}"
+        );
+        assert_eq!(
+            d.tls_loads,
+            4 * PAIRS,
+            "handoff installs are KC-local and TLS-exempt ({sched:?}/{idle:?}): {d:?}"
+        );
+        assert_eq!(d.couples, 2 * PAIRS);
+        assert_eq!(d.decouples, 2 * PAIRS);
+        assert_eq!(
+            d.couple_handoffs,
+            2 * PAIRS,
+            "every decouple must hit the handoff fast path ({sched:?}/{idle:?}): {d:?}"
+        );
+        assert_eq!(d.scheduler_dispatches, 2 * PAIRS);
+        assert_eq!(d.yields, 0);
+        assert_eq!(
+            d.kc_blocks, 0,
+            "the TC never runs on the fast path, so the KC never futex-blocks \
+             ({sched:?}/{idle:?}): {d:?}"
+        );
+        // Release the peer, whose last couple request is still parked.
+        decouple().unwrap();
+        0
+    });
+    let sib = h
+        .spawn_sibling("handoff-b", move || {
+            // One more couple than the primary's rounds: the final one is
+            // completed by the primary's releasing decouple, after which we
+            // terminate coupled (paper rule 7).
+            for i in 0..(WARMUP + PAIRS + 1) {
+                couple().unwrap();
+                if i < WARMUP + PAIRS {
+                    wait_for_pending_coupler();
+                    decouple().unwrap();
+                }
+            }
+            0
+        })
+        .unwrap();
+    assert_eq!(sib.wait(), 0);
+    assert_eq!(h.wait(), 0);
+}
+
+#[test]
+fn handoff_counts_global_fifo_busywait() {
+    assert_handoff_invariant(SchedPolicy::GlobalFifo, IdlePolicy::BusyWait);
+}
+
+#[test]
+fn handoff_counts_global_fifo_blocking() {
+    assert_handoff_invariant(SchedPolicy::GlobalFifo, IdlePolicy::Blocking);
+}
+
+#[test]
+fn handoff_counts_global_fifo_adaptive() {
+    assert_handoff_invariant(SchedPolicy::GlobalFifo, IdlePolicy::Adaptive);
+}
+
+#[test]
+fn handoff_counts_work_stealing_busywait() {
+    assert_handoff_invariant(SchedPolicy::WorkStealing, IdlePolicy::BusyWait);
+}
+
+#[test]
+fn handoff_counts_work_stealing_blocking() {
+    assert_handoff_invariant(SchedPolicy::WorkStealing, IdlePolicy::Blocking);
+}
+
+#[test]
+fn handoff_counts_work_stealing_adaptive() {
+    assert_handoff_invariant(SchedPolicy::WorkStealing, IdlePolicy::Adaptive);
+}
+
 #[test]
 fn table5_counts_global_fifo_busywait() {
     assert_table5_invariant(SchedPolicy::GlobalFifo, IdlePolicy::BusyWait);
@@ -86,6 +231,16 @@ fn table5_counts_work_stealing_busywait() {
 #[test]
 fn table5_counts_work_stealing_blocking() {
     assert_table5_invariant(SchedPolicy::WorkStealing, IdlePolicy::Blocking);
+}
+
+#[test]
+fn table5_counts_global_fifo_adaptive() {
+    assert_table5_invariant(SchedPolicy::GlobalFifo, IdlePolicy::Adaptive);
+}
+
+#[test]
+fn table5_counts_work_stealing_adaptive() {
+    assert_table5_invariant(SchedPolicy::WorkStealing, IdlePolicy::Adaptive);
 }
 
 /// With the tracer compiled in but **off** (the default), every event site

@@ -1,6 +1,8 @@
 //! Integration tests for the BLT/ULP runtime: lifecycle, the
 //! couple/decouple protocol of Table I, system-call consistency, yielding,
-//! sibling UCs (M:N), and both idle policies.
+//! sibling UCs (M:N), and the paper's two idle policies (the Adaptive
+//! extension and the handoff fast path get exact-count coverage in
+//! `hot_path.rs` and chaos coverage in `ulp-torture`).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;

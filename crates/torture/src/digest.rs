@@ -61,6 +61,12 @@ fn primary(event: &TraceEvent) -> Option<BltId> {
         TraceEvent::SyscallEnter { uc, .. } => Some(uc),
         TraceEvent::SyscallExit { uc, .. } => Some(uc),
         TraceEvent::KcBlocked(_) => None,
+        // Handoff vs. queued dispatch is a *timing* accident (whether a
+        // waiter had already parked in `pending` when the decouple ran),
+        // not schedule-relevant state: the same seed may take either path
+        // between replays while the Decouple/Coupled bracket stays fixed.
+        // Keeping it out of the canonical form keeps replay digests stable.
+        TraceEvent::CoupleHandoff { .. } => None,
     }
 }
 
@@ -92,6 +98,9 @@ fn words(event: &TraceEvent, relabel: &HashMap<BltId, u64>) -> [u64; 4] {
             sysno as u64,
             (u64::from(coupled) << 32) | (errno as u32 as u64),
         ],
+        // Unreachable through bytes() — primary() filters handoffs out —
+        // but the match stays exhaustive for when the policy changes.
+        TraceEvent::CoupleHandoff { from, to } => [11, r(from), r(to), 0],
     }
 }
 

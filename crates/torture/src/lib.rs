@@ -65,13 +65,19 @@ impl std::fmt::Display for Cell {
     }
 }
 
-/// The full matrix: every scenario × both scheduling policies × both
-/// paper idle policies (§VI-C).
+/// The full matrix: every scenario × both scheduling policies × the two
+/// paper idle policies (§VI-C) plus the runtime's adaptive extension —
+/// the spin-then-block path consumes the batched futex wakes the
+/// direct-handoff fast path elides, so it gets chaos coverage too.
 pub fn matrix() -> Vec<Cell> {
     let mut cells = Vec::new();
     for &scenario in Scenario::ALL {
         for sched in [SchedPolicy::GlobalFifo, SchedPolicy::WorkStealing] {
-            for idle in [IdlePolicy::Blocking, IdlePolicy::BusyWait] {
+            for idle in [
+                IdlePolicy::Blocking,
+                IdlePolicy::BusyWait,
+                IdlePolicy::Adaptive,
+            ] {
                 cells.push(Cell {
                     scenario,
                     sched,
@@ -120,6 +126,8 @@ pub struct StatsDelta {
     pub dispatches: u64,
     /// `blts_spawned` + `siblings_spawned` delta.
     pub spawned: u64,
+    /// `couple_handoffs` delta (fast-path couples).
+    pub handoffs: u64,
 }
 
 fn delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsDelta {
@@ -130,6 +138,7 @@ fn delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsDelta {
         dispatches: after.scheduler_dispatches - before.scheduler_dispatches,
         spawned: (after.blts_spawned + after.siblings_spawned)
             - (before.blts_spawned + before.siblings_spawned),
+        handoffs: after.couple_handoffs - before.couple_handoffs,
     }
 }
 

@@ -32,7 +32,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: torture [--iters N] [--seed HEX] [--exact-seed] [--scenario NAME] \
-         [--sched globalfifo|workstealing] [--idle blocking|busywait] \
+         [--sched globalfifo|workstealing] [--idle blocking|busywait|adaptive] \
          [--artifact-dir DIR] [--replay-check] [--expect-violations] [--list]\n\
          scenarios: {}",
         Scenario::ALL
@@ -108,6 +108,7 @@ fn parse_args() -> Options {
                 opts.idle = Some(match name.to_ascii_lowercase().as_str() {
                     "blocking" => ulp_core::IdlePolicy::Blocking,
                     "busywait" => ulp_core::IdlePolicy::BusyWait,
+                    "adaptive" => ulp_core::IdlePolicy::Adaptive,
                     _ => {
                         eprintln!("unknown idle policy {name:?}");
                         usage()

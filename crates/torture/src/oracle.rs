@@ -198,6 +198,7 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
     let mut totals_coupled = 0u64;
     let mut totals_yield = 0u64;
     let mut totals_dispatch = 0u64;
+    let mut totals_handoff = 0u64;
     let mut decoupled_enters = 0u64;
     let mut first_decoupled_enter: Option<(BltId, Sysno)> = None;
 
@@ -340,6 +341,43 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                 }
             }
             TraceEvent::KcBlocked(_) => {}
+            TraceEvent::CoupleHandoff { from, to } => {
+                totals_handoff += 1;
+                if !spawned.contains(&from) {
+                    r.push(
+                        "C",
+                        format!("{from:?}: CoupleHandoff from a never-spawned BLT"),
+                    );
+                    continue;
+                }
+                if !spawned.contains(&to) {
+                    r.push("C", format!("{to:?}: CoupleHandoff to a never-spawned BLT"));
+                    continue;
+                }
+                // A handoff sits between Decouple(from) and Coupled(to):
+                // the departing BLT must already be off its KC, and the
+                // receiver must have a couple request in flight — the
+                // handoff answers that request, so the existing family-D
+                // requests==coupleds conservation covers fast-path couples
+                // with no extra bookkeeping.
+                let tf = track.entry(from).or_insert_with(BltTrack::new);
+                if tf.state != CoupleState::Decoupled {
+                    r.push(
+                        "C",
+                        format!("{from:?}: CoupleHandoff from while {:?}", tf.state),
+                    );
+                }
+                let tt = track.entry(to).or_insert_with(BltTrack::new);
+                if tt.state != CoupleState::PendingCouple {
+                    r.push(
+                        "C",
+                        format!(
+                            "{to:?}: CoupleHandoff to without a pending request ({:?})",
+                            tt.state
+                        ),
+                    );
+                }
+            }
             TraceEvent::SyscallEnter { uc, sysno, coupled } => {
                 if !coupled && input.expect_coupled_syscalls && spawned.contains(&uc) {
                     decoupled_enters += 1;
@@ -429,6 +467,12 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
             totals_dispatch,
             input.stats.dispatches,
             "dispatches",
+        ),
+        (
+            "CoupleHandoff",
+            totals_handoff,
+            input.stats.handoffs,
+            "handoffs",
         ),
     ];
     for (event, traced, counted, counter) in e {

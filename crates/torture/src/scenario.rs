@@ -14,7 +14,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use ulp_core::{coupled_scope, decouple, sys, yield_now, Runtime};
+use ulp_core::{
+    coupled_scope, decouple, sys, yield_now, FutexLock, McsLock, RawUlpLock, Runtime, TasLock,
+    TicketLock, UlpLock,
+};
 use ulp_kernel::{Errno, Signal};
 
 /// A torture workload.
@@ -38,6 +41,11 @@ pub enum Scenario {
     /// Three workers handling a storm of `SIGUSR1` from the root while
     /// they couple and decouple.
     SignalStorm,
+    /// Four decoupled ULPs over two scheduler KCs hammering every lock
+    /// policy in the suite ([`ulp_core::RawUlpLock`]) in turn:
+    /// oversubscribed mutual exclusion, where a waiter that fails to
+    /// yield cooperatively starves the holder of a scheduler.
+    LockStorm,
 }
 
 impl Scenario {
@@ -48,6 +56,7 @@ impl Scenario {
         Scenario::MnSiblings,
         Scenario::PipeBlockers,
         Scenario::SignalStorm,
+        Scenario::LockStorm,
     ];
 
     /// Stable name (used in reports and for `--scenario` selection).
@@ -58,6 +67,7 @@ impl Scenario {
             Scenario::MnSiblings => "mn_siblings",
             Scenario::PipeBlockers => "pipe_blockers",
             Scenario::SignalStorm => "signal_storm",
+            Scenario::LockStorm => "lock_storm",
         }
     }
 
@@ -74,6 +84,7 @@ impl Scenario {
             Scenario::MnSiblings => 2,
             Scenario::PipeBlockers => 2,
             Scenario::SignalStorm => 1,
+            Scenario::LockStorm => 2,
         }
     }
 
@@ -87,6 +98,7 @@ impl Scenario {
             Scenario::MnSiblings => mn_siblings(rt, &fails),
             Scenario::PipeBlockers => pipe_blockers(rt, &fails),
             Scenario::SignalStorm => signal_storm(rt, &fails),
+            Scenario::LockStorm => lock_storm(rt, &fails),
         }
         fails.take()
     }
@@ -438,4 +450,61 @@ fn signal_storm(rt: &Runtime, fails: &Fails) {
     for h in &handles {
         h.wait();
     }
+}
+
+/// One lock policy's storm: `ulps` decoupled workers over the cell's two
+/// scheduler KCs, each looping lock/increment/unlock on one shared
+/// [`UlpLock`]. Mutual exclusion is verified by the final counter value
+/// (a torn increment under a broken lock shows up as a shortfall), and
+/// the periodic coupled pid check keeps the Table-I protocol in the loop
+/// while the lock churns — under chaos, some of those couples land as
+/// direct handoffs, which the oracle's conservation families then audit.
+fn lock_storm_one<R: RawUlpLock + 'static>(rt: &Runtime, fails: &Fails, ulps: usize, iters: u64) {
+    let lock = Arc::new(UlpLock::<u64, R>::new(0));
+    let mut handles = Vec::new();
+    for w in 0..ulps {
+        let l = lock.clone();
+        let f = fails.clone();
+        handles.push(rt.spawn(&format!("ls-{}-{w}", R::NAME), move || {
+            let my_pid = sys::getpid();
+            let _ = decouple();
+            for i in 0..iters {
+                *l.lock() += 1;
+                if i % 8 == 7 {
+                    match coupled_scope(|| sys::getpid()) {
+                        Ok(pid) if pid == my_pid => {}
+                        other => {
+                            f.push(format!("ls-{}-{w}: pid -> {other:?}", R::NAME));
+                        }
+                    }
+                }
+                yield_now();
+            }
+            0
+        }));
+    }
+    for h in &handles {
+        h.wait();
+    }
+    let total = *lock.lock();
+    let want = ulps as u64 * iters;
+    if total != want {
+        fails.push(format!(
+            "lock_storm[{}]: counter {total}, want {want}",
+            R::NAME
+        ));
+    }
+}
+
+/// Oversubscribed contention across the whole lock suite: four ULPs, two
+/// scheduler KCs, every [`RawUlpLock`] policy in turn. Iteration counts
+/// are small (trace-ring budget — see the module docs), but chaos yields
+/// and biased pops scramble the handover order plenty.
+fn lock_storm(rt: &Runtime, fails: &Fails) {
+    const ULPS: usize = 4;
+    const ITERS: u64 = 24;
+    lock_storm_one::<TasLock>(rt, fails, ULPS, ITERS);
+    lock_storm_one::<TicketLock>(rt, fails, ULPS, ITERS);
+    lock_storm_one::<McsLock>(rt, fails, ULPS, ITERS);
+    lock_storm_one::<FutexLock>(rt, fails, ULPS, ITERS);
 }
