@@ -16,10 +16,10 @@ use ulp_kernel::ArchProfile;
 /// (global `Stats` atomics, per-switch `Arc`/`RefCell` TLS traffic,
 /// mutex-guarded sigmask) on this host. Regenerate with
 /// `cargo run --release -p ulp-bench --bin bench1 -- --print-raw` at the
-/// baseline commit.
+/// baseline commit. Figures are the best (fastest) of two baseline runs on
+/// the reference host — the conservative comparison point for the
+/// improvement numbers.
 pub mod baseline {
-    //! Best (fastest) of two baseline runs on the reference host — the
-    //! conservative comparison point for the improvement figures.
     /// ns per yield, global FIFO (baseline).
     pub const YIELD_FIFO_NS: f64 = 207.9;
     /// ns per yield, work stealing (baseline).

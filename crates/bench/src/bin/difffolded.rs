@@ -1,0 +1,65 @@
+//! `difffolded` — differential flame profiles for before/after comparison.
+//!
+//! The benchmarking loop this serves: capture a collapsed-stack profile of
+//! a baseline run, change something (scheduler count, idle policy, a
+//! patch), capture again, and render *where the wall-clock moved*. Inputs
+//! are any two folded profiles the runtime emits — `ULP_PROFILE=<path>`
+//! shutdown dumps, `GET /profile` scrapes, or `/proc/ulp/metrics`-style
+//! in-simulation reads of `/proc/ulp/profile`.
+//!
+//! Output is the standard differential folded format, one line per stack
+//! seen in either input — `frames before_ns after_ns` — which is exactly
+//! what `flamegraph.pl --negate` (or inferno's `--negate`) consumes to
+//! paint regressions red and improvements blue:
+//!
+//! ```sh
+//! ULP_PROFILE=/tmp/before.folded cargo run --release --example pingpong
+//! # ...apply the change...
+//! ULP_PROFILE=/tmp/after.folded cargo run --release --example pingpong
+//! cargo run --release -p ulp-bench --bin difffolded -- \
+//!     /tmp/before.folded /tmp/after.folded > /tmp/diff.folded
+//! flamegraph.pl --negate /tmp/diff.folded > diff.svg
+//! ```
+//!
+//! The merge itself is [`ulp_core::diff_folded`]: stacks absent on one
+//! side get an explicit `0`, so a state that appears or vanishes entirely
+//! still renders at full width. See OBSERVABILITY.md, Recipe 3.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: difffolded BEFORE.folded AFTER.folded > diff.folded\n\
+         \n\
+         BEFORE/AFTER: collapsed-stack profiles (ULP_PROFILE dumps,\n\
+         /profile scrapes, or /proc/ulp/profile reads)\n\
+         output: `frames before_ns after_ns` per line, for\n\
+         flamegraph.pl --negate / inferno-flamegraph --negate"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 || args.iter().any(|a| a.starts_with('-')) {
+        return usage();
+    }
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let (before, after) = match (read(&args[0]), read(&args[1])) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("difffolded: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ulp_core::diff_folded(&before, &after) {
+        Ok(diff) => {
+            print!("{diff}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("difffolded: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -107,7 +107,7 @@ mod tests {
         let ns = measure_min(1000, || {
             std::hint::black_box(1 + 1);
         });
-        assert!(ns >= 0.0 && ns < 1e6, "per-op {ns} ns");
+        assert!((0.0..1e6).contains(&ns), "per-op {ns} ns");
     }
 
     #[test]
@@ -116,7 +116,7 @@ mod tests {
         let mut calls = 0u64;
         let ns = measure_min(100, || {
             calls += 1;
-            if calls % 97 == 0 {
+            if calls.is_multiple_of(97) {
                 std::thread::sleep(std::time::Duration::from_micros(50));
             }
         });

@@ -70,6 +70,7 @@ pub mod export;
 pub mod hist;
 pub mod kc;
 mod metrics_server;
+mod proc;
 pub mod profile;
 pub mod runqueue;
 pub mod runtime;
@@ -87,7 +88,10 @@ pub use couple::{couple, coupled_scope, decouple, is_coupled, pending_couplers, 
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text};
 pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
-pub use profile::{fold_profile, BltProfile, ProfileSnapshot, ProfileState};
+pub use profile::{
+    diff_folded, fold_profile, fold_profile_window, parse_collapsed, BltProfile, ProfileSnapshot,
+    ProfileState,
+};
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};

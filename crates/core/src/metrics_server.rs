@@ -14,7 +14,9 @@
 //!
 //! - `/metrics` (or `/`) — [`prometheus_text`] rendering.
 //! - `/profile` — collapsed-stack ("folded") profile text, ready for
-//!   inferno/flamegraph.pl/speedscope (see [`crate::profile`]).
+//!   inferno/flamegraph.pl/speedscope (see [`crate::profile`]); an optional
+//!   `?t0=..&t1=..` query restricts the fold to that trace window
+//!   (nanoseconds on the trace clock, end-exclusive, either edge omittable).
 //! - `/profile.json` — the structured [`crate::profile::ProfileSnapshot`].
 //! - `/trace` — Chrome-trace/Perfetto JSON of the current ring contents.
 //!
@@ -120,8 +122,36 @@ fn serve(listener: TcpListener, rt: Weak<RuntimeInner>, stop: Arc<AtomicBool>) {
     }
 }
 
-/// A route's renderer: content type + body from a live runtime.
-type Render = fn(&RuntimeInner) -> (&'static str, String);
+/// A route's renderer: content type + body from a live runtime. The second
+/// argument is the parsed `?t0=..&t1=..` trace window; routes without a
+/// time dimension ignore it.
+type Render = fn(&RuntimeInner, Option<(u64, u64)>) -> (&'static str, String);
+
+/// Parse `t0`/`t1` (nanoseconds on the trace clock) out of a query string.
+/// No window keys → `None` (full window); one key → the other edge is
+/// unbounded; unknown keys are ignored (scrapers love cache-busters);
+/// non-numeric values are an error the caller turns into a 400.
+fn parse_window(query: &str) -> Result<Option<(u64, u64)>, String> {
+    let (mut t0, mut t1) = (None, None);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
+        let slot = match k {
+            "t0" => &mut t0,
+            "t1" => &mut t1,
+            _ => continue,
+        };
+        *slot = Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("{k} must be an integer nanosecond offset, got {v:?}\n"))?,
+        );
+    }
+    Ok(match (t0, t1) {
+        (None, None) => None,
+        (a, b) => Some((a.unwrap_or(0), b.unwrap_or(u64::MAX))),
+    })
+}
 
 /// Read enough of the request to see the method + path, then respond and
 /// close (HTTP/1.0 semantics — no keep-alive, no chunking).
@@ -149,18 +179,22 @@ fn answer(stream: &mut TcpStream, rt: &Weak<RuntimeInner>) -> std::io::Result<()
             String::from("only GET is supported\n"),
         )
     } else {
-        let render: Option<Render> = match path {
+        let (route, query) = path.split_once('?').unwrap_or((path, ""));
+        let render: Option<Render> = match route {
             // Prometheus text exposition format version 0.0.4.
-            "/metrics" | "/" => Some(|rt| ("text/plain; version=0.0.4", rt.prometheus_render())),
-            "/profile" => Some(|rt| ("text/plain", rt.profile_collapsed())),
-            "/profile.json" => Some(|rt| ("application/json", rt.profile_json())),
-            "/trace" => Some(|rt| ("application/json", rt.trace_json())),
+            "/metrics" | "/" => Some(|rt, _| ("text/plain; version=0.0.4", rt.prometheus_render())),
+            // `/profile?t0=..&t1=..` folds only the given trace window
+            // (nanoseconds on the trace clock, end-exclusive).
+            "/profile" => Some(|rt, w| ("text/plain", rt.profile_collapsed_window(w))),
+            "/profile.json" => Some(|rt, _| ("application/json", rt.profile_json())),
+            "/trace" => Some(|rt, _| ("application/json", rt.trace_json())),
             _ => None,
         };
-        match render {
-            Some(render) => match rt.upgrade() {
+        match (render, parse_window(query)) {
+            (Some(_), Err(e)) => ("400 Bad Request", "text/plain", e),
+            (Some(render), Ok(window)) => match rt.upgrade() {
                 Some(rt) => {
-                    let (content_type, body) = render(&rt);
+                    let (content_type, body) = render(&rt, window);
                     ("200 OK", content_type, body)
                 }
                 None => (
@@ -169,7 +203,7 @@ fn answer(stream: &mut TcpStream, rt: &Weak<RuntimeInner>) -> std::io::Result<()
                     String::from("runtime has shut down\n"),
                 ),
             },
-            None => (
+            (None, _) => (
                 "404 Not Found",
                 "text/plain",
                 String::from("try /metrics, /profile, /profile.json or /trace\n"),

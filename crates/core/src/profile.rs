@@ -348,6 +348,26 @@ impl ProfileSnapshot {
     }
 }
 
+/// Merge two collapsed-stack texts into `difffolded`-style output: one
+/// `stack before_ns after_ns` line per stack appearing in either input,
+/// sorted. This is the input format of `flamegraph.pl --negate` (red/blue
+/// differential flames); stacks absent from one side get a 0 on that side.
+/// The `ulp-difffolded` bench binary wraps this for files on disk.
+pub fn diff_folded(before: &str, after: &str) -> Result<String, String> {
+    let mut merged: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (stack, v) in parse_collapsed(before)? {
+        merged.entry(stack).or_default().0 += v;
+    }
+    for (stack, v) in parse_collapsed(after)? {
+        merged.entry(stack).or_default().1 += v;
+    }
+    let mut out = String::new();
+    for (stack, (b, a)) in merged {
+        let _ = writeln!(out, "{stack} {b} {a}");
+    }
+    Ok(out)
+}
+
 /// Parse collapsed-stack text back into `(stack, value)` rows — the
 /// validation half of the format contract (tests, the CI smoke job and the
 /// torture oracle all re-check `/profile` output through this).
@@ -384,8 +404,35 @@ struct SysFrame {
     deep: bool,
 }
 
+/// A span's overlap with the fold window (its full length when unwindowed).
+fn clip(window: Option<(u64, u64)>, start: u64, end: u64) -> u64 {
+    match window {
+        None => end.saturating_sub(start),
+        Some((t0, t1)) => end.min(t1).saturating_sub(start.max(t0)),
+    }
+}
+
+/// Does a span `[start, end)` intersect the fold window? Gates span *counts*
+/// the same way [`clip`] gates span *time*, except that zero-length spans
+/// strictly inside the window still count.
+fn in_window(window: Option<(u64, u64)>, start: u64, end: u64) -> bool {
+    match window {
+        None => true,
+        Some((t0, t1)) => start < t1 && (end > t0 || (start == end && start >= t0)),
+    }
+}
+
+/// Is a point event inside the fold window?
+fn in_point(window: Option<(u64, u64)>, at: u64) -> bool {
+    match window {
+        None => true,
+        Some((t0, t1)) => at >= t0 && at < t1,
+    }
+}
+
 /// Per-BLT accumulation state.
 struct Builder {
+    window: Option<(u64, u64)>,
     start_ns: u64,
     end_ns: Option<u64>,
     states: [StateBucket; PROFILE_STATES],
@@ -405,8 +452,9 @@ struct Builder {
 }
 
 impl Builder {
-    fn new(start_ns: u64) -> Builder {
+    fn new(start_ns: u64, window: Option<(u64, u64)>) -> Builder {
         Builder {
+            window,
             start_ns,
             end_ns: None,
             states: [StateBucket::default(); PROFILE_STATES],
@@ -420,12 +468,18 @@ impl Builder {
     }
 
     /// Close the open span at `at` and optionally open the next state.
+    /// Spans are *counted* at close (equivalent to counting at open on a
+    /// full fold, since [`Builder::finish`] closes every straggler at the
+    /// horizon) so a windowed fold can count exactly the spans that
+    /// intersect its window.
     fn transition(&mut self, at: u64, next: Option<usize>) {
         if let Some((start, s)) = self.open.take() {
-            self.states[s].total_ns += at.saturating_sub(start);
+            self.states[s].total_ns += clip(self.window, start, at);
+            if in_window(self.window, start, at) {
+                self.states[s].spans += 1;
+            }
         }
         if let Some(s) = next {
-            self.states[s].spans += 1;
             self.open = Some((at, s));
         }
     }
@@ -442,8 +496,7 @@ impl Builder {
         if born_decoupled {
             if let Some((_, s)) = self.open.as_mut() {
                 if *s == COUPLED {
-                    self.states[COUPLED].spans -= 1;
-                    self.states[QUEUED].spans += 1;
+                    // Not yet counted: spans count at close, after relabel.
                     *s = QUEUED;
                 }
             }
@@ -452,7 +505,10 @@ impl Builder {
 
     fn close_kc(&mut self, at: u64) {
         if let Some(t0) = self.kc_open.take() {
-            self.states[KC_BLOCKED].total_ns += at.saturating_sub(t0);
+            self.states[KC_BLOCKED].total_ns += clip(self.window, t0, at);
+            if in_window(self.window, t0, at) {
+                self.states[KC_BLOCKED].spans += 1;
+            }
         }
     }
 
@@ -513,6 +569,22 @@ impl Builder {
 /// [`ProfileSnapshot`]. Records need not be pre-sorted; the fold sorts a
 /// copy by timestamp, exactly like the Perfetto export.
 pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
+    fold_profile_window(records, None)
+}
+
+/// Like [`fold_profile`], but restricted to the trace window `[t0, t1)`
+/// when one is given: every span contributes only the wall time
+/// overlapping the window, and only spans (and point events, like couple
+/// resumes) intersecting the window are counted. `None` is the full-window
+/// fold, byte-identical to [`fold_profile`].
+///
+/// `start_ns` / `end_ns` / `horizon_ns` stay raw trace timestamps — the
+/// window narrows *attribution*, not the recorded history — so windowed
+/// snapshots from the same trace remain comparable on one time axis. The
+/// reconciliation contract ([`ProfileSnapshot::reconcile`]) only holds for
+/// the full window: the runtime's histograms have no time dimension to
+/// narrow against.
+pub fn fold_profile_window(records: &[TraceRecord], window: Option<(u64, u64)>) -> ProfileSnapshot {
     let mut recs: Vec<&TraceRecord> = records.iter().collect();
     recs.sort_by_key(|r| r.at_ns);
     let horizon_ns = recs.last().map_or(0, |r| r.at_ns);
@@ -531,7 +603,9 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
         // its first event of any kind.
         macro_rules! blt {
             ($id:expr) => {
-                builders.entry($id.0).or_insert_with(|| Builder::new(at))
+                builders
+                    .entry($id.0)
+                    .or_insert_with(|| Builder::new(at, window))
             };
         }
         match r.event {
@@ -570,7 +644,9 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
             Event::Coupled(u) => {
                 let t = blt!(u);
                 t.resolve_birth(false);
-                t.coupled_resumes += 1;
+                if in_point(window, at) {
+                    t.coupled_resumes += 1;
+                }
                 t.close_kc(at);
                 t.transition(at, Some(COUPLED));
             }
@@ -586,10 +662,10 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
                 // A re-park without an intervening `Coupled` (spurious
                 // futex wake) closes the previous window here — the wake
                 // itself is not traced, so the awake gap is charged to the
-                // blocked track rather than invented.
+                // blocked track rather than invented. The span is counted
+                // at close (`close_kc`), like the lifecycle spans.
                 t.close_kc(at);
                 t.kc_open = Some(at);
-                t.states[KC_BLOCKED].spans += 1;
             }
             Event::Signal { .. } => {}
             // The handoff marker carries no lifetime of its own: the
@@ -619,7 +695,7 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
                     }
                     Some(_) => {
                         let frame = stack.pop().expect("guarded by last()");
-                        let dur = at.saturating_sub(frame.start_ns);
+                        let dur = clip(window, frame.start_ns, at);
                         if frame.deep {
                             // Beyond the recorder's nesting cap: balanced
                             // but never timed — fold nothing, like the
@@ -633,6 +709,12 @@ pub fn fold_profile(records: &[TraceRecord]) -> ProfileSnapshot {
                             if frame.state < LIFECYCLE_STATES {
                                 t.state_sys_ns[frame.state] += dur;
                             }
+                        }
+                        if !in_window(window, frame.start_ns, at) {
+                            // The span lies wholly outside the fold window:
+                            // no path row (dur is 0, so the child/state
+                            // bookkeeping above was a no-op too).
+                            continue;
                         }
                         let mut path: Vec<u16> = stack.iter().map(|f| f.sysno as u16).collect();
                         path.push(sysno as u16);
@@ -912,6 +994,90 @@ mod tests {
         let total: u64 = rows.iter().map(|(_, v)| v).sum();
         assert_eq!(total, p.get(BltId(4)).unwrap().flame_ns());
         assert!(text.contains("blt:4;coupled;syscall:getpid 30\n"));
+    }
+
+    #[test]
+    fn windowed_fold_clips_span_overlap() {
+        // fig6 spans (blt 4): coupled [0,100], queued [100,250],
+        // decoupled [250,400], coupling [400,600], coupled [600,800],
+        // kc_blocked [150,600].
+        let p = fold_profile_window(&fig6(), Some((200, 500)));
+        let b = p.get(BltId(4)).unwrap();
+        assert_eq!(b.state(ProfileState::Coupled).total_ns, 0);
+        assert_eq!(b.state(ProfileState::Coupled).spans, 0);
+        assert_eq!(b.state(ProfileState::Queued).total_ns, 50); // [200,250]
+        assert_eq!(b.state(ProfileState::Queued).spans, 1);
+        assert_eq!(b.state(ProfileState::Decoupled).total_ns, 150); // whole
+        assert_eq!(b.state(ProfileState::Coupling).total_ns, 100); // [400,500]
+        assert_eq!(b.state(ProfileState::KcBlocked).total_ns, 300); // [200,500]
+        assert_eq!(b.coupled_resumes, 0, "resume at 600 is past the window");
+        // Raw timeline fields are not clipped.
+        assert_eq!(b.start_ns, 0);
+        assert_eq!(b.end_ns, Some(800));
+        assert_eq!(p.horizon_ns, 800);
+        // Clipped lifecycle time = window width while the BLT is alive.
+        assert_eq!(b.lifecycle_ns(), 300);
+    }
+
+    #[test]
+    fn windowed_fold_none_matches_full_fold() {
+        let full = fold_profile(&fig6());
+        let windowed = fold_profile_window(&fig6(), None);
+        assert_eq!(full.collapsed(), windowed.collapsed());
+        let wide = fold_profile_window(&fig6(), Some((0, u64::MAX)));
+        assert_eq!(full.collapsed(), wide.collapsed());
+    }
+
+    #[test]
+    fn windowed_fold_clips_syscall_frames() {
+        let recs = vec![
+            rec(0, Event::Spawn(BltId(5))),
+            rec(
+                100,
+                Event::SyscallEnter {
+                    uc: BltId(5),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                },
+            ),
+            rec(
+                500,
+                Event::SyscallExit {
+                    uc: BltId(5),
+                    sysno: Sysno::Read,
+                    coupled: true,
+                    errno: 0,
+                },
+            ),
+            rec(600, Event::Terminate(BltId(5))),
+        ];
+        // Window covers half the syscall span.
+        let p = fold_profile_window(&recs, Some((300, 600)));
+        let b = p.get(BltId(5)).unwrap();
+        let read = &b.syscalls[0];
+        assert_eq!(read.count, 1);
+        assert_eq!(read.total_ns, 200); // [300,500]
+        assert_eq!(b.state(ProfileState::Coupled).total_ns, 300); // [300,600]
+        assert_eq!(b.state(ProfileState::Coupled).self_ns, 100);
+        // Window disjoint from the syscall: no path row at all.
+        let p = fold_profile_window(&recs, Some((500, 600)));
+        let b = p.get(BltId(5)).unwrap();
+        assert!(b.syscalls.is_empty());
+        assert_eq!(b.state(ProfileState::Coupled).self_ns, 100);
+    }
+
+    #[test]
+    fn diff_folded_merges_both_sides() {
+        let before = "blt:1;coupled 100\nblt:1;queued 50\n";
+        let after = "blt:1;coupled 300\nblt:2;decoupled 7\n";
+        let out = diff_folded(before, after).unwrap();
+        assert_eq!(
+            out,
+            "blt:1;coupled 100 300\nblt:1;queued 50 0\nblt:2;decoupled 0 7\n"
+        );
+        assert!(diff_folded("bad line", "").is_err());
+        assert!(diff_folded("", "also bad").is_err());
+        assert_eq!(diff_folded("", "").unwrap(), "");
     }
 
     #[test]

@@ -448,6 +448,7 @@ pub(crate) mod tests {
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
             wait_since: AtomicU64::new(0),
+            spawn_ns: 0,
         })
     }
 

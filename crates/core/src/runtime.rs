@@ -226,12 +226,41 @@ pub struct RuntimeInner {
     /// Live `/metrics` endpoint (see [`crate::metrics_server`]), present
     /// while serving.
     metrics: Mutex<Option<crate::metrics_server::MetricsServer>>,
+    /// Kernel identity → UC lookup for `/proc/<pid>/stat` enrichment: maps
+    /// a pid to the primary (identity-owning) UC carrying it. Weak so the
+    /// registry never extends a UC's life; dead entries are replaced on the
+    /// next registration for that pid and otherwise just fail to upgrade.
+    pub(crate) ucs: Mutex<std::collections::HashMap<u32, std::sync::Weak<UcInner>>>,
     next_id: AtomicU64,
 }
 
 impl RuntimeInner {
     pub(crate) fn alloc_id(&self) -> BltId {
         BltId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Register a UC in the pid → UC lookup used by the procfs provider.
+    /// Siblings share their primary's kernel identity and are skipped — the
+    /// pid row belongs to the UC that *owns* the identity. A live earlier
+    /// registration wins (thread-mode BLTs sharing a pid don't displace the
+    /// original); dead or terminated entries are replaced.
+    pub(crate) fn register_uc(&self, uc: &Arc<UcInner>) {
+        if uc.kind == UcKind::Sibling {
+            return;
+        }
+        let mut map = self.ucs.lock();
+        let stale = match map.get(&uc.pid.0).and_then(std::sync::Weak::upgrade) {
+            Some(cur) => cur.state() == UcState::Terminated,
+            None => true,
+        };
+        if stale {
+            map.insert(uc.pid.0, Arc::downgrade(uc));
+        }
+    }
+
+    /// The registered (live) UC carrying `pid`, if any.
+    pub(crate) fn uc_for_pid(&self, pid: u32) -> Option<Arc<UcInner>> {
+        self.ucs.lock().get(&pid).and_then(std::sync::Weak::upgrade)
     }
 
     /// Record a consistency violation per the configured mode.
@@ -262,6 +291,14 @@ impl RuntimeInner {
     /// `/profile` endpoint body). Non-destructive.
     pub(crate) fn profile_collapsed(&self) -> String {
         crate::profile::fold_profile(&self.tracer.snapshot()).collapsed()
+    }
+
+    /// Like [`RuntimeInner::profile_collapsed`] but restricted to the trace
+    /// window `[t0, t1)` (nanoseconds on the trace clock) when one is given:
+    /// each span contributes only its overlap with the window. Backs the
+    /// `/profile?t0=..&t1=..` query form.
+    pub(crate) fn profile_collapsed_window(&self, window: Option<(u64, u64)>) -> String {
+        crate::profile::fold_profile_window(&self.tracer.snapshot(), window).collapsed()
     }
 
     /// Fold the tracer's current contents into the structured profile JSON
@@ -329,6 +366,10 @@ impl Runtime {
         // Route the simulated kernel's syscall enter/exit callbacks into the
         // per-KC trace shards (process-global, idempotent).
         crate::trace::install_kernel_observer();
+        // Back the kernel's /proc files with this crate's runtime state
+        // (process-global, idempotent; routes per-thread via the
+        // thread-local runtime, so multiple runtimes coexist).
+        crate::proc::install_provider();
         let inner = Arc::new(RuntimeInner {
             runq,
             stats: Stats::default(),
@@ -341,6 +382,7 @@ impl Runtime {
             trace_dump: Mutex::new(trace_dump),
             profile_dump: Mutex::new(profile_dump),
             metrics: Mutex::new(None),
+            ucs: Mutex::new(std::collections::HashMap::new()),
             next_id: AtomicU64::new(1),
             kernel,
             config,
@@ -597,7 +639,9 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
         sib_result: Arc::new(OneShot::new()),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         wait_since: AtomicU64::new(0),
+        spawn_ns: crate::trace::now_ns(),
     });
+    rt.register_uc(&identity);
     set_runtime(rt.clone());
     set_host(Some(identity.clone()));
     set_current_ulp(Some(identity.clone()));

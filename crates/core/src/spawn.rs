@@ -182,8 +182,10 @@ impl Runtime {
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
             wait_since: AtomicU64::new(0),
+            spawn_ns: crate::trace::now_ns(),
         });
 
+        rt.register_uc(&uc);
         rt.tracer.record(crate::trace::Event::Spawn(uc.id));
         let thread_uc = uc.clone();
         let thread_rt = rt.clone();
@@ -330,7 +332,9 @@ fn spawn_sibling_inner(
         sib_result: result.clone(),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         wait_since: AtomicU64::new(0),
+        spawn_ns: crate::trace::now_ns(),
     });
+    rt.register_uc(&uc);
     rt.tracer.record(crate::trace::Event::Spawn(uc.id));
     // Bootstrap the context: entry receives a raw Arc it adopts.
     let raw = Arc::into_raw(uc.clone()) as *mut u8;

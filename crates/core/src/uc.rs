@@ -359,6 +359,9 @@ pub struct UcInner {
     /// (swapped to 0) by whichever thread resumes the UC; only touched while
     /// the trace gate is on, so it costs nothing when tracing is off.
     pub wait_since: AtomicU64,
+    /// `now_ns()` at spawn, on the trace clock; surfaced in
+    /// `/proc/<pid>/stat` so a ULP can date itself from inside.
+    pub spawn_ns: u64,
 }
 
 unsafe impl Send for UcInner {}

@@ -293,6 +293,70 @@ fn profile_and_trace_routes_serve_live_views() {
     assert_eq!(rt.trace_dropped(), 0);
 }
 
+/// The time-windowed profile route: `/profile?t0=..&t1=..` folds only the
+/// given trace window. An unbounded window is byte-identical to the plain
+/// route, unknown query keys are ignored, malformed values are a 400 —
+/// and splitting the trace at an interior timestamp yields two windows
+/// whose per-stack self-times sum back exactly to the full fold (the
+/// clipping is additive, not approximate).
+#[test]
+fn profile_route_honors_time_windows() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+    rt.trace_enable();
+
+    let h = rt.spawn("windowed", || {
+        ulp_core::decouple().unwrap();
+        for _ in 0..5 {
+            ulp_core::yield_now();
+            ulp_core::coupled_scope(|| ulp_core::sys::getpid().unwrap()).unwrap();
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    rt.trace_disable(); // freeze the rings so every scrape folds the same records
+
+    let (status, full) = scrape(addr, "/profile", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let (status, unbounded) = scrape(addr, &format!("/profile?t0=0&t1={}", u64::MAX), "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_eq!(full, unbounded, "unbounded window must equal the full fold");
+    let (status, cachebusted) = scrape(addr, "/profile?refresh=1", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_eq!(full, cachebusted, "unknown query keys must be ignored");
+
+    let (status, err) = scrape(addr, "/profile?t0=abc", "GET");
+    assert!(
+        status.contains("400"),
+        "bad status for bad window: {status}"
+    );
+    assert!(err.contains("t0"), "error names the bad key: {err}");
+
+    // Split at an interior trace timestamp and check additivity.
+    let records = rt.trace_snapshot();
+    let mid = records[records.len() / 2].at_ns;
+    let (status, before) = scrape(addr, &format!("/profile?t1={mid}"), "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let (status, after) = scrape(addr, &format!("/profile?t0={mid}"), "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+
+    let mut summed = std::collections::HashMap::new();
+    for body in [&before, &after] {
+        for (stack, v) in ulp_core::profile::parse_collapsed(body).expect("window parses") {
+            *summed.entry(stack).or_insert(0u64) += v;
+        }
+    }
+    let full_rows = ulp_core::profile::parse_collapsed(&full).expect("full fold parses");
+    assert!(!full_rows.is_empty(), "traced workload folded to nothing");
+    for (stack, v) in full_rows {
+        assert_eq!(
+            summed.get(&stack).copied().unwrap_or(0),
+            v,
+            "window halves do not sum to the full fold for {stack:?}"
+        );
+    }
+}
+
 /// The syscall-latency snapshot must survive runtime shutdown: a harness
 /// reports *after* tearing the runtime down, and the observability docs
 /// promise the snapshot is a plain value with no live dependencies.

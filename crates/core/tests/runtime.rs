@@ -260,8 +260,7 @@ fn couple_decouple_cost_accounting() {
     let before = rt.stats().snapshot();
     let h = rt.spawn("acct2", || {
         decouple().unwrap();
-        let snap_before = coupled_scope(|| ()).unwrap();
-        let _ = snap_before;
+        coupled_scope(|| ()).unwrap();
         0
     });
     h.wait();

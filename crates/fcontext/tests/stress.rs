@@ -84,7 +84,7 @@ fn stack_pool_contended_across_threads() {
             let acquired = acquired.clone();
             std::thread::spawn(move || {
                 for i in 0..200 {
-                    let size = 16 * 1024 << (i % 3);
+                    let size = (16 * 1024) << (i % 3);
                     let stack = pool.acquire(size).unwrap();
                     assert!(stack.usable_size() >= size);
                     // Touch the stack to catch mapping errors.
@@ -131,8 +131,8 @@ fn payload_extremes_roundtrip() {
         assert_eq!(first, usize::MAX);
         let z = sus.suspend(0);
         assert_eq!(z, 0);
-        let p = sus.suspend(usize::MAX - 1);
-        p
+
+        sus.suspend(usize::MAX - 1)
     })
     .unwrap();
     assert_eq!(f.resume(usize::MAX), Resume::Yield(0));

@@ -198,8 +198,8 @@ impl Kernel {
     /// The buffer is shared, not copied — like glibc, which reads the user's
     /// buffer from the helper thread (submission is O(1) regardless of size).
     pub fn aio_write(self: &Arc<Self>, fd: Fd, offset: u64, data: Arc<Vec<u8>>) -> KResult<Aiocb> {
-        let pid = self.current_pid().ok_or(Errno::ESRCH)?;
-        self.syscall_span(Sysno::AioWrite, pid, || {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::AioWrite, pid, &proc, || {
             let cb = Aiocb::new();
             self.aio_service()
                 .tx
@@ -216,8 +216,8 @@ impl Kernel {
 
     /// `aio_read(3)`: positional asynchronous read of `len` bytes.
     pub fn aio_read(self: &Arc<Self>, fd: Fd, offset: u64, len: usize) -> KResult<Aiocb> {
-        let pid = self.current_pid().ok_or(Errno::ESRCH)?;
-        self.syscall_span(Sysno::AioRead, pid, || {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::AioRead, pid, &proc, || {
             let cb = Aiocb::new();
             self.aio_service()
                 .tx

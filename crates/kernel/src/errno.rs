@@ -33,6 +33,8 @@ pub enum Errno {
     EFAULT = 14,
     /// File exists.
     EEXIST = 17,
+    /// Cross-device link (the operation would span two mounts).
+    EXDEV = 18,
     /// Not a directory.
     ENOTDIR = 20,
     /// Is a directory.
@@ -47,6 +49,8 @@ pub enum Errno {
     ENOSPC = 28,
     /// Illegal seek.
     ESPIPE = 29,
+    /// Read-only file system.
+    EROFS = 30,
     /// Broken pipe.
     EPIPE = 32,
     /// Directory not empty.
@@ -75,6 +79,7 @@ impl Errno {
             Errno::EACCES => "EACCES",
             Errno::EFAULT => "EFAULT",
             Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
             Errno::ENOTDIR => "ENOTDIR",
             Errno::EISDIR => "EISDIR",
             Errno::EINVAL => "EINVAL",
@@ -82,6 +87,7 @@ impl Errno {
             Errno::EMFILE => "EMFILE",
             Errno::ENOSPC => "ENOSPC",
             Errno::ESPIPE => "ESPIPE",
+            Errno::EROFS => "EROFS",
             Errno::EPIPE => "EPIPE",
             Errno::ENOTEMPTY => "ENOTEMPTY",
             Errno::ETIMEDOUT => "ETIMEDOUT",

@@ -9,7 +9,7 @@
 //! mode `couple()`/`decouple()` exists to prevent.
 
 use crate::errno::{Errno, KResult};
-use crate::fs::{Ino, OpenFlags};
+use crate::fs::{FileSystem, Ino, OpenFlags};
 use crate::pipe::{PipeReader, PipeWriter};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -26,8 +26,15 @@ pub struct Fd(pub i32);
 /// [`crate::trace`]).
 #[derive(Debug)]
 pub enum FileObject {
-    /// A tmpfs file or directory.
-    Tmpfs(Ino),
+    /// A file or directory on a mounted filesystem (tmpfs, procfs, …).
+    /// The description pins the filesystem it was opened on, so reads keep
+    /// working against the right mount even if the table changes.
+    File {
+        /// The filesystem the inode lives on.
+        fs: Arc<dyn FileSystem>,
+        /// The inode within that filesystem.
+        ino: Ino,
+    },
     /// Read end of a pipe (blocking reads may sleep the calling KC).
     PipeRead(PipeReader),
     /// Write end of a pipe (blocking writes may sleep the calling KC).
@@ -154,8 +161,9 @@ mod tests {
     use super::*;
 
     fn file_desc(ino: u64) -> DescriptionRef {
+        let fs: Arc<dyn FileSystem> = Arc::new(crate::fs::Tmpfs::new());
         Arc::new(Description {
-            object: FileObject::Tmpfs(Ino(ino)),
+            object: FileObject::File { fs, ino: Ino(ino) },
             offset: Mutex::new(0),
             flags: OpenFlags::RDWR,
         })
@@ -208,7 +216,7 @@ mod tests {
         let a = t.install(file_desc(1)).unwrap();
         let b = t.install(file_desc(2)).unwrap();
         let old = t.dup2(a, b).unwrap().expect("b was occupied");
-        assert!(matches!(old.object, FileObject::Tmpfs(Ino(2))));
+        assert!(matches!(old.object, FileObject::File { ino: Ino(2), .. }));
         let now = t.get(b).unwrap();
         assert!(Arc::ptr_eq(&now, &t.get(a).unwrap()));
     }

@@ -1,4 +1,4 @@
-//! In-memory filesystem (tmpfs) for the simulated kernel.
+//! Filesystems for the simulated kernel: tmpfs, procfs, and the mount seam.
 //!
 //! The paper's AIO-vs-ULP evaluation (Figs. 7–8) opens, writes and closes
 //! files "on the tmpfs file system to exclude the variation of actual disk
@@ -7,12 +7,22 @@
 //! memory and `write` really copies the caller's buffer, so the measured
 //! duration scales with buffer size exactly as on the paper's testbed, minus
 //! the (injected) syscall-entry cost.
+//!
+//! Since PR 7, the tmpfs is just the `/` implementation behind a minimal
+//! mount seam ([`FileSystem`] + [`MountTable`], see [`vfs`](self)): path
+//! resolution dispatches on the longest mounted prefix, and a read-only
+//! [`ProcFs`] is mounted at `/proc` to expose the live runtime to its own
+//! ULPs.
 
 mod path;
+mod procfs;
 mod tmpfs;
+mod vfs;
 
-pub use path::{normalize, split_parent};
+pub use path::{normalize, split_parent, strip_prefix};
+pub use procfs::{install_proc_provider, ProcFs, ProcProvider, ProcSource};
 pub use tmpfs::{DirEntry, FileStat, Ino, IoModel, Tmpfs};
+pub use vfs::{FileSystem, Mount, MountTable};
 
 /// Open flags, mirroring the POSIX `O_*` constants the paper's benchmark
 /// uses (`open(O_CREAT|O_WRONLY|O_TRUNC)`).

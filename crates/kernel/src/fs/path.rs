@@ -26,6 +26,20 @@ pub fn split_parent(comps: &[String]) -> Option<(&[String], &str)> {
     Some((parent, last.as_str()))
 }
 
+/// If `comps` lies under `prefix`, return the remainder (the mount-relative
+/// components). This is the longest-prefix dispatch primitive of the mount
+/// table: `/proc/self/stat` against the prefix `["proc"]` yields
+/// `["self", "stat"]`; the empty prefix (the root mount) matches everything.
+pub fn strip_prefix<'a>(comps: &'a [String], prefix: &[String]) -> Option<&'a [String]> {
+    if comps.len() < prefix.len() {
+        return None;
+    }
+    if comps[..prefix.len()] != *prefix {
+        return None;
+    }
+    Some(&comps[prefix.len()..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +68,23 @@ mod tests {
     #[test]
     fn duplicate_slashes_collapse() {
         assert_eq!(n("/", "//x///y"), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn strip_prefix_dispatches_mounts() {
+        let comps = n("/", "/proc/self/stat");
+        let proc_prefix = vec!["proc".to_string()];
+        assert_eq!(
+            strip_prefix(&comps, &proc_prefix),
+            Some(&["self".to_string(), "stat".to_string()][..])
+        );
+        // The empty (root) prefix matches everything.
+        assert_eq!(strip_prefix(&comps, &[]), Some(&comps[..]));
+        // The mount point itself strips to the empty remainder.
+        assert_eq!(strip_prefix(&proc_prefix, &proc_prefix), Some(&[][..]));
+        // Non-prefixes and sibling paths do not match.
+        assert_eq!(strip_prefix(&n("/", "/prox/x"), &proc_prefix), None);
+        assert_eq!(strip_prefix(&[], &proc_prefix), None);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! A read-only procfs: the simulated kernel's runtime state as files.
+//!
+//! Mounted at `/proc` by [`crate::Kernel::new`], this filesystem turns the
+//! observability stack into an in-simulation API — a ULP can `open` and
+//! `read` its own scheduler telemetry through the ordinary syscall path
+//! instead of an out-of-band HTTP scrape:
+//!
+//! - `/proc/<pid>/stat`, `/proc/self/stat` — one line of kernel-side
+//!   process state (name, R/Z state, ppid, open fds, cwd, completed
+//!   syscalls), extended with the runtime's ULP view (BLT id, Table-I
+//!   couple state, kernel-context id, spawn time) when a runtime is
+//!   attached.
+//! - `/proc/ulp/metrics` — the exact Prometheus exposition the external
+//!   `/metrics` endpoint serves.
+//! - `/proc/ulp/profile` — the collapsed-stack profile fold.
+//! - `/proc/ulp/stat` — runtime-wide scheduler counters, one per line.
+//!
+//! ## Content is frozen at `open()`
+//!
+//! File bodies are generated **lazily at `open()`** and pinned to the
+//! descriptor until `close()`. Reads then serve immutable bytes, so partial
+//! reads, seeks, `dup2`'d descriptors and injected `EINTR`/short reads can
+//! never observe a torn in-between state — the same snapshot semantics
+//! Linux procfs gives within a single open file description. The snapshot
+//! is taken *before* the opening syscall itself is counted (syscall
+//! counters commit at exit), which is what makes a ULP `cat`ing
+//! `/proc/ulp/metrics` agree byte-for-byte with an external scrape taken
+//! under quiesce.
+//!
+//! ## The provider hook
+//!
+//! The kernel crate sits below `ulp-core` and knows nothing about BLTs,
+//! couple state or Prometheus rendering. Runtime-sourced content arrives
+//! through a process-global [`ProcProvider`] callback, installed once by
+//! `ulp-core` at runtime construction (mirroring the syscall-observer hook
+//! in [`crate::trace`]). The provider routes per OS thread, so multiple
+//! runtimes coexist; with no provider installed (kernel used standalone)
+//! the `ulp` files degrade to a placeholder and `stat` serves only the
+//! kernel-side fields.
+
+use super::tmpfs::{DirEntry, FileStat, Ino};
+use super::{FileSystem, OpenFlags};
+use crate::errno::{Errno, KResult};
+use crate::kernel::Kernel;
+use crate::process::{Pid, ProcState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, Weak};
+
+/// Which runtime-sourced document the procfs is asking the provider for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcSource {
+    /// The Prometheus text exposition (`/proc/ulp/metrics`).
+    Metrics,
+    /// The collapsed-stack profile fold (`/proc/ulp/profile`).
+    Profile,
+    /// Runtime-wide scheduler counters (`/proc/ulp/stat`).
+    RuntimeStat,
+    /// Extra per-process fields appended to `/proc/<pid>/stat` (BLT id,
+    /// couple state, kernel context, spawn time).
+    PidExtra(Pid),
+}
+
+/// The provider callback: return the document for `source`, or `None` when
+/// the calling OS thread has no runtime attached (or the runtime has no
+/// ULP matching a [`ProcSource::PidExtra`] request). Called on the issuing
+/// thread, synchronously, under **no** procfs lock — it may freely take
+/// runtime-internal locks.
+pub type ProcProvider = fn(ProcSource) -> Option<String>;
+
+static PROVIDER: OnceLock<ProcProvider> = OnceLock::new();
+
+/// Install the process-global procfs content provider. First installation
+/// wins; later calls are no-ops (every runtime construction installs the
+/// same per-thread router, exactly like the syscall observer).
+pub fn install_proc_provider(f: ProcProvider) {
+    let _ = PROVIDER.set(f);
+}
+
+/// Ask the installed provider, if any.
+fn provide(source: ProcSource) -> Option<String> {
+    PROVIDER.get().and_then(|f| f(source))
+}
+
+/// Placeholder body for `ulp` files when no runtime is attached.
+const NO_RUNTIME: &str = "# ulp runtime not attached\n";
+
+// Stable inode numbers for the synthetic tree. Directories and files keep
+// fixed identities; per-open content handles live above `OPEN_INO_BASE`.
+const INO_ROOT: Ino = Ino(0);
+const INO_ULP_DIR: Ino = Ino(1);
+const INO_ULP_METRICS: Ino = Ino(2);
+const INO_ULP_PROFILE: Ino = Ino(3);
+const INO_ULP_STAT: Ino = Ino(4);
+const PID_DIR_BASE: u64 = 0x1_0000;
+const PID_STAT_BASE: u64 = 0x2_0000;
+/// Inos at or above this are per-open frozen-content handles.
+const OPEN_INO_BASE: u64 = 1 << 32;
+
+/// What a normalized mount-relative path names inside the procfs tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    /// `/proc` itself.
+    Root,
+    /// `/proc/<pid>` (also what `/proc/self` resolves to).
+    PidDir(Pid),
+    /// `/proc/<pid>/stat` (and `/proc/self/stat`).
+    PidStat(Pid),
+    /// `/proc/ulp`.
+    UlpDir,
+    /// One of the three `/proc/ulp/*` files.
+    UlpFile(ProcSource),
+}
+
+impl Node {
+    fn is_dir(self) -> bool {
+        matches!(self, Node::Root | Node::PidDir(_) | Node::UlpDir)
+    }
+
+    fn ino(self) -> Ino {
+        match self {
+            Node::Root => INO_ROOT,
+            Node::UlpDir => INO_ULP_DIR,
+            Node::UlpFile(ProcSource::Metrics) => INO_ULP_METRICS,
+            Node::UlpFile(ProcSource::Profile) => INO_ULP_PROFILE,
+            Node::UlpFile(ProcSource::RuntimeStat) => INO_ULP_STAT,
+            Node::UlpFile(ProcSource::PidExtra(pid)) | Node::PidStat(pid) => {
+                Ino(PID_STAT_BASE + pid.0 as u64)
+            }
+            Node::PidDir(pid) => Ino(PID_DIR_BASE + pid.0 as u64),
+        }
+    }
+}
+
+/// The procfs: a [`Weak`] back-reference to its kernel (for the process
+/// table and the calling thread's binding) plus the table of per-open
+/// frozen file bodies.
+pub struct ProcFs {
+    kernel: Weak<Kernel>,
+    /// Per-open frozen content, keyed by the handle ino. Never held while
+    /// generating content (the provider may block on runtime locks).
+    open_files: Mutex<HashMap<u64, String>>,
+    next_open_ino: AtomicU64,
+}
+
+impl std::fmt::Debug for ProcFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcFs")
+            .field("open_files", &self.open_files.lock().len())
+            .finish()
+    }
+}
+
+impl ProcFs {
+    /// Create a procfs serving `kernel`'s state. The kernel constructs this
+    /// inside `Arc::new_cyclic`, so only a [`Weak`] handle exists here —
+    /// the procfs can never keep its own kernel alive.
+    pub(crate) fn new(kernel: Weak<Kernel>) -> ProcFs {
+        ProcFs {
+            kernel,
+            open_files: Mutex::new(HashMap::new()),
+            next_open_ino: AtomicU64::new(OPEN_INO_BASE),
+        }
+    }
+
+    fn kernel(&self) -> KResult<std::sync::Arc<Kernel>> {
+        self.kernel.upgrade().ok_or(Errno::ENOENT)
+    }
+
+    /// Map a normalized mount-relative path to a tree node. `self` resolves
+    /// through the calling OS thread's process binding; dead (reaped)
+    /// pids are `ENOENT`.
+    fn classify(&self, rel: &[String]) -> KResult<Node> {
+        let pid_of = |name: &str| -> KResult<Pid> {
+            if name == "self" {
+                return self.kernel()?.current_pid().ok_or(Errno::ENOENT);
+            }
+            let raw: u32 = name.parse().map_err(|_| Errno::ENOENT)?;
+            Ok(Pid(raw))
+        };
+        match rel {
+            [] => Ok(Node::Root),
+            [d] if d == "ulp" => Ok(Node::UlpDir),
+            [d, f] if d == "ulp" => match f.as_str() {
+                "metrics" => Ok(Node::UlpFile(ProcSource::Metrics)),
+                "profile" => Ok(Node::UlpFile(ProcSource::Profile)),
+                "stat" => Ok(Node::UlpFile(ProcSource::RuntimeStat)),
+                _ => Err(Errno::ENOENT),
+            },
+            [p] => {
+                let pid = pid_of(p)?;
+                self.kernel()?.process(pid).ok_or(Errno::ENOENT)?;
+                Ok(Node::PidDir(pid))
+            }
+            [p, f] if f == "stat" => {
+                let pid = pid_of(p)?;
+                self.kernel()?.process(pid).ok_or(Errno::ENOENT)?;
+                Ok(Node::PidStat(pid))
+            }
+            _ => Err(Errno::ENOENT),
+        }
+    }
+
+    /// Generate a file node's current body. Runs outside every procfs lock.
+    fn generate(&self, node: Node) -> KResult<String> {
+        match node {
+            Node::PidStat(pid) => self.pid_stat(pid),
+            Node::UlpFile(src) => Ok(provide(src).unwrap_or_else(|| NO_RUNTIME.to_string())),
+            _ => Err(Errno::EISDIR),
+        }
+    }
+
+    /// The `/proc/<pid>/stat` line: kernel-side fields, then whatever the
+    /// runtime provider wants to append for this pid.
+    fn pid_stat(&self, pid: Pid) -> KResult<String> {
+        let kernel = self.kernel()?;
+        let proc = kernel.process(pid).ok_or(Errno::ENOENT)?;
+        let state = match proc.state() {
+            ProcState::Running => 'R',
+            ProcState::Zombie(_) => 'Z',
+        };
+        let mut line = format!(
+            "{} ({}) {state} ppid={} fds={} cwd={} syscalls={}",
+            pid.0,
+            &*proc.name.lock(),
+            proc.ppid.map_or(0, |p| p.0),
+            proc.fds.lock().open_count(),
+            &*proc.cwd.lock(),
+            proc.syscalls.load(Ordering::Relaxed),
+        );
+        if let Some(extra) = provide(ProcSource::PidExtra(pid)) {
+            line.push(' ');
+            line.push_str(&extra);
+        }
+        line.push('\n');
+        Ok(line)
+    }
+
+    /// Live (or zombie, i.e. not yet reaped) pids, ascending.
+    fn pids(&self) -> KResult<Vec<Pid>> {
+        let kernel = self.kernel()?;
+        let mut pids: Vec<Pid> = kernel.procs.lock().keys().copied().collect();
+        pids.sort();
+        Ok(pids)
+    }
+}
+
+impl FileSystem for ProcFs {
+    fn fs_name(&self) -> &'static str {
+        "proc"
+    }
+
+    fn open_rel(&self, rel: &[String], flags: OpenFlags) -> KResult<Ino> {
+        let node = match self.classify(rel) {
+            Ok(n) => n,
+            // Creating a file is a write: a read-only fs refuses it even
+            // where plain lookup would say ENOENT.
+            Err(Errno::ENOENT) if flags.contains(OpenFlags::CREAT) => return Err(Errno::EROFS),
+            Err(e) => return Err(e),
+        };
+        if node.is_dir() {
+            if flags.writable() {
+                return Err(Errno::EISDIR);
+            }
+            return Ok(node.ino());
+        }
+        if flags.writable() {
+            return Err(Errno::EROFS);
+        }
+        // Freeze the body now, before taking the open-file table lock.
+        let content = self.generate(node)?;
+        let ino = Ino(self.next_open_ino.fetch_add(1, Ordering::Relaxed));
+        self.open_files.lock().insert(ino.0, content);
+        Ok(ino)
+    }
+
+    fn resolve_rel(&self, rel: &[String]) -> KResult<Ino> {
+        Ok(self.classify(rel)?.ino())
+    }
+
+    fn stat_rel(&self, rel: &[String]) -> KResult<FileStat> {
+        let node = self.classify(rel)?;
+        let size = match node {
+            Node::Root => self.pids()?.len() as u64 + 2, // pid dirs + self + ulp
+            Node::PidDir(_) => 1,
+            Node::UlpDir => 3,
+            _ => self.generate(node)?.len() as u64,
+        };
+        Ok(FileStat {
+            ino: node.ino(),
+            size,
+            is_dir: node.is_dir(),
+            nlink: 1,
+        })
+    }
+
+    fn mkdir_rel(&self, _rel: &[String]) -> KResult<Ino> {
+        Err(Errno::EROFS)
+    }
+
+    fn unlink_rel(&self, _rel: &[String]) -> KResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rmdir_rel(&self, _rel: &[String]) -> KResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn link_rel(&self, _existing: &[String], _new: &[String]) -> KResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn rename_rel(&self, _from: &[String], _to: &[String]) -> KResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn readdir_rel(&self, rel: &[String]) -> KResult<Vec<DirEntry>> {
+        let dir_entry = |name: &str, node: Node| DirEntry {
+            name: name.to_string(),
+            ino: node.ino(),
+            is_dir: node.is_dir(),
+        };
+        match self.classify(rel)? {
+            Node::Root => {
+                let mut out: Vec<DirEntry> = self
+                    .pids()?
+                    .into_iter()
+                    .map(|pid| dir_entry(&pid.0.to_string(), Node::PidDir(pid)))
+                    .collect();
+                if let Some(me) = self.kernel()?.current_pid() {
+                    out.push(dir_entry("self", Node::PidDir(me)));
+                }
+                out.push(dir_entry("ulp", Node::UlpDir));
+                Ok(out)
+            }
+            Node::PidDir(pid) => Ok(vec![dir_entry("stat", Node::PidStat(pid))]),
+            Node::UlpDir => Ok(vec![
+                dir_entry("metrics", Node::UlpFile(ProcSource::Metrics)),
+                dir_entry("profile", Node::UlpFile(ProcSource::Profile)),
+                dir_entry("stat", Node::UlpFile(ProcSource::RuntimeStat)),
+            ]),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn read_at(&self, ino: Ino, offset: u64, buf: &mut [u8]) -> KResult<usize> {
+        if ino.0 < OPEN_INO_BASE {
+            return Err(Errno::EISDIR);
+        }
+        let files = self.open_files.lock();
+        let content = files.get(&ino.0).ok_or(Errno::EBADF)?.as_bytes();
+        let off = offset as usize;
+        if off >= content.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(content.len() - off);
+        buf[..n].copy_from_slice(&content[off..off + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, _ino: Ino, _offset: u64, _src: &[u8]) -> KResult<usize> {
+        Err(Errno::EROFS)
+    }
+
+    fn size(&self, ino: Ino) -> KResult<u64> {
+        if ino.0 < OPEN_INO_BASE {
+            return Err(Errno::EISDIR);
+        }
+        let files = self.open_files.lock();
+        Ok(files.get(&ino.0).ok_or(Errno::EBADF)?.len() as u64)
+    }
+
+    fn truncate(&self, _ino: Ino, _len: u64) -> KResult<()> {
+        Err(Errno::EROFS)
+    }
+
+    fn release(&self, ino: Ino) {
+        if ino.0 >= OPEN_INO_BASE {
+            self.open_files.lock().remove(&ino.0);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The mount seam: a [`FileSystem`] trait plus a small longest-prefix
+//! [`MountTable`].
+//!
+//! The simulated kernel used to hard-wire a single [`Tmpfs`]; every file
+//! syscall called its inherent methods directly. This module introduces the
+//! minimal indirection needed to hang other filesystems (first of all the
+//! procfs at `/proc`) off the same syscall surface:
+//!
+//! - [`FileSystem`] splits the tmpfs API into *inode* operations (reads and
+//!   writes against an already-opened [`Ino`]) and *path* operations that
+//!   take **normalized component slices relative to the mount root** (the
+//!   `_rel` suffix). The kernel normalizes `(cwd, path)` once, the mount
+//!   table strips the mount prefix, and the filesystem never sees absolute
+//!   strings it would have to re-parse.
+//! - [`MountTable`] dispatches a normalized component list to the mount
+//!   with the longest matching prefix ([`strip_prefix`]); the root mount
+//!   (empty prefix) always matches, so resolution can't fail to find *a*
+//!   filesystem. Operations that would span two mounts (`link`, `rename`)
+//!   are refused with `EXDEV` by the kernel before either side runs.
+//!
+//! [`Tmpfs`] implements the trait by joining the component slice back into
+//! an absolute path against its own root — its inherent string API (and
+//! every existing caller of it) is unchanged.
+
+use super::tmpfs::{DirEntry, FileStat, Ino, Tmpfs};
+use super::{path::strip_prefix, OpenFlags};
+use crate::errno::KResult;
+use std::sync::Arc;
+
+/// A mountable filesystem: the seam between the syscall layer and a
+/// concrete file store.
+///
+/// Path-taking methods receive components already normalized (no `.`/`..`,
+/// no empty segments) and already stripped of the mount prefix — an empty
+/// slice is the mount root itself.
+pub trait FileSystem: Send + Sync + std::fmt::Debug {
+    /// Short filesystem-type name (diagnostics: `tmpfs`, `proc`).
+    fn fs_name(&self) -> &'static str;
+
+    /// Open (and possibly create/truncate) the file at `rel`; returns its
+    /// inode with an open reference the caller must [`FileSystem::release`].
+    fn open_rel(&self, rel: &[String], flags: OpenFlags) -> KResult<Ino>;
+    /// Resolve `rel` to an inode without opening it.
+    fn resolve_rel(&self, rel: &[String]) -> KResult<Ino>;
+    /// `stat(2)` for the inode at `rel`.
+    fn stat_rel(&self, rel: &[String]) -> KResult<FileStat>;
+    /// Create a directory at `rel`.
+    fn mkdir_rel(&self, rel: &[String]) -> KResult<Ino>;
+    /// Remove the file link at `rel`.
+    fn unlink_rel(&self, rel: &[String]) -> KResult<()>;
+    /// Remove the empty directory at `rel`.
+    fn rmdir_rel(&self, rel: &[String]) -> KResult<()>;
+    /// Add a second name `new` for the file at `existing` (same mount —
+    /// the kernel refuses cross-mount links with `EXDEV` before calling).
+    fn link_rel(&self, existing: &[String], new: &[String]) -> KResult<()>;
+    /// Atomically move `from` to `to` (same mount, as with links).
+    fn rename_rel(&self, from: &[String], to: &[String]) -> KResult<()>;
+    /// List the directory at `rel` in name order.
+    fn readdir_rel(&self, rel: &[String]) -> KResult<Vec<DirEntry>>;
+
+    /// Read up to `buf.len()` bytes at `offset` from an opened inode.
+    fn read_at(&self, ino: Ino, offset: u64, buf: &mut [u8]) -> KResult<usize>;
+    /// Write `src` at `offset` to an opened inode.
+    fn write_at(&self, ino: Ino, offset: u64, src: &[u8]) -> KResult<usize>;
+    /// Current size of an opened inode.
+    fn size(&self, ino: Ino) -> KResult<u64>;
+    /// Truncate or extend an opened inode to `len`.
+    fn truncate(&self, ino: Ino, len: u64) -> KResult<()>;
+    /// Drop one open reference (close).
+    fn release(&self, ino: Ino);
+}
+
+/// Join mount-relative components back into an absolute path for the
+/// tmpfs's string API (`[]` is the mount root, `/`).
+fn rel_to_abs(rel: &[String]) -> String {
+    if rel.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", rel.join("/"))
+    }
+}
+
+impl FileSystem for Tmpfs {
+    fn fs_name(&self) -> &'static str {
+        "tmpfs"
+    }
+
+    fn open_rel(&self, rel: &[String], flags: OpenFlags) -> KResult<Ino> {
+        self.open("/", &rel_to_abs(rel), flags)
+    }
+
+    fn resolve_rel(&self, rel: &[String]) -> KResult<Ino> {
+        self.resolve("/", &rel_to_abs(rel))
+    }
+
+    fn stat_rel(&self, rel: &[String]) -> KResult<FileStat> {
+        self.stat("/", &rel_to_abs(rel))
+    }
+
+    fn mkdir_rel(&self, rel: &[String]) -> KResult<Ino> {
+        self.mkdir("/", &rel_to_abs(rel))
+    }
+
+    fn unlink_rel(&self, rel: &[String]) -> KResult<()> {
+        self.unlink("/", &rel_to_abs(rel))
+    }
+
+    fn rmdir_rel(&self, rel: &[String]) -> KResult<()> {
+        self.rmdir("/", &rel_to_abs(rel))
+    }
+
+    fn link_rel(&self, existing: &[String], new: &[String]) -> KResult<()> {
+        self.link("/", &rel_to_abs(existing), &rel_to_abs(new))
+    }
+
+    fn rename_rel(&self, from: &[String], to: &[String]) -> KResult<()> {
+        self.rename("/", &rel_to_abs(from), &rel_to_abs(to))
+    }
+
+    fn readdir_rel(&self, rel: &[String]) -> KResult<Vec<DirEntry>> {
+        self.readdir("/", &rel_to_abs(rel))
+    }
+
+    fn read_at(&self, ino: Ino, offset: u64, buf: &mut [u8]) -> KResult<usize> {
+        Tmpfs::read_at(self, ino, offset, buf)
+    }
+
+    fn write_at(&self, ino: Ino, offset: u64, src: &[u8]) -> KResult<usize> {
+        Tmpfs::write_at(self, ino, offset, src)
+    }
+
+    fn size(&self, ino: Ino) -> KResult<u64> {
+        Tmpfs::size(self, ino)
+    }
+
+    fn truncate(&self, ino: Ino, len: u64) -> KResult<()> {
+        Tmpfs::truncate(self, ino, len)
+    }
+
+    fn release(&self, ino: Ino) {
+        Tmpfs::release(self, ino)
+    }
+}
+
+/// One mounted filesystem: where it hangs and what serves it.
+#[derive(Debug, Clone)]
+pub struct Mount {
+    /// Normalized mount-point components (`["proc"]` for `/proc`; the root
+    /// mount's prefix is empty).
+    pub prefix: Vec<String>,
+    /// The filesystem serving paths under the prefix.
+    pub fs: Arc<dyn FileSystem>,
+}
+
+/// The mount table: a root filesystem plus zero or more prefix mounts,
+/// dispatched longest-prefix-first.
+#[derive(Debug)]
+pub struct MountTable {
+    /// All mounts; `mounts[0]` is the root (empty prefix). Kept sorted by
+    /// descending prefix length so the first match is the longest.
+    mounts: Vec<Mount>,
+}
+
+impl MountTable {
+    /// A table with only the root mount.
+    pub fn new(root: Arc<dyn FileSystem>) -> MountTable {
+        MountTable {
+            mounts: vec![Mount {
+                prefix: Vec::new(),
+                fs: root,
+            }],
+        }
+    }
+
+    /// Mount `fs` at the normalized prefix `prefix` (e.g. `["proc"]`).
+    /// Mounting again at the same prefix replaces the previous filesystem.
+    pub fn mount(&mut self, prefix: Vec<String>, fs: Arc<dyn FileSystem>) {
+        self.mounts.retain(|m| m.prefix != prefix);
+        self.mounts.push(Mount { prefix, fs });
+        self.mounts
+            .sort_by_key(|m| std::cmp::Reverse(m.prefix.len()));
+    }
+
+    /// Dispatch a normalized absolute component list to the longest-prefix
+    /// mount; returns the serving filesystem and the mount-relative
+    /// remainder. Always succeeds — the root mount matches everything.
+    pub fn resolve<'a>(&self, comps: &'a [String]) -> (&Arc<dyn FileSystem>, &'a [String]) {
+        for m in &self.mounts {
+            if let Some(rest) = strip_prefix(comps, &m.prefix) {
+                return (&m.fs, rest);
+            }
+        }
+        unreachable!("the root mount's empty prefix matches every path");
+    }
+
+    /// Names of mount points living *directly inside* the directory at
+    /// `comps` — used by `readdir` to synthesize entries (like `proc` in a
+    /// listing of `/`) that the underlying filesystem knows nothing about.
+    pub fn child_mounts(&self, comps: &[String]) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .mounts
+            .iter()
+            .filter(|m| m.prefix.len() == comps.len() + 1)
+            .filter(|m| strip_prefix(&m.prefix, comps).is_some())
+            .map(|m| m.prefix.last().expect("non-root prefix").clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The root filesystem (the empty-prefix mount).
+    pub fn root(&self) -> &Arc<dyn FileSystem> {
+        &self
+            .mounts
+            .iter()
+            .find(|m| m.prefix.is_empty())
+            .expect("a root mount always exists")
+            .fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::normalize;
+
+    fn comps(p: &str) -> Vec<String> {
+        normalize("/", p)
+    }
+
+    #[test]
+    fn tmpfs_serves_through_the_trait() {
+        let fs = Tmpfs::new();
+        let ino = fs
+            .open_rel(
+                &comps("/f"),
+                OpenFlags::WRONLY | OpenFlags::CREAT | OpenFlags::TRUNC,
+            )
+            .unwrap();
+        assert_eq!(FileSystem::write_at(&fs, ino, 0, b"abc").unwrap(), 3);
+        let mut buf = [0u8; 3];
+        assert_eq!(FileSystem::read_at(&fs, ino, 0, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+        assert_eq!(fs.stat_rel(&comps("/f")).unwrap().size, 3);
+        // The mount root resolves as the tmpfs root directory.
+        assert!(fs.stat_rel(&[]).unwrap().is_dir);
+        FileSystem::release(&fs, ino);
+        assert_eq!(fs.fs_name(), "tmpfs");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let root: Arc<dyn FileSystem> = Arc::new(Tmpfs::new());
+        let proc_fs: Arc<dyn FileSystem> = Arc::new(Tmpfs::new());
+        let deep: Arc<dyn FileSystem> = Arc::new(Tmpfs::new());
+        let mut table = MountTable::new(root.clone());
+        table.mount(comps("/proc"), proc_fs.clone());
+        table.mount(comps("/proc/deep"), deep.clone());
+
+        let c = comps("/proc/deep/x");
+        let (fs, rest) = table.resolve(&c);
+        assert!(Arc::ptr_eq(fs, &deep));
+        assert_eq!(rest, &comps("/x")[..]);
+
+        let c = comps("/proc/self/stat");
+        let (fs, rest) = table.resolve(&c);
+        assert!(Arc::ptr_eq(fs, &proc_fs));
+        assert_eq!(rest, &comps("/self/stat")[..]);
+
+        let c = comps("/etc/passwd");
+        let (fs, rest) = table.resolve(&c);
+        assert!(Arc::ptr_eq(fs, &root));
+        assert_eq!(rest, &c[..]);
+
+        // The mount point itself dispatches to the mounted fs root.
+        let c = comps("/proc");
+        let (fs, rest) = table.resolve(&c);
+        assert!(Arc::ptr_eq(fs, &proc_fs));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn child_mounts_lists_direct_children_only() {
+        let mut table = MountTable::new(Arc::new(Tmpfs::new()) as Arc<dyn FileSystem>);
+        table.mount(comps("/proc"), Arc::new(Tmpfs::new()));
+        table.mount(comps("/dev"), Arc::new(Tmpfs::new()));
+        table.mount(comps("/dev/shm"), Arc::new(Tmpfs::new()));
+        assert_eq!(table.child_mounts(&[]), vec!["dev", "proc"]);
+        assert_eq!(table.child_mounts(&comps("/dev")), vec!["shm"]);
+        assert!(table.child_mounts(&comps("/proc")).is_empty());
+    }
+
+    #[test]
+    fn root_accessor_returns_the_empty_prefix_mount() {
+        let root: Arc<dyn FileSystem> = Arc::new(Tmpfs::new());
+        let mut table = MountTable::new(root.clone());
+        table.mount(comps("/proc"), Arc::new(Tmpfs::new()));
+        assert!(Arc::ptr_eq(table.root(), &root));
+    }
+}

@@ -17,7 +17,7 @@
 use crate::cost::ArchProfile;
 use crate::errno::{Errno, KResult};
 use crate::fd::FileObject;
-use crate::fs::Tmpfs;
+use crate::fs::{FileSystem, MountTable, ProcFs, Tmpfs};
 use crate::process::{Pid, ProcState, Process};
 use crate::signal::Signal;
 use crate::trace::{self, SyscallPhase, Sysno};
@@ -64,9 +64,12 @@ pub struct TraceEntry {
 pub struct Kernel {
     id: u64,
     profile: ArchProfile,
-    /// The shared filesystem — one per kernel, shared by all its processes,
-    /// mirroring how PiP processes share the host's tmpfs.
-    pub(crate) fs: Tmpfs,
+    /// The root filesystem — one tmpfs per kernel, shared by all its
+    /// processes, mirroring how PiP processes share the host's tmpfs.
+    pub(crate) fs: Arc<Tmpfs>,
+    /// Mounted filesystems: the tmpfs at `/`, a read-only procfs at
+    /// `/proc`. Path syscalls dispatch on the longest mounted prefix.
+    pub(crate) mounts: MountTable,
     pub(crate) procs: Mutex<HashMap<Pid, Arc<Process>>>,
     next_pid: AtomicU64,
     /// waitpid parking: signaled whenever any child exits.
@@ -83,20 +86,32 @@ pub struct Kernel {
 
 impl Kernel {
     /// Boot a fresh kernel with PID 1 ("init", auto-created) and the given
-    /// architecture cost profile.
+    /// architecture cost profile. The mount table starts with the tmpfs at
+    /// `/` and a read-only [`ProcFs`] at `/proc`; the procfs holds only a
+    /// [`std::sync::Weak`] back-reference (hence `new_cyclic`), so it never
+    /// keeps its own kernel alive.
     pub fn new(profile: ArchProfile) -> KernelRef {
-        let kernel = Arc::new(Kernel {
-            id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
-            profile,
-            fs: Tmpfs::new(),
-            procs: Mutex::new(HashMap::new()),
-            next_pid: AtomicU64::new(1),
-            wait_lock: Mutex::new(()),
-            child_exited: Condvar::new(),
-            aio: std::sync::OnceLock::new(),
-            trace_enabled: AtomicBool::new(false),
-            trace: Mutex::new(Vec::new()),
-            syscall_count: AtomicU64::new(0),
+        let kernel = Arc::new_cyclic(|weak: &std::sync::Weak<Kernel>| {
+            let fs = Arc::new(Tmpfs::new());
+            let mut mounts = MountTable::new(fs.clone());
+            mounts.mount(
+                vec!["proc".to_string()],
+                Arc::new(ProcFs::new(weak.clone())),
+            );
+            Kernel {
+                id: NEXT_KERNEL_ID.fetch_add(1, Ordering::Relaxed),
+                profile,
+                fs,
+                mounts,
+                procs: Mutex::new(HashMap::new()),
+                next_pid: AtomicU64::new(1),
+                wait_lock: Mutex::new(()),
+                child_exited: Condvar::new(),
+                aio: std::sync::OnceLock::new(),
+                trace_enabled: AtomicBool::new(false),
+                trace: Mutex::new(Vec::new()),
+                syscall_count: AtomicU64::new(0),
+            }
         });
         let init = kernel.spawn_process(None, "init");
         debug_assert_eq!(init, Pid(1));
@@ -113,11 +128,12 @@ impl Kernel {
         self.profile
     }
 
-    /// Charge the architectural syscall-entry cost and bump counters.
-    /// Called at the top of every simulated system call.
+    /// Charge the architectural syscall-entry cost and record the audit
+    /// trace entry. Called at the top of every simulated system call.
+    /// Counters are *not* bumped here — they commit at exit (see
+    /// [`Kernel::syscall_span`]).
     #[inline]
     pub(crate) fn enter_syscall(&self, no: Sysno, pid: Pid) {
-        self.syscall_count.fetch_add(1, Ordering::Relaxed);
         crate::cost::spin_for(self.profile.syscall_entry());
         if self.trace_enabled.load(Ordering::Relaxed) {
             self.trace.lock().push(TraceEntry {
@@ -133,16 +149,27 @@ impl Kernel {
     /// (see [`crate::trace`]), and forwards the result. The `Exit` record
     /// carries the raw errno (`0` on success) so the span shows up in the
     /// merged timeline with its outcome.
+    ///
+    /// The kernel-wide and per-process syscall counters are bumped **after
+    /// the body returns**, matching where the trace observer records the
+    /// span's latency. This exit-time commit is what lets a procfs file
+    /// body generated *inside* an `open()` (`/proc/ulp/metrics`,
+    /// `/proc/self/stat`) agree exactly with an external snapshot taken
+    /// just before the open: the in-flight open itself is not yet counted
+    /// anywhere when the content is frozen.
     #[inline]
     pub(crate) fn syscall_span<T>(
         &self,
         no: Sysno,
         pid: Pid,
+        proc: &Process,
         f: impl FnOnce() -> KResult<T>,
     ) -> KResult<T> {
         trace::emit(no, SyscallPhase::Enter);
         self.enter_syscall(no, pid);
         let out = f();
+        self.syscall_count.fetch_add(1, Ordering::Relaxed);
+        proc.syscalls.fetch_add(1, Ordering::Relaxed);
         trace::emit(
             no,
             SyscallPhase::Exit {
@@ -150,6 +177,14 @@ impl Kernel {
             },
         );
         out
+    }
+
+    /// Normalize `path` against `cwd` and dispatch it on the mount table:
+    /// returns the owning filesystem plus the mount-relative components.
+    pub(crate) fn resolve_fs(&self, cwd: &str, path: &str) -> (Arc<dyn FileSystem>, Vec<String>) {
+        let comps = crate::fs::normalize(cwd, path);
+        let (fs, rel) = self.mounts.resolve(&comps);
+        (fs.clone(), rel.to_vec())
     }
 
     // ----- process lifecycle ------------------------------------------------
@@ -189,11 +224,15 @@ impl Kernel {
             }
             *st = ProcState::Zombie(status);
         }
-        // Close all descriptors, releasing tmpfs references.
+        // Close all descriptors, releasing filesystem references. A dup'ed
+        // description appears multiple times in the drained list; release
+        // its inode only once, when the last clone is dropped.
         let drained = proc.fds.lock().drain();
         for desc in drained {
-            if let FileObject::Tmpfs(ino) = desc.object {
-                self.fs.release(ino);
+            if Arc::strong_count(&desc) == 1 {
+                if let FileObject::File { fs, ino } = &desc.object {
+                    fs.release(*ino);
+                }
             }
         }
         if let Some(ppid) = proc.ppid {

@@ -44,7 +44,10 @@ pub use cost::{cycles, cycles_per_ns, cycles_to_ns, spin_for, ArchProfile};
 pub use errno::{Errno, KResult};
 pub use fault::{FaultKind, FaultPlan, FAULT_KINDS};
 pub use fd::{Fd, FdTable};
-pub use fs::{DirEntry, FileStat, IoModel, OpenFlags, Tmpfs, Whence};
+pub use fs::{
+    install_proc_provider, DirEntry, FileStat, FileSystem, IoModel, MountTable, OpenFlags, ProcFs,
+    ProcProvider, ProcSource, Tmpfs, Whence,
+};
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, Semaphore};
 pub use kernel::{BindGuard, Kernel, KernelRef, TraceEntry};
 pub use pipe::{pipe, pipe_with_capacity, PipeReader, PipeWriter};

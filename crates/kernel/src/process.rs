@@ -5,6 +5,7 @@
 use crate::fd::FdTable;
 use crate::signal::SignalState;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process identifier in the simulated kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +41,9 @@ pub struct Process {
     pub cwd: Mutex<String>,
     /// Pending/masked signals and dispositions.
     pub signals: SignalState,
+    /// Completed system calls charged to this process (committed at syscall
+    /// exit; surfaced in `/proc/<pid>/stat`).
+    pub syscalls: AtomicU64,
     pub(crate) state: Mutex<ProcState>,
     pub(crate) children: Mutex<Vec<Pid>>,
 }
@@ -53,9 +57,15 @@ impl Process {
             fds: Mutex::new(FdTable::new()),
             cwd: Mutex::new("/".to_string()),
             signals: SignalState::new(),
+            syscalls: AtomicU64::new(0),
             state: Mutex::new(ProcState::Running),
             children: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Completed system calls charged to this process.
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls.load(Ordering::Relaxed)
     }
 
     /// The process's lifecycle state.

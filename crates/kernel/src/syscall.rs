@@ -27,28 +27,31 @@ impl Kernel {
 
     /// `getpid(2)` — the paper's Table V microbenchmark.
     pub fn sys_getpid(&self) -> KResult<Pid> {
-        let (pid, _) = self.require_current()?;
-        self.syscall_span(Sysno::Getpid, pid, || Ok(pid))
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Getpid, pid, &proc, || Ok(pid))
     }
 
     /// `getppid(2)`.
     pub fn sys_getppid(&self) -> KResult<Pid> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Getppid, pid, || Ok(proc.ppid.unwrap_or(Pid(0))))
+        self.syscall_span(Sysno::Getppid, pid, &proc, || {
+            Ok(proc.ppid.unwrap_or(Pid(0)))
+        })
     }
 
     /// `getcwd(2)`.
     pub fn sys_getcwd(&self) -> KResult<String> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Getcwd, pid, || Ok(proc.cwd.lock().clone()))
+        self.syscall_span(Sysno::Getcwd, pid, &proc, || Ok(proc.cwd.lock().clone()))
     }
 
     /// `chdir(2)`.
     pub fn sys_chdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Chdir, pid, || {
+        self.syscall_span(Sysno::Chdir, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            let st = self.fs.stat(&cwd, path)?;
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            let st = fs.stat_rel(&rel)?;
             if !st.is_dir {
                 return Err(Errno::ENOTDIR);
             }
@@ -60,15 +63,20 @@ impl Kernel {
 
     // ----- files ------------------------------------------------------------
 
-    /// `open(2)` against the shared tmpfs; the descriptor lands in the
-    /// *calling thread's* process FD table.
+    /// `open(2)` against the mounted filesystems (tmpfs at `/`, procfs at
+    /// `/proc`); the descriptor lands in the *calling thread's* process FD
+    /// table and pins the filesystem it was resolved on.
     pub fn sys_open(&self, path: &str, flags: OpenFlags) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Open, pid, || {
+        self.syscall_span(Sysno::Open, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            let ino = self.fs.open(&cwd, path, flags)?;
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            let ino = fs.open_rel(&rel, flags)?;
             let desc = Arc::new(Description {
-                object: FileObject::Tmpfs(ino),
+                object: FileObject::File {
+                    fs: fs.clone(),
+                    ino,
+                },
                 offset: Mutex::new(0),
                 flags,
             });
@@ -76,7 +84,7 @@ impl Kernel {
             match installed {
                 Ok(fd) => Ok(fd),
                 Err(e) => {
-                    self.fs.release(ino);
+                    fs.release(ino);
                     Err(e)
                 }
             }
@@ -86,37 +94,37 @@ impl Kernel {
     /// `close(2)`.
     pub fn sys_close(&self, fd: Fd) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Close, pid, || {
+        self.syscall_span(Sysno::Close, pid, &proc, || {
             let desc = proc.fds.lock().remove(fd)?;
-            if let FileObject::Tmpfs(ino) = desc.object {
+            if let FileObject::File { fs, ino } = &desc.object {
                 // Only release the inode once the last descriptor sharing this
                 // description is gone (dup'ed fds share one Arc).
                 if Arc::strong_count(&desc) == 1 {
-                    self.fs.release(ino);
+                    fs.release(*ino);
                 }
             }
             Ok(())
         })
     }
 
-    /// `write(2)`: tmpfs writes advance the shared offset; pipe writes may
+    /// `write(2)`: file writes advance the shared offset; pipe writes may
     /// block the calling OS thread.
     pub fn sys_write(&self, fd: Fd, data: &[u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Write, pid, || {
+        self.syscall_span(Sysno::Write, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     if !desc.flags.writable() {
                         return Err(Errno::EBADF);
                     }
                     let mut off = desc.offset.lock();
                     let pos = if desc.flags.contains(OpenFlags::APPEND) {
-                        self.fs.size(*ino)?
+                        fs.size(*ino)?
                     } else {
                         *off
                     };
-                    let n = self.fs.write_at(*ino, pos, data)?;
+                    let n = fs.write_at(*ino, pos, data)?;
                     *off = pos + n as u64;
                     Ok(n)
                 }
@@ -126,18 +134,32 @@ impl Kernel {
         })
     }
 
-    /// `read(2)`.
+    /// `read(2)`. File reads share the pipe paths' fault-injection hooks:
+    /// an armed [`crate::fault`] plan may interrupt a read (`EINTR`, before
+    /// any bytes move) or truncate it to a single byte — POSIX-legal
+    /// behaviors readers must tolerate (the `proc_storm` torture scenario
+    /// leans on this to prove procfs reads re-assemble cleanly).
     pub fn sys_read(&self, fd: Fd, buf: &mut [u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Read, pid, || {
+        self.syscall_span(Sysno::Read, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     if !desc.flags.readable() {
                         return Err(Errno::EBADF);
                     }
+                    if crate::fault::fire(crate::fault::FaultKind::Eintr) {
+                        return Err(Errno::EINTR);
+                    }
+                    let want = if !buf.is_empty()
+                        && crate::fault::fire(crate::fault::FaultKind::ShortRead)
+                    {
+                        1
+                    } else {
+                        buf.len()
+                    };
                     let mut off = desc.offset.lock();
-                    let n = self.fs.read_at(*ino, *off, buf)?;
+                    let n = fs.read_at(*ino, *off, &mut buf[..want])?;
                     *off += n as u64;
                     Ok(n)
                 }
@@ -150,14 +172,14 @@ impl Kernel {
     /// `pwrite(2)`: positional, does not move the shared offset.
     pub fn sys_pwrite(&self, fd: Fd, offset: u64, data: &[u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Pwrite, pid, || {
+        self.syscall_span(Sysno::Pwrite, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     if !desc.flags.writable() {
                         return Err(Errno::EBADF);
                     }
-                    self.fs.write_at(*ino, offset, data)
+                    fs.write_at(*ino, offset, data)
                 }
                 _ => Err(Errno::ESPIPE),
             }
@@ -167,14 +189,14 @@ impl Kernel {
     /// `pread(2)`.
     pub fn sys_pread(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> KResult<usize> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Pread, pid, || {
+        self.syscall_span(Sysno::Pread, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     if !desc.flags.readable() {
                         return Err(Errno::EBADF);
                     }
-                    self.fs.read_at(*ino, offset, buf)
+                    fs.read_at(*ino, offset, buf)
                 }
                 _ => Err(Errno::ESPIPE),
             }
@@ -184,15 +206,15 @@ impl Kernel {
     /// `lseek(2)`.
     pub fn sys_lseek(&self, fd: Fd, offset: i64, whence: Whence) -> KResult<u64> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Lseek, pid, || {
+        self.syscall_span(Sysno::Lseek, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     let mut off = desc.offset.lock();
                     let base: i64 = match whence {
                         Whence::Set => 0,
                         Whence::Cur => *off as i64,
-                        Whence::End => self.fs.size(*ino)? as i64,
+                        Whence::End => fs.size(*ino)? as i64,
                     };
                     let new = base.checked_add(offset).ok_or(Errno::EINVAL)?;
                     if new < 0 {
@@ -209,14 +231,14 @@ impl Kernel {
     /// `ftruncate(2)`.
     pub fn sys_ftruncate(&self, fd: Fd, len: u64) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Ftruncate, pid, || {
+        self.syscall_span(Sysno::Ftruncate, pid, &proc, || {
             let desc = proc.fds.lock().get(fd)?;
             match &desc.object {
-                FileObject::Tmpfs(ino) => {
+                FileObject::File { fs, ino } => {
                     if !desc.flags.writable() {
                         return Err(Errno::EBADF);
                     }
-                    self.fs.truncate(*ino, len)
+                    fs.truncate(*ino, len)
                 }
                 _ => Err(Errno::EINVAL),
             }
@@ -226,18 +248,18 @@ impl Kernel {
     /// `dup(2)`.
     pub fn sys_dup(&self, fd: Fd) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Dup, pid, || proc.fds.lock().dup(fd))
+        self.syscall_span(Sysno::Dup, pid, &proc, || proc.fds.lock().dup(fd))
     }
 
     /// `dup2(2)`.
     pub fn sys_dup2(&self, fd: Fd, newfd: Fd) -> KResult<Fd> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Dup2, pid, || {
+        self.syscall_span(Sysno::Dup2, pid, &proc, || {
             let old = proc.fds.lock().dup2(fd, newfd)?;
             if let Some(desc) = old {
-                if let FileObject::Tmpfs(ino) = desc.object {
+                if let FileObject::File { fs, ino } = &desc.object {
                     if Arc::strong_count(&desc) == 1 {
-                        self.fs.release(ino);
+                        fs.release(*ino);
                     }
                 }
             }
@@ -248,7 +270,7 @@ impl Kernel {
     /// `pipe(2)`: returns (read end, write end).
     pub fn sys_pipe(&self) -> KResult<(Fd, Fd)> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Pipe, pid, || {
+        self.syscall_span(Sysno::Pipe, pid, &proc, || {
             let (r, w) = pipe::pipe();
             let mut fds = proc.fds.lock();
             let rfd = fds.install(Arc::new(Description {
@@ -270,63 +292,101 @@ impl Kernel {
     /// `unlink(2)`.
     pub fn sys_unlink(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Unlink, pid, || {
+        self.syscall_span(Sysno::Unlink, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.unlink(&cwd, path)
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            fs.unlink_rel(&rel)
         })
     }
 
     /// `mkdir(2)`.
     pub fn sys_mkdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Mkdir, pid, || {
+        self.syscall_span(Sysno::Mkdir, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.mkdir(&cwd, path).map(|_| ())
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            fs.mkdir_rel(&rel).map(|_| ())
         })
     }
 
     /// `rmdir(2)`.
     pub fn sys_rmdir(&self, path: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Rmdir, pid, || {
+        self.syscall_span(Sysno::Rmdir, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.rmdir(&cwd, path)
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            fs.rmdir_rel(&rel)
         })
     }
 
-    /// `link(2)`.
+    /// `link(2)`. Both names must resolve inside one mount — a hard link
+    /// across filesystems is `EXDEV`, as on Linux.
     pub fn sys_link(&self, existing: &str, new: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Link, pid, || {
+        self.syscall_span(Sysno::Link, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.link(&cwd, existing, new)
+            let (fs_a, rel_a) = self.resolve_fs(&cwd, existing);
+            let (fs_b, rel_b) = self.resolve_fs(&cwd, new);
+            if !same_fs(&fs_a, &fs_b) {
+                return Err(Errno::EXDEV);
+            }
+            fs_a.link_rel(&rel_a, &rel_b)
         })
     }
 
-    /// `rename(2)`.
+    /// `rename(2)`. Cross-mount renames are `EXDEV` (userspace `mv` would
+    /// fall back to copy+unlink; this kernel does not).
     pub fn sys_rename(&self, from: &str, to: &str) -> KResult<()> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Rename, pid, || {
+        self.syscall_span(Sysno::Rename, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.rename(&cwd, from, to)
+            let (fs_a, rel_a) = self.resolve_fs(&cwd, from);
+            let (fs_b, rel_b) = self.resolve_fs(&cwd, to);
+            if !same_fs(&fs_a, &fs_b) {
+                return Err(Errno::EXDEV);
+            }
+            fs_a.rename_rel(&rel_a, &rel_b)
         })
     }
 
     /// `stat(2)`.
     pub fn sys_stat(&self, path: &str) -> KResult<FileStat> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Stat, pid, || {
+        self.syscall_span(Sysno::Stat, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.stat(&cwd, path)
+            let (fs, rel) = self.resolve_fs(&cwd, path);
+            fs.stat_rel(&rel)
         })
     }
 
-    /// `readdir(3)`-ish: whole directory listing.
+    /// `readdir(3)`-ish: whole directory listing. Mount points that sit
+    /// directly under the listed directory are synthesized into the result
+    /// (the tmpfs root has no `proc` entry of its own), the way the real
+    /// VFS overlays mounted roots onto the underlying directory.
     pub fn sys_readdir(&self, path: &str) -> KResult<Vec<DirEntry>> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Readdir, pid, || {
+        self.syscall_span(Sysno::Readdir, pid, &proc, || {
             let cwd = proc.cwd.lock().clone();
-            self.fs.readdir(&cwd, path)
+            let comps = crate::fs::normalize(&cwd, path);
+            let (fs, rel) = self.mounts.resolve(&comps);
+            let mut entries = fs.readdir_rel(rel)?;
+            for name in self.mounts.child_mounts(&comps) {
+                if !entries.iter().any(|e| e.name == name) {
+                    let mut mp = comps.clone();
+                    mp.push(name.clone());
+                    let (mfs, mrel) = self.mounts.resolve(&mp);
+                    let ino = mfs
+                        .stat_rel(mrel)
+                        .map(|st| st.ino)
+                        .unwrap_or(crate::fs::Ino(0));
+                    entries.push(DirEntry {
+                        name,
+                        ino,
+                        is_dir: true,
+                    });
+                }
+            }
+            Ok(entries)
         })
     }
 
@@ -334,8 +394,8 @@ impl Kernel {
 
     /// `kill(2)`: post a signal to a process.
     pub fn sys_kill(&self, target: Pid, sig: Signal) -> KResult<()> {
-        let (pid, _) = self.require_current()?;
-        self.syscall_span(Sysno::Kill, pid, || {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Kill, pid, &proc, || {
             let t = self.process(target).ok_or(Errno::ESRCH)?;
             t.signals.post(sig);
             Ok(())
@@ -345,7 +405,7 @@ impl Kernel {
     /// `sigprocmask(2)` on the calling thread's bound process.
     pub fn sys_sigprocmask(&self, how: MaskHow, set: SigSet) -> KResult<SigSet> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Sigprocmask, pid, || {
+        self.syscall_span(Sysno::Sigprocmask, pid, &proc, || {
             Ok(proc.signals.set_mask(how, set))
         })
     }
@@ -353,14 +413,14 @@ impl Kernel {
     /// `sigpending(2)`.
     pub fn sys_sigpending(&self) -> KResult<SigSet> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::Sigpending, pid, || Ok(proc.signals.pending()))
+        self.syscall_span(Sysno::Sigpending, pid, &proc, || Ok(proc.signals.pending()))
     }
 
     /// Dequeue one deliverable signal for the bound process (the simulated
     /// kernel's "return to userspace" delivery point).
     pub fn sys_take_signal(&self) -> KResult<Option<Signal>> {
         let (pid, proc) = self.require_current()?;
-        self.syscall_span(Sysno::TakeSignal, pid, || {
+        self.syscall_span(Sysno::TakeSignal, pid, &proc, || {
             Ok(proc.signals.take_deliverable())
         })
     }
@@ -369,12 +429,18 @@ impl Kernel {
 
     /// `nanosleep(2)`-style blocking sleep: blocks the calling OS thread.
     pub fn sys_sleep(&self, d: std::time::Duration) -> KResult<()> {
-        let (pid, _) = self.require_current()?;
-        self.syscall_span(Sysno::Nanosleep, pid, || {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Nanosleep, pid, &proc, || {
             std::thread::sleep(d);
             Ok(())
         })
     }
+}
+
+/// Same mounted filesystem? Compares the data pointers of the two handles
+/// (not the fat-pointer vtables, which may legally differ per codegen unit).
+fn same_fs(a: &Arc<dyn crate::fs::FileSystem>, b: &Arc<dyn crate::fs::FileSystem>) -> bool {
+    std::ptr::eq(Arc::as_ptr(a) as *const (), Arc::as_ptr(b) as *const ())
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! The mount seam and the read-only procfs, driven through the ordinary
+//! syscall surface.
+//!
+//! These tests use the kernel standalone — no `ulp-core` runtime, so no
+//! procfs provider is installed and the `ulp` files serve their placeholder
+//! body. What's under test here is the *filesystem* semantics: longest-
+//! prefix mount dispatch, `self` resolution through the thread binding,
+//! `ENOENT` for dead pids, `EROFS` on every write path, `EXDEV` across
+//! mounts, and the frozen-at-open content contract (including through
+//! `dup2`'d descriptors — the §V-B consistency stakes applied to procfs).
+
+use ulp_kernel::{ArchProfile, Errno, Kernel, OpenFlags, Whence};
+
+/// Read a whole procfs file through the syscall path.
+fn read_all(kernel: &ulp_kernel::KernelRef, path: &str) -> Result<String, Errno> {
+    let fd = kernel.sys_open(path, OpenFlags::RDONLY)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 64];
+    loop {
+        let n = kernel.sys_read(fd, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    kernel.sys_close(fd)?;
+    Ok(String::from_utf8(out).expect("procfs bodies are UTF-8"))
+}
+
+#[test]
+fn mount_dispatch_routes_proc_and_tmpfs() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "mounter");
+    kernel.bind_current(pid);
+
+    // Plain tmpfs paths still work: the root mount handles everything
+    // outside /proc.
+    let fd = kernel
+        .sys_open("/notes.txt", OpenFlags::RDWR | OpenFlags::CREAT)
+        .unwrap();
+    kernel.sys_write(fd, b"hello").unwrap();
+    kernel.sys_close(fd).unwrap();
+    assert_eq!(kernel.sys_stat("/notes.txt").unwrap().size, 5);
+
+    // The root readdir synthesizes the /proc mount point.
+    let root = kernel.sys_readdir("/").unwrap();
+    let proc_entry = root
+        .iter()
+        .find(|e| e.name == "proc")
+        .expect("mount point visible in parent readdir");
+    assert!(proc_entry.is_dir);
+
+    // And /proc itself lists the live pids plus self and ulp.
+    let proc_dir = kernel.sys_readdir("/proc").unwrap();
+    let names: Vec<&str> = proc_dir.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"1"), "init pid listed: {names:?}");
+    assert!(names.contains(&pid.0.to_string().as_str()));
+    assert!(names.contains(&"self"), "bound thread sees self");
+    assert!(names.contains(&"ulp"));
+    let ulp = kernel.sys_readdir("/proc/ulp").unwrap();
+    let names: Vec<&str> = ulp.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["metrics", "profile", "stat"]);
+
+    // A tmpfs file named like the mount prefix is shadowed, not merged:
+    // lookups under /proc never reach the tmpfs.
+    assert_eq!(
+        kernel.sys_open("/proc/notes.txt", OpenFlags::RDONLY),
+        Err(Errno::ENOENT)
+    );
+    kernel.unbind_current();
+}
+
+#[test]
+fn proc_self_stat_matches_explicit_pid() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "selfish");
+    kernel.bind_current(pid);
+
+    let by_self = read_all(&kernel, "/proc/self/stat").unwrap();
+    let by_pid = read_all(&kernel, &format!("/proc/{}/stat", pid.0)).unwrap();
+    assert!(by_self.starts_with(&format!("{} (selfish) R ", pid.0)));
+    // The two opens happened back to back; only the committed-syscall count
+    // can differ between the snapshots (each read_all costs a handful of
+    // completed calls). Strip it and the lines must agree.
+    let strip = |s: &str| s.split(" syscalls=").next().unwrap().to_string();
+    assert_eq!(strip(&by_self), strip(&by_pid));
+    assert!(by_self.contains("ppid=0"));
+    assert!(by_self.contains("cwd=/"));
+    kernel.unbind_current();
+}
+
+#[test]
+fn syscall_counts_commit_at_exit_and_freeze_at_open() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "counter");
+    kernel.bind_current(pid);
+
+    let count_of = |s: &str| -> u64 {
+        s.split("syscalls=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+
+    // Freeze a snapshot, then issue traffic: the open descriptor must keep
+    // serving the at-open state while a fresh open sees the new count.
+    let fd = kernel
+        .sys_open("/proc/self/stat", OpenFlags::RDONLY)
+        .unwrap();
+    for _ in 0..10 {
+        kernel.sys_getpid().unwrap();
+    }
+    let mut buf = [0u8; 256];
+    let n = kernel.sys_read(fd, &mut buf).unwrap();
+    let frozen = String::from_utf8_lossy(&buf[..n]).to_string();
+    let later = read_all(&kernel, "/proc/self/stat").unwrap();
+    assert!(
+        count_of(&later) >= count_of(&frozen) + 10,
+        "fresh open sees the traffic: {frozen:?} vs {later:?}"
+    );
+    // The frozen body excludes its own open: counters commit at syscall
+    // exit, after the body was generated.
+    let before = read_all(&kernel, "/proc/self/stat").unwrap();
+    let again = read_all(&kernel, "/proc/self/stat").unwrap();
+    let calls_per_read_all = count_of(&again) - count_of(&before);
+    assert!(
+        calls_per_read_all >= 1,
+        "open/read/close traffic is charged"
+    );
+
+    // Rewinding the same descriptor re-serves identical bytes.
+    kernel.sys_lseek(fd, 0, Whence::Set).unwrap();
+    let m = kernel.sys_read(fd, &mut buf).unwrap();
+    assert_eq!(frozen.as_bytes(), &buf[..m]);
+    kernel.sys_close(fd).unwrap();
+    kernel.unbind_current();
+}
+
+#[test]
+fn dup2_keeps_frozen_content_alive() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "duper");
+    kernel.bind_current(pid);
+
+    let fd = kernel
+        .sys_open("/proc/self/stat", OpenFlags::RDONLY)
+        .unwrap();
+    let mut first = [0u8; 256];
+    let n = kernel.sys_read(fd, &mut first).unwrap();
+
+    // dup2 clones the descriptor (shared offset, shared frozen body);
+    // closing the original must not release the content.
+    let dup = ulp_kernel::Fd(17);
+    kernel.sys_dup2(fd, dup).unwrap();
+    kernel.sys_close(fd).unwrap();
+    kernel.sys_lseek(dup, 0, Whence::Set).unwrap();
+    let mut second = [0u8; 256];
+    let m = kernel.sys_read(dup, &mut second).unwrap();
+    assert_eq!(&first[..n], &second[..m], "dup serves the same snapshot");
+    kernel.sys_close(dup).unwrap();
+
+    // After the last descriptor closed the handle is gone for good — a new
+    // open mints a fresh ino rather than resurrecting the old body.
+    let fd2 = kernel
+        .sys_open("/proc/self/stat", OpenFlags::RDONLY)
+        .unwrap();
+    let mut third = [0u8; 256];
+    kernel.sys_read(fd2, &mut third).unwrap();
+    kernel.sys_close(fd2).unwrap();
+    kernel.unbind_current();
+}
+
+#[test]
+fn dead_pids_are_enoent_zombies_are_z() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let parent = kernel.spawn_process(None, "parent");
+    let child = kernel.spawn_process(Some(parent), "child");
+    kernel.bind_current(parent);
+
+    assert!(read_all(&kernel, &format!("/proc/{}/stat", child.0))
+        .unwrap()
+        .contains(" R "));
+    kernel.exit_process(child, 0).unwrap();
+    // Exited but unreaped: still listed, state Z.
+    let stat = read_all(&kernel, &format!("/proc/{}/stat", child.0)).unwrap();
+    assert!(stat.contains(" Z "), "zombie visible: {stat:?}");
+    // Reaped: gone.
+    kernel.waitpid(parent, Some(child)).unwrap();
+    assert_eq!(
+        kernel.sys_open(&format!("/proc/{}/stat", child.0), OpenFlags::RDONLY),
+        Err(Errno::ENOENT)
+    );
+    assert_eq!(
+        kernel.sys_open("/proc/99999/stat", OpenFlags::RDONLY),
+        Err(Errno::ENOENT)
+    );
+    assert_eq!(
+        kernel.sys_open("/proc/notapid/stat", OpenFlags::RDONLY),
+        Err(Errno::ENOENT)
+    );
+    kernel.unbind_current();
+}
+
+#[test]
+fn every_write_path_is_refused() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "writer");
+    kernel.bind_current(pid);
+
+    assert_eq!(
+        kernel.sys_open("/proc/self/stat", OpenFlags::WRONLY),
+        Err(Errno::EROFS)
+    );
+    assert_eq!(
+        kernel.sys_open("/proc/newfile", OpenFlags::WRONLY | OpenFlags::CREAT),
+        Err(Errno::EROFS)
+    );
+    assert_eq!(
+        kernel.sys_open("/proc/ulp", OpenFlags::RDWR),
+        Err(Errno::EISDIR)
+    );
+    assert_eq!(kernel.sys_mkdir("/proc/newdir"), Err(Errno::EROFS));
+    assert_eq!(kernel.sys_unlink("/proc/ulp/metrics"), Err(Errno::EROFS));
+    assert_eq!(kernel.sys_rmdir("/proc/ulp"), Err(Errno::EROFS));
+    assert_eq!(
+        kernel.sys_rename("/proc/ulp/metrics", "/proc/ulp/renamed"),
+        Err(Errno::EROFS)
+    );
+    // Writing through a read-only descriptor fails at the FD layer.
+    let fd = kernel
+        .sys_open("/proc/self/stat", OpenFlags::RDONLY)
+        .unwrap();
+    assert_eq!(kernel.sys_write(fd, b"x"), Err(Errno::EBADF));
+    assert_eq!(kernel.sys_ftruncate(fd, 0), Err(Errno::EBADF));
+    kernel.sys_close(fd).unwrap();
+    kernel.unbind_current();
+}
+
+#[test]
+fn cross_mount_link_and_rename_are_exdev() {
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "crosser");
+    kernel.bind_current(pid);
+    let fd = kernel
+        .sys_open("/file", OpenFlags::WRONLY | OpenFlags::CREAT)
+        .unwrap();
+    kernel.sys_close(fd).unwrap();
+    assert_eq!(
+        kernel.sys_link("/file", "/proc/file"),
+        Err(Errno::EXDEV),
+        "hard link across the mount seam"
+    );
+    assert_eq!(kernel.sys_rename("/file", "/proc/file"), Err(Errno::EXDEV));
+    assert_eq!(
+        kernel.sys_rename("/proc/ulp/metrics", "/m"),
+        Err(Errno::EXDEV)
+    );
+    kernel.unbind_current();
+}
+
+#[test]
+fn ulp_files_degrade_without_a_runtime_provider() {
+    // This test binary never constructs a ulp-core runtime, so no provider
+    // is installed process-wide (and even if one were, this thread has no
+    // runtime attached): the ulp files serve their placeholder.
+    let kernel = Kernel::new(ArchProfile::Native);
+    let pid = kernel.spawn_process(None, "bare");
+    kernel.bind_current(pid);
+    for f in ["metrics", "profile", "stat"] {
+        let body = read_all(&kernel, &format!("/proc/ulp/{f}")).unwrap();
+        assert_eq!(body, "# ulp runtime not attached\n");
+    }
+    // stat reports the placeholder's size, consistently.
+    let st = kernel.sys_stat("/proc/ulp/metrics").unwrap();
+    assert_eq!(st.size, "# ulp runtime not attached\n".len() as u64);
+    assert!(!st.is_dir);
+    assert!(kernel.sys_stat("/proc/ulp").unwrap().is_dir);
+    kernel.unbind_current();
+}
+
+#[test]
+fn self_routes_per_thread_binding() {
+    // The whole syscall surface needs a bound thread (ESRCH otherwise)...
+    let kernel = Kernel::new(ArchProfile::Native);
+    assert_eq!(
+        kernel.sys_open("/proc/self/stat", OpenFlags::RDONLY),
+        Err(Errno::ESRCH)
+    );
+    // ...and `self` resolves through *that thread's* binding: two threads
+    // bound to different pids read different stat lines concurrently.
+    let a = kernel.spawn_process(None, "thread-a");
+    let b = kernel.spawn_process(None, "thread-b");
+    kernel.bind_current(a);
+    let k2 = kernel.clone();
+    let other = std::thread::spawn(move || {
+        k2.bind_current(b);
+        let line = read_all(&k2, "/proc/self/stat").unwrap();
+        k2.unbind_current();
+        line
+    })
+    .join()
+    .unwrap();
+    let mine = read_all(&kernel, "/proc/self/stat").unwrap();
+    assert!(mine.starts_with(&format!("{} (thread-a) ", a.0)));
+    assert!(other.starts_with(&format!("{} (thread-b) ", b.0)));
+    let body = read_all(&kernel, "/proc/1/stat").unwrap();
+    assert!(body.starts_with("1 (init) R "));
+    kernel.unbind_current();
+}

@@ -12,12 +12,14 @@
 use std::time::Duration;
 use ulp_core::{decouple, sys, Runtime, Sysno, TraceEvent};
 
-/// `(at_ns, kc, coupled)` of every enter/exit record for `name`, in trace
-/// order (the merged trace is sorted by timestamp).
-fn spans_of(
-    trace: &[ulp_core::TraceRecord],
-    name: &str,
-) -> (Vec<(u64, u32, bool)>, Vec<(u64, u32, bool, i32)>) {
+/// `(at_ns, kc, coupled)` per enter record.
+type Enters = Vec<(u64, u32, bool)>;
+/// `(at_ns, kc, coupled, errno)` per exit record.
+type Exits = Vec<(u64, u32, bool, i32)>;
+
+/// Every enter/exit record for `name`, in trace order (the merged trace is
+/// sorted by timestamp).
+fn spans_of(trace: &[ulp_core::TraceRecord], name: &str) -> (Enters, Exits) {
     let mut enters = Vec::new();
     let mut exits = Vec::new();
     for r in trace {

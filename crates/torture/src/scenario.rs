@@ -18,7 +18,7 @@ use ulp_core::{
     coupled_scope, decouple, sys, yield_now, FutexLock, McsLock, RawUlpLock, Runtime, TasLock,
     TicketLock, UlpLock,
 };
-use ulp_kernel::{Errno, Signal};
+use ulp_kernel::{Errno, OpenFlags, Signal};
 
 /// A torture workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +46,11 @@ pub enum Scenario {
     /// oversubscribed mutual exclusion, where a waiter that fails to
     /// yield cooperatively starves the holder of a scheduler.
     LockStorm,
+    /// Three workers concurrently introspecting the runtime through the
+    /// procfs mount — `/proc/self/stat`, `/proc/ulp/stat`, the metrics
+    /// exposition — with `EINTR` and short reads injected on every read,
+    /// verifying identity, file shape and counter monotonicity hold.
+    ProcStorm,
 }
 
 impl Scenario {
@@ -57,6 +62,7 @@ impl Scenario {
         Scenario::PipeBlockers,
         Scenario::SignalStorm,
         Scenario::LockStorm,
+        Scenario::ProcStorm,
     ];
 
     /// Stable name (used in reports and for `--scenario` selection).
@@ -68,6 +74,7 @@ impl Scenario {
             Scenario::PipeBlockers => "pipe_blockers",
             Scenario::SignalStorm => "signal_storm",
             Scenario::LockStorm => "lock_storm",
+            Scenario::ProcStorm => "proc_storm",
         }
     }
 
@@ -85,6 +92,7 @@ impl Scenario {
             Scenario::PipeBlockers => 2,
             Scenario::SignalStorm => 1,
             Scenario::LockStorm => 2,
+            Scenario::ProcStorm => 2,
         }
     }
 
@@ -99,6 +107,7 @@ impl Scenario {
             Scenario::PipeBlockers => pipe_blockers(rt, &fails),
             Scenario::SignalStorm => signal_storm(rt, &fails),
             Scenario::LockStorm => lock_storm(rt, &fails),
+            Scenario::ProcStorm => proc_storm(rt, &fails),
         }
         fails.take()
     }
@@ -278,7 +287,7 @@ fn mn_siblings(rt: &Runtime, fails: &Fails) {
                 for i in 0..YIELDS {
                     yield_now();
                     if i % 4 == 3 {
-                        match coupled_scope(|| sys::getpid()) {
+                        match coupled_scope(sys::getpid) {
                             Ok(Ok(pid)) if pid == my_pid => {}
                             other => f.push(format!(
                                 "mn-p{p}s{s}: pid at yield {i} -> {other:?} (want {my_pid})"
@@ -471,7 +480,7 @@ fn lock_storm_one<R: RawUlpLock + 'static>(rt: &Runtime, fails: &Fails, ulps: us
             for i in 0..iters {
                 *l.lock() += 1;
                 if i % 8 == 7 {
-                    match coupled_scope(|| sys::getpid()) {
+                    match coupled_scope(sys::getpid) {
                         Ok(pid) if pid == my_pid => {}
                         other => {
                             f.push(format!("ls-{}-{w}: pid -> {other:?}", R::NAME));
@@ -507,4 +516,136 @@ fn lock_storm(rt: &Runtime, fails: &Fails) {
     lock_storm_one::<TicketLock>(rt, fails, ULPS, ITERS);
     lock_storm_one::<McsLock>(rt, fails, ULPS, ITERS);
     lock_storm_one::<FutexLock>(rt, fails, ULPS, ITERS);
+}
+
+/// Read a whole procfs file through the fault-injected syscall path. Body
+/// content is frozen at `open()`, so `EINTR` retries and 1-byte short
+/// reads must still reassemble the exact snapshot — any tearing shows up
+/// in the callers' content checks. Must run coupled.
+fn read_proc(path: &str) -> Result<String, String> {
+    let fd = retrying(|| sys::open(path, OpenFlags::RDONLY))
+        .map_err(|e| format!("open {path}: {e:?}"))?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 512];
+    let body = loop {
+        match retrying(|| sys::read(fd, &mut buf)) {
+            Ok(0) => break Ok(std::mem::take(&mut out)),
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(e) => break Err(format!("read {path} at byte {}: {e:?}", out.len())),
+        }
+    };
+    let _ = sys::close(fd);
+    body.and_then(|b| String::from_utf8(b).map_err(|e| format!("read {path}: {e}")))
+}
+
+/// Observability under fire: three workers concurrently read the runtime's
+/// own procfs files while the fault layer injects `EINTR` and 1-byte short
+/// reads into every `read(2)`. Checks per round: `/proc/self/stat` names
+/// *this* worker (pid and name — the §V-B identity guarantee, through the
+/// VFS), `/proc/ulp/stat` keeps its `name value` shape with the global
+/// couple counter monotone across rounds, and dead pids stay `ENOENT`.
+/// One full metrics-exposition read per worker keeps the big-body
+/// reassembly path in the storm without risking the trace-ring budget
+/// (invariant A counts every chunked read as a syscall span).
+fn proc_storm(rt: &Runtime, fails: &Fails) {
+    const ROUNDS: usize = 24;
+    const WORKERS: usize = 3;
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let f = fails.clone();
+        handles.push(rt.spawn(&format!("proc-w{w}"), move || {
+            let my_pid = match sys::getpid() {
+                Ok(p) => p,
+                Err(e) => {
+                    f.push(format!("proc-w{w}: getpid: {e:?}"));
+                    return 1;
+                }
+            };
+            if decouple().is_err() {
+                f.push(format!("proc-w{w}: decouple failed"));
+                return 1;
+            }
+            let mut last_couples = 0u64;
+            for i in 0..ROUNDS {
+                let f = &f;
+                let last = &mut last_couples;
+                let round = coupled_scope(|| {
+                    match read_proc("/proc/self/stat") {
+                        Ok(line) => {
+                            let seen = line
+                                .split_whitespace()
+                                .next()
+                                .and_then(|t| t.parse::<u32>().ok());
+                            if seen != Some(my_pid.0) {
+                                f.push(format!(
+                                    "proc-w{w}: /proc/self/stat pid {seen:?}, want {} (round {i})",
+                                    my_pid.0
+                                ));
+                            }
+                            if !line.contains(&format!("(proc-w{w})")) {
+                                f.push(format!("proc-w{w}: stat names someone else: {line:?}"));
+                            }
+                        }
+                        Err(e) => f.push(format!("proc-w{w} round {i}: {e}")),
+                    }
+                    match read_proc("/proc/ulp/stat") {
+                        Ok(body) => {
+                            let mut couples = None;
+                            for l in body.lines() {
+                                match l.split_once(' ').map(|(n, v)| (n, v.parse::<u64>())) {
+                                    Some(("couples", Ok(n))) => couples = Some(n),
+                                    Some((_, Ok(_))) => {}
+                                    _ => f.push(format!(
+                                        "proc-w{w}: /proc/ulp/stat line {l:?} is not `name value`"
+                                    )),
+                                }
+                            }
+                            if body.lines().count() != 10 {
+                                f.push(format!(
+                                    "proc-w{w}: /proc/ulp/stat has {} lines, want 10",
+                                    body.lines().count()
+                                ));
+                            }
+                            match couples {
+                                Some(c) if c >= *last => *last = c,
+                                got => f.push(format!(
+                                    "proc-w{w}: couples went {last} -> {got:?} (round {i})"
+                                )),
+                            }
+                        }
+                        Err(e) => f.push(format!("proc-w{w} round {i}: {e}")),
+                    }
+                    if i % 8 == 3 {
+                        match retrying(|| sys::open("/proc/424242/stat", OpenFlags::RDONLY)) {
+                            Err(Errno::ENOENT) => {}
+                            Err(e) => f.push(format!("proc-w{w}: dead pid open -> {e:?}")),
+                            Ok(fd) => {
+                                f.push(format!("proc-w{w}: dead pid 424242 opened as {fd:?}"));
+                                let _ = sys::close(fd);
+                            }
+                        }
+                    }
+                    if i == ROUNDS / 2 {
+                        match read_proc("/proc/ulp/metrics") {
+                            Ok(m) if m.contains("# TYPE") && m.ends_with('\n') => {}
+                            Ok(m) => f.push(format!(
+                                "proc-w{w}: metrics exposition malformed: {:?}…",
+                                &m[..m.len().min(64)]
+                            )),
+                            Err(e) => f.push(format!("proc-w{w}: {e}")),
+                        }
+                    }
+                });
+                if round.is_err() {
+                    f.push(format!("proc-w{w}: coupled_scope failed at round {i}"));
+                    break;
+                }
+                yield_now();
+            }
+            0
+        }));
+    }
+    for h in &handles {
+        h.wait();
+    }
 }
