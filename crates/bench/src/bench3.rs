@@ -1,0 +1,316 @@
+//! Readiness-driven echo-server throughput: `BENCH_3.json`.
+//!
+//! Emitted by `repro_all` (and the standalone `bench3` binary). Each row
+//! runs N client ULPs against M server ULPs over the in-kernel loopback
+//! sockets; every server multiplexes its listener and all accepted
+//! connections through one level-triggered epoll descriptor, so a single
+//! blocked `epoll_wait` is the only place a server sleeps. Clients record
+//! per-request round-trip latency into log2 histograms
+//! ([`ulp_core::hist::LatencyHist`]); the row reports requests/sec plus
+//! the p50/p99 of the folded distribution — the tail is the whole point
+//! of serving benchmarks (see `SERVING.md`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ulp_core::hist::{HistData, LatencyHist};
+use ulp_core::{coupled_scope, decouple, sys, EpollOp, IdlePolicy, Listener, PollEvents, Runtime};
+use ulp_kernel::Fd;
+
+/// Request/reply frame size in bytes (one cache line, far below the socket
+/// watermark, so request writes never block).
+pub const FRAME: usize = 32;
+
+/// One measured echo configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EchoRow {
+    /// Server ULPs (one listener + one epoll loop each).
+    pub servers: usize,
+    /// Client ULPs, assigned round-robin across the listeners.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Aggregate completed requests per second.
+    pub reqs_per_sec: f64,
+    /// Median request round-trip in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile request round-trip in nanoseconds.
+    pub p99_ns: f64,
+    /// Mean request round-trip in nanoseconds.
+    pub mean_ns: f64,
+    /// Worst observed request round-trip in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One full BENCH_3 sweep.
+#[derive(Debug, Clone)]
+pub struct Bench3 {
+    /// One row per (servers, clients) point, in sweep order.
+    pub rows: Vec<EchoRow>,
+}
+
+fn read_full(fd: Fd, buf: &mut [u8]) {
+    let mut got = 0;
+    while got < buf.len() {
+        let n = sys::read(fd, &mut buf[got..]).expect("read");
+        assert!(n > 0, "peer hung up mid-frame");
+        got += n;
+    }
+}
+
+fn write_full(fd: Fd, data: &[u8]) {
+    let mut sent = 0;
+    while sent < data.len() {
+        sent += sys::write(fd, &data[sent..]).expect("write");
+    }
+}
+
+fn serve(listener: Arc<Listener>, expected_conns: usize, echoed: Arc<AtomicU64>) {
+    decouple().unwrap();
+    // A server spends its whole life in system calls: one coupled scope.
+    coupled_scope(|| {
+        let lfd = sys::listen(&listener).unwrap();
+        let ep = sys::epoll_create().unwrap();
+        sys::epoll_ctl(ep, EpollOp::Add, lfd, PollEvents::IN).unwrap();
+        let mut closed = 0usize;
+        let mut buf = [0u8; FRAME];
+        while closed < expected_conns {
+            let events = sys::epoll_wait(ep, 32, Some(Duration::from_millis(500))).unwrap();
+            for (fd, ev) in events {
+                if fd == lfd {
+                    let conn = sys::accept(lfd).unwrap();
+                    sys::epoll_ctl(ep, EpollOp::Add, conn, PollEvents::IN).unwrap();
+                } else if ev.intersects(PollEvents::IN | PollEvents::HUP) {
+                    let n = sys::read(fd, &mut buf).unwrap();
+                    if n == 0 {
+                        sys::epoll_ctl(ep, EpollOp::Del, fd, PollEvents::NONE).unwrap();
+                        sys::close(fd).unwrap();
+                        closed += 1;
+                    } else {
+                        write_full(fd, &buf[..n]);
+                        echoed.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        sys::close(ep).unwrap();
+        sys::close(lfd).unwrap();
+    })
+    .unwrap();
+}
+
+fn run_client(id: usize, requests: usize, listener: Arc<Listener>, hist: Arc<LatencyHist>) {
+    decouple().unwrap();
+    let fd = coupled_scope(|| sys::connect(&listener).unwrap()).unwrap();
+    let mut req = [0u8; FRAME];
+    let mut reply = [0u8; FRAME];
+    for r in 0..requests {
+        for (i, b) in req.iter_mut().enumerate() {
+            *b = (id.wrapping_mul(31) ^ r.wrapping_mul(7) ^ i) as u8;
+        }
+        let t = Instant::now();
+        coupled_scope(|| {
+            write_full(fd, &req);
+            read_full(fd, &mut reply);
+        })
+        .unwrap();
+        hist.record(t.elapsed().as_nanos() as u64);
+        assert_eq!(reply, req, "client {id} request {r}: reply not byte-exact");
+    }
+    coupled_scope(|| sys::close(fd).unwrap()).unwrap();
+}
+
+/// Run one echo configuration to completion and fold the measurement.
+///
+/// Panics if any reply is not byte-exact or any request goes unanswered —
+/// a throughput number from a broken server is worse than no number.
+pub fn echo_throughput(servers: usize, clients: usize, requests_per_client: usize) -> EchoRow {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let listeners: Vec<Arc<Listener>> = (0..servers).map(|_| Listener::new()).collect();
+    let echoed = Arc::new(AtomicU64::new(0));
+    let hists: Vec<Arc<LatencyHist>> = (0..clients)
+        .map(|_| Arc::new(LatencyHist::default()))
+        .collect();
+    let mut assigned = vec![0usize; servers];
+    for c in 0..clients {
+        assigned[c % servers] += 1;
+    }
+
+    let started = Instant::now();
+    let server_handles: Vec<_> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let (l, n, e) = (l.clone(), assigned[i], echoed.clone());
+            rt.spawn(&format!("echo-server{i}"), move || {
+                serve(l, n, e);
+                0
+            })
+        })
+        .collect();
+    let client_handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let (l, h) = (listeners[c % servers].clone(), hists[c].clone());
+            rt.spawn(&format!("echo-client{c}"), move || {
+                run_client(c, requests_per_client, l, h);
+                0
+            })
+        })
+        .collect();
+    for h in client_handles {
+        assert_eq!(h.wait(), 0);
+    }
+    for h in server_handles {
+        assert_eq!(h.wait(), 0);
+    }
+    let wall = started.elapsed();
+
+    let total = (clients * requests_per_client) as u64;
+    let mut fold = HistData::default();
+    for h in &hists {
+        h.fold_into(&mut fold);
+    }
+    assert_eq!(fold.count, total, "every request must be answered");
+    assert_eq!(
+        echoed.load(Ordering::Relaxed),
+        total * FRAME as u64,
+        "servers must echo every request byte"
+    );
+    EchoRow {
+        servers,
+        clients,
+        requests_per_client,
+        reqs_per_sec: total as f64 / wall.as_secs_f64(),
+        p50_ns: fold.p50(),
+        p99_ns: fold.p99(),
+        mean_ns: fold.sum as f64 / fold.count.max(1) as f64,
+        max_ns: fold.max,
+    }
+}
+
+/// The (servers, clients) sweep: single server under growing load, then
+/// scale the servers with the load.
+const SWEEP: [(usize, usize); 3] = [(1, 4), (2, 8), (4, 16)];
+
+/// Run the BENCH_3 measurements (scale-aware: `ULP_BENCH_SCALE` multiplies
+/// the per-client request count; a single pass per row — throughput over a
+/// full workload, not a min-of-ten microbenchmark).
+pub fn measure() -> Bench3 {
+    let requests = 64 * crate::repro::scale();
+    Bench3 {
+        rows: SWEEP
+            .iter()
+            .map(|&(s, c)| echo_throughput(s, c, requests))
+            .collect(),
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Hand-rolled JSON (the build environment is offline; no serde).
+pub fn to_json(b: &Bench3) -> String {
+    let rows: Vec<String> = b
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"echo_{}s_{}c\": {{\"servers\": {}, \"clients\": {}, \"requests_per_client\": {}, \"reqs_per_sec\": {}, \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}}}",
+                r.servers,
+                r.clients,
+                r.servers,
+                r.clients,
+                r.requests_per_client,
+                json_num(r.reqs_per_sec),
+                json_num(r.p50_ns),
+                json_num(r.p99_ns),
+                json_num(r.mean_ns),
+                r.max_ns,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"ulp-rs epoll echo server (loopback sockets)\",\n  \"protocol\": \"N client ULPs round-robin over M epoll-driven server ULPs, {FRAME}-byte frames, byte-exact verification; latency = per-request round trip folded from per-client log2 histograms\",\n  \"echo\": {{\n{}\n  }}\n}}\n",
+        rows.join(",\n"),
+    )
+}
+
+/// Measure, print, and drop `BENCH_3.json` in the results directory.
+pub fn run_and_save() {
+    let b = measure();
+    let json = to_json(&b);
+    print!("{json}");
+    let dir = crate::report::results_dir();
+    let path = dir.join("BENCH_3.json");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[json] failed to create {}: {e}", dir.display());
+        return;
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let b = Bench3 {
+            rows: vec![
+                EchoRow {
+                    servers: 1,
+                    clients: 4,
+                    requests_per_client: 64,
+                    reqs_per_sec: 50_000.0,
+                    p50_ns: 30_000.0,
+                    p99_ns: 900_000.0,
+                    mean_ns: 60_000.0,
+                    max_ns: 2_000_000,
+                },
+                EchoRow {
+                    servers: 2,
+                    clients: 8,
+                    requests_per_client: 64,
+                    reqs_per_sec: f64::INFINITY,
+                    p50_ns: f64::NAN,
+                    p99_ns: f64::NAN,
+                    mean_ns: f64::NAN,
+                    max_ns: 0,
+                },
+            ],
+        };
+        let s = to_json(&b);
+        assert!(s.contains("\"echo_1s_4c\""));
+        assert!(s.contains("\"reqs_per_sec\": 50000.0"));
+        assert!(s.contains("\"p99\": 900000.0"));
+        // An unmeasured row still renders valid JSON.
+        assert!(s.contains("\"reqs_per_sec\": null"));
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "unbalanced JSON: {s}"
+        );
+    }
+
+    #[test]
+    fn echo_round_trips_and_measures() {
+        // A tiny measured run: every request answered byte-exact, and the
+        // folded histogram yields a usable tail even at smoke counts.
+        let r = echo_throughput(2, 4, 8);
+        assert!(r.reqs_per_sec.is_finite() && r.reqs_per_sec > 0.0);
+        assert!(r.p99_ns.is_finite() && r.p99_ns > 0.0);
+        assert!(r.p99_ns >= r.p50_ns, "p99 {} < p50 {}", r.p99_ns, r.p50_ns);
+        assert!(r.max_ns > 0);
+    }
+}

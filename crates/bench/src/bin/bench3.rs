@@ -1,0 +1,5 @@
+//! Emit BENCH_3.json (epoll echo-server throughput over the loopback
+//! sockets: requests/sec plus p50/p99 request round-trip per sweep row).
+fn main() {
+    ulp_bench::bench3::run_and_save();
+}

@@ -24,6 +24,7 @@ fn main() {
     }
     ulp_bench::bench1::run_and_save();
     ulp_bench::bench2::run_and_save();
+    ulp_bench::bench3::run_and_save();
     println!(
         "\nDone. CSVs in {}",
         ulp_bench::report::results_dir().display()

@@ -18,6 +18,7 @@
 pub mod baselines;
 pub mod bench1;
 pub mod bench2;
+pub mod bench3;
 pub mod report;
 pub mod workloads;
 

@@ -110,6 +110,8 @@ pub use ulp_fcontext;
 pub use ulp_kernel;
 // Syscall identity/phase types appearing in trace events and snapshots.
 pub use ulp_kernel::{SyscallPhase, Sysno};
+// Readiness-layer types used by the `sys::poll`/`sys::epoll_*` veneers.
+pub use ulp_kernel::{EpollOp, Listener, PollEvents};
 
 /// Identity of the calling ULP: (runtime-local id, simulated PID, kind),
 /// or `None` on a thread that is not running a ULP.

@@ -23,7 +23,7 @@ use ulp_kernel::fd::Fd;
 use ulp_kernel::fs::{DirEntry, FileStat, OpenFlags, Whence};
 use ulp_kernel::process::Pid;
 use ulp_kernel::signal::{MaskHow, SigSet, Signal};
-use ulp_kernel::{Aiocb, Errno, KResult, KernelRef};
+use ulp_kernel::{Aiocb, EpollOp, Errno, KResult, KernelRef, Listener, PollEvents};
 
 fn kernel() -> KResult<KernelRef> {
     current_runtime()
@@ -139,6 +139,64 @@ pub fn dup2(fd: Fd, newfd: Fd) -> KResult<Fd> {
 pub fn pipe() -> KResult<(Fd, Fd)> {
     gate("pipe");
     finish(kernel()?.sys_pipe())
+}
+
+/// `socketpair(2)`: a connected bidirectional loopback stream pair.
+pub fn socketpair() -> KResult<(Fd, Fd)> {
+    gate("socketpair");
+    finish(kernel()?.sys_socketpair())
+}
+
+/// `listen(2)`-ish: install a shared [`Listener`] in the calling ULP's FD
+/// table so it can be `accept`ed from and watched with epoll.
+pub fn listen(listener: &Arc<Listener>) -> KResult<Fd> {
+    gate("listen");
+    finish(kernel()?.sys_listen(listener))
+}
+
+/// `connect(2)` against an in-kernel listener: returns the client end of a
+/// fresh connection.
+pub fn connect(listener: &Arc<Listener>) -> KResult<Fd> {
+    gate("connect");
+    finish(kernel()?.sys_connect(listener))
+}
+
+/// `accept(2)` — blocking: the calling kernel context sleeps until a client
+/// connects.
+pub fn accept(fd: Fd) -> KResult<Fd> {
+    gate("accept");
+    finish(kernel()?.sys_accept(fd))
+}
+
+/// `epoll_create(2)`.
+pub fn epoll_create() -> KResult<Fd> {
+    gate("epoll_create");
+    finish(kernel()?.sys_epoll_create())
+}
+
+/// `epoll_ctl(2)`: add/modify/delete one interest-list entry.
+pub fn epoll_ctl(epfd: Fd, op: EpollOp, fd: Fd, events: PollEvents) -> KResult<()> {
+    gate("epoll_ctl");
+    finish(kernel()?.sys_epoll_ctl(epfd, op, fd, events))
+}
+
+/// `epoll_wait(2)` — blocking: the calling kernel context sleeps until a
+/// watched descriptor becomes ready or `timeout` elapses (`None` waits
+/// indefinitely). Returns `(registered fd, revents)` pairs.
+pub fn epoll_wait(
+    epfd: Fd,
+    max_events: usize,
+    timeout: Option<Duration>,
+) -> KResult<Vec<(Fd, PollEvents)>> {
+    gate("epoll_wait");
+    finish(kernel()?.sys_epoll_wait(epfd, max_events, timeout))
+}
+
+/// `poll(2)` — blocking readiness wait over an explicit descriptor set.
+/// Returns revents aligned with the request order.
+pub fn poll(fds: &[(Fd, PollEvents)], timeout: Option<Duration>) -> KResult<Vec<PollEvents>> {
+    gate("poll");
+    finish(kernel()?.sys_poll(fds, timeout))
 }
 
 /// `unlink(2)`.

@@ -11,6 +11,8 @@
 use crate::errno::{Errno, KResult};
 use crate::fs::{FileSystem, Ino, OpenFlags};
 use crate::pipe::{PipeReader, PipeWriter};
+use crate::poll::EpollObject;
+use crate::socket::{Listener, SocketEnd};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -39,6 +41,15 @@ pub enum FileObject {
     PipeRead(PipeReader),
     /// Write end of a pipe (blocking writes may sleep the calling KC).
     PipeWrite(PipeWriter),
+    /// One end of a connected loopback socketpair (bidirectional
+    /// byte-stream; blocking reads/writes may sleep the calling KC).
+    Socket(SocketEnd),
+    /// A listening socket: `accept` pops queued connections, readiness
+    /// fires when a client connects.
+    Listener(Arc<Listener>),
+    /// An epoll instance: an interest list over other descriptors plus the
+    /// waker its `epoll_wait` sleeps on.
+    Epoll(Arc<EpollObject>),
 }
 
 /// An *open file description* (POSIX term): shared offset + flags. `dup`ed

@@ -34,8 +34,10 @@ pub mod fs;
 pub mod futex;
 pub mod kernel;
 pub mod pipe;
+pub mod poll;
 pub mod process;
 pub mod signal;
+pub mod socket;
 pub mod syscall;
 pub mod trace;
 
@@ -51,6 +53,8 @@ pub use fs::{
 pub use futex::{futex_wait, futex_wait_timeout, futex_wake, Semaphore};
 pub use kernel::{BindGuard, Kernel, KernelRef, TraceEntry};
 pub use pipe::{pipe, pipe_with_capacity, PipeReader, PipeWriter};
+pub use poll::{EpollObject, EpollOp, PollEvents, PollWaker, WatchSet};
 pub use process::{Pid, ProcState, Process};
 pub use signal::{Disposition, MaskHow, SigSet, Signal, SignalState};
+pub use socket::{socketpair, socketpair_with_capacity, Listener, SocketEnd};
 pub use trace::{install_syscall_observer, SyscallObserver, SyscallPhase, Sysno};

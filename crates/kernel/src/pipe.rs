@@ -9,6 +9,7 @@
 use crate::errno::{Errno, KResult};
 use crate::fault::{self, FaultKind};
 use crate::kernel::errno_of;
+use crate::poll::{PollEvents, WatchSet};
 use crate::trace::{self, SyscallPhase, Sysno};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -26,6 +27,10 @@ struct PipeInner {
     capacity: usize,
     readers: AtomicUsize,
     writers: AtomicUsize,
+    /// Readiness watchers (`poll`/`epoll` sleepers). Fired at exactly the
+    /// sites that notify the blocking-path condvars above — one wait-queue
+    /// discipline for both kinds of waiter (see [`crate::poll`]).
+    watch: WatchSet,
 }
 
 /// Read end of a pipe. Cloning shares the same endpoint (like `dup`).
@@ -45,6 +50,7 @@ pub fn pipe_with_capacity(capacity: usize) -> (PipeReader, PipeWriter) {
         capacity: capacity.max(1),
         readers: AtomicUsize::new(1),
         writers: AtomicUsize::new(1),
+        watch: WatchSet::new(),
     });
     (PipeReader(inner.clone()), PipeWriter(inner))
 }
@@ -73,6 +79,7 @@ impl Drop for PipeReader {
         if self.0.readers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Writers must observe EPIPE.
             self.0.writable.notify_all();
+            self.0.watch.notify();
         }
     }
 }
@@ -82,6 +89,7 @@ impl Drop for PipeWriter {
         if self.0.writers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Readers must observe EOF.
             self.0.readable.notify_all();
+            self.0.watch.notify();
         }
     }
 }
@@ -119,6 +127,7 @@ impl PipeReader {
                     *slot = buf.pop_front().expect("len checked");
                 }
                 self.0.writable.notify_all();
+                self.0.watch.notify();
                 break Ok(n);
             }
             if self.0.writers.load(Ordering::Acquire) == 0 {
@@ -159,12 +168,34 @@ impl PipeReader {
             *slot = buf.pop_front().expect("len checked");
         }
         self.0.writable.notify_all();
+        self.0.watch.notify();
         Ok(n)
     }
 
     /// Bytes currently buffered.
     pub fn available(&self) -> usize {
         self.0.buf.lock().len()
+    }
+
+    /// Current readiness of the read end (level-triggered snapshot): `IN`
+    /// when bytes are buffered or every writer is gone (EOF is readable —
+    /// a read returns 0 at once), plus `HUP` in the latter case.
+    pub fn poll_events(&self) -> PollEvents {
+        let mut ev = PollEvents::NONE;
+        let has_data = !self.0.buf.lock().is_empty();
+        let writers_gone = self.0.writers.load(Ordering::Acquire) == 0;
+        if has_data || writers_gone {
+            ev = ev | PollEvents::IN;
+        }
+        if writers_gone {
+            ev = ev | PollEvents::HUP;
+        }
+        ev
+    }
+
+    /// The pipe's readiness watch set (shared by both ends).
+    pub fn watch(&self) -> &WatchSet {
+        &self.0.watch
     }
 }
 
@@ -207,6 +238,7 @@ impl PipeWriter {
             buf.extend(&data[written..written + n]);
             written += n;
             self.0.readable.notify_all();
+            self.0.watch.notify();
         };
         if blocked {
             trace::emit(
@@ -235,7 +267,27 @@ impl PipeWriter {
         let n = space.min(data.len());
         buf.extend(&data[..n]);
         self.0.readable.notify_all();
+        self.0.watch.notify();
         Ok(n)
+    }
+
+    /// Current readiness of the write end (level-triggered snapshot): `OUT`
+    /// while space remains and a reader exists; `ERR` once every reader is
+    /// gone (the pipe-writer analogue of `POLLERR` on Linux).
+    pub fn poll_events(&self) -> PollEvents {
+        if self.0.readers.load(Ordering::Acquire) == 0 {
+            return PollEvents::ERR;
+        }
+        if self.0.buf.lock().len() < self.0.capacity {
+            PollEvents::OUT
+        } else {
+            PollEvents::NONE
+        }
+    }
+
+    /// The pipe's readiness watch set (shared by both ends).
+    pub fn watch(&self) -> &WatchSet {
+        &self.0.watch
     }
 }
 

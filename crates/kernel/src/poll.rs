@@ -1,0 +1,295 @@
+//! Readiness notification: the wait-queue half of `poll`/`epoll`.
+//!
+//! The blocking pipe and socket paths already park the calling OS thread on
+//! a condvar and get woken by whichever thread produced data, freed space or
+//! closed an end. Readiness multiplexing reuses exactly those wakeup sites:
+//! every waitable object owns a [`WatchSet`], and every site that today does
+//! `condvar.notify_all()` *also* calls [`WatchSet::notify`]. A `poll` or
+//! `epoll_wait` sleeper therefore wakes on the same edges that would unblock
+//! a blocking read — there is one wait-queue discipline, not two.
+//!
+//! Semantics are **level-triggered** throughout: a waiter never consumes a
+//! readiness edge, it re-scans the watched objects' *current* state after
+//! every wakeup. That makes spurious notifications harmless (the scan just
+//! comes back empty and the waiter sleeps again), which in turn keeps the
+//! notify sites trivial: fire on every state change, never track what a
+//! watcher has already seen.
+//!
+//! Ownership rule: the **object** (pipe, socket buffer, listener queue) owns
+//! its `WatchSet` and is the only party that fires edges; watchers hold
+//! `Weak` registrations and may vanish at any time. The inverse direction —
+//! an epoll instance holding its interest list — also uses `Weak` (on the
+//! open file description), so neither side keeps the other alive and a
+//! dropped end still reaches EOF/HUP.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// Readiness event bits, mirroring the POSIX `POLL*` constants.
+///
+/// Follows the same custom-bitflags idiom as [`crate::fs::OpenFlags`] (no
+/// external bitflags crate; every bit is a plain mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PollEvents(pub u16);
+
+impl PollEvents {
+    /// No events.
+    pub const NONE: PollEvents = PollEvents(0);
+    /// Data is readable without blocking (`POLLIN`). EOF counts as
+    /// readable: a read would return 0 immediately.
+    pub const IN: PollEvents = PollEvents(0x001);
+    /// A write of at least the low-watermark size would proceed without
+    /// blocking (`POLLOUT`).
+    pub const OUT: PollEvents = PollEvents(0x004);
+    /// Error condition (`POLLERR`): e.g. a pipe writer whose readers are
+    /// all gone. Always reported, never part of the requested interest.
+    pub const ERR: PollEvents = PollEvents(0x008);
+    /// Hang-up (`POLLHUP`): the peer closed. Always reported, never part
+    /// of the requested interest.
+    pub const HUP: PollEvents = PollEvents(0x010);
+    /// Invalid descriptor (`POLLNVAL`) — only ever set in `poll` revents.
+    pub const NVAL: PollEvents = PollEvents(0x020);
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether all of `other`'s bits are present in `self`.
+    #[inline]
+    pub fn contains(self, other: PollEvents) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any of `other`'s bits are present in `self`.
+    #[inline]
+    pub fn intersects(self, other: PollEvents) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for PollEvents {
+    type Output = PollEvents;
+    fn bitor(self, rhs: PollEvents) -> PollEvents {
+        PollEvents(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitAnd for PollEvents {
+    type Output = PollEvents;
+    fn bitand(self, rhs: PollEvents) -> PollEvents {
+        PollEvents(self.0 & rhs.0)
+    }
+}
+
+/// One sleeping multiplexer (an `epoll_wait` or `poll` call in progress).
+///
+/// The generation counter closes the classic lost-wakeup window: a waiter
+/// reads the generation, scans object state, and only sleeps if the
+/// generation is still unchanged — an edge that fired between scan and
+/// sleep bumps the generation and the sleep returns immediately.
+#[derive(Debug)]
+pub struct PollWaker {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl PollWaker {
+    /// A fresh waker at generation 0.
+    pub fn new() -> PollWaker {
+        PollWaker {
+            gen: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current generation; pass it to [`PollWaker::wait`] after scanning.
+    pub fn generation(&self) -> u64 {
+        *self.gen.lock()
+    }
+
+    /// Fire a readiness edge: bump the generation and wake every sleeper.
+    pub fn wake(&self) {
+        let mut g = self.gen.lock();
+        *g += 1;
+        self.cv.notify_all();
+    }
+
+    /// Sleep until the generation moves past `seen` or `deadline` passes.
+    /// Returns `true` if an edge fired, `false` on timeout. A `None`
+    /// deadline sleeps indefinitely (only an edge can end the wait).
+    pub fn wait(&self, seen: u64, deadline: Option<Instant>) -> bool {
+        let mut g = self.gen.lock();
+        while *g == seen {
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return false;
+                    }
+                    if self.cv.wait_for(&mut g, d - now).timed_out() && *g == seen {
+                        return false;
+                    }
+                }
+                None => self.cv.wait(&mut g),
+            }
+        }
+        true
+    }
+}
+
+impl Default for PollWaker {
+    fn default() -> Self {
+        PollWaker::new()
+    }
+}
+
+/// The watchers of one waitable object. The object fires [`WatchSet::notify`]
+/// at every state change that could affect readiness — the same sites that
+/// already `notify_all()` the blocking-path condvars.
+#[derive(Debug, Default)]
+pub struct WatchSet {
+    watchers: Mutex<Vec<Weak<PollWaker>>>,
+}
+
+impl WatchSet {
+    /// An empty watch set.
+    pub fn new() -> WatchSet {
+        WatchSet::default()
+    }
+
+    /// Register a waker. Dead registrations are pruned on the next notify,
+    /// so subscribers just drop their `Arc` to unsubscribe.
+    pub fn subscribe(&self, waker: &Arc<PollWaker>) {
+        self.watchers.lock().push(Arc::downgrade(waker));
+    }
+
+    /// Fire a readiness edge to every live watcher, pruning dead ones.
+    pub fn notify(&self) {
+        let mut ws = self.watchers.lock();
+        ws.retain(|w| match w.upgrade() {
+            Some(waker) => {
+                waker.wake();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Number of live registrations (test/diagnostic aid).
+    pub fn watcher_count(&self) -> usize {
+        self.watchers
+            .lock()
+            .iter()
+            .filter(|w| w.upgrade().is_some())
+            .count()
+    }
+}
+
+/// `epoll_ctl` operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpollOp {
+    /// Register a new descriptor (`EPOLL_CTL_ADD`).
+    Add,
+    /// Change the interest mask of a registered descriptor
+    /// (`EPOLL_CTL_MOD`).
+    Mod,
+    /// Remove a registration (`EPOLL_CTL_DEL`).
+    Del,
+}
+
+/// One registration in an epoll interest list: the watched description
+/// (held weakly — epoll must not keep a pipe/socket end alive, or the
+/// EOF/HUP edge it is waiting for could never fire) plus the interest mask.
+#[derive(Debug)]
+pub struct EpollEntry {
+    /// The watched open file description, weak (auto-deregisters when the
+    /// last descriptor to it closes, like Linux epoll).
+    pub target: Weak<crate::fd::Description>,
+    /// Requested event mask. `ERR`/`HUP` are implicit and always reported.
+    pub interest: PollEvents,
+}
+
+/// The kernel object behind an epoll descriptor.
+///
+/// The interest list is keyed by the *fd number used at registration time*
+/// (what `epoll_wait` reports back), but each entry identifies its watched
+/// object by open file description — so the registration survives `dup2`
+/// shuffles of the original slot, and dies only when the description does.
+#[derive(Debug, Default)]
+pub struct EpollObject {
+    /// fd-at-registration → entry.
+    pub interest: Mutex<std::collections::BTreeMap<i32, EpollEntry>>,
+    /// Woken by every watched object's `WatchSet` (one subscription per
+    /// `Add`), and re-armed by re-scan — level-triggered.
+    pub waker: Arc<PollWaker>,
+}
+
+impl EpollObject {
+    /// A fresh epoll instance with an empty interest list.
+    pub fn new() -> EpollObject {
+        EpollObject::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn events_compose_like_poll_bits() {
+        let ev = PollEvents::IN | PollEvents::HUP;
+        assert!(ev.contains(PollEvents::IN));
+        assert!(ev.intersects(PollEvents::HUP));
+        assert!(!ev.contains(PollEvents::OUT));
+        assert!((ev & PollEvents::OUT).is_empty());
+        assert_eq!(PollEvents::IN.0, 0x001, "POLLIN value");
+        assert_eq!(PollEvents::OUT.0, 0x004, "POLLOUT value");
+        assert_eq!(PollEvents::HUP.0, 0x010, "POLLHUP value");
+    }
+
+    #[test]
+    fn waker_wait_times_out_without_edge() {
+        let w = PollWaker::new();
+        let gen = w.generation();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(!w.wait(gen, Some(deadline)));
+    }
+
+    #[test]
+    fn edge_between_scan_and_sleep_is_not_lost() {
+        let w = PollWaker::new();
+        let gen = w.generation();
+        w.wake(); // Edge fires after the scan, before the sleep.
+        assert!(w.wait(gen, None), "bumped generation must not sleep");
+    }
+
+    #[test]
+    fn notify_wakes_cross_thread_sleeper() {
+        let w = Arc::new(PollWaker::new());
+        let set = WatchSet::new();
+        set.subscribe(&w);
+        let sleeper = {
+            let w = w.clone();
+            thread::spawn(move || w.wait(w.generation(), None))
+        };
+        thread::sleep(Duration::from_millis(10));
+        set.notify();
+        assert!(sleeper.join().unwrap());
+    }
+
+    #[test]
+    fn dead_watchers_are_pruned() {
+        let set = WatchSet::new();
+        let w = Arc::new(PollWaker::new());
+        set.subscribe(&w);
+        assert_eq!(set.watcher_count(), 1);
+        drop(w);
+        set.notify();
+        assert_eq!(set.watcher_count(), 0);
+    }
+}

@@ -16,11 +16,14 @@ use crate::fd::{Description, Fd, FileObject};
 use crate::fs::{DirEntry, FileStat, OpenFlags, Whence};
 use crate::kernel::Kernel;
 use crate::pipe;
+use crate::poll::{EpollEntry, EpollObject, EpollOp, PollEvents, PollWaker, WatchSet};
 use crate::process::Pid;
 use crate::signal::{MaskHow, SigSet, Signal};
-use crate::trace::Sysno;
+use crate::socket::{self, Listener};
+use crate::trace::{self, SyscallPhase, Sysno};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 impl Kernel {
     // ----- identity ---------------------------------------------------------
@@ -129,7 +132,9 @@ impl Kernel {
                     Ok(n)
                 }
                 FileObject::PipeWrite(w) => w.write(data),
+                FileObject::Socket(s) => s.write(data),
                 FileObject::PipeRead(_) => Err(Errno::EBADF),
+                FileObject::Listener(_) | FileObject::Epoll(_) => Err(Errno::EINVAL),
             }
         })
     }
@@ -164,7 +169,9 @@ impl Kernel {
                     Ok(n)
                 }
                 FileObject::PipeRead(r) => r.read(buf),
+                FileObject::Socket(s) => s.read(buf),
                 FileObject::PipeWrite(_) => Err(Errno::EBADF),
+                FileObject::Listener(_) | FileObject::Epoll(_) => Err(Errno::EINVAL),
             }
         })
     }
@@ -284,6 +291,328 @@ impl Kernel {
                 flags: OpenFlags::WRONLY,
             }))?;
             Ok((rfd, wfd))
+        })
+    }
+
+    // ----- sockets & readiness ----------------------------------------------
+
+    /// `socketpair(2)`: a connected bidirectional loopback stream pair.
+    /// Both descriptors land in the calling thread's process, opened
+    /// read/write.
+    pub fn sys_socketpair(&self) -> KResult<(Fd, Fd)> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Socketpair, pid, &proc, || {
+            let (a, b) = socket::socketpair();
+            let mut fds = proc.fds.lock();
+            let fa = fds.install(Arc::new(Description {
+                object: FileObject::Socket(a),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDWR,
+            }))?;
+            let fb = fds.install(Arc::new(Description {
+                object: FileObject::Socket(b),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDWR,
+            }))?;
+            Ok((fa, fb))
+        })
+    }
+
+    /// `listen(2)`-ish: install `listener` into the calling process's FD
+    /// table so it can be `accept`ed from and watched with epoll. The
+    /// listener object itself is created raw ([`Listener::new`]) and shared
+    /// between client and server ULPs by `Arc`, the same way raw pipe ends
+    /// are plumbed across processes in this simulation.
+    pub fn sys_listen(&self, listener: &Arc<Listener>) -> KResult<Fd> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Listen, pid, &proc, || {
+            proc.fds.lock().install(Arc::new(Description {
+                object: FileObject::Listener(listener.clone()),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDONLY,
+            }))
+        })
+    }
+
+    /// `connect(2)` against an in-kernel listener: manufactures a fresh
+    /// socketpair, queues the server half on the listener's accept queue
+    /// (firing its readiness edge) and installs the client half in the
+    /// calling process. `EAGAIN` when the backlog is full.
+    pub fn sys_connect(&self, listener: &Arc<Listener>) -> KResult<Fd> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Connect, pid, &proc, || {
+            let end = listener.connect()?;
+            proc.fds.lock().install(Arc::new(Description {
+                object: FileObject::Socket(end),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDWR,
+            }))
+        })
+    }
+
+    /// `accept(2)`: pop the next queued connection from a listener
+    /// descriptor, blocking the calling OS thread while the queue is empty
+    /// (the sleep appears as a nested `accept_block` span). `EINVAL` if the
+    /// descriptor is not a listener.
+    pub fn sys_accept(&self, fd: Fd) -> KResult<Fd> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Accept, pid, &proc, || {
+            let desc = proc.fds.lock().get(fd)?;
+            let listener = match &desc.object {
+                FileObject::Listener(l) => l.clone(),
+                _ => return Err(Errno::EINVAL),
+            };
+            // Block outside any FD-table lock: other threads must be able
+            // to install/close descriptors while this accept sleeps.
+            let end = listener.accept()?;
+            proc.fds.lock().install(Arc::new(Description {
+                object: FileObject::Socket(end),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDWR,
+            }))
+        })
+    }
+
+    /// `epoll_create(2)`: a fresh epoll instance with an empty interest
+    /// list.
+    pub fn sys_epoll_create(&self) -> KResult<Fd> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::EpollCreate, pid, &proc, || {
+            proc.fds.lock().install(Arc::new(Description {
+                object: FileObject::Epoll(Arc::new(EpollObject::new())),
+                offset: Mutex::new(0),
+                flags: OpenFlags::RDWR,
+            }))
+        })
+    }
+
+    /// `epoll_ctl(2)`: add, modify or delete one interest-list entry.
+    ///
+    /// Registration is keyed by the *fd number* (what `epoll_wait` reports)
+    /// but identifies the watched object by open file description — so it
+    /// survives `dup2` shuffles of the original slot and auto-deregisters
+    /// when the last descriptor to the description closes, as on Linux.
+    ///
+    /// Errors: `EBADF` if `epfd` or `fd` is not open; `EINVAL` if `epfd` is
+    /// not an epoll descriptor, `fd` is an epoll descriptor (this kernel
+    /// does not nest epoll instances), or `epfd == fd`; `EPERM` if the
+    /// target is a regular file (always ready, unwatchable — Linux returns
+    /// the same); `EEXIST` on `Add` of an already-registered descriptor;
+    /// `ENOENT` on `Mod`/`Del` of an unregistered one.
+    pub fn sys_epoll_ctl(&self, epfd: Fd, op: EpollOp, fd: Fd, events: PollEvents) -> KResult<()> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::EpollCtl, pid, &proc, || {
+            if epfd == fd {
+                return Err(Errno::EINVAL);
+            }
+            let ep = match &proc.fds.lock().get(epfd)?.object {
+                FileObject::Epoll(e) => e.clone(),
+                _ => return Err(Errno::EINVAL),
+            };
+            let target = proc.fds.lock().get(fd)?;
+            match &target.object {
+                FileObject::Epoll(_) => return Err(Errno::EINVAL),
+                FileObject::File { .. } => return Err(Errno::EPERM),
+                _ => {}
+            }
+            let mut interest = ep.interest.lock();
+            let existing_is_live = interest
+                .get(&fd.0)
+                .and_then(|e| e.target.upgrade())
+                .is_some_and(|d| Arc::ptr_eq(&d, &target));
+            match op {
+                EpollOp::Add => {
+                    if existing_is_live {
+                        return Err(Errno::EEXIST);
+                    }
+                    // A dead or stale entry under this fd number is
+                    // replaced: the old description is gone (or the slot
+                    // was reused), so this is a fresh registration.
+                    watch_of(&target)
+                        .expect("non-file objects are watchable")
+                        .subscribe(&ep.waker);
+                    interest.insert(
+                        fd.0,
+                        EpollEntry {
+                            target: Arc::downgrade(&target),
+                            interest: events,
+                        },
+                    );
+                    // The new target may already be ready: force sleeping
+                    // epoll_wait callers to rescan.
+                    ep.waker.wake();
+                }
+                EpollOp::Mod => {
+                    if !existing_is_live {
+                        return Err(Errno::ENOENT);
+                    }
+                    interest
+                        .get_mut(&fd.0)
+                        .expect("liveness checked above")
+                        .interest = events;
+                    ep.waker.wake();
+                }
+                EpollOp::Del => {
+                    if !existing_is_live {
+                        return Err(Errno::ENOENT);
+                    }
+                    interest.remove(&fd.0);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// `epoll_wait(2)`: report up to `max_events` ready descriptors from
+    /// the interest list, blocking the calling OS thread (nested
+    /// `epoll_block_wait` span) until an edge fires, `timeout` elapses
+    /// (returning an empty set), or the fault plan injects `EINTR`.
+    ///
+    /// Level-triggered: every call re-scans the watched objects' current
+    /// state; nothing is consumed by reporting. Entries whose description
+    /// has died (every descriptor to it closed) are pruned during the scan.
+    pub fn sys_epoll_wait(
+        &self,
+        epfd: Fd,
+        max_events: usize,
+        timeout: Option<Duration>,
+    ) -> KResult<Vec<(Fd, PollEvents)>> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::EpollWait, pid, &proc, || {
+            if max_events == 0 {
+                return Err(Errno::EINVAL);
+            }
+            let ep = match &proc.fds.lock().get(epfd)?.object {
+                FileObject::Epoll(e) => e.clone(),
+                _ => return Err(Errno::EINVAL),
+            };
+            let deadline = timeout.map(|t| Instant::now() + t);
+            let mut blocked = false;
+            let res = loop {
+                // Generation before the scan: an edge firing between scan
+                // and sleep bumps it and the sleep returns immediately.
+                let gen = ep.waker.generation();
+                let mut ready = Vec::new();
+                ep.interest.lock().retain(|fdnum, entry| {
+                    match entry.target.upgrade() {
+                        Some(desc) => {
+                            let ev = readiness_of(&desc)
+                                & (entry.interest | PollEvents::ERR | PollEvents::HUP);
+                            if !ev.is_empty() && ready.len() < max_events {
+                                ready.push((Fd(*fdnum), ev));
+                            }
+                            true
+                        }
+                        // Last descriptor to the description closed:
+                        // auto-deregister, as Linux epoll does.
+                        None => false,
+                    }
+                });
+                if !ready.is_empty() {
+                    break Ok(ready);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break Ok(Vec::new());
+                    }
+                }
+                // A signal may interrupt the wait before anything is ready.
+                if crate::fault::fire(crate::fault::FaultKind::Eintr) {
+                    break Err(Errno::EINTR);
+                }
+                if !blocked {
+                    blocked = true;
+                    trace::emit(Sysno::EpollBlockWait, SyscallPhase::Enter);
+                }
+                ep.waker.wait(gen, deadline);
+            };
+            if blocked {
+                trace::emit(
+                    Sysno::EpollBlockWait,
+                    SyscallPhase::Exit {
+                        errno: crate::kernel::errno_of(&res),
+                    },
+                );
+            }
+            res
+        })
+    }
+
+    /// `poll(2)`: readiness wait over an explicit descriptor set. Returns
+    /// the revents for each requested entry, in order; an entry whose fd is
+    /// not open reports `NVAL` (POSIX: not an error for the call). Regular
+    /// files are always readable and writable. Blocks (nested
+    /// `epoll_block_wait` span — one sleep primitive serves both families)
+    /// until something is ready, `timeout` elapses, or the fault plan
+    /// injects `EINTR`.
+    pub fn sys_poll(
+        &self,
+        fds: &[(Fd, PollEvents)],
+        timeout: Option<Duration>,
+    ) -> KResult<Vec<PollEvents>> {
+        let (pid, proc) = self.require_current()?;
+        self.syscall_span(Sysno::Poll, pid, &proc, || {
+            // One throwaway waker subscribed to every watchable target for
+            // the duration of the call; subscriptions die with it (the
+            // watch sets prune dead watchers on their next notify).
+            let waker = Arc::new(PollWaker::new());
+            let targets: Vec<Option<crate::fd::DescriptionRef>> = {
+                let table = proc.fds.lock();
+                fds.iter().map(|(fd, _)| table.get(*fd).ok()).collect()
+            };
+            for desc in targets.iter().flatten() {
+                if let Some(watch) = watch_of(desc) {
+                    watch.subscribe(&waker);
+                }
+            }
+            let deadline = timeout.map(|t| Instant::now() + t);
+            let mut blocked = false;
+            let res = loop {
+                let gen = waker.generation();
+                let mut revents = vec![PollEvents::NONE; fds.len()];
+                let mut any = false;
+                for (i, target) in targets.iter().enumerate() {
+                    match target {
+                        None => {
+                            revents[i] = PollEvents::NVAL;
+                            any = true;
+                        }
+                        Some(desc) => {
+                            let ev =
+                                readiness_of(desc) & (fds[i].1 | PollEvents::ERR | PollEvents::HUP);
+                            if !ev.is_empty() {
+                                revents[i] = ev;
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                if any {
+                    break Ok(revents);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break Ok(revents);
+                    }
+                }
+                if crate::fault::fire(crate::fault::FaultKind::Eintr) {
+                    break Err(Errno::EINTR);
+                }
+                if !blocked {
+                    blocked = true;
+                    trace::emit(Sysno::EpollBlockWait, SyscallPhase::Enter);
+                }
+                waker.wait(gen, deadline);
+            };
+            if blocked {
+                trace::emit(
+                    Sysno::EpollBlockWait,
+                    SyscallPhase::Exit {
+                        errno: crate::kernel::errno_of(&res),
+                    },
+                );
+            }
+            res
         })
     }
 
@@ -443,6 +772,33 @@ fn same_fs(a: &Arc<dyn crate::fs::FileSystem>, b: &Arc<dyn crate::fs::FileSystem
     std::ptr::eq(Arc::as_ptr(a) as *const (), Arc::as_ptr(b) as *const ())
 }
 
+/// Level-triggered readiness snapshot of one open file description.
+/// Regular files never block, so they are permanently readable and
+/// writable (POSIX `poll` semantics); an epoll descriptor reports nothing
+/// (this kernel does not nest epoll instances).
+fn readiness_of(desc: &Description) -> PollEvents {
+    match &desc.object {
+        FileObject::File { .. } => PollEvents::IN | PollEvents::OUT,
+        FileObject::PipeRead(r) => r.poll_events(),
+        FileObject::PipeWrite(w) => w.poll_events(),
+        FileObject::Socket(s) => s.poll_events(),
+        FileObject::Listener(l) => l.poll_events(),
+        FileObject::Epoll(_) => PollEvents::NONE,
+    }
+}
+
+/// The watch set a readiness waiter must subscribe to for this description,
+/// if the object is watchable (regular files and epoll instances are not).
+fn watch_of(desc: &Description) -> Option<&WatchSet> {
+    match &desc.object {
+        FileObject::PipeRead(r) => Some(r.watch()),
+        FileObject::PipeWrite(w) => Some(w.watch()),
+        FileObject::Socket(s) => Some(s.watch()),
+        FileObject::Listener(l) => Some(l.watch()),
+        FileObject::File { .. } | FileObject::Epoll(_) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +943,103 @@ mod tests {
         // Wrong-direction operations fail.
         assert_eq!(k.sys_write(r, b"x").unwrap_err(), Errno::EBADF);
         assert_eq!(k.sys_read(w, &mut buf).unwrap_err(), Errno::EBADF);
+        k.unbind_current();
+    }
+
+    #[test]
+    fn socketpair_syscalls_roundtrip() {
+        let (k, _) = boot();
+        let (a, b) = k.sys_socketpair().unwrap();
+        assert_eq!(k.sys_write(a, b"ping").unwrap(), 4);
+        let mut buf = [0u8; 8];
+        assert_eq!(k.sys_read(b, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        // Bidirectional: the other direction is independent.
+        assert_eq!(k.sys_write(b, b"pong!").unwrap(), 5);
+        assert_eq!(k.sys_read(a, &mut buf).unwrap(), 5);
+        k.sys_close(a).unwrap();
+        // Peer close → EOF then EPIPE.
+        assert_eq!(k.sys_read(b, &mut buf).unwrap(), 0);
+        assert_eq!(k.sys_write(b, b"x").unwrap_err(), Errno::EPIPE);
+        k.unbind_current();
+    }
+
+    #[test]
+    fn listen_connect_accept_via_syscalls() {
+        let (k, _) = boot();
+        let l = crate::socket::Listener::new();
+        let lfd = k.sys_listen(&l).unwrap();
+        let cfd = k.sys_connect(&l).unwrap();
+        let sfd = k.sys_accept(lfd).unwrap();
+        assert_eq!(k.sys_write(cfd, b"req").unwrap(), 3);
+        let mut buf = [0u8; 8];
+        assert_eq!(k.sys_read(sfd, &mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"req");
+        // accept on a non-listener is EINVAL.
+        assert_eq!(k.sys_accept(cfd).unwrap_err(), Errno::EINVAL);
+        k.unbind_current();
+    }
+
+    #[test]
+    fn epoll_reports_pipe_and_listener_readiness() {
+        let (k, _) = boot();
+        let ep = k.sys_epoll_create().unwrap();
+        let (r, w) = k.sys_pipe().unwrap();
+        let l = crate::socket::Listener::new();
+        let lfd = k.sys_listen(&l).unwrap();
+        k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+            .unwrap();
+        k.sys_epoll_ctl(ep, EpollOp::Add, lfd, PollEvents::IN)
+            .unwrap();
+        // Nothing ready: a zero-ish timeout returns empty.
+        let got = k
+            .sys_epoll_wait(ep, 8, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(got.is_empty());
+        k.sys_write(w, b"x").unwrap();
+        k.sys_connect(&l).unwrap();
+        let mut got = k.sys_epoll_wait(ep, 8, None).unwrap();
+        got.sort_by_key(|(fd, _)| fd.0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, r);
+        assert!(got[0].1.contains(PollEvents::IN));
+        assert_eq!(got[1].0, lfd);
+        assert!(got[1].1.contains(PollEvents::IN));
+        // Level-triggered: unconsumed state reports again.
+        let again = k.sys_epoll_wait(ep, 8, None).unwrap();
+        assert_eq!(again.len(), 2);
+        k.unbind_current();
+    }
+
+    #[test]
+    fn poll_reports_nval_for_bad_fd() {
+        let (k, _) = boot();
+        let (r, w) = k.sys_pipe().unwrap();
+        k.sys_write(w, b"x").unwrap();
+        let revents = k
+            .sys_poll(
+                &[(r, PollEvents::IN), (Fd(99), PollEvents::IN)],
+                Some(Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert!(revents[0].contains(PollEvents::IN));
+        assert_eq!(revents[1], PollEvents::NVAL);
+        k.unbind_current();
+    }
+
+    #[test]
+    fn epoll_on_regular_file_is_eperm() {
+        let (k, _) = boot();
+        let ep = k.sys_epoll_create().unwrap();
+        let fd = k.sys_open("/f", wflags()).unwrap();
+        assert_eq!(
+            k.sys_epoll_ctl(ep, EpollOp::Add, fd, PollEvents::IN)
+                .unwrap_err(),
+            Errno::EPERM
+        );
+        // But poll on one reports always-ready.
+        let revents = k.sys_poll(&[(fd, PollEvents::OUT)], None).unwrap();
+        assert!(revents[0].contains(PollEvents::OUT));
         k.unbind_current();
     }
 

@@ -93,11 +93,35 @@ pub enum Sysno {
     PipeBlockRead,
     /// The in-kernel sleep of a `write(2)` on a full pipe.
     PipeBlockWrite,
+    /// `socketpair(2)` — create a connected loopback stream pair.
+    Socketpair,
+    /// `listen(2)`-ish: install a listener in the caller's FD table.
+    Listen,
+    /// `connect(2)` against an in-kernel listener.
+    Connect,
+    /// `accept(2)` — may block until a client connects.
+    Accept,
+    /// `poll(2)` — readiness wait over an explicit fd set.
+    Poll,
+    /// `epoll_create(2)`.
+    EpollCreate,
+    /// `epoll_ctl(2)` — add/modify/delete one interest-list entry.
+    EpollCtl,
+    /// `epoll_wait(2)` — may block until a watched fd becomes ready.
+    EpollWait,
+    /// The in-kernel sleep of an `epoll_wait`/`poll` with nothing ready.
+    EpollBlockWait,
+    /// The in-kernel sleep of a `read(2)` on an empty socket direction.
+    SockBlockRead,
+    /// The in-kernel sleep of a `write(2)` on a full socket direction.
+    SockBlockWrite,
+    /// The in-kernel sleep of an `accept(2)` on an empty accept queue.
+    AcceptBlock,
 }
 
 impl Sysno {
     /// Number of distinct syscalls — the length of per-syscall tables.
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 46;
 
     /// All syscalls, in discriminant order (`ALL[i] as u16 == i`).
     pub const ALL: [Sysno; Sysno::COUNT] = [
@@ -135,6 +159,18 @@ impl Sysno {
         Sysno::AioSuspend,
         Sysno::PipeBlockRead,
         Sysno::PipeBlockWrite,
+        Sysno::Socketpair,
+        Sysno::Listen,
+        Sysno::Connect,
+        Sysno::Accept,
+        Sysno::Poll,
+        Sysno::EpollCreate,
+        Sysno::EpollCtl,
+        Sysno::EpollWait,
+        Sysno::EpollBlockWait,
+        Sysno::SockBlockRead,
+        Sysno::SockBlockWrite,
+        Sysno::AcceptBlock,
     ];
 
     /// Stable lower-case name, used as the Perfetto span label and the
@@ -175,6 +211,18 @@ impl Sysno {
             Sysno::AioSuspend => "aio_suspend",
             Sysno::PipeBlockRead => "pipe_block_read",
             Sysno::PipeBlockWrite => "pipe_block_write",
+            Sysno::Socketpair => "socketpair",
+            Sysno::Listen => "listen",
+            Sysno::Connect => "connect",
+            Sysno::Accept => "accept",
+            Sysno::Poll => "poll",
+            Sysno::EpollCreate => "epoll_create",
+            Sysno::EpollCtl => "epoll_ctl",
+            Sysno::EpollWait => "epoll_wait",
+            Sysno::EpollBlockWait => "epoll_block_wait",
+            Sysno::SockBlockRead => "sock_block_read",
+            Sysno::SockBlockWrite => "sock_block_write",
+            Sysno::AcceptBlock => "accept_block",
         }
     }
 

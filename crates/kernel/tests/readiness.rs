@@ -1,0 +1,234 @@
+//! Readiness-layer edge cases: `poll` timeouts, `epoll_ctl` error paths,
+//! registration lifetime across `dup2`, fault-plan `EINTR` injection, and
+//! peer-close HUP edges.
+//!
+//! The fault-injection layer is process-global, so every test takes the
+//! file-local lock — the one armed test must not leak `EINTR` into its
+//! neighbors (same discipline as the torture harness's run lock).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use ulp_kernel::fault::{self, FaultPlan};
+use ulp_kernel::poll::EpollOp;
+use ulp_kernel::{Errno, Fd, Kernel, KernelRef, Pid, PollEvents};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn boot() -> (KernelRef, Pid) {
+    let k = Kernel::native();
+    let pid = k.spawn_process(Some(Pid(1)), "readiness-test");
+    k.bind_current(pid);
+    (k, pid)
+}
+
+#[test]
+fn poll_on_never_ready_fd_times_out() {
+    let _g = serial();
+    let (k, _) = boot();
+    let (r, _w) = k.sys_pipe().unwrap();
+    let started = Instant::now();
+    let revents = k
+        .sys_poll(&[(r, PollEvents::IN)], Some(Duration::from_millis(40)))
+        .unwrap();
+    assert!(
+        started.elapsed() >= Duration::from_millis(35),
+        "returned {}ms before the timeout",
+        started.elapsed().as_millis()
+    );
+    assert_eq!(revents.len(), 1);
+    assert!(revents[0].is_empty(), "nothing was ready: {:?}", revents[0]);
+    k.unbind_current();
+}
+
+#[test]
+fn epoll_ctl_error_paths() {
+    let _g = serial();
+    let (k, _) = boot();
+    let ep = k.sys_epoll_create().unwrap();
+    let (r, w) = k.sys_pipe().unwrap();
+
+    // EBADF: the target descriptor is not open.
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Add, Fd(321), PollEvents::IN)
+            .unwrap_err(),
+        Errno::EBADF
+    );
+    // ENOENT: Mod/Del before any registration.
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Mod, r, PollEvents::IN)
+            .unwrap_err(),
+        Errno::ENOENT
+    );
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Del, r, PollEvents::IN)
+            .unwrap_err(),
+        Errno::ENOENT
+    );
+    // EEXIST: double Add of a live registration.
+    k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+        .unwrap();
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+            .unwrap_err(),
+        Errno::EEXIST
+    );
+    // EINVAL: epfd is not an epoll descriptor / watching an epoll / self.
+    assert_eq!(
+        k.sys_epoll_ctl(w, EpollOp::Add, r, PollEvents::IN)
+            .unwrap_err(),
+        Errno::EINVAL
+    );
+    let ep2 = k.sys_epoll_create().unwrap();
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Add, ep2, PollEvents::IN)
+            .unwrap_err(),
+        Errno::EINVAL
+    );
+    assert_eq!(
+        k.sys_epoll_ctl(ep, EpollOp::Add, ep, PollEvents::IN)
+            .unwrap_err(),
+        Errno::EINVAL
+    );
+    // Mod/Del on the live registration succeed.
+    k.sys_epoll_ctl(ep, EpollOp::Mod, r, PollEvents::IN)
+        .unwrap();
+    k.sys_epoll_ctl(ep, EpollOp::Del, r, PollEvents::IN)
+        .unwrap();
+    k.unbind_current();
+}
+
+/// Registration identifies the open file description, not the fd slot: a
+/// `dup2` shuffle that closes the original slot leaves the registration
+/// live (reported under the fd number used at `Add` time), and only the
+/// death of the description itself deregisters.
+#[test]
+fn readiness_survives_dup2() {
+    let _g = serial();
+    let (k, _) = boot();
+    let ep = k.sys_epoll_create().unwrap();
+    let (r, w) = k.sys_pipe().unwrap();
+    k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+        .unwrap();
+
+    // Move the read end elsewhere, then close the registered slot.
+    let spare = k
+        .sys_open(
+            "/spare",
+            ulp_kernel::OpenFlags::CREAT | ulp_kernel::OpenFlags::WRONLY,
+        )
+        .unwrap();
+    let moved = k.sys_dup2(r, spare).unwrap();
+    k.sys_close(r).unwrap();
+
+    k.sys_write(w, b"x").unwrap();
+    let got = k
+        .sys_epoll_wait(ep, 8, Some(Duration::from_millis(200)))
+        .unwrap();
+    assert_eq!(got.len(), 1, "registration must survive the dup2 shuffle");
+    assert_eq!(got[0].0, r, "reported under the fd used at Add time");
+    assert!(got[0].1.contains(PollEvents::IN));
+
+    // Death of the description (last descriptor closed) auto-deregisters.
+    k.sys_close(moved).unwrap();
+    let got = k
+        .sys_epoll_wait(ep, 8, Some(Duration::from_millis(10)))
+        .unwrap();
+    assert!(got.is_empty(), "dead description must be pruned: {got:?}");
+    k.unbind_current();
+}
+
+#[test]
+fn eintr_mid_epoll_wait_under_fault_plan() {
+    let _g = serial();
+    let (k, _) = boot();
+    let ep = k.sys_epoll_create().unwrap();
+    let (r, _w) = k.sys_pipe().unwrap();
+    k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+        .unwrap();
+    // Every EINTR opportunity fires: the wait must be interrupted long
+    // before its generous timeout.
+    fault::arm(FaultPlan {
+        seed: 7,
+        spurious_wake_per_1024: 0,
+        eintr_per_1024: 1024,
+        eagain_per_1024: 0,
+        short_read_per_1024: 0,
+        delay_wake_per_1024: 0,
+    });
+    let started = Instant::now();
+    let err = k
+        .sys_epoll_wait(ep, 8, Some(Duration::from_secs(10)))
+        .unwrap_err();
+    fault::disarm();
+    assert_eq!(err, Errno::EINTR);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "EINTR must preempt the timeout"
+    );
+    k.unbind_current();
+}
+
+#[test]
+fn writer_close_wakes_blocked_epoll_with_hup() {
+    let _g = serial();
+    let (k, pid) = boot();
+    let ep = k.sys_epoll_create().unwrap();
+    let (r, w) = k.sys_pipe().unwrap();
+    k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+        .unwrap();
+
+    let k2 = k.clone();
+    let closer = std::thread::spawn(move || {
+        k2.bind_current(pid);
+        std::thread::sleep(Duration::from_millis(30));
+        k2.sys_close(w).unwrap();
+        k2.unbind_current();
+    });
+    let started = Instant::now();
+    let got = k.sys_epoll_wait(ep, 8, None).unwrap();
+    closer.join().unwrap();
+    assert!(
+        started.elapsed() >= Duration::from_millis(20),
+        "epoll_wait returned before the close"
+    );
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, r);
+    assert!(
+        got[0].1.contains(PollEvents::HUP),
+        "revents: {:?}",
+        got[0].1
+    );
+    assert!(
+        got[0].1.contains(PollEvents::IN),
+        "EOF is readable (a read returns 0 at once): {:?}",
+        got[0].1
+    );
+    // And the woken reader indeed observes EOF without blocking.
+    let mut buf = [0u8; 4];
+    assert_eq!(k.sys_read(r, &mut buf).unwrap(), 0);
+    k.unbind_current();
+}
+
+/// Peer close on a socket end wakes a blocked `poll` with `HUP` too — the
+/// socket and pipe paths share one wait-queue discipline.
+#[test]
+fn socket_peer_close_wakes_poll_with_hup() {
+    let _g = serial();
+    let (k, pid) = boot();
+    let (a, b) = k.sys_socketpair().unwrap();
+    let k2 = k.clone();
+    let closer = std::thread::spawn(move || {
+        k2.bind_current(pid);
+        std::thread::sleep(Duration::from_millis(30));
+        k2.sys_close(a).unwrap();
+        k2.unbind_current();
+    });
+    let revents = k.sys_poll(&[(b, PollEvents::IN)], None).unwrap();
+    closer.join().unwrap();
+    assert!(revents[0].contains(PollEvents::HUP), "{:?}", revents[0]);
+    k.unbind_current();
+}

@@ -18,7 +18,8 @@ use ulp_core::{
     coupled_scope, decouple, sys, yield_now, FutexLock, McsLock, RawUlpLock, Runtime, TasLock,
     TicketLock, UlpLock,
 };
-use ulp_kernel::{Errno, OpenFlags, Signal};
+use ulp_core::{EpollOp, Listener, PollEvents};
+use ulp_kernel::{Errno, Fd, OpenFlags, Signal};
 
 /// A torture workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,12 @@ pub enum Scenario {
     /// exposition — with `EINTR` and short reads injected on every read,
     /// verifying identity, file shape and counter monotonicity hold.
     ProcStorm,
+    /// One epoll-driven echo server and two clients over the in-kernel
+    /// loopback sockets: `listen`/`connect`/`accept`, level-triggered
+    /// `epoll_wait` and the blocking socket paths all under fault
+    /// injection, with byte-exact echo verification and request/response
+    /// conservation checks.
+    ServerStorm,
 }
 
 impl Scenario {
@@ -63,6 +70,7 @@ impl Scenario {
         Scenario::SignalStorm,
         Scenario::LockStorm,
         Scenario::ProcStorm,
+        Scenario::ServerStorm,
     ];
 
     /// Stable name (used in reports and for `--scenario` selection).
@@ -75,6 +83,7 @@ impl Scenario {
             Scenario::SignalStorm => "signal_storm",
             Scenario::LockStorm => "lock_storm",
             Scenario::ProcStorm => "proc_storm",
+            Scenario::ServerStorm => "server_storm",
         }
     }
 
@@ -93,6 +102,7 @@ impl Scenario {
             Scenario::SignalStorm => 1,
             Scenario::LockStorm => 2,
             Scenario::ProcStorm => 2,
+            Scenario::ServerStorm => 2,
         }
     }
 
@@ -108,6 +118,7 @@ impl Scenario {
             Scenario::SignalStorm => signal_storm(rt, &fails),
             Scenario::LockStorm => lock_storm(rt, &fails),
             Scenario::ProcStorm => proc_storm(rt, &fails),
+            Scenario::ServerStorm => server_storm(rt, &fails),
         }
         fails.take()
     }
@@ -648,4 +659,188 @@ fn proc_storm(rt: &Runtime, fails: &Fails) {
     for h in &handles {
         h.wait();
     }
+}
+
+/// Readiness layer under fire: one server ULP multiplexing its listener
+/// and both accepted connections through a single level-triggered epoll
+/// descriptor, two client ULPs issuing fixed-frame echo requests — all of
+/// `listen`/`connect`/`accept`/`epoll_wait` plus the blocking socket
+/// `read`/`write` paths running through injected `EINTR`, `EAGAIN` and
+/// short reads. Clients verify every reply byte-exact; the server's echoed
+/// byte count must conserve the request bytes exactly (a dropped wakeup
+/// shows up as a hang caught by the bounded loops, a duplicated one as a
+/// byte-count mismatch). Sizes are small: every syscall span (retries
+/// included) must fit the 4096-record trace rings.
+fn server_storm(rt: &Runtime, fails: &Fails) {
+    const CLIENTS: usize = 2;
+    const REQUESTS: usize = 12;
+    const FRAME: usize = 8;
+    let listener = Listener::new();
+    let echoed = Arc::new(AtomicU64::new(0));
+
+    let f = fails.clone();
+    let (l, e) = (listener.clone(), echoed.clone());
+    let server = rt.spawn("srv-s", move || {
+        let _ = decouple();
+        let ok = coupled_scope(|| {
+            let lfd = match retrying(|| sys::listen(&l)) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    f.push(format!("srv-s: listen: {e:?}"));
+                    return;
+                }
+            };
+            let ep = match retrying(sys::epoll_create) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    f.push(format!("srv-s: epoll_create: {e:?}"));
+                    return;
+                }
+            };
+            if let Err(e) = retrying(|| sys::epoll_ctl(ep, EpollOp::Add, lfd, PollEvents::IN)) {
+                f.push(format!("srv-s: epoll_ctl add listener: {e:?}"));
+                return;
+            }
+            let mut closed = 0usize;
+            let mut buf = [0u8; FRAME];
+            // Bounded: a lost wakeup must surface as a soft failure, not a
+            // wedged harness.
+            for _round in 0..10_000 {
+                if closed >= CLIENTS {
+                    break;
+                }
+                let events = match retrying(|| {
+                    sys::epoll_wait(ep, 8, Some(std::time::Duration::from_millis(50)))
+                }) {
+                    Ok(ev) => ev,
+                    Err(e) => {
+                        f.push(format!("srv-s: epoll_wait: {e:?}"));
+                        break;
+                    }
+                };
+                for (fd, ev) in events {
+                    if fd == lfd {
+                        // Level-triggered IN: the backlog is non-empty and
+                        // this is the only consumer, so accept can't hang.
+                        match retrying(|| sys::accept(lfd)) {
+                            Ok(conn) => {
+                                if let Err(e) = retrying(|| {
+                                    sys::epoll_ctl(ep, EpollOp::Add, conn, PollEvents::IN)
+                                }) {
+                                    f.push(format!("srv-s: epoll_ctl add conn: {e:?}"));
+                                }
+                            }
+                            Err(e) => f.push(format!("srv-s: accept: {e:?}")),
+                        }
+                    } else if ev.intersects(PollEvents::IN | PollEvents::HUP) {
+                        match retrying(|| sys::read(fd, &mut buf)) {
+                            Ok(0) => {
+                                if let Err(e) = retrying(|| {
+                                    sys::epoll_ctl(ep, EpollOp::Del, fd, PollEvents::NONE)
+                                }) {
+                                    f.push(format!("srv-s: epoll_ctl del: {e:?}"));
+                                }
+                                let _ = sys::close(fd);
+                                closed += 1;
+                            }
+                            Ok(n) => {
+                                if write_all(fd, &buf[..n]).is_err() {
+                                    f.push(format!("srv-s: echo write on {fd:?} failed"));
+                                } else {
+                                    e.fetch_add(n as u64, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => f.push(format!("srv-s: read on {fd:?}: {e:?}")),
+                        }
+                    }
+                }
+            }
+            if closed < CLIENTS {
+                f.push(format!("srv-s: only {closed}/{CLIENTS} connections closed"));
+            }
+            let _ = sys::close(ep);
+            let _ = sys::close(lfd);
+        });
+        if ok.is_err() {
+            f.push("srv-s: coupled_scope failed".into());
+        }
+        0
+    });
+
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let f = fails.clone();
+        let l = listener.clone();
+        clients.push(rt.spawn(&format!("srv-c{c}"), move || {
+            let _ = decouple();
+            let fd = match coupled_scope(|| retrying(|| sys::connect(&l))) {
+                Ok(Ok(fd)) => fd,
+                other => {
+                    f.push(format!("srv-c{c}: connect: {other:?}"));
+                    return 1;
+                }
+            };
+            let mut req = [0u8; FRAME];
+            let mut reply = [0u8; FRAME];
+            for r in 0..REQUESTS {
+                for (i, b) in req.iter_mut().enumerate() {
+                    *b = (c.wrapping_mul(31) ^ r.wrapping_mul(7) ^ i) as u8;
+                }
+                let f = &f;
+                let round = coupled_scope(|| {
+                    if write_all(fd, &req).is_err() {
+                        f.push(format!("srv-c{c}: request {r} write failed"));
+                        return;
+                    }
+                    match read_all(fd, &mut reply) {
+                        Ok(()) if reply == req => {}
+                        Ok(()) => {
+                            f.push(format!("srv-c{c}: request {r} reply {reply:?} != {req:?}"))
+                        }
+                        Err(e) => f.push(format!("srv-c{c}: request {r} read: {e}")),
+                    }
+                });
+                if round.is_err() {
+                    f.push(format!("srv-c{c}: coupled_scope failed at request {r}"));
+                    return 1;
+                }
+                yield_now();
+            }
+            let _ = coupled_scope(|| sys::close(fd));
+            0
+        }));
+    }
+
+    for h in &clients {
+        h.wait();
+    }
+    server.wait();
+    let want = (CLIENTS * REQUESTS * FRAME) as u64;
+    let got = echoed.load(Ordering::Relaxed);
+    if got != want {
+        fails.push(format!("server_storm: echoed {got} bytes, want {want}"));
+    }
+}
+
+/// Write all of `data` through injected faults (short writes only happen
+/// when the socket buffer fills, which these frame sizes never do).
+fn write_all(fd: Fd, data: &[u8]) -> Result<(), Errno> {
+    let mut sent = 0;
+    while sent < data.len() {
+        sent += retrying(|| sys::write(fd, &data[sent..]))?;
+    }
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes through injected short reads.
+fn read_all(fd: Fd, buf: &mut [u8]) -> Result<(), String> {
+    let mut got = 0;
+    while got < buf.len() {
+        match retrying(|| sys::read(fd, &mut buf[got..])) {
+            Ok(0) => return Err(format!("EOF after {got} bytes")),
+            Ok(n) => got += n,
+            Err(e) => return Err(format!("{e:?} after {got} bytes")),
+        }
+    }
+    Ok(())
 }
