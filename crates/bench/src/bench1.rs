@@ -67,7 +67,22 @@ pub struct Bench1 {
     /// from the per-syscall latency histograms — the same series the
     /// metrics endpoint exports as `ulp_syscall_latency_ns{call="getpid"}`.
     pub syscall_getpid: HistSummary,
+    /// 100k pooled ULPs churned through [`POOL_KCS`] pool KCs in waves.
+    pub churn_100k: workloads::PooledChurn,
+    /// 1M pooled ULPs churned the same way — the oversubscription scale
+    /// claim: RSS stays wave-bounded while a million ULPs live and die.
+    pub churn_1m: workloads::PooledChurn,
+    /// 100k simultaneously-runnable pooled ULPs yield-storming: aggregate
+    /// switch throughput once the sharded run queues carry the load.
+    pub yield_storm_100k: workloads::PooledStorm,
 }
+
+/// Pool KCs the scale rows run on — "a handful", pinned so the rows are
+/// comparable across hosts regardless of core count.
+pub const POOL_KCS: usize = 4;
+/// Wave size for the churn rows (reaped before the next wave spawns, so
+/// the stack free-list's high-water mark is bounded by it).
+pub const CHURN_WAVE: usize = 4096;
 
 /// Run the BENCH_1 measurements (scale-aware, same min-of-ten protocol as
 /// every other artifact).
@@ -116,6 +131,9 @@ pub fn measure() -> Bench1 {
         couple_resume: couple_hists.0,
         queue_delay: couple_hists.1,
         syscall_getpid: workloads::syscall_getpid_summary(iters / 5),
+        churn_100k: workloads::pooled_churn(100_000, CHURN_WAVE, POOL_KCS),
+        churn_1m: workloads::pooled_churn(1_000_000, CHURN_WAVE, POOL_KCS),
+        yield_storm_100k: workloads::pooled_yield_storm(100_000, 4, POOL_KCS),
     }
 }
 
@@ -211,11 +229,32 @@ pub fn to_json(b: &Bench1) -> String {
         pct_row("queue_delay", &b.queue_delay),
         pct_row("syscall_getpid_latency", &b.syscall_getpid),
     ];
+    let churn_row = |name: &str, c: &workloads::PooledChurn| {
+        format!(
+            "    \"{name}\": {{\"ulps\": {}, \"pool_kcs\": {POOL_KCS}, \"wave\": {CHURN_WAVE}, \"spawn_per_sec\": {}, \"peak_rss_mib\": {}, \"stack_peak\": {}, \"stack_recycled\": {}}}",
+            c.ulps,
+            json_num(c.spawn_per_sec),
+            json_num(c.peak_rss_mib),
+            c.stack_peak,
+            c.stack_recycled,
+        )
+    };
+    let scale_rows = [
+        churn_row("pooled_churn_100k", &b.churn_100k),
+        churn_row("pooled_churn_1m", &b.churn_1m),
+        format!(
+            "    \"pooled_yield_storm_100k\": {{\"ulps\": {}, \"pool_kcs\": {POOL_KCS}, \"switches_per_sec\": {}, \"peak_rss_mib\": {}}}",
+            b.yield_storm_100k.ulps,
+            json_num(b.yield_storm_100k.switches_per_sec),
+            json_num(b.yield_storm_100k.peak_rss_mib),
+        ),
+    ];
     format!(
-        "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }},\n  \"percentiles\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ulp-rs hot-path overhaul\",\n  \"protocol\": \"min of {} runs, warm-up loop per run\",\n  \"metrics\": {{\n{}\n  }},\n  \"percentiles\": {{\n{}\n  }},\n  \"scale\": {{\n{}\n  }}\n}}\n",
         crate::RUNS,
         rows.join(",\n"),
         pct_rows.join(",\n"),
+        scale_rows.join(",\n"),
     )
 }
 
@@ -251,6 +290,24 @@ mod tests {
         }
     }
 
+    fn sample_churn(n: usize) -> workloads::PooledChurn {
+        workloads::PooledChurn {
+            ulps: n,
+            spawn_per_sec: 250_000.0,
+            peak_rss_mib: 120.5,
+            stack_peak: 4096,
+            stack_recycled: n.saturating_sub(4096),
+        }
+    }
+
+    fn sample_storm() -> workloads::PooledStorm {
+        workloads::PooledStorm {
+            ulps: 100_000,
+            switches_per_sec: 3.0e6,
+            peak_rss_mib: 800.0,
+        }
+    }
+
     #[test]
     fn json_shape_is_parseable_enough() {
         let b = Bench1 {
@@ -264,6 +321,9 @@ mod tests {
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
             syscall_getpid: sample_summary(),
+            churn_100k: sample_churn(100_000),
+            churn_1m: sample_churn(1_000_000),
+            yield_storm_100k: sample_storm(),
         };
         let s = to_json(&b);
         assert!(s.contains("\"yield_latency_global_fifo\""));
@@ -289,6 +349,9 @@ mod tests {
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
             syscall_getpid: sample_summary(),
+            churn_100k: sample_churn(100_000),
+            churn_1m: sample_churn(1_000_000),
+            yield_storm_100k: sample_storm(),
         };
         let s = to_json(&b);
         for row in [
@@ -345,6 +408,9 @@ mod tests {
             couple_resume: sample_summary(),
             queue_delay: sample_summary(),
             syscall_getpid: sample_summary(),
+            churn_100k: sample_churn(100_000),
+            churn_1m: sample_churn(1_000_000),
+            yield_storm_100k: sample_storm(),
         };
         let s = to_json(&b);
         let row = s

@@ -11,6 +11,13 @@
 //! the slow path is widest (wake batching pulled the BLOCKING slow path
 //! close enough to the handoff figure that a short run could flap).
 //!
+//! Also gates the oversubscribed-KC-pool scale path: re-churns the 100k
+//! pooled-ULP row and fails if the spawn rate drops below half the
+//! committed figure (throughput on shared runners jitters more than
+//! latency, hence the wider margin) or if peak RSS stops being
+//! wave-bounded — a broken stack free-list turns ~10 MiB into gigabytes,
+//! so the RSS ceiling is structural, not a timing gate.
+//!
 //! Iteration counts are deliberately tiny (the min-of-runs protocol keeps
 //! even short runs stable on the fast paths measured here); the 25% margin
 //! absorbs shared-runner jitter.
@@ -20,17 +27,29 @@ use ulp_kernel::ArchProfile;
 
 const ITERS: usize = 400;
 const MAX_REGRESSION: f64 = 1.25;
+/// Pooled ULPs for the churn gate — the committed 100k row, full size
+/// (the rate is stable because the run amortizes over the whole churn).
+const CHURN_ULPS: usize = 100_000;
+/// Minimum fraction of the committed spawn rate the gate accepts.
+const MIN_CHURN_FRACTION: f64 = 0.5;
+/// Structural RSS ceiling for the churn (MiB): generous over the ~10 MiB
+/// a recycling pool needs, far under the gigabytes a leak produces.
+const CHURN_RSS_CEILING_MIB: f64 = 512.0;
 
-/// Pull `"after": <num>` out of the committed BENCH_1.json row named
+/// Pull `"<field>": <num>` out of the committed BENCH_1.json row named
 /// `key` (hand-rolled: the build environment has no serde).
-fn committed_after(json: &str, key: &str) -> Option<f64> {
+fn committed_field(json: &str, key: &str, field: &str) -> Option<f64> {
     let row = json.lines().find(|l| l.contains(&format!("\"{key}\"")))?;
-    let tail = row.split("\"after\": ").nth(1)?;
+    let tail = row.split(&format!("\"{field}\": ")).nth(1)?;
     let num: String = tail
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
         .collect();
     num.parse().ok()
+}
+
+fn committed_after(json: &str, key: &str) -> Option<f64> {
+    committed_field(json, key, "after")
 }
 
 fn main() {
@@ -96,8 +115,63 @@ fn main() {
         }
     }
 
+    // Oversubscribed-pool scale gate: churn the committed 100k row and
+    // hold the spawn rate to half the committed figure, peak RSS to a
+    // structural ceiling, and the stack free-list to zero leaks.
+    let churn = ulp_bench::workloads::pooled_churn(
+        CHURN_ULPS,
+        ulp_bench::bench1::CHURN_WAVE,
+        ulp_bench::bench1::POOL_KCS,
+    );
+    match committed_field(&json, "pooled_churn_100k", "spawn_per_sec") {
+        Some(reference) => {
+            let floor = reference * MIN_CHURN_FRACTION;
+            let verdict = if churn.spawn_per_sec >= floor {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "perf-smoke: {verdict} pooled churn rate: {:.1} ULPs/sec (committed {reference:.1}, floor {floor:.1})",
+                churn.spawn_per_sec
+            );
+            if churn.spawn_per_sec < floor {
+                failed = true;
+            }
+        }
+        None => {
+            eprintln!(
+                "perf-smoke: FAIL pooled churn: no \"pooled_churn_100k\" row in {}",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    let rss_verdict = if churn.peak_rss_mib < CHURN_RSS_CEILING_MIB {
+        "ok"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "perf-smoke: {rss_verdict} pooled churn peak RSS: {:.1} MiB (ceiling {CHURN_RSS_CEILING_MIB:.0})",
+        churn.peak_rss_mib
+    );
+    if churn.peak_rss_mib >= CHURN_RSS_CEILING_MIB {
+        failed = true;
+    }
+    let recycle_ok = churn.stack_recycled > 0 && churn.stack_peak < CHURN_ULPS;
+    println!(
+        "perf-smoke: {} pooled churn stacks: peak {} recycled {}",
+        if recycle_ok { "ok" } else { "FAIL" },
+        churn.stack_peak,
+        churn.stack_recycled
+    );
+    if !recycle_ok {
+        failed = true;
+    }
+
     if failed {
-        eprintln!("perf-smoke: couple-RTT regression gate FAILED");
+        eprintln!("perf-smoke: regression gate FAILED");
         std::process::exit(1);
     }
     println!("perf-smoke: all gates passed");

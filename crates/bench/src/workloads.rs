@@ -455,6 +455,132 @@ pub fn oversub_switches_per_sec(
     (n_blts * yields_each) as f64 / secs
 }
 
+// ------------------------------------------------- Pooled-ULP scale rows
+
+/// Current `VmRSS` of this process in MiB, from `/proc/self/status` (0.0
+/// when the host exposes no procfs — the rows then read as unmeasured).
+pub fn self_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            if let Some(kib) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                return kib / 1024.0;
+            }
+        }
+    }
+    0.0
+}
+
+/// One high-cardinality pooled-churn measurement: `n` pooled ULPs spawned,
+/// run and reaped in `wave`-sized waves over `pool_kcs` pool kernel
+/// contexts. The interesting numbers are the full-lifecycle throughput
+/// (spawn → dispatch → couple → terminate → reap) and the peak resident
+/// set — with the stack free-list recycling slab slots and `madvise`ing
+/// them away on release, RSS must track the wave size, not `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledChurn {
+    /// ULPs churned through the runtime.
+    pub ulps: usize,
+    /// Full spawn→exit→reap lifecycles per second.
+    pub spawn_per_sec: f64,
+    /// Peak `VmRSS` sampled across the run, MiB.
+    pub peak_rss_mib: f64,
+    /// Stack free-list high-water mark (stacks outstanding at once).
+    pub stack_peak: usize,
+    /// Acquisitions served by recycling a previously-released stack.
+    pub stack_recycled: usize,
+}
+
+/// Churn `n` short-lived pooled ULPs through the runtime in waves of
+/// `wave`, reaping each wave before the next starts.
+pub fn pooled_churn(n: usize, wave: usize, pool_kcs: usize) -> PooledChurn {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .pool_kcs(pool_kcs)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let mut peak_rss = self_rss_mib();
+    let t0 = Instant::now();
+    let mut spawned = 0usize;
+    while spawned < n {
+        let count = wave.min(n - spawned);
+        let handles: Vec<_> = (0..count)
+            .map(|_| rt.spawn_pooled("churn", || 0).expect("pooled spawn"))
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        spawned += count;
+        peak_rss = peak_rss.max(self_rss_mib());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    PooledChurn {
+        ulps: n,
+        spawn_per_sec: n as f64 / secs,
+        peak_rss_mib: peak_rss,
+        stack_peak: rt.stack_pool().peak_outstanding(),
+        stack_recycled: rt.stack_pool().recycled(),
+    }
+}
+
+/// Steady-state scheduling throughput with a high-cardinality runnable
+/// set: every ULP live and yielding at once, so the run queues (not the
+/// slot-handoff fast path) carry the load.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledStorm {
+    /// Simultaneously-runnable pooled ULPs.
+    pub ulps: usize,
+    /// Aggregate scheduler switches (yields + dispatches) per second.
+    pub switches_per_sec: f64,
+    /// Peak `VmRSS` sampled across the run, MiB.
+    pub peak_rss_mib: f64,
+}
+
+/// `n` pooled ULPs all alive at once, each yielding `yields_each` times;
+/// throughput is the runtime's own switch-counter delta over the wall
+/// clock from first spawn to last reap (every counted switch actually
+/// happened — ULPs also yield while the spawn loop is still filling the
+/// queues, and those switches are part of the measured work).
+pub fn pooled_yield_storm(n: usize, yields_each: usize, pool_kcs: usize) -> PooledStorm {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .pool_kcs(pool_kcs)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let before = rt.stats().snapshot();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            rt.spawn_pooled("storm", move || {
+                for _ in 0..yields_each {
+                    yield_now();
+                }
+                0
+            })
+            .expect("pooled spawn")
+        })
+        .collect();
+    let mid_rss = self_rss_mib();
+    for h in &handles {
+        h.wait();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let after = rt.stats().snapshot();
+    let switches =
+        (after.yields + after.scheduler_dispatches) - (before.yields + before.scheduler_dispatches);
+    PooledStorm {
+        ulps: n,
+        switches_per_sec: switches as f64 / secs,
+        peak_rss_mib: mid_rss.max(self_rss_mib()),
+    }
+}
+
 // ------------------------------------------------------------ Figs. 7 & 8
 
 /// The five series of Figure 7 (and the I/O side of Figure 8).

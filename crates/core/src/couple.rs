@@ -180,6 +180,17 @@ pub fn decouple() -> Result<bool, UlpError> {
                 });
             }
             let target = unsafe { *waiter.ctx.get() };
+            // On a *pool* KC the waiter may carry a different kernel
+            // identity than we do (pooled UCs share the KC but own their
+            // pids); rebind so its system calls hit the right process.
+            // Siblings share our pid, so established BLT workloads never
+            // pay this branch. Handoffs bypass the pool idle loop, which
+            // is why the loop rebinds unconditionally on its next serve.
+            if waiter.pid != me.pid {
+                if let Some(rt) = b.rt() {
+                    rt.kernel.bind_current(waiter.pid);
+                }
+            }
             // KC-local install: the waiter lands on its own original KC,
             // so like the TC→UC dispatch this is exempt from the TLS
             // charge (§V-B) and carries no sigmask.

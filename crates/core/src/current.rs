@@ -58,6 +58,16 @@ pub enum Deferred {
     CoupleRequest(Arc<UcInner>),
     /// A sibling UC finished: drop its stack and release its slot on the KC.
     TerminateSibling(Arc<UcInner>),
+    /// A pooled ULP finished: recycle its stack into the pool
+    /// (`MADV_DONTNEED`ed so RSS follows live ULPs) and publish its exit
+    /// status — strictly after the final switch, so a waiter that wakes on
+    /// the status observes every hot-path counter bump already landed.
+    TerminatePooled {
+        /// The terminated pooled UC.
+        uc: Arc<UcInner>,
+        /// Exit status to publish to `PooledHandle::wait`.
+        status: i32,
+    },
 }
 
 impl std::fmt::Debug for Deferred {
@@ -66,6 +76,9 @@ impl std::fmt::Debug for Deferred {
             Deferred::Enqueue(u) => write!(f, "Enqueue({})", u.id),
             Deferred::CoupleRequest(u) => write!(f, "CoupleRequest({})", u.id),
             Deferred::TerminateSibling(u) => write!(f, "TerminateSibling({})", u.id),
+            Deferred::TerminatePooled { uc, status } => {
+                write!(f, "TerminatePooled({}, {status})", uc.id)
+            }
         }
     }
 }
@@ -264,12 +277,22 @@ pub(crate) fn with_thread<R>(f: impl FnOnce(&ThreadBlock) -> R) -> R {
 /// Install the runtime on this OS thread: anchors the runtime, caches the
 /// switch-relevant config knobs, and registers this kernel context's
 /// private stats shard with the runtime.
+///
+/// Idempotent per (thread, runtime): re-installing the runtime already on
+/// this thread refreshes the cached config knobs but keeps the existing
+/// stats/trace shards. Shards are per *kernel context*, not per ULP — the
+/// seed-era 1-KC-per-BLT runtime made the two equivalent, but a pooled KC
+/// hosting many ULPs must not grow the shard registries (and the snapshot
+/// fold) with every spawn.
 pub fn set_runtime(rt: Arc<RuntimeInner>) {
     BLOCK.with(|b| {
         b.tls_switch.set(rt.config.tls_switch);
         b.tls_spin.set(rt.config.profile.tls_load());
         b.save_sigmask.set(rt.config.save_sigmask);
         b.installed_mask.set(None);
+        if b.rt_ptr.get() == Arc::as_ptr(&rt) && !b.shard_ptr.get().is_null() {
+            return;
+        }
         let shard = rt.stats.register_shard();
         b.shard_ptr.set(Arc::as_ptr(&shard));
         b.shard.set(Some(shard));
@@ -383,6 +406,13 @@ pub fn run_deferred() {
                         rt.stack_pool.release(stack);
                     }
                 }
+                // The dead UC must not linger as this thread's installed
+                // ULP: the KC idles on this thread next, and an idle futex
+                // block would be traced as a syscall span of a terminated
+                // BLT (left unclosed if the trace is captured mid-park).
+                if b.ulp_ptr.get() == Arc::as_ptr(&uc) {
+                    let _ = b.swap_ulp(None);
+                }
                 uc.kc
                     .sibling_count
                     .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
@@ -390,6 +420,28 @@ pub fn run_deferred() {
                 // but wake anyway in case the primary's exit condition now
                 // holds on a blocked KC.
                 uc.kc.notify();
+            }
+            Deferred::TerminatePooled { uc, status } => {
+                // Running on the pool KC's native stack; the pooled UC's
+                // context is dead. Recycle its slab slot (the pool DONTNEEDs
+                // it so RSS tracks live ULPs) before publishing the status:
+                // a waiter that wakes on `sib_result` must observe every
+                // counter bump from the hot path already landed, and the
+                // stack back in the pool.
+                if let Some(stack) = uc.sib_stack.lock().take() {
+                    if let Some(rt) = b.rt() {
+                        rt.stack_pool.release(stack);
+                    } else if let Some(rt) = uc.rt.upgrade() {
+                        rt.stack_pool.release(stack);
+                    }
+                }
+                // As with a sibling: uninstall the dead UC so the pool KC's
+                // idle blocks read as anonymous, not as a terminated BLT's
+                // syscall spans.
+                if b.ulp_ptr.get() == Arc::as_ptr(&uc) {
+                    let _ = b.swap_ulp(None);
+                }
+                uc.sib_result.set(status);
             }
         }
     });

@@ -306,6 +306,45 @@ fn counter_block(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+fn gauge_block(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Stack-pool counters and gauges for the exporter, decoupled from the
+/// `StackPool` type so tests can fabricate values.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolMetrics {
+    /// Acquisitions served from the free list / a recycled slab slot.
+    pub hits: u64,
+    /// Acquisitions that had to map or carve fresh memory.
+    pub misses: u64,
+    /// Stacks currently handed out and not yet released.
+    pub outstanding: u64,
+    /// High-water mark of simultaneously outstanding stacks.
+    pub peak_outstanding: u64,
+    /// Releases whose pages were dropped with `MADV_DONTNEED`.
+    pub recycled: u64,
+    /// Stacks currently cached for reuse.
+    pub cached: u64,
+}
+
+impl PoolMetrics {
+    /// Snapshot a live pool's counters.
+    pub fn from_pool(pool: &ulp_fcontext::StackPool) -> PoolMetrics {
+        let (hits, misses) = pool.stats();
+        PoolMetrics {
+            hits: hits as u64,
+            misses: misses as u64,
+            outstanding: pool.outstanding() as u64,
+            peak_outstanding: pool.peak_outstanding() as u64,
+            recycled: pool.recycled() as u64,
+            cached: pool.cached() as u64,
+        }
+    }
+}
+
 fn hist_block(out: &mut String, name: &str, help: &str, d: &HistData) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
@@ -386,6 +425,7 @@ pub fn prometheus_text(
     sys: &SyscallSnapshot,
     kernel_syscalls_total: u64,
     violations_total: u64,
+    pool: &PoolMetrics,
 ) -> String {
     let mut out = String::new();
     counter_block(
@@ -432,6 +472,12 @@ pub fn prometheus_text(
     );
     counter_block(
         &mut out,
+        "ulp_pooled_spawned_total",
+        "Pooled ULPs spawned (oversubscription mode: shared pool KCs).",
+        stats.pooled_spawned,
+    );
+    counter_block(
+        &mut out,
         "ulp_scheduler_dispatches_total",
         "Decoupled UCs dispatched by scheduler KCs.",
         stats.scheduler_dispatches,
@@ -459,6 +505,42 @@ pub fn prometheus_text(
         "ulp_syscall_violations_total",
         "System-call-consistency violations recorded by the audit log (§V-B hazards).",
         violations_total,
+    );
+    counter_block(
+        &mut out,
+        "ulp_stack_pool_hits_total",
+        "Stack acquisitions served from the free list or a recycled slab slot.",
+        pool.hits,
+    );
+    counter_block(
+        &mut out,
+        "ulp_stack_pool_misses_total",
+        "Stack acquisitions that mapped or carved fresh memory.",
+        pool.misses,
+    );
+    counter_block(
+        &mut out,
+        "ulp_stack_recycled_total",
+        "Stack releases whose pages were dropped with MADV_DONTNEED.",
+        pool.recycled,
+    );
+    gauge_block(
+        &mut out,
+        "ulp_stack_outstanding",
+        "Stacks currently handed out (live ULP/sibling/TC stacks).",
+        pool.outstanding,
+    );
+    gauge_block(
+        &mut out,
+        "ulp_stack_outstanding_peak",
+        "High-water mark of simultaneously outstanding stacks.",
+        pool.peak_outstanding,
+    );
+    gauge_block(
+        &mut out,
+        "ulp_stack_cached",
+        "Stacks currently cached for reuse in the pool.",
+        pool.cached,
     );
     syscall_blocks(&mut out, sys);
     hist_block(
@@ -591,8 +673,24 @@ mod tests {
         lat.queue_delay.count = 2;
         lat.queue_delay.sum = 400;
         lat.queue_delay.max = 300;
-        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0, 3);
+        let pool = PoolMetrics {
+            hits: 9,
+            misses: 4,
+            outstanding: 2,
+            peak_outstanding: 6,
+            recycled: 7,
+            cached: 3,
+        };
+        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0, 3, &pool);
         assert!(text.contains("ulp_context_switches_total 42\n"));
+        assert!(text.contains("# TYPE ulp_stack_outstanding gauge"));
+        assert!(text.contains("ulp_stack_pool_hits_total 9\n"));
+        assert!(text.contains("ulp_stack_pool_misses_total 4\n"));
+        assert!(text.contains("ulp_stack_outstanding 2\n"));
+        assert!(text.contains("ulp_stack_outstanding_peak 6\n"));
+        assert!(text.contains("ulp_stack_recycled_total 7\n"));
+        assert!(text.contains("ulp_stack_cached 3\n"));
+        assert!(text.contains("ulp_pooled_spawned_total 0\n"));
         assert!(text.contains("# TYPE ulp_syscall_violations_total counter"));
         assert!(text.contains("ulp_syscall_violations_total 3\n"));
         assert!(text.contains("ulp_yields_total 7\n"));
@@ -768,6 +866,7 @@ mod tests {
             &sys,
             17,
             0,
+            &PoolMetrics::default(),
         );
         assert!(text.contains("ulp_kernel_syscalls_total 17\n"));
         assert!(text.contains("ulp_syscall_violations_total 0\n"));
@@ -795,6 +894,7 @@ mod tests {
             &SyscallSnapshot::new(),
             0,
             0,
+            &PoolMetrics::default(),
         );
         let mut prev = 0u64;
         for line in text

@@ -130,3 +130,54 @@ fn tc_loop(boot: &TcBoot) -> ! {
         }
     }
 }
+
+/// Main loop of a *pool* kernel context (oversubscription mode).
+///
+/// Unlike a BLT's original KC, a pool KC has no primary UC and no kernel
+/// process of its own: it lends its OS thread to many pooled ULPs in turn,
+/// rebinding its kernel identity to each ULP's pid as it serves it (the
+/// binding is a thread-local pointer swap, so the rebind costs nothing that
+/// scales with the ULP count). The thread's native context doubles as the
+/// TC — `tc_started` is pre-set and `tc_ctx` is filled by the first
+/// `raw_switch` away — so a pool KC needs no trampoline stack at all.
+///
+/// Exits when the runtime shuts down and the pending queue has drained.
+pub(crate) fn pool_main(rt: Arc<RuntimeInner>, kc: Arc<crate::uc::KcShared>) {
+    let _ = kc.thread_id.set(std::thread::current().id());
+    // The native context is the trampoline: mark it live so nothing tries
+    // to build one, and so `ensure_tc` (never called for pool KCs, but
+    // defensively) is a no-op.
+    kc.tc_started.store(true, Ordering::Release);
+    crate::current::set_runtime(rt.clone());
+    loop {
+        // Eventcount read precedes the work checks (park protocol).
+        let seen = kc.signal_version();
+
+        let next = kc.pending.lock().pop_front();
+        if let Some(uc) = next {
+            // Rebind unconditionally: a direct decouple→couple handoff on
+            // this KC may have left the thread bound to a different pooled
+            // pid than the last one this loop served, so a cached "last
+            // bound" pid would go stale. `bind_current` is a TLS update.
+            rt.kernel.bind_current(uc.pid);
+            let target = unsafe { *uc.ctx.get() };
+            install_ulp_no_charge(uc);
+            unsafe { raw_switch(kc.tc_ctx.get(), target, None) };
+            // Back on the native stack: the pooled ULP terminated (its
+            // stack recycled via the deferred hook) or decoupled again.
+            continue;
+        }
+
+        if rt.shutdown.load(Ordering::Acquire) && kc.pending.lock().is_empty() {
+            break;
+        }
+
+        // Rule 5: idle. Pool KCs have no primary BltId to tag a KcBlocked
+        // event with, so blocks surface in stats (`kc_blocks`) only.
+        if kc.park(seen) {
+            rt.stats.bump_kc_blocks();
+        }
+    }
+    rt.kernel.unbind_current();
+    crate::current::clear_thread_state();
+}

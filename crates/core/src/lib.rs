@@ -86,7 +86,7 @@ pub mod uc;
 pub use chaos::ChaosPlan;
 pub use couple::{couple, coupled_scope, decouple, is_coupled, pending_couplers, yield_now};
 pub use error::UlpError;
-pub use export::{chrome_trace_json, prometheus_text};
+pub use export::{chrome_trace_json, prometheus_text, PoolMetrics};
 pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
 pub use profile::{
     diff_folded, fold_profile, fold_profile_window, parse_collapsed, BltProfile, ProfileSnapshot,
@@ -95,7 +95,7 @@ pub use profile::{
 pub use runqueue::SchedPolicy;
 pub use runtime::{Config, ConsistencyMode, Runtime, RuntimeBuilder, Topology};
 pub use signals::{clear_handler, handled_count, on_signal, poll_signals};
-pub use spawn::{BltHandle, SiblingHandle, PANIC_EXIT_STATUS};
+pub use spawn::{BltHandle, PooledHandle, SiblingHandle, PANIC_EXIT_STATUS};
 pub use stats::{Stats, StatsSnapshot};
 pub use sync::{
     FutexLock, McsLock, RawUlpLock, TasLock, TicketLock, UlpBarrier, UlpEvent, UlpLock,

@@ -18,6 +18,17 @@
 //! - **Local deque**: one uncontended lock, then the eventcount publish.
 //! - **Injector** (foreign threads, `GlobalFifo`): same, on the shared queue.
 //!
+//! ## Injector sharding
+//!
+//! Under `GlobalFifo` the injector is a single queue — exact FIFO, the
+//! prototype's shape. Under `WorkStealing` it is split into a handful of
+//! cache-line-padded shards (round-robin push, rotating pop scan): with
+//! 100k+ runnable UCs whose enqueues all arrive from *foreign* threads
+//! (pooled spawns, deferred enqueues published on pool KCs), one shared
+//! mutex becomes the bottleneck long before the schedulers do. Work
+//! stealing already abandons global FIFO order, so sharding costs nothing
+//! semantically there.
+//!
 //! ## Wake protocol (eventcount)
 //!
 //! A producer publishes (enqueue, `version += 1`) and then checks
@@ -58,6 +69,23 @@ pub enum SchedPolicy {
 /// shadow queued UCs.
 const SLOT_FAIRNESS_LIMIT: u32 = 64;
 
+/// One injector shard, padded to its own cache line so round-robin pushers
+/// don't false-share the neighbors' mutexes.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct InjectorShard {
+    queue: Mutex<VecDeque<Arc<UcInner>>>,
+}
+
+/// Injector shard count for `WorkStealing`: scale with the host but stay
+/// small — each pop may scan all shards. `GlobalFifo` always uses 1.
+fn ws_injector_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(2, 16)
+}
+
 /// A scheduler's stealable local FIFO.
 #[derive(Debug, Default)]
 struct LocalDeque {
@@ -83,7 +111,13 @@ thread_local! {
 /// eventcount-style sleep/wake protocol idle schedulers park on.
 #[derive(Debug)]
 pub struct RunQueue {
-    injector: Mutex<VecDeque<Arc<UcInner>>>,
+    /// Sharded global injector: exactly one shard under `GlobalFifo` (exact
+    /// FIFO), several padded shards under `WorkStealing` (see module docs).
+    injector: Box<[InjectorShard]>,
+    /// Round-robin cursor for injector pushes (multi-shard only).
+    push_idx: std::sync::atomic::AtomicUsize,
+    /// Rotating start cursor for injector pop scans (multi-shard only).
+    pop_idx: std::sync::atomic::AtomicUsize,
     /// Eventcount version: bumped on every push that needs the wake protocol.
     version: AtomicU32,
     /// Number of parked (or about-to-park) schedulers.
@@ -108,8 +142,14 @@ impl RunQueue {
 
     /// A queue with explicit idle and scheduling policies.
     pub fn with_policy(idle_policy: IdlePolicy, policy: SchedPolicy) -> RunQueue {
+        let shards = match policy {
+            SchedPolicy::GlobalFifo => 1,
+            SchedPolicy::WorkStealing => ws_injector_shards(),
+        };
         RunQueue {
-            injector: Mutex::new(VecDeque::new()),
+            injector: (0..shards).map(|_| InjectorShard::default()).collect(),
+            push_idx: std::sync::atomic::AtomicUsize::new(0),
+            pop_idx: std::sync::atomic::AtomicUsize::new(0),
             version: AtomicU32::new(0),
             sleepers: AtomicU32::new(0),
             idle_policy,
@@ -173,13 +213,13 @@ impl RunQueue {
         let Some(reg) = reg else { return };
         let mut spilled = false;
         if let Some(uc) = reg.slot.borrow_mut().take() {
-            self.injector.lock().push_back(uc);
+            self.inject(uc);
             spilled = true;
         }
         {
             let mut q = reg.deque.queue.lock();
             while let Some(uc) = q.pop_front() {
-                self.injector.lock().push_back(uc);
+                self.inject(uc);
                 spilled = true;
             }
         }
@@ -189,6 +229,38 @@ impl RunQueue {
             // the only one left to run them.
             self.publish_and_wake();
         }
+    }
+
+    /// Enqueue on the injector: the single shard under `GlobalFifo`,
+    /// round-robin otherwise.
+    #[inline]
+    fn inject(&self, uc: Arc<UcInner>) {
+        let i = if self.injector.len() == 1 {
+            0
+        } else {
+            self.push_idx.fetch_add(1, Ordering::Relaxed) % self.injector.len()
+        };
+        self.injector[i].queue.lock().push_back(uc);
+    }
+
+    /// Dequeue from the injector, scanning shards from a rotating start so
+    /// no shard is systematically favored.
+    #[inline]
+    fn injector_pop(&self, biased: bool) -> Option<Arc<UcInner>> {
+        let n = self.injector.len();
+        let start = if n == 1 {
+            0
+        } else {
+            self.pop_idx.fetch_add(1, Ordering::Relaxed) % n
+        };
+        for k in 0..n {
+            let mut q = self.injector[(start + k) % n].queue.lock();
+            let got = if biased { q.pop_back() } else { q.pop_front() };
+            if got.is_some() {
+                return got;
+            }
+        }
+        None
     }
 
     /// Eventcount publish half: bump the version, then (behind a StoreLoad
@@ -246,13 +318,13 @@ impl RunQueue {
                     return;
                 }
                 Err(uc) => {
-                    self.injector.lock().push_back(uc);
+                    self.inject(uc);
                     self.publish_and_wake();
                     return;
                 }
             }
         }
-        self.injector.lock().push_back(uc);
+        self.inject(uc);
         self.publish_and_wake();
     }
 
@@ -290,16 +362,8 @@ impl RunQueue {
                 return local;
             }
         }
-        {
-            let mut inj = self.injector.lock();
-            let got = if biased {
-                inj.pop_back()
-            } else {
-                inj.pop_front()
-            };
-            if got.is_some() {
-                return got;
-            }
+        if let Some(uc) = self.injector_pop(biased) {
+            return Some(uc);
         }
         if self.policy == SchedPolicy::WorkStealing {
             for deque in self.locals.read().iter() {
@@ -381,7 +445,7 @@ impl RunQueue {
     /// thread — its own next-UC slot (other threads cannot see a foreign
     /// slot; its owner drains it before it can ever park or exit).
     pub fn is_empty(&self) -> bool {
-        if !self.injector.lock().is_empty() {
+        if !self.injector.iter().all(|s| s.queue.lock().is_empty()) {
             return false;
         }
         if self.policy == SchedPolicy::WorkStealing {
@@ -401,7 +465,7 @@ impl RunQueue {
 
     /// Runnable UCs currently queued (injector plus local deques).
     pub fn len(&self) -> usize {
-        let mut n = self.injector.lock().len();
+        let mut n: usize = self.injector.iter().map(|s| s.queue.lock().len()).sum();
         if self.policy == SchedPolicy::WorkStealing {
             n += self
                 .locals
@@ -652,6 +716,50 @@ mod ws_tests {
         );
         while q.pop().is_some() {}
         q.unregister_local();
+    }
+
+    #[test]
+    fn injector_shard_counts_follow_policy() {
+        let fifo = RunQueue::new(IdlePolicy::BusyWait);
+        assert_eq!(fifo.injector.len(), 1, "GlobalFifo must stay exact-FIFO");
+        let ws = RunQueue::with_policy(IdlePolicy::BusyWait, SchedPolicy::WorkStealing);
+        assert!(
+            (2..=16).contains(&ws.injector.len()),
+            "WS shard count {} out of range",
+            ws.injector.len()
+        );
+    }
+
+    #[test]
+    fn ws_sharded_injector_loses_nothing_under_foreign_pushes() {
+        // Foreign (unregistered) threads push round-robin across the
+        // shards; every UC must be reachable from an unregistered popper
+        // and the counts must reconcile.
+        let q = Arc::new(RunQueue::with_policy(
+            IdlePolicy::BusyWait,
+            SchedPolicy::WorkStealing,
+        ));
+        let total = 4 * 64;
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        q.push(super::tests::dummy_uc(p * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(q.len(), total);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(u) = q.pop() {
+            assert!(seen.insert(u.id.0), "duplicate pop of {}", u.id.0);
+        }
+        assert_eq!(seen.len(), total);
+        assert!(q.is_empty());
     }
 
     /// Regression test for the eventcount wake protocol: a scheduler parked

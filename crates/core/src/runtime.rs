@@ -99,6 +99,21 @@ pub struct Config {
     /// call. `false` (default) reproduces fcontext behavior — signals are
     /// observed by whatever KC happens to run, the paper's caveat.
     pub save_sigmask: bool,
+    /// Shared (pool) kernel contexts serving `spawn_pooled` ULPs. Defaults
+    /// to `ULP_KCS` when set, else the host's available parallelism — the
+    /// oversubscription point: 100k–1M ULPs share this handful of KCs.
+    /// Clamped to at least 1. The pool threads start lazily at the first
+    /// pooled spawn.
+    pub pool_kcs: usize,
+    /// Usable stack size for pooled ULPs. Smaller than the sibling default:
+    /// pooled stacks come from dense slab slots (no per-stack guard VMA) so
+    /// a million of them fit under `vm.max_map_count`, and are
+    /// `MADV_DONTNEED`ed on recycle so RSS tracks live ULPs.
+    pub pooled_stack_size: usize,
+    /// Per-KC trace-ring capacity in records (clamped to `[16, 2^20]`,
+    /// rounded up to a power of two). The default suits microbenches;
+    /// high-cardinality runs that reason over the trace need more.
+    pub trace_capacity: usize,
 }
 
 impl Default for Config {
@@ -115,8 +130,25 @@ impl Default for Config {
             consistency: ConsistencyMode::Record,
             sched_policy: crate::runqueue::SchedPolicy::GlobalFifo,
             save_sigmask: false,
+            pool_kcs: default_pool_kcs(),
+            pooled_stack_size: 64 * 1024,
+            trace_capacity: 4096,
         }
     }
+}
+
+/// `ULP_KCS` when set and positive, else the host's available parallelism,
+/// never below 1.
+fn default_pool_kcs() -> usize {
+    std::env::var("ULP_KCS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// Builder for [`Runtime`].
@@ -183,6 +215,22 @@ impl RuntimeBuilder {
         self.config.sched_policy = p;
         self
     }
+    /// Shared (pool) kernel contexts for `spawn_pooled` ULPs, clamped to at
+    /// least 1. Overrides the `ULP_KCS`/parallelism default.
+    pub fn pool_kcs(mut self, n: usize) -> Self {
+        self.config.pool_kcs = n.max(1);
+        self
+    }
+    /// Usable stack size for pooled ULPs (slab-slot allocated, recycled).
+    pub fn pooled_stack_size(mut self, bytes: usize) -> Self {
+        self.config.pooled_stack_size = bytes;
+        self
+    }
+    /// Per-KC trace-ring capacity in records (clamped to `[16, 2^20]`).
+    pub fn trace_capacity(mut self, records: usize) -> Self {
+        self.config.trace_capacity = records;
+        self
+    }
     /// Use an existing simulated kernel (shared by several runtimes in
     /// tests). Its profile takes precedence over [`RuntimeBuilder::profile`].
     pub fn kernel(mut self, k: KernelRef) -> Self {
@@ -231,7 +279,20 @@ pub struct RuntimeInner {
     /// registry never extends a UC's life; dead entries are replaced on the
     /// next registration for that pid and otherwise just fail to upgrade.
     pub(crate) ucs: Mutex<std::collections::HashMap<u32, std::sync::Weak<UcInner>>>,
+    /// Shared kernel contexts serving pooled ULPs (lazily started).
+    pub(crate) pool: KcPool,
     next_id: AtomicU64,
+}
+
+/// The pool of shared kernel contexts behind `spawn_pooled`: `pool_kcs`
+/// OS threads, each running [`crate::kc::pool_main`], started together on
+/// the first pooled spawn and joined at shutdown. Pooled ULPs are dealt to
+/// the KCs round-robin.
+#[derive(Default)]
+pub(crate) struct KcPool {
+    kcs: std::sync::OnceLock<Vec<Arc<KcShared>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next: std::sync::atomic::AtomicUsize,
 }
 
 impl RuntimeInner {
@@ -263,6 +324,32 @@ impl RuntimeInner {
         self.ucs.lock().get(&pid).and_then(std::sync::Weak::upgrade)
     }
 
+    /// Hand out the next pool KC (round-robin), starting the pool threads
+    /// on first use. Lazy so runtimes that never call `spawn_pooled` pay
+    /// nothing for the pool.
+    pub(crate) fn pool_kc(self: &Arc<Self>) -> Arc<KcShared> {
+        let kcs = self.pool.kcs.get_or_init(|| {
+            let n = self.config.pool_kcs.max(1);
+            let mut kcs = Vec::with_capacity(n);
+            let mut threads = self.pool.threads.lock();
+            for idx in 0..n {
+                let kc = Arc::new(KcShared::new(self.config.idle_policy));
+                let rt = self.clone();
+                let kc2 = kc.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("ulp-pool-{idx}"))
+                        .spawn(move || crate::kc::pool_main(rt, kc2))
+                        .expect("spawn pool kc thread"),
+                );
+                kcs.push(kc);
+            }
+            kcs
+        });
+        let i = self.pool.next.fetch_add(1, Ordering::Relaxed) % kcs.len();
+        kcs[i].clone()
+    }
+
     /// Record a consistency violation per the configured mode.
     pub(crate) fn report_violation(&self, v: UlpError) {
         match self.config.consistency {
@@ -284,6 +371,7 @@ impl RuntimeInner {
             &self.tracer.syscall_snapshot(),
             self.kernel.total_syscalls(),
             self.audit.lock().len() as u64,
+            &crate::export::PoolMetrics::from_pool(&self.stack_pool),
         )
     }
 
@@ -347,7 +435,7 @@ impl Runtime {
     fn from_parts(config: Config, kernel: Option<KernelRef>) -> Runtime {
         let kernel = kernel.unwrap_or_else(|| Kernel::new(config.profile));
         let root_pid = Pid(1);
-        let tracer = crate::trace::Tracer::default();
+        let tracer = crate::trace::Tracer::new(config.trace_capacity);
         let mut runq = RunQueue::with_policy(config.idle_policy, config.sched_policy);
         runq.set_trace_gate(tracer.gate());
         // ULP_TRACE=<path>: record from birth, dump Perfetto JSON at
@@ -383,6 +471,7 @@ impl Runtime {
             profile_dump: Mutex::new(profile_dump),
             metrics: Mutex::new(None),
             ucs: Mutex::new(std::collections::HashMap::new()),
+            pool: KcPool::default(),
             next_id: AtomicU64::new(1),
             kernel,
             config,
@@ -425,6 +514,13 @@ impl Runtime {
     /// Runtime counters.
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
+    }
+
+    /// The shared stack pool (sibling stacks + pooled-ULP slab slots).
+    /// Exposes hit/miss/recycle counters and the live/high-water gauges
+    /// that the RSS claims of oversubscription mode rest on.
+    pub fn stack_pool(&self) -> &ulp_fcontext::StackPool {
+        &self.inner.stack_pool
     }
 
     /// Recorded consistency violations (`ConsistencyMode::Record`).
@@ -544,6 +640,17 @@ impl Runtime {
         }
         let handles: Vec<_> = self.inner.schedulers.lock().drain(..).collect();
         for h in handles {
+            let _ = h.join();
+        }
+        // Pool KCs exit once shutdown is set and their pending queues are
+        // empty; nudge any futex sleepers, then join.
+        if let Some(kcs) = self.inner.pool.kcs.get() {
+            for kc in kcs {
+                kc.notify();
+            }
+        }
+        let pool_handles: Vec<_> = self.inner.pool.threads.lock().drain(..).collect();
+        for h in pool_handles {
             let _ = h.join();
         }
         // ULP_PROFILE dump: folded from a *non-destructive* snapshot, and

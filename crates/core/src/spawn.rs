@@ -138,6 +138,44 @@ impl SiblingHandle {
     }
 }
 
+/// Handle to a pooled (oversubscribed) ULP — own kernel identity, shared
+/// pool KC, recycled stack.
+#[derive(Debug)]
+pub struct PooledHandle {
+    pub(crate) uc: Arc<UcInner>,
+    result: Arc<OneShot>,
+    rt: Weak<RuntimeInner>,
+}
+
+impl PooledHandle {
+    /// The ULP's runtime-local id.
+    pub fn id(&self) -> BltId {
+        self.uc.id
+    }
+
+    /// The ULP's own simulated-kernel process ID.
+    pub fn pid(&self) -> Pid {
+        self.uc.pid
+    }
+
+    /// Block until the ULP terminates, reap its simulated-kernel zombie,
+    /// and return its exit status. Idempotent-safe to call once (like
+    /// `wait(2)`); the status is published only after the ULP's final
+    /// context switch, so every counter it bumped is visible by then.
+    pub fn wait(&self) -> i32 {
+        let status = self.result.wait();
+        if let Some(rt) = self.rt.upgrade() {
+            let _ = rt.kernel.try_waitpid(rt.root_pid, Some(self.uc.pid));
+        }
+        status
+    }
+
+    /// Whether the ULP has terminated (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.result.try_get().is_some()
+    }
+}
+
 impl Runtime {
     /// Spawn a BLT running `f`. The BLT starts as a KLT: `f` executes on a
     /// fresh OS thread (the original KC) until it calls
@@ -147,6 +185,25 @@ impl Runtime {
         F: FnOnce() -> i32 + Send + 'static,
     {
         self.spawn_inner(name, None, Box::new(f))
+    }
+
+    /// Spawn a *pooled* ULP: its own kernel identity (fresh pid, like
+    /// [`Runtime::spawn`]) but **no OS thread of its own** — it is served
+    /// by one of the `Config::pool_kcs` shared pool kernel contexts, and
+    /// its stack is a recycled slab slot that returns to the pool (and is
+    /// `MADV_DONTNEED`ed) the moment it terminates. This is the
+    /// oversubscription mode: 100k–1M pooled ULPs run on a handful of KCs,
+    /// with RSS tracking *live* ULPs rather than ever-spawned ones.
+    ///
+    /// `f` starts decoupled (dispatched from the run queue by a scheduler)
+    /// and terminates coupled with its pool KC, per rule 7 — the same
+    /// switch/TLS cost shape as a sibling, with the pool KC rebinding its
+    /// kernel identity to the ULP's pid for the coupled stretch.
+    pub fn spawn_pooled<F>(&self, name: &str, f: F) -> Result<PooledHandle, UlpError>
+    where
+        F: FnOnce() -> i32 + Send + 'static,
+    {
+        spawn_pooled_inner(self.inner(), name, Box::new(f))
     }
 
     /// Spawn a BLT that *shares* an existing kernel identity instead of
@@ -349,6 +406,99 @@ fn spawn_sibling_inner(
     rt.runq.push(uc.clone());
     primary.kc.notify();
     Ok(SiblingHandle { uc, result })
+}
+
+fn spawn_pooled_inner(
+    rt: &Arc<RuntimeInner>,
+    name: &str,
+    f: UlpFn,
+) -> Result<PooledHandle, UlpError> {
+    rt.stats.bump_pooled();
+    // Dense slab slot, not a classed guard-paged stack: two VMAs per stack
+    // would blow `vm.max_map_count` long before 1M ULPs.
+    let stack = rt
+        .stack_pool
+        .acquire_dense(rt.config.pooled_stack_size)
+        .map_err(|e| UlpError::StackAlloc(e.to_string()))?;
+    let pid = rt.kernel.spawn_process(Some(rt.root_pid), name);
+    let kc = rt.pool_kc();
+    let result = Arc::new(OneShot::new());
+    let uc = Arc::new(UcInner {
+        id: rt.alloc_id(),
+        name: name.to_string(),
+        kind: UcKind::Pooled,
+        ctx: UnsafeCell::new(ulp_fcontext::RawContext::null()),
+        kc,
+        pid,
+        coupled: AtomicBool::new(false),
+        state: AtomicU8::new(UcState::Created as u8),
+        tls: TlsStorage::new(),
+        rt: Arc::downgrade(rt),
+        sib_stack: Mutex::new(None),
+        sib_entry: Mutex::new(Some(f)),
+        sib_result: result.clone(),
+        sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
+        wait_since: AtomicU64::new(0),
+        spawn_ns: crate::trace::now_ns(),
+    });
+    // Deliberately NOT in the pid → UC registry (`register_uc`): a million
+    // entries would dominate the map, and procfs enrichment of short-lived
+    // pooled rows is not worth that. `/proc/<pid>/stat` still works off the
+    // kernel's own process table.
+    rt.tracer.record(crate::trace::Event::Spawn(uc.id));
+    let raw = Arc::into_raw(uc.clone()) as *mut u8;
+    let ctx = unsafe { prepare(stack.top(), pooled_entry, raw) };
+    unsafe {
+        *uc.ctx.get() = ctx;
+    }
+    *uc.sib_stack.lock() = Some(stack);
+    // Born decoupled, straight into the scheduled pool (like a sibling).
+    rt.runq.push(uc.clone());
+    Ok(PooledHandle {
+        uc,
+        result,
+        rt: Arc::downgrade(rt),
+    })
+}
+
+extern "C" fn pooled_entry(_arg: usize, data: *mut u8) -> ! {
+    // Whoever dispatched us deferred an action; drain it first.
+    run_deferred();
+    let uc: Arc<UcInner> = unsafe { Arc::from_raw(data as *const UcInner) };
+    uc.set_state(UcState::Running);
+    let f = uc.sib_entry.lock().take().expect("pooled dispatched twice");
+    let status = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(code) => code,
+        Err(_) => PANIC_EXIT_STATUS,
+    };
+
+    // Rule 7: terminate coupled with the (pool) original KC. The pool KC
+    // bound this thread to our pid when it served the couple request, so
+    // the process exit below runs under the right kernel identity.
+    let _ = couple();
+    debug_assert!(uc.kc.is_current_thread());
+    uc.set_state(UcState::Terminated);
+    if let Some(rt) = uc.rt.upgrade() {
+        rt.tracer.record(crate::trace::Event::Terminate(uc.id));
+        let _ = rt.kernel.exit_process(uc.pid, status);
+    }
+
+    // Hand the KC back to the pool loop. The deferred hook recycles our
+    // stack and only *then* publishes the exit status — a waiter that wakes
+    // on it observes the stack already back in the pool and every hot-path
+    // counter landed.
+    let kc = uc.kc.clone();
+    let save_slot = uc.ctx.get();
+    let deferred = Deferred::TerminatePooled {
+        uc: uc.clone(),
+        status,
+    };
+    drop(uc);
+    let target = unsafe { *kc.tc_ctx.get() };
+    unsafe {
+        crate::couple::raw_switch(save_slot, target, Some(deferred));
+    }
+    unreachable!("terminated pooled ULP resumed");
 }
 
 extern "C" fn sibling_entry(_arg: usize, data: *mut u8) -> ! {

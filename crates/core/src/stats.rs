@@ -51,6 +51,9 @@ pub struct StatsShard {
     pub blts_spawned: AtomicU64,
     /// Sibling UCs spawned (the M:N extension).
     pub siblings_spawned: AtomicU64,
+    /// Pooled ULPs spawned (oversubscription mode: own kernel identity,
+    /// shared pool KC, recycled stack).
+    pub pooled_spawned: AtomicU64,
     /// Decoupled UCs popped and run by scheduler KCs.
     pub scheduler_dispatches: AtomicU64,
     /// Idle kernel contexts that blocked on a futex (BLOCKING idle policy).
@@ -108,6 +111,11 @@ impl StatsShard {
     pub fn bump_siblings(&self) {
         bump(&self.siblings_spawned);
     }
+    /// Count one pooled-ULP spawn.
+    #[inline]
+    pub fn bump_pooled(&self) {
+        bump(&self.pooled_spawned);
+    }
     /// Count one scheduler dispatch of a decoupled UC.
     #[inline]
     pub fn bump_dispatches(&self) {
@@ -133,6 +141,7 @@ impl StatsShard {
         acc.yields += self.yields.load(Ordering::Relaxed);
         acc.blts_spawned += self.blts_spawned.load(Ordering::Relaxed);
         acc.siblings_spawned += self.siblings_spawned.load(Ordering::Relaxed);
+        acc.pooled_spawned += self.pooled_spawned.load(Ordering::Relaxed);
         acc.scheduler_dispatches += self.scheduler_dispatches.load(Ordering::Relaxed);
         acc.kc_blocks += self.kc_blocks.load(Ordering::Relaxed);
         acc.couple_handoffs += self.couple_handoffs.load(Ordering::Relaxed);
@@ -160,10 +169,26 @@ pub struct Stats {
 impl Stats {
     /// Hand out a fresh private shard; the caller caches the `Arc` (and
     /// typically a raw pointer to it) and bumps it without synchronization.
+    ///
+    /// Shards are per *kernel context* (OS thread), never per BLT: the
+    /// seed-era runtime spawned one KC per BLT, which made the two
+    /// indistinguishable, but under the pooled design thousands of ULPs
+    /// share a handful of KCs and a shard per ULP would both bloat this
+    /// registry (it grows forever by design) and break the single-writer
+    /// increment contract. `crate::current::set_runtime` enforces this by
+    /// registering at most one shard per OS thread per runtime; see
+    /// [`Stats::shard_count`] for the observable invariant.
     pub fn register_shard(&self) -> Arc<StatsShard> {
         let shard = Arc::new(StatsShard::default());
         self.shards.lock().push(shard.clone());
         shard
+    }
+
+    /// Number of registered per-KC shards. Scales with kernel contexts
+    /// (threads), *not* with spawned ULPs — the regression guard for the
+    /// KC-id == BLT-id assumption the pooled runtime broke.
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().len()
     }
 
     /// Count one context switch on the fallback shard.
@@ -200,6 +225,11 @@ impl Stats {
     #[inline]
     pub fn bump_siblings(&self) {
         self.fallback.bump_siblings();
+    }
+    /// Count one pooled-ULP spawn on the fallback shard.
+    #[inline]
+    pub fn bump_pooled(&self) {
+        self.fallback.bump_pooled();
     }
     /// Count one dispatch on the fallback shard.
     #[inline]
@@ -249,6 +279,8 @@ pub struct StatsSnapshot {
     pub blts_spawned: u64,
     /// Sibling UCs spawned (M:N extension).
     pub siblings_spawned: u64,
+    /// Pooled ULPs spawned (oversubscription mode).
+    pub pooled_spawned: u64,
     /// Decoupled UCs dispatched by scheduler KCs.
     pub scheduler_dispatches: u64,
     /// Idle kernel contexts that blocked on a futex.
@@ -268,6 +300,7 @@ impl StatsSnapshot {
             yields: self.yields - earlier.yields,
             blts_spawned: self.blts_spawned - earlier.blts_spawned,
             siblings_spawned: self.siblings_spawned - earlier.siblings_spawned,
+            pooled_spawned: self.pooled_spawned - earlier.pooled_spawned,
             scheduler_dispatches: self.scheduler_dispatches - earlier.scheduler_dispatches,
             kc_blocks: self.kc_blocks - earlier.kc_blocks,
             couple_handoffs: self.couple_handoffs - earlier.couple_handoffs,
@@ -324,6 +357,33 @@ mod tests {
         shard.bump_yields();
         drop(shard); // KC exits; its Arc goes away but the registry's stays
         assert_eq!(s.snapshot().yields, 1);
+    }
+
+    #[test]
+    fn pooled_counter_folds_and_deltas() {
+        let s = Stats::default();
+        let shard = s.register_shard();
+        s.bump_pooled(); // fallback
+        shard.bump_pooled();
+        let a = s.snapshot();
+        assert_eq!(a.pooled_spawned, 2);
+        shard.bump_pooled();
+        assert_eq!(s.snapshot().delta(&a).pooled_spawned, 1);
+    }
+
+    #[test]
+    fn shard_count_tracks_registrations_only() {
+        let s = Stats::default();
+        assert_eq!(s.shard_count(), 0);
+        let _a = s.register_shard();
+        let _b = s.register_shard();
+        assert_eq!(s.shard_count(), 2);
+        // Fallback bumps (what per-ULP spawn accounting uses) never
+        // register shards.
+        for _ in 0..100 {
+            s.bump_pooled();
+        }
+        assert_eq!(s.shard_count(), 2);
     }
 
     #[test]

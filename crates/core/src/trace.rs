@@ -558,11 +558,13 @@ impl std::fmt::Debug for Tracer {
 }
 
 impl Tracer {
-    /// `capacity` is per shard, clamped to `[16, 2^16]` and rounded up to a
+    /// `capacity` is per shard, clamped to `[16, 2^20]` and rounded up to a
     /// power of two (the ring indexes with a mask); the clamped value is
-    /// used for both allocation and enforcement.
+    /// used for both allocation and enforcement. High-cardinality runs
+    /// (100k+ pooled ULPs emit ~5 events each) need the large end —
+    /// configure it via `Config::trace_capacity`.
     pub fn new(capacity: usize) -> Tracer {
-        let capacity = capacity.clamp(16, 1 << 16).next_power_of_two();
+        let capacity = capacity.clamp(16, 1 << 20).next_power_of_two();
         Tracer {
             gate: Arc::new(TraceGate::default()),
             capacity,
@@ -858,7 +860,7 @@ mod tests {
     fn capacity_is_clamped_once_and_consistently() {
         assert_eq!(Tracer::new(8).capacity(), 16, "floor");
         assert_eq!(Tracer::new(20).capacity(), 32, "power-of-two round-up");
-        assert_eq!(Tracer::new(1 << 20).capacity(), 1 << 16, "ceiling");
+        assert_eq!(Tracer::new(1 << 24).capacity(), 1 << 20, "ceiling");
         // The enforced drop-oldest bound equals the clamped capacity.
         let t = Tracer::new(8);
         t.enable();

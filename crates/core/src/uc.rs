@@ -48,6 +48,11 @@ pub enum UcKind {
     Sibling,
     /// A scheduler BLT's UC (never decouples).
     Scheduler,
+    /// A UC whose original KC is a shared pool KC (oversubscription mode):
+    /// it owns its kernel identity like a primary but runs on a recycled
+    /// pool stack and shares its KC with many other pooled UCs — the pool
+    /// KC rebinds its kernel identity per activation.
+    Pooled,
 }
 
 /// Lifecycle state of a UC.

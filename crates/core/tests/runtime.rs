@@ -704,3 +704,98 @@ fn poll_signals_is_consistency_aware() {
     });
     assert_eq!(h.wait(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Pooled (oversubscribed) ULPs: many kernel identities on a handful of
+// shared pool KCs, with recycled slab stacks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pooled_ulp_runs_and_reports_status() {
+    let rt = Runtime::builder().schedulers(1).pool_kcs(2).build();
+    let h = rt.spawn_pooled("pooled", || 42).unwrap();
+    assert_eq!(h.wait(), 42);
+    assert_eq!(rt.stats().snapshot().pooled_spawned, 1);
+}
+
+#[test]
+fn pooled_ulp_panic_is_contained() {
+    let rt = Runtime::builder().schedulers(1).pool_kcs(1).build();
+    let h = rt.spawn_pooled("crasher", || panic!("deliberate")).unwrap();
+    assert_eq!(h.wait(), ulp_core::PANIC_EXIT_STATUS);
+    let h2 = rt.spawn_pooled("after", || 5).unwrap();
+    assert_eq!(h2.wait(), 5);
+}
+
+#[test]
+fn pooled_ulps_own_their_kernel_identity() {
+    // Many pooled ULPs share one pool KC, but each carries its own pid:
+    // a coupled system call must observe the ULP's own process, even when
+    // the serve arrived via the decouple direct-handoff path (which must
+    // rebind the kernel identity when the pids differ).
+    let rt = Runtime::builder()
+        .schedulers(1)
+        .pool_kcs(1)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            rt.spawn_pooled(&format!("ident-{i}"), move || {
+                let observed = coupled_scope(|| sys::getpid().unwrap()).unwrap();
+                observed.0 as i32
+            })
+            .unwrap()
+        })
+        .collect();
+    for h in handles {
+        let expect = h.pid();
+        assert_eq!(h.wait(), expect.0 as i32, "pooled ULP saw a foreign pid");
+    }
+}
+
+#[test]
+fn pooled_shards_track_kernel_contexts_not_ulps() {
+    // Regression: stats/trace shards are per KC. The seed-era runtime had
+    // one KC per BLT so the distinction was invisible; with pooling, a
+    // shard per *spawn* would grow the snapshot fold without bound.
+    let rt = Runtime::builder().schedulers(2).pool_kcs(2).build();
+    let before_threads = 1 + 2; // builder thread + schedulers
+    let handles: Vec<_> = (0..64)
+        .map(|i| rt.spawn_pooled(&format!("p{i}"), || 0).unwrap())
+        .collect();
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+    let shards = rt.stats().shard_count();
+    assert!(
+        shards <= before_threads + 2,
+        "shard count {shards} grew past thread count (pooled spawns must not register shards)"
+    );
+    assert_eq!(rt.stats().snapshot().pooled_spawned, 64);
+}
+
+#[test]
+fn pooled_stacks_recycle_instead_of_accumulating() {
+    let rt = Runtime::builder().schedulers(1).pool_kcs(1).build();
+    for wave in 0..4 {
+        let handles: Vec<_> = (0..16)
+            .map(|i| rt.spawn_pooled(&format!("w{wave}-{i}"), || 0).unwrap())
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait(), 0);
+        }
+    }
+    let pool = rt.stack_pool();
+    // 64 ULPs ran; the high-water mark counts simultaneously-live stacks
+    // (sibling/TC stacks included), which waves of 16 keep far below 64.
+    assert!(
+        pool.peak_outstanding() < 64,
+        "peak {} suggests stacks never recycled",
+        pool.peak_outstanding()
+    );
+    assert!(
+        pool.recycled() > 0,
+        "terminated pooled ULPs must return stacks to the pool"
+    );
+    assert_eq!(pool.outstanding(), 0, "all pooled stacks returned");
+}

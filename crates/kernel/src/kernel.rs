@@ -197,7 +197,7 @@ impl Kernel {
         self.procs.lock().insert(pid, proc);
         if let Some(parent) = ppid {
             if let Some(p) = self.process(parent) {
-                p.children.lock().push(pid);
+                p.children.lock().insert(pid);
             }
         }
         pid
@@ -264,25 +264,37 @@ impl Kernel {
         loop {
             {
                 let parent_proc = self.process(parent).ok_or(Errno::ESRCH)?;
-                let children = parent_proc.children.lock().clone();
-                if children.is_empty() {
-                    return Err(Errno::ECHILD);
-                }
                 if let Some(t) = target {
-                    if !children.contains(&t) {
+                    // Targeted fast path: membership and zombie checks are
+                    // O(1) against the children set instead of cloning and
+                    // scanning it — a root with a million pooled children
+                    // reaps each one in constant time.
+                    {
+                        let kids = parent_proc.children.lock();
+                        if kids.is_empty() || !kids.contains(&t) {
+                            return Err(Errno::ECHILD);
+                        }
+                    }
+                    if let Some(cp) = self.process(t) {
+                        if let ProcState::Zombie(status) = cp.state() {
+                            self.procs.lock().remove(&t);
+                            parent_proc.children.lock().remove(&t);
+                            return Ok((t, status));
+                        }
+                    }
+                } else {
+                    let children = parent_proc.children.lock().clone();
+                    if children.is_empty() {
                         return Err(Errno::ECHILD);
                     }
-                }
-                for &child in &children {
-                    if target.is_some() && target != Some(child) {
-                        continue;
-                    }
-                    if let Some(cp) = self.process(child) {
-                        if let ProcState::Zombie(status) = cp.state() {
-                            // Reap: remove from table and from parent's list.
-                            self.procs.lock().remove(&child);
-                            parent_proc.children.lock().retain(|&c| c != child);
-                            return Ok((child, status));
+                    for &child in &children {
+                        if let Some(cp) = self.process(child) {
+                            if let ProcState::Zombie(status) = cp.state() {
+                                // Reap: remove from table and parent's set.
+                                self.procs.lock().remove(&child);
+                                parent_proc.children.lock().remove(&child);
+                                return Ok((child, status));
+                            }
                         }
                     }
                 }
@@ -297,18 +309,35 @@ impl Kernel {
     /// Non-blocking variant (`WNOHANG`).
     pub fn try_waitpid(&self, parent: Pid, target: Option<Pid>) -> KResult<Option<(Pid, i32)>> {
         let parent_proc = self.process(parent).ok_or(Errno::ESRCH)?;
+        if let Some(t) = target {
+            // Targeted fast path (see `waitpid_inner`): O(1) per reap.
+            {
+                let kids = parent_proc.children.lock();
+                if kids.is_empty() {
+                    return Err(Errno::ECHILD);
+                }
+                if !kids.contains(&t) {
+                    return Ok(None);
+                }
+            }
+            if let Some(cp) = self.process(t) {
+                if let ProcState::Zombie(status) = cp.state() {
+                    self.procs.lock().remove(&t);
+                    parent_proc.children.lock().remove(&t);
+                    return Ok(Some((t, status)));
+                }
+            }
+            return Ok(None);
+        }
         let children = parent_proc.children.lock().clone();
         if children.is_empty() {
             return Err(Errno::ECHILD);
         }
         for &child in &children {
-            if target.is_some() && target != Some(child) {
-                continue;
-            }
             if let Some(cp) = self.process(child) {
                 if let ProcState::Zombie(status) = cp.state() {
                     self.procs.lock().remove(&child);
-                    parent_proc.children.lock().retain(|&c| c != child);
+                    parent_proc.children.lock().remove(&child);
                     return Ok(Some((child, status)));
                 }
             }

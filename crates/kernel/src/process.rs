@@ -5,6 +5,7 @@
 use crate::fd::FdTable;
 use crate::signal::SignalState;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process identifier in the simulated kernel.
@@ -45,7 +46,7 @@ pub struct Process {
     /// exit; surfaced in `/proc/<pid>/stat`).
     pub syscalls: AtomicU64,
     pub(crate) state: Mutex<ProcState>,
-    pub(crate) children: Mutex<Vec<Pid>>,
+    pub(crate) children: Mutex<HashSet<Pid>>,
 }
 
 impl Process {
@@ -59,7 +60,7 @@ impl Process {
             signals: SignalState::new(),
             syscalls: AtomicU64::new(0),
             state: Mutex::new(ProcState::Running),
-            children: Mutex::new(Vec::new()),
+            children: Mutex::new(HashSet::new()),
         }
     }
 
@@ -78,9 +79,13 @@ impl Process {
         matches!(self.state(), ProcState::Zombie(_))
     }
 
-    /// Snapshot of currently registered children.
+    /// Snapshot of currently registered children, sorted by pid. The set
+    /// representation keeps child registration and targeted reaping O(1)
+    /// even for a root process with a million pooled children.
     pub fn children(&self) -> Vec<Pid> {
-        self.children.lock().clone()
+        let mut v: Vec<Pid> = self.children.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 

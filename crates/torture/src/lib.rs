@@ -124,7 +124,9 @@ pub struct StatsDelta {
     pub yields: u64,
     /// `scheduler_dispatches` delta.
     pub dispatches: u64,
-    /// `blts_spawned` + `siblings_spawned` delta.
+    /// `blts_spawned` + `siblings_spawned` + `pooled_spawned` delta —
+    /// every flavor of spawn records the same `Spawn` trace event, so the
+    /// oracle's family-E conservation compares against their sum.
     pub spawned: u64,
     /// `couple_handoffs` delta (fast-path couples).
     pub handoffs: u64,
@@ -136,8 +138,8 @@ fn delta(before: &StatsSnapshot, after: &StatsSnapshot) -> StatsDelta {
         decouples: after.decouples - before.decouples,
         yields: after.yields - before.yields,
         dispatches: after.scheduler_dispatches - before.scheduler_dispatches,
-        spawned: (after.blts_spawned + after.siblings_spawned)
-            - (before.blts_spawned + before.siblings_spawned),
+        spawned: (after.blts_spawned + after.siblings_spawned + after.pooled_spawned)
+            - (before.blts_spawned + before.siblings_spawned + before.pooled_spawned),
         handoffs: after.couple_handoffs - before.couple_handoffs,
     }
 }
@@ -156,6 +158,12 @@ pub fn run_cell(cell: Cell, seed: u64) -> RunReport {
         .schedulers(cell.scenario.schedulers())
         .sched_policy(cell.sched)
         .idle_policy(cell.idle)
+        // Pool KC threads start lazily on the first `spawn_pooled`, so
+        // pinning the pool size costs nothing for scenarios that never
+        // spawn a pooled ULP — and makes c1m_storm oversubscribe the same
+        // way on every host regardless of core count.
+        .pool_kcs(2)
+        .trace_capacity(cell.scenario.trace_capacity())
         .consistency(ConsistencyMode::Record)
         .build();
     // PID allocation must not race scheduler startup: fault streams are

@@ -9,8 +9,8 @@
 //! bug surfaces as a failed run either way.
 //!
 //! Workload sizes are deliberately small: every scenario must fit its
-//! trace into the default 4096-record per-KC rings, because a dropped
-//! record is itself an oracle failure.
+//! trace into its per-KC rings ([`Scenario::trace_capacity`], default
+//! 4096 records), because a dropped record is itself an oracle failure.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -58,6 +58,14 @@ pub enum Scenario {
     /// injection, with byte-exact echo verification and request/response
     /// conservation checks.
     ServerStorm,
+    /// High-cardinality pooled spawn/exit churn: waves of short-lived
+    /// pooled ULPs oversubscribing two pool KCs, each verifying its own
+    /// kernel identity through a coupled `getpid`. Exercises the stack
+    /// free-list (reuse across waves, full drain at the end) and the
+    /// deferred terminate-on-pool-KC path under chaos yields and fault
+    /// injection. `ULP_C1M_N` scales the ULP count beyond the in-matrix
+    /// default.
+    C1mStorm,
 }
 
 impl Scenario {
@@ -71,6 +79,7 @@ impl Scenario {
         Scenario::LockStorm,
         Scenario::ProcStorm,
         Scenario::ServerStorm,
+        Scenario::C1mStorm,
     ];
 
     /// Stable name (used in reports and for `--scenario` selection).
@@ -84,6 +93,7 @@ impl Scenario {
             Scenario::LockStorm => "lock_storm",
             Scenario::ProcStorm => "proc_storm",
             Scenario::ServerStorm => "server_storm",
+            Scenario::C1mStorm => "c1m_storm",
         }
     }
 
@@ -103,6 +113,19 @@ impl Scenario {
             Scenario::LockStorm => 2,
             Scenario::ProcStorm => 2,
             Scenario::ServerStorm => 2,
+            Scenario::C1mStorm => 2,
+        }
+    }
+
+    /// Per-KC trace-ring capacity the scenario needs for a lossless
+    /// history (oracle invariant A). Everything but the churn storm fits
+    /// the default 4096-record rings; `c1m_storm` scales with the ULP
+    /// count it was asked for, since every pooled ULP contributes a fixed
+    /// handful of events plus chaos yields.
+    pub fn trace_capacity(&self) -> usize {
+        match self {
+            Scenario::C1mStorm => (c1m_count() * 32).clamp(4096, 1 << 20),
+            _ => 4096,
         }
     }
 
@@ -119,6 +142,7 @@ impl Scenario {
             Scenario::LockStorm => lock_storm(rt, &fails),
             Scenario::ProcStorm => proc_storm(rt, &fails),
             Scenario::ServerStorm => server_storm(rt, &fails),
+            Scenario::C1mStorm => c1m_storm(rt, &fails),
         }
         fails.take()
     }
@@ -830,6 +854,82 @@ fn write_all(fd: Fd, data: &[u8]) -> Result<(), Errno> {
         sent += retrying(|| sys::write(fd, &data[sent..]))?;
     }
     Ok(())
+}
+
+/// How many pooled ULPs `c1m_storm` churns through. The in-matrix default
+/// is small enough that all 54 cells stay fast; local/CI scale runs raise
+/// it (`ULP_C1M_N=10000` and beyond) and [`Scenario::trace_capacity`]
+/// grows the rings to match.
+fn c1m_count() -> usize {
+    std::env::var("ULP_C1M_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(96)
+}
+
+/// Oversubscription storm: `c1m_count()` pooled ULPs churned through two
+/// pool KCs in bounded waves. Each ULP couples once to check it observes
+/// *its own* simulated pid (the pool serves many pids from one OS thread,
+/// so a stale kernel binding shows up here), returns that pid as its exit
+/// status, and terminates on the pool KC via the deferred stack-release
+/// path. After every wave has been reaped the stack free-list must have
+/// fully drained, never have held more stacks than one wave outstanding,
+/// and — once the first wave has died — be serving recycled stacks.
+fn c1m_storm(rt: &Runtime, fails: &Fails) {
+    const WAVE: usize = 24;
+    let n = c1m_count();
+    let mut spawned = 0usize;
+    while spawned < n {
+        let count = WAVE.min(n - spawned);
+        let mut handles = Vec::with_capacity(count);
+        for k in 0..count {
+            let f = fails.clone();
+            let idx = spawned + k;
+            match rt.spawn_pooled(&format!("c1m-{idx}"), move || {
+                match coupled_scope(sys::getpid) {
+                    Ok(Ok(pid)) => pid.0 as i32,
+                    other => {
+                        f.push(format!("c1m-{idx}: coupled getpid -> {other:?}"));
+                        -1
+                    }
+                }
+            }) {
+                Ok(h) => handles.push(h),
+                Err(e) => fails.push(format!("c1m-{idx}: spawn failed: {e}")),
+            }
+        }
+        for h in &handles {
+            let want = h.pid().0 as i32;
+            let got = h.wait();
+            if got != want {
+                fails.push(format!(
+                    "c1m: ULP {:?} observed pid {got}, want {want}",
+                    h.id()
+                ));
+            }
+        }
+        spawned += count;
+    }
+    // Waves are fully reaped before the next starts, and `wait()` returns
+    // only after the deferred terminate released the stack — so the pool
+    // must be drained and its high-water mark bounded by one wave.
+    let pool = rt.stack_pool();
+    if pool.outstanding() != 0 {
+        fails.push(format!(
+            "c1m: {} stacks still outstanding after reaping all ULPs",
+            pool.outstanding()
+        ));
+    }
+    if pool.peak_outstanding() > WAVE {
+        fails.push(format!(
+            "c1m: stack high-water {} exceeds wave size {WAVE}",
+            pool.peak_outstanding()
+        ));
+    }
+    if n > WAVE && pool.recycled() == 0 {
+        fails.push("c1m: second wave never recycled a first-wave stack".into());
+    }
 }
 
 /// Read exactly `buf.len()` bytes through injected short reads.

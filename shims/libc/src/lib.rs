@@ -50,6 +50,8 @@ pub const MAP_ANONYMOUS: c_int = 0x0020;
 pub const MAP_STACK: c_int = 0x20000;
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
+pub const MADV_DONTNEED: c_int = 4;
+
 pub const _SC_PAGESIZE: c_int = 30;
 
 pub const PR_SET_TIMERSLACK: c_int = 29;
@@ -83,6 +85,7 @@ extern "C" {
     ) -> *mut c_void;
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
     pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
     pub fn prctl(option: c_int, ...) -> c_int;
     pub fn sched_yield() -> c_int;

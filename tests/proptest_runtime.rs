@@ -69,6 +69,56 @@ proptest! {
         prop_assert_eq!(b.wait(), 0);
     }
 
+    /// Pooled spawn/exit churn of many more ULPs than KCs preserves the
+    /// exact Table-V cost model and never leaks a stack. A trivial pooled
+    /// ULP costs exactly: one scheduler dispatch, one couple (served by a
+    /// pool KC), zero decouples, zero yields, four context switches
+    /// (sched→UC, UC→sched at couple, pool-TC→UC serve, UC→pool-TC at
+    /// terminate) and two TLS loads (the pool-TC↔UC installs are exempt).
+    /// The counts are exact, not bounds: any drift means a hidden switch
+    /// or a double-charge crept into the lifecycle.
+    #[test]
+    fn pooled_churn_exact_costs(n in 10usize..120, waves in 1usize..4) {
+        let rt = Runtime::builder()
+            .schedulers(2)
+            .pool_kcs(2)
+            .idle_policy(IdlePolicy::Blocking)
+            .build();
+        let before = rt.stats().snapshot();
+        let per_wave = n.div_ceil(waves);
+        let mut spawned = 0usize;
+        while spawned < n {
+            let count = per_wave.min(n - spawned);
+            let handles: Vec<_> = (0..count)
+                .map(|k| {
+                    let idx = spawned + k;
+                    rt.spawn_pooled(&format!("churn-{idx}"), move || idx as i32)
+                        .expect("pooled spawn")
+                })
+                .collect();
+            for (k, h) in handles.iter().enumerate() {
+                prop_assert_eq!(h.wait(), (spawned + k) as i32);
+            }
+            spawned += count;
+        }
+        let d = rt.stats().snapshot().delta(&before);
+        let n = n as u64;
+        prop_assert_eq!(d.pooled_spawned, n);
+        prop_assert_eq!(d.scheduler_dispatches, n);
+        prop_assert_eq!(d.couples, n);
+        prop_assert_eq!(d.decouples, 0);
+        prop_assert_eq!(d.yields, 0);
+        prop_assert_eq!(d.context_switches, 4 * n);
+        prop_assert_eq!(d.tls_loads, 2 * n);
+        // Every stack came back to the free list, the cache never holds
+        // more than the concurrency high-water mark, and the high-water
+        // mark never exceeded the live-ULP count.
+        let pool = rt.stack_pool();
+        prop_assert_eq!(pool.outstanding(), 0);
+        prop_assert!(pool.cached() <= pool.peak_outstanding());
+        prop_assert!(pool.peak_outstanding() <= n as usize);
+    }
+
     /// Per-ULP locals are isolated no matter how many ULPs run and yield.
     #[test]
     fn ulp_local_isolation(n_ulps in 2usize..6, increments in 1usize..40) {
