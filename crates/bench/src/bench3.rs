@@ -40,6 +40,17 @@ pub struct EchoRow {
     pub mean_ns: f64,
     /// Worst observed request round-trip in nanoseconds.
     pub max_ns: u64,
+    /// Wake edges recorded across the whole row (every site).
+    pub wake_edges: u64,
+    /// Total wake-to-run nanoseconds attributed by those edges.
+    pub wake_delay_ns: u64,
+    /// Mean attributed wake delay per request — the blocked/queued share.
+    pub wake_mean_ns: f64,
+    /// Mean round trip minus mean wake delay (floored at zero) — the time a
+    /// request spent being *worked on* rather than waiting to be noticed.
+    /// Approximate: server-side wake delays overlap the client's clock, and
+    /// scheduler queueing of unrelated ULPs is counted too.
+    pub service_mean_ns: f64,
 }
 
 /// One full BENCH_3 sweep.
@@ -129,6 +140,10 @@ pub fn echo_throughput(servers: usize, clients: usize, requests_per_client: usiz
         .schedulers(2)
         .idle_policy(IdlePolicy::Blocking)
         .build();
+    // Tracing stays on for the whole row: the wake-delay/service split is
+    // folded from the wake-to-run histograms, so the row measures the
+    // served-with-observability configuration (see OBSERVABILITY.md).
+    rt.trace_enable();
     let listeners: Vec<Arc<Listener>> = (0..servers).map(|_| Listener::new()).collect();
     let echoed = Arc::new(AtomicU64::new(0));
     let hists: Vec<Arc<LatencyHist>> = (0..clients)
@@ -179,6 +194,10 @@ pub fn echo_throughput(servers: usize, clients: usize, requests_per_client: usiz
         total * FRAME as u64,
         "servers must echo every request byte"
     );
+    let wake = rt.latency_snapshot().wake;
+    let (wake_edges, wake_delay_ns) = (wake.total_count(), wake.total_sum());
+    let mean_ns = fold.sum as f64 / fold.count.max(1) as f64;
+    let wake_mean_ns = wake_delay_ns as f64 / total.max(1) as f64;
     EchoRow {
         servers,
         clients,
@@ -186,8 +205,12 @@ pub fn echo_throughput(servers: usize, clients: usize, requests_per_client: usiz
         reqs_per_sec: total as f64 / wall.as_secs_f64(),
         p50_ns: fold.p50(),
         p99_ns: fold.p99(),
-        mean_ns: fold.sum as f64 / fold.count.max(1) as f64,
+        mean_ns,
         max_ns: fold.max,
+        wake_edges,
+        wake_delay_ns,
+        wake_mean_ns,
+        service_mean_ns: (mean_ns - wake_mean_ns).max(0.0),
     }
 }
 
@@ -223,7 +246,7 @@ pub fn to_json(b: &Bench3) -> String {
         .iter()
         .map(|r| {
             format!(
-                "    \"echo_{}s_{}c\": {{\"servers\": {}, \"clients\": {}, \"requests_per_client\": {}, \"reqs_per_sec\": {}, \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}}}",
+                "    \"echo_{}s_{}c\": {{\"servers\": {}, \"clients\": {}, \"requests_per_client\": {}, \"reqs_per_sec\": {}, \"latency_ns\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}}, \"wake_split\": {{\"edges\": {}, \"delay_total_ns\": {}, \"per_request_wake_ns\": {}, \"per_request_service_ns\": {}}}}}",
                 r.servers,
                 r.clients,
                 r.servers,
@@ -234,11 +257,15 @@ pub fn to_json(b: &Bench3) -> String {
                 json_num(r.p99_ns),
                 json_num(r.mean_ns),
                 r.max_ns,
+                r.wake_edges,
+                r.wake_delay_ns,
+                json_num(r.wake_mean_ns),
+                json_num(r.service_mean_ns),
             )
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"ulp-rs epoll echo server (loopback sockets)\",\n  \"protocol\": \"N client ULPs round-robin over M epoll-driven server ULPs, {FRAME}-byte frames, byte-exact verification; latency = per-request round trip folded from per-client log2 histograms\",\n  \"echo\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"ulp-rs epoll echo server (loopback sockets)\",\n  \"protocol\": \"N client ULPs round-robin over M epoll-driven server ULPs, {FRAME}-byte frames, byte-exact verification, wake tracing on; latency = per-request round trip folded from per-client log2 histograms; wake_split = wake-to-run nanoseconds attributed by wake edges vs the remainder (approximate: server-side wakes overlap the client clock)\",\n  \"echo\": {{\n{}\n  }}\n}}\n",
         rows.join(",\n"),
     )
 }
@@ -277,6 +304,10 @@ mod tests {
                     p99_ns: 900_000.0,
                     mean_ns: 60_000.0,
                     max_ns: 2_000_000,
+                    wake_edges: 512,
+                    wake_delay_ns: 10_240_000,
+                    wake_mean_ns: 40_000.0,
+                    service_mean_ns: 20_000.0,
                 },
                 EchoRow {
                     servers: 2,
@@ -287,6 +318,10 @@ mod tests {
                     p99_ns: f64::NAN,
                     mean_ns: f64::NAN,
                     max_ns: 0,
+                    wake_edges: 0,
+                    wake_delay_ns: 0,
+                    wake_mean_ns: f64::NAN,
+                    service_mean_ns: f64::NAN,
                 },
             ],
         };
@@ -294,8 +329,11 @@ mod tests {
         assert!(s.contains("\"echo_1s_4c\""));
         assert!(s.contains("\"reqs_per_sec\": 50000.0"));
         assert!(s.contains("\"p99\": 900000.0"));
+        assert!(s.contains("\"wake_split\": {\"edges\": 512, \"delay_total_ns\": 10240000"));
+        assert!(s.contains("\"per_request_service_ns\": 20000.0"));
         // An unmeasured row still renders valid JSON.
         assert!(s.contains("\"reqs_per_sec\": null"));
+        assert!(s.contains("\"per_request_wake_ns\": null"));
         assert_eq!(
             s.matches('{').count(),
             s.matches('}').count(),
@@ -312,5 +350,14 @@ mod tests {
         assert!(r.p99_ns.is_finite() && r.p99_ns > 0.0);
         assert!(r.p99_ns >= r.p50_ns, "p99 {} < p50 {}", r.p99_ns, r.p50_ns);
         assert!(r.max_ns > 0);
+        // The split is live: an epoll echo run without wake edges means the
+        // attribution layer fell off.
+        assert!(r.wake_edges > 0, "no wake edges recorded");
+        assert!(
+            r.wake_delay_ns > 0,
+            "edges recorded but no delay attributed"
+        );
+        assert!(r.wake_mean_ns > 0.0);
+        assert!(r.service_mean_ns >= 0.0 && r.service_mean_ns.is_finite());
     }
 }

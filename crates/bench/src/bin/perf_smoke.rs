@@ -170,6 +170,32 @@ fn main() {
         failed = true;
     }
 
+    // Wake-to-run structural gate: a traced socket ping-pong must attribute
+    // its blocked reads to the peer's writes — nonzero `sock_read` edges
+    // with a sane percentile ordering. Structure, not timing: no nanosecond
+    // thresholds, just "the attribution layer is alive".
+    let wake = ulp_bench::workloads::wake_to_run_snapshot(4, 64);
+    let sock_read = wake
+        .get("sock_read")
+        .expect("sock_read is a wake site")
+        .clone();
+    let (p50, p99) = (sock_read.p50(), sock_read.p99());
+    let wake_ok = wake.total_count() > 0
+        && wake.total_sum() > 0
+        && sock_read.count > 0
+        && p50.is_finite()
+        && p99.is_finite()
+        && p99 >= p50;
+    println!(
+        "perf-smoke: {} wake-to-run sock_read: p50 {p50:.1} ns p99 {p99:.1} ns ({} edges, {} total across sites)",
+        if wake_ok { "ok" } else { "FAIL" },
+        sock_read.count,
+        wake.total_count(),
+    );
+    if !wake_ok {
+        failed = true;
+    }
+
     if failed {
         eprintln!("perf-smoke: regression gate FAILED");
         std::process::exit(1);

@@ -933,6 +933,61 @@ pub fn overlap(
     }
 }
 
+// ---------------------------------------------------------------- wake edges
+
+/// Run `pairs` socket ping-pong ULP pairs for `rounds` round trips each
+/// with tracing on, and fold the wake-to-run distribution across every
+/// site. Each pong side sits in blocking reads, so every round trip blocks
+/// two reads that a peer write then ends — a run that records no
+/// `sock_read` wake edges means the attribution layer fell off, however
+/// fast it ran. This is what the perf-smoke structural gate reads.
+pub fn wake_to_run_snapshot(pairs: usize, rounds: usize) -> ulp_core::WakeSnapshot {
+    let rt = Runtime::builder()
+        .schedulers(2)
+        .idle_policy(IdlePolicy::Blocking)
+        .build();
+    rt.trace_enable();
+    let mut handles = Vec::new();
+    for p in 0..pairs {
+        let listener = Arc::new(ulp_core::Listener::new());
+        let l2 = listener.clone();
+        handles.push(rt.spawn(&format!("wake-pong{p}"), move || {
+            decouple().unwrap();
+            coupled_scope(|| {
+                let lfd = sys::listen(&l2).unwrap();
+                let conn = sys::accept(lfd).unwrap();
+                let mut buf = [0u8; 1];
+                for _ in 0..rounds {
+                    assert_eq!(sys::read(conn, &mut buf).unwrap(), 1);
+                    assert_eq!(sys::write(conn, &buf).unwrap(), 1);
+                }
+                sys::close(conn).unwrap();
+                sys::close(lfd).unwrap();
+            })
+            .unwrap();
+            0
+        }));
+        handles.push(rt.spawn(&format!("wake-ping{p}"), move || {
+            decouple().unwrap();
+            coupled_scope(|| {
+                let fd = sys::connect(&listener).unwrap();
+                let mut buf = [0u8; 1];
+                for _ in 0..rounds {
+                    assert_eq!(sys::write(fd, b"x").unwrap(), 1);
+                    assert_eq!(sys::read(fd, &mut buf).unwrap(), 1);
+                }
+                sys::close(fd).unwrap();
+            })
+            .unwrap();
+            0
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.wait(), 0);
+    }
+    rt.latency_snapshot().wake
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

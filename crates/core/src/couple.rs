@@ -178,6 +178,21 @@ pub fn decouple() -> Result<bool, UlpError> {
                     from: me.id,
                     to: waiter.id,
                 });
+                if t.is_on() {
+                    // Refine the waiter's wake attribution: the generic
+                    // couple-resume stamped at request publication becomes a
+                    // direct handoff from us, the decoupling UC. The waiter
+                    // consumes this when it records `Coupled`.
+                    waiter.wake_from.store(
+                        crate::uc::encode_wake_from(me.id, ulp_kernel::WakeSite::CoupleHandoff),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    // The request also armed this KC's notify cell for a
+                    // park that never happened (we served the waiter while
+                    // running); discard it so a later unrelated park exit
+                    // cannot claim it.
+                    let _ = me.kc.wake.take();
+                }
             }
             let target = unsafe { *waiter.ctx.get() };
             // On a *pool* KC the waiter may carry a different kernel
@@ -269,10 +284,15 @@ pub fn couple() -> Result<bool, UlpError> {
         if let Some(t) = b.trace() {
             if t.is_on() {
                 let now = crate::trace::now_ns();
-                t.record_at(now, crate::trace::Event::Coupled(me.id));
                 // Close the couple-request→resume span opened when the host
-                // published our request.
+                // published our request, emitting the wake edge that ended
+                // it first so the causal order survives the stable sort.
                 let since = me.wait_since.swap(0, std::sync::atomic::Ordering::Relaxed);
+                let wake = me.wake_from.swap(0, std::sync::atomic::Ordering::Relaxed);
+                if let Some((waker, site)) = crate::uc::decode_wake_from(wake) {
+                    t.emit_wake(now, waker.0, me.id.0, site, since);
+                }
+                t.record_at(now, crate::trace::Event::Coupled(me.id));
                 if since != 0 {
                     t.hist_couple_resume.record(now.saturating_sub(since));
                 }
@@ -311,6 +331,17 @@ pub fn yield_now() -> bool {
         if let Some(t) = b.trace() {
             if t.is_on() {
                 let now = crate::trace::now_ns();
+                // Close the incoming UC's enqueue→dispatch span (stamped by
+                // the run-queue push that made it runnable), emitting its
+                // wake edge before the Yield record so the causal order
+                // survives the stable sort.
+                let since = next
+                    .wait_since
+                    .swap(0, std::sync::atomic::Ordering::Relaxed);
+                let wake = next.wake_from.swap(0, std::sync::atomic::Ordering::Relaxed);
+                if let Some((waker, site)) = crate::uc::decode_wake_from(wake) {
+                    t.emit_wake(now, waker.0, next.id.0, site, since);
+                }
                 t.record_at(
                     now,
                     crate::trace::Event::Yield {
@@ -319,11 +350,6 @@ pub fn yield_now() -> bool {
                     },
                 );
                 t.note_yield(now);
-                // Close the incoming UC's enqueue→dispatch span (stamped by
-                // the run-queue push that made it runnable).
-                let since = next
-                    .wait_since
-                    .swap(0, std::sync::atomic::Ordering::Relaxed);
                 if since != 0 {
                     t.hist_queue_delay.record(now.saturating_sub(since));
                 }

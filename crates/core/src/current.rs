@@ -384,9 +384,20 @@ pub fn run_deferred() {
                         let now = crate::trace::now_ns();
                         t.record_at(now, crate::trace::Event::CoupleRequest(uc.id));
                         // Open the couple-request→resume span; the original
-                        // KC closes it when the UC runs again.
+                        // KC closes it when the UC runs again. The wake
+                        // attribution defaults to a plain couple resume —
+                        // the direct-handoff fast path refines it, and the
+                        // resumer consumes it at the `Coupled` record.
                         uc.wait_since
                             .store(now, std::sync::atomic::Ordering::Relaxed);
+                        uc.wake_from.store(
+                            crate::uc::encode_wake_from(uc.id, ulp_kernel::WakeSite::CoupleResume),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                        // If the original KC is parked, this notify is what
+                        // unblocks it: arm its wake cell so the trampoline
+                        // can attribute the KC-blocked exit to this request.
+                        uc.kc.wake.stamp_as(uc.id.0, now);
                     }
                 } else if let Some(rt) = uc.rt.upgrade() {
                     rt.tracer.record(crate::trace::Event::CoupleRequest(uc.id));

@@ -18,12 +18,33 @@
 //!   `le`-bucketed as scrapers expect, including the per-syscall
 //!   `ulp_syscall_latency_ns{call="…"}` family.
 
-use crate::hist::{bucket_le, HistData, LatencySnapshot, SyscallSnapshot};
+use crate::hist::{bucket_le, HistData, LatencySnapshot, SyscallSnapshot, WakeSnapshot};
 use crate::stats::StatsSnapshot;
 use crate::trace::{Event, TraceRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 use ulp_kernel::Sysno;
+
+/// Render one half of a wake flow arrow (`ph:"s"` start on the waker's
+/// track, `ph:"f"` finish on the wakee's track). Chrome flow events bind to
+/// the enclosing slice on the target track at `ts`; matching `cat`+`id`
+/// pairs the halves. The finish half carries `bp:"e"` so Perfetto attaches
+/// it to the slice *enclosing* the timestamp rather than the next one.
+fn push_flow(
+    out: &mut Vec<String>,
+    half: char,
+    id: u64,
+    site: ulp_kernel::WakeSite,
+    tid: u64,
+    at_ns: u64,
+) {
+    let bp = if half == 'f' { ",\"bp\":\"e\"" } else { "" };
+    out.push(format!(
+        "{{\"name\":\"wake:{}\",\"ph\":\"{half}\",\"cat\":\"wake\",\"id\":{id},\"pid\":1,\"tid\":{tid},\"ts\":{}{bp}}}",
+        site.name(),
+        us(at_ns),
+    ));
+}
 
 /// Offset separating a BLT's syscall track id from its state track id. BLT
 /// ids are sequential and small, so the two ranges can't collide.
@@ -98,6 +119,8 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     let mut sys_open: BTreeMap<u64, Vec<(u64, Sysno, bool)>> = BTreeMap::new();
     let mut sys_tids: BTreeMap<u64, ()> = BTreeMap::new();
     let mut events: Vec<String> = Vec::new();
+    // Sequential flow-arrow ids (Chrome pairs `s`/`f` halves by cat+id).
+    let mut flow_id = 0u64;
 
     let transition = |events: &mut Vec<String>,
                       open: &mut BTreeMap<u64, Open>,
@@ -242,6 +265,29 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                         coupled,
                     );
                 }
+            }
+            Event::Wake {
+                waker,
+                wakee,
+                site,
+                delay_ns,
+            } => {
+                // Causality arrow: start on the waker's track at the moment
+                // the wake was armed, finish on the wakee's track when it
+                // ran again. Waker 0 (a thread outside the runtime) still
+                // gets a track so the arrow has somewhere to start.
+                tids.insert(waker.0, ());
+                tids.insert(wakee.0, ());
+                flow_id += 1;
+                push_flow(
+                    &mut events,
+                    's',
+                    flow_id,
+                    site,
+                    waker.0,
+                    r.at_ns.saturating_sub(delay_ns),
+                );
+                push_flow(&mut events, 'f', flow_id, site, wakee.0, r.at_ns);
             }
         }
     }
@@ -411,14 +457,61 @@ fn syscall_blocks(out: &mut String, sys: &SyscallSnapshot) {
     }
 }
 
+/// The per-wake-site families: a `site`-labelled counter and a
+/// `site`-labelled cumulative histogram of wake-to-run latency. Same
+/// absent-series convention as [`syscall_blocks`].
+fn wake_blocks(out: &mut String, wake: &WakeSnapshot) {
+    let _ = writeln!(
+        out,
+        "# HELP ulp_wake_total Wake edges recorded, by the site that ended the wait."
+    );
+    let _ = writeln!(out, "# TYPE ulp_wake_total counter");
+    for (name, d) in wake.nonzero() {
+        let _ = writeln!(out, "ulp_wake_total{{site=\"{name}\"}} {}", d.count);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ulp_wake_to_run_ns Wake armed to wakee running again, nanoseconds, by wake site."
+    );
+    let _ = writeln!(out, "# TYPE ulp_wake_to_run_ns histogram");
+    for (name, d) in wake.nonzero() {
+        if let Some(last) = d.buckets.iter().rposition(|&c| c != 0) {
+            let mut cum = 0u64;
+            for (i, &c) in d.buckets.iter().enumerate().take(last + 1) {
+                cum += c;
+                if let Some(le) = bucket_le(i) {
+                    let _ = writeln!(
+                        out,
+                        "ulp_wake_to_run_ns_bucket{{site=\"{name}\",le=\"{le}\"}} {cum}"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ulp_wake_to_run_ns_bucket{{site=\"{name}\",le=\"+Inf\"}} {}",
+            d.count
+        );
+        let _ = writeln!(out, "ulp_wake_to_run_ns_sum{{site=\"{name}\"}} {}", d.sum);
+        let _ = writeln!(
+            out,
+            "ulp_wake_to_run_ns_count{{site=\"{name}\"}} {}",
+            d.count
+        );
+    }
+}
+
 /// Render counters + latency histograms in the Prometheus text exposition
 /// format (scrape-ready; also a convenient stable diff format for tests).
 ///
 /// `sys` supplies the per-syscall latency families,
 /// `kernel_syscalls_total` the kernel's all-time dispatch counter (counted
-/// even when tracing is off, so it is passed separately from the snapshot)
-/// and `violations_total` the runtime's recorded system-call-consistency
-/// violations (the audit log's length — also independent of tracing).
+/// even when tracing is off, so it is passed separately from the snapshot),
+/// `violations_total` the runtime's recorded system-call-consistency
+/// violations (the audit log's length — also independent of tracing) and
+/// `trace_dropped` the tracer's lost-record count for the current recording
+/// run (a gauge: `Tracer::enable` resets it).
+#[allow(clippy::too_many_arguments)]
 pub fn prometheus_text(
     stats: &StatsSnapshot,
     lat: &LatencySnapshot,
@@ -426,6 +519,7 @@ pub fn prometheus_text(
     kernel_syscalls_total: u64,
     violations_total: u64,
     pool: &PoolMetrics,
+    trace_dropped: u64,
 ) -> String {
     let mut out = String::new();
     counter_block(
@@ -542,7 +636,14 @@ pub fn prometheus_text(
         "Stacks currently cached for reuse in the pool.",
         pool.cached,
     );
+    gauge_block(
+        &mut out,
+        "ulp_trace_dropped_total",
+        "Trace records lost since the current recording run began (ring overflow).",
+        trace_dropped,
+    );
     syscall_blocks(&mut out, sys);
+    wake_blocks(&mut out, &lat.wake);
     hist_block(
         &mut out,
         "ulp_queue_delay_ns",
@@ -681,8 +782,10 @@ mod tests {
             recycled: 7,
             cached: 3,
         };
-        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0, 3, &pool);
+        let text = prometheus_text(&stats, &lat, &SyscallSnapshot::new(), 0, 3, &pool, 5);
         assert!(text.contains("ulp_context_switches_total 42\n"));
+        assert!(text.contains("# TYPE ulp_trace_dropped_total gauge"));
+        assert!(text.contains("ulp_trace_dropped_total 5\n"));
         assert!(text.contains("# TYPE ulp_stack_outstanding gauge"));
         assert!(text.contains("ulp_stack_pool_hits_total 9\n"));
         assert!(text.contains("ulp_stack_pool_misses_total 4\n"));
@@ -867,6 +970,7 @@ mod tests {
             17,
             0,
             &PoolMetrics::default(),
+            0,
         );
         assert!(text.contains("ulp_kernel_syscalls_total 17\n"));
         assert!(text.contains("ulp_syscall_violations_total 0\n"));
@@ -879,6 +983,84 @@ mod tests {
         assert!(text.contains("ulp_syscall_latency_ns_count{call=\"read\"} 2"));
         // Zero-count calls are absent series, not zero series.
         assert!(!text.contains("call=\"getpid\""));
+    }
+
+    #[test]
+    fn wake_events_render_as_paired_flow_arrows() {
+        use ulp_kernel::WakeSite;
+        let records = vec![
+            rec(0, Event::Spawn(BltId(3))),
+            rec(0, Event::Spawn(BltId(4))),
+            rec(100, Event::Decouple(BltId(4))),
+            rec(
+                500,
+                Event::Wake {
+                    waker: BltId(3),
+                    wakee: BltId(4),
+                    site: WakeSite::PipeRead,
+                    delay_ns: 300,
+                },
+            ),
+            rec(
+                500,
+                Event::Dispatch {
+                    uc: BltId(4),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(800, Event::Terminate(BltId(4))),
+        ];
+        let json = chrome_trace_json(&records);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().unwrap();
+        let start = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("f"))
+            .expect("flow finish");
+        // Paired by cat+id, labelled with the site, waker → wakee.
+        assert_eq!(start["cat"].as_str(), Some("wake"));
+        assert_eq!(start["id"], finish["id"]);
+        assert_eq!(start["name"].as_str(), Some("wake:pipe_read"));
+        assert_eq!(finish["name"].as_str(), Some("wake:pipe_read"));
+        assert_eq!(start["tid"].as_f64(), Some(3.0));
+        assert_eq!(finish["tid"].as_f64(), Some(4.0));
+        // Start sits delay_ns before the finish (0.2 µs vs 0.5 µs).
+        assert_eq!(start["ts"].as_f64(), Some(0.2));
+        assert_eq!(finish["ts"].as_f64(), Some(0.5));
+        assert_eq!(finish["bp"].as_str(), Some("e"));
+    }
+
+    #[test]
+    fn prometheus_wake_series() {
+        use ulp_kernel::WakeSite;
+        let mut lat = LatencySnapshot::default();
+        let d = &mut lat.wake.sites[WakeSite::EpollWait as usize];
+        d.buckets[crate::hist::bucket_index(100)] += 3;
+        d.count = 3;
+        d.sum = 300;
+        d.max = 100;
+        let text = prometheus_text(
+            &StatsSnapshot::default(),
+            &lat,
+            &SyscallSnapshot::new(),
+            0,
+            0,
+            &PoolMetrics::default(),
+            0,
+        );
+        assert!(text.contains("# TYPE ulp_wake_total counter"));
+        assert!(text.contains("ulp_wake_total{site=\"epoll_wait\"} 3\n"));
+        assert!(text.contains("# TYPE ulp_wake_to_run_ns histogram"));
+        assert!(text.contains("ulp_wake_to_run_ns_bucket{site=\"epoll_wait\",le=\"127\"} 3"));
+        assert!(text.contains("ulp_wake_to_run_ns_bucket{site=\"epoll_wait\",le=\"+Inf\"} 3"));
+        assert!(text.contains("ulp_wake_to_run_ns_sum{site=\"epoll_wait\"} 300"));
+        assert!(text.contains("ulp_wake_to_run_ns_count{site=\"epoll_wait\"} 3"));
+        // Zero-count sites are absent series, not zero series.
+        assert!(!text.contains("site=\"futex_wake\""));
     }
 
     #[test]
@@ -895,6 +1077,7 @@ mod tests {
             0,
             0,
             &PoolMetrics::default(),
+            0,
         );
         let mut prev = 0u64;
         for line in text

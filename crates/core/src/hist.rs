@@ -242,7 +242,7 @@ impl std::fmt::Display for HistSummary {
 }
 
 /// The four switch-path spans the tentpole histograms, folded across every
-/// kernel context's shard.
+/// kernel context's shard, plus the per-site wake-to-run distributions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatencySnapshot {
     /// Decouple/yield enqueue → scheduler dispatch (run-queue delay).
@@ -253,6 +253,72 @@ pub struct LatencySnapshot {
     pub yield_interval: HistData,
     /// KC futex block → wake (BLOCKING/Adaptive idle only).
     pub kc_block: HistData,
+    /// Wake armed → wakee running, split by [`ulp_kernel::WakeSite`].
+    pub wake: WakeSnapshot,
+}
+
+/// Per-wake-site wake-to-run latency distributions, folded across every
+/// kernel context's shard: one row per [`ulp_kernel::WakeSite`], indexed by
+/// discriminant. Each site's `count` equals the number of `Wake` trace
+/// events recorded for that site on a loss-free trace (the emit path feeds
+/// both in the same breath), which is what `ProfileSnapshot::reconcile` and
+/// torture family J lean on.
+///
+/// ```
+/// let snap = ulp_core::hist::WakeSnapshot::default();
+/// assert_eq!(snap.get("futex_wake").unwrap().count, 0);
+/// assert!(snap.get("no_such_site").is_none());
+/// assert_eq!(snap.total_count(), 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WakeSnapshot {
+    /// One distribution per [`ulp_kernel::WakeSite`], in discriminant order.
+    pub sites: [HistData; ulp_kernel::WakeSite::COUNT],
+}
+
+impl Default for WakeSnapshot {
+    fn default() -> Self {
+        WakeSnapshot {
+            sites: [HistData::default(); ulp_kernel::WakeSite::COUNT],
+        }
+    }
+}
+
+impl WakeSnapshot {
+    /// One site's distribution.
+    pub fn site(&self, site: ulp_kernel::WakeSite) -> &HistData {
+        &self.sites[site as usize]
+    }
+
+    /// Look up one site's distribution by name (e.g. `"epoll_wait"`).
+    pub fn get(&self, name: &str) -> Option<&HistData> {
+        ulp_kernel::WakeSite::ALL
+            .iter()
+            .position(|s| s.name() == name)
+            .map(|i| &self.sites[i])
+    }
+
+    /// Rows that recorded at least one wake — what reports print and the
+    /// Prometheus exporter emits.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, &HistData)> {
+        ulp_kernel::WakeSite::ALL
+            .iter()
+            .zip(self.sites.iter())
+            .filter(|(_, d)| d.count > 0)
+            .map(|(s, d)| (s.name(), d))
+    }
+
+    /// Total wakes across every site.
+    pub fn total_count(&self) -> u64 {
+        self.sites.iter().map(|d| d.count).sum()
+    }
+
+    /// Total wake-to-run nanoseconds across every site (saturating).
+    pub fn total_sum(&self) -> u64 {
+        self.sites
+            .iter()
+            .fold(0u64, |acc, d| acc.saturating_add(d.sum))
+    }
 }
 
 /// Per-syscall enter→exit latency distributions, folded across every kernel

@@ -120,6 +120,20 @@ fn tc_loop(boot: &TcBoot) -> ! {
                 if let Some(t) = b.trace() {
                     if t.is_on() {
                         let now = crate::trace::now_ns();
+                        // The notify that ended this futex block: attribute
+                        // it to the couple requester that armed the KC's
+                        // wake cell (other notifies — sibling registration,
+                        // handle close — leave the cell unarmed and emit no
+                        // edge, as do spurious futex wakes).
+                        if let Some((waker, armed)) = kc.wake.take() {
+                            t.emit_wake(
+                                now,
+                                waker,
+                                boot.primary.id.0,
+                                ulp_kernel::WakeSite::KcNotify,
+                                armed,
+                            );
+                        }
                         t.record_at(now, crate::trace::Event::KcBlocked(boot.primary.id));
                         if t0 != 0 {
                             t.hist_kc_block.record(now.saturating_sub(t0));

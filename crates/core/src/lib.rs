@@ -87,7 +87,7 @@ pub use chaos::ChaosPlan;
 pub use couple::{couple, coupled_scope, decouple, is_coupled, pending_couplers, yield_now};
 pub use error::UlpError;
 pub use export::{chrome_trace_json, prometheus_text, PoolMetrics};
-pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot};
+pub use hist::{HistData, HistSummary, LatencySnapshot, SyscallSnapshot, WakeSnapshot};
 pub use profile::{
     diff_folded, fold_profile, fold_profile_window, parse_collapsed, BltProfile, ProfileSnapshot,
     ProfileState,
@@ -110,6 +110,8 @@ pub use ulp_fcontext;
 pub use ulp_kernel;
 // Syscall identity/phase types appearing in trace events and snapshots.
 pub use ulp_kernel::{SyscallPhase, Sysno};
+// Wake-edge site identity appearing in `Wake` trace events and snapshots.
+pub use ulp_kernel::WakeSite;
 // Readiness-layer types used by the `sys::poll`/`sys::epoll_*` veneers.
 pub use ulp_kernel::{EpollOp, Listener, PollEvents};
 

@@ -48,7 +48,13 @@ use crate::trace::{Event, TraceRecord, SYS_STACK_DEPTH};
 use crate::uc::BltId;
 use std::collections::BTreeMap;
 use std::fmt::Write;
-use ulp_kernel::Sysno;
+use ulp_kernel::{Sysno, WakeSite};
+
+/// Wake chains are merged beyond this many links: the fold keys a blocked
+/// span by its nearest waker, that waker's waker, and so on up to this
+/// depth, so transitive causality stays readable in a flamegraph without
+/// exploding the number of distinct stacks.
+pub const WAKE_CHAIN_DEPTH: usize = 4;
 
 /// Where a BLT's wall-clock time is attributed (the Table-I lifecycle
 /// states plus the parallel blocked-original-KC track).
@@ -132,6 +138,33 @@ pub struct SyscallPath {
     pub self_ns: u64,
 }
 
+/// Per-site aggregate of the wake edges that made one BLT runnable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeBucket {
+    /// Wake edges folded into this site.
+    pub count: u64,
+    /// Summed wake-to-run delay of those edges in nanoseconds (saturating,
+    /// mirroring the histogram it reconciles against).
+    pub delay_ns: u64,
+}
+
+/// One waker-attributed blocked span: the lifecycle state (`queued` or
+/// `coupling`) keyed by the wake chain that ended it — nearest waker
+/// first, merged to [`WAKE_CHAIN_DEPTH`] links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakePath {
+    /// The blocked state this chain ended (`Queued` or `Coupling`).
+    pub state: ProfileState,
+    /// The causal chain, nearest waker first: `chain[0]` is the BLT (and
+    /// site) whose wake made this BLT runnable, `chain[1]` is who woke
+    /// *that* BLT, and so on.
+    pub chain: Vec<(BltId, WakeSite)>,
+    /// Blocked spans folded into this chain.
+    pub count: u64,
+    /// Summed (window-clipped) wall time of those spans.
+    pub total_ns: u64,
+}
+
 /// Wall-clock attribution for one BLT.
 #[derive(Debug, Clone)]
 pub struct BltProfile {
@@ -150,6 +183,11 @@ pub struct BltProfile {
     pub coupled_resumes: u64,
     /// Folded syscall stacks, sorted by (state, call chain).
     pub syscalls: Vec<SyscallPath>,
+    /// Per-site wake edges that made this BLT runnable, indexed by
+    /// `WakeSite as usize`.
+    pub wakes: [WakeBucket; WakeSite::COUNT],
+    /// Waker-attributed blocked spans, sorted by (state, chain).
+    pub wake_chains: Vec<WakePath>,
 }
 
 impl BltProfile {
@@ -175,7 +213,13 @@ impl BltProfile {
     pub fn flame_ns(&self) -> u64 {
         let states: u64 = self.states.iter().map(|b| b.self_ns).sum();
         let sys: u64 = self.syscalls.iter().map(|p| p.self_ns).sum();
-        states + sys
+        let wakes: u64 = self.wake_chains.iter().map(|w| w.total_ns).sum();
+        states + sys + wakes
+    }
+
+    /// This site's wake-edge aggregate.
+    pub fn wake(&self, site: WakeSite) -> WakeBucket {
+        self.wakes[site as usize]
     }
 
     /// Completed syscall spans whose outermost frame is `no`, summed over
@@ -208,6 +252,19 @@ impl ProfileSnapshot {
     /// Completed spans of syscall `no` across every BLT.
     pub fn syscall_count(&self, no: Sysno) -> u64 {
         self.blts.iter().map(|b| b.syscall_count(no)).sum()
+    }
+
+    /// Wake edges of site `site` across every BLT.
+    pub fn wake_count(&self, site: WakeSite) -> u64 {
+        self.blts.iter().map(|b| b.wake(site).count).sum()
+    }
+
+    /// Summed wake-to-run delay of site `site` across every BLT
+    /// (saturating, like the histogram it reconciles against).
+    pub fn wake_delay_ns(&self, site: WakeSite) -> u64 {
+        self.blts
+            .iter()
+            .fold(0u64, |acc, b| acc.saturating_add(b.wake(site).delay_ns))
     }
 
     /// All completed syscall spans across every BLT and call.
@@ -259,13 +316,37 @@ impl ProfileSnapshot {
                 lat.couple_resume.count
             ));
         }
+        for site in WakeSite::ALL {
+            let folded = self.wake_count(site);
+            let hist = lat.wake.site(site);
+            if folded != hist.count {
+                out.push(format!(
+                    "wake {}: {folded} folded edges vs {} histogram samples",
+                    site.name(),
+                    hist.count
+                ));
+            }
+            let folded_ns = self.wake_delay_ns(site);
+            if folded_ns != hist.sum {
+                out.push(format!(
+                    "wake {}: {folded_ns} folded delay ns vs {} histogram sum",
+                    site.name(),
+                    hist.sum
+                ));
+            }
+        }
         out
     }
 
     /// Render as Brendan Gregg collapsed-stack ("folded") text: one
     /// `blt:N;state[;syscall:name…] self_ns` line per stack with nonzero
     /// self time, consumable by `flamegraph.pl`, inferno
-    /// (`inferno-flamegraph`) and speedscope.
+    /// (`inferno-flamegraph`) and speedscope. Waker-attributed blocked
+    /// spans render as
+    /// `blt:N;queued;woken_by:blt:M;site:epoll_wait[;woken_by:…] ns` —
+    /// the wake chain nested under the blocked state, so a flamegraph of
+    /// queued time decomposes by *who ended the wait* (see
+    /// `OBSERVABILITY.md`, Recipe 5).
     pub fn collapsed(&self) -> String {
         let mut out = String::new();
         for b in &self.blts {
@@ -274,6 +355,16 @@ impl ProfileSnapshot {
                 if self_ns > 0 {
                     let _ = writeln!(out, "blt:{};{} {self_ns}", b.id.0, s.name());
                 }
+            }
+            for w in &b.wake_chains {
+                if w.total_ns == 0 {
+                    continue;
+                }
+                let _ = write!(out, "blt:{};{}", b.id.0, w.state.name());
+                for (who, site) in &w.chain {
+                    let _ = write!(out, ";woken_by:blt:{};site:{}", who.0, site.name());
+                }
+                let _ = writeln!(out, " {}", w.total_ns);
             }
             for p in &b.syscalls {
                 if p.self_ns == 0 {
@@ -340,6 +431,39 @@ impl ProfileSnapshot {
                     "],\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
                     p.count, p.total_ns, p.self_ns
                 );
+            }
+            let _ = write!(out, "],\"wakes\":{{");
+            let mut first = true;
+            for site in WakeSite::ALL {
+                let w = b.wake(site);
+                if w.count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"delay_ns\":{}}}",
+                    site.name(),
+                    w.count,
+                    w.delay_ns
+                );
+            }
+            let _ = write!(out, "}},\"wake_chains\":[");
+            for (j, w) in b.wake_chains.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"state\":\"{}\",\"chain\":[", w.state.name());
+                for (k, (who, site)) in w.chain.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{{\"waker\":{},\"site\":\"{}\"}}", who.0, site.name());
+                }
+                let _ = write!(out, "],\"count\":{},\"total_ns\":{}}}", w.count, w.total_ns);
             }
             let _ = write!(out, "]}}");
         }
@@ -430,6 +554,17 @@ fn in_point(window: Option<(u64, u64)>, at: u64) -> bool {
     }
 }
 
+/// Scheduling-site wakes (run-queue pushes and couple resumes) end a
+/// `queued`/`coupling` span and so attribute it to their chain; kernel-site
+/// wakes update the causal chain and per-site aggregates only — the span
+/// they end is the blocking syscall frame, already folded on its own.
+fn wake_attributes_span(site: WakeSite) -> bool {
+    matches!(
+        site,
+        WakeSite::Enqueue | WakeSite::Spawn | WakeSite::CoupleResume | WakeSite::CoupleHandoff
+    )
+}
+
 /// Per-BLT accumulation state.
 struct Builder {
     window: Option<(u64, u64)>,
@@ -439,6 +574,10 @@ struct Builder {
     /// Syscall wall time attributed inside each lifecycle state (top-level
     /// frames only; nested time is the parent frame's business).
     state_sys_ns: [u64; LIFECYCLE_STATES],
+    /// Wake-chain wall time attributed inside each lifecycle state
+    /// (subtracted from the state's self time exactly like syscall frames,
+    /// so the collapsed lines still sum to [`BltProfile::flame_ns`]).
+    state_wake_ns: [u64; LIFECYCLE_STATES],
     /// The currently open lifecycle span.
     open: Option<(u64, usize)>,
     /// The open span is the birth span: still relabelable to `queued` if
@@ -449,7 +588,21 @@ struct Builder {
     coupled_resumes: u64,
     /// (state, call chain as u16 discriminants) → (count, total, self).
     paths: BTreeMap<(usize, Vec<u16>), (u64, u64, u64)>,
+    /// Per-site wake edges targeting this BLT: (count, delay sum).
+    wakes: [(u64, u64); WakeSite::COUNT],
+    /// This BLT's current causal chain: who last made it runnable, who
+    /// made *that* BLT runnable, … (nearest first, ≤ [`WAKE_CHAIN_DEPTH`]).
+    chain: Vec<(u64, u8)>,
+    /// Chain snapshot from a scheduling-site wake, consumed when the next
+    /// `queued`/`coupling` span closes.
+    pending_wake: Option<Vec<(u64, u8)>>,
+    /// (state, chain) → (count, total) for waker-attributed blocked spans.
+    wake_paths: WakePathMap,
 }
+
+/// (state, chain as (waker, site) links) → (count, total ns) accumulator
+/// for waker-attributed blocked spans.
+type WakePathMap = BTreeMap<(usize, Vec<(u64, u8)>), (u64, u64)>;
 
 impl Builder {
     fn new(start_ns: u64, window: Option<(u64, u64)>) -> Builder {
@@ -459,11 +612,16 @@ impl Builder {
             end_ns: None,
             states: [StateBucket::default(); PROFILE_STATES],
             state_sys_ns: [0; LIFECYCLE_STATES],
+            state_wake_ns: [0; LIFECYCLE_STATES],
             open: None,
             birth_unresolved: false,
             kc_open: None,
             coupled_resumes: 0,
             paths: BTreeMap::new(),
+            wakes: [(0, 0); WakeSite::COUNT],
+            chain: Vec::new(),
+            pending_wake: None,
+            wake_paths: BTreeMap::new(),
         }
     }
 
@@ -474,9 +632,26 @@ impl Builder {
     /// intersect its window.
     fn transition(&mut self, at: u64, next: Option<usize>) {
         if let Some((start, s)) = self.open.take() {
-            self.states[s].total_ns += clip(self.window, start, at);
-            if in_window(self.window, start, at) {
+            let dur = clip(self.window, start, at);
+            self.states[s].total_ns += dur;
+            let counted = in_window(self.window, start, at);
+            if counted {
                 self.states[s].spans += 1;
+            }
+            // A blocked span ends: if a scheduling-site wake claimed it,
+            // fold its wall time under the wake chain instead of the bare
+            // state frame.
+            if s == QUEUED || s == COUPLING {
+                if let Some(chain) = self.pending_wake.take() {
+                    if counted || dur > 0 {
+                        let entry = self.wake_paths.entry((s, chain)).or_insert((0, 0));
+                        if counted {
+                            entry.0 += 1;
+                        }
+                        entry.1 += dur;
+                        self.state_wake_ns[s] += dur;
+                    }
+                }
             }
         }
         if let Some(s) = next {
@@ -533,7 +708,7 @@ impl Builder {
         self.close_kc(horizon);
         for (i, bucket) in self.states.iter_mut().enumerate() {
             let attributed = if i < LIFECYCLE_STATES {
-                self.state_sys_ns[i]
+                self.state_sys_ns[i].saturating_add(self.state_wake_ns[i])
             } else {
                 0
             };
@@ -553,6 +728,27 @@ impl Builder {
                 self_ns,
             })
             .collect();
+        let mut wakes = [WakeBucket::default(); WakeSite::COUNT];
+        for (i, &(count, delay_ns)) in self.wakes.iter().enumerate() {
+            wakes[i] = WakeBucket { count, delay_ns };
+        }
+        let wake_chains = self
+            .wake_paths
+            .into_iter()
+            .map(|((state, chain), (count, total_ns))| WakePath {
+                state: ProfileState::ALL[state],
+                chain: chain
+                    .into_iter()
+                    .map(|(who, site)| {
+                        let site =
+                            WakeSite::from_u16(site as u16).expect("folded from a valid WakeSite");
+                        (BltId(who), site)
+                    })
+                    .collect(),
+                count,
+                total_ns,
+            })
+            .collect();
         BltProfile {
             id: BltId(0), // overwritten by the caller
             start_ns: self.start_ns,
@@ -560,6 +756,8 @@ impl Builder {
             states: self.states,
             coupled_resumes: self.coupled_resumes,
             syscalls,
+            wakes,
+            wake_chains,
         }
     }
 }
@@ -672,6 +870,32 @@ pub fn fold_profile_window(records: &[TraceRecord], window: Option<(u64, u64)>) 
             // bracketing Decouple(from) and Coupled(to) records drive the
             // state transitions, so the I1 partition stays exact.
             Event::CoupleHandoff { .. } => {}
+            Event::Wake {
+                waker,
+                wakee,
+                site,
+                delay_ns,
+            } => {
+                // The wakee's new causal chain: this edge, then whatever
+                // chain the waker itself carried, merged to depth 4. Read
+                // the waker's chain first — an external waker (`blt:0` or
+                // one with no builder yet) contributes an empty tail.
+                let tail: Vec<(u64, u8)> = builders
+                    .get(&waker.0)
+                    .map(|b| b.chain.clone())
+                    .unwrap_or_default();
+                let t = blt!(wakee);
+                t.chain.clear();
+                t.chain.push((waker.0, site as u8));
+                t.chain.extend(tail.into_iter().take(WAKE_CHAIN_DEPTH - 1));
+                if in_point(window, at) {
+                    t.wakes[site as usize].0 += 1;
+                    t.wakes[site as usize].1 = t.wakes[site as usize].1.saturating_add(delay_ns);
+                }
+                if wake_attributes_span(site) {
+                    t.pending_wake = Some(t.chain.clone());
+                }
+            }
             Event::SyscallEnter { uc, sysno, coupled } => {
                 let state = blt!(uc).sys_state(coupled);
                 let stack = sys_stacks.entry((uc.0, r.kc)).or_default();
@@ -1166,5 +1390,194 @@ mod tests {
         let b = p.get(BltId(0)).unwrap();
         // Neither stream saw the other as a nested frame.
         assert!(b.syscalls.iter().all(|p| p.stack.len() == 1));
+    }
+
+    /// The Fig. 6 lifecycle with wake edges ahead of the Dispatch and the
+    /// Coupled, plus a mid-chain waker so the fold has a depth-2 chain.
+    fn fig6_with_wakes() -> Vec<TraceRecord> {
+        use ulp_kernel::WakeSite;
+        vec![
+            rec(0, Event::Spawn(BltId(3))),
+            rec(0, Event::Spawn(BltId(4))),
+            rec(100, Event::Decouple(BltId(4))),
+            // blt:3 was itself woken by an epoll fire from blt:5 (no
+            // builder for 5 — an already-terminated or external chain
+            // link is fine, only the id is kept).
+            rec(
+                200,
+                Event::Wake {
+                    waker: BltId(5),
+                    wakee: BltId(3),
+                    site: WakeSite::EpollWait,
+                    delay_ns: 40,
+                },
+            ),
+            // ... and then ended blt:4's queued wait with a run-queue push.
+            rec(
+                250,
+                Event::Wake {
+                    waker: BltId(3),
+                    wakee: BltId(4),
+                    site: WakeSite::Enqueue,
+                    delay_ns: 150,
+                },
+            ),
+            rec(
+                250,
+                Event::Dispatch {
+                    uc: BltId(4),
+                    scheduler: BltId(1),
+                },
+            ),
+            rec(400, Event::CoupleRequest(BltId(4))),
+            rec(
+                600,
+                Event::Wake {
+                    waker: BltId(4),
+                    wakee: BltId(4),
+                    site: WakeSite::CoupleResume,
+                    delay_ns: 200,
+                },
+            ),
+            rec(600, Event::Coupled(BltId(4))),
+            // A kernel-site edge while coupled: aggregates only, no span
+            // of its own (the blocking syscall frame carries the time).
+            rec(
+                700,
+                Event::Wake {
+                    waker: BltId(3),
+                    wakee: BltId(4),
+                    site: WakeSite::PipeRead,
+                    delay_ns: 60,
+                },
+            ),
+            rec(800, Event::Terminate(BltId(4))),
+        ]
+    }
+
+    #[test]
+    fn wake_chains_attribute_blocked_spans() {
+        use ulp_kernel::WakeSite;
+        let p = fold_profile(&fig6_with_wakes());
+        let b = p.get(BltId(4)).expect("blt 4 profiled");
+
+        // Per-site aggregates: every edge counted once, delays summed.
+        assert_eq!(
+            b.wake(WakeSite::Enqueue),
+            WakeBucket {
+                count: 1,
+                delay_ns: 150
+            }
+        );
+        assert_eq!(
+            b.wake(WakeSite::CoupleResume),
+            WakeBucket {
+                count: 1,
+                delay_ns: 200
+            }
+        );
+        assert_eq!(
+            b.wake(WakeSite::PipeRead),
+            WakeBucket {
+                count: 1,
+                delay_ns: 60
+            }
+        );
+
+        // The queued span folds under its wake chain — nearest waker
+        // first, with the waker's own chain as the tail (depth 2 here).
+        let folded = p.collapsed();
+        assert!(
+            folded.contains(
+                "blt:4;queued;woken_by:blt:3;site:enqueue;woken_by:blt:5;site:epoll_wait 150"
+            ),
+            "missing chained queued line in:\n{folded}"
+        );
+        // The coupling span's chain nests the wakee's *own* prior chain
+        // behind the couple grant — three links, still under the depth cap.
+        assert!(
+            folded.contains(
+                "blt:4;coupling;woken_by:blt:4;site:couple_resume;\
+                 woken_by:blt:3;site:enqueue;woken_by:blt:5;site:epoll_wait 200"
+            ),
+            "missing coupling chain line in:\n{folded}"
+        );
+        // All queued/coupling time went to the chains: no bare state line,
+        // and the kernel-site edge spawned no chain of its own.
+        assert!(!folded.contains("blt:4;queued "));
+        assert!(!folded.contains("blt:4;coupling "));
+        assert!(!folded.contains("site:pipe_read"));
+
+        // The chains subtract from state self time, not add to it: the
+        // collapsed lines still sum to flame_ns, and the lifecycle
+        // partition is untouched.
+        assert_eq!(b.lifecycle_ns(), 800);
+        let rows = parse_collapsed(&folded).expect("folded parses");
+        let sum: u64 = rows
+            .iter()
+            .filter(|(s, _)| s.starts_with("blt:4;"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sum, b.flame_ns(), "collapsed lines must sum to flame_ns");
+    }
+
+    #[test]
+    fn wake_buckets_reconcile_against_histograms() {
+        use ulp_kernel::WakeSite;
+        let p = fold_profile(&fig6_with_wakes());
+        let mut lat = crate::hist::LatencySnapshot::default();
+        let mut sys = crate::hist::SyscallSnapshot::default();
+        // Mirror what the trace folded (plus the lifecycle samples the
+        // non-wake families expect from fig6's single decouple/resume).
+        lat.queue_delay.count = 1;
+        lat.couple_resume.count = 1;
+        for (site, delay) in [
+            (WakeSite::EpollWait, 40),
+            (WakeSite::Enqueue, 150),
+            (WakeSite::CoupleResume, 200),
+            (WakeSite::PipeRead, 60),
+        ] {
+            lat.wake.sites[site as usize].count = 1;
+            lat.wake.sites[site as usize].sum = delay;
+        }
+        assert_eq!(p.reconcile(&lat, &sys), Vec::<String>::new());
+
+        // A missing histogram sample is a named discrepancy.
+        lat.wake.sites[WakeSite::PipeRead as usize].count = 0;
+        lat.wake.sites[WakeSite::PipeRead as usize].sum = 0;
+        let problems = p.reconcile(&lat, &sys);
+        assert!(
+            problems.iter().any(|m| m.contains("pipe_read")),
+            "expected a pipe_read discrepancy, got {problems:?}"
+        );
+
+        // And so is a drifted delay sum with matching counts.
+        lat.wake.sites[WakeSite::PipeRead as usize].count = 1;
+        lat.wake.sites[WakeSite::PipeRead as usize].sum = 61;
+        let problems = p.reconcile(&lat, &sys);
+        assert!(
+            problems.iter().any(|m| m.contains("pipe_read")),
+            "expected a delay-sum discrepancy, got {problems:?}"
+        );
+        let _ = &mut sys;
+    }
+
+    #[test]
+    fn windowed_fold_gates_wake_edges() {
+        use ulp_kernel::WakeSite;
+        // Window covering only the first wake edge: the Enqueue edge at
+        // 250 is out, so its bucket is empty and the queued span it would
+        // have claimed folds (clipped) under the bare state frame.
+        let p = fold_profile_window(&fig6_with_wakes(), Some((0, 220)));
+        let b = p.get(BltId(4)).expect("blt 4 profiled");
+        assert_eq!(b.wake(WakeSite::Enqueue), WakeBucket::default());
+        let b3 = p.get(BltId(3)).expect("blt 3 profiled");
+        assert_eq!(
+            b3.wake(WakeSite::EpollWait),
+            WakeBucket {
+                count: 1,
+                delay_ns: 40
+            }
+        );
     }
 }

@@ -286,6 +286,16 @@ impl RunQueue {
                 // tracing is off — the `gate` Option is a plain field).
                 uc.wait_since
                     .store(crate::trace::now_ns(), Ordering::Relaxed);
+                // Default wake attribution for the dispatcher: a plain
+                // self-enqueue (decouple / yield). Callers with a more
+                // specific cause (spawn) pre-stamp and win — the previous
+                // consumer already swapped the cell back to 0.
+                if uc.wake_from.load(Ordering::Relaxed) == 0 {
+                    uc.wake_from.store(
+                        crate::uc::encode_wake_from(uc.id, ulp_kernel::WakeSite::Enqueue),
+                        Ordering::Relaxed,
+                    );
+                }
             }
         }
         if self.policy == SchedPolicy::WorkStealing {
@@ -512,6 +522,7 @@ pub(crate) mod tests {
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
             wait_since: AtomicU64::new(0),
+            wake_from: AtomicU64::new(0),
             spawn_ns: 0,
         })
     }

@@ -372,6 +372,7 @@ impl RuntimeInner {
             self.kernel.total_syscalls(),
             self.audit.lock().len() as u64,
             &crate::export::PoolMetrics::from_pool(&self.stack_pool),
+            self.tracer.dropped_records(),
         )
     }
 
@@ -396,9 +397,24 @@ impl RuntimeInner {
     }
 
     /// Render the tracer's current contents as Chrome-trace JSON without
-    /// draining them (the `/trace` endpoint body). Non-destructive.
-    pub(crate) fn trace_json(&self) -> String {
-        crate::export::chrome_trace_json(&self.tracer.snapshot())
+    /// draining them (the `/trace` endpoint body), restricted to records
+    /// with `at_ns` in `[t0, t1)` when a window is given — the
+    /// `/trace?t0=..` query form. Plain record filtering: a span whose
+    /// enter edge falls outside the window renders as an unmatched phase
+    /// event, which Perfetto tolerates (the window is a viewport, not a
+    /// re-fold).
+    pub(crate) fn trace_json_window(&self, window: Option<(u64, u64)>) -> String {
+        let records = self.tracer.snapshot();
+        match window {
+            None => crate::export::chrome_trace_json(&records),
+            Some((t0, t1)) => {
+                let windowed: Vec<_> = records
+                    .into_iter()
+                    .filter(|r| r.at_ns >= t0 && r.at_ns < t1)
+                    .collect();
+                crate::export::chrome_trace_json(&windowed)
+            }
+        }
     }
 }
 
@@ -746,6 +762,7 @@ fn scheduler_main(rt: Arc<RuntimeInner>, idx: usize) {
         sib_result: Arc::new(OneShot::new()),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         wait_since: AtomicU64::new(0),
+        wake_from: AtomicU64::new(0),
         spawn_ns: crate::trace::now_ns(),
     });
     rt.register_uc(&identity);
@@ -788,6 +805,15 @@ fn run_uc(host: &Arc<UcInner>, uc: Arc<UcInner>) {
         if let Some(t) = b.trace() {
             if t.is_on() {
                 let now = crate::trace::now_ns();
+                // Close the enqueue→dispatch span opened at the run-queue
+                // push, and emit the wake edge that ended it — recorded
+                // before the Dispatch so the causal order survives the
+                // stable by-timestamp sort.
+                let since = uc.wait_since.swap(0, Ordering::Relaxed);
+                let wake = uc.wake_from.swap(0, Ordering::Relaxed);
+                if let Some((waker, site)) = crate::uc::decode_wake_from(wake) {
+                    t.emit_wake(now, waker.0, uc.id.0, site, since);
+                }
                 t.record_at(
                     now,
                     crate::trace::Event::Dispatch {
@@ -795,9 +821,6 @@ fn run_uc(host: &Arc<UcInner>, uc: Arc<UcInner>) {
                         scheduler: host.id,
                     },
                 );
-                // Close the enqueue→dispatch span opened at the run-queue
-                // push.
-                let since = uc.wait_since.swap(0, Ordering::Relaxed);
                 if since != 0 {
                     t.hist_queue_delay.record(now.saturating_sub(since));
                 }

@@ -239,6 +239,7 @@ impl Runtime {
             sib_result: Arc::new(OneShot::new()),
             sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
             wait_since: AtomicU64::new(0),
+            wake_from: AtomicU64::new(0),
             spawn_ns: crate::trace::now_ns(),
         });
 
@@ -389,6 +390,7 @@ fn spawn_sibling_inner(
         sib_result: result.clone(),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         wait_since: AtomicU64::new(0),
+        wake_from: AtomicU64::new(0),
         spawn_ns: crate::trace::now_ns(),
     });
     rt.register_uc(&uc);
@@ -402,7 +404,16 @@ fn spawn_sibling_inner(
     *uc.sib_stack.lock() = Some(stack);
     // Siblings are born decoupled, straight into the scheduled pool. The
     // count was already bumped under the registration gate above; wake the
-    // primary in case it idles in its pre-retirement loop.
+    // primary in case it idles in its pre-retirement loop. The first
+    // dispatch's wake edge attributes to us, the spawner (a pre-stamp the
+    // push's default self-enqueue attribution respects).
+    if rt.tracer.is_enabled() {
+        let waker = crate::current::current_ulp().map_or(BltId(0), |u| u.id);
+        uc.wake_from.store(
+            crate::uc::encode_wake_from(waker, ulp_kernel::WakeSite::Spawn),
+            Ordering::Relaxed,
+        );
+    }
     rt.runq.push(uc.clone());
     primary.kc.notify();
     Ok(SiblingHandle { uc, result })
@@ -439,6 +450,7 @@ fn spawn_pooled_inner(
         sib_result: result.clone(),
         sigmask: crate::uc::SigMaskCell::new(ulp_kernel::SigSet::EMPTY),
         wait_since: AtomicU64::new(0),
+        wake_from: AtomicU64::new(0),
         spawn_ns: crate::trace::now_ns(),
     });
     // Deliberately NOT in the pid → UC registry (`register_uc`): a million
@@ -453,6 +465,15 @@ fn spawn_pooled_inner(
     }
     *uc.sib_stack.lock() = Some(stack);
     // Born decoupled, straight into the scheduled pool (like a sibling).
+    // As with siblings, the first dispatch's wake edge attributes to the
+    // spawner.
+    if rt.tracer.is_enabled() {
+        let waker = crate::current::current_ulp().map_or(BltId(0), |u| u.id);
+        uc.wake_from.store(
+            crate::uc::encode_wake_from(waker, ulp_kernel::WakeSite::Spawn),
+            Ordering::Relaxed,
+        );
+    }
     rt.runq.push(uc.clone());
     Ok(PooledHandle {
         uc,

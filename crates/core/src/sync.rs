@@ -293,6 +293,9 @@ const FUTEX_SPIN: u32 = 64;
 pub struct FutexLock {
     /// 0 = free, 1 = held, 2 = held and at least one waiter slept.
     state: AtomicU32,
+    /// Wake-edge stamp: armed by `unlock`, consumed by a waiter that
+    /// actually slept, attributing its futex wake to the unlocking BLT.
+    wake: ulp_kernel::trace::WakeCell,
 }
 
 impl RawUlpLock for FutexLock {
@@ -312,13 +315,21 @@ impl RawUlpLock for FutexLock {
         // Level two: mark contended and sleep. `swap(2)` both acquires
         // (when it returns 0) and re-publishes the contended mark on
         // every spurious wake-up.
+        let mut slept = false;
         while self.state.swap(2, Ordering::Acquire) != 0 {
             if crate::couple::is_coupled() == Some(false) {
                 // Decoupled: our KC is a scheduler's — never block it.
                 stall();
             } else {
                 futex_wait(&self.state, 2);
+                slept = true;
             }
+        }
+        if slept {
+            // Attribute the kernel sleep we just exited to the unlocker
+            // that stamped last. Spinning waiters (including the decoupled
+            // stall path) never consume — no sleep, no wake edge.
+            self.wake.consume(ulp_kernel::WakeSite::FutexWake);
         }
     }
 
@@ -329,6 +340,9 @@ impl RawUlpLock for FutexLock {
     }
 
     fn unlock(&self) {
+        // Stamp before the Release store: a sleeper that observes the
+        // unlock also observes the stamp (no-op while tracing is off).
+        self.wake.stamp();
         if self.state.swap(0, Ordering::Release) == 2 {
             futex_wake(&self.state, 1);
         }

@@ -43,7 +43,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
-use ulp_kernel::{SyscallPhase, Sysno};
+use ulp_kernel::{SyscallPhase, Sysno, WakeSite};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,23 +113,41 @@ pub enum Event {
         /// The call's errno; `0` on success.
         errno: i32,
     },
+    /// A wake edge: the event that ended `wakee`'s blocked/queued wait.
+    /// Recorded on the *wakee's* shard at the instant the wait ended, so
+    /// on a given shard it always precedes the `Dispatch`/`Coupled`/`Yield`
+    /// record that resumes the wakee (same clock sample, stable sort).
+    Wake {
+        /// The BLT whose action armed the wake (`BltId(0)` = a thread
+        /// outside the runtime, e.g. an external writer).
+        waker: BltId,
+        /// The BLT made runnable (never `BltId(0)`).
+        wakee: BltId,
+        /// Which kind of event ended the wait.
+        site: WakeSite,
+        /// Nanoseconds from the wake being armed to the wakee running
+        /// again — the wake-to-run latency the per-site histograms fold.
+        delay_ns: u64,
+    },
 }
 
 impl Event {
-    /// Flatten into the ring's fixed `(tag, a, b)` payload words.
-    fn pack(self) -> (u64, u64, u64) {
+    /// Flatten into the ring's fixed `(tag, a, b, c)` payload words. Only
+    /// [`Event::Wake`] uses the fourth word (`site` in the low byte, the
+    /// wake-to-run delay — saturated to 2^56−1 ns — above it).
+    fn pack(self) -> (u64, u64, u64, u64) {
         match self {
-            Event::Spawn(u) => (0, u.0, 0),
-            Event::Dispatch { uc, scheduler } => (1, uc.0, scheduler.0),
-            Event::Decouple(u) => (2, u.0, 0),
-            Event::CoupleRequest(u) => (3, u.0, 0),
-            Event::Coupled(u) => (4, u.0, 0),
-            Event::Yield { from, to } => (5, from.0, to.0),
-            Event::Terminate(u) => (6, u.0, 0),
-            Event::KcBlocked(u) => (7, u.0, 0),
-            Event::Signal { uc, signal } => (8, uc.0, signal as u64),
+            Event::Spawn(u) => (0, u.0, 0, 0),
+            Event::Dispatch { uc, scheduler } => (1, uc.0, scheduler.0, 0),
+            Event::Decouple(u) => (2, u.0, 0, 0),
+            Event::CoupleRequest(u) => (3, u.0, 0, 0),
+            Event::Coupled(u) => (4, u.0, 0, 0),
+            Event::Yield { from, to } => (5, from.0, to.0, 0),
+            Event::Terminate(u) => (6, u.0, 0, 0),
+            Event::KcBlocked(u) => (7, u.0, 0, 0),
+            Event::Signal { uc, signal } => (8, uc.0, signal as u64, 0),
             Event::SyscallEnter { uc, sysno, coupled } => {
-                (9, uc.0, sysno as u64 | (coupled as u64) << 16)
+                (9, uc.0, sysno as u64 | (coupled as u64) << 16, 0)
             }
             Event::SyscallExit {
                 uc,
@@ -140,13 +158,25 @@ impl Event {
                 10,
                 uc.0,
                 sysno as u64 | (coupled as u64) << 16 | (errno as u32 as u64) << 32,
+                0,
             ),
-            Event::CoupleHandoff { from, to } => (11, from.0, to.0),
+            Event::CoupleHandoff { from, to } => (11, from.0, to.0, 0),
+            Event::Wake {
+                waker,
+                wakee,
+                site,
+                delay_ns,
+            } => (
+                12,
+                waker.0,
+                wakee.0,
+                site as u64 | delay_ns.min((1 << 56) - 1) << 8,
+            ),
         }
     }
 
     /// Inverse of [`Event::pack`]; `None` for a corrupt/unknown tag.
-    fn unpack(tag: u64, a: u64, b: u64) -> Option<Event> {
+    fn unpack(tag: u64, a: u64, b: u64, c: u64) -> Option<Event> {
         Some(match tag {
             0 => Event::Spawn(BltId(a)),
             1 => Event::Dispatch {
@@ -180,6 +210,12 @@ impl Event {
             11 => Event::CoupleHandoff {
                 from: BltId(a),
                 to: BltId(b),
+            },
+            12 => Event::Wake {
+                waker: BltId(a),
+                wakee: BltId(b),
+                site: WakeSite::from_u16(c as u8 as u16)?,
+                delay_ns: c >> 8,
             },
             _ => return None,
         })
@@ -251,6 +287,7 @@ struct Slot {
     tag: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    c: AtomicU64,
 }
 
 fn new_ring(capacity: usize) -> Box<[Slot]> {
@@ -261,6 +298,7 @@ fn new_ring(capacity: usize) -> Box<[Slot]> {
             tag: AtomicU64::new(0),
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
         })
         .collect()
 }
@@ -301,6 +339,11 @@ pub(crate) struct TraceShard {
     /// Per-syscall enter→exit latency, indexed by `Sysno`. Lazily allocated
     /// with the ring so a never-enabled tracer costs no memory.
     sys_hists: OnceLock<Box<[LatencyHist]>>,
+    /// Per-site wake-to-run latency, indexed by `WakeSite`. Fed in
+    /// [`TraceShard::emit_wake`] in the same breath as the `Wake` trace
+    /// record, so on a loss-free trace the histogram count per site equals
+    /// the `Wake` event count per site exactly.
+    wake_hists: OnceLock<Box<[LatencyHist]>>,
     /// Enter-timestamp stack for nested syscall spans (a blocked pipe read
     /// nests `pipe_block_read` inside `read`). Single-writer, like the ring.
     sys_stack_no: [AtomicU64; SYS_STACK_DEPTH],
@@ -339,6 +382,7 @@ impl TraceShard {
             hist_yield: LatencyHist::default(),
             hist_kc_block: LatencyHist::default(),
             sys_hists: OnceLock::new(),
+            wake_hists: OnceLock::new(),
             sys_stack_no: [const { AtomicU64::new(0) }; SYS_STACK_DEPTH],
             sys_stack_at: [const { AtomicU64::new(0) }; SYS_STACK_DEPTH],
             sys_depth: AtomicU64::new(0),
@@ -351,6 +395,11 @@ impl TraceShard {
         self.ring.get_or_init(|| new_ring(capacity));
         self.sys_hists
             .get_or_init(|| (0..Sysno::COUNT).map(|_| LatencyHist::default()).collect());
+        self.wake_hists.get_or_init(|| {
+            (0..WakeSite::COUNT)
+                .map(|_| LatencyHist::default())
+                .collect()
+        });
     }
 
     /// The one load every event site pays when tracing is off.
@@ -383,7 +432,7 @@ impl TraceShard {
             return;
         };
         let at_ns = now.saturating_sub(self.gate.epoch());
-        let (tag, a, b) = event.pack();
+        let (tag, a, b, c) = event.pack();
         let i = self.head.load(Ordering::Relaxed);
         let slot = &ring[(i as usize) & (self.capacity - 1)];
         slot.seq.store(seq_writing(i), Ordering::Relaxed);
@@ -391,6 +440,7 @@ impl TraceShard {
         slot.tag.store(tag, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
         // Release-publish the payload, then the new head.
         slot.seq.store(seq_done(i), Ordering::Release);
         self.head.store(i + 1, Ordering::Release);
@@ -490,12 +540,13 @@ impl TraceShard {
             let tag = slot.tag.load(Ordering::Relaxed);
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
+            let c = slot.c.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != s1 {
                 dropped += 1;
                 continue;
             }
-            if let Some(event) = Event::unpack(tag, a, b) {
+            if let Some(event) = Event::unpack(tag, a, b, c) {
                 out.push(TraceRecord {
                     at_ns,
                     event,
@@ -532,6 +583,47 @@ impl TraceShard {
                 h.reset();
             }
         }
+        if let Some(hists) = self.wake_hists.get() {
+            for h in hists.iter() {
+                h.reset();
+            }
+        }
+    }
+
+    /// Record a wake edge *and* its per-site wake-to-run histogram sample —
+    /// always both or neither, so trace event counts and histogram counts
+    /// per site stay equal on loss-free traces (that exact equality is what
+    /// oracle family J and `ProfileSnapshot::reconcile` check).
+    ///
+    /// `armed_ns` is the raw stamp clock; a stamp armed before this
+    /// recording run's epoch is a stale leftover from a previous run and is
+    /// dropped. A zero wakee (no ULP installed on the consuming thread)
+    /// cannot be attributed and is dropped too.
+    pub(crate) fn emit_wake(
+        &self,
+        now: u64,
+        waker: u64,
+        wakee: u64,
+        site: WakeSite,
+        armed_ns: u64,
+    ) {
+        if wakee == 0 || armed_ns == 0 || armed_ns < self.gate.epoch() {
+            return;
+        }
+        let Some(hists) = self.wake_hists.get() else {
+            return;
+        };
+        let delay_ns = now.saturating_sub(armed_ns);
+        self.record_at(
+            now,
+            Event::Wake {
+                waker: BltId(waker),
+                wakee: BltId(wakee),
+                site,
+                delay_ns,
+            },
+        );
+        hists[site as usize].record(delay_ns);
     }
 }
 
@@ -733,6 +825,11 @@ impl Tracer {
             fold(&mut snap.couple_resume, &s.hist_couple_resume);
             fold(&mut snap.yield_interval, &s.hist_yield);
             fold(&mut snap.kc_block, &s.hist_kc_block);
+            if let Some(hists) = s.wake_hists.get() {
+                for (i, h) in hists.iter().enumerate() {
+                    h.fold_into(&mut snap.wake.sites[i]);
+                }
+            }
         }
         snap
     }
@@ -794,11 +891,41 @@ fn kernel_syscall_observer(sysno: Sysno, phase: SyscallPhase) {
     });
 }
 
-/// Install [`kernel_syscall_observer`] as the process-global syscall hook.
+/// Resolve the current thread for a wake *stamp*: `(waker_blt_id, now_ns)`
+/// when its shard is recording, `(0, 0)` otherwise — so `WakeCell::stamp`
+/// is a no-op whenever tracing is off, and wakes from threads outside the
+/// runtime (no shard, no ULP) read as the anonymous waker 0.
+fn wake_stamp_hook() -> (u64, u64) {
+    crate::current::with_thread(|b| match b.trace() {
+        Some(t) if t.is_on() => (b.ulp().map_or(0, |u| u.id.0), now_ns()),
+        _ => (0, 0),
+    })
+}
+
+/// Consume side of a kernel wake edge: runs on the *woken* thread, resolves
+/// the wakee from its installed ULP, and records the edge + histogram
+/// sample on its shard. Threads without a shard or ULP drop the edge (it
+/// cannot be attributed to a BLT track).
+fn wake_emit_hook(waker: u64, armed_ns: u64, site: WakeSite) {
+    crate::current::with_thread(|b| {
+        let Some(shard) = b.trace() else {
+            return;
+        };
+        if !shard.is_on() {
+            return;
+        }
+        let wakee = b.ulp().map_or(0, |u| u.id.0);
+        shard.emit_wake(now_ns(), waker, wakee, site, armed_ns);
+    });
+}
+
+/// Install [`kernel_syscall_observer`] as the process-global syscall hook,
+/// and the wake-edge stamp/emit pair next to it.
 /// Idempotent — every `Runtime` construction calls it, first one wins, and
 /// the observer routes per-thread so multiple runtimes coexist.
 pub(crate) fn install_kernel_observer() {
     ulp_kernel::install_syscall_observer(kernel_syscall_observer);
+    ulp_kernel::install_wake_hooks(wake_stamp_hook, wake_emit_hook);
 }
 
 #[cfg(test)]
@@ -895,12 +1022,26 @@ mod tests {
                 from: BltId(11),
                 to: BltId(12),
             },
+            Event::Wake {
+                waker: BltId(13),
+                wakee: BltId(14),
+                site: WakeSite::PipeRead,
+                delay_ns: 123_456_789,
+            },
+            Event::Wake {
+                waker: BltId(0),
+                wakee: BltId(2),
+                site: WakeSite::Signal,
+                delay_ns: 0,
+            },
         ];
         for e in events {
-            let (tag, a, b) = e.pack();
-            assert_eq!(Event::unpack(tag, a, b), Some(e));
+            let (tag, a, b, c) = e.pack();
+            assert_eq!(Event::unpack(tag, a, b, c), Some(e));
         }
-        assert_eq!(Event::unpack(99, 0, 0), None);
+        assert_eq!(Event::unpack(99, 0, 0, 0), None);
+        // A corrupt wake-site byte drops the record instead of panicking.
+        assert_eq!(Event::unpack(12, 1, 2, 0xFF), None);
     }
 
     #[test]
@@ -920,14 +1061,14 @@ mod tests {
                         errno,
                     };
                     for e in [enter, exit] {
-                        let (tag, a, b) = e.pack();
-                        assert_eq!(Event::unpack(tag, a, b), Some(e));
+                        let (tag, a, b, c) = e.pack();
+                        assert_eq!(Event::unpack(tag, a, b, c), Some(e));
                     }
                 }
             }
         }
         // A corrupt sysno word drops the record instead of panicking.
-        assert_eq!(Event::unpack(9, 1, u16::MAX as u64), None);
+        assert_eq!(Event::unpack(9, 1, u16::MAX as u64, 0), None);
     }
 
     #[test]
@@ -1164,6 +1305,38 @@ mod tests {
         assert_eq!(t.dropped_records(), 0);
         assert_eq!(t.take().len(), 16);
         assert_eq!(t.dropped_records(), 6, "drain charges the 4+2 lapped");
+    }
+
+    #[test]
+    fn emit_wake_records_event_and_histogram_together() {
+        let t = Tracer::new(16);
+        let s = t.register_shard();
+        t.enable();
+        let armed = now_ns();
+        s.emit_wake(armed + 250, 3, 4, WakeSite::FutexWake, armed);
+        let recs = t.snapshot();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            recs[0].event,
+            Event::Wake {
+                waker: BltId(3),
+                wakee: BltId(4),
+                site: WakeSite::FutexWake,
+                delay_ns: 250,
+            }
+        );
+        let snap = t.latency_snapshot();
+        assert_eq!(snap.wake.site(WakeSite::FutexWake).count, 1);
+        assert_eq!(snap.wake.site(WakeSite::FutexWake).max, 250);
+        assert_eq!(snap.wake.total_count(), 1);
+        // Unattributable or stale stamps emit neither record nor sample.
+        s.emit_wake(armed + 300, 3, 0, WakeSite::FutexWake, armed);
+        s.emit_wake(armed + 300, 3, 4, WakeSite::FutexWake, 0);
+        assert_eq!(t.snapshot().len(), 1);
+        assert_eq!(t.latency_snapshot().wake.total_count(), 1);
+        // enable() resets the per-site wake histograms.
+        t.enable();
+        assert_eq!(t.latency_snapshot().wake.total_count(), 0);
     }
 
     #[test]

@@ -126,6 +126,11 @@ pub struct KcShared {
     /// is running user code or still spinning (same waiter-gated wake
     /// protocol as `RunQueue`, see `runqueue.rs` for the fence rationale).
     pub sleepers: AtomicU32,
+    /// Tracing-only wake stamp for the TC idle loop: armed by the thread
+    /// publishing a couple request to this KC, consumed by the TC when a
+    /// park actually ended (the `kc_notify` wake edge). Inert when tracing
+    /// is off (the stamp hook returns zero).
+    pub wake: ulp_kernel::trace::WakeCell,
 }
 
 // tc_ctx is only touched by the KC's own thread and by contexts executing on
@@ -150,6 +155,7 @@ impl KcShared {
             primary_waiting: AtomicBool::new(false),
             idle_streak: AtomicU32::new(0),
             sleepers: AtomicU32::new(0),
+            wake: ulp_kernel::trace::WakeCell::new(),
         }
     }
 
@@ -364,6 +370,13 @@ pub struct UcInner {
     /// (swapped to 0) by whichever thread resumes the UC; only touched while
     /// the trace gate is on, so it costs nothing when tracing is off.
     pub wait_since: AtomicU64,
+    /// Tracing-only companion to [`UcInner::wait_since`]: *who* made this
+    /// UC runnable and through which site, encoded by
+    /// `encode_wake_from` (`0` = no attribution). Stamped by the same
+    /// thread (and under the same gate check) that stamps `wait_since`,
+    /// consumed (swapped to 0) by whichever thread resumes the UC, which
+    /// turns the pair into a `Wake` trace edge.
+    pub wake_from: AtomicU64,
     /// `now_ns()` at spawn, on the trace clock; surfaced in
     /// `/proc/<pid>/stat` so a ULP can date itself from inside.
     pub spawn_ns: u64,
@@ -371,6 +384,24 @@ pub struct UcInner {
 
 unsafe impl Send for UcInner {}
 unsafe impl Sync for UcInner {}
+
+/// Pack a `(waker, site)` wake attribution into one [`UcInner::wake_from`]
+/// word: the waker's id shifted above a biased site byte, so `0` can mean
+/// "no attribution" (site discriminants start at 0).
+#[inline]
+pub(crate) fn encode_wake_from(waker: BltId, site: ulp_kernel::WakeSite) -> u64 {
+    waker.0 << 8 | (site as u64 + 1)
+}
+
+/// Inverse of [`encode_wake_from`]; `None` for the empty word.
+#[inline]
+pub(crate) fn decode_wake_from(v: u64) -> Option<(BltId, ulp_kernel::WakeSite)> {
+    if v == 0 {
+        return None;
+    }
+    let site = ulp_kernel::WakeSite::from_u16((v & 0xFF) as u16 - 1)?;
+    Some((BltId(v >> 8), site))
+}
 
 impl UcInner {
     /// Current lifecycle state.
@@ -452,6 +483,20 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         kc.notify();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn wake_from_roundtrip() {
+        use ulp_kernel::WakeSite;
+        assert_eq!(decode_wake_from(0), None);
+        for site in WakeSite::ALL {
+            let v = encode_wake_from(BltId(12345), site);
+            assert_ne!(v, 0);
+            assert_eq!(decode_wake_from(v), Some((BltId(12345), site)));
+        }
+        // The anonymous waker 0 still round-trips (the site byte is biased).
+        let v = encode_wake_from(BltId(0), WakeSite::Enqueue);
+        assert_eq!(decode_wake_from(v), Some((BltId(0), WakeSite::Enqueue)));
     }
 
     #[test]

@@ -357,6 +357,75 @@ fn profile_route_honors_time_windows() {
     }
 }
 
+/// The time-windowed trace route: `/trace?t0=..&t1=..` renders only the
+/// records inside the window, with the same query grammar and 400
+/// behavior as `/profile`.
+#[test]
+fn trace_route_honors_time_windows() {
+    let rt = ulp_core::Runtime::builder().schedulers(1).build();
+    let addr = rt.serve_metrics("127.0.0.1:0").expect("bind a free port");
+    rt.trace_enable();
+
+    let h = rt.spawn("windowed", || {
+        ulp_core::decouple().unwrap();
+        for _ in 0..5 {
+            ulp_core::yield_now();
+            ulp_core::coupled_scope(|| ulp_core::sys::getpid().unwrap()).unwrap();
+        }
+        0
+    });
+    assert_eq!(h.wait(), 0);
+    rt.trace_disable(); // freeze the rings so every scrape sees the same records
+
+    // Count non-metadata events (metadata like process_name renders even
+    // for an empty window).
+    let event_count = |body: &str| {
+        let v: serde_json::Value = serde_json::from_str(body).expect("/trace is valid JSON");
+        v["traceEvents"]
+            .as_array()
+            .expect("traceEvents")
+            .iter()
+            .filter(|e| e["ph"].as_str() != Some("M"))
+            .count()
+    };
+
+    let (status, full) = scrape(addr, "/trace", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    let full_events = event_count(&full);
+    assert!(full_events > 0, "traced workload rendered no events");
+
+    let (status, unbounded) = scrape(addr, &format!("/trace?t0=0&t1={}", u64::MAX), "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_eq!(
+        full, unbounded,
+        "unbounded window must equal the full render"
+    );
+    let (status, cachebusted) = scrape(addr, "/trace?refresh=1", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_eq!(full, cachebusted, "unknown query keys must be ignored");
+
+    let (status, err) = scrape(addr, "/trace?t1=xyz", "GET");
+    assert!(
+        status.contains("400"),
+        "bad status for bad window: {status}"
+    );
+    assert!(err.contains("t1"), "error names the bad key: {err}");
+
+    // A window clipped at an interior timestamp renders strictly fewer
+    // events than the full trace, and an empty window renders none.
+    let records = rt.trace_snapshot();
+    let mid = records[records.len() / 2].at_ns;
+    let (status, before) = scrape(addr, &format!("/trace?t1={mid}"), "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert!(
+        event_count(&before) < full_events,
+        "interior window did not clip anything"
+    );
+    let (status, empty) = scrape(addr, "/trace?t0=0&t1=1", "GET");
+    assert!(status.contains("200"), "bad status: {status}");
+    assert_eq!(event_count(&empty), 0, "sub-nanosecond window at the epoch");
+}
+
 /// The syscall-latency snapshot must survive runtime shutdown: a harness
 /// reports *after* tearing the runtime down, and the observability docs
 /// promise the snapshot is a plain value with no live dependencies.

@@ -131,6 +131,11 @@ pub struct Semaphore {
     count: AtomicU32,
     /// Number of threads (possibly) asleep in `wait`.
     waiters: AtomicU32,
+    /// Wake-edge attribution: stamped by `post` before its `futex_wake`,
+    /// consumed by a waiter whose sleep it ended. A spurious wake re-loops
+    /// on the permit count without consuming — no permit means no post,
+    /// and an unarmed cell emits no edge.
+    wake: crate::trace::WakeCell,
 }
 
 impl Semaphore {
@@ -139,17 +144,20 @@ impl Semaphore {
         Semaphore {
             count: AtomicU32::new(permits),
             waiters: AtomicU32::new(0),
+            wake: crate::trace::WakeCell::new(),
         }
     }
 
     /// Take one permit, blocking the OS thread until one is available.
     pub fn wait(&self) {
         // Fast path: grab a permit without sleeping.
+        let mut slept = false;
         let mut current = self.count.load(Ordering::Relaxed);
         loop {
             while current == 0 {
                 self.waiters.fetch_add(1, Ordering::Relaxed);
                 futex_wait(&self.count, 0);
+                slept = true;
                 self.waiters.fetch_sub(1, Ordering::Relaxed);
                 current = self.count.load(Ordering::Relaxed);
             }
@@ -159,7 +167,12 @@ impl Semaphore {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    if slept {
+                        self.wake.consume(crate::trace::WakeSite::FutexWake);
+                    }
+                    return;
+                }
                 Err(seen) => current = seen,
             }
         }
@@ -184,6 +197,9 @@ impl Semaphore {
 
     /// Release one permit, waking a sleeper if any.
     pub fn post(&self) {
+        // Stamp before the Release store publishing the permit: a waiter
+        // that observes the permit also observes the stamp.
+        self.wake.stamp();
         self.count.fetch_add(1, Ordering::Release);
         if self.waiters.load(Ordering::Relaxed) > 0 {
             futex_wake(&self.count, 1);

@@ -57,4 +57,7 @@ pub use poll::{EpollObject, EpollOp, PollEvents, PollWaker, WatchSet};
 pub use process::{Pid, ProcState, Process};
 pub use signal::{Disposition, MaskHow, SigSet, Signal, SignalState};
 pub use socket::{socketpair, socketpair_with_capacity, Listener, SocketEnd};
-pub use trace::{install_syscall_observer, SyscallObserver, SyscallPhase, Sysno};
+pub use trace::{
+    install_syscall_observer, install_wake_hooks, SyscallObserver, SyscallPhase, Sysno, WakeCell,
+    WakeSite,
+};

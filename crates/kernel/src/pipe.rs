@@ -10,7 +10,7 @@ use crate::errno::{Errno, KResult};
 use crate::fault::{self, FaultKind};
 use crate::kernel::errno_of;
 use crate::poll::{PollEvents, WatchSet};
-use crate::trace::{self, SyscallPhase, Sysno};
+use crate::trace::{self, SyscallPhase, Sysno, WakeCell, WakeSite};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,6 +31,13 @@ struct PipeInner {
     /// sites that notify the blocking-path condvars above — one wait-queue
     /// discipline for both kinds of waiter (see [`crate::poll`]).
     watch: WatchSet,
+    /// Wake-edge attribution for blocked readers: stamped (under `buf`'s
+    /// lock, so the sleeper's re-check orders after it) by whoever makes
+    /// the pipe readable, consumed by a reader whose sleep it ended.
+    wake_read: WakeCell,
+    /// Same for blocked writers: stamped by whoever frees space or drops
+    /// the last read end.
+    wake_write: WakeCell,
 }
 
 /// Read end of a pipe. Cloning shares the same endpoint (like `dup`).
@@ -51,6 +58,8 @@ pub fn pipe_with_capacity(capacity: usize) -> (PipeReader, PipeWriter) {
         readers: AtomicUsize::new(1),
         writers: AtomicUsize::new(1),
         watch: WatchSet::new(),
+        wake_read: WakeCell::new(),
+        wake_write: WakeCell::new(),
     });
     (PipeReader(inner.clone()), PipeWriter(inner))
 }
@@ -78,6 +87,7 @@ impl Drop for PipeReader {
     fn drop(&mut self) {
         if self.0.readers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Writers must observe EPIPE.
+            self.0.wake_write.stamp();
             self.0.writable.notify_all();
             self.0.watch.notify();
         }
@@ -88,6 +98,7 @@ impl Drop for PipeWriter {
     fn drop(&mut self) {
         if self.0.writers.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Readers must observe EOF.
+            self.0.wake_read.stamp();
             self.0.readable.notify_all();
             self.0.watch.notify();
         }
@@ -126,6 +137,7 @@ impl PipeReader {
                 for slot in out[..n].iter_mut() {
                     *slot = buf.pop_front().expect("len checked");
                 }
+                self.0.wake_write.stamp();
                 self.0.writable.notify_all();
                 self.0.watch.notify();
                 break Ok(n);
@@ -140,6 +152,10 @@ impl PipeReader {
             self.0.readable.wait(&mut buf);
         };
         if blocked {
+            // Attribute the wake that ended the sleep before closing the
+            // span (the edge must land inside it). An EINTR never reaches
+            // here — it fires before the first sleep.
+            self.0.wake_read.consume(WakeSite::PipeRead);
             trace::emit(
                 Sysno::PipeBlockRead,
                 SyscallPhase::Exit {
@@ -167,6 +183,7 @@ impl PipeReader {
         for slot in out[..n].iter_mut() {
             *slot = buf.pop_front().expect("len checked");
         }
+        self.0.wake_write.stamp();
         self.0.writable.notify_all();
         self.0.watch.notify();
         Ok(n)
@@ -237,10 +254,12 @@ impl PipeWriter {
             let n = space.min(data.len() - written);
             buf.extend(&data[written..written + n]);
             written += n;
+            self.0.wake_read.stamp();
             self.0.readable.notify_all();
             self.0.watch.notify();
         };
         if blocked {
+            self.0.wake_write.consume(WakeSite::PipeWrite);
             trace::emit(
                 Sysno::PipeBlockWrite,
                 SyscallPhase::Exit {
@@ -266,6 +285,7 @@ impl PipeWriter {
         }
         let n = space.min(data.len());
         buf.extend(&data[..n]);
+        self.0.wake_read.stamp();
         self.0.readable.notify_all();
         self.0.watch.notify();
         Ok(n)

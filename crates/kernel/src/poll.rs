@@ -94,6 +94,10 @@ impl std::ops::BitAnd for PollEvents {
 pub struct PollWaker {
     gen: Mutex<u64>,
     cv: Condvar,
+    /// Wake-edge attribution: stamped under the generation lock by the
+    /// thread firing the edge, consumed by the `epoll_wait`/`poll` sleeper
+    /// whose wait it ended (timeouts and EINTR leave it untouched).
+    pub wake: crate::trace::WakeCell,
 }
 
 impl PollWaker {
@@ -102,6 +106,7 @@ impl PollWaker {
         PollWaker {
             gen: Mutex::new(0),
             cv: Condvar::new(),
+            wake: crate::trace::WakeCell::new(),
         }
     }
 
@@ -113,6 +118,7 @@ impl PollWaker {
     /// Fire a readiness edge: bump the generation and wake every sleeper.
     pub fn wake(&self) {
         let mut g = self.gen.lock();
+        self.wake.stamp();
         *g += 1;
         self.cv.notify_all();
     }

@@ -131,6 +131,11 @@ pub enum Disposition {
 #[derive(Debug, Default)]
 pub struct SignalState {
     inner: Mutex<SignalInner>,
+    /// Wake-edge attribution: stamped by `post` (the sender), consumed
+    /// when `take_deliverable` actually delivers — a masked signal keeps
+    /// the cell armed until the unblock that lets it through, so the edge
+    /// spans the whole pending-to-delivery interval.
+    wake: crate::trace::WakeCell,
 }
 
 #[derive(Debug, Default)]
@@ -153,6 +158,7 @@ impl SignalState {
         let mut inner = self.inner.lock();
         inner.pending.add(sig);
         inner.posted += 1;
+        self.wake.stamp();
     }
 
     /// `sigprocmask(2)`. Returns the previous mask.
@@ -183,6 +189,7 @@ impl SignalState {
         let deliverable = SigSet(inner.pending.0 & !inner.mask.0);
         let sig = deliverable.iter().next()?;
         inner.pending.remove(sig);
+        self.wake.consume(crate::trace::WakeSite::Signal);
         Some(sig)
     }
 

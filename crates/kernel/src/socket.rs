@@ -28,7 +28,7 @@ use crate::errno::{Errno, KResult};
 use crate::fault::{self, FaultKind};
 use crate::kernel::errno_of;
 use crate::poll::{PollEvents, WatchSet};
-use crate::trace::{self, SyscallPhase, Sysno};
+use crate::trace::{self, SyscallPhase, Sysno, WakeCell, WakeSite};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,6 +49,10 @@ struct SockBuf {
     buf: Mutex<VecDeque<u8>>,
     readable: Condvar,
     writable: Condvar,
+    /// Wake-edge attribution cells for the two condvars, stamped by
+    /// whoever fires them (see [`crate::pipe`] for the discipline).
+    wake_read: WakeCell,
+    wake_write: WakeCell,
 }
 
 impl SockBuf {
@@ -57,6 +61,8 @@ impl SockBuf {
             buf: Mutex::new(VecDeque::with_capacity(capacity.min(SOCK_CAPACITY))),
             readable: Condvar::new(),
             writable: Condvar::new(),
+            wake_read: WakeCell::new(),
+            wake_write: WakeCell::new(),
         }
     }
 }
@@ -122,7 +128,9 @@ impl Drop for SocketEnd {
         if self.pair.ends[self.side].fetch_sub(1, Ordering::AcqRel) == 1 {
             // Peer must observe EOF (its reads) and EPIPE (its writes):
             // wake both directions and every readiness waiter.
+            self.pair.bufs[self.side].wake_read.stamp();
             self.pair.bufs[self.side].readable.notify_all();
+            self.pair.bufs[1 - self.side].wake_write.stamp();
             self.pair.bufs[1 - self.side].writable.notify_all();
             self.pair.watch.notify();
         }
@@ -175,6 +183,7 @@ impl SocketEnd {
                 for slot in out[..n].iter_mut() {
                     *slot = buf.pop_front().expect("len checked");
                 }
+                rx.wake_write.stamp();
                 rx.writable.notify_all();
                 drop(buf);
                 self.pair.watch.notify();
@@ -190,6 +199,7 @@ impl SocketEnd {
             rx.readable.wait(&mut buf);
         };
         if blocked {
+            rx.wake_read.consume(WakeSite::SockRead);
             trace::emit(
                 Sysno::SockBlockRead,
                 SyscallPhase::Exit {
@@ -235,6 +245,7 @@ impl SocketEnd {
             let n = space.min(data.len() - written);
             buf.extend(&data[written..written + n]);
             written += n;
+            tx.wake_read.stamp();
             tx.readable.notify_all();
         };
         if written > 0 {
@@ -242,6 +253,7 @@ impl SocketEnd {
             self.pair.watch.notify();
         }
         if blocked {
+            tx.wake_write.consume(WakeSite::SockWrite);
             trace::emit(
                 Sysno::SockBlockWrite,
                 SyscallPhase::Exit {
@@ -298,6 +310,9 @@ pub struct Listener {
     pending: Condvar,
     backlog: usize,
     watch: WatchSet,
+    /// Wake-edge attribution for blocked acceptors: stamped by the
+    /// connecting client, consumed by the acceptor it woke.
+    wake: WakeCell,
 }
 
 impl Listener {
@@ -313,6 +328,7 @@ impl Listener {
             pending: Condvar::new(),
             backlog: backlog.max(1),
             watch: WatchSet::new(),
+            wake: WakeCell::new(),
         })
     }
 
@@ -327,6 +343,7 @@ impl Listener {
             return Err(Errno::EAGAIN);
         }
         q.push_back(server);
+        self.wake.stamp();
         self.pending.notify_one();
         drop(q);
         self.watch.notify();
@@ -354,6 +371,7 @@ impl Listener {
             self.pending.wait(&mut q);
         };
         if blocked {
+            self.wake.consume(WakeSite::Accept);
             trace::emit(
                 Sysno::AcceptBlock,
                 SyscallPhase::Exit {

@@ -527,6 +527,13 @@ impl Kernel {
                 ep.waker.wait(gen, deadline);
             };
             if blocked {
+                // Attribute the readiness edge that ended the sleep — but
+                // only when the wait actually ended with ready descriptors.
+                // A timeout or injected EINTR leaves the cell armed for the
+                // sleeper the edge will really wake.
+                if matches!(&res, Ok(ready) if !ready.is_empty()) {
+                    ep.waker.wake.consume(crate::trace::WakeSite::EpollWait);
+                }
                 trace::emit(
                     Sysno::EpollBlockWait,
                     SyscallPhase::Exit {
@@ -605,6 +612,11 @@ impl Kernel {
                 waker.wait(gen, deadline);
             };
             if blocked {
+                // Same discipline as `sys_epoll_wait`: a timed-out poll
+                // breaks with all-NONE revents and must not consume.
+                if matches!(&res, Ok(revents) if revents.iter().any(|ev| !ev.is_empty())) {
+                    waker.wake.consume(crate::trace::WakeSite::Poll);
+                }
                 trace::emit(
                     Sysno::EpollBlockWait,
                     SyscallPhase::Exit {

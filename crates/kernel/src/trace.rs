@@ -14,6 +14,7 @@
 //! never wired up) every emit is a single `OnceLock` load — the kernel keeps
 //! working with zero observability cost.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Identity of a simulated system call, used to label trace spans and to
@@ -269,6 +270,209 @@ pub fn emit(no: Sysno, phase: SyscallPhase) {
     }
 }
 
+/// Origin of a wake edge — which kind of event made a blocked or queued BLT
+/// runnable again.
+///
+/// Discriminants are dense (`0..COUNT`) so the value round-trips through the
+/// packed trace-slot encoding via [`WakeSite::from_u16`] and can index a
+/// `[_; WakeSite::COUNT]` histogram table directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum WakeSite {
+    /// Run-queue enqueue after a voluntary decouple/yield (the ULP made
+    /// itself runnable again; waker == wakee).
+    Enqueue = 0,
+    /// First enqueue of a freshly spawned ULP (waker = the spawning ULP).
+    Spawn,
+    /// A parked couple request was granted by the TC loop (waker == wakee:
+    /// the requester's own earlier request matured).
+    CoupleResume,
+    /// `decouple()` handed its KC straight to a parked couple requester
+    /// (waker = the decoupling ULP).
+    CoupleHandoff,
+    /// A couple request landing on an idle KC's pending queue woke the KC's
+    /// trampoline loop (wakee = the KC's primary identity).
+    KcNotify,
+    /// `futex_wake` released a sleeper parked in `futex_wait`.
+    FutexWake,
+    /// A pipe write (or writer hang-up) ended a blocked pipe `read(2)`.
+    PipeRead,
+    /// A pipe read (or reader hang-up) ended a blocked pipe `write(2)`.
+    PipeWrite,
+    /// A socket send (or peer hang-up) ended a blocked socket `read(2)`.
+    SockRead,
+    /// A socket receive (or peer hang-up) ended a blocked socket `write(2)`.
+    SockWrite,
+    /// A `connect(2)` rendezvous ended a blocked `accept(2)`.
+    Accept,
+    /// A `PollWaker` fire ended a blocked `epoll_wait(2)`.
+    EpollWait,
+    /// A `PollWaker` fire ended a blocked `poll(2)`.
+    Poll,
+    /// A posted signal was dequeued at the simulated return-to-userspace
+    /// point.
+    Signal,
+}
+
+impl WakeSite {
+    /// Number of distinct wake sites — the length of per-site tables.
+    pub const COUNT: usize = 14;
+
+    /// All sites, in discriminant order (`ALL[i] as u16 == i`).
+    pub const ALL: [WakeSite; WakeSite::COUNT] = [
+        WakeSite::Enqueue,
+        WakeSite::Spawn,
+        WakeSite::CoupleResume,
+        WakeSite::CoupleHandoff,
+        WakeSite::KcNotify,
+        WakeSite::FutexWake,
+        WakeSite::PipeRead,
+        WakeSite::PipeWrite,
+        WakeSite::SockRead,
+        WakeSite::SockWrite,
+        WakeSite::Accept,
+        WakeSite::EpollWait,
+        WakeSite::Poll,
+        WakeSite::Signal,
+    ];
+
+    /// Stable lower-case name, used as the Perfetto flow label and the
+    /// `site="…"` Prometheus label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeSite::Enqueue => "enqueue",
+            WakeSite::Spawn => "spawn",
+            WakeSite::CoupleResume => "couple_resume",
+            WakeSite::CoupleHandoff => "couple_handoff",
+            WakeSite::KcNotify => "kc_notify",
+            WakeSite::FutexWake => "futex_wake",
+            WakeSite::PipeRead => "pipe_read",
+            WakeSite::PipeWrite => "pipe_write",
+            WakeSite::SockRead => "sock_read",
+            WakeSite::SockWrite => "sock_write",
+            WakeSite::Accept => "accept",
+            WakeSite::EpollWait => "epoll_wait",
+            WakeSite::Poll => "poll",
+            WakeSite::Signal => "signal",
+        }
+    }
+
+    /// Inverse of `self as u16`; `None` for out-of-range values.
+    pub fn from_u16(v: u16) -> Option<WakeSite> {
+        WakeSite::ALL.get(v as usize).copied()
+    }
+}
+
+/// Hook resolving the *current* thread to a `(waker_blt_id, now_ns)` pair at
+/// the moment a wake stamp is armed. Returns `(0, 0)` when tracing is off
+/// (the stamp is then suppressed entirely); a waker id of `0` with a nonzero
+/// timestamp means "a thread outside the runtime" (BLT ids start at 1).
+pub type WakeStamp = fn() -> (u64, u64);
+
+/// Hook invoked on the *woken* thread when a consumed wake stamp proves a
+/// real block-ending edge: `(waker_blt_id, armed_ns, site)`. The hook
+/// resolves the wakee from its own thread state and records the edge.
+pub type WakeEmit = fn(u64, u64, WakeSite);
+
+static WAKE_STAMP: OnceLock<WakeStamp> = OnceLock::new();
+static WAKE_EMIT: OnceLock<WakeEmit> = OnceLock::new();
+
+/// Install the process-global wake hooks. First installation wins, same as
+/// [`install_syscall_observer`].
+pub fn install_wake_hooks(stamp: WakeStamp, emit: WakeEmit) {
+    let _ = WAKE_STAMP.set(stamp);
+    let _ = WAKE_EMIT.set(emit);
+}
+
+/// Resolve the current thread's wake-stamp identity. `(0, 0)` when no hook
+/// is installed or tracing is off.
+#[inline]
+pub fn wake_stamp_now() -> (u64, u64) {
+    match WAKE_STAMP.get() {
+        Some(f) => f(),
+        None => (0, 0),
+    }
+}
+
+/// Emit one wake edge through the installed hook (no-op when absent).
+#[inline]
+pub fn wake_emit(waker: u64, armed_ns: u64, site: WakeSite) {
+    if let Some(f) = WAKE_EMIT.get() {
+        f(waker, armed_ns, site);
+    }
+}
+
+/// A one-slot wake stamp shared between a waker and the sleeper it releases.
+///
+/// The waker calls [`WakeCell::stamp`] immediately *before* its notify; the
+/// sleeper calls [`WakeCell::consume`] after it actually slept and the wait
+/// predicate finally held. `consume` clears the cell (swap to 0), so a stamp
+/// is attributed at most once — a later unblock with no fresh stamp (EOF
+/// drain, spurious wake) emits nothing. Validity is carried by `armed_ns !=
+/// 0`; `waker == 0` means "stamped by a thread outside the runtime".
+///
+/// Publication rides on the sleeper's own wait protocol: every call site
+/// stamps under the same lock (or before the same Release store) that the
+/// sleeper re-checks its predicate under, so a sleeper that observes the
+/// state change also observes the stamp.
+#[derive(Debug, Default)]
+pub struct WakeCell {
+    waker: AtomicU64,
+    armed_ns: AtomicU64,
+}
+
+impl WakeCell {
+    /// A fresh, unarmed cell.
+    pub const fn new() -> WakeCell {
+        WakeCell {
+            waker: AtomicU64::new(0),
+            armed_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm the cell with the current thread's identity and clock. No-op when
+    /// tracing is off (the hook returns `now == 0`). Later stamps overwrite
+    /// earlier unconsumed ones — the *last* wake before the sleeper runs is
+    /// the one that actually ended its wait.
+    #[inline]
+    pub fn stamp(&self) {
+        let (waker, now) = wake_stamp_now();
+        if now != 0 {
+            self.stamp_as(waker, now);
+        }
+    }
+
+    /// Arm the cell with an explicit waker identity and timestamp (for call
+    /// sites that already resolved both).
+    #[inline]
+    pub fn stamp_as(&self, waker: u64, now: u64) {
+        self.waker.store(waker, Ordering::Relaxed);
+        self.armed_ns.store(now, Ordering::Release);
+    }
+
+    /// Take the stamp without emitting: `Some((waker, armed_ns))` if one
+    /// was armed. Clears the cell, so a stamp is attributed (or discarded)
+    /// at most once. For consumers that resolve the wakee themselves.
+    #[inline]
+    pub fn take(&self) -> Option<(u64, u64)> {
+        let armed = self.armed_ns.swap(0, Ordering::Acquire);
+        if armed != 0 {
+            Some((self.waker.load(Ordering::Relaxed), armed))
+        } else {
+            None
+        }
+    }
+
+    /// Consume the stamp, emitting a wake edge for `site` if one was armed.
+    /// Clears the cell so the stamp cannot be attributed twice.
+    #[inline]
+    pub fn consume(&self, site: WakeSite) {
+        if let Some((waker, armed)) = self.take() {
+            wake_emit(waker, armed, site);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +502,36 @@ mod tests {
         // Must not panic or allocate; just exercises the cold path.
         emit(Sysno::Getpid, SyscallPhase::Enter);
         emit(Sysno::Getpid, SyscallPhase::Exit { errno: 0 });
+    }
+
+    #[test]
+    fn wake_site_table_matches_discriminants() {
+        for (i, site) in WakeSite::ALL.iter().enumerate() {
+            assert_eq!(*site as u16 as usize, i);
+            assert_eq!(WakeSite::from_u16(i as u16), Some(*site));
+        }
+        assert_eq!(WakeSite::from_u16(WakeSite::COUNT as u16), None);
+        assert_eq!(WakeSite::ALL.len(), WakeSite::COUNT);
+    }
+
+    #[test]
+    fn wake_site_names_are_unique() {
+        let mut names: Vec<&str> = WakeSite::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WakeSite::COUNT);
+        assert_eq!(WakeSite::CoupleHandoff.name(), "couple_handoff");
+    }
+
+    #[test]
+    fn wake_cell_unarmed_consume_is_a_noop() {
+        // No hook installed in this test binary's default state; the cell
+        // logic alone must be correct: consuming an unarmed cell is a no-op
+        // and an explicit stamp survives exactly one consume.
+        let cell = WakeCell::new();
+        cell.consume(WakeSite::PipeRead);
+        cell.stamp_as(7, 123);
+        assert_eq!(cell.armed_ns.swap(0, Ordering::Acquire), 123);
+        assert_eq!(cell.armed_ns.load(Ordering::Relaxed), 0);
     }
 }

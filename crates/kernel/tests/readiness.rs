@@ -6,11 +6,12 @@
 //! file-local lock — the one armed test must not leak `EINTR` into its
 //! neighbors (same discipline as the torture harness's run lock).
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use ulp_kernel::fault::{self, FaultPlan};
 use ulp_kernel::poll::EpollOp;
-use ulp_kernel::{Errno, Fd, Kernel, KernelRef, Pid, PollEvents};
+use ulp_kernel::{Errno, Fd, Kernel, KernelRef, Pid, PollEvents, Semaphore, WakeSite};
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -211,6 +212,131 @@ fn writer_close_wakes_blocked_epoll_with_hup() {
     let mut buf = [0u8; 4];
     assert_eq!(k.sys_read(r, &mut buf).unwrap(), 0);
     k.unbind_current();
+}
+
+// ---------------------------------------------------------------------------
+// Wake-edge fault coverage: an interrupted or spurious unblock must not emit
+// a wake edge, while the genuine wake that finally ends the wait emits
+// exactly one. The kernel's wake hooks are process-global (first install
+// wins) and `ulp-core` never loads in this binary, so these tests own them;
+// every wake test drains the capture buffer under the serial lock before
+// the phase it asserts on, so edges leaked by neighboring tests are inert.
+
+static WAKE_CLOCK: AtomicU64 = AtomicU64::new(1);
+static CAPTURED: Mutex<Vec<(u64, u64, WakeSite)>> = Mutex::new(Vec::new());
+
+fn capture_wake_edges() {
+    ulp_kernel::install_wake_hooks(
+        || (7, WAKE_CLOCK.fetch_add(1, Ordering::Relaxed)),
+        |waker, armed_ns, site| {
+            CAPTURED
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((waker, armed_ns, site));
+        },
+    );
+}
+
+fn drain_wake_edges() -> Vec<(u64, u64, WakeSite)> {
+    std::mem::take(&mut *CAPTURED.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// An `EINTR` that preempts the sleep ends no wait that a waker caused, so
+/// it must not manufacture a wake edge — only the later genuine readiness
+/// fire may, and exactly once.
+#[test]
+fn eintr_epoll_wait_emits_no_wake_edge() {
+    let _g = serial();
+    capture_wake_edges();
+    let (k, pid) = boot();
+    let ep = k.sys_epoll_create().unwrap();
+    let (r, w) = k.sys_pipe().unwrap();
+    k.sys_epoll_ctl(ep, EpollOp::Add, r, PollEvents::IN)
+        .unwrap();
+
+    drain_wake_edges();
+    fault::arm(FaultPlan {
+        seed: 13,
+        spurious_wake_per_1024: 0,
+        eintr_per_1024: 1024,
+        eagain_per_1024: 0,
+        short_read_per_1024: 0,
+        delay_wake_per_1024: 0,
+    });
+    let err = k
+        .sys_epoll_wait(ep, 8, Some(Duration::from_secs(10)))
+        .unwrap_err();
+    fault::disarm();
+    assert_eq!(err, Errno::EINTR);
+    let edges = drain_wake_edges();
+    assert!(
+        edges.is_empty(),
+        "an EINTR'd epoll_wait attributed a wake it never got: {edges:?}"
+    );
+
+    // The genuine wake that ends a real sleep emits exactly one edge.
+    let k2 = k.clone();
+    let writer = std::thread::spawn(move || {
+        k2.bind_current(pid);
+        std::thread::sleep(Duration::from_millis(30));
+        k2.sys_write(w, b"x").unwrap();
+        k2.unbind_current();
+    });
+    let got = k.sys_epoll_wait(ep, 8, None).unwrap();
+    writer.join().unwrap();
+    assert_eq!(got.len(), 1);
+    let edges = drain_wake_edges();
+    let epoll_edges: Vec<_> = edges
+        .iter()
+        .filter(|(_, _, site)| *site == WakeSite::EpollWait)
+        .collect();
+    assert_eq!(
+        epoll_edges.len(),
+        1,
+        "one blocked epoll_wait, one edge: {edges:?}"
+    );
+    let (waker, armed_ns, _) = epoll_edges[0];
+    assert_eq!(*waker, 7, "edge must carry the stamping thread's identity");
+    assert_ne!(*armed_ns, 0, "an armed stamp always has a nonzero clock");
+    k.unbind_current();
+}
+
+/// A spurious `futex_wait` return re-loops on the permit count without
+/// consuming the wake stamp: no permit means no post, and an unarmed cell
+/// emits nothing. Only the post that actually supplies the permit is
+/// attributed — exactly one edge despite every sleep returning spuriously.
+#[test]
+fn spurious_futex_wakes_emit_no_edge() {
+    let _g = serial();
+    capture_wake_edges();
+    let sem = Arc::new(Semaphore::new(0));
+    drain_wake_edges();
+    fault::arm(FaultPlan {
+        seed: 11,
+        spurious_wake_per_1024: 1024,
+        eintr_per_1024: 0,
+        eagain_per_1024: 0,
+        short_read_per_1024: 0,
+        delay_wake_per_1024: 0,
+    });
+    let poster = {
+        let sem = sem.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            sem.post();
+        })
+    };
+    sem.wait();
+    poster.join().unwrap();
+    fault::disarm();
+    let edges = drain_wake_edges();
+    assert_eq!(
+        edges.len(),
+        1,
+        "every spurious return must stay unattributed: {edges:?}"
+    );
+    assert_eq!(edges[0].2, WakeSite::FutexWake);
+    assert_eq!(edges[0].0, 7, "the edge belongs to the posting thread");
 }
 
 /// Peer close on a socket end wakes a blocked `poll` with `HUP` too — the

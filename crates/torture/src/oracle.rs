@@ -39,12 +39,25 @@
 //!   whose per-BLT line sums equal the snapshot's own totals — the profile
 //!   layer may summarize the telemetry, never contradict it. Skipped when
 //!   A already voided the run (a lossy trace folds to a lossy profile).
+//! - **J — wake-edge causality.** Every `Dispatch`/`Yield`-to of a
+//!   previously-enqueued BLT is preceded by exactly one unconsumed
+//!   run-queue wake edge (`enqueue`/`spawn`), and every `Coupled` by
+//!   exactly one couple wake edge (`couple_resume`/`couple_handoff`) —
+//!   (J1); a kernel-site wake (`pipe_read`, `sock_write`, `accept`,
+//!   `epoll_wait`, …) lands strictly inside the wakee's still-open
+//!   matching blocking-syscall span, so an EINTR'd or timed-out wait can
+//!   never claim an edge (J2); and per-site edge counts and delay totals
+//!   equal the wake-to-run histograms exactly (J3). `kc_notify`, `signal`
+//!   and `futex_wake` are exempt from pairing/containment: their consume
+//!   points sit outside any per-BLT span by construction (the futex
+//!   predicate re-check runs after the `futex_wait` span closes).
 
 use crate::StatsDelta;
 use std::collections::{HashMap, HashSet};
 use ulp_core::profile::parse_collapsed;
 use ulp_core::{
-    fold_profile, BltId, LatencySnapshot, SyscallSnapshot, Sysno, TraceEvent, TraceRecord, UlpError,
+    fold_profile, BltId, LatencySnapshot, SyscallSnapshot, Sysno, TraceEvent, TraceRecord,
+    UlpError, WakeSite,
 };
 
 /// Everything the oracle looks at for one run.
@@ -99,6 +112,12 @@ struct BltTrack {
     terminates: u64,
     /// Running (enter − exit) per system call; final value must be zero.
     spans: HashMap<Sysno, i64>,
+    /// Unconsumed run-queue wake edge (`enqueue`/`spawn`), consumed by the
+    /// next `Dispatch`/`Yield`-to (J1).
+    pending_runnable: Option<WakeSite>,
+    /// Unconsumed couple wake edge (`couple_resume`/`couple_handoff`),
+    /// consumed by the next `Coupled` (J1).
+    pending_couple: Option<WakeSite>,
 }
 
 impl BltTrack {
@@ -114,7 +133,24 @@ impl BltTrack {
             dispatches: 0,
             terminates: 0,
             spans: HashMap::new(),
+            pending_runnable: None,
+            pending_couple: None,
         }
+    }
+}
+
+/// The blocking-syscall span a kernel-site wake must land inside (J2).
+/// `None` = exempt: run-queue sites pair with scheduling events instead
+/// (J1), and `kc_notify`/`signal`/`futex_wake` consume outside any span.
+fn containing_span(site: WakeSite) -> Option<Sysno> {
+    match site {
+        WakeSite::PipeRead => Some(Sysno::PipeBlockRead),
+        WakeSite::PipeWrite => Some(Sysno::PipeBlockWrite),
+        WakeSite::SockRead => Some(Sysno::SockBlockRead),
+        WakeSite::SockWrite => Some(Sysno::SockBlockWrite),
+        WakeSite::Accept => Some(Sysno::AcceptBlock),
+        WakeSite::EpollWait | WakeSite::Poll => Some(Sysno::EpollBlockWait),
+        _ => None,
     }
 }
 
@@ -201,6 +237,11 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
     let mut totals_handoff = 0u64;
     let mut decoupled_enters = 0u64;
     let mut first_decoupled_enter: Option<(BltId, Sysno)> = None;
+    let mut wake_counts = [0u64; WakeSite::COUNT];
+    let mut wake_delays = [0u64; WakeSite::COUNT];
+    // J pairing/containment only means anything on a complete history: a
+    // dropped Wake record would falsely convict the Dispatch it preceded.
+    let wake_checks = input.dropped == 0;
 
     for rec in input.trace {
         match rec.event {
@@ -248,6 +289,14 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                 }
                 let t = track.entry(b).or_insert_with(BltTrack::new);
                 t.coupleds += 1;
+                // J1 — a completed couple consumes its resume/handoff edge.
+                let woken = t.pending_couple.take();
+                if wake_checks && woken.is_none() {
+                    r.push(
+                        "J",
+                        format!("{b:?}: Coupled with no unconsumed couple wake edge"),
+                    );
+                }
                 match t.state {
                     CoupleState::PendingCouple => t.state = CoupleState::Coupled,
                     s => r.push(
@@ -264,6 +313,15 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                 }
                 let t = track.entry(uc).or_insert_with(BltTrack::new);
                 t.dispatches += 1;
+                // J1 — the run-queue stay this dispatch ends must have
+                // been opened by exactly one wake edge.
+                let woken = t.pending_runnable.take();
+                if wake_checks && woken.is_none() {
+                    r.push(
+                        "J",
+                        format!("{uc:?}: Dispatch with no unconsumed run-queue wake edge"),
+                    );
+                }
                 match t.state {
                     // First event: born straight into the scheduled pool
                     // (a sibling — its registration is a run-queue push).
@@ -285,6 +343,15 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                     let t = track.entry(b).or_insert_with(BltTrack::new);
                     if incoming {
                         t.yields_to += 1;
+                        // J1 — the incoming side is a resumption, paired
+                        // with a run-queue wake edge like a Dispatch.
+                        let woken = t.pending_runnable.take();
+                        if wake_checks && woken.is_none() {
+                            r.push(
+                                "J",
+                                format!("{b:?}: Yield-to with no unconsumed run-queue wake edge"),
+                            );
+                        }
                     } else {
                         t.yields_from += 1;
                     }
@@ -403,6 +470,67 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                     }
                 }
             }
+            TraceEvent::Wake {
+                wakee,
+                site,
+                delay_ns,
+                ..
+            } => {
+                // J3 bookkeeping counts every edge, spawned wakee or not
+                // (the histograms do too).
+                wake_counts[site as usize] += 1;
+                wake_delays[site as usize] = wake_delays[site as usize].saturating_add(delay_ns);
+                if !spawned.contains(&wakee) {
+                    continue;
+                }
+                let t = track.entry(wakee).or_insert_with(BltTrack::new);
+                match site {
+                    WakeSite::Enqueue | WakeSite::Spawn => {
+                        // J1 — at most one edge per run-queue stay.
+                        let prev = t.pending_runnable.replace(site);
+                        if wake_checks && prev.is_some() {
+                            r.push(
+                                "J",
+                                format!(
+                                    "{wakee:?}: second run-queue wake edge ({}) before a \
+                                     resumption consumed the first",
+                                    site.name()
+                                ),
+                            );
+                        }
+                    }
+                    WakeSite::CoupleResume | WakeSite::CoupleHandoff => {
+                        let prev = t.pending_couple.replace(site);
+                        if wake_checks && prev.is_some() {
+                            r.push(
+                                "J",
+                                format!(
+                                    "{wakee:?}: second couple wake edge ({}) before a \
+                                     Coupled consumed the first",
+                                    site.name()
+                                ),
+                            );
+                        }
+                    }
+                    _ => {
+                        // J2 — a kernel-site edge is only legal while the
+                        // wakee's matching blocking span is still open:
+                        // EINTR'd, timed-out or spuriously-woken waits
+                        // never reach the consume point inside the span.
+                        if let Some(sysno) = containing_span(site) {
+                            if wake_checks && t.spans.get(&sysno).copied().unwrap_or(0) <= 0 {
+                                r.push(
+                                    "J",
+                                    format!(
+                                        "{wakee:?}: {} wake edge outside any open {sysno:?} span",
+                                        site.name()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -439,6 +567,23 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
         for (sysno, n) in t.spans.iter() {
             if *n != 0 {
                 r.push("H", format!("{b:?}: {sysno:?} has {n} unclosed spans"));
+            }
+        }
+        // J1 — no wake edge may outlive the run unconsumed: every BLT has
+        // terminated (G), so a leftover edge promised a resumption that
+        // never happened.
+        if wake_checks {
+            if let Some(site) = t.pending_runnable {
+                r.push(
+                    "J",
+                    format!("{b:?}: unconsumed {} wake edge at end of run", site.name()),
+                );
+            }
+            if let Some(site) = t.pending_couple {
+                r.push(
+                    "J",
+                    format!("{b:?}: unconsumed {} wake edge at end of run", site.name()),
+                );
             }
         }
     }
@@ -503,6 +648,37 @@ pub fn check(input: &OracleInput<'_>) -> Vec<String> {
                 input.latency.queue_delay.count, switches
             ),
         );
+    }
+
+    // J3 — wake conservation: `emit_wake` records the trace event and the
+    // per-site histogram sample together, so on a loss-free trace the edge
+    // counts and delay totals must agree exactly.
+    if wake_checks {
+        for site in WakeSite::ALL {
+            let hist = input.latency.wake.site(site);
+            if wake_counts[site as usize] != hist.count {
+                r.push(
+                    "J",
+                    format!(
+                        "{} Wake events at site {} vs {} histogram samples",
+                        wake_counts[site as usize],
+                        site.name(),
+                        hist.count
+                    ),
+                );
+            }
+            if wake_delays[site as usize] != hist.sum {
+                r.push(
+                    "J",
+                    format!(
+                        "site {} wake delays sum to {} ns vs histogram sum {} ns",
+                        site.name(),
+                        wake_delays[site as usize],
+                        hist.sum
+                    ),
+                );
+            }
+        }
     }
 
     if decoupled_enters > 0 {

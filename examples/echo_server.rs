@@ -126,9 +126,14 @@ fn run_client(id: usize, listener: Arc<Listener>, hist: Arc<LatencyHist>) {
 }
 
 fn main() {
+    // The widened trace ring keeps the whole run's history when CI sets
+    // ULP_TRACE and then runs tools/flow_check.py over the dump: every
+    // request must contribute at least one wake flow pair, which a wrapped
+    // ring would silently eat.
     let rt = Runtime::builder()
         .schedulers(2)
         .idle_policy(IdlePolicy::Blocking)
+        .trace_capacity(1 << 16)
         .build();
 
     let listeners: Vec<Arc<Listener>> = (0..SERVERS).map(|_| Listener::new()).collect();

@@ -119,10 +119,62 @@ fn main() {
         );
     }
 
+    // Self-check: wake causality arrows are present (every yield/couple in
+    // the worker loops is a run-queue or couple-grant wake), every start
+    // half pairs with exactly one finish half, and each half lands on a BLT
+    // *state* track — i.e. a tid with a `blt:N` thread_name and the state
+    // track's sort index (2*tid; the syscall track sits just below at
+    // 2*tid+1), so the arrows visually connect the state lanes in Perfetto.
+    let flows: Vec<_> = events
+        .iter()
+        .filter(|e| e["cat"].as_str() == Some("wake"))
+        .collect();
+    let starts: Vec<_> = flows
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("s"))
+        .collect();
+    let finishes: Vec<_> = flows
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("f"))
+        .collect();
+    assert!(!starts.is_empty(), "expected wake flow arrows in the trace");
+    assert_eq!(
+        starts.len(),
+        finishes.len(),
+        "every flow start needs a finish"
+    );
+    for s in &starts {
+        let id = s["id"].as_u64().expect("flow id");
+        assert_eq!(
+            finishes
+                .iter()
+                .filter(|f| f["id"].as_u64() == Some(id))
+                .count(),
+            1,
+            "flow id {id} must pair exactly once"
+        );
+    }
+    for half in &flows {
+        let tid = half["tid"].as_u64().expect("flow tid");
+        let named = events.iter().any(|e| {
+            e["name"].as_str() == Some("thread_name")
+                && e["tid"].as_u64() == Some(tid)
+                && e["args"]["name"].as_str() == Some(&format!("blt:{tid}"))
+        });
+        assert!(named, "wake arrow on tid {tid} without a blt state track");
+        let sorted = events.iter().any(|e| {
+            e["name"].as_str() == Some("thread_sort_index")
+                && e["tid"].as_u64() == Some(tid)
+                && e["args"]["sort_index"].as_u64() == Some(2 * tid)
+        });
+        assert!(sorted, "state track {tid} missing its pairing sort index");
+    }
+
     std::fs::write(&out_path, &json).expect("write trace file");
     println!(
-        "wrote {n_events} trace events ({} records, {syscall_tracks} syscall tracks) to {out_path}",
-        records.len()
+        "wrote {n_events} trace events ({} records, {syscall_tracks} syscall tracks, {} wake arrows) to {out_path}",
+        records.len(),
+        starts.len(),
     );
 
     // Fold the same records into the collapsed-stack profile and validate

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate the Perfetto wake flow arrows in a ULP_TRACE dump.
+
+Usage: flow_check.py TRACE.json MIN_PAIRS
+
+Wake edges render as Chrome flow events: a ``ph:"s"`` half on the waker's
+track and a ``ph:"f"`` half on the wakee's track, paired by ``cat`` + ``id``
+(see crates/core/src/export.rs). This checker is an independent parser — it
+shares no code with the exporter — and asserts:
+
+  * the file is valid JSON with a ``traceEvents`` list;
+  * every flow half in ``cat:"wake"`` has exactly one partner with the same
+    id, the start never comes after the finish, and both halves carry the
+    same ``wake:<site>`` name;
+  * at least MIN_PAIRS matched pairs exist (the CI server-smoke passes the
+    request count: every request couples at least once, and every couple
+    grant is a wake edge, so one pair per request is a structural floor).
+
+Exits 0 quietly on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"flow_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} TRACE.json MIN_PAIRS")
+    path, min_pairs = sys.argv[1], int(sys.argv[2])
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents list")
+
+    starts, finishes = {}, {}
+    for ev in events:
+        if ev.get("cat") != "wake":
+            continue
+        ph, eid = ev.get("ph"), ev.get("id")
+        if ph not in ("s", "f"):
+            fail(f"unexpected phase {ph!r} in cat 'wake': {ev}")
+        if not str(ev.get("name", "")).startswith("wake:"):
+            fail(f"wake flow event without a wake:<site> name: {ev}")
+        side = starts if ph == "s" else finishes
+        if eid in side:
+            fail(f"duplicate flow id {eid} for ph {ph!r}")
+        side[eid] = ev
+
+    if set(starts) != set(finishes):
+        lone = set(starts) ^ set(finishes)
+        fail(f"{len(lone)} unpaired flow halves (ids {sorted(lone)[:8]}...)")
+    for eid, s in starts.items():
+        f_ = finishes[eid]
+        if s["name"] != f_["name"]:
+            fail(f"flow {eid}: start {s['name']} vs finish {f_['name']}")
+        if float(s["ts"]) > float(f_["ts"]):
+            fail(f"flow {eid}: start ts {s['ts']} after finish ts {f_['ts']}")
+        if f_.get("bp") != "e":
+            fail(f"flow {eid}: finish half must bind to the enclosing slice")
+
+    if len(starts) < min_pairs:
+        fail(f"only {len(starts)} flow pairs, expected at least {min_pairs}")
+    print(f"flow_check: ok: {len(starts)} wake flow pairs, all matched")
+
+
+if __name__ == "__main__":
+    main()
